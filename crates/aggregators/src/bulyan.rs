@@ -1,0 +1,103 @@
+//! Bulyan (El Mhamdi et al., ICML'18).
+
+use crate::krum::{pairwise_sq_distances, scores_from_matrix};
+use crate::{validate_gradients, AggregationOutput, Aggregator};
+
+/// Bulyan: a Krum-based selection stage followed by a coordinate-wise
+/// trimmed aggregation.
+///
+/// Stage 1 repeatedly runs Krum to pick `θ = n - 2f` gradients; stage 2
+/// aggregates each coordinate as the mean of the `β = θ - 2f` values
+/// closest to the coordinate median. Requires `n ≥ 4f + 3` in theory; this
+/// implementation degrades gracefully by clamping `θ` and `β` to at least 1.
+#[derive(Debug, Clone, Copy)]
+pub struct Bulyan {
+    assumed_byzantine: usize,
+}
+
+impl Bulyan {
+    /// Creates Bulyan assuming `f` Byzantine clients.
+    pub fn new(assumed_byzantine: usize) -> Self {
+        Self { assumed_byzantine }
+    }
+}
+
+impl Aggregator for Bulyan {
+    fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
+        let dim = validate_gradients(gradients);
+        let n = gradients.len();
+        let f = self.assumed_byzantine;
+        let theta = n.saturating_sub(2 * f).max(1);
+        let beta = theta.saturating_sub(2 * f).max(1);
+
+        // Stage 1: iterative Krum selection without replacement, reusing one
+        // pairwise distance matrix across all iterations.
+        let d2 = pairwise_sq_distances(gradients);
+        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut chosen: Vec<usize> = Vec::with_capacity(theta);
+        while chosen.len() < theta && !remaining.is_empty() {
+            let f_eff = f.min(remaining.len().saturating_sub(3));
+            let scores = scores_from_matrix(&d2, &remaining, f_eff);
+            let best = sg_math::stats::argmin(&scores);
+            chosen.push(remaining.remove(best));
+        }
+        chosen.sort_unstable();
+
+        // Stage 2: per-coordinate β-trimmed mean around the median.
+        let mut out = vec![0.0f32; dim];
+        let mut col: Vec<f32> = Vec::with_capacity(chosen.len());
+        for j in 0..dim {
+            col.clear();
+            col.extend(chosen.iter().map(|&i| gradients[i][j]));
+            let med = sg_math::stats::median(&col);
+            col.sort_by(|a, b| (a - med).abs().total_cmp(&(b - med).abs()));
+            let take = beta.min(col.len());
+            out[j] = col[..take].iter().sum::<f32>() / take as f32;
+        }
+        AggregationOutput::selected(out, chosen)
+    }
+
+    fn name(&self) -> &'static str {
+        "Bulyan"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_large_outliers() {
+        // n = 11, f = 2 satisfies n >= 4f + 3.
+        let mut g: Vec<Vec<f32>> = (0..9).map(|i| vec![1.0 + 0.01 * i as f32, 2.0]).collect();
+        g.push(vec![1e4, 1e4]);
+        g.push(vec![-1e4, -1e4]);
+        let out = Bulyan::new(2).aggregate(&g);
+        assert!((out.gradient[0] - 1.0).abs() < 0.2, "{:?}", out.gradient);
+        assert!((out.gradient[1] - 2.0).abs() < 0.2);
+        let sel = out.selected.expect("bulyan selects");
+        assert!(sel.iter().all(|&i| i < 9), "outlier selected: {sel:?}");
+    }
+
+    #[test]
+    fn all_identical_is_identity() {
+        let g = vec![vec![3.0, -1.0]; 9];
+        let out = Bulyan::new(2).aggregate(&g);
+        assert_eq!(out.gradient, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn degrades_gracefully_below_4f3() {
+        // n = 4, f = 1 violates the 4f+3 bound but must not panic.
+        let g = vec![vec![1.0], vec![1.1], vec![0.9], vec![100.0]];
+        let out = Bulyan::new(1).aggregate(&g);
+        assert!(out.gradient[0].is_finite());
+    }
+
+    #[test]
+    fn selection_count_is_theta() {
+        let g: Vec<Vec<f32>> = (0..11).map(|i| vec![i as f32 * 0.01]).collect();
+        let out = Bulyan::new(2).aggregate(&g);
+        assert_eq!(out.selected.expect("sel").len(), 11 - 4);
+    }
+}

@@ -1,0 +1,116 @@
+//! Centered clipping (Karimireddy et al., ICML'21) — a history-aided rule.
+
+use sg_math::vecops;
+
+use crate::{validate_gradients, AggregationOutput, Aggregator};
+
+/// Iterative centered clipping around the previous round's aggregate.
+///
+/// `v ← v + mean_i clip(g_i − v, τ)` repeated `iters` times, with `v`
+/// carried across rounds. Cited in the paper's related work as the
+/// momentum/history line of defenses ([31], [32]); included here as an
+/// extension baseline.
+#[derive(Debug, Clone)]
+pub struct CenteredClip {
+    tau: f32,
+    iters: usize,
+    state: Option<Vec<f32>>,
+}
+
+impl CenteredClip {
+    /// Creates centered clipping with radius `tau` (default iterations: 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not positive.
+    pub fn new(tau: f32) -> Self {
+        assert!(tau > 0.0, "CenteredClip: tau must be positive");
+        Self { tau, iters: 3, state: None }
+    }
+
+    /// Sets the number of clipping iterations per round.
+    #[must_use]
+    pub fn with_iters(mut self, iters: usize) -> Self {
+        self.iters = iters.max(1);
+        self
+    }
+
+    /// Clears the carried aggregate (e.g. when restarting training).
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+impl Aggregator for CenteredClip {
+    fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
+        let dim = validate_gradients(gradients);
+        let mut v = match self.state.take() {
+            Some(s) if s.len() == dim => s,
+            _ => vecops::mean_vector(gradients, dim),
+        };
+        for _ in 0..self.iters {
+            let mut acc = vec![0.0f32; dim];
+            for g in gradients {
+                let diff = vecops::sub(g, &v);
+                let clipped = vecops::clip_norm(&diff, self.tau);
+                vecops::axpy(1.0, &clipped, &mut acc);
+            }
+            vecops::scale_in_place(&mut acc, 1.0 / gradients.len() as f32);
+            vecops::axpy(1.0, &acc, &mut v);
+        }
+        self.state = Some(v.clone());
+        AggregationOutput::blended(v)
+    }
+
+    fn name(&self) -> &'static str {
+        "CClip"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_only_converges_to_mean() {
+        let g = vec![vec![1.0, 2.0], vec![1.2, 1.8], vec![0.8, 2.2]];
+        let mut cc = CenteredClip::new(10.0);
+        let out = cc.aggregate(&g);
+        assert!((out.gradient[0] - 1.0).abs() < 0.05);
+        assert!((out.gradient[1] - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn outlier_influence_bounded_by_tau() {
+        let g = vec![vec![0.0], vec![0.0], vec![0.0], vec![1e6]];
+        let mut cc = CenteredClip::new(1.0).with_iters(1);
+        // Start state at 0 to make the bound exact.
+        cc.state = Some(vec![0.0]);
+        let out = cc.aggregate(&g);
+        // The outlier contributes at most tau/n = 0.25.
+        assert!(out.gradient[0] <= 0.25 + 1e-5, "{}", out.gradient[0]);
+    }
+
+    #[test]
+    fn state_carries_across_rounds() {
+        let g = vec![vec![5.0]];
+        let mut cc = CenteredClip::new(0.5).with_iters(1);
+        cc.state = Some(vec![0.0]);
+        let first = cc.aggregate(&g).gradient[0];
+        let second = cc.aggregate(&g).gradient[0];
+        // Each round moves at most tau towards 5.0.
+        assert!((first - 0.5).abs() < 1e-5);
+        assert!((second - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let g = vec![vec![1.0]];
+        let mut cc = CenteredClip::new(0.1);
+        let _ = cc.aggregate(&g);
+        cc.reset();
+        // After reset the state is rebuilt from the (honest) mean.
+        let out = cc.aggregate(&g);
+        assert!((out.gradient[0] - 1.0).abs() < 1e-5);
+    }
+}

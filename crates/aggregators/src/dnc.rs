@@ -1,0 +1,172 @@
+//! Divide-and-Conquer (DnC) aggregation (Shejwalkar & Houmansadr, NDSS'21).
+
+use rand::rngs::StdRng;
+use sg_math::rng::sample_indices;
+use sg_math::seeded_rng;
+
+use crate::{mean_of, validate_gradients, AggregationOutput, Aggregator};
+
+/// DnC: spectral outlier removal on random coordinate subsets.
+///
+/// Each iteration samples a coordinate subset, centers the sub-gradients,
+/// finds their top right-singular direction by power iteration, scores each
+/// gradient by its squared projection on that direction, and discards the
+/// `c · f` highest-scoring gradients. The final good set is the
+/// intersection over iterations; the aggregate is its mean.
+#[derive(Debug)]
+pub struct DnC {
+    assumed_byzantine: usize,
+    iters: usize,
+    subsample_dim: usize,
+    filter_frac: f32,
+    rng: StdRng,
+}
+
+impl DnC {
+    /// Creates DnC with the defaults of the original paper: `niters = 1`,
+    /// filter fraction `c = 1.0`, coordinate subsample of up to 10 000.
+    pub fn new(assumed_byzantine: usize) -> Self {
+        Self {
+            assumed_byzantine,
+            iters: 1,
+            subsample_dim: 10_000,
+            filter_frac: 1.0,
+            rng: seeded_rng(0xd4c),
+        }
+    }
+
+    /// Number of filtering iterations (intersection over all of them).
+    #[must_use]
+    pub fn with_iters(mut self, iters: usize) -> Self {
+        self.iters = iters.max(1);
+        self
+    }
+
+    /// Maximum coordinates sampled per iteration.
+    #[must_use]
+    pub fn with_subsample_dim(mut self, dim: usize) -> Self {
+        self.subsample_dim = dim.max(1);
+        self
+    }
+
+    /// Reseeds the internal RNG (reproducibility).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = seeded_rng(seed);
+        self
+    }
+
+    /// Top right-singular direction of the centered matrix via power
+    /// iteration; `rows` is `n` vectors of equal length.
+    fn top_direction(rows: &[Vec<f32>]) -> Vec<f32> {
+        let dim = rows[0].len();
+        let mut v = vec![1.0f32 / (dim as f32).sqrt(); dim];
+        for _ in 0..20 {
+            // u = M v (length n), then v' = M^T u, normalized.
+            let u: Vec<f32> = rows.iter().map(|r| sg_math::dot(r, &v)).collect();
+            let mut next = vec![0.0f32; dim];
+            for (r, &ui) in rows.iter().zip(&u) {
+                sg_math::vecops::axpy(ui, r, &mut next);
+            }
+            let norm = sg_math::l2_norm(&next);
+            if norm < 1e-12 {
+                break;
+            }
+            sg_math::vecops::scale_in_place(&mut next, 1.0 / norm);
+            v = next;
+        }
+        v
+    }
+}
+
+impl Aggregator for DnC {
+    fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
+        let dim = validate_gradients(gradients);
+        let n = gradients.len();
+        let remove = ((self.filter_frac * self.assumed_byzantine as f32).round() as usize).min(n.saturating_sub(1));
+
+        let mut good: Vec<bool> = vec![true; n];
+        for _ in 0..self.iters {
+            let coords = sample_indices(&mut self.rng, dim, self.subsample_dim.min(dim));
+            // Build sub-gradients and center them.
+            let subs: Vec<Vec<f32>> = gradients
+                .iter()
+                .map(|g| coords.iter().map(|&c| g[c]).collect())
+                .collect();
+            let mu = sg_math::vecops::mean_vector(&subs, coords.len());
+            let centered: Vec<Vec<f32>> = subs.iter().map(|s| sg_math::vecops::sub(s, &mu)).collect();
+            let v = Self::top_direction(&centered);
+            let scores: Vec<f32> = centered.iter().map(|c| sg_math::dot(c, &v).powi(2)).collect();
+            // Remove the `remove` highest-scoring gradients this round.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+            for &i in order.iter().take(remove) {
+                good[i] = false;
+            }
+        }
+        let mut selected: Vec<usize> = (0..n).filter(|&i| good[i]).collect();
+        if selected.is_empty() {
+            // All filtered (possible when iterations disagree): fall back to
+            // the single lowest-score gradient to stay available.
+            selected = vec![0];
+        }
+        let gradient = mean_of(gradients, &selected);
+        AggregationOutput::selected(gradient, selected)
+    }
+
+    fn name(&self) -> &'static str {
+        "DnC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn honest(n: usize, d: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| (0..d).map(|j| ((i * d + j) as f32 * 0.13).sin() * 0.1 + 1.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn removes_spectral_outliers() {
+        let mut g = honest(8, 32);
+        g.push((0..32).map(|_| 50.0).collect());
+        g.push((0..32).map(|_| -50.0).collect());
+        let out = DnC::new(2).with_iters(3).aggregate(&g);
+        let sel = out.selected.expect("dnc selects");
+        assert!(sel.iter().all(|&i| i < 8), "outlier kept: {sel:?}");
+        assert!((out.gradient[0] - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn keeps_all_when_no_byzantine_assumed() {
+        let g = honest(6, 16);
+        let out = DnC::new(0).aggregate(&g);
+        assert_eq!(out.selected.expect("sel").len(), 6);
+    }
+
+    #[test]
+    fn subsampling_larger_than_dim_is_safe() {
+        let g = honest(5, 8);
+        let out = DnC::new(1).with_subsample_dim(10_000).aggregate(&g);
+        assert!(out.gradient.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let g = honest(7, 24);
+        let a = DnC::new(2).with_seed(5).aggregate(&g);
+        let b = DnC::new(2).with_seed(5).aggregate(&g);
+        assert_eq!(a.selected, b.selected);
+    }
+
+    #[test]
+    fn never_returns_empty_selection() {
+        // Pathological: 2 clients, assume 1 byzantine, many iters disagree.
+        let g = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let out = DnC::new(1).with_iters(5).aggregate(&g);
+        assert!(!out.selected.expect("sel").is_empty());
+    }
+}

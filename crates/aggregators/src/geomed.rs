@@ -1,0 +1,106 @@
+//! Geometric median via Weiszfeld's algorithm.
+
+use sg_math::vecops;
+
+use crate::{validate_gradients, AggregationOutput, Aggregator};
+
+/// Geometric median (the point minimizing the sum of Euclidean distances to
+/// all gradients), computed with smoothed Weiszfeld iterations.
+#[derive(Debug, Clone, Copy)]
+pub struct GeoMed {
+    max_iter: usize,
+    tol: f32,
+    smoothing: f32,
+}
+
+impl GeoMed {
+    /// Creates a geometric-median rule with default iteration settings.
+    pub fn new() -> Self {
+        Self { max_iter: 100, tol: 1e-6, smoothing: 1e-8 }
+    }
+
+    /// Caps Weiszfeld iterations.
+    #[must_use]
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter.max(1);
+        self
+    }
+}
+
+impl Default for GeoMed {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Aggregator for GeoMed {
+    fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
+        let dim = validate_gradients(gradients);
+        // Start from the coordinate mean.
+        let mut z = vecops::mean_vector(gradients, dim);
+        for _ in 0..self.max_iter {
+            let mut weight_sum = 0.0f64;
+            let mut next = vec![0.0f64; dim];
+            for g in gradients {
+                let d = f64::from(vecops::l2_distance(g, &z)) + f64::from(self.smoothing);
+                let w = 1.0 / d;
+                weight_sum += w;
+                for (n, &x) in next.iter_mut().zip(g) {
+                    *n += w * f64::from(x);
+                }
+            }
+            let mut shift = 0.0f64;
+            for (zi, n) in z.iter_mut().zip(next) {
+                let v = (n / weight_sum) as f32;
+                shift += f64::from((v - *zi) * (v - *zi));
+                *zi = v;
+            }
+            if shift.sqrt() < f64::from(self.tol) {
+                break;
+            }
+        }
+        AggregationOutput::blended(z)
+    }
+
+    fn name(&self) -> &'static str {
+        "GeoMed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collinear_points_median() {
+        // Geometric median of {0, 0, 10} on a line is 0 (the middle point
+        // by multiplicity).
+        let g = vec![vec![0.0], vec![0.0], vec![10.0]];
+        let out = GeoMed::new().aggregate(&g);
+        assert!(out.gradient[0].abs() < 0.1, "{}", out.gradient[0]);
+    }
+
+    #[test]
+    fn resists_single_far_outlier() {
+        let g = vec![vec![1.0, 1.0], vec![1.1, 0.9], vec![0.9, 1.1], vec![1e6, -1e6]];
+        let out = GeoMed::new().aggregate(&g);
+        assert!((out.gradient[0] - 1.0).abs() < 0.2);
+        assert!((out.gradient[1] - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn symmetric_points_give_centroid() {
+        let g = vec![vec![1.0, 0.0], vec![-1.0, 0.0], vec![0.0, 1.0], vec![0.0, -1.0]];
+        let out = GeoMed::new().aggregate(&g);
+        assert!(out.gradient[0].abs() < 1e-3);
+        assert!(out.gradient[1].abs() < 1e-3);
+    }
+
+    #[test]
+    fn single_gradient_is_identity() {
+        let g = vec![vec![3.0, -4.0]];
+        let out = GeoMed::new().aggregate(&g);
+        assert!((out.gradient[0] - 3.0).abs() < 1e-4);
+        assert!((out.gradient[1] + 4.0).abs() < 1e-4);
+    }
+}

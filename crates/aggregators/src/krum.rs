@@ -1,0 +1,155 @@
+//! Krum and Multi-Krum (Blanchard et al., NeurIPS'17).
+
+use sg_math::vecops;
+
+use crate::{mean_of, validate_gradients, AggregationOutput, Aggregator};
+
+/// Multi-Krum: scores every gradient by the sum of squared distances to its
+/// `n - f - 2` nearest neighbors and averages the `m` best-scoring
+/// gradients. `m = 1` is classic Krum.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiKrum {
+    assumed_byzantine: usize,
+    select: usize,
+}
+
+impl MultiKrum {
+    /// Creates Multi-Krum assuming `f` Byzantine clients and selecting
+    /// `select` gradients. The paper's experiments give baselines the exact
+    /// Byzantine count, so `select` is typically `n - f`.
+    pub fn new(assumed_byzantine: usize, select: usize) -> Self {
+        Self { assumed_byzantine, select: select.max(1) }
+    }
+
+    /// Classic Krum: select exactly one gradient.
+    pub fn krum(assumed_byzantine: usize) -> Self {
+        Self::new(assumed_byzantine, 1)
+    }
+
+    /// Krum scores for each gradient (lower = more trusted).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or ragged batch.
+    pub fn scores(&self, gradients: &[Vec<f32>]) -> Vec<f32> {
+        validate_gradients(gradients);
+        let d2 = pairwise_sq_distances(gradients);
+        let all: Vec<usize> = (0..gradients.len()).collect();
+        scores_from_matrix(&d2, &all, self.assumed_byzantine)
+    }
+}
+
+/// Full pairwise squared-distance matrix of a gradient batch.
+///
+/// Computed once per round and shared between Krum scoring and Bulyan's
+/// iterative selection — the dominant cost of both rules is this `O(n²·d)`
+/// pass.
+pub fn pairwise_sq_distances(gradients: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    let n = gradients.len();
+    let mut d2 = vec![vec![0.0f32; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = vecops::l2_distance_sq(&gradients[i], &gradients[j]);
+            d2[i][j] = d;
+            d2[j][i] = d;
+        }
+    }
+    d2
+}
+
+/// Krum scores restricted to `subset` (global indices into the matrix),
+/// assuming `f` Byzantine members: for each `i ∈ subset`, the sum of its
+/// `|subset| - f - 2` smallest distances to other subset members.
+///
+/// # Panics
+///
+/// Panics if `subset` is empty.
+pub fn scores_from_matrix(d2: &[Vec<f32>], subset: &[usize], f: usize) -> Vec<f32> {
+    assert!(!subset.is_empty(), "scores_from_matrix: empty subset");
+    let n = subset.len();
+    let k = n.saturating_sub(f + 2).max(1).min(n.saturating_sub(1).max(1));
+    subset
+        .iter()
+        .map(|&i| {
+            let mut row: Vec<f32> = subset.iter().filter(|&&j| j != i).map(|&j| d2[i][j]).collect();
+            if row.is_empty() {
+                return 0.0;
+            }
+            row.sort_unstable_by(f32::total_cmp);
+            row[..k.min(row.len())].iter().sum()
+        })
+        .collect()
+}
+
+impl Aggregator for MultiKrum {
+    fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
+        let scores = self.scores(gradients);
+        let n = gradients.len();
+        let m = self.select.min(n);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+        let mut chosen: Vec<usize> = order[..m].to_vec();
+        chosen.sort_unstable();
+        let gradient = mean_of(gradients, &chosen);
+        AggregationOutput::selected(gradient, chosen)
+    }
+
+    fn name(&self) -> &'static str {
+        "Multi-Krum"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn honest_cloud(n: usize) -> Vec<Vec<f32>> {
+        (0..n).map(|i| vec![1.0 + 0.01 * i as f32, -1.0 + 0.01 * i as f32]).collect()
+    }
+
+    #[test]
+    fn krum_rejects_gross_outlier() {
+        let mut g = honest_cloud(8);
+        g.push(vec![1000.0, 1000.0]);
+        let out = MultiKrum::krum(1).aggregate(&g);
+        let sel = out.selected.expect("krum selects");
+        assert_eq!(sel.len(), 1);
+        assert!(sel[0] < 8, "selected the outlier");
+        assert!(out.gradient[0] < 2.0);
+    }
+
+    #[test]
+    fn multikrum_selects_m_gradients() {
+        let mut g = honest_cloud(8);
+        g.push(vec![500.0, 0.0]);
+        g.push(vec![0.0, 500.0]);
+        let out = MultiKrum::new(2, 6).aggregate(&g);
+        let sel = out.selected.expect("selection");
+        assert_eq!(sel.len(), 6);
+        assert!(sel.iter().all(|&i| i < 8), "selected an outlier: {sel:?}");
+    }
+
+    #[test]
+    fn scores_are_lower_for_central_points() {
+        let mut g = honest_cloud(6);
+        g.push(vec![50.0, 50.0]);
+        let mk = MultiKrum::new(1, 1);
+        let scores = mk.scores(&g);
+        let outlier_score = scores[6];
+        assert!(scores[..6].iter().all(|&s| s < outlier_score));
+    }
+
+    #[test]
+    fn all_identical_selects_all_equally() {
+        let g = vec![vec![2.0, 2.0]; 5];
+        let out = MultiKrum::new(1, 3).aggregate(&g);
+        assert_eq!(out.gradient, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn select_larger_than_n_is_clamped() {
+        let g = honest_cloud(4);
+        let out = MultiKrum::new(0, 100).aggregate(&g);
+        assert_eq!(out.selected.expect("sel").len(), 4);
+    }
+}

@@ -1,0 +1,152 @@
+//! Byzantine-robust gradient aggregation rules (GARs).
+//!
+//! These are the defense baselines the SignGuard paper compares against
+//! (Table I): naive [`Mean`], [`TrimmedMean`], coordinate-wise
+//! [`CoordinateMedian`], geometric median ([`GeoMed`]), [`MultiKrum`],
+//! [`Bulyan`] and [`DnC`] — plus two extensions from the related-work
+//! section, [`SignMajority`] (signSGD with majority vote) and
+//! [`CenteredClip`] (history-aided clipping).
+//!
+//! Every rule implements [`Aggregator`]: a list of flattened client
+//! gradients in, one aggregated gradient out, with the indices of the
+//! clients that contributed when the rule performs selection (needed for
+//! the paper's Table II selection-rate accounting).
+//!
+//! # Examples
+//!
+//! ```
+//! use sg_aggregators::{Aggregator, TrimmedMean};
+//!
+//! let grads = vec![
+//!     vec![1.0, 1.0],
+//!     vec![1.1, 0.9],
+//!     vec![100.0, -100.0], // Byzantine
+//! ];
+//! let mut gar = TrimmedMean::new(1);
+//! let out = gar.aggregate(&grads);
+//! assert!(out.gradient[0] < 2.0);
+//! ```
+
+mod bulyan;
+mod centered_clip;
+mod dnc;
+mod geomed;
+mod krum;
+mod mean;
+mod signmajority;
+
+pub use bulyan::Bulyan;
+pub use centered_clip::CenteredClip;
+pub use dnc::DnC;
+pub use geomed::GeoMed;
+pub use krum::{pairwise_sq_distances, scores_from_matrix, MultiKrum};
+pub use mean::{CoordinateMedian, Mean, TrimmedMean};
+pub use signmajority::SignMajority;
+
+/// Output of a gradient aggregation rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregationOutput {
+    /// The aggregated gradient.
+    pub gradient: Vec<f32>,
+    /// Indices of client gradients that contributed to the aggregate, when
+    /// the rule performs explicit selection (`None` for rules like median
+    /// that blend all inputs coordinate-wise).
+    pub selected: Option<Vec<usize>>,
+}
+
+impl AggregationOutput {
+    /// An output with no selection information.
+    pub fn blended(gradient: Vec<f32>) -> Self {
+        Self { gradient, selected: None }
+    }
+
+    /// An output that used exactly the given client indices.
+    pub fn selected(gradient: Vec<f32>, indices: Vec<usize>) -> Self {
+        Self { gradient, selected: Some(indices) }
+    }
+}
+
+/// A gradient aggregation rule.
+///
+/// Implementations take `&mut self` because some rules are stateful across
+/// rounds ([`CenteredClip`] keeps the previous aggregate; [`DnC`] advances
+/// an internal RNG for coordinate subsampling).
+pub trait Aggregator {
+    /// Aggregates client gradients.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `gradients` is empty or dimensions are
+    /// inconsistent (validated via [`validate_gradients`]).
+    fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput;
+
+    /// Rule name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Called by the federated server with the current global parameters
+    /// before each [`Aggregator::aggregate`] call. Statistic-based rules
+    /// ignore it (default no-op); validation-based rules (FLTrust, Zeno in
+    /// `sg-fl`) use it to evaluate candidate gradients against a root
+    /// dataset at the current model.
+    fn observe_global(&mut self, _params: &[f32]) {}
+}
+
+/// Validates a gradient batch, returning the common dimension.
+///
+/// # Panics
+///
+/// Panics if the batch is empty or dimensions differ.
+pub fn validate_gradients(gradients: &[Vec<f32>]) -> usize {
+    assert!(!gradients.is_empty(), "aggregate: empty gradient batch");
+    let dim = gradients[0].len();
+    assert!(dim > 0, "aggregate: zero-dimensional gradients");
+    for (i, g) in gradients.iter().enumerate() {
+        assert_eq!(g.len(), dim, "aggregate: gradient {i} has dim {} != {dim}", g.len());
+    }
+    dim
+}
+
+/// Mean of the gradients at the given indices.
+///
+/// # Panics
+///
+/// Panics if `indices` is empty or out of bounds.
+pub fn mean_of(gradients: &[Vec<f32>], indices: &[usize]) -> Vec<f32> {
+    assert!(!indices.is_empty(), "mean_of: empty selection");
+    let dim = gradients[0].len();
+    let mut out = vec![0.0f32; dim];
+    for &i in indices {
+        sg_math::vecops::axpy(1.0, &gradients[i], &mut out);
+    }
+    sg_math::vecops::scale_in_place(&mut out, 1.0 / indices.len() as f32);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_uniform() {
+        let g = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(validate_gradients(&g), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty gradient batch")]
+    fn validate_rejects_empty() {
+        let _ = validate_gradients(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "has dim")]
+    fn validate_rejects_ragged() {
+        let _ = validate_gradients(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn mean_of_selection() {
+        let g = vec![vec![1.0, 0.0], vec![3.0, 2.0], vec![100.0, 100.0]];
+        assert_eq!(mean_of(&g, &[0, 1]), vec![2.0, 1.0]);
+    }
+}

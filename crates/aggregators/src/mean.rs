@@ -1,0 +1,156 @@
+//! Mean, trimmed-mean and coordinate-wise median rules.
+
+use sg_math::stats;
+
+use crate::{validate_gradients, AggregationOutput, Aggregator};
+
+/// Naive arithmetic mean — the no-defense baseline (FedAvg/FedSGD).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mean;
+
+impl Mean {
+    /// Creates the mean rule.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Aggregator for Mean {
+    fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
+        let dim = validate_gradients(gradients);
+        AggregationOutput::blended(sg_math::vecops::mean_vector(gradients, dim))
+    }
+
+    fn name(&self) -> &'static str {
+        "Mean"
+    }
+}
+
+/// Coordinate-wise trimmed mean (Yin et al., ICML'18): for each coordinate,
+/// drop the `k` smallest and `k` largest values, average the rest.
+#[derive(Debug, Clone, Copy)]
+pub struct TrimmedMean {
+    trim: usize,
+}
+
+impl TrimmedMean {
+    /// Creates a trimmed mean that removes `trim` values from each tail —
+    /// set to the assumed number of Byzantine clients.
+    pub fn new(trim: usize) -> Self {
+        Self { trim }
+    }
+}
+
+impl Aggregator for TrimmedMean {
+    fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
+        let dim = validate_gradients(gradients);
+        let n = gradients.len();
+        // Degrade gracefully when over-trimmed: fall back to median-like
+        // trimming that leaves at least one value.
+        let trim = self.trim.min((n - 1) / 2);
+        let mut out = vec![0.0f32; dim];
+        let mut col = vec![0.0f32; n];
+        for j in 0..dim {
+            for (i, g) in gradients.iter().enumerate() {
+                col[i] = g[j];
+            }
+            out[j] = stats::trimmed_mean(&col, trim);
+        }
+        AggregationOutput::blended(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "TrMean"
+    }
+}
+
+/// Coordinate-wise median (Yin et al., ICML'18).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoordinateMedian;
+
+impl CoordinateMedian {
+    /// Creates the coordinate-wise median rule.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Aggregator for CoordinateMedian {
+    fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
+        let dim = validate_gradients(gradients);
+        let n = gradients.len();
+        let mut out = vec![0.0f32; dim];
+        let mut col = vec![0.0f32; n];
+        for j in 0..dim {
+            for (i, g) in gradients.iter().enumerate() {
+                col[i] = g[j];
+            }
+            out[j] = stats::median(&col);
+        }
+        AggregationOutput::blended(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "Median"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_averages() {
+        let g = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let out = Mean::new().aggregate(&g);
+        assert_eq!(out.gradient, vec![2.0, 3.0]);
+        assert!(out.selected.is_none());
+    }
+
+    #[test]
+    fn mean_is_poisoned_by_outlier() {
+        let g = vec![vec![1.0], vec![1.0], vec![-100.0]];
+        let out = Mean::new().aggregate(&g);
+        assert!(out.gradient[0] < -30.0);
+    }
+
+    #[test]
+    fn trimmed_mean_resists_outliers() {
+        let g = vec![vec![1.0], vec![1.2], vec![0.8], vec![1000.0], vec![-1000.0]];
+        let out = TrimmedMean::new(1).aggregate(&g);
+        assert!((out.gradient[0] - 1.0).abs() < 0.2, "{}", out.gradient[0]);
+    }
+
+    #[test]
+    fn trimmed_mean_zero_trim_equals_mean() {
+        let g = vec![vec![1.0, -1.0], vec![3.0, 5.0]];
+        let t = TrimmedMean::new(0).aggregate(&g);
+        let m = Mean::new().aggregate(&g);
+        assert_eq!(t.gradient, m.gradient);
+    }
+
+    #[test]
+    fn trimmed_mean_overtrim_degrades_gracefully() {
+        let g = vec![vec![1.0], vec![2.0], vec![3.0]];
+        // trim=5 would empty the set; falls back to trim=1 (median).
+        let out = TrimmedMean::new(5).aggregate(&g);
+        assert_eq!(out.gradient, vec![2.0]);
+    }
+
+    #[test]
+    fn median_ignores_minority_outliers() {
+        let g = vec![vec![1.0, 0.0], vec![1.1, 0.1], vec![0.9, -0.1], vec![500.0, 500.0]];
+        let out = CoordinateMedian::new().aggregate(&g);
+        assert!((out.gradient[0] - 1.05).abs() < 0.1);
+        assert!(out.gradient[1].abs() < 0.2);
+    }
+
+    #[test]
+    fn median_breaks_past_half_byzantine() {
+        // Sanity: with >50% attackers the median is captured — the 2m+1
+        // requirement in the paper is necessary.
+        let g = vec![vec![0.0], vec![10.0], vec![10.0]];
+        let out = CoordinateMedian::new().aggregate(&g);
+        assert_eq!(out.gradient[0], 10.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! signSGD with majority vote (Bernstein et al., ICML'18).
+
+use crate::{validate_gradients, AggregationOutput, Aggregator};
+
+/// Element-wise sign majority vote, scaled by a configurable magnitude.
+///
+/// One of the sign-based related works the paper cites ([22], [26]): the
+/// server aggregates only the sign of each coordinate. Majority voting is
+/// inherently fault-tolerant below 50% Byzantine, at the cost of a
+/// magnitude-free update (here scaled by `scale`, default the mean of the
+/// input gradient norms divided by `sqrt(d)` so update norms stay
+/// comparable to mean aggregation).
+#[derive(Debug, Clone, Copy)]
+pub struct SignMajority {
+    scale: Option<f32>,
+}
+
+impl SignMajority {
+    /// Creates a sign-majority rule with automatic scaling.
+    pub fn new() -> Self {
+        Self { scale: None }
+    }
+
+    /// Fixes the per-coordinate magnitude of the output.
+    #[must_use]
+    pub fn with_scale(mut self, scale: f32) -> Self {
+        self.scale = Some(scale);
+        self
+    }
+}
+
+impl Default for SignMajority {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Aggregator for SignMajority {
+    fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
+        let dim = validate_gradients(gradients);
+        let scale = self.scale.unwrap_or_else(|| {
+            let mean_norm: f32 =
+                gradients.iter().map(|g| sg_math::l2_norm(g)).sum::<f32>() / gradients.len() as f32;
+            mean_norm / (dim as f32).sqrt()
+        });
+        let mut out = vec![0.0f32; dim];
+        for (j, o) in out.iter_mut().enumerate() {
+            let mut vote = 0i64;
+            for g in gradients {
+                if g[j] > 0.0 {
+                    vote += 1;
+                } else if g[j] < 0.0 {
+                    vote -= 1;
+                }
+            }
+            *o = scale * (vote.signum() as f32);
+        }
+        AggregationOutput::blended(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "SignSGD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_direction_wins() {
+        let g = vec![vec![1.0, -1.0], vec![2.0, -3.0], vec![-100.0, 100.0]];
+        let out = SignMajority::new().with_scale(1.0).aggregate(&g);
+        assert_eq!(out.gradient, vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn tie_gives_zero() {
+        let g = vec![vec![1.0], vec![-1.0]];
+        let out = SignMajority::new().with_scale(1.0).aggregate(&g);
+        assert_eq!(out.gradient, vec![0.0]);
+    }
+
+    #[test]
+    fn auto_scale_is_positive() {
+        let g = vec![vec![3.0, 4.0], vec![3.0, 4.0]];
+        let out = SignMajority::new().aggregate(&g);
+        assert!(out.gradient[0] > 0.0);
+        assert_eq!(out.gradient[0], out.gradient[1]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Adaptive white-box attack against SignGuard itself.
+//!
+//! The paper's conclusion leaves "white-box and adaptive attacks" as future
+//! work; this module implements the natural candidate. The attacker knows
+//! SignGuard clusters on *(positive, zero, negative)* sign proportions and
+//! norm-filters on the median norm, so it crafts a gradient that:
+//!
+//! 1. keeps the sign of the honest mean on all but a small fraction `ρ` of
+//!    coordinates — so its sign statistics sit inside the honest cluster;
+//! 2. flips and amplifies the `ρ`-fraction of coordinates with the largest
+//!    honest magnitude — maximal damage per flipped sign;
+//! 3. rescales itself to the median honest norm — sailing through the norm
+//!    filter and losing nothing to clipping.
+//!
+//! The ablation bench (`exp_ablation`) measures how much damage survives
+//! each SignGuard variant, quantifying the residual attack surface.
+
+use sg_math::vecops;
+
+use crate::{Attack, AttackContext};
+
+/// Sign-statistics-mimicking adaptive attack (see module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveSignMimicry {
+    flip_fraction: f32,
+}
+
+impl AdaptiveSignMimicry {
+    /// Creates the attack with the default 10% flip budget — comparable to
+    /// the per-client spread of honest sign statistics, so the crafted
+    /// features stay inside the honest cluster.
+    pub fn new() -> Self {
+        Self { flip_fraction: 0.1 }
+    }
+
+    /// Sets the fraction of coordinates whose sign is flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < flip_fraction <= 1`.
+    #[must_use]
+    pub fn with_flip_fraction(mut self, flip_fraction: f32) -> Self {
+        assert!(
+            flip_fraction > 0.0 && flip_fraction <= 1.0,
+            "AdaptiveSignMimicry: flip_fraction {flip_fraction} out of (0,1]"
+        );
+        self.flip_fraction = flip_fraction;
+        self
+    }
+}
+
+impl Default for AdaptiveSignMimicry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Attack for AdaptiveSignMimicry {
+    fn craft(&mut self, ctx: &AttackContext<'_>) -> Vec<Vec<f32>> {
+        assert!(ctx.byzantine_count() > 0, "AdaptiveSignMimicry: no Byzantine clients");
+        let all = ctx.all_honest();
+        let dim = all[0].len();
+        let mu = vecops::mean_vector(&all, dim);
+
+        // Median honest norm: the norm filter's reference point.
+        let norms: Vec<f32> = all.iter().map(|g| sg_math::l2_norm(g)).collect();
+        let median_norm = sg_math::median(&norms);
+
+        // Flip the top-|μ| coordinates.
+        let k = (((dim as f32) * self.flip_fraction).round() as usize).clamp(1, dim);
+        let mut order: Vec<usize> = (0..dim).collect();
+        order.sort_by(|&a, &b| mu[b].abs().total_cmp(&mu[a].abs()));
+        let mut crafted = mu.clone();
+        for &j in order.iter().take(k) {
+            // Reverse and boost: the energy freed by the rescale below is
+            // concentrated into the flipped coordinates.
+            crafted[j] = -3.0 * mu[j];
+        }
+        // Rescale to the median norm so both norm defenses are satisfied.
+        let cn = sg_math::l2_norm(&crafted).max(1e-12);
+        vecops::scale_in_place(&mut crafted, median_norm / cn);
+
+        vec![crafted; ctx.byzantine_count()]
+    }
+
+    fn name(&self) -> &'static str {
+        "Adaptive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn population(n: usize, d: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|j| {
+                        let base = if j % 4 == 0 { -0.5 } else { 0.8 };
+                        base + 0.1 * ((i * d + j) as f32 * 0.37).sin()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crafted_norm_matches_median() {
+        let benign = population(8, 400);
+        let byz = population(2, 400);
+        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let out = AdaptiveSignMimicry::new().craft(&ctx);
+        let norms: Vec<f32> = ctx.all_honest().iter().map(|g| sg_math::l2_norm(g)).collect();
+        let med = sg_math::median(&norms);
+        assert!((sg_math::l2_norm(&out[0]) - med).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sign_statistics_stay_close_to_honest() {
+        let benign = population(8, 1000);
+        let byz = population(2, 1000);
+        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let out = AdaptiveSignMimicry::new().craft(&ctx);
+        let frac_pos = |v: &[f32]| {
+            let (p, z, n) = vecops::sign_counts(v);
+            p as f32 / (p + z + n) as f32
+        };
+        let honest_pos = frac_pos(&benign[0]);
+        let crafted_pos = frac_pos(&out[0]);
+        // Within ~2x the flip budget of the honest statistics.
+        assert!((honest_pos - crafted_pos).abs() <= 0.2, "honest {honest_pos} crafted {crafted_pos}");
+    }
+
+    #[test]
+    fn attack_reverses_the_heaviest_coordinates() {
+        let benign = population(8, 100);
+        let byz = population(2, 100);
+        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let all = ctx.all_honest();
+        let mu = vecops::mean_vector(&all, 100);
+        let out = AdaptiveSignMimicry::new().craft(&ctx);
+        // The single largest-|μ| coordinate must have flipped sign.
+        let top = (0..100).max_by(|&a, &b| mu[a].abs().total_cmp(&mu[b].abs())).expect("non-empty");
+        assert!(out[0][top] * mu[top] < 0.0, "top coordinate not reversed");
+    }
+
+    #[test]
+    fn flip_budget_is_respected() {
+        let benign = population(10, 500);
+        let byz = population(2, 500);
+        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let all = ctx.all_honest();
+        let mu = vecops::mean_vector(&all, 500);
+        let out = AdaptiveSignMimicry::new().with_flip_fraction(0.05).craft(&ctx);
+        let flipped = out[0].iter().zip(&mu).filter(|(&c, &m)| c * m < 0.0).count();
+        assert!(flipped <= 25 + 5, "flipped {flipped} of 500");
+    }
+}

@@ -1,0 +1,225 @@
+//! Simple attacks: random Gaussian, additive noise, sign flip, label flip,
+//! scaled reverse.
+
+use rand::rngs::StdRng;
+use sg_math::{seeded_rng, NormalSampler};
+
+use crate::{Attack, AttackContext};
+
+/// Random attack: each Byzantine client sends `N(μ, σ²I)` noise instead of
+/// a gradient. Paper default: `μ = 0`, `σ = 0.5`.
+#[derive(Debug)]
+pub struct RandomAttack {
+    sampler: NormalSampler,
+    rng: StdRng,
+}
+
+impl RandomAttack {
+    /// Creates the paper-default random attack (`μ = 0`, `σ = 0.5`).
+    pub fn new() -> Self {
+        Self::with_params(0.0, 0.5, 0xa77ac)
+    }
+
+    /// Creates a random attack with explicit Gaussian parameters and seed.
+    pub fn with_params(mean: f64, std: f64, seed: u64) -> Self {
+        Self { sampler: NormalSampler::new(mean, std), rng: seeded_rng(seed) }
+    }
+}
+
+impl Default for RandomAttack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Attack for RandomAttack {
+    fn craft(&mut self, ctx: &AttackContext<'_>) -> Vec<Vec<f32>> {
+        let dim = ctx.byzantine_honest.first().map_or(0, Vec::len);
+        (0..ctx.byzantine_count())
+            .map(|_| self.sampler.sample_vec(&mut self.rng, dim))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+}
+
+/// Noise attack: each Byzantine client perturbs its own honest gradient
+/// with Gaussian noise, `g_m = g_b + N(μ, σ²I)`. Paper default matches the
+/// random attack's Gaussian.
+#[derive(Debug)]
+pub struct NoiseAttack {
+    sampler: NormalSampler,
+    rng: StdRng,
+}
+
+impl NoiseAttack {
+    /// Creates the paper-default noise attack (`μ = 0`, `σ = 0.5`).
+    pub fn new() -> Self {
+        Self::with_params(0.0, 0.5, 0x5e15e)
+    }
+
+    /// Creates a noise attack with explicit Gaussian parameters and seed.
+    pub fn with_params(mean: f64, std: f64, seed: u64) -> Self {
+        Self { sampler: NormalSampler::new(mean, std), rng: seeded_rng(seed) }
+    }
+}
+
+impl Default for NoiseAttack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Attack for NoiseAttack {
+    fn craft(&mut self, ctx: &AttackContext<'_>) -> Vec<Vec<f32>> {
+        ctx.byzantine_honest
+            .iter()
+            .map(|g| {
+                let noise = self.sampler.sample_vec(&mut self.rng, g.len());
+                sg_math::vecops::add(g, &noise)
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "Noise"
+    }
+}
+
+/// Sign-flipping attack: `g_m = -g_b` (reverse gradient without scaling).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SignFlip;
+
+impl SignFlip {
+    /// Creates the sign-flip attack.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Attack for SignFlip {
+    fn craft(&mut self, ctx: &AttackContext<'_>) -> Vec<Vec<f32>> {
+        ctx.byzantine_honest.iter().map(|g| sg_math::vecops::scale(g, -1.0)).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "Sign-flip"
+    }
+}
+
+/// Reverse attack with scaling (DETOX [34], used in the paper's Table III
+/// ablation): `g_m = -r · g_b` with `r` chosen against the defense's norm
+/// bound (or a large value like 100 when no norm defense is present).
+#[derive(Debug, Clone, Copy)]
+pub struct ReverseScaling {
+    scale: f32,
+}
+
+impl ReverseScaling {
+    /// Creates a reverse attack with scaling factor `r > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn new(scale: f32) -> Self {
+        assert!(scale > 0.0, "ReverseScaling: scale must be positive");
+        Self { scale }
+    }
+}
+
+impl Attack for ReverseScaling {
+    fn craft(&mut self, ctx: &AttackContext<'_>) -> Vec<Vec<f32>> {
+        ctx.byzantine_honest.iter().map(|g| sg_math::vecops::scale(g, -self.scale)).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "Reverse"
+    }
+}
+
+/// Label-flipping data poison: Byzantine clients train on labels remapped
+/// as `l → C − 1 − l`. The flipping happens inside the federated client
+/// (see `sg-fl`); `craft` passes the poisoned gradients through.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LabelFlip;
+
+impl LabelFlip {
+    /// Creates the label-flip attack marker.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Attack for LabelFlip {
+    fn craft(&mut self, ctx: &AttackContext<'_>) -> Vec<Vec<f32>> {
+        ctx.byzantine_honest.to_vec()
+    }
+
+    fn name(&self) -> &'static str {
+        "Label-flip"
+    }
+
+    fn is_data_poisoning(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_fixture(benign: &[Vec<f32>], byz: &[Vec<f32>]) -> AttackContext<'static> {
+        // Leak for test brevity; fine in unit tests.
+        AttackContext {
+            benign: Box::leak(benign.to_vec().into_boxed_slice()),
+            byzantine_honest: Box::leak(byz.to_vec().into_boxed_slice()),
+            round: 0,
+        }
+    }
+
+    #[test]
+    fn random_attack_statistics() {
+        let byz = vec![vec![0.0; 10_000]; 2];
+        let ctx = ctx_fixture(&[], &byz);
+        let out = RandomAttack::new().craft(&ctx);
+        assert_eq!(out.len(), 2);
+        let m = sg_math::mean(&out[0]);
+        let s = sg_math::std_dev(&out[0]);
+        assert!(m.abs() < 0.05, "mean {m}");
+        assert!((s - 0.5).abs() < 0.05, "std {s}");
+    }
+
+    #[test]
+    fn noise_attack_stays_near_honest() {
+        let byz = vec![vec![5.0; 10_000]];
+        let ctx = ctx_fixture(&[], &byz);
+        let out = NoiseAttack::new().craft(&ctx);
+        let m = sg_math::mean(&out[0]);
+        assert!((m - 5.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn sign_flip_negates() {
+        let byz = vec![vec![1.0, -2.0, 0.0]];
+        let ctx = ctx_fixture(&[], &byz);
+        assert_eq!(SignFlip::new().craft(&ctx)[0], vec![-1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn reverse_scales_and_negates() {
+        let byz = vec![vec![1.0, -2.0]];
+        let ctx = ctx_fixture(&[], &byz);
+        assert_eq!(ReverseScaling::new(3.0).craft(&ctx)[0], vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn label_flip_is_data_poisoning_passthrough() {
+        let byz = vec![vec![7.0]];
+        let ctx = ctx_fixture(&[], &byz);
+        let mut a = LabelFlip::new();
+        assert!(a.is_data_poisoning());
+        assert_eq!(a.craft(&ctx)[0], vec![7.0]);
+    }
+}

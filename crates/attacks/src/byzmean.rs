@@ -1,0 +1,135 @@
+//! The paper's ByzMean hybrid attack (Section III, Eq. (8)).
+
+use crate::lie::Lie;
+use crate::{Attack, AttackContext};
+
+/// ByzMean: makes the *mean of all gradients* equal an arbitrary target.
+///
+/// The Byzantine clients split into two sets: `m1 = ⌊m/2⌋` clients send the
+/// target gradient `g_m1` (by default crafted by [`Lie`], as in the paper's
+/// experiments), and the remaining `m2 = m − m1` send
+/// `g_m2 = ((n − m1)·g_m1 − Σ_benign g) / m2`,
+/// so that the batch mean is exactly `g_m1`. Any inner attack can provide
+/// the target, which is why the paper calls it a hybrid that strengthens
+/// every existing attack.
+pub struct ByzMean {
+    inner: Box<dyn Attack>,
+}
+
+impl std::fmt::Debug for ByzMean {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ByzMean").field("inner", &self.inner.name()).finish()
+    }
+}
+
+impl ByzMean {
+    /// Creates ByzMean with the paper default target (LIE).
+    pub fn new() -> Self {
+        Self { inner: Box::new(Lie::new()) }
+    }
+
+    /// Creates ByzMean steering the mean towards `inner`'s crafted gradient.
+    pub fn with_inner(inner: Box<dyn Attack>) -> Self {
+        Self { inner }
+    }
+}
+
+impl Default for ByzMean {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Attack for ByzMean {
+    fn craft(&mut self, ctx: &AttackContext<'_>) -> Vec<Vec<f32>> {
+        let m = ctx.byzantine_count();
+        assert!(m > 0, "ByzMean: no Byzantine clients");
+        let n = ctx.total_clients();
+        let dim = ctx.byzantine_honest[0].len();
+
+        // Target gradient from the inner attack (its first malicious vector).
+        let gm1 = self
+            .inner
+            .craft(ctx)
+            .into_iter()
+            .next()
+            .expect("inner attack returned no gradients");
+
+        let m1 = m / 2;
+        let m2 = m - m1;
+        if m2 == 0 {
+            return vec![gm1; m];
+        }
+        // g_m2 = ((n - m1) * g_m1 - sum_benign) / m2.
+        let mut sum_benign = vec![0.0f32; dim];
+        for g in ctx.benign {
+            sg_math::vecops::axpy(1.0, g, &mut sum_benign);
+        }
+        let gm2: Vec<f32> = gm1
+            .iter()
+            .zip(&sum_benign)
+            .map(|(&t, &s)| ((n - m1) as f32 * t - s) / m2 as f32)
+            .collect();
+
+        let mut out = Vec::with_capacity(m);
+        out.extend(std::iter::repeat_with(|| gm1.clone()).take(m1));
+        out.extend(std::iter::repeat_with(|| gm2.clone()).take(m2));
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "ByzMean"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::RandomAttack;
+
+    #[test]
+    fn mean_of_all_gradients_equals_target() {
+        let benign: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32, 1.0, -0.5]).collect();
+        let byz: Vec<Vec<f32>> = (0..2).map(|_| vec![0.0, 0.0, 0.0]).collect();
+        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+
+        let mut attack = ByzMean::new();
+        let malicious = attack.craft(&ctx);
+        assert_eq!(malicious.len(), 2);
+        let target = &malicious[0]; // m1 = 1 sends the target
+
+        // Combined mean over benign + malicious must equal the target.
+        let mut all: Vec<Vec<f32>> = malicious.clone();
+        all.extend(benign.clone());
+        let mean = sg_math::vecops::mean_vector(&all, 3);
+        for (a, b) in mean.iter().zip(target) {
+            assert!((a - b).abs() < 1e-3, "mean {a} target {b}");
+        }
+    }
+
+    #[test]
+    fn works_with_random_inner() {
+        let benign: Vec<Vec<f32>> = (0..6).map(|i| vec![(i as f32).cos(); 4]).collect();
+        let byz = vec![vec![0.0; 4]; 4];
+        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let mut attack = ByzMean::with_inner(Box::new(RandomAttack::new()));
+        let out = attack.craft(&ctx);
+        assert_eq!(out.len(), 4);
+        // m1 = 2 identical targets, m2 = 2 identical compensators.
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[2], out[3]);
+        assert_ne!(out[0], out[2]);
+    }
+
+    #[test]
+    fn single_byzantine_sends_compensator() {
+        // m = 1 => m1 = 0, m2 = 1: the lone attacker must steer the mean alone.
+        let benign = vec![vec![2.0], vec![4.0]];
+        let byz = vec![vec![0.0]];
+        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let mut attack = ByzMean::with_inner(Box::new(crate::basic::SignFlip::new()));
+        let out = attack.craft(&ctx);
+        assert_eq!(out.len(), 1);
+        assert!(out[0][0].is_finite());
+    }
+}

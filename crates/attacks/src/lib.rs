@@ -1,0 +1,109 @@
+//! Model-poisoning attacks from the SignGuard paper (Section V-B).
+//!
+//! Simple attacks: [`RandomAttack`], [`NoiseAttack`], [`SignFlip`],
+//! [`LabelFlip`] (a data poison executed inside the client),
+//! [`ReverseScaling`] (the ablation's scaled sign-flip).
+//!
+//! State-of-the-art attacks: [`Lie`] (Little is Enough, Baruch et al.),
+//! [`MinMax`] / [`MinSum`] (Shejwalkar & Houmansadr), and the paper's own
+//! hybrid [`ByzMean`] (Section III) which steers the batch mean to an
+//! arbitrary target gradient.
+//!
+//! The adversary is the paper's strongest threat model: full knowledge of
+//! every honest gradient and collusion among all Byzantine clients.
+//!
+//! # Examples
+//!
+//! ```
+//! use sg_attacks::{Attack, AttackContext, SignFlip};
+//!
+//! let benign = vec![vec![1.0, -2.0]];
+//! let byz_honest = vec![vec![0.5, -1.0]];
+//! let ctx = AttackContext { benign: &benign, byzantine_honest: &byz_honest, round: 0 };
+//! let malicious = SignFlip::new().craft(&ctx);
+//! assert_eq!(malicious[0], vec![-0.5, 1.0]);
+//! ```
+
+mod adaptive;
+mod basic;
+mod byzmean;
+mod lie;
+mod minmax;
+mod time_varying;
+
+pub use adaptive::AdaptiveSignMimicry;
+pub use basic::{LabelFlip, NoiseAttack, RandomAttack, ReverseScaling, SignFlip};
+pub use byzmean::ByzMean;
+pub use lie::{lie_z_max, Lie};
+pub use minmax::{MinMax, MinSum};
+pub use time_varying::TimeVarying;
+
+/// What the adversary sees when crafting a round's malicious gradients.
+#[derive(Debug, Clone, Copy)]
+pub struct AttackContext<'a> {
+    /// Honest gradients of the benign clients this round.
+    pub benign: &'a [Vec<f32>],
+    /// Honest gradients the Byzantine clients computed on their own data
+    /// (they hold real data too; several attacks perturb these).
+    pub byzantine_honest: &'a [Vec<f32>],
+    /// Training round index (time-varying strategies key off this).
+    pub round: usize,
+}
+
+impl<'a> AttackContext<'a> {
+    /// Total number of clients `n`.
+    pub fn total_clients(&self) -> usize {
+        self.benign.len() + self.byzantine_honest.len()
+    }
+
+    /// Number of Byzantine clients `m`.
+    pub fn byzantine_count(&self) -> usize {
+        self.byzantine_honest.len()
+    }
+
+    /// All honest gradients (benign + Byzantine-held), cloned into one
+    /// population — the estimate set for full-knowledge attacks.
+    pub fn all_honest(&self) -> Vec<Vec<f32>> {
+        let mut all = Vec::with_capacity(self.total_clients());
+        all.extend_from_slice(self.byzantine_honest);
+        all.extend_from_slice(self.benign);
+        all
+    }
+}
+
+/// A model-poisoning attack.
+pub trait Attack {
+    /// Produces the `m` malicious gradients for this round
+    /// (`m = ctx.byzantine_count()`).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `ctx` has no Byzantine clients.
+    fn craft(&mut self, ctx: &AttackContext<'_>) -> Vec<Vec<f32>>;
+
+    /// Attack name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// `true` for data-poisoning attacks (label flipping) that corrupt
+    /// client-side training instead of fabricating gradients; the federated
+    /// simulator then flips labels inside the Byzantine clients and `craft`
+    /// passes their (poisoned) gradients through unchanged.
+    fn is_data_poisoning(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_counts() {
+        let benign = vec![vec![0.0]; 7];
+        let byz = vec![vec![0.0]; 3];
+        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        assert_eq!(ctx.total_clients(), 10);
+        assert_eq!(ctx.byzantine_count(), 3);
+        assert_eq!(ctx.all_honest().len(), 10);
+    }
+}

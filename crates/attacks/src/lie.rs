@@ -1,0 +1,143 @@
+//! The Little-is-Enough attack (Baruch et al., NeurIPS'19), Eq. (1)–(2) of
+//! the SignGuard paper.
+
+use sg_math::{normal_quantile, vecops};
+
+use crate::{Attack, AttackContext};
+
+/// Computes the LIE attack factor `z_max` of Eq. (2):
+/// `z_max = max_z { φ(z) < (n − ⌊n/2 + 1⌋) / (n − m) }`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `m >= n`, or the supremum probability leaves the
+/// open interval `(0, 1)` (which happens only for degenerate `n`, `m`).
+pub fn lie_z_max(n: usize, m: usize) -> f64 {
+    assert!(n > 0 && m < n, "lie_z_max: need 0 < n and m < n, got n={n} m={m}");
+    let s = (n as f64 - (n as f64 / 2.0 + 1.0).floor()) / (n - m) as f64;
+    assert!(s > 0.0 && s < 1.0, "lie_z_max: degenerate supremum {s} for n={n} m={m}");
+    normal_quantile(s)
+}
+
+/// Little is Enough: every Byzantine client sends
+/// `(g_m)_j = μ_j − z·σ_j`, where `μ`, `σ` are the coordinate-wise mean and
+/// standard deviation of the honest gradients.
+///
+/// Small `z` keeps the malicious gradient statistically inside the honest
+/// population (Proposition 1), while still dragging many coordinates' signs
+/// negative (the paper's Fig. 2 observation that motivates SignGuard).
+#[derive(Debug, Clone, Copy)]
+pub struct Lie {
+    z: Option<f64>,
+}
+
+impl Lie {
+    /// Creates LIE with the paper's experimental default `z = 0.3`.
+    pub fn new() -> Self {
+        Self { z: Some(0.3) }
+    }
+
+    /// Creates LIE with a fixed attack factor.
+    pub fn with_z(z: f64) -> Self {
+        Self { z: Some(z) }
+    }
+
+    /// Creates LIE that derives `z_max` from the population via Eq. (2).
+    pub fn auto() -> Self {
+        Self { z: None }
+    }
+
+    /// The crafted gradient for a given honest population.
+    pub fn craft_single(&self, all_honest: &[Vec<f32>], n: usize, m: usize) -> Vec<f32> {
+        let dim = all_honest[0].len();
+        let mu = vecops::mean_vector(all_honest, dim);
+        let sigma = vecops::std_vector(all_honest, dim);
+        let z = self.z.unwrap_or_else(|| lie_z_max(n, m)) as f32;
+        mu.iter().zip(&sigma).map(|(&u, &s)| u - z * s).collect()
+    }
+}
+
+impl Default for Lie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Attack for Lie {
+    fn craft(&mut self, ctx: &AttackContext<'_>) -> Vec<Vec<f32>> {
+        assert!(ctx.byzantine_count() > 0, "Lie: no Byzantine clients");
+        let all = ctx.all_honest();
+        let g = self.craft_single(&all, ctx.total_clients(), ctx.byzantine_count());
+        vec![g; ctx.byzantine_count()]
+    }
+
+    fn name(&self) -> &'static str {
+        "LIE"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_math::normal_cdf;
+
+    #[test]
+    fn z_max_matches_cdf_bound() {
+        // For n = 50, m = 10: s = (50 - 26)/40 = 0.6.
+        let z = lie_z_max(50, 10);
+        let s = normal_cdf(z);
+        assert!((s - 0.6).abs() < 1e-6, "s={s}");
+        assert!(z > 0.2 && z < 0.3, "z={z}"); // Φ⁻¹(0.6) ≈ 0.2533
+    }
+
+    #[test]
+    fn z_max_grows_with_byzantine_fraction() {
+        let z10 = lie_z_max(50, 5);
+        let z20 = lie_z_max(50, 10);
+        let z40 = lie_z_max(50, 20);
+        assert!(z10 < z20 && z20 < z40, "{z10} {z20} {z40}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lie_z_max")]
+    fn z_max_rejects_m_geq_n() {
+        let _ = lie_z_max(5, 5);
+    }
+
+    #[test]
+    fn crafted_gradient_is_mu_minus_z_sigma() {
+        // Two honest gradients: mean [1, 0], std [1, 2].
+        let honest = vec![vec![0.0, -2.0], vec![2.0, 2.0]];
+        let lie = Lie::with_z(0.5);
+        let g = lie.craft_single(&honest, 10, 2);
+        assert!((g[0] - (1.0 - 0.5)).abs() < 1e-5);
+        assert!((g[1] - (0.0 - 1.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn all_byzantine_send_identical() {
+        let benign: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32, 1.0]).collect();
+        let byz: Vec<Vec<f32>> = (0..2).map(|i| vec![i as f32, 1.0]).collect();
+        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let out = Lie::new().craft(&ctx);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], out[1]);
+    }
+
+    #[test]
+    fn small_z_keeps_malicious_gradient_close() {
+        // Distance of the LIE gradient to the mean is z * ||sigma||, which
+        // for small z is below the typical honest distance (Proposition 1).
+        let honest: Vec<Vec<f32>> = (0..20)
+            .map(|i| (0..50).map(|j| ((i * 53 + j * 17) as f32).sin()).collect())
+            .collect();
+        let dim = 50;
+        let mu = vecops::mean_vector(&honest, dim);
+        let lie = Lie::with_z(0.3);
+        let gm = lie.craft_single(&honest, 25, 5);
+        let d_mal = sg_math::l2_distance(&gm, &mu);
+        let mean_honest_dist: f32 =
+            honest.iter().map(|g| sg_math::l2_distance(g, &mu)).sum::<f32>() / honest.len() as f32;
+        assert!(d_mal < mean_honest_dist, "malicious {d_mal} vs honest avg {mean_honest_dist}");
+    }
+}

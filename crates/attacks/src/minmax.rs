@@ -1,0 +1,243 @@
+//! Min-Max and Min-Sum attacks (Shejwalkar & Houmansadr, NDSS'21),
+//! Eq. (13)–(15) of the SignGuard paper.
+
+use sg_math::vecops;
+
+use crate::{Attack, AttackContext};
+
+/// Perturbation direction for the Min-Max / Min-Sum attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perturbation {
+    /// `∇p = −std(g)`, the paper's default (inverse standard deviation).
+    InverseStd,
+    /// `∇p = −mean(g)/‖mean(g)‖`, the inverse unit gradient.
+    InverseUnit,
+}
+
+fn perturbation(all: &[Vec<f32>], dim: usize, kind: Perturbation) -> Vec<f32> {
+    match kind {
+        Perturbation::InverseStd => vecops::scale(&vecops::std_vector(all, dim), -1.0),
+        Perturbation::InverseUnit => {
+            let mu = vecops::mean_vector(all, dim);
+            let n = sg_math::l2_norm(&mu).max(1e-12);
+            vecops::scale(&mu, -1.0 / n)
+        }
+    }
+}
+
+/// Finds the largest `γ ≥ 0` with `constraint(γ)` true, by doubling then
+/// bisection. Assumes the constraint is monotone (true for small γ).
+fn max_gamma(constraint: impl Fn(f32) -> bool) -> f32 {
+    if !constraint(0.0) {
+        return 0.0;
+    }
+    let mut hi = 1.0f32;
+    let mut doublings = 0;
+    while constraint(hi) && doublings < 40 {
+        hi *= 2.0;
+        doublings += 1;
+    }
+    let mut lo = if doublings == 0 { 0.0 } else { hi / 2.0 };
+    for _ in 0..50 {
+        let mid = 0.5 * (lo + hi);
+        if constraint(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Min-Max attack: `g_m = mean(g) + γ·∇p` with the largest `γ` such that
+/// the malicious gradient's distance to every honest gradient stays within
+/// the maximum honest-to-honest distance (Eq. (14)). All Byzantine clients
+/// send the same vector.
+#[derive(Debug, Clone, Copy)]
+pub struct MinMax {
+    kind: Perturbation,
+}
+
+impl MinMax {
+    /// Creates Min-Max with the paper-default inverse-std perturbation.
+    pub fn new() -> Self {
+        Self { kind: Perturbation::InverseStd }
+    }
+
+    /// Chooses the perturbation direction.
+    #[must_use]
+    pub fn with_perturbation(mut self, kind: Perturbation) -> Self {
+        self.kind = kind;
+        self
+    }
+}
+
+impl Default for MinMax {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Attack for MinMax {
+    fn craft(&mut self, ctx: &AttackContext<'_>) -> Vec<Vec<f32>> {
+        assert!(ctx.byzantine_count() > 0, "MinMax: no Byzantine clients");
+        let all = ctx.all_honest();
+        let dim = all[0].len();
+        let mu = vecops::mean_vector(&all, dim);
+        let p = perturbation(&all, dim, self.kind);
+
+        // Threshold: max pairwise distance among honest gradients.
+        let mut max_pair = 0.0f32;
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                max_pair = max_pair.max(vecops::l2_distance(&all[i], &all[j]));
+            }
+        }
+        let gamma = max_gamma(|g| {
+            let gm: Vec<f32> = mu.iter().zip(&p).map(|(&m, &pp)| m + g * pp).collect();
+            all.iter().map(|h| vecops::l2_distance(&gm, h)).fold(0.0, f32::max) <= max_pair
+        });
+        let gm: Vec<f32> = mu.iter().zip(&p).map(|(&m, &pp)| m + gamma * pp).collect();
+        vec![gm; ctx.byzantine_count()]
+    }
+
+    fn name(&self) -> &'static str {
+        "Min-Max"
+    }
+}
+
+/// Min-Sum attack: like [`MinMax`] but the constraint bounds the *sum* of
+/// squared distances from the malicious gradient to all honest gradients by
+/// the worst honest sum (Eq. (15)).
+#[derive(Debug, Clone, Copy)]
+pub struct MinSum {
+    kind: Perturbation,
+}
+
+impl MinSum {
+    /// Creates Min-Sum with the paper-default inverse-std perturbation.
+    pub fn new() -> Self {
+        Self { kind: Perturbation::InverseStd }
+    }
+
+    /// Chooses the perturbation direction.
+    #[must_use]
+    pub fn with_perturbation(mut self, kind: Perturbation) -> Self {
+        self.kind = kind;
+        self
+    }
+}
+
+impl Default for MinSum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Attack for MinSum {
+    fn craft(&mut self, ctx: &AttackContext<'_>) -> Vec<Vec<f32>> {
+        assert!(ctx.byzantine_count() > 0, "MinSum: no Byzantine clients");
+        let all = ctx.all_honest();
+        let dim = all[0].len();
+        let mu = vecops::mean_vector(&all, dim);
+        let p = perturbation(&all, dim, self.kind);
+
+        // Threshold: max over honest i of sum_j ||g_i - g_j||^2.
+        let mut max_sum = 0.0f32;
+        for i in 0..all.len() {
+            let s: f32 = all.iter().map(|g| vecops::l2_distance_sq(&all[i], g)).sum();
+            max_sum = max_sum.max(s);
+        }
+        let gamma = max_gamma(|g| {
+            let gm: Vec<f32> = mu.iter().zip(&p).map(|(&m, &pp)| m + g * pp).collect();
+            all.iter().map(|h| vecops::l2_distance_sq(&gm, h)).sum::<f32>() <= max_sum
+        });
+        let gm: Vec<f32> = mu.iter().zip(&p).map(|(&m, &pp)| m + gamma * pp).collect();
+        vec![gm; ctx.byzantine_count()]
+    }
+
+    fn name(&self) -> &'static str {
+        "Min-Sum"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn population(n: usize, d: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| (0..d).map(|j| 1.0 + 0.3 * ((i * 31 + j * 7) as f32).sin()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn minmax_satisfies_distance_constraint() {
+        let benign = population(10, 20);
+        let byz = population(3, 20);
+        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let out = MinMax::new().craft(&ctx);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], out[2]);
+
+        let all = ctx.all_honest();
+        let mut max_pair = 0.0f32;
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                max_pair = max_pair.max(vecops::l2_distance(&all[i], &all[j]));
+            }
+        }
+        let worst = all.iter().map(|h| vecops::l2_distance(&out[0], h)).fold(0.0, f32::max);
+        assert!(worst <= max_pair * 1.01, "worst {worst} > bound {max_pair}");
+    }
+
+    #[test]
+    fn minsum_satisfies_sum_constraint() {
+        let benign = population(8, 16);
+        let byz = population(2, 16);
+        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let out = MinSum::new().craft(&ctx);
+
+        let all = ctx.all_honest();
+        let mut max_sum = 0.0f32;
+        for i in 0..all.len() {
+            let s: f32 = all.iter().map(|g| vecops::l2_distance_sq(&all[i], g)).sum();
+            max_sum = max_sum.max(s);
+        }
+        let s: f32 = all.iter().map(|h| vecops::l2_distance_sq(&out[0], h)).sum();
+        assert!(s <= max_sum * 1.01, "sum {s} > bound {max_sum}");
+    }
+
+    #[test]
+    fn attack_actually_deviates_from_mean() {
+        let benign = population(10, 20);
+        let byz = population(3, 20);
+        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let all = ctx.all_honest();
+        let mu = vecops::mean_vector(&all, 20);
+        let out = MinMax::new().craft(&ctx);
+        let dist = vecops::l2_distance(&out[0], &mu);
+        assert!(dist > 0.01, "gamma collapsed to zero: {dist}");
+    }
+
+    #[test]
+    fn identical_honest_gradients_zero_gamma() {
+        // With zero honest spread the constraints force gamma -> 0, so the
+        // malicious gradient equals the mean.
+        let benign = vec![vec![1.0, 2.0]; 5];
+        let byz = vec![vec![1.0, 2.0]; 2];
+        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let out = MinMax::new().craft(&ctx);
+        assert!((out[0][0] - 1.0).abs() < 1e-4);
+        assert!((out[0][1] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn inverse_unit_perturbation_supported() {
+        let benign = population(6, 10);
+        let byz = population(2, 10);
+        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let out = MinMax::new().with_perturbation(Perturbation::InverseUnit).craft(&ctx);
+        assert!(out[0].iter().all(|x| x.is_finite()));
+    }
+}

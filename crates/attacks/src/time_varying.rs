@@ -1,0 +1,142 @@
+//! Time-varying attack strategy (paper Fig. 5): re-sample the attack each
+//! epoch, including a "no attack" behaviour.
+
+use rand::Rng;
+use rand::rngs::StdRng;
+use sg_math::seeded_rng;
+
+use crate::{Attack, AttackContext};
+
+/// Randomly switches between a pool of attacks (and optionally no attack)
+/// once per epoch.
+///
+/// The paper's Fig. 5 evaluation changes the attack at every training epoch;
+/// this wrapper re-samples whenever `round / rounds_per_epoch` advances.
+pub struct TimeVarying {
+    attacks: Vec<Box<dyn Attack>>,
+    include_no_attack: bool,
+    rounds_per_epoch: usize,
+    rng: StdRng,
+    current_epoch: Option<usize>,
+    current_choice: usize, // attacks.len() means "no attack"
+}
+
+impl std::fmt::Debug for TimeVarying {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimeVarying")
+            .field("attacks", &self.attacks.iter().map(|a| a.name()).collect::<Vec<_>>())
+            .field("include_no_attack", &self.include_no_attack)
+            .field("rounds_per_epoch", &self.rounds_per_epoch)
+            .finish()
+    }
+}
+
+impl TimeVarying {
+    /// Creates a time-varying strategy over `attacks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attacks` is empty or `rounds_per_epoch == 0`.
+    pub fn new(attacks: Vec<Box<dyn Attack>>, include_no_attack: bool, rounds_per_epoch: usize, seed: u64) -> Self {
+        assert!(!attacks.is_empty(), "TimeVarying: empty attack pool");
+        assert!(rounds_per_epoch > 0, "TimeVarying: rounds_per_epoch must be positive");
+        Self {
+            attacks,
+            include_no_attack,
+            rounds_per_epoch,
+            rng: seeded_rng(seed),
+            current_epoch: None,
+            current_choice: 0,
+        }
+    }
+
+    /// The name of the attack active for the most recent `craft` call
+    /// (`"None"` when behaving honestly).
+    pub fn active_attack(&self) -> &'static str {
+        if self.current_choice == self.attacks.len() {
+            "None"
+        } else {
+            self.attacks[self.current_choice].name()
+        }
+    }
+}
+
+impl Attack for TimeVarying {
+    fn craft(&mut self, ctx: &AttackContext<'_>) -> Vec<Vec<f32>> {
+        let epoch = ctx.round / self.rounds_per_epoch;
+        if self.current_epoch != Some(epoch) {
+            self.current_epoch = Some(epoch);
+            let options = self.attacks.len() + usize::from(self.include_no_attack);
+            self.current_choice = self.rng.gen_range(0..options);
+        }
+        if self.current_choice == self.attacks.len() {
+            // Behave honestly this epoch.
+            ctx.byzantine_honest.to_vec()
+        } else {
+            self.attacks[self.current_choice].craft(ctx)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Time-varying"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::{RandomAttack, SignFlip};
+    use crate::lie::Lie;
+
+    fn pool() -> Vec<Box<dyn Attack>> {
+        vec![Box::new(SignFlip::new()), Box::new(RandomAttack::new()), Box::new(Lie::new())]
+    }
+
+    #[test]
+    fn choice_is_stable_within_epoch() {
+        let benign = vec![vec![1.0, -1.0]; 5];
+        let byz = vec![vec![1.0, -1.0]; 2];
+        let mut tv = TimeVarying::new(pool(), false, 10, 7);
+        let mut names = Vec::new();
+        for round in 0..10 {
+            let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round };
+            let _ = tv.craft(&ctx);
+            names.push(tv.active_attack());
+        }
+        assert!(names.windows(2).all(|w| w[0] == w[1]), "{names:?}");
+    }
+
+    #[test]
+    fn choice_changes_across_epochs() {
+        let benign = vec![vec![1.0, -1.0]; 5];
+        let byz = vec![vec![1.0, -1.0]; 2];
+        let mut tv = TimeVarying::new(pool(), true, 1, 11);
+        let mut seen = std::collections::HashSet::new();
+        for round in 0..40 {
+            let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round };
+            let _ = tv.craft(&ctx);
+            seen.insert(tv.active_attack());
+        }
+        assert!(seen.len() >= 3, "only saw {seen:?}");
+    }
+
+    #[test]
+    fn no_attack_epochs_pass_honest_gradients() {
+        let benign = vec![vec![2.0]; 3];
+        let byz = vec![vec![5.0]; 1];
+        // Single dummy attack + no-attack, so both behaviours appear.
+        let mut tv = TimeVarying::new(vec![Box::new(SignFlip::new())], true, 1, 3);
+        let mut saw_honest = false;
+        for round in 0..30 {
+            let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round };
+            let out = tv.craft(&ctx);
+            if tv.active_attack() == "None" {
+                assert_eq!(out[0], vec![5.0]);
+                saw_honest = true;
+            } else {
+                assert_eq!(out[0], vec![-5.0]);
+            }
+        }
+        assert!(saw_honest);
+    }
+}

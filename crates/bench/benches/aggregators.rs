@@ -1,0 +1,64 @@
+//! Aggregation-rule throughput vs. client count and gradient dimension.
+//!
+//! Backs the paper's efficiency claim (Section IV "Defense Goal"): the
+//! defense must be computationally cheap relative to a training round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_aggregators::{
+    Aggregator, Bulyan, CoordinateMedian, DnC, GeoMed, Mean, MultiKrum, TrimmedMean,
+};
+use sg_bench::synthetic_gradients;
+use sg_core::SignGuard;
+
+fn bench_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregators_n50_d10k");
+    group.sample_size(10);
+    let grads = synthetic_gradients(50, 10_000, 1);
+    let rules: Vec<(&str, Box<dyn Fn() -> Box<dyn Aggregator>>)> = vec![
+        ("Mean", Box::new(|| Box::new(Mean::new()))),
+        ("TrMean", Box::new(|| Box::new(TrimmedMean::new(10)))),
+        ("Median", Box::new(|| Box::new(CoordinateMedian::new()))),
+        ("GeoMed", Box::new(|| Box::new(GeoMed::new().with_max_iter(20)))),
+        ("MultiKrum", Box::new(|| Box::new(MultiKrum::new(10, 40)))),
+        ("Bulyan", Box::new(|| Box::new(Bulyan::new(10)))),
+        ("DnC", Box::new(|| Box::new(DnC::new(10).with_subsample_dim(2000)))),
+        ("SignGuard", Box::new(|| Box::new(SignGuard::plain(0)))),
+        ("SignGuard-Sim", Box::new(|| Box::new(SignGuard::sim(0)))),
+    ];
+    for (name, make) in rules {
+        group.bench_function(name, |b| {
+            let mut gar = make();
+            b.iter(|| std::hint::black_box(gar.aggregate(&grads)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signguard_vs_dimension");
+    group.sample_size(10);
+    for d in [1_000usize, 10_000, 100_000] {
+        let grads = synthetic_gradients(50, d, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            let mut gar = SignGuard::plain(0);
+            b.iter(|| std::hint::black_box(gar.aggregate(&grads)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multikrum_vs_clients");
+    group.sample_size(10);
+    for n in [20usize, 50, 100] {
+        let grads = synthetic_gradients(n, 10_000, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut gar = MultiKrum::new(n / 5, n - n / 5);
+            b.iter(|| std::hint::black_box(gar.aggregate(&grads)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rules, bench_scaling_d, bench_scaling_n);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Attack-crafting cost: how expensive is the adversary's side of each
+//! round (relevant to the threat model's plausibility at scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sg_attacks::{Attack, AttackContext, ByzMean, Lie, MinMax, MinSum, RandomAttack, SignFlip};
+use sg_bench::synthetic_gradients;
+
+fn bench_attacks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attacks_n50_d10k");
+    group.sample_size(10);
+    let all = synthetic_gradients(50, 10_000, 1);
+    let (byz, benign) = all.split_at(10);
+
+    let attacks: Vec<(&str, Box<dyn Fn() -> Box<dyn Attack>>)> = vec![
+        ("Random", Box::new(|| Box::new(RandomAttack::new()))),
+        ("SignFlip", Box::new(|| Box::new(SignFlip::new()))),
+        ("LIE", Box::new(|| Box::new(Lie::new()))),
+        ("ByzMean", Box::new(|| Box::new(ByzMean::new()))),
+        ("MinMax", Box::new(|| Box::new(MinMax::new()))),
+        ("MinSum", Box::new(|| Box::new(MinSum::new()))),
+    ];
+    for (name, make) in attacks {
+        group.bench_function(name, |b| {
+            let mut attack = make();
+            b.iter(|| {
+                let ctx = AttackContext { benign, byzantine_honest: byz, round: 0 };
+                std::hint::black_box(attack.craft(&ctx))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

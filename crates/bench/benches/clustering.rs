@@ -1,0 +1,43 @@
+//! Clustering back-end scaling: MeanShift vs KMeans over point count and
+//! feature dimension (the ablation axis called out in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use sg_cluster::{KMeans, MeanShift};
+
+fn points(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = sg_math::seeded_rng(seed);
+    (0..n)
+        .map(|i| {
+            let center = if i % 5 == 0 { 1.0 } else { 0.0 };
+            (0..d).map(|_| center + rng.gen_range(-0.05..0.05)).collect()
+        })
+        .collect()
+}
+
+fn bench_meanshift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("meanshift");
+    group.sample_size(20);
+    for n in [50usize, 100, 200] {
+        let pts = points(n, 4, 1);
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(MeanShift::new().fit(&pts)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_k2");
+    group.sample_size(20);
+    for n in [50usize, 100, 200] {
+        let pts = points(n, 4, 2);
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(KMeans::new(2).fit(&pts)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_meanshift, bench_kmeans);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Per-stage cost of SignGuard's pipeline: norm filter, feature
+//! extraction, MeanShift clustering, full aggregation.
+//!
+//! The paper argues thresholding is kept *because* it is nearly free
+//! compared to clustering; this bench quantifies that.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sg_aggregators::Aggregator;
+use sg_bench::synthetic_gradients;
+use sg_cluster::MeanShift;
+use sg_core::{FeatureExtractor, Filter, NormFilter, SignGuard, SimilarityFeature};
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signguard_stages_n50_d10k");
+    group.sample_size(20);
+    let grads = synthetic_gradients(50, 10_000, 1);
+    let norms: Vec<f32> = grads.iter().map(|g| sg_math::l2_norm(g)).collect();
+
+    group.bench_function("norm_filter", |b| {
+        let mut f = NormFilter::new();
+        b.iter(|| std::hint::black_box(f.filter(&grads, &norms)));
+    });
+
+    group.bench_function("feature_extraction_10pct", |b| {
+        let fe = FeatureExtractor::new();
+        let mut rng = sg_math::seeded_rng(0);
+        b.iter(|| std::hint::black_box(fe.extract(&mut rng, &grads, None)));
+    });
+
+    group.bench_function("feature_extraction_cosine", |b| {
+        let fe = FeatureExtractor { coord_fraction: 0.1, similarity: SimilarityFeature::Cosine };
+        let mut rng = sg_math::seeded_rng(0);
+        let reference = grads[0].clone();
+        b.iter(|| std::hint::black_box(fe.extract(&mut rng, &grads, Some(&reference))));
+    });
+
+    group.bench_function("meanshift_50pts", |b| {
+        let fe = FeatureExtractor::new();
+        let mut rng = sg_math::seeded_rng(0);
+        let points: Vec<Vec<f32>> = fe.extract(&mut rng, &grads, None).into_iter().map(|f| f.to_vec()).collect();
+        b.iter(|| std::hint::black_box(MeanShift::new().fit(&points)));
+    });
+
+    group.bench_function("full_aggregate", |b| {
+        let mut gar = SignGuard::plain(0);
+        b.iter(|| std::hint::black_box(gar.aggregate(&grads)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

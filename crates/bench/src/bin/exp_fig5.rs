@@ -1,0 +1,71 @@
+//! **Fig. 5**: test-accuracy curves under a time-varying attack strategy
+//! (the adversary re-rolls its attack every epoch, including "no attack"),
+//! for the state-of-the-art defenses against a no-attack baseline.
+//!
+//! ```sh
+//! cargo run --release -p sg-bench --bin exp_fig5 -- [--task fashion|cifar|both] [--epochs N]
+//! ```
+
+use sg_attacks::{Attack, ByzMean, Lie, MinMax, RandomAttack, SignFlip, TimeVarying};
+use sg_bench::{arg_value, build_defense, build_task, write_csv};
+use sg_fl::{FlConfig, Simulator};
+
+fn attack_pool() -> Vec<Box<dyn Attack>> {
+    vec![
+        Box::new(RandomAttack::new()),
+        Box::new(SignFlip::new()),
+        Box::new(Lie::new()),
+        Box::new(ByzMean::new()),
+        Box::new(MinMax::new()),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let epochs: usize = arg_value(&args, "--epochs").map_or(12, |v| v.parse().expect("--epochs N"));
+    let task_arg = arg_value(&args, "--task").unwrap_or_else(|| "fashion".into());
+    let tasks: Vec<&str> = match task_arg.as_str() {
+        "both" => vec!["fashion", "cifar"],
+        "fashion" => vec!["fashion"],
+        "cifar" => vec!["cifar"],
+        other => panic!("unknown task {other}"),
+    };
+    let defenses = ["Multi-Krum", "Bulyan", "DnC", "SignGuard"];
+
+    let mut csv = vec![vec!["task".to_string(), "defense".into(), "epoch".into(), "accuracy".into()]];
+
+    for task_name in &tasks {
+        let cfg = FlConfig { epochs, learning_rate: 0.05, ..FlConfig::default() };
+        let (n, m) = (cfg.num_clients, cfg.byzantine_count());
+        println!("== {} — per-epoch accuracy under the time-varying attack ==\n", build_task(task_name, 7).name);
+
+        // Baseline: no attack, no defense.
+        let base_cfg = FlConfig { byzantine_fraction: 0.0, ..cfg.clone() };
+        let mut base_sim = Simulator::new(build_task(task_name, 7), base_cfg, build_defense("Mean", n, 0), None);
+        let base = base_sim.run();
+        print_curve("Baseline", &base.accuracy_curve);
+        for (e, (_, acc)) in base.accuracy_curve.iter().enumerate() {
+            csv.push(vec![task_name.to_string(), "Baseline".into(), e.to_string(), format!("{:.4}", acc)]);
+        }
+
+        for defense in defenses {
+            let task = build_task(task_name, 7);
+            let rpe = cfg.rounds_per_epoch(task.train.len());
+            let attack = TimeVarying::new(attack_pool(), true, rpe, 99);
+            let mut sim = Simulator::new(task, cfg.clone(), build_defense(defense, n, m), Some(Box::new(attack)));
+            let r = sim.run();
+            print_curve(defense, &r.accuracy_curve);
+            for (e, (_, acc)) in r.accuracy_curve.iter().enumerate() {
+                csv.push(vec![task_name.to_string(), defense.to_string(), e.to_string(), format!("{:.4}", acc)]);
+            }
+        }
+        println!();
+    }
+    write_csv("fig5", &csv);
+}
+
+fn print_curve(name: &str, curve: &[(usize, f32)]) {
+    let cells: Vec<String> = curve.iter().map(|(_, a)| format!("{:>4.0}", 100.0 * a)).collect();
+    let best = curve.iter().map(|(_, a)| *a).fold(0.0f32, f32::max);
+    println!("{:<12} [{}]  best {:>5.1}%", name, cells.join(""), 100.0 * best);
+}

@@ -1,0 +1,71 @@
+//! **Table I**: best test accuracy of every defense under every attack.
+//!
+//! ```sh
+//! cargo run --release -p sg-bench --bin exp_table1 -- [--task mnist|fashion|cifar|agnews|all]
+//!                                                      [--epochs N] [--quick]
+//! ```
+//!
+//! `--quick` restricts to the Fashion-like task and the state-of-the-art
+//! attacks so the table regenerates in a couple of minutes.
+
+use sg_bench::{arg_present, arg_value, build_attack, build_defense, build_task, write_csv, TABLE1_ATTACKS, TABLE1_DEFENSES};
+use sg_fl::{FlConfig, Simulator};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = arg_present(&args, "--quick");
+    let epochs: usize = arg_value(&args, "--epochs").map_or(12, |v| v.parse().expect("--epochs N"));
+    let task_arg = arg_value(&args, "--task").unwrap_or_else(|| if quick { "fashion".into() } else { "all".into() });
+
+    let task_names: Vec<&str> = match task_arg.as_str() {
+        "all" => vec!["mnist", "fashion", "cifar", "agnews"],
+        one => vec![match one {
+            "mnist" => "mnist",
+            "fashion" => "fashion",
+            "cifar" => "cifar",
+            "agnews" => "agnews",
+            other => panic!("unknown task {other}"),
+        }],
+    };
+    let attacks: Vec<&str> = if quick {
+        vec!["No Attack", "ByzMean", "Sign-flip", "LIE", "Min-Max", "Min-Sum"]
+    } else {
+        TABLE1_ATTACKS.to_vec()
+    };
+
+    let cfg = FlConfig { epochs, learning_rate: 0.05, ..FlConfig::default() };
+    let (n, m) = (cfg.num_clients, cfg.byzantine_count());
+    println!("Table I reproduction — {n} clients, {m} Byzantine, {epochs} epochs, IID\n");
+
+    let mut csv = vec![{
+        let mut h = vec!["task".to_string(), "defense".to_string()];
+        h.extend(attacks.iter().map(|a| a.to_string()));
+        h
+    }];
+
+    for task_name in &task_names {
+        println!("== {} ==", build_task(task_name, 7).name);
+        print!("{:<15}", "GAR");
+        for a in &attacks {
+            print!("{a:>11}");
+        }
+        println!();
+        for defense in TABLE1_DEFENSES {
+            print!("{defense:<15}");
+            let mut row = vec![task_name.to_string(), defense.to_string()];
+            for attack_name in &attacks {
+                let task = build_task(task_name, 7);
+                let gar = build_defense(defense, n, m);
+                let attack = build_attack(attack_name);
+                let mut sim = Simulator::new(task, cfg.clone(), gar, attack);
+                let r = sim.run();
+                print!("{:>10.2}%", 100.0 * r.best_accuracy);
+                row.push(format!("{:.2}", 100.0 * r.best_accuracy));
+            }
+            println!();
+            csv.push(row);
+        }
+        println!();
+    }
+    write_csv("table1", &csv);
+}

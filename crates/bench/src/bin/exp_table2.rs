@@ -1,0 +1,67 @@
+//! **Table II**: average selected rate of honest (H) and malicious (M)
+//! gradients for the three SignGuard variants on the residual-network task.
+//!
+//! ```sh
+//! cargo run --release -p sg-bench --bin exp_table2 -- [--epochs N] [--task cifar]
+//! ```
+
+use sg_bench::{arg_value, build_attack, build_task, write_csv};
+use sg_core::SignGuard;
+use sg_fl::{FlConfig, Simulator};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let epochs: usize = arg_value(&args, "--epochs").map_or(8, |v| v.parse().expect("--epochs N"));
+    let task_name = arg_value(&args, "--task").unwrap_or_else(|| "cifar".into());
+
+    let attacks = ["ByzMean", "Sign-flip", "LIE", "Min-Max", "Min-Sum"];
+    let variants: [(&str, fn() -> SignGuard); 3] = [
+        ("SignGuard", || SignGuard::plain(0)),
+        ("SignGuard-Sim", || SignGuard::sim(0)),
+        ("SignGuard-Dist", || SignGuard::dist(0)),
+    ];
+
+    let cfg = FlConfig { epochs, learning_rate: 0.05, ..FlConfig::default() };
+    println!(
+        "Table II reproduction — selection rates on {} ({} clients, {} Byzantine)\n",
+        build_task(&task_name, 7).name,
+        cfg.num_clients,
+        cfg.byzantine_count()
+    );
+    println!("{:<11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}", "Attack", "SG H", "SG M", "Sim H", "Sim M", "Dist H", "Dist M");
+
+    let mut csv = vec![vec![
+        "attack".to_string(),
+        "signguard_h".to_string(),
+        "signguard_m".to_string(),
+        "sim_h".to_string(),
+        "sim_m".to_string(),
+        "dist_h".to_string(),
+        "dist_m".to_string(),
+    ]];
+
+    for attack_name in attacks {
+        let mut cells = Vec::new();
+        for (_, make) in &variants {
+            let task = build_task(&task_name, 7);
+            let attack = build_attack(attack_name);
+            let mut sim = Simulator::new(task, cfg.clone(), Box::new(make()), attack);
+            let r = sim.run();
+            cells.push((r.selection.honest_rate(), r.selection.malicious_rate()));
+        }
+        println!(
+            "{:<11} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
+            attack_name, cells[0].0, cells[0].1, cells[1].0, cells[1].1, cells[2].0, cells[2].1
+        );
+        csv.push(vec![
+            attack_name.to_string(),
+            format!("{:.4}", cells[0].0),
+            format!("{:.4}", cells[0].1),
+            format!("{:.4}", cells[1].0),
+            format!("{:.4}", cells[1].1),
+            format!("{:.4}", cells[2].0),
+            format!("{:.4}", cells[2].1),
+        ]);
+    }
+    write_csv("table2", &csv);
+}

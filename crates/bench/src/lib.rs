@@ -1,0 +1,176 @@
+//! Shared infrastructure for the experiment binaries (`exp_*`) and the
+//! Criterion micro-benchmarks.
+//!
+//! Each `exp_*` binary regenerates one table or figure of the SignGuard
+//! paper (see `DESIGN.md` for the experiment index), prints paper-style
+//! rows and writes a CSV under `target/experiments/`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use sg_aggregators::{
+    Aggregator, Bulyan, CenteredClip, CoordinateMedian, DnC, GeoMed, Mean, MultiKrum, SignMajority,
+    TrimmedMean,
+};
+use sg_attacks::{
+    Attack, ByzMean, LabelFlip, Lie, MinMax, MinSum, NoiseAttack, RandomAttack, SignFlip,
+};
+use sg_core::SignGuard;
+use sg_fl::{tasks, Task};
+
+/// Names of all defenses in the paper's Table I row order.
+pub const TABLE1_DEFENSES: &[&str] = &[
+    "Mean",
+    "TrMean",
+    "Median",
+    "GeoMed",
+    "Multi-Krum",
+    "Bulyan",
+    "DnC",
+    "SignGuard",
+    "SignGuard-Sim",
+    "SignGuard-Dist",
+];
+
+/// Names of all attacks in the paper's Table I column order.
+pub const TABLE1_ATTACKS: &[&str] = &[
+    "No Attack",
+    "Random",
+    "Noise",
+    "Label-flip",
+    "ByzMean",
+    "Sign-flip",
+    "LIE",
+    "Min-Max",
+    "Min-Sum",
+];
+
+/// Builds a defense by table name. `n` is the client count and `m` the
+/// Byzantine count handed to the baselines (the paper gives baselines the
+/// exact `m`; SignGuard never needs it).
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn build_defense(name: &str, n: usize, m: usize) -> Box<dyn Aggregator> {
+    match name {
+        "Mean" => Box::new(Mean::new()),
+        "TrMean" => Box::new(TrimmedMean::new(m)),
+        "Median" => Box::new(CoordinateMedian::new()),
+        "GeoMed" => Box::new(GeoMed::new().with_max_iter(20)),
+        "Multi-Krum" => Box::new(MultiKrum::new(m, n.saturating_sub(m).max(1))),
+        "Bulyan" => Box::new(Bulyan::new(m)),
+        "DnC" => Box::new(DnC::new(m).with_subsample_dim(2000)),
+        "SignGuard" => Box::new(SignGuard::plain(0)),
+        "SignGuard-Sim" => Box::new(SignGuard::sim(0)),
+        "SignGuard-Dist" => Box::new(SignGuard::dist(0)),
+        "SignSGD" => Box::new(SignMajority::new()),
+        "CClip" => Box::new(CenteredClip::new(10.0)),
+        other => panic!("unknown defense {other:?}"),
+    }
+}
+
+/// Builds an attack by table name (`None` for "No Attack").
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn build_attack(name: &str) -> Option<Box<dyn Attack>> {
+    match name {
+        "No Attack" => None,
+        "Random" => Some(Box::new(RandomAttack::new())),
+        "Noise" => Some(Box::new(NoiseAttack::new())),
+        "Label-flip" => Some(Box::new(LabelFlip::new())),
+        "ByzMean" => Some(Box::new(ByzMean::new())),
+        "Sign-flip" => Some(Box::new(SignFlip::new())),
+        "LIE" => Some(Box::new(Lie::new())),
+        "Min-Max" => Some(Box::new(MinMax::new())),
+        "Min-Sum" => Some(Box::new(MinSum::new())),
+        other => panic!("unknown attack {other:?}"),
+    }
+}
+
+/// Builds a task by short name.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn build_task(name: &str, seed: u64) -> Task {
+    match name {
+        "mnist" => tasks::mnist_like(seed),
+        "fashion" => tasks::fashion_like(seed),
+        "cifar" => tasks::cifar_like(seed),
+        "agnews" => tasks::agnews_like(seed),
+        "mlp" => tasks::mlp_task(seed),
+        other => panic!("unknown task {other:?} (mnist|fashion|cifar|agnews|mlp)"),
+    }
+}
+
+/// Output directory for experiment CSVs (`target/experiments`).
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Writes CSV rows (first row = header) to `target/experiments/<name>.csv`.
+pub fn write_csv(name: &str, rows: &[Vec<String>]) {
+    let path = experiments_dir().join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create csv");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write csv");
+    }
+    println!("\n[csv] {}", path.display());
+}
+
+/// Parses `--flag value` style arguments, returning the value after `flag`.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Whether a bare `--flag` is present.
+pub fn arg_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Deterministic synthetic gradient population for the Criterion benches:
+/// `n` honest-like gradients of dimension `d` around a shared direction.
+pub fn synthetic_gradients(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+    use rand::Rng;
+    let mut rng = sg_math::seeded_rng(seed);
+    let base: Vec<f32> = (0..d).map(|j| (j as f32 * 0.11).sin()).collect();
+    (0..n)
+        .map(|_| base.iter().map(|&b| b + rng.gen_range(-0.3..0.3)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registries_cover_table1() {
+        for d in TABLE1_DEFENSES {
+            let _ = build_defense(d, 50, 10);
+        }
+        for a in TABLE1_ATTACKS {
+            let _ = build_attack(a);
+        }
+    }
+
+    #[test]
+    fn arg_helpers() {
+        let args: Vec<String> = ["--epochs", "12", "--quick"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_value(&args, "--epochs").as_deref(), Some("12"));
+        assert!(arg_present(&args, "--quick"));
+        assert!(!arg_present(&args, "--full"));
+    }
+
+    #[test]
+    fn synthetic_gradients_shape() {
+        let g = synthetic_gradients(5, 100, 1);
+        assert_eq!(g.len(), 5);
+        assert!(g.iter().all(|v| v.len() == 100));
+    }
+}

@@ -1,0 +1,186 @@
+//! KMeans clustering with k-means++ initialization.
+
+use rand::Rng;
+use sg_math::seeded_rng;
+
+use crate::{squared_distance, Clustering};
+
+/// Lloyd's algorithm with k-means++ seeding.
+///
+/// The paper notes KMeans with `k = 2` suffices for SignGuard when all
+/// attackers submit one identical gradient; it is also the ablation
+/// baseline for the clustering back-end.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    k: usize,
+    max_iter: usize,
+    seed: u64,
+}
+
+impl KMeans {
+    /// Creates a KMeans with `k` clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "KMeans: k must be positive");
+        Self { k, max_iter: 100, seed: 0x5ee0 }
+    }
+
+    /// Sets the RNG seed used by k-means++ (default fixed for
+    /// reproducibility).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps Lloyd iterations (default 100).
+    #[must_use]
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter.max(1);
+        self
+    }
+
+    /// Runs KMeans on `points`. If there are fewer distinct points than
+    /// `k`, the effective cluster count shrinks accordingly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or dimensions are inconsistent.
+    pub fn fit(&self, points: &[Vec<f32>]) -> Clustering {
+        assert!(!points.is_empty(), "KMeans::fit: no points");
+        let dim = points[0].len();
+        assert!(points.iter().all(|p| p.len() == dim), "KMeans::fit: inconsistent dimensions");
+        let k = self.k.min(points.len());
+        let mut rng = seeded_rng(self.seed);
+
+        // k-means++ seeding.
+        let mut centers: Vec<Vec<f32>> = Vec::with_capacity(k);
+        centers.push(points[rng.gen_range(0..points.len())].clone());
+        while centers.len() < k {
+            let d2: Vec<f32> = points
+                .iter()
+                .map(|p| centers.iter().map(|c| squared_distance(p, c)).fold(f32::INFINITY, f32::min))
+                .collect();
+            let total: f32 = d2.iter().sum();
+            if total <= 1e-12 {
+                break; // all remaining points coincide with a center
+            }
+            let mut target = rng.gen::<f32>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            centers.push(points[chosen].clone());
+        }
+
+        // Lloyd iterations.
+        let mut labels = vec![0usize; points.len()];
+        for _ in 0..self.max_iter {
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let mut best = 0usize;
+                let mut best_d = f32::INFINITY;
+                for (c_idx, c) in centers.iter().enumerate() {
+                    let d = squared_distance(p, c);
+                    if d < best_d {
+                        best_d = d;
+                        best = c_idx;
+                    }
+                }
+                if labels[i] != best {
+                    labels[i] = best;
+                    changed = true;
+                }
+            }
+            // Recompute centers; empty clusters keep their previous center.
+            let mut acc = vec![vec![0.0f32; dim]; centers.len()];
+            let mut counts = vec![0usize; centers.len()];
+            for (i, p) in points.iter().enumerate() {
+                counts[labels[i]] += 1;
+                for (a, &v) in acc[labels[i]].iter_mut().zip(p) {
+                    *a += v;
+                }
+            }
+            for (c_idx, center) in centers.iter_mut().enumerate() {
+                if counts[c_idx] > 0 {
+                    let inv = 1.0 / counts[c_idx] as f32;
+                    for (c, a) in center.iter_mut().zip(&acc[c_idx]) {
+                        *c = a * inv;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Clustering { labels, centers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn blob<R: Rng>(rng: &mut R, center: &[f32], n: usize, spread: f32) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|_| center.iter().map(|&c| c + rng.gen_range(-spread..spread)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut rng = seeded_rng(0);
+        let mut pts = blob(&mut rng, &[0.0, 0.0], 25, 0.3);
+        pts.extend(blob(&mut rng, &[8.0, 8.0], 15, 0.3));
+        let c = KMeans::new(2).fit(&pts);
+        assert_eq!(c.num_clusters(), 2);
+        // All of blob A share a label, all of blob B share the other.
+        let a = c.labels[0];
+        assert!(c.labels[..25].iter().all(|&l| l == a));
+        assert!(c.labels[25..].iter().all(|&l| l != a));
+        assert_eq!(c.largest_cluster().len(), 25);
+    }
+
+    #[test]
+    fn k_larger_than_points_shrinks() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let c = KMeans::new(10).fit(&pts);
+        assert!(c.num_clusters() <= 2);
+    }
+
+    #[test]
+    fn identical_points_one_cluster() {
+        let pts = vec![vec![2.0, 2.0]; 8];
+        let c = KMeans::new(3).fit(&pts);
+        assert_eq!(c.sizes().iter().sum::<usize>(), 8);
+        // All points get the same label.
+        assert!(c.labels.iter().all(|&l| l == c.labels[0]));
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut rng = seeded_rng(5);
+        let pts = blob(&mut rng, &[0.0, 0.0], 30, 1.0);
+        let a = KMeans::new(3).with_seed(9).fit(&pts);
+        let b = KMeans::new(3).with_seed(9).fit(&pts);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn centers_are_cluster_means() {
+        let pts = vec![vec![0.0], vec![2.0], vec![10.0], vec![12.0]];
+        let c = KMeans::new(2).fit(&pts);
+        let mut centers: Vec<f32> = c.centers.iter().map(|v| v[0]).collect();
+        centers.sort_by(f32::total_cmp);
+        assert!((centers[0] - 1.0).abs() < 1e-5);
+        assert!((centers[1] - 11.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,118 @@
+//! Unsupervised clustering for SignGuard's sign-based gradient filter.
+//!
+//! The paper clusters per-gradient feature vectors (sign statistics plus an
+//! optional similarity feature) with **MeanShift** — chosen because the
+//! number of clusters is unknown a priori — and notes that **KMeans** with
+//! two clusters suffices when all attackers send one identical vector. Both
+//! algorithms are implemented here from scratch against plain `f32` points.
+//!
+//! # Examples
+//!
+//! ```
+//! use sg_cluster::MeanShift;
+//!
+//! let pts = vec![
+//!     vec![0.0, 0.0], vec![0.1, 0.0], vec![0.0, 0.1],
+//!     vec![5.0, 5.0], vec![5.1, 5.0],
+//! ];
+//! let clustering = MeanShift::new().with_bandwidth(1.0).fit(&pts);
+//! let biggest = clustering.largest_cluster();
+//! assert_eq!(biggest.len(), 3);
+//! ```
+
+mod kmeans;
+mod meanshift;
+
+pub use kmeans::KMeans;
+pub use meanshift::MeanShift;
+
+/// Result of a clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Cluster label per input point.
+    pub labels: Vec<usize>,
+    /// Cluster centers, indexed by label.
+    pub centers: Vec<Vec<f32>>,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Sizes of each cluster, indexed by label.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centers.len()];
+        for &l in &self.labels {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+
+    /// Indices of points in the most populous cluster (ties resolve to the
+    /// lowest label). This is SignGuard's trusted-set selection rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clustering is empty.
+    pub fn largest_cluster(&self) -> Vec<usize> {
+        assert!(!self.centers.is_empty(), "largest_cluster on empty clustering");
+        let sizes = self.sizes();
+        let best = sizes
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == best)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+pub(crate) fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_largest() {
+        let c = Clustering {
+            labels: vec![0, 1, 1, 1, 0],
+            centers: vec![vec![0.0], vec![1.0]],
+        };
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.sizes(), vec![2, 3]);
+        assert_eq!(c.largest_cluster(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn largest_cluster_tie_prefers_lowest_label() {
+        let c = Clustering {
+            labels: vec![0, 1, 0, 1],
+            centers: vec![vec![0.0], vec![1.0]],
+        };
+        assert_eq!(c.largest_cluster(), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty clustering")]
+    fn largest_of_empty_panics() {
+        let c = Clustering { labels: vec![], centers: vec![] };
+        let _ = c.largest_cluster();
+    }
+}

@@ -1,0 +1,260 @@
+//! Gradient feature extraction: sign statistics and similarity features.
+
+use rand::Rng;
+use sg_math::vecops;
+
+/// Sign statistics of one gradient (proportions over a coordinate subset).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradientFeatures {
+    /// Fraction of strictly positive coordinates.
+    pub positive: f32,
+    /// Fraction of exact-zero (or NaN) coordinates.
+    pub zero: f32,
+    /// Fraction of strictly negative coordinates.
+    pub negative: f32,
+    /// Optional similarity feature (cosine or normalized distance to a
+    /// reference gradient).
+    pub similarity: Option<f32>,
+}
+
+impl GradientFeatures {
+    /// Flattens into the clustering feature vector.
+    pub fn to_vec(self) -> Vec<f32> {
+        match self.similarity {
+            Some(s) => vec![self.positive, self.zero, self.negative, s],
+            None => vec![self.positive, self.zero, self.negative],
+        }
+    }
+}
+
+/// Which similarity feature to append to the sign statistics.
+///
+/// The paper's plain SignGuard uses [`SimilarityFeature::None`];
+/// SignGuard-Sim appends the cosine similarity to a reference gradient and
+/// SignGuard-Dist the (normalized) Euclidean distance. The reference is the
+/// previous round's aggregate when available — the cheap option the paper
+/// recommends — otherwise the coordinate-wise median of the current round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimilarityFeature {
+    /// Sign statistics only (plain SignGuard).
+    #[default]
+    None,
+    /// Append ReLU-free cosine similarity (SignGuard-Sim).
+    Cosine,
+    /// Append Euclidean distance, normalized by the median distance
+    /// (SignGuard-Dist).
+    Euclidean,
+}
+
+/// Extracts clustering features from a batch of gradients.
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    /// Fraction of coordinates to sample (paper default 0.1).
+    pub coord_fraction: f32,
+    /// Similarity feature variant.
+    pub similarity: SimilarityFeature,
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor with the paper defaults (10% coordinates, no
+    /// similarity feature).
+    pub fn new() -> Self {
+        Self { coord_fraction: 0.1, similarity: SimilarityFeature::None }
+    }
+
+    /// Computes features for every gradient.
+    ///
+    /// `reference` is the "correct" gradient used by the similarity
+    /// feature; pass the previous aggregate when available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gradients` is empty or `coord_fraction` is outside
+    /// `(0, 1]`.
+    pub fn extract<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        gradients: &[Vec<f32>],
+        reference: Option<&[f32]>,
+    ) -> Vec<GradientFeatures> {
+        assert!(!gradients.is_empty(), "FeatureExtractor: empty batch");
+        assert!(
+            self.coord_fraction > 0.0 && self.coord_fraction <= 1.0,
+            "FeatureExtractor: coord_fraction {} out of (0,1]",
+            self.coord_fraction
+        );
+        let dim = gradients[0].len();
+        let k = (((dim as f32) * self.coord_fraction).round() as usize).clamp(1, dim);
+        let coords = sg_math::rng::sample_indices(rng, dim, k);
+
+        // Sign statistics on the sampled coordinates.
+        let mut feats: Vec<GradientFeatures> = gradients
+            .iter()
+            .map(|g| {
+                let (mut pos, mut zero, mut neg) = (0usize, 0usize, 0usize);
+                for &c in &coords {
+                    let x = g[c];
+                    if x > 0.0 {
+                        pos += 1;
+                    } else if x < 0.0 {
+                        neg += 1;
+                    } else {
+                        zero += 1;
+                    }
+                }
+                let inv = 1.0 / coords.len() as f32;
+                GradientFeatures {
+                    positive: pos as f32 * inv,
+                    zero: zero as f32 * inv,
+                    negative: neg as f32 * inv,
+                    similarity: None,
+                }
+            })
+            .collect();
+
+        // Optional similarity feature against the reference gradient.
+        match self.similarity {
+            SimilarityFeature::None => {}
+            SimilarityFeature::Cosine => {
+                let reference = self.resolve_reference(gradients, reference);
+                for (f, g) in feats.iter_mut().zip(gradients) {
+                    f.similarity = Some(vecops::cosine_similarity(g, &reference));
+                }
+            }
+            SimilarityFeature::Euclidean => {
+                let reference = self.resolve_reference(gradients, reference);
+                let dists: Vec<f32> = gradients.iter().map(|g| vecops::l2_distance(g, &reference)).collect();
+                let med = sg_math::median(&dists).max(1e-12);
+                for (f, &d) in feats.iter_mut().zip(&dists) {
+                    f.similarity = Some(d / med);
+                }
+            }
+        }
+        feats
+    }
+
+    /// Uses the supplied reference, or falls back to the coordinate-wise
+    /// median of the current batch (a robust stand-in for the unavailable
+    /// "correct" gradient).
+    fn resolve_reference(&self, gradients: &[Vec<f32>], reference: Option<&[f32]>) -> Vec<f32> {
+        if let Some(r) = reference {
+            if r.len() == gradients[0].len() {
+                return r.to_vec();
+            }
+        }
+        let dim = gradients[0].len();
+        let n = gradients.len();
+        let mut out = vec![0.0f32; dim];
+        let mut col = vec![0.0f32; n];
+        for j in 0..dim {
+            for (i, g) in gradients.iter().enumerate() {
+                col[i] = g[j];
+            }
+            out[j] = sg_math::median(&col);
+        }
+        out
+    }
+}
+
+impl Default for FeatureExtractor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_math::seeded_rng;
+
+    #[test]
+    fn sign_fractions_sum_to_one() {
+        let mut rng = seeded_rng(0);
+        let grads = vec![vec![1.0, -1.0, 0.0, 2.0, -3.0, 0.0, 1.0, 1.0, -1.0, 0.5]];
+        let fe = FeatureExtractor { coord_fraction: 1.0, ..FeatureExtractor::new() };
+        let f = fe.extract(&mut rng, &grads, None);
+        let sum = f[0].positive + f[0].zero + f[0].negative;
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert_eq!(f[0].positive, 0.5);
+        assert_eq!(f[0].zero, 0.2);
+        assert_eq!(f[0].negative, 0.3);
+    }
+
+    #[test]
+    fn sign_flip_swaps_pos_neg() {
+        let mut rng = seeded_rng(1);
+        let g: Vec<f32> = (0..100).map(|i| if i % 3 == 0 { -1.0 } else { 1.0 }).collect();
+        let flipped: Vec<f32> = g.iter().map(|x| -x).collect();
+        let fe = FeatureExtractor { coord_fraction: 1.0, ..FeatureExtractor::new() };
+        let f = fe.extract(&mut rng, &[g, flipped], None);
+        assert!((f[0].positive - f[1].negative).abs() < 1e-6);
+        assert!((f[0].negative - f[1].positive).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_feature_distinguishes_reversed_gradient() {
+        let mut rng = seeded_rng(2);
+        let honest: Vec<Vec<f32>> = (0..5)
+            .map(|i| (0..40).map(|j| 1.0 + 0.1 * ((i + j) as f32).sin()).collect())
+            .collect();
+        let mut grads = honest.clone();
+        grads.push(honest[0].iter().map(|x| -x).collect());
+        let reference = sg_math::vecops::mean_vector(&honest, 40);
+        let fe = FeatureExtractor { coord_fraction: 1.0, similarity: SimilarityFeature::Cosine };
+        let f = fe.extract(&mut rng, &grads, Some(&reference));
+        for hf in &f[..5] {
+            assert!(hf.similarity.expect("sim") > 0.9);
+        }
+        assert!(f[5].similarity.expect("sim") < -0.9);
+    }
+
+    #[test]
+    fn distance_feature_normalized_by_median() {
+        let mut rng = seeded_rng(3);
+        let grads = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![10.0, 10.0]];
+        let fe = FeatureExtractor { coord_fraction: 1.0, similarity: SimilarityFeature::Euclidean };
+        let f = fe.extract(&mut rng, &grads, Some(&[0.0, 0.0]));
+        // Distances 1, 1, 14.14 -> median 1 -> features 1, 1, 14.14.
+        assert!((f[0].similarity.expect("d") - 1.0).abs() < 1e-5);
+        assert!(f[2].similarity.expect("d") > 10.0);
+    }
+
+    #[test]
+    fn reference_fallback_is_median_gradient() {
+        let mut rng = seeded_rng(4);
+        let grads = vec![vec![1.0; 4], vec![1.0; 4], vec![-50.0; 4]];
+        let fe = FeatureExtractor { coord_fraction: 1.0, similarity: SimilarityFeature::Cosine };
+        // No reference: the coordinate median ([1,1,1,1]) anchors the cosine.
+        let f = fe.extract(&mut rng, &grads, None);
+        assert!(f[0].similarity.expect("sim") > 0.99);
+        assert!(f[2].similarity.expect("sim") < -0.99);
+    }
+
+    #[test]
+    fn feature_vector_length_matches_variant() {
+        let mut rng = seeded_rng(5);
+        let grads = vec![vec![1.0, -1.0]];
+        let plain = FeatureExtractor { coord_fraction: 1.0, similarity: SimilarityFeature::None }
+            .extract(&mut rng, &grads, None);
+        assert_eq!(plain[0].to_vec().len(), 3);
+        let sim = FeatureExtractor { coord_fraction: 1.0, similarity: SimilarityFeature::Cosine }
+            .extract(&mut rng, &grads, None);
+        assert_eq!(sim[0].to_vec().len(), 4);
+    }
+
+    #[test]
+    fn subsampling_uses_requested_fraction() {
+        let mut rng = seeded_rng(6);
+        // A gradient positive on exactly the first half of coordinates; over
+        // many subsample draws the mean positive fraction must approach 0.5.
+        let g: Vec<f32> = (0..1000).map(|i| if i < 500 { 1.0 } else { -1.0 }).collect();
+        let fe = FeatureExtractor { coord_fraction: 0.1, ..FeatureExtractor::new() };
+        let mut total = 0.0;
+        for _ in 0..50 {
+            let f = fe.extract(&mut rng, std::slice::from_ref(&g), None);
+            total += f[0].positive;
+        }
+        let mean = total / 50.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean positive fraction {mean}");
+    }
+}

@@ -1,0 +1,239 @@
+//! The collaborative filters of SignGuard's Algorithm 2.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+
+use sg_cluster::{KMeans, MeanShift};
+
+use crate::features::{FeatureExtractor, SimilarityFeature};
+use crate::signguard::ClusteringBackend;
+
+/// A gradient filter: maps a batch of gradients to the set of indices it
+/// trusts. SignGuard intersects the outputs of several filters (paper
+/// Fig. 3).
+pub trait Filter {
+    /// Returns the indices of trusted gradients.
+    fn filter(&mut self, gradients: &[Vec<f32>], norms: &[f32]) -> BTreeSet<usize>;
+
+    /// Filter name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Norm-based thresholding (Algorithm 2, Step 1): trust gradient `i` iff
+/// `L ≤ ‖g_i‖ / median(‖g‖) ≤ R`.
+///
+/// The paper motivates the asymmetric bounds: small gradients do little
+/// harm (loose lower bound `L = 0.1`) while very large ones are surely
+/// malicious (strict upper bound `R = 3.0`).
+#[derive(Debug, Clone, Copy)]
+pub struct NormFilter {
+    /// Lower relative-norm bound `L`.
+    pub lower: f32,
+    /// Upper relative-norm bound `R`.
+    pub upper: f32,
+}
+
+impl NormFilter {
+    /// Creates the filter with the paper's defaults `L = 0.1`, `R = 3.0`.
+    pub fn new() -> Self {
+        Self { lower: 0.1, upper: 3.0 }
+    }
+
+    /// Creates the filter with explicit bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= lower <= upper`.
+    pub fn with_bounds(lower: f32, upper: f32) -> Self {
+        assert!(lower >= 0.0 && lower <= upper, "NormFilter: invalid bounds [{lower}, {upper}]");
+        Self { lower, upper }
+    }
+}
+
+impl Default for NormFilter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Filter for NormFilter {
+    fn filter(&mut self, _gradients: &[Vec<f32>], norms: &[f32]) -> BTreeSet<usize> {
+        let finite: Vec<f32> = norms.iter().copied().filter(|n| n.is_finite()).collect();
+        if finite.is_empty() {
+            return BTreeSet::new();
+        }
+        let median = sg_math::median(&finite).max(1e-12);
+        norms
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| {
+                let r = n / median;
+                n.is_finite() && r >= self.lower && r <= self.upper
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "norm-threshold"
+    }
+}
+
+/// Sign-based clustering (Algorithm 2, Step 2): extract sign-statistics
+/// features on a random coordinate subset, cluster, trust the largest
+/// cluster.
+#[derive(Debug)]
+pub struct SignClusterFilter {
+    extractor: FeatureExtractor,
+    backend: ClusteringBackend,
+    rng: StdRng,
+    reference: Option<Vec<f32>>,
+}
+
+impl SignClusterFilter {
+    /// Creates the filter.
+    pub fn new(
+        coord_fraction: f32,
+        similarity: SimilarityFeature,
+        backend: ClusteringBackend,
+        seed: u64,
+    ) -> Self {
+        Self {
+            extractor: FeatureExtractor { coord_fraction, similarity },
+            backend,
+            rng: sg_math::seeded_rng(seed),
+            reference: None,
+        }
+    }
+
+    /// Supplies the "correct" reference gradient for similarity features
+    /// (typically the previous round's aggregate).
+    pub fn set_reference(&mut self, reference: Option<Vec<f32>>) {
+        self.reference = reference;
+    }
+}
+
+impl Filter for SignClusterFilter {
+    fn filter(&mut self, gradients: &[Vec<f32>], norms: &[f32]) -> BTreeSet<usize> {
+        // Exclude non-finite gradients up front: their features would poison
+        // the clustering geometry.
+        let valid: Vec<usize> = (0..gradients.len()).filter(|&i| norms[i].is_finite()).collect();
+        if valid.is_empty() {
+            return BTreeSet::new();
+        }
+        let sub: Vec<Vec<f32>> = valid.iter().map(|&i| gradients[i].clone()).collect();
+        let feats = self.extractor.extract(&mut self.rng, &sub, self.reference.as_deref());
+        let points: Vec<Vec<f32>> = feats.iter().map(|f| f.to_vec()).collect();
+
+        let clustering = match self.backend {
+            ClusteringBackend::MeanShift => MeanShift::new().fit(&points),
+            ClusteringBackend::KMeans(k) => KMeans::new(k).fit(&points),
+        };
+        clustering.largest_cluster().into_iter().map(|i| valid[i]).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "sign-cluster"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn norms_of(grads: &[Vec<f32>]) -> Vec<f32> {
+        grads.iter().map(|g| sg_math::l2_norm(g)).collect()
+    }
+
+    #[test]
+    fn norm_filter_drops_giant_and_tiny() {
+        let grads = vec![
+            vec![1.0, 0.0],     // norm 1
+            vec![0.0, 1.1],     // norm 1.1
+            vec![0.9, 0.0],     // norm 0.9
+            vec![100.0, 0.0],   // giant
+            vec![0.001, 0.0],   // tiny
+        ];
+        let mut f = NormFilter::new();
+        let kept = f.filter(&grads, &norms_of(&grads));
+        assert_eq!(kept, BTreeSet::from([0, 1, 2]));
+    }
+
+    #[test]
+    fn norm_filter_keeps_all_when_uniform() {
+        let grads = vec![vec![1.0]; 6];
+        let mut f = NormFilter::new();
+        assert_eq!(f.filter(&grads, &norms_of(&grads)).len(), 6);
+    }
+
+    #[test]
+    fn norm_filter_excludes_nan() {
+        let grads = vec![vec![1.0], vec![f32::NAN], vec![1.0]];
+        let mut f = NormFilter::new();
+        let kept = f.filter(&grads, &norms_of(&grads));
+        assert_eq!(kept, BTreeSet::from([0, 2]));
+    }
+
+    #[test]
+    fn sign_cluster_separates_flipped_gradients() {
+        // 8 honest positive-leaning gradients, 3 sign-flipped.
+        let honest: Vec<Vec<f32>> = (0..8)
+            .map(|i| (0..200).map(|j| if (i + j) % 4 == 0 { -1.0 } else { 1.0 }).collect())
+            .collect();
+        let mut grads = honest.clone();
+        for g in honest.iter().take(3) {
+            grads.push(g.iter().map(|x| -x).collect());
+        }
+        let mut f = SignClusterFilter::new(1.0, SimilarityFeature::None, ClusteringBackend::MeanShift, 7);
+        let kept = f.filter(&grads, &norms_of(&grads));
+        assert!(kept.iter().all(|&i| i < 8), "kept flipped: {kept:?}");
+        assert!(kept.len() >= 6, "too few honest kept: {kept:?}");
+    }
+
+    #[test]
+    fn sign_cluster_kmeans_backend_works() {
+        let honest: Vec<Vec<f32>> = (0..6)
+            .map(|_| (0..100).map(|j| if j % 5 == 0 { -1.0 } else { 1.0 }).collect())
+            .collect();
+        let mut grads = honest.clone();
+        grads.push(honest[0].iter().map(|x| -x).collect());
+        let mut f = SignClusterFilter::new(1.0, SimilarityFeature::None, ClusteringBackend::KMeans(2), 8);
+        let kept = f.filter(&grads, &norms_of(&grads));
+        assert!(kept.iter().all(|&i| i < 6));
+        assert_eq!(kept.len(), 6);
+    }
+
+    #[test]
+    fn sign_cluster_survives_nan_gradient() {
+        let mut grads: Vec<Vec<f32>> = (0..5).map(|_| vec![1.0; 50]).collect();
+        grads.push(vec![f32::NAN; 50]);
+        let mut f = SignClusterFilter::new(1.0, SimilarityFeature::None, ClusteringBackend::MeanShift, 9);
+        let kept = f.filter(&grads, &norms_of(&grads));
+        assert!(!kept.contains(&5));
+        assert_eq!(kept.len(), 5);
+    }
+
+    #[test]
+    fn similarity_reference_improves_reversed_detection() {
+        // Build gradients whose sign statistics are balanced (≈50/50), the
+        // hard case from the paper (ResNet-18 regime): plain sign stats
+        // cannot tell honest from reversed, cosine to a reference can.
+        let honest: Vec<Vec<f32>> = (0..8)
+            .map(|i| {
+                (0..100)
+                    .map(|j| (j as f32 * 0.7).sin() + 0.15 * ((i * 100 + j) as f32 * 1.3).cos())
+                    .collect()
+            })
+            .collect();
+        let mut grads = honest.clone();
+        for g in honest.iter().take(3) {
+            grads.push(g.iter().map(|x| -x).collect());
+        }
+        let reference = sg_math::vecops::mean_vector(&honest, 100);
+        let mut f = SignClusterFilter::new(1.0, SimilarityFeature::Cosine, ClusteringBackend::MeanShift, 10);
+        f.set_reference(Some(reference));
+        let kept = f.filter(&grads, &norms_of(&grads));
+        assert!(kept.iter().all(|&i| i < 8), "kept reversed: {kept:?}");
+    }
+}

@@ -1,0 +1,46 @@
+//! **SignGuard** — collaborative malicious gradient filtering for
+//! Byzantine-robust federated learning (Xu, Huang, Song, Lan — ICDCS 2022).
+//!
+//! SignGuard is a server-side gradient aggregation rule. Each round it:
+//!
+//! 1. computes the l2 norm and element-wise sign statistics of every
+//!    received gradient;
+//! 2. runs a **norm filter**: keep gradients whose norm relative to the
+//!    median lies in `[L, R]` (paper defaults `L = 0.1`, `R = 3.0`);
+//! 3. runs a **sign-clustering filter**: extract the proportions of
+//!    positive / zero / negative signs on a random coordinate subset
+//!    (paper default 10%), optionally append a similarity feature, cluster
+//!    with MeanShift and keep the largest cluster;
+//! 4. aggregates the **intersection** of the filters by mean with
+//!    per-gradient norm clipping at the median norm.
+//!
+//! The three variants of the paper map to [`SignGuard::plain`],
+//! [`SignGuard::sim`] (adds cosine similarity) and [`SignGuard::dist`]
+//! (adds Euclidean distance).
+//!
+//! # Examples
+//!
+//! ```
+//! use sg_aggregators::Aggregator;
+//! use sg_core::SignGuard;
+//!
+//! // 8 honest gradients and 2 copies of an obvious sign-flipped attack.
+//! let mut grads: Vec<Vec<f32>> = (0..8)
+//!     .map(|i| (0..64).map(|j| 1.0 + 0.01 * ((i * 64 + j) as f32).sin()).collect())
+//!     .collect();
+//! grads.push(grads[0].iter().map(|x| -x).collect());
+//! grads.push(grads[1].iter().map(|x| -x).collect());
+//!
+//! let mut gar = SignGuard::plain(42);
+//! let out = gar.aggregate(&grads);
+//! let selected = out.selected.unwrap();
+//! assert!(selected.iter().all(|&i| i < 8), "attackers filtered out");
+//! ```
+
+mod features;
+mod filters;
+mod signguard;
+
+pub use features::{FeatureExtractor, GradientFeatures, SimilarityFeature};
+pub use filters::{Filter, NormFilter, SignClusterFilter};
+pub use signguard::{ClusteringBackend, SignGuard, SignGuardBuilder};

@@ -1,0 +1,393 @@
+//! The SignGuard aggregation rule (paper Algorithm 2) and its builder.
+
+use std::collections::BTreeSet;
+
+use sg_aggregators::{validate_gradients, AggregationOutput, Aggregator};
+
+use crate::features::SimilarityFeature;
+use crate::filters::{Filter, NormFilter, SignClusterFilter};
+
+/// Clustering back-end for the sign filter.
+///
+/// The paper uses MeanShift for its adaptive cluster count, remarking that
+/// KMeans with two clusters suffices when all attackers collude on one
+/// vector; both are available for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusteringBackend {
+    /// MeanShift with automatic bandwidth (paper default).
+    MeanShift,
+    /// KMeans with a fixed cluster count.
+    KMeans(usize),
+}
+
+/// Builder for [`SignGuard`], exposing every knob the paper ablates
+/// (Table III): the norm-thresholding filter, the sign-clustering filter,
+/// and norm clipping at aggregation.
+#[derive(Debug, Clone)]
+pub struct SignGuardBuilder {
+    lower: f32,
+    upper: f32,
+    coord_fraction: f32,
+    similarity: SimilarityFeature,
+    backend: ClusteringBackend,
+    use_norm_filter: bool,
+    use_cluster_filter: bool,
+    use_norm_clipping: bool,
+    seed: u64,
+}
+
+impl SignGuardBuilder {
+    /// Starts from the paper's default configuration.
+    pub fn new() -> Self {
+        Self {
+            lower: 0.1,
+            upper: 3.0,
+            coord_fraction: 0.1,
+            similarity: SimilarityFeature::None,
+            backend: ClusteringBackend::MeanShift,
+            use_norm_filter: true,
+            use_cluster_filter: true,
+            use_norm_clipping: true,
+            seed: 0,
+        }
+    }
+
+    /// Sets the relative-norm bounds `[L, R]` (defaults 0.1 / 3.0).
+    #[must_use]
+    pub fn norm_bounds(mut self, lower: f32, upper: f32) -> Self {
+        assert!(lower >= 0.0 && lower <= upper, "SignGuardBuilder: invalid bounds [{lower}, {upper}]");
+        self.lower = lower;
+        self.upper = upper;
+        self
+    }
+
+    /// Sets the fraction of coordinates sampled for sign statistics
+    /// (default 0.1).
+    #[must_use]
+    pub fn coord_fraction(mut self, fraction: f32) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "SignGuardBuilder: coord_fraction {fraction} out of (0,1]");
+        self.coord_fraction = fraction;
+        self
+    }
+
+    /// Chooses the similarity feature (plain / Sim / Dist variants).
+    #[must_use]
+    pub fn similarity(mut self, similarity: SimilarityFeature) -> Self {
+        self.similarity = similarity;
+        self
+    }
+
+    /// Chooses the clustering back-end.
+    #[must_use]
+    pub fn clustering(mut self, backend: ClusteringBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Enables or disables the norm-thresholding filter (ablation).
+    #[must_use]
+    pub fn norm_filter(mut self, enabled: bool) -> Self {
+        self.use_norm_filter = enabled;
+        self
+    }
+
+    /// Enables or disables the sign-clustering filter (ablation).
+    #[must_use]
+    pub fn cluster_filter(mut self, enabled: bool) -> Self {
+        self.use_cluster_filter = enabled;
+        self
+    }
+
+    /// Enables or disables norm clipping at aggregation (ablation).
+    #[must_use]
+    pub fn norm_clipping(mut self, enabled: bool) -> Self {
+        self.use_norm_clipping = enabled;
+        self
+    }
+
+    /// Seeds the randomized coordinate selection.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the aggregator.
+    pub fn build(self) -> SignGuard {
+        let norm_filter = NormFilter::with_bounds(self.lower, self.upper);
+        let cluster_filter =
+            SignClusterFilter::new(self.coord_fraction, self.similarity, self.backend, self.seed);
+        SignGuard {
+            norm_filter,
+            cluster_filter,
+            use_norm_filter: self.use_norm_filter,
+            use_cluster_filter: self.use_cluster_filter,
+            use_norm_clipping: self.use_norm_clipping,
+            similarity: self.similarity,
+            prev_aggregate: None,
+            last_selected: Vec::new(),
+        }
+    }
+}
+
+impl Default for SignGuardBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The SignGuard gradient aggregation rule.
+///
+/// See the [crate docs](crate) for the algorithm. Unlike the baselines,
+/// SignGuard does **not** need to know the Byzantine fraction — the paper
+/// highlights this as a practical advantage.
+#[derive(Debug)]
+pub struct SignGuard {
+    norm_filter: NormFilter,
+    cluster_filter: SignClusterFilter,
+    use_norm_filter: bool,
+    use_cluster_filter: bool,
+    use_norm_clipping: bool,
+    similarity: SimilarityFeature,
+    prev_aggregate: Option<Vec<f32>>,
+    last_selected: Vec<usize>,
+}
+
+impl SignGuard {
+    /// Plain SignGuard (sign statistics only), with the paper defaults.
+    pub fn plain(seed: u64) -> Self {
+        SignGuardBuilder::new().seed(seed).build()
+    }
+
+    /// SignGuard-Sim: adds the cosine-similarity feature.
+    pub fn sim(seed: u64) -> Self {
+        SignGuardBuilder::new().similarity(SimilarityFeature::Cosine).seed(seed).build()
+    }
+
+    /// SignGuard-Dist: adds the Euclidean-distance feature.
+    pub fn dist(seed: u64) -> Self {
+        SignGuardBuilder::new().similarity(SimilarityFeature::Euclidean).seed(seed).build()
+    }
+
+    /// Indices selected by the most recent [`Aggregator::aggregate`] call
+    /// (the paper's Table II selection-rate accounting reads this).
+    pub fn last_selected(&self) -> &[usize] {
+        &self.last_selected
+    }
+
+    /// The similarity variant this instance runs.
+    pub fn similarity_feature(&self) -> SimilarityFeature {
+        self.similarity
+    }
+}
+
+impl Aggregator for SignGuard {
+    fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
+        let dim = validate_gradients(gradients);
+        let n = gradients.len();
+        let norms: Vec<f32> = gradients.iter().map(|g| sg_math::l2_norm(g)).collect();
+
+        let all: BTreeSet<usize> = (0..n).collect();
+        let s1 = if self.use_norm_filter {
+            self.norm_filter.filter(gradients, &norms)
+        } else {
+            all.clone()
+        };
+        let s2 = if self.use_cluster_filter {
+            self.cluster_filter.set_reference(self.prev_aggregate.clone());
+            self.cluster_filter.filter(gradients, &norms)
+        } else {
+            all.clone()
+        };
+
+        let mut trusted: Vec<usize> = s1.intersection(&s2).copied().collect();
+        if trusted.is_empty() {
+            // Fall back to whichever filter kept anything, else everything
+            // finite — availability over precision in the degenerate case.
+            trusted = if !s1.is_empty() {
+                s1.into_iter().collect()
+            } else if !s2.is_empty() {
+                s2.into_iter().collect()
+            } else {
+                (0..n).filter(|&i| norms[i].is_finite()).collect()
+            };
+        }
+        if trusted.is_empty() {
+            // Every gradient was non-finite; emit a zero update.
+            self.last_selected = Vec::new();
+            return AggregationOutput::selected(vec![0.0; dim], Vec::new());
+        }
+
+        // Aggregation with norm clipping at the median norm (Alg. 2 line 14).
+        let finite: Vec<f32> = norms.iter().copied().filter(|x| x.is_finite()).collect();
+        let clip = sg_math::median(&finite).max(1e-12);
+        let mut acc = vec![0.0f32; dim];
+        for &i in &trusted {
+            if self.use_norm_clipping && norms[i] > clip {
+                sg_math::vecops::axpy(clip / norms[i], &gradients[i], &mut acc);
+            } else {
+                sg_math::vecops::axpy(1.0, &gradients[i], &mut acc);
+            }
+        }
+        sg_math::vecops::scale_in_place(&mut acc, 1.0 / trusted.len() as f32);
+
+        self.prev_aggregate = Some(acc.clone());
+        self.last_selected = trusted.clone();
+        AggregationOutput::selected(acc, trusted)
+    }
+
+    fn name(&self) -> &'static str {
+        match self.similarity {
+            SimilarityFeature::None => "SignGuard",
+            SimilarityFeature::Cosine => "SignGuard-Sim",
+            SimilarityFeature::Euclidean => "SignGuard-Dist",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Honest gradients in the "unbalanced signs" regime (CNN-like): mostly
+    /// positive coordinates plus client noise.
+    fn honest_population(n: usize, d: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|j| {
+                        let base = if j % 4 == 0 { -0.5 } else { 0.8 };
+                        base + 0.1 * ((i * d + j) as f32 * 0.37).sin()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn no_attack_recovers_near_mean() {
+        let grads = honest_population(10, 128);
+        let mean = sg_math::vecops::mean_vector(&grads, 128);
+        let mut gar = SignGuard::plain(1);
+        let out = gar.aggregate(&grads);
+        // Most honest gradients survive; aggregate close to the mean.
+        assert!(out.selected.as_ref().expect("sel").len() >= 7);
+        let cos = sg_math::cosine_similarity(&out.gradient, &mean);
+        assert!(cos > 0.99, "cosine {cos}");
+    }
+
+    #[test]
+    fn sign_flip_attack_filtered() {
+        let mut grads = honest_population(8, 128);
+        for i in 0..2 {
+            let flipped: Vec<f32> = grads[i].iter().map(|x| -x).collect();
+            grads.push(flipped);
+        }
+        let mut gar = SignGuard::plain(2);
+        let out = gar.aggregate(&grads);
+        let sel = out.selected.expect("sel");
+        assert!(sel.iter().all(|&i| i < 8), "attacker kept: {sel:?}");
+    }
+
+    #[test]
+    fn large_norm_attack_filtered_by_norm_threshold() {
+        let mut grads = honest_population(8, 64);
+        grads.push(grads[0].iter().map(|x| x * 100.0).collect());
+        let mut gar = SignGuard::plain(3);
+        let out = gar.aggregate(&grads);
+        assert!(out.selected.expect("sel").iter().all(|&i| i < 8));
+    }
+
+    #[test]
+    fn lie_like_attack_filtered_by_sign_statistics() {
+        // Craft mu - z*sigma with a z large enough to visibly shift signs
+        // (z=1.5); the sign-statistics cluster should isolate the attackers.
+        let honest = honest_population(8, 256);
+        let mu = sg_math::vecops::mean_vector(&honest, 256);
+        let sigma = sg_math::vecops::std_vector(&honest, 256);
+        let lie: Vec<f32> = mu.iter().zip(&sigma).map(|(&m, &s)| m - 12.0 * s).collect();
+        let mut grads = honest.clone();
+        grads.push(lie.clone());
+        grads.push(lie);
+        let mut gar = SignGuard::plain(4);
+        let out = gar.aggregate(&grads);
+        let sel = out.selected.expect("sel");
+        assert!(sel.iter().all(|&i| i < 8), "LIE kept: {sel:?}");
+    }
+
+    #[test]
+    fn clipping_bounds_aggregate_norm() {
+        let mut grads = honest_population(6, 32);
+        // Moderate outlier that slips past R=3.0 but gets clipped.
+        grads.push(grads[0].iter().map(|x| x * 2.5).collect());
+        let norms: Vec<f32> = grads.iter().map(|g| sg_math::l2_norm(g)).collect();
+        let med = sg_math::median(&norms);
+        let mut gar = SignGuard::plain(5);
+        let out = gar.aggregate(&grads);
+        assert!(sg_math::l2_norm(&out.gradient) <= med * 1.05);
+    }
+
+    #[test]
+    fn all_nan_batch_yields_zero_gradient() {
+        let grads = vec![vec![f32::NAN; 8]; 4];
+        let mut gar = SignGuard::plain(6);
+        let out = gar.aggregate(&grads);
+        assert_eq!(out.gradient, vec![0.0; 8]);
+        assert!(out.selected.expect("sel").is_empty());
+    }
+
+    #[test]
+    fn ablation_toggles_change_behaviour() {
+        let mut grads = honest_population(8, 64);
+        grads.push(grads[0].iter().map(|x| x * -100.0).collect());
+
+        // Clustering only (no threshold, no clip): large reversed gradient
+        // is caught by sign statistics.
+        let mut cluster_only = SignGuardBuilder::new()
+            .norm_filter(false)
+            .norm_clipping(false)
+            .seed(7)
+            .build();
+        let out = cluster_only.aggregate(&grads);
+        assert!(out.selected.expect("sel").iter().all(|&i| i < 8));
+
+        // Threshold only: the giant is caught by its norm.
+        let mut thresh_only = SignGuardBuilder::new()
+            .cluster_filter(false)
+            .norm_clipping(false)
+            .seed(8)
+            .build();
+        let out = thresh_only.aggregate(&grads);
+        assert!(out.selected.expect("sel").iter().all(|&i| i < 8));
+    }
+
+    #[test]
+    fn variant_names_match_paper() {
+        assert_eq!(SignGuard::plain(0).name(), "SignGuard");
+        assert_eq!(SignGuard::sim(0).name(), "SignGuard-Sim");
+        assert_eq!(SignGuard::dist(0).name(), "SignGuard-Dist");
+    }
+
+    #[test]
+    fn last_selected_matches_output() {
+        let grads = honest_population(6, 32);
+        let mut gar = SignGuard::sim(9);
+        let out = gar.aggregate(&grads);
+        assert_eq!(gar.last_selected(), out.selected.expect("sel").as_slice());
+    }
+
+    #[test]
+    fn does_not_require_byzantine_count() {
+        // Works at any attacker fraction without being told it: 40%.
+        let mut grads = honest_population(6, 128);
+        for i in 0..4 {
+            let flipped: Vec<f32> = grads[i % 6].iter().map(|x| -x * 1.5).collect();
+            grads.push(flipped);
+        }
+        let mut gar = SignGuard::plain(10);
+        let out = gar.aggregate(&grads);
+        let sel = out.selected.expect("sel");
+        assert!(sel.iter().all(|&i| i < 6), "kept attacker: {sel:?}");
+        assert!(sel.len() >= 4);
+    }
+}

@@ -1,0 +1,189 @@
+//! In-memory dataset container and batching.
+
+use serde::{Deserialize, Serialize};
+
+/// One labelled sample: flat features plus a class index.
+///
+/// Image samples store `[C*H*W]` pixel values; text samples store token ids
+/// as `f32` (the embedding layer casts them back).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Flattened feature values.
+    pub features: Vec<f32>,
+    /// Class index in `0..num_classes`.
+    pub label: usize,
+}
+
+/// A mini-batch ready for a model: row-major features `[B, ...]` and labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Concatenated features of all rows.
+    pub features: Vec<f32>,
+    /// Per-item shape (without the batch axis).
+    pub item_shape: Vec<usize>,
+    /// Labels, one per row.
+    pub labels: Vec<usize>,
+}
+
+impl Batch {
+    /// Full tensor shape including the batch axis.
+    pub fn shape(&self) -> Vec<usize> {
+        let mut s = Vec::with_capacity(1 + self.item_shape.len());
+        s.push(self.labels.len());
+        s.extend_from_slice(&self.item_shape);
+        s
+    }
+}
+
+/// An in-memory labelled dataset with fixed per-item shape.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+    item_shape: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating every sample against `item_shape` and
+    /// `num_classes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample has the wrong feature count or an out-of-range
+    /// label, or if `num_classes == 0`.
+    pub fn new(samples: Vec<Sample>, item_shape: Vec<usize>, num_classes: usize) -> Self {
+        assert!(num_classes > 0, "Dataset: num_classes must be positive");
+        let numel: usize = item_shape.iter().product();
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(s.features.len(), numel, "Dataset: sample {i} has {} features, expected {numel}", s.features.len());
+            assert!(s.label < num_classes, "Dataset: sample {i} label {} out of range {num_classes}", s.label);
+        }
+        Self { samples, item_shape, num_classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Per-item feature shape (without batch axis).
+    pub fn item_shape(&self) -> &[usize] {
+        &self.item_shape
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Label of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn label(&self, i: usize) -> usize {
+        self.samples[i].label
+    }
+
+    /// Assembles a batch from the given sample indices.
+    ///
+    /// An optional `label_map` rewrites labels on the fly — this implements
+    /// the paper's label-flipping data poison without copying the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds or `indices` is empty.
+    pub fn batch(&self, indices: &[usize], label_map: Option<&dyn Fn(usize) -> usize>) -> Batch {
+        assert!(!indices.is_empty(), "Dataset::batch: empty index list");
+        let numel: usize = self.item_shape.iter().product();
+        let mut features = Vec::with_capacity(indices.len() * numel);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let s = &self.samples[i];
+            features.extend_from_slice(&s.features);
+            labels.push(match label_map {
+                Some(f) => f(s.label),
+                None => s.label,
+            });
+        }
+        Batch { features, item_shape: self.item_shape.clone(), labels }
+    }
+
+    /// Histogram of labels over the given indices (length = `num_classes`).
+    pub fn label_histogram(&self, indices: &[usize]) -> Vec<usize> {
+        let mut hist = vec![0usize; self.num_classes];
+        for &i in indices {
+            hist[self.samples[i].label] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let samples = vec![
+            Sample { features: vec![1.0, 2.0], label: 0 },
+            Sample { features: vec![3.0, 4.0], label: 1 },
+            Sample { features: vec![5.0, 6.0], label: 2 },
+        ];
+        Dataset::new(samples, vec![2], 3)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.item_shape(), &[2]);
+        assert_eq!(d.num_classes(), 3);
+        assert_eq!(d.label(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "features")]
+    fn wrong_feature_count_panics() {
+        let _ = Dataset::new(vec![Sample { features: vec![1.0], label: 0 }], vec![2], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let _ = Dataset::new(vec![Sample { features: vec![1.0], label: 5 }], vec![1], 2);
+    }
+
+    #[test]
+    fn batch_assembly() {
+        let d = toy();
+        let b = d.batch(&[2, 0], None);
+        assert_eq!(b.features, vec![5.0, 6.0, 1.0, 2.0]);
+        assert_eq!(b.labels, vec![2, 0]);
+        assert_eq!(b.shape(), vec![2, 2]);
+    }
+
+    #[test]
+    fn batch_with_label_map_flips() {
+        let d = toy();
+        let flip = |l: usize| 2 - l;
+        let b = d.batch(&[0, 1, 2], Some(&flip));
+        assert_eq!(b.labels, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn label_histogram_counts() {
+        let d = toy();
+        assert_eq!(d.label_histogram(&[0, 1, 2, 2]), vec![1, 1, 2]);
+    }
+}

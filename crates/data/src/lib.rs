@@ -1,0 +1,34 @@
+//! Synthetic classification datasets and federated partitioners.
+//!
+//! The SignGuard paper evaluates on MNIST, Fashion-MNIST, CIFAR-10 and
+//! AG-News. Those corpora cannot ship with this reproduction, so this crate
+//! generates synthetic stand-ins with the properties the defense actually
+//! interacts with:
+//!
+//! * class structure (so label-flipping is a meaningful data poison);
+//! * controllable difficulty (prototype/noise ratio);
+//! * image-shaped and token-sequence-shaped inputs, driving the same model
+//!   families (CNN / residual CNN / TextRNN) as the paper;
+//! * the paper's exact partitioning schemes — IID, and the `s`-fraction
+//!   sort-and-partition non-IID split with two shards per client.
+//!
+//! # Examples
+//!
+//! ```
+//! use sg_data::{SyntheticImageSpec, partition_iid};
+//!
+//! let spec = SyntheticImageSpec::small();
+//! let (train, _test) = spec.generate(42);
+//! let parts = partition_iid(train.len(), 10, &mut sg_math::seeded_rng(1));
+//! assert_eq!(parts.len(), 10);
+//! ```
+
+mod dataset;
+mod image;
+mod partition;
+mod text;
+
+pub use dataset::{Batch, Dataset, Sample};
+pub use image::SyntheticImageSpec;
+pub use partition::{flip_label, partition_iid, partition_noniid, PartitionStats};
+pub use text::SyntheticTextSpec;

@@ -1,0 +1,204 @@
+//! Federated data partitioners: IID and the paper's sort-and-partition
+//! non-IID scheme.
+
+use rand::Rng;
+use sg_math::rng::shuffle;
+
+use crate::dataset::Dataset;
+
+/// Splits `0..len` into `n_clients` near-equal IID shards after a shuffle.
+///
+/// # Panics
+///
+/// Panics if `n_clients == 0` or `len < n_clients`.
+pub fn partition_iid<R: Rng + ?Sized>(len: usize, n_clients: usize, rng: &mut R) -> Vec<Vec<usize>> {
+    assert!(n_clients > 0, "partition_iid: zero clients");
+    assert!(len >= n_clients, "partition_iid: {len} samples for {n_clients} clients");
+    let mut idx: Vec<usize> = (0..len).collect();
+    shuffle(rng, &mut idx);
+    chunk_round_robin(&idx, n_clients)
+}
+
+/// The paper's non-IID split (Section VI-B): an `s`-fraction of the data is
+/// distributed IID; the remaining `(1-s)`-fraction is sorted by label,
+/// divided into `2 * n_clients` shards, and every client receives two
+/// random shards (data in the same shard shares labels).
+///
+/// Smaller `s` ⇒ more skewed client distributions. `s = 1.0` degenerates to
+/// IID; `s = 0.0` is the fully pathological two-label-per-client split.
+///
+/// # Panics
+///
+/// Panics if `s` is outside `[0, 1]`, `n_clients == 0`, or the dataset is
+/// too small to give each client at least one sample.
+pub fn partition_noniid<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    n_clients: usize,
+    s: f32,
+    rng: &mut R,
+) -> Vec<Vec<usize>> {
+    assert!((0.0..=1.0).contains(&s), "partition_noniid: s={s} out of [0,1]");
+    assert!(n_clients > 0, "partition_noniid: zero clients");
+    let len = dataset.len();
+    assert!(len >= 2 * n_clients, "partition_noniid: {len} samples for {n_clients} clients");
+
+    let mut idx: Vec<usize> = (0..len).collect();
+    shuffle(rng, &mut idx);
+    let iid_count = ((len as f64) * f64::from(s)).round() as usize;
+    let (iid_part, skewed_part) = idx.split_at(iid_count);
+
+    // IID part: round-robin.
+    let mut parts = chunk_round_robin(iid_part, n_clients);
+
+    // Skewed part: sort by label, slice into 2*n shards, deal 2 shards each.
+    let mut sorted: Vec<usize> = skewed_part.to_vec();
+    sorted.sort_by_key(|&i| dataset.label(i));
+    let n_shards = 2 * n_clients;
+    let shard_size = sorted.len() / n_shards; // remainder goes to the tail shard
+    let mut shards: Vec<Vec<usize>> = Vec::with_capacity(n_shards);
+    for k in 0..n_shards {
+        let start = k * shard_size;
+        let end = if k + 1 == n_shards { sorted.len() } else { (k + 1) * shard_size };
+        shards.push(sorted[start..end].to_vec());
+    }
+    let mut order: Vec<usize> = (0..n_shards).collect();
+    shuffle(rng, &mut order);
+    for (c, pair) in order.chunks(2).enumerate() {
+        for &sh in pair {
+            parts[c].extend_from_slice(&shards[sh]);
+        }
+    }
+    parts
+}
+
+/// The paper's label-flipping poison: `l -> C - 1 - l`.
+pub fn flip_label(label: usize, num_classes: usize) -> usize {
+    num_classes - 1 - label
+}
+
+/// Summary statistics of a partition, used to verify skewness in tests and
+/// experiment logs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionStats {
+    /// Samples per client.
+    pub sizes: Vec<usize>,
+    /// Number of distinct labels per client.
+    pub distinct_labels: Vec<usize>,
+    /// Mean over clients of (max class share within the client).
+    pub mean_max_share: f32,
+}
+
+impl PartitionStats {
+    /// Computes statistics for `parts` over `dataset`.
+    pub fn compute(dataset: &Dataset, parts: &[Vec<usize>]) -> Self {
+        let mut sizes = Vec::with_capacity(parts.len());
+        let mut distinct = Vec::with_capacity(parts.len());
+        let mut share_sum = 0.0f32;
+        for p in parts {
+            sizes.push(p.len());
+            let hist = dataset.label_histogram(p);
+            distinct.push(hist.iter().filter(|&&c| c > 0).count());
+            let total: usize = hist.iter().sum();
+            let max = hist.iter().copied().max().unwrap_or(0);
+            if total > 0 {
+                share_sum += max as f32 / total as f32;
+            }
+        }
+        let mean_max_share = if parts.is_empty() { 0.0 } else { share_sum / parts.len() as f32 };
+        Self { sizes, distinct_labels: distinct, mean_max_share }
+    }
+}
+
+fn chunk_round_robin(idx: &[usize], n: usize) -> Vec<Vec<usize>> {
+    let mut parts = vec![Vec::with_capacity(idx.len() / n + 1); n];
+    for (k, &i) in idx.iter().enumerate() {
+        parts[k % n].push(i);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::SyntheticImageSpec;
+    use sg_math::seeded_rng;
+
+    fn conservation(parts: &[Vec<usize>], len: usize) {
+        let mut all: Vec<usize> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..len).collect::<Vec<_>>(), "partition must be a permutation");
+    }
+
+    #[test]
+    fn iid_partition_conserves_and_balances() {
+        let mut rng = seeded_rng(0);
+        let parts = partition_iid(103, 10, &mut rng);
+        conservation(&parts, 103);
+        for p in &parts {
+            assert!(p.len() == 10 || p.len() == 11);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero clients")]
+    fn iid_zero_clients_panics() {
+        let mut rng = seeded_rng(0);
+        let _ = partition_iid(10, 0, &mut rng);
+    }
+
+    #[test]
+    fn noniid_conserves_samples() {
+        let (train, _) = SyntheticImageSpec::small().generate(1);
+        let mut rng = seeded_rng(1);
+        let parts = partition_noniid(&train, 5, 0.5, &mut rng);
+        conservation(&parts, train.len());
+    }
+
+    #[test]
+    fn noniid_s_zero_is_skewed() {
+        let spec = SyntheticImageSpec { train_samples: 600, classes: 10, size: 4, ..SyntheticImageSpec::small() };
+        let (train, _) = spec.generate(2);
+        let mut rng = seeded_rng(2);
+        let parts = partition_noniid(&train, 10, 0.0, &mut rng);
+        let stats = PartitionStats::compute(&train, &parts);
+        // Two shards per client, shards are label-sorted: few distinct labels.
+        assert!(stats.distinct_labels.iter().all(|&d| d <= 4), "{:?}", stats.distinct_labels);
+        assert!(stats.mean_max_share > 0.4, "share {}", stats.mean_max_share);
+    }
+
+    #[test]
+    fn noniid_s_one_is_balanced() {
+        let spec = SyntheticImageSpec { train_samples: 600, classes: 10, size: 4, ..SyntheticImageSpec::small() };
+        let (train, _) = spec.generate(3);
+        let mut rng = seeded_rng(3);
+        let parts = partition_noniid(&train, 10, 1.0, &mut rng);
+        let stats = PartitionStats::compute(&train, &parts);
+        assert!(stats.distinct_labels.iter().all(|&d| d == 10), "{:?}", stats.distinct_labels);
+        assert!(stats.mean_max_share < 0.2, "share {}", stats.mean_max_share);
+    }
+
+    #[test]
+    fn noniid_skew_monotone_in_s() {
+        let spec = SyntheticImageSpec { train_samples: 1000, classes: 10, size: 4, ..SyntheticImageSpec::small() };
+        let (train, _) = spec.generate(4);
+        let shares: Vec<f32> = [0.0f32, 0.5, 1.0]
+            .iter()
+            .map(|&s| {
+                let mut rng = seeded_rng(4);
+                let parts = partition_noniid(&train, 10, s, &mut rng);
+                PartitionStats::compute(&train, &parts).mean_max_share
+            })
+            .collect();
+        assert!(shares[0] > shares[1] && shares[1] > shares[2], "{shares:?}");
+    }
+
+    #[test]
+    fn flip_label_is_involution() {
+        for c in 2..10 {
+            for l in 0..c {
+                assert_eq!(flip_label(flip_label(l, c), c), l);
+            }
+        }
+        assert_eq!(flip_label(0, 10), 9);
+    }
+}

@@ -1,0 +1,177 @@
+//! A federated client: local data shard, model replica, momentum state.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sg_data::{flip_label, Dataset};
+use sg_nn::{loss::softmax_cross_entropy, MomentumSgd, Sequential};
+use sg_tensor::Tensor;
+
+/// One simulated client.
+///
+/// Clients keep a model replica (synchronized to the global parameters at
+/// the start of every round) and a client-side momentum buffer, matching
+/// the paper's training setup (momentum 0.9 applied at the worker).
+pub struct Client {
+    id: usize,
+    model: Sequential,
+    optimizer: MomentumSgd,
+    indices: Vec<usize>,
+    rng: StdRng,
+    flip_labels: bool,
+    last_loss: f32,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("id", &self.id)
+            .field("samples", &self.indices.len())
+            .field("flip_labels", &self.flip_labels)
+            .finish()
+    }
+}
+
+impl Client {
+    /// Creates a client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is empty.
+    pub fn new(
+        id: usize,
+        model: Sequential,
+        indices: Vec<usize>,
+        momentum: f32,
+        weight_decay: f32,
+        rng: StdRng,
+    ) -> Self {
+        assert!(!indices.is_empty(), "Client {id}: empty data shard");
+        let dim = model.num_params();
+        Self {
+            id,
+            model,
+            optimizer: MomentumSgd::new(dim, momentum, weight_decay),
+            indices,
+            rng,
+            flip_labels: false,
+            last_loss: 0.0,
+        }
+    }
+
+    /// Client identifier.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of local samples.
+    pub fn num_samples(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Enables the label-flipping data poison on this client.
+    pub fn set_flip_labels(&mut self, flip: bool) {
+        self.flip_labels = flip;
+    }
+
+    /// Whether this client poisons its labels.
+    pub fn flips_labels(&self) -> bool {
+        self.flip_labels
+    }
+
+    /// Training loss of the most recent local step.
+    pub fn last_loss(&self) -> f32 {
+        self.last_loss
+    }
+
+    /// Computes this round's (momentum-smoothed) local gradient from the
+    /// global parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global_params` does not match the model dimension.
+    pub fn local_gradient(&mut self, global_params: &[f32], train: &Dataset, batch_size: usize) -> Vec<f32> {
+        self.model.set_param_vector(global_params);
+        let bs = batch_size.min(self.indices.len());
+        let batch_idx: Vec<usize> =
+            (0..bs).map(|_| self.indices[self.rng.gen_range(0..self.indices.len())]).collect();
+        let classes = train.num_classes();
+        let flip = self.flip_labels;
+        let map = move |l: usize| if flip { flip_label(l, classes) } else { l };
+        let batch = train.batch(&batch_idx, Some(&map));
+        let x = Tensor::from_vec(batch.features.clone(), &batch.shape());
+
+        let logits = self.model.forward(&x, true);
+        let (loss, grad) = softmax_cross_entropy(&logits, &batch.labels);
+        self.last_loss = loss;
+        self.model.zero_grad();
+        self.model.backward(&grad);
+        let raw = self.model.grad_vector();
+        self.optimizer.transform(&raw, global_params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks;
+    use sg_math::seeded_rng;
+
+    fn make_client(flip: bool) -> (Client, sg_data::Dataset) {
+        let task = tasks::mlp_task(1);
+        let mut rng = seeded_rng(0);
+        let model = task.build_model(&mut rng);
+        let mut c = Client::new(0, model, (0..100).collect(), 0.9, 5e-4, seeded_rng(1));
+        c.set_flip_labels(flip);
+        (c, task.train)
+    }
+
+    #[test]
+    fn gradient_has_model_dimension() {
+        let (mut c, train) = make_client(false);
+        let task = tasks::mlp_task(1);
+        let mut rng = seeded_rng(0);
+        let dim = task.build_model(&mut rng).num_params();
+        let params = vec![0.01; dim];
+        let g = c.local_gradient(&params, &train, 8);
+        assert_eq!(g.len(), dim);
+        assert!(g.iter().all(|x| x.is_finite()));
+        assert!(c.last_loss() > 0.0);
+    }
+
+    #[test]
+    fn momentum_accumulates_across_rounds() {
+        let (mut c, train) = make_client(false);
+        let dim = {
+            let task = tasks::mlp_task(1);
+            let mut rng = seeded_rng(0);
+            task.build_model(&mut rng).num_params()
+        };
+        let params = vec![0.01; dim];
+        let g1 = c.local_gradient(&params, &train, 8);
+        let g2 = c.local_gradient(&params, &train, 8);
+        // With momentum 0.9 and similar raw gradients, the second smoothed
+        // gradient should be larger in norm than the first.
+        assert!(sg_math::l2_norm(&g2) > sg_math::l2_norm(&g1) * 1.2);
+    }
+
+    #[test]
+    fn label_flip_changes_gradient() {
+        let (mut honest, train) = make_client(false);
+        let (mut poisoned, _) = make_client(true);
+        let dim = honest.model.num_params();
+        let params = vec![0.01; dim];
+        let gh = honest.local_gradient(&params, &train, 16);
+        let gp = poisoned.local_gradient(&params, &train, 16);
+        let cos = sg_math::cosine_similarity(&gh, &gp);
+        assert!(cos < 0.9, "flipped labels should decorrelate gradients, cos={cos}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data shard")]
+    fn empty_shard_rejected() {
+        let task = tasks::mlp_task(1);
+        let mut rng = seeded_rng(0);
+        let model = task.build_model(&mut rng);
+        let _ = Client::new(0, model, vec![], 0.9, 0.0, seeded_rng(1));
+    }
+}

@@ -1,0 +1,146 @@
+//! Federated-learning simulation configuration.
+
+/// How the training data is split across clients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Partitioning {
+    /// Independent and identically distributed (paper's main setting).
+    Iid,
+    /// The paper's sort-and-partition non-IID split; `s` is the fraction
+    /// distributed IID (smaller = more skewed, Section VI-B).
+    NonIid {
+        /// IID fraction `s ∈ [0, 1]`.
+        s: f32,
+    },
+}
+
+/// Simulation hyper-parameters, defaulting to the paper's setup scaled to
+/// the synthetic tasks: 50 clients, 20% Byzantine, momentum 0.9, weight
+/// decay 5e-4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlConfig {
+    /// Total number of clients `n` (paper: 50).
+    pub num_clients: usize,
+    /// Fraction of Byzantine clients `β` (paper default: 0.2).
+    pub byzantine_fraction: f32,
+    /// Mini-batch size per client per round.
+    pub batch_size: usize,
+    /// Global learning rate `η`.
+    pub learning_rate: f32,
+    /// Client-side momentum (paper: 0.9).
+    pub momentum: f32,
+    /// Weight decay (paper: 5e-4).
+    pub weight_decay: f32,
+    /// Training epochs (full passes over the union of client data).
+    pub epochs: usize,
+    /// Data partitioning scheme.
+    pub partitioning: Partitioning,
+    /// Fraction of clients participating each round (1.0 = full, the
+    /// paper's synchronous setting; lower values exercise the partial-
+    /// participation variant of Section IV-A).
+    pub participation: f32,
+    /// Master seed for every random choice in the run.
+    pub seed: u64,
+}
+
+impl Default for FlConfig {
+    fn default() -> Self {
+        Self {
+            num_clients: 50,
+            byzantine_fraction: 0.2,
+            batch_size: 8,
+            learning_rate: 0.01,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            epochs: 10,
+            partitioning: Partitioning::Iid,
+            participation: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+impl FlConfig {
+    /// Number of Byzantine clients `m = ⌊β·n⌋`.
+    pub fn byzantine_count(&self) -> usize {
+        ((self.num_clients as f32) * self.byzantine_fraction).floor() as usize
+    }
+
+    /// Rounds per epoch so that one epoch touches roughly every training
+    /// sample once: `⌈len / (n · batch)⌉`.
+    pub fn rounds_per_epoch(&self, train_len: usize) -> usize {
+        train_len.div_ceil(self.num_clients * self.batch_size).max(1)
+    }
+
+    /// Total training rounds.
+    pub fn total_rounds(&self, train_len: usize) -> usize {
+        self.epochs * self.rounds_per_epoch(train_len)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is out of range (zero clients, β ≥ 0.5 violating
+    /// the paper's `n ≥ 2m + 1` assumption, non-positive batch or epochs).
+    pub fn validate(&self) {
+        assert!(self.num_clients > 0, "FlConfig: zero clients");
+        assert!(
+            (0.0..0.5).contains(&self.byzantine_fraction),
+            "FlConfig: byzantine_fraction {} violates beta < 0.5",
+            self.byzantine_fraction
+        );
+        assert!(self.batch_size > 0, "FlConfig: zero batch size");
+        assert!(self.epochs > 0, "FlConfig: zero epochs");
+        assert!(self.learning_rate > 0.0, "FlConfig: non-positive learning rate");
+        assert!(
+            self.participation > 0.0 && self.participation <= 1.0,
+            "FlConfig: participation {} out of (0,1]",
+            self.participation
+        );
+        if let Partitioning::NonIid { s } = self.partitioning {
+            assert!((0.0..=1.0).contains(&s), "FlConfig: non-IID s {s} out of [0,1]");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = FlConfig::default();
+        assert_eq!(cfg.num_clients, 50);
+        assert_eq!(cfg.byzantine_count(), 10);
+        assert!((cfg.momentum - 0.9).abs() < 1e-9);
+        assert!((cfg.weight_decay - 5e-4).abs() < 1e-9);
+        cfg.validate();
+    }
+
+    #[test]
+    fn byzantine_count_floors() {
+        let cfg = FlConfig { num_clients: 7, byzantine_fraction: 0.3, ..FlConfig::default() };
+        assert_eq!(cfg.byzantine_count(), 2);
+    }
+
+    #[test]
+    fn rounds_per_epoch_ceil() {
+        let cfg = FlConfig { num_clients: 10, batch_size: 4, ..FlConfig::default() };
+        assert_eq!(cfg.rounds_per_epoch(100), 3); // ceil(100/40)
+        assert_eq!(cfg.rounds_per_epoch(1), 1);
+    }
+
+    #[test]
+    fn participation_validated() {
+        let ok = FlConfig { participation: 0.5, ..FlConfig::default() };
+        ok.validate();
+        let bad = FlConfig { participation: 0.0, ..FlConfig::default() };
+        assert!(std::panic::catch_unwind(|| bad.validate()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "beta < 0.5")]
+    fn majority_byzantine_rejected() {
+        FlConfig { byzantine_fraction: 0.5, ..FlConfig::default() }.validate();
+    }
+}

@@ -1,0 +1,56 @@
+//! Server-side test evaluation.
+
+use sg_data::Dataset;
+use sg_nn::{loss::accuracy, Sequential};
+use sg_tensor::Tensor;
+
+/// Evaluates classification accuracy of `model` on `dataset` in batches.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn evaluate_accuracy(model: &mut Sequential, dataset: &Dataset, batch_size: usize) -> f32 {
+    assert!(!dataset.is_empty(), "evaluate_accuracy: empty dataset");
+    let n = dataset.len();
+    let bs = batch_size.max(1);
+    let mut correct_weighted = 0.0f64;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + bs).min(n);
+        let idx: Vec<usize> = (start..end).collect();
+        let batch = dataset.batch(&idx, None);
+        let x = Tensor::from_vec(batch.features.clone(), &batch.shape());
+        let logits = model.forward(&x, false);
+        correct_weighted += f64::from(accuracy(&logits, &batch.labels)) * (end - start) as f64;
+        start = end;
+    }
+    (correct_weighted / n as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks;
+    use sg_math::seeded_rng;
+
+    #[test]
+    fn random_model_near_chance() {
+        let task = tasks::mlp_task(2);
+        let mut rng = seeded_rng(0);
+        let mut model = task.build_model(&mut rng);
+        let acc = evaluate_accuracy(&mut model, &task.test, 64);
+        // 5 classes: chance is 0.2; an untrained model should be within a
+        // generous band around it.
+        assert!(acc > 0.02 && acc < 0.6, "acc={acc}");
+    }
+
+    #[test]
+    fn batch_size_does_not_change_result() {
+        let task = tasks::mlp_task(3);
+        let mut rng = seeded_rng(1);
+        let mut model = task.build_model(&mut rng);
+        let a = evaluate_accuracy(&mut model, &task.test, 7);
+        let b = evaluate_accuracy(&mut model, &task.test, 128);
+        assert!((a - b).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,40 @@
+//! Federated-learning simulator: clients, Byzantine adversaries, parameter
+//! server and metrics — the experimental testbed of the SignGuard paper.
+//!
+//! The simulation follows the paper's Algorithm 1 with full participation
+//! and one local iteration per round: every client computes a mini-batch
+//! gradient from the shared global model, smooths it with client-side
+//! momentum (0.9) and weight decay (5e-4), and ships it to the parameter
+//! server, which applies a pluggable gradient aggregation rule and a global
+//! SGD step. The adversary sees every honest gradient before substituting
+//! the Byzantine clients' messages (strongest threat model of Section IV).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use sg_fl::{FlConfig, Simulator, tasks};
+//! use sg_core::SignGuard;
+//! use sg_attacks::Lie;
+//!
+//! let task = tasks::mnist_like(1);
+//! let cfg = FlConfig { epochs: 3, ..FlConfig::default() };
+//! let mut sim = Simulator::new(task, cfg, Box::new(SignGuard::plain(0)), Some(Box::new(Lie::new())));
+//! let result = sim.run();
+//! println!("best accuracy {:.2}%", 100.0 * result.best_accuracy);
+//! ```
+
+mod client;
+mod config;
+mod eval;
+mod metrics;
+mod simulator;
+pub mod tasks;
+pub mod validation;
+
+pub use client::Client;
+pub use config::{FlConfig, Partitioning};
+pub use eval::evaluate_accuracy;
+pub use metrics::{RoundMetrics, RunResult, SelectionTracker};
+pub use simulator::Simulator;
+pub use validation::{ValidatingServer, ValidationRule};
+pub use tasks::Task;

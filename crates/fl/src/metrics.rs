@@ -1,0 +1,126 @@
+//! Run metrics: accuracy curves, attack impact, selection-rate accounting.
+
+/// Per-round diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundMetrics {
+    /// Round index.
+    pub round: usize,
+    /// Mean training loss across honest clients this round.
+    pub mean_loss: f32,
+    /// Test accuracy, when this round was evaluated (end of epoch).
+    pub test_accuracy: Option<f32>,
+}
+
+/// Selection-rate accounting for Table II: how often honest and malicious
+/// gradients are accepted by a selecting aggregation rule.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SelectionTracker {
+    honest_selected: usize,
+    honest_total: usize,
+    malicious_selected: usize,
+    malicious_total: usize,
+}
+
+impl SelectionTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one round's selection. `selected` contains client indices;
+    /// indices below `byzantine_count` are the Byzantine clients.
+    pub fn record(&mut self, selected: &[usize], byzantine_count: usize, total_clients: usize) {
+        self.honest_total += total_clients - byzantine_count;
+        self.malicious_total += byzantine_count;
+        for &i in selected {
+            if i < byzantine_count {
+                self.malicious_selected += 1;
+            } else {
+                self.honest_selected += 1;
+            }
+        }
+    }
+
+    /// Average honest selection rate (`H` column of Table II).
+    pub fn honest_rate(&self) -> f32 {
+        if self.honest_total == 0 {
+            0.0
+        } else {
+            self.honest_selected as f32 / self.honest_total as f32
+        }
+    }
+
+    /// Average malicious selection rate (`M` column of Table II).
+    pub fn malicious_rate(&self) -> f32 {
+        if self.malicious_total == 0 {
+            0.0
+        } else {
+            self.malicious_selected as f32 / self.malicious_total as f32
+        }
+    }
+
+    /// Whether any selection was recorded.
+    pub fn has_data(&self) -> bool {
+        self.honest_total + self.malicious_total > 0
+    }
+}
+
+/// Result of a full federated training run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Best test accuracy reached during training (the paper reports this).
+    pub best_accuracy: f32,
+    /// Test accuracy after the final round.
+    pub final_accuracy: f32,
+    /// `(round, accuracy)` curve at each evaluation point.
+    pub accuracy_curve: Vec<(usize, f32)>,
+    /// Per-round diagnostics.
+    pub rounds: Vec<RoundMetrics>,
+    /// Selection accounting (meaningful when the rule selects).
+    pub selection: SelectionTracker,
+}
+
+impl RunResult {
+    /// Attack impact per the paper's Definition 3: accuracy drop relative
+    /// to a no-attack/no-defense baseline accuracy.
+    pub fn attack_impact(&self, baseline_accuracy: f32) -> f32 {
+        (baseline_accuracy - self.best_accuracy).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_rates() {
+        let mut t = SelectionTracker::new();
+        // 10 clients, 2 byzantine; round 1 selects honest 2..8 and byz 0.
+        t.record(&[0, 2, 3, 4, 5, 6, 7], 2, 10);
+        assert!((t.honest_rate() - 6.0 / 8.0).abs() < 1e-6);
+        assert!((t.malicious_rate() - 0.5).abs() < 1e-6);
+        assert!(t.has_data());
+    }
+
+    #[test]
+    fn empty_tracker_rates_zero() {
+        let t = SelectionTracker::new();
+        assert_eq!(t.honest_rate(), 0.0);
+        assert_eq!(t.malicious_rate(), 0.0);
+        assert!(!t.has_data());
+    }
+
+    #[test]
+    fn attack_impact_definition() {
+        let r = RunResult {
+            best_accuracy: 0.70,
+            final_accuracy: 0.69,
+            accuracy_curve: vec![],
+            rounds: vec![],
+            selection: SelectionTracker::new(),
+        };
+        assert!((r.attack_impact(0.9) - 0.2).abs() < 1e-6);
+        // Impact clamps at zero when the defense beats the baseline.
+        assert_eq!(r.attack_impact(0.5), 0.0);
+    }
+}

@@ -1,0 +1,304 @@
+//! The round loop tying clients, adversary and parameter server together.
+
+use sg_aggregators::Aggregator;
+use sg_attacks::{Attack, AttackContext};
+use sg_data::{partition_iid, partition_noniid};
+use sg_math::SeedStream;
+use sg_nn::Sequential;
+
+use crate::client::Client;
+use crate::config::{FlConfig, Partitioning};
+use crate::eval::evaluate_accuracy;
+use crate::metrics::{RoundMetrics, RunResult, SelectionTracker};
+use crate::tasks::Task;
+
+/// A federated training simulation (paper Algorithm 1).
+///
+/// Clients `0..m` are Byzantine (their messages are replaced by the
+/// attack); clients `m..n` are benign. The aggregation rules never see
+/// indices, so the arrangement is immaterial to the defense — it only
+/// anchors the ground truth for selection accounting.
+pub struct Simulator {
+    task: Task,
+    cfg: FlConfig,
+    gar: Box<dyn Aggregator>,
+    attack: Option<Box<dyn Attack>>,
+    clients: Vec<Client>,
+    global_params: Vec<f32>,
+    eval_model: Sequential,
+    byz_count: usize,
+    round_rng: rand::rngs::StdRng,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("task", &self.task.name)
+            .field("gar", &self.gar.name())
+            .field("attack", &self.attack.as_ref().map(|a| a.name()))
+            .field("clients", &self.clients.len())
+            .field("byzantine", &self.byz_count)
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Builds a simulation. Pass `attack = None` for the no-attack setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`FlConfig::validate`])
+    /// or the dataset is too small for the client count.
+    pub fn new(task: Task, cfg: FlConfig, gar: Box<dyn Aggregator>, attack: Option<Box<dyn Attack>>) -> Self {
+        cfg.validate();
+        let mut seeds = SeedStream::new(cfg.seed);
+
+        // Global model.
+        let mut model_rng = seeds.next_rng();
+        let global_model = task.build_model(&mut model_rng);
+        let global_params = global_model.param_vector();
+
+        // Partition data.
+        let mut part_rng = seeds.next_rng();
+        let parts = match cfg.partitioning {
+            Partitioning::Iid => partition_iid(task.train.len(), cfg.num_clients, &mut part_rng),
+            Partitioning::NonIid { s } => partition_noniid(&task.train, cfg.num_clients, s, &mut part_rng),
+        };
+
+        let byz_count = cfg.byzantine_count();
+        let is_data_poison = attack.as_ref().is_some_and(|a| a.is_data_poisoning());
+
+        let clients: Vec<Client> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(id, indices)| {
+                let mut replica_rng = seeds.next_rng();
+                let replica = task.build_model(&mut replica_rng);
+                let mut c = Client::new(id, replica, indices, cfg.momentum, cfg.weight_decay, seeds.next_rng());
+                if is_data_poison && id < byz_count {
+                    c.set_flip_labels(true);
+                }
+                c
+            })
+            .collect();
+
+        let round_rng = seeds.next_rng();
+        Self { eval_model: global_model, task, cfg, gar, attack, clients, global_params, byz_count, round_rng }
+    }
+
+    /// The task being trained.
+    pub fn task(&self) -> &Task {
+        &self.task
+    }
+
+    /// Rounds per epoch for this task/config pair.
+    pub fn rounds_per_epoch(&self) -> usize {
+        self.cfg.rounds_per_epoch(self.task.train.len())
+    }
+
+    /// Runs the full training and returns the result.
+    pub fn run(&mut self) -> RunResult {
+        let rpe = self.rounds_per_epoch();
+        let total = self.cfg.epochs * rpe;
+        let mut rounds = Vec::with_capacity(total);
+        let mut curve = Vec::with_capacity(self.cfg.epochs);
+        let mut selection = SelectionTracker::new();
+        let mut best = 0.0f32;
+        let mut last = 0.0f32;
+
+        for round in 0..total {
+            let metrics = self.step(round, &mut selection);
+            if (round + 1) % rpe == 0 {
+                let acc = self.evaluate();
+                best = best.max(acc);
+                last = acc;
+                curve.push((round, acc));
+                rounds.push(RoundMetrics { test_accuracy: Some(acc), ..metrics });
+            } else {
+                rounds.push(metrics);
+            }
+        }
+        RunResult { best_accuracy: best, final_accuracy: last, accuracy_curve: curve, rounds, selection }
+    }
+
+    /// Executes one communication round, returning its metrics.
+    pub fn step(&mut self, round: usize, selection: &mut SelectionTracker) -> RoundMetrics {
+        // Partial participation: sample this round's clients, keeping the
+        // Byzantine ones (ids < byz_count) first so message index < m means
+        // "malicious" for selection accounting.
+        let participants: Vec<usize> = if self.cfg.participation >= 1.0 {
+            (0..self.clients.len()).collect()
+        } else {
+            let k = (((self.clients.len() as f32) * self.cfg.participation).ceil() as usize)
+                .clamp(1, self.clients.len());
+            let mut ids = sg_math::rng::sample_indices(&mut self.round_rng, self.clients.len(), k);
+            ids.sort_unstable_by_key(|&i| (i >= self.byz_count, i));
+            ids
+        };
+        let n = participants.len();
+        let m = participants.iter().filter(|&&i| i < self.byz_count).count();
+
+        // Every participating client computes an honest local gradient.
+        let mut grads: Vec<Vec<f32>> = Vec::with_capacity(n);
+        let mut loss_sum = 0.0f32;
+        for &id in &participants {
+            let c = &mut self.clients[id];
+            grads.push(c.local_gradient(&self.global_params, &self.task.train, self.cfg.batch_size));
+            if id >= self.byz_count {
+                loss_sum += c.last_loss();
+            }
+        }
+        let mean_loss = if n > m { loss_sum / (n - m) as f32 } else { 0.0 };
+
+        // The adversary replaces the Byzantine messages.
+        let all_grads: Vec<Vec<f32>> = if m > 0 {
+            if let Some(attack) = self.attack.as_mut() {
+                let (byz_honest, benign) = grads.split_at(m);
+                let ctx = AttackContext { benign, byzantine_honest: byz_honest, round };
+                let mut malicious = attack.craft(&ctx);
+                assert_eq!(malicious.len(), m, "attack returned wrong gradient count");
+                malicious.extend_from_slice(benign);
+                malicious
+            } else {
+                grads
+            }
+        } else {
+            grads
+        };
+
+        // Robust aggregation and the global SGD step. Validation-based
+        // rules need the current model to score gradients.
+        self.gar.observe_global(&self.global_params);
+        let out = self.gar.aggregate(&all_grads);
+        if let Some(sel) = &out.selected {
+            selection.record(sel, m, n);
+        }
+        for (p, g) in self.global_params.iter_mut().zip(&out.gradient) {
+            *p -= self.cfg.learning_rate * g;
+        }
+
+        RoundMetrics { round, mean_loss, test_accuracy: None }
+    }
+
+    /// Evaluates the global model on the held-out test set.
+    pub fn evaluate(&mut self) -> f32 {
+        self.eval_model.set_param_vector(&self.global_params);
+        evaluate_accuracy(&mut self.eval_model, &self.task.test, 100)
+    }
+
+    /// Current flattened global parameters.
+    pub fn global_params(&self) -> &[f32] {
+        &self.global_params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks;
+    use sg_aggregators::Mean;
+    use sg_attacks::SignFlip;
+    use sg_core::SignGuard;
+
+    fn quick_cfg() -> FlConfig {
+        FlConfig {
+            num_clients: 10,
+            byzantine_fraction: 0.2,
+            batch_size: 8,
+            epochs: 3,
+            
+            ..FlConfig::default()
+        }
+    }
+
+    #[test]
+    fn mean_no_attack_learns() {
+        let mut sim = Simulator::new(tasks::mlp_task(5), quick_cfg(), Box::new(Mean::new()), None);
+        let r = sim.run();
+        // 5 classes, chance = 0.2; after 3 epochs the MLP must beat chance.
+        assert!(r.best_accuracy > 0.4, "best {:.3}", r.best_accuracy);
+        assert_eq!(r.accuracy_curve.len(), 3);
+    }
+
+    #[test]
+    fn signflip_hurts_mean_less_signguard() {
+        let mut sim_mean = Simulator::new(
+            tasks::mlp_task(5),
+            quick_cfg(),
+            Box::new(Mean::new()),
+            Some(Box::new(SignFlip::new())),
+        );
+        let r_mean = sim_mean.run();
+        let mut sim_sg = Simulator::new(
+            tasks::mlp_task(5),
+            quick_cfg(),
+            Box::new(SignGuard::plain(0)),
+            Some(Box::new(SignFlip::new())),
+        );
+        let r_sg = sim_sg.run();
+        assert!(
+            r_sg.best_accuracy >= r_mean.best_accuracy,
+            "SignGuard {:.3} should not lose to Mean {:.3} under sign-flip",
+            r_sg.best_accuracy,
+            r_mean.best_accuracy
+        );
+    }
+
+    #[test]
+    fn selection_tracker_filled_by_selecting_gar() {
+        let mut sim = Simulator::new(
+            tasks::mlp_task(6),
+            FlConfig { epochs: 1, ..quick_cfg() },
+            Box::new(SignGuard::plain(1)),
+            Some(Box::new(SignFlip::new())),
+        );
+        let r = sim.run();
+        assert!(r.selection.has_data());
+        // Sign-flipped gradients should rarely be selected.
+        assert!(r.selection.malicious_rate() < 0.5, "M rate {}", r.selection.malicious_rate());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut sim = Simulator::new(
+                tasks::mlp_task(7),
+                FlConfig { epochs: 1, ..quick_cfg() },
+                Box::new(Mean::new()),
+                None,
+            );
+            sim.run().final_accuracy
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn partial_participation_runs_and_learns() {
+        let cfg = FlConfig { participation: 0.4, epochs: 3, ..quick_cfg() };
+        let mut sim = Simulator::new(tasks::mlp_task(9), cfg, Box::new(Mean::new()), None);
+        let r = sim.run();
+        assert!(r.best_accuracy > 0.3, "best {:.3}", r.best_accuracy);
+    }
+
+    #[test]
+    fn partial_participation_selection_accounting_consistent() {
+        let cfg = FlConfig { participation: 0.5, epochs: 2, ..quick_cfg() };
+        let mut sim = Simulator::new(
+            tasks::mlp_task(10),
+            cfg,
+            Box::new(SignGuard::plain(2)),
+            Some(Box::new(SignFlip::new())),
+        );
+        let r = sim.run();
+        assert!(r.selection.has_data());
+        assert!(r.selection.honest_rate() <= 1.0 && r.selection.malicious_rate() <= 1.0);
+    }
+
+    #[test]
+    fn zero_byzantine_fraction_runs_clean() {
+        let cfg = FlConfig { byzantine_fraction: 0.0, epochs: 1, ..quick_cfg() };
+        let mut sim = Simulator::new(tasks::mlp_task(8), cfg, Box::new(Mean::new()), Some(Box::new(SignFlip::new())));
+        let r = sim.run();
+        assert!(r.final_accuracy > 0.0);
+    }
+}

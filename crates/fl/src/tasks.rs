@@ -1,0 +1,147 @@
+//! The paper's four evaluation tasks instantiated on synthetic data.
+
+use rand::rngs::StdRng;
+use sg_data::{Dataset, SyntheticImageSpec, SyntheticTextSpec};
+use sg_nn::{models, Sequential};
+
+/// A federated learning task: train/test data plus a model architecture.
+pub struct Task {
+    /// Task name as used in the paper's tables.
+    pub name: &'static str,
+    /// Training split (distributed across clients).
+    pub train: Dataset,
+    /// Held-out test split (evaluated at the server).
+    pub test: Dataset,
+    model_builder: fn(&mut StdRng) -> Sequential,
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task")
+            .field("name", &self.name)
+            .field("train", &self.train.len())
+            .field("test", &self.test.len())
+            .finish()
+    }
+}
+
+impl Task {
+    /// Builds a fresh model replica for this task.
+    pub fn build_model(&self, rng: &mut StdRng) -> Sequential {
+        (self.model_builder)(rng)
+    }
+}
+
+/// MNIST stand-in: 1×8×8 synthetic digits + the paper's CNN (3 conv, 2 fc).
+pub fn mnist_like(seed: u64) -> Task {
+    let spec = SyntheticImageSpec {
+        channels: 1,
+        size: 8,
+        classes: 10,
+        train_samples: 2000,
+        test_samples: 500,
+        noise_std: 0.8,
+        prototype_scale: 1.0,
+    };
+    let (train, test) = spec.generate(seed);
+    Task { name: "MNIST-like (CNN)", train, test, model_builder: |rng| models::image_cnn(rng, 1, 8, 10) }
+}
+
+/// Fashion-MNIST stand-in: same geometry, noisier distribution.
+pub fn fashion_like(seed: u64) -> Task {
+    let spec = SyntheticImageSpec {
+        channels: 1,
+        size: 8,
+        classes: 10,
+        train_samples: 2000,
+        test_samples: 500,
+        noise_std: 1.1,
+        prototype_scale: 1.0,
+    };
+    let (train, test) = spec.generate(seed ^ 0xfa51);
+    Task { name: "Fashion-like (CNN)", train, test, model_builder: |rng| models::image_cnn(rng, 1, 8, 10) }
+}
+
+/// CIFAR-10 stand-in: 3×8×8 synthetic RGB + the residual network.
+pub fn cifar_like(seed: u64) -> Task {
+    let spec = SyntheticImageSpec {
+        channels: 3,
+        size: 8,
+        classes: 10,
+        train_samples: 2000,
+        test_samples: 500,
+        noise_std: 1.2,
+        prototype_scale: 1.0,
+    };
+    let (train, test) = spec.generate(seed ^ 0xc1fa);
+    Task { name: "CIFAR-like (ResNet)", train, test, model_builder: |rng| models::resnet_lite(rng, 3, 8, 10) }
+}
+
+/// AG-News stand-in: synthetic 4-topic token sequences + TextRNN (LSTM).
+pub fn agnews_like(seed: u64) -> Task {
+    let spec = SyntheticTextSpec {
+        vocab: 200,
+        seq_len: 12,
+        classes: 4,
+        topic_tokens_per_class: 12,
+        topic_prob: 0.35,
+        train_samples: 2000,
+        test_samples: 500,
+    };
+    let (train, test) = spec.generate(seed ^ 0xa6);
+    Task { name: "AGNews-like (TextRNN)", train, test, model_builder: |rng| models::text_rnn(rng, 200, 8, 16, 4) }
+}
+
+/// Cheap MLP task for unit tests and quickstart examples.
+pub fn mlp_task(seed: u64) -> Task {
+    let spec = SyntheticImageSpec {
+        channels: 1,
+        size: 8,
+        classes: 5,
+        train_samples: 1000,
+        test_samples: 300,
+        noise_std: 0.5,
+        prototype_scale: 1.0,
+    };
+    let (train, test) = spec.generate(seed ^ 0x317);
+    Task { name: "MLP (synthetic)", train, test, model_builder: |rng| models::mlp(rng, 64, &[32], 5) }
+}
+
+/// All four paper tasks in Table I order.
+pub fn paper_tasks(seed: u64) -> Vec<Task> {
+    vec![mnist_like(seed), fashion_like(seed), cifar_like(seed), agnews_like(seed)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_math::seeded_rng;
+
+    #[test]
+    fn tasks_build_and_models_match_data() {
+        for task in paper_tasks(1) {
+            let mut rng = seeded_rng(0);
+            let mut model = task.build_model(&mut rng);
+            let batch = task.train.batch(&[0, 1], None);
+            let x = sg_tensor::Tensor::from_vec(batch.features.clone(), &batch.shape());
+            let logits = model.forward(&x, false);
+            assert_eq!(logits.shape()[0], 2, "{}", task.name);
+            assert_eq!(logits.shape()[1], task.train.num_classes(), "{}", task.name);
+        }
+    }
+
+    #[test]
+    fn task_datasets_are_seeded() {
+        let a = mnist_like(3);
+        let b = mnist_like(3);
+        assert_eq!(a.train.samples()[0], b.train.samples()[0]);
+    }
+
+    #[test]
+    fn mlp_task_is_small() {
+        let t = mlp_task(0);
+        let mut rng = seeded_rng(0);
+        let m = t.build_model(&mut rng);
+        assert!(m.num_params() < 5000);
+    }
+}

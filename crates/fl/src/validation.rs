@@ -1,0 +1,291 @@
+//! Validation-based defenses: FLTrust and Zeno.
+//!
+//! The SignGuard paper contrasts two defense families (Section II-B):
+//! statistic-based rules (everything in `sg-aggregators` + SignGuard) and
+//! *validation-based* rules that assume the server holds a small auxiliary
+//! ("root") dataset capturing the global distribution. The paper argues
+//! such data "may not always be available in practice" — these two
+//! implementations make the comparison concrete.
+//!
+//! * **FLTrust** (Cao et al., NDSS'21 — the paper's [27]): the server
+//!   computes its own gradient on the root data, weights each client
+//!   gradient by the ReLU-clipped cosine similarity to it, rescales every
+//!   accepted gradient to the server gradient's norm, and averages.
+//! * **Zeno** (Xie et al., ICML'19 — the paper's [17]): scores each
+//!   gradient by the estimated loss decrease on the root data minus a
+//!   magnitude penalty, `loss(x) − loss(x − γg) − ρ‖g‖²`, and averages the
+//!   `n − b` best-scoring gradients.
+//!
+//! Both live in `sg-fl` rather than `sg-aggregators` because they are not
+//! pure functions of the gradients: they need a model and data at the
+//! server. [`ValidatingServer`] adapts them to the [`Aggregator`] trait so
+//! the simulator and harness treat them uniformly.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sg_aggregators::{validate_gradients, AggregationOutput, Aggregator};
+use sg_data::Dataset;
+use sg_math::vecops;
+use sg_nn::{loss::softmax_cross_entropy, Sequential};
+use sg_tensor::Tensor;
+
+/// Which validation rule a [`ValidatingServer`] runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValidationRule {
+    /// FLTrust: ReLU-cosine trust scores against the server gradient.
+    FlTrust,
+    /// Zeno: stochastic descendant score; `b` is the number of gradients
+    /// dropped (set to the assumed Byzantine count), `rho` the magnitude
+    /// penalty weight, `gamma` the probe learning rate.
+    Zeno {
+        /// Gradients dropped (lowest scores).
+        b: usize,
+        /// Magnitude-penalty coefficient ρ.
+        rho: f32,
+        /// Probe step size γ.
+        gamma: f32,
+    },
+}
+
+/// A server-side validating aggregator holding a root dataset and a model
+/// replica (see module docs).
+pub struct ValidatingServer {
+    rule: ValidationRule,
+    model: Sequential,
+    root: Dataset,
+    batch: usize,
+    rng: StdRng,
+    params: Vec<f32>,
+}
+
+impl std::fmt::Debug for ValidatingServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ValidatingServer")
+            .field("rule", &self.rule)
+            .field("root_samples", &self.root.len())
+            .finish()
+    }
+}
+
+impl ValidatingServer {
+    /// Creates a validating server.
+    ///
+    /// `model` must match the federated global model architecture; `root`
+    /// is the server's auxiliary dataset (the paper-cited works use ~100
+    /// samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is empty or `batch == 0`.
+    pub fn new(rule: ValidationRule, model: Sequential, root: Dataset, batch: usize, seed: u64) -> Self {
+        assert!(!root.is_empty(), "ValidatingServer: empty root dataset");
+        assert!(batch > 0, "ValidatingServer: zero batch");
+        let params = model.param_vector();
+        Self { rule, model, root, batch, rng: sg_math::seeded_rng(seed), params }
+    }
+
+    /// Synchronizes the server replica with the global model; the
+    /// simulator calls this before each aggregation.
+    pub fn sync_params(&mut self, global: &[f32]) {
+        assert_eq!(global.len(), self.params.len(), "ValidatingServer: parameter length mismatch");
+        self.params.copy_from_slice(global);
+    }
+
+    fn sample_batch(&mut self) -> (Tensor, Vec<usize>) {
+        let bs = self.batch.min(self.root.len());
+        let idx: Vec<usize> = (0..bs).map(|_| self.rng.gen_range(0..self.root.len())).collect();
+        let batch = self.root.batch(&idx, None);
+        (Tensor::from_vec(batch.features.clone(), &batch.shape()), batch.labels)
+    }
+
+    /// Server gradient on a root mini-batch at the current parameters.
+    fn server_gradient(&mut self) -> Vec<f32> {
+        let (x, labels) = self.sample_batch();
+        self.model.set_param_vector(&self.params);
+        let logits = self.model.forward(&x, true);
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        self.model.zero_grad();
+        self.model.backward(&grad);
+        self.model.grad_vector()
+    }
+
+    /// Root-batch loss at given parameters.
+    fn loss_at(&mut self, params: &[f32], x: &Tensor, labels: &[usize]) -> f32 {
+        self.model.set_param_vector(params);
+        let logits = self.model.forward(x, false);
+        let (loss, _) = softmax_cross_entropy(&logits, labels);
+        loss
+    }
+
+    fn aggregate_fltrust(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
+        let dim = gradients[0].len();
+        let g0 = self.server_gradient();
+        let g0_norm = sg_math::l2_norm(&g0).max(1e-12);
+
+        let mut out = vec![0.0f32; dim];
+        let mut total_trust = 0.0f32;
+        let mut selected = Vec::new();
+        for (i, g) in gradients.iter().enumerate() {
+            let trust = vecops::cosine_similarity(g, &g0).max(0.0); // ReLU clip
+            if trust > 0.0 {
+                let gn = sg_math::l2_norm(g).max(1e-12);
+                // Normalize each accepted gradient to the server norm.
+                vecops::axpy(trust * g0_norm / gn, g, &mut out);
+                total_trust += trust;
+                selected.push(i);
+            }
+        }
+        if total_trust > 0.0 {
+            vecops::scale_in_place(&mut out, 1.0 / total_trust);
+        } else {
+            // No client trusted: fall back to the server's own gradient.
+            out = g0;
+        }
+        AggregationOutput::selected(out, selected)
+    }
+
+    fn aggregate_zeno(&mut self, gradients: &[Vec<f32>], b: usize, rho: f32, gamma: f32) -> AggregationOutput {
+        let n = gradients.len();
+        let (x, labels) = self.sample_batch();
+        let base_loss = self.loss_at(&self.params.clone(), &x, &labels);
+        let scores: Vec<f32> = gradients
+            .iter()
+            .map(|g| {
+                let probe: Vec<f32> =
+                    self.params.iter().zip(g).map(|(&p, &gi)| p - gamma * gi).collect();
+                let probe_loss = self.loss_at(&probe, &x, &labels);
+                base_loss - probe_loss - rho * vecops::l2_norm_sq(g)
+            })
+            .collect();
+        let keep = n.saturating_sub(b).max(1);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| scores[j].total_cmp(&scores[i]));
+        let mut selected: Vec<usize> = order[..keep].to_vec();
+        selected.sort_unstable();
+        let gradient = sg_aggregators::mean_of(gradients, &selected);
+        AggregationOutput::selected(gradient, selected)
+    }
+}
+
+impl Aggregator for ValidatingServer {
+    fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
+        validate_gradients(gradients);
+        match self.rule {
+            ValidationRule::FlTrust => self.aggregate_fltrust(gradients),
+            ValidationRule::Zeno { b, rho, gamma } => self.aggregate_zeno(gradients, b, rho, gamma),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.rule {
+            ValidationRule::FlTrust => "FLTrust",
+            ValidationRule::Zeno { .. } => "Zeno",
+        }
+    }
+
+    fn observe_global(&mut self, params: &[f32]) {
+        self.sync_params(params);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks;
+    use sg_math::seeded_rng;
+
+    fn make_server(rule: ValidationRule) -> (ValidatingServer, Vec<f32>, Vec<Vec<f32>>) {
+        let task = tasks::mlp_task(3);
+        let mut rng = seeded_rng(0);
+        let model = task.build_model(&mut rng);
+        let params = model.param_vector();
+        // Root data: first 50 test samples re-wrapped as a dataset.
+        let root = sg_data::Dataset::new(
+            task.test.samples()[..50].to_vec(),
+            task.test.item_shape().to_vec(),
+            task.test.num_classes(),
+        );
+        let server = ValidatingServer::new(rule, model, root, 32, 7);
+
+        // Honest gradients: actual model gradients on train batches.
+        let mut honest = Vec::new();
+        let mut m2 = task.build_model(&mut seeded_rng(0));
+        for c in 0..6 {
+            let idx: Vec<usize> = (0..16).map(|k| (c * 16 + k) % task.train.len()).collect();
+            let b = task.train.batch(&idx, None);
+            let x = Tensor::from_vec(b.features.clone(), &b.shape());
+            m2.set_param_vector(&params);
+            let logits = m2.forward(&x, true);
+            let (_, g) = sg_nn::loss::softmax_cross_entropy(&logits, &b.labels);
+            m2.zero_grad();
+            m2.backward(&g);
+            honest.push(m2.grad_vector());
+        }
+        (server, params, honest)
+    }
+
+    #[test]
+    fn fltrust_rejects_reversed_gradients() {
+        let (mut server, params, honest) = make_server(ValidationRule::FlTrust);
+        server.sync_params(&params);
+        let mut grads = honest.clone();
+        grads.push(honest[0].iter().map(|x| -x * 5.0).collect());
+        let out = server.aggregate(&grads);
+        let sel = out.selected.expect("fltrust selects");
+        assert!(!sel.contains(&6), "reversed gradient trusted: {sel:?}");
+        // Aggregate points the honest way.
+        let mean = vecops::mean_vector(&honest, honest[0].len());
+        assert!(vecops::cosine_similarity(&out.gradient, &mean) > 0.5);
+    }
+
+    #[test]
+    fn fltrust_norm_bounded_by_server_gradient() {
+        let (mut server, params, honest) = make_server(ValidationRule::FlTrust);
+        server.sync_params(&params);
+        // A huge-norm but well-aligned gradient must be rescaled, not dominant.
+        let mut grads = honest.clone();
+        grads.push(honest[0].iter().map(|x| x * 1000.0).collect());
+        let out = server.aggregate(&grads);
+        let server_norm = {
+            server.sync_params(&params);
+            sg_math::l2_norm(&server.server_gradient())
+        };
+        assert!(
+            sg_math::l2_norm(&out.gradient) <= server_norm * 1.5,
+            "aggregate norm {} vs server {server_norm}",
+            sg_math::l2_norm(&out.gradient)
+        );
+    }
+
+    #[test]
+    fn zeno_drops_harmful_gradients() {
+        let (mut server, params, honest) = make_server(ValidationRule::Zeno { b: 2, rho: 1e-4, gamma: 0.05 });
+        server.sync_params(&params);
+        let mut grads = honest.clone();
+        // Two loss-increasing gradients (reversed).
+        grads.push(honest[0].iter().map(|x| -x * 3.0).collect());
+        grads.push(honest[1].iter().map(|x| -x * 3.0).collect());
+        let out = server.aggregate(&grads);
+        let sel = out.selected.expect("zeno selects");
+        assert_eq!(sel.len(), 6);
+        assert!(!sel.contains(&6) && !sel.contains(&7), "reversed kept: {sel:?}");
+    }
+
+    #[test]
+    fn zeno_keeps_at_least_one() {
+        let (mut server, params, honest) = make_server(ValidationRule::Zeno { b: 100, rho: 1e-4, gamma: 0.05 });
+        server.sync_params(&params);
+        let out = server.aggregate(&honest);
+        assert_eq!(out.selected.expect("sel").len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty root dataset")]
+    fn empty_root_rejected() {
+        let task = tasks::mlp_task(3);
+        let mut rng = seeded_rng(0);
+        let model = task.build_model(&mut rng);
+        let root = sg_data::Dataset::new(vec![], task.test.item_shape().to_vec(), task.test.num_classes());
+        let _ = ValidatingServer::new(ValidationRule::FlTrust, model, root, 8, 0);
+    }
+}

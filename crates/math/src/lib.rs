@@ -1,0 +1,25 @@
+//! Vector math, statistics and random-sampling primitives shared by the
+//! SignGuard reproduction crates.
+//!
+//! Everything operates on plain `f32` slices so the federated-learning
+//! gradient pipeline (which flattens model gradients into `Vec<f32>`) can use
+//! these functions without conversions.
+//!
+//! # Examples
+//!
+//! ```
+//! use sg_math::vecops;
+//!
+//! let g = [3.0_f32, 4.0];
+//! assert_eq!(vecops::l2_norm(&g), 5.0);
+//! ```
+
+pub mod normal;
+pub mod rng;
+pub mod stats;
+pub mod vecops;
+
+pub use normal::{normal_cdf, normal_quantile, NormalSampler};
+pub use rng::{seeded_rng, SeedStream};
+pub use stats::{mean, median, quantile, std_dev, variance};
+pub use vecops::{cosine_similarity, dot, l2_distance, l2_norm};

@@ -1,0 +1,220 @@
+//! Gaussian sampling and the standard-normal CDF / quantile.
+//!
+//! The Little-is-Enough attack (paper Eq. (2)) picks its attack factor
+//! `z_max = max_z { φ(z) < (n - ⌊n/2 + 1⌋) / (n - m) }` from the standard
+//! normal CDF `φ`, so an accurate CDF and inverse CDF are part of the
+//! reproduction's substrate. Sampling uses the Box–Muller transform to avoid
+//! pulling in `rand_distr`.
+
+use rand::Rng;
+
+/// Standard-normal cumulative distribution function `φ(z) = P(Z ≤ z)`.
+///
+/// Uses the Abramowitz–Stegun 7.1.26 erf approximation (max absolute error
+/// about 1.5e-7, far below what the attack calibration needs).
+///
+/// # Examples
+///
+/// ```
+/// let half = sg_math::normal_cdf(0.0);
+/// assert!((half - 0.5).abs() < 1e-7);
+/// ```
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard-normal quantile function (inverse CDF).
+///
+/// Implements the Acklam rational approximation refined by one Halley step,
+/// accurate to ~1e-9 over `(0, 1)`.
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile: p={p} must be in (0,1)");
+
+    // Coefficients for the Acklam approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step against the high-accuracy CDF.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Box–Muller standard-normal sampler.
+///
+/// Generates pairs internally and caches the spare value, so consecutive
+/// calls cost one uniform draw on average.
+///
+/// # Examples
+///
+/// ```
+/// use sg_math::{seeded_rng, NormalSampler};
+///
+/// let mut rng = seeded_rng(7);
+/// let mut normal = NormalSampler::new(0.0, 1.0);
+/// let x = normal.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct NormalSampler {
+    mean: f64,
+    std: f64,
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    /// Creates a sampler for `N(mean, std^2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative or non-finite.
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(std >= 0.0 && std.is_finite(), "NormalSampler: invalid std {std}");
+        Self { mean, std, spare: None }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        let z = if let Some(s) = self.spare.take() {
+            s
+        } else {
+            // Box–Muller: u1 in (0,1] to avoid ln(0).
+            let u1: f64 = 1.0 - rng.gen::<f64>();
+            let u2: f64 = rng.gen();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            self.spare = Some(r * theta.sin());
+            r * theta.cos()
+        };
+        self.mean + self.std * z
+    }
+
+    /// Draws `n` samples as `f32`, the precision used throughout the
+    /// gradient pipeline.
+    pub fn sample_vec<R: Rng + ?Sized>(&mut self, rng: &mut R, n: usize) -> Vec<f32> {
+        (0..n).map(|_| self.sample(rng) as f32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn cdf_symmetry_and_known_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.0) - 0.841_344_746).abs() < 1e-6);
+        assert!((normal_cdf(-1.0) - (1.0 - normal_cdf(1.0))).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 2e-4);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &p in &[0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999] {
+            let z = normal_quantile(p);
+            assert!((normal_cdf(z) - p).abs() < 1e-6, "p={p} z={z}");
+        }
+    }
+
+    #[test]
+    fn quantile_median_is_zero() {
+        assert!(normal_quantile(0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0,1)")]
+    fn quantile_out_of_range_panics() {
+        let _ = normal_quantile(1.0);
+    }
+
+    #[test]
+    fn sampler_moments() {
+        let mut rng = seeded_rng(42);
+        let mut s = NormalSampler::new(2.0, 3.0);
+        let xs: Vec<f64> = (0..200_000).map(|_| s.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean={mean}");
+        assert!((var - 9.0).abs() < 0.2, "var={var}");
+    }
+
+    #[test]
+    fn sampler_zero_std_is_constant() {
+        let mut rng = seeded_rng(1);
+        let mut s = NormalSampler::new(5.0, 0.0);
+        for _ in 0..10 {
+            assert_eq!(s.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,197 @@
+//! Scalar statistics: means, variances, medians and quantiles.
+//!
+//! The robust aggregation rules lean heavily on order statistics (median
+//! norms, trimmed coordinate means), so the selection routines here use
+//! `select_nth_unstable` for `O(n)` behaviour rather than a full sort.
+
+/// Arithmetic mean of `xs`; `0.0` for an empty slice.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|&x| f64::from(x)).sum::<f64>() / xs.len() as f64) as f32
+}
+
+/// Population (biased) variance of `xs`; `0.0` for fewer than two elements.
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = f64::from(mean(xs));
+    (xs.iter()
+        .map(|&x| {
+            let d = f64::from(x) - m;
+            d * d
+        })
+        .sum::<f64>()
+        / xs.len() as f64) as f32
+}
+
+/// Population standard deviation of `xs`.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    variance(xs).sqrt()
+}
+
+/// Median of `xs` (average of the two central elements for even lengths).
+///
+/// NaN elements are ordered last, so a slice with a minority of NaNs still
+/// yields a finite median — important because Byzantine clients may send NaN
+/// gradients on purpose.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn median(xs: &[f32]) -> f32 {
+    assert!(!xs.is_empty(), "median of empty slice");
+    let mut buf = xs.to_vec();
+    let n = buf.len();
+    let mid = n / 2;
+    let (_, hi, _) = buf.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+    let hi = *hi;
+    if n % 2 == 1 {
+        hi
+    } else {
+        let (_, lo, _) = buf.select_nth_unstable_by(mid - 1, |a, b| a.total_cmp(b));
+        (*lo + hi) / 2.0
+    }
+}
+
+/// `q`-quantile of `xs` using linear interpolation between order statistics.
+///
+/// `q` is clamped to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn quantile(xs: &[f32], q: f32) -> f32 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    let q = q.clamp(0.0, 1.0);
+    let mut buf = xs.to_vec();
+    buf.sort_unstable_by(|a, b| a.total_cmp(b));
+    let pos = q as f64 * (buf.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        buf[lo]
+    } else {
+        let w = (pos - lo as f64) as f32;
+        buf[lo] * (1.0 - w) + buf[hi] * w
+    }
+}
+
+/// Mean of `xs` after removing the `k` smallest and `k` largest entries.
+///
+/// This is the scalar kernel of the coordinate-wise trimmed-mean GAR.
+///
+/// # Panics
+///
+/// Panics if `2 * k >= xs.len()`.
+pub fn trimmed_mean(xs: &[f32], k: usize) -> f32 {
+    assert!(2 * k < xs.len(), "trimmed_mean: trimming {k} from each side empties {} items", xs.len());
+    if k == 0 {
+        return mean(xs);
+    }
+    let mut buf = xs.to_vec();
+    buf.sort_unstable_by(|a, b| a.total_cmp(b));
+    mean(&buf[k..buf.len() - k])
+}
+
+/// Index of the minimum value (ties resolved to the first).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn argmin(xs: &[f32]) -> usize {
+    assert!(!xs.is_empty(), "argmin of empty slice");
+    xs.iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.total_cmp(b))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+/// Index of the maximum value (ties resolved to the first).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn argmax(xs: &[f32]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    xs.iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.total_cmp(b))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(variance(&[5.0; 10]), 0.0);
+    }
+
+    #[test]
+    fn variance_known_value() {
+        // Population variance of [1,2,3,4] = 1.25.
+        assert!((variance(&[1.0, 2.0, 3.0, 4.0]) - 1.25).abs() < 1e-6);
+        assert!((std_dev(&[1.0, 2.0, 3.0, 4.0]) - 1.25f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn median_with_minority_nan_is_finite() {
+        let m = median(&[1.0, f32::NAN, 2.0, 3.0, 4.0]);
+        assert!(m.is_finite());
+        assert_eq!(m, 3.0); // NaN sorts last; median of 5 items is index 2.
+    }
+
+    #[test]
+    #[should_panic(expected = "median of empty")]
+    fn median_empty_panics() {
+        let _ = median(&[]);
+    }
+
+    #[test]
+    fn quantile_endpoints_and_middle() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert!((quantile(&xs, 0.25) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trimmed_mean_removes_outliers() {
+        let xs = [1.0, 2.0, 3.0, 100.0, -100.0];
+        assert_eq!(trimmed_mean(&xs, 1), 2.0);
+        assert_eq!(trimmed_mean(&xs, 0), mean(&xs));
+    }
+
+    #[test]
+    #[should_panic(expected = "trimmed_mean")]
+    fn trimmed_mean_overtrim_panics() {
+        let _ = trimmed_mean(&[1.0, 2.0], 1);
+    }
+
+    #[test]
+    fn argmin_argmax() {
+        let xs = [3.0, -1.0, 7.0, -1.0];
+        assert_eq!(argmin(&xs), 1);
+        assert_eq!(argmax(&xs), 2);
+    }
+}

@@ -1,0 +1,337 @@
+//! Dense vector operations on `f32` slices.
+//!
+//! These are the hot-path primitives of the reproduction: every aggregation
+//! rule, attack and filter reduces to norms, dot products and element-wise
+//! arithmetic over flattened gradients.
+
+/// Returns the l2 (Euclidean) norm of `v`.
+///
+/// Accumulates in `f64` to stay accurate for the million-element gradients
+/// produced by the CNN/ResNet models.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(sg_math::vecops::l2_norm(&[3.0, 4.0]), 5.0);
+/// ```
+pub fn l2_norm(v: &[f32]) -> f32 {
+    v.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt() as f32
+}
+
+/// Returns the squared l2 norm of `v`.
+pub fn l2_norm_sq(v: &[f32]) -> f32 {
+    v.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>() as f32
+}
+
+/// Returns the dot product of `a` and `b`.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different lengths.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| f64::from(x) * f64::from(y)).sum::<f64>() as f32
+}
+
+/// Returns the Euclidean distance between `a` and `b`.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different lengths.
+pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "l2_distance: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt() as f32
+}
+
+/// Returns the squared Euclidean distance between `a` and `b`.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different lengths.
+pub fn l2_distance_sq(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "l2_distance_sq: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum::<f64>() as f32
+}
+
+/// Returns the cosine similarity `a·b / (‖a‖‖b‖)`.
+///
+/// Returns `0.0` when either vector has zero norm, which is the conservative
+/// choice for gradient-similarity features (an all-zero gradient carries no
+/// directional information).
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different lengths.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    let na = l2_norm(a);
+    let nb = l2_norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Computes `out[i] = a[i] + b[i]`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x + y).collect()
+}
+
+/// Computes `out[i] = a[i] - b[i]`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn sub(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x - y).collect()
+}
+
+/// Returns `v` scaled by `s`.
+pub fn scale(v: &[f32], s: f32) -> Vec<f32> {
+    v.iter().map(|&x| x * s).collect()
+}
+
+/// In-place `y += alpha * x` (the BLAS `axpy` kernel).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place `v *= s`.
+pub fn scale_in_place(v: &mut [f32], s: f32) {
+    for x in v.iter_mut() {
+        *x *= s;
+    }
+}
+
+/// Returns the coordinate-wise mean of `vectors` (each of dimension `dim`).
+///
+/// Returns an all-zero vector when `vectors` is empty.
+pub fn mean_vector(vectors: &[Vec<f32>], dim: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; dim];
+    if vectors.is_empty() {
+        return out;
+    }
+    for v in vectors {
+        assert_eq!(v.len(), dim, "mean_vector: dimension mismatch");
+        axpy(1.0, v, &mut out);
+    }
+    let inv = 1.0 / vectors.len() as f32;
+    scale_in_place(&mut out, inv);
+    out
+}
+
+/// Returns the coordinate-wise (biased) standard deviation of `vectors`.
+///
+/// This matches `std(g_{i∈[n]})` in the LIE / Min-Max attack definitions:
+/// for each coordinate `j`, `σ_j = sqrt(mean_i (g_i[j] - μ_j)^2)`.
+pub fn std_vector(vectors: &[Vec<f32>], dim: usize) -> Vec<f32> {
+    let mu = mean_vector(vectors, dim);
+    let mut out = vec![0.0f32; dim];
+    if vectors.len() < 2 {
+        return out;
+    }
+    for v in vectors {
+        for (o, (&x, &m)) in out.iter_mut().zip(v.iter().zip(&mu)) {
+            let d = x - m;
+            *o += d * d;
+        }
+    }
+    let inv = 1.0 / vectors.len() as f32;
+    for o in out.iter_mut() {
+        *o = (*o * inv).sqrt();
+    }
+    out
+}
+
+/// Sign of each element: `+1.0`, `0.0` or `-1.0`.
+pub fn sign_vector(v: &[f32]) -> Vec<f32> {
+    v.iter()
+        .map(|&x| {
+            if x > 0.0 {
+                1.0
+            } else if x < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Counts of (positive, zero, negative) entries in `v`.
+///
+/// NaN entries count as zero-sign: an undefined coordinate carries no
+/// directional information, and the SignGuard filter treats it as neutral.
+pub fn sign_counts(v: &[f32]) -> (usize, usize, usize) {
+    let mut pos = 0;
+    let mut zero = 0;
+    let mut neg = 0;
+    for &x in v {
+        if x > 0.0 {
+            pos += 1;
+        } else if x < 0.0 {
+            neg += 1;
+        } else {
+            zero += 1;
+        }
+    }
+    (pos, zero, neg)
+}
+
+/// Clips `v` in l2 norm to at most `max_norm`, returning the scaled copy.
+///
+/// Gradients with `‖v‖ ≤ max_norm` are returned unchanged; larger gradients
+/// are rescaled onto the ball boundary (`min(1, max_norm/‖v‖)` in the paper's
+/// Algorithm 2, line 14).
+pub fn clip_norm(v: &[f32], max_norm: f32) -> Vec<f32> {
+    let n = l2_norm(v);
+    if n <= max_norm || n == 0.0 {
+        v.to_vec()
+    } else {
+        scale(v, max_norm / n)
+    }
+}
+
+/// Returns `true` if every element of `v` is finite.
+pub fn all_finite(v: &[f32]) -> bool {
+    v.iter().all(|x| x.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_of_unit_axes() {
+        assert_eq!(l2_norm(&[1.0, 0.0, 0.0]), 1.0);
+        assert_eq!(l2_norm(&[0.0; 8]), 0.0);
+    }
+
+    #[test]
+    fn norm_345() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+        assert!((l2_norm_sq(&[3.0, 4.0]) - 25.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn dot_orthogonal_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_matches_manual() {
+        assert!((dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]) - 32.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn distance_symmetry() {
+        let a = [1.0, 2.0, -3.0];
+        let b = [-2.0, 0.5, 4.0];
+        assert!((l2_distance(&a, &b) - l2_distance(&b, &a)).abs() < 1e-7);
+        assert!((l2_distance_sq(&a, &b) - l2_distance(&a, &b).powi(2)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cosine_parallel_and_antiparallel() {
+        let a = [1.0, 2.0, 3.0];
+        let b = scale(&a, 2.5);
+        let c = scale(&a, -1.0);
+        assert!((cosine_similarity(&a, &b) - 1.0).abs() < 1e-6);
+        assert!((cosine_similarity(&a, &c) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn mean_vector_of_two() {
+        let vs = vec![vec![1.0, 2.0], vec![3.0, 6.0]];
+        assert_eq!(mean_vector(&vs, 2), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn mean_vector_empty_is_zero() {
+        assert_eq!(mean_vector(&[], 3), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn std_vector_of_symmetric_pair() {
+        let vs = vec![vec![-1.0, 2.0], vec![1.0, 2.0]];
+        let s = std_vector(&vs, 2);
+        assert!((s[0] - 1.0).abs() < 1e-6);
+        assert!(s[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn sign_counts_basic() {
+        assert_eq!(sign_counts(&[1.0, -2.0, 0.0, 3.0, f32::NAN]), (2, 2, 1));
+    }
+
+    #[test]
+    fn sign_vector_matches_counts() {
+        let v = [0.5, -0.25, 0.0];
+        assert_eq!(sign_vector(&v), vec![1.0, -1.0, 0.0]);
+    }
+
+    #[test]
+    fn clip_norm_leaves_small_vectors() {
+        let v = [0.3, 0.4];
+        assert_eq!(clip_norm(&v, 1.0), v.to_vec());
+    }
+
+    #[test]
+    fn clip_norm_scales_large_vectors() {
+        let v = [3.0, 4.0];
+        let c = clip_norm(&v, 1.0);
+        assert!((l2_norm(&c) - 1.0).abs() < 1e-6);
+        // Direction preserved.
+        assert!((cosine_similarity(&v, &c) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn all_finite_detects_nan_and_inf() {
+        assert!(all_finite(&[1.0, -2.0]));
+        assert!(!all_finite(&[1.0, f32::NAN]));
+        assert!(!all_finite(&[f32::INFINITY]));
+    }
+}

@@ -1,0 +1,185 @@
+//! Element-wise activation layers: ReLU and (inverted) dropout.
+
+use rand::Rng;
+use sg_math::seeded_rng;
+use sg_tensor::Tensor;
+
+use crate::layer::Layer;
+
+/// Rectified linear unit, `y = max(0, x)`.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+    shape: Vec<usize>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.mask = input.data().iter().map(|&x| x > 0.0).collect();
+        self.shape = input.shape().to_vec();
+        input.map(|x| if x > 0.0 { x } else { 0.0 })
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert_eq!(grad_output.numel(), self.mask.len(), "Relu::backward before forward");
+        let data = grad_output
+            .data()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, &self.shape)
+    }
+
+    fn num_params(&self) -> usize {
+        0
+    }
+
+    fn write_params(&self, _out: &mut [f32]) -> usize {
+        0
+    }
+
+    fn read_params(&mut self, _src: &[f32]) -> usize {
+        0
+    }
+
+    fn write_grads(&self, _out: &mut [f32]) -> usize {
+        0
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "Relu"
+    }
+}
+
+/// Inverted dropout: at train time, zeroes activations with probability `p`
+/// and scales survivors by `1/(1-p)`; identity at eval time.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    rng_seed: u64,
+    counter: u64,
+    mask: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and a seed for the
+    /// internal mask stream (kept per-layer so experiments reproduce).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "Dropout: p={p} out of [0,1)");
+        Self { p, rng_seed: seed, counter: 0, mask: Vec::new(), shape: Vec::new() }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.shape = input.shape().to_vec();
+        if !train || self.p == 0.0 {
+            self.mask = vec![1.0; input.numel()];
+            return input.clone();
+        }
+        self.counter += 1;
+        let mut rng = seeded_rng(self.rng_seed.wrapping_add(self.counter));
+        let keep = 1.0 - self.p;
+        let inv = 1.0 / keep;
+        self.mask = (0..input.numel())
+            .map(|_| if rng.gen::<f32>() < keep { inv } else { 0.0 })
+            .collect();
+        let data = input.data().iter().zip(&self.mask).map(|(&x, &m)| x * m).collect();
+        Tensor::from_vec(data, input.shape())
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert_eq!(grad_output.numel(), self.mask.len(), "Dropout::backward before forward");
+        let data = grad_output.data().iter().zip(&self.mask).map(|(&g, &m)| g * m).collect();
+        Tensor::from_vec(data, &self.shape)
+    }
+
+    fn num_params(&self) -> usize {
+        0
+    }
+
+    fn write_params(&self, _out: &mut [f32]) -> usize {
+        0
+    }
+
+    fn read_params(&mut self, _src: &[f32]) -> usize {
+        0
+    }
+
+    fn write_grads(&self, _out: &mut [f32]) -> usize {
+        0
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(r.forward(&x, true).data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 3.0], &[2]);
+        r.forward(&x, true);
+        let g = r.backward(&Tensor::from_vec(vec![5.0, 7.0], &[2]));
+        assert_eq!(g.data(), &[0.0, 7.0]);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut d = Dropout::new(0.5, 9);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        assert_eq!(d.forward(&x, false).data(), x.data());
+    }
+
+    #[test]
+    fn dropout_train_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 10);
+        let x = Tensor::ones(&[10_000]);
+        let mut total = 0.0f64;
+        for _ in 0..10 {
+            total += f64::from(d.forward(&x, true).sum());
+        }
+        let mean = total / (10.0 * 10_000.0);
+        assert!((mean - 1.0).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 11);
+        let x = Tensor::ones(&[100]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::ones(&[100]));
+        // Gradient is zero exactly where the output was zero.
+        for (o, gi) in y.data().iter().zip(g.data()) {
+            assert_eq!(*o == 0.0, *gi == 0.0);
+        }
+    }
+}

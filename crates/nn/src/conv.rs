@@ -1,0 +1,247 @@
+//! 2-D convolution layer via im2col lowering.
+
+use rand::Rng;
+use sg_tensor::{im2col, col2im, kaiming_uniform, Conv2dSpec, Tensor};
+
+use crate::layer::{read_slice, write_slice, Layer};
+
+/// 2-D convolution over `[batch, in_channels, H, W]` inputs.
+///
+/// Weights are stored `[out_channels, in_channels * k_h * k_w]`; forward is
+/// one GEMM per batch item over the im2col-unfolded input, as in CPU
+/// PyTorch.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    spec: Conv2dSpec,
+    out_channels: usize,
+    weight: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weight: Vec<f32>,
+    grad_bias: Vec<f32>,
+    cached_cols: Vec<Vec<f32>>,
+    cached_batch: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        in_h: usize,
+        in_w: usize,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0, "Conv2d: zero-sized config");
+        let spec = Conv2dSpec { in_channels, in_h, in_w, k_h: kernel, k_w: kernel, stride, padding };
+        let fan_in = in_channels * kernel * kernel;
+        Self {
+            spec,
+            out_channels,
+            weight: kaiming_uniform(rng, out_channels * fan_in, fan_in),
+            bias: vec![0.0; out_channels],
+            grad_weight: vec![0.0; out_channels * fan_in],
+            grad_bias: vec![0.0; out_channels],
+            cached_cols: Vec::new(),
+            cached_batch: 0,
+        }
+    }
+
+    /// Output shape `[out_channels, out_h, out_w]` for one item.
+    pub fn output_shape(&self) -> [usize; 3] {
+        [self.out_channels, self.spec.out_h(), self.spec.out_w()]
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> &Conv2dSpec {
+        &self.spec
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let s = &self.spec;
+        assert_eq!(input.ndim(), 4, "Conv2d: expected [B, C, H, W]");
+        let (b, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        assert_eq!((c, h, w), (s.in_channels, s.in_h, s.in_w), "Conv2d: input geometry mismatch");
+
+        let (oh, ow) = (s.out_h(), s.out_w());
+        let col_rows = s.col_rows();
+        let col_cols = s.col_cols();
+        let item = c * h * w;
+        let w_mat = Tensor::from_vec(self.weight.clone(), &[self.out_channels, col_rows]);
+
+        let mut out = vec![0.0f32; b * self.out_channels * oh * ow];
+        self.cached_cols.clear();
+        self.cached_batch = b;
+        for i in 0..b {
+            let mut cols = vec![0.0f32; col_rows * col_cols];
+            im2col(&input.data()[i * item..(i + 1) * item], s, &mut cols);
+            let cols_t = Tensor::from_vec(cols.clone(), &[col_rows, col_cols]);
+            let y = w_mat.matmul(&cols_t); // [OC, oh*ow]
+            let base = i * self.out_channels * oh * ow;
+            for oc in 0..self.out_channels {
+                let bias = self.bias[oc];
+                let dst = &mut out[base + oc * oh * ow..base + (oc + 1) * oh * ow];
+                let src = &y.data()[oc * col_cols..(oc + 1) * col_cols];
+                for (d, &v) in dst.iter_mut().zip(src) {
+                    *d = v + bias;
+                }
+            }
+            self.cached_cols.push(cols);
+        }
+        Tensor::from_vec(out, &[b, self.out_channels, oh, ow])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let s = &self.spec;
+        let b = self.cached_batch;
+        assert!(b > 0, "Conv2d::backward before forward");
+        let (oh, ow) = (s.out_h(), s.out_w());
+        assert_eq!(grad_output.shape(), &[b, self.out_channels, oh, ow], "Conv2d: grad shape mismatch");
+
+        let col_rows = s.col_rows();
+        let col_cols = s.col_cols();
+        let item_out = self.out_channels * oh * ow;
+        let item_in = s.in_channels * s.in_h * s.in_w;
+        let w_mat = Tensor::from_vec(self.weight.clone(), &[self.out_channels, col_rows]);
+
+        let mut grad_input = vec![0.0f32; b * item_in];
+        for i in 0..b {
+            let go = &grad_output.data()[i * item_out..(i + 1) * item_out];
+            let go_t = Tensor::from_vec(go.to_vec(), &[self.out_channels, col_cols]);
+            // dW += dY @ cols^T  ([OC, col_rows])
+            let cols_t = Tensor::from_vec(self.cached_cols[i].clone(), &[col_rows, col_cols]);
+            let dw = go_t.matmul_bt(&cols_t);
+            for (g, &d) in self.grad_weight.iter_mut().zip(dw.data()) {
+                *g += d;
+            }
+            // db += row sums of dY.
+            for oc in 0..self.out_channels {
+                self.grad_bias[oc] += go[oc * col_cols..(oc + 1) * col_cols].iter().sum::<f32>();
+            }
+            // dCols = W^T @ dY  ([col_rows, col_cols]) -> fold back.
+            let dcols = w_mat.matmul_at(&go_t);
+            col2im(dcols.data(), s, &mut grad_input[i * item_in..(i + 1) * item_in]);
+        }
+        Tensor::from_vec(grad_input, &[b, s.in_channels, s.in_h, s.in_w])
+    }
+
+    fn num_params(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn write_params(&self, out: &mut [f32]) -> usize {
+        let n = write_slice(out, &self.weight);
+        n + write_slice(&mut out[n..], &self.bias)
+    }
+
+    fn read_params(&mut self, src: &[f32]) -> usize {
+        let n = read_slice(&mut self.weight, src);
+        n + read_slice(&mut self.bias, &src[n..])
+    }
+
+    fn write_grads(&self, out: &mut [f32]) -> usize {
+        let n = write_slice(out, &self.grad_weight);
+        n + write_slice(&mut out[n..], &self.grad_bias)
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_weight.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_bias.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_math::seeded_rng;
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 kernel with weight 1 is the identity map.
+        let mut rng = seeded_rng(0);
+        let mut conv = Conv2d::new(&mut rng, 1, 1, 1, 1, 0, 3, 3);
+        let mut p = vec![0.0; conv.num_params()];
+        p[0] = 1.0;
+        conv.read_params(&p);
+        let x = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[1, 1, 3, 3]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // Sum kernel over a 2x2 input with padding 0: single output = sum.
+        let mut rng = seeded_rng(0);
+        let mut conv = Conv2d::new(&mut rng, 1, 1, 2, 1, 0, 2, 2);
+        let p = vec![1.0, 1.0, 1.0, 1.0, 0.0]; // 4 weights + bias
+        conv.read_params(&p);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 10.0);
+    }
+
+    #[test]
+    fn gradient_check_small_conv() {
+        let mut rng = seeded_rng(5);
+        let mut conv = Conv2d::new(&mut rng, 2, 3, 3, 1, 1, 4, 4);
+        let x_data: Vec<f32> = (0..2 * 2 * 4 * 4).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let x = Tensor::from_vec(x_data.clone(), &[2, 2, 4, 4]);
+
+        let out = conv.forward(&x, true);
+        conv.zero_grad();
+        let dx = conv.backward(&Tensor::ones(out.shape()));
+
+        let mut params = vec![0.0; conv.num_params()];
+        conv.write_params(&mut params);
+        let mut grads = vec![0.0; conv.num_params()];
+        conv.write_grads(&mut grads);
+
+        let eps = 1e-2f32;
+        // Spot-check a spread of parameters (full check is slow).
+        for &p in &[0usize, 7, 19, 35, conv.num_params() - 2, conv.num_params() - 1] {
+            let mut plus = params.clone();
+            plus[p] += eps;
+            conv.read_params(&plus);
+            let lp = conv.forward(&x, true).sum();
+            let mut minus = params.clone();
+            minus[p] -= eps;
+            conv.read_params(&minus);
+            let lm = conv.forward(&x, true).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - grads[p]).abs() < 0.05, "param {p}: numeric {numeric} vs {}", grads[p]);
+        }
+
+        // Input gradient spot check.
+        conv.read_params(&params);
+        for &i in &[0usize, 13, 31, 63] {
+            let mut xp = x_data.clone();
+            xp[i] += eps;
+            let lp = conv.forward(&Tensor::from_vec(xp, x.shape()), true).sum();
+            let mut xm = x_data.clone();
+            xm[i] -= eps;
+            let lm = conv.forward(&Tensor::from_vec(xm, x.shape()), true).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - dx.data()[i]).abs() < 0.05, "input {i}");
+        }
+    }
+
+    #[test]
+    fn stride_two_halves_output() {
+        let mut rng = seeded_rng(1);
+        let conv = Conv2d::new(&mut rng, 3, 8, 3, 2, 1, 16, 16);
+        assert_eq!(conv.output_shape(), [8, 8, 8]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Fully-connected layer.
+
+use rand::Rng;
+use sg_tensor::{kaiming_uniform, Tensor};
+
+use crate::layer::{read_slice, write_slice, Layer};
+
+/// A fully-connected layer `y = x W^T + b`.
+///
+/// Weights are stored `[out_features, in_features]` (PyTorch layout) so the
+/// forward pass is a `matmul_bt` over row-major buffers.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    weight: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weight: Vec<f32>,
+    grad_bias: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Kaiming-uniform weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        assert!(in_features > 0 && out_features > 0, "Dense: zero-sized layer");
+        Self {
+            in_features,
+            out_features,
+            weight: kaiming_uniform(rng, out_features * in_features, in_features),
+            bias: vec![0.0; out_features],
+            grad_weight: vec![0.0; out_features * in_features],
+            grad_bias: vec![0.0; out_features],
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 2, "Dense: expected [batch, features] input");
+        assert_eq!(input.shape()[1], self.in_features, "Dense: feature mismatch");
+        let w = Tensor::from_vec(self.weight.clone(), &[self.out_features, self.in_features]);
+        let out = input.matmul_bt(&w).add_row_bias(&self.bias);
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("Dense::backward before forward");
+        let batch = input.shape()[0];
+        assert_eq!(grad_output.shape(), &[batch, self.out_features], "Dense: grad shape mismatch");
+
+        // dW = grad_output^T @ input  ([out, in])
+        let dw = grad_output.matmul_at(input);
+        for (g, &d) in self.grad_weight.iter_mut().zip(dw.data()) {
+            *g += d;
+        }
+        // db = column sums of grad_output.
+        for (g, d) in self.grad_bias.iter_mut().zip(grad_output.col_sums()) {
+            *g += d;
+        }
+        // dX = grad_output @ W  ([batch, in])
+        let w = Tensor::from_vec(self.weight.clone(), &[self.out_features, self.in_features]);
+        grad_output.matmul(&w)
+    }
+
+    fn num_params(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn write_params(&self, out: &mut [f32]) -> usize {
+        let n = write_slice(out, &self.weight);
+        n + write_slice(&mut out[n..], &self.bias)
+    }
+
+    fn read_params(&mut self, src: &[f32]) -> usize {
+        let n = read_slice(&mut self.weight, src);
+        n + read_slice(&mut self.bias, &src[n..])
+    }
+
+    fn write_grads(&self, out: &mut [f32]) -> usize {
+        let n = write_slice(out, &self.grad_weight);
+        n + write_slice(&mut out[n..], &self.grad_bias)
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_weight.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_bias.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_math::seeded_rng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = seeded_rng(0);
+        let mut layer = Dense::new(&mut rng, 3, 2);
+        // Zero the weights, set bias, check output equals bias everywhere.
+        let zeros = vec![0.0; layer.num_params()];
+        layer.read_params(&zeros);
+        let mut params = vec![0.0; layer.num_params()];
+        layer.write_params(&mut params);
+        params[6] = 1.5; // bias[0]
+        params[7] = -0.5; // bias[1]
+        layer.read_params(&params);
+        let out = layer.forward(&Tensor::ones(&[4, 3]), true);
+        assert_eq!(out.shape(), &[4, 2]);
+        for i in 0..4 {
+            assert_eq!(out.at2(i, 0), 1.5);
+            assert_eq!(out.at2(i, 1), -0.5);
+        }
+    }
+
+    #[test]
+    fn param_round_trip() {
+        let mut rng = seeded_rng(1);
+        let layer = Dense::new(&mut rng, 4, 3);
+        let mut buf = vec![0.0; layer.num_params()];
+        assert_eq!(layer.write_params(&mut buf), 15);
+        let mut layer2 = Dense::new(&mut rng, 4, 3);
+        layer2.read_params(&buf);
+        let mut buf2 = vec![0.0; 15];
+        layer2.write_params(&mut buf2);
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn gradient_check_finite_difference() {
+        // Compare analytic gradients against central differences on a tiny
+        // layer with a scalar loss L = sum(forward(x)).
+        let mut rng = seeded_rng(2);
+        let mut layer = Dense::new(&mut rng, 3, 2);
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 1.0, 0.0, -0.5], &[2, 3]);
+
+        let out = layer.forward(&x, true);
+        let ones = Tensor::ones(out.shape());
+        layer.zero_grad();
+        let dx = layer.backward(&ones);
+
+        let mut params = vec![0.0; layer.num_params()];
+        layer.write_params(&mut params);
+        let mut grads = vec![0.0; layer.num_params()];
+        layer.write_grads(&mut grads);
+
+        let eps = 1e-3f32;
+        for p in 0..params.len() {
+            let mut plus = params.clone();
+            plus[p] += eps;
+            layer.read_params(&plus);
+            let lp = layer.forward(&x, true).sum();
+            let mut minus = params.clone();
+            minus[p] -= eps;
+            layer.read_params(&minus);
+            let lm = layer.forward(&x, true).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - grads[p]).abs() < 1e-2, "param {p}: numeric {numeric} analytic {}", grads[p]);
+        }
+
+        // Input gradient check.
+        layer.read_params(&params);
+        let xv = x.data().to_vec();
+        for i in 0..xv.len() {
+            let mut xp = xv.clone();
+            xp[i] += eps;
+            let lp = layer.forward(&Tensor::from_vec(xp, x.shape()), true).sum();
+            let mut xm = xv.clone();
+            xm[i] -= eps;
+            let lm = layer.forward(&Tensor::from_vec(xm, x.shape()), true).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - dx.data()[i]).abs() < 1e-2, "input {i}");
+        }
+    }
+
+    #[test]
+    fn grads_accumulate_until_zeroed() {
+        let mut rng = seeded_rng(3);
+        let mut layer = Dense::new(&mut rng, 2, 2);
+        let x = Tensor::ones(&[1, 2]);
+        let g = Tensor::ones(&[1, 2]);
+        layer.forward(&x, true);
+        layer.backward(&g);
+        let mut g1 = vec![0.0; layer.num_params()];
+        layer.write_grads(&mut g1);
+        layer.forward(&x, true);
+        layer.backward(&g);
+        let mut g2 = vec![0.0; layer.num_params()];
+        layer.write_grads(&mut g2);
+        for (a, b) in g1.iter().zip(&g2) {
+            assert!((2.0 * a - b).abs() < 1e-6);
+        }
+        layer.zero_grad();
+        let mut g3 = vec![0.0; layer.num_params()];
+        layer.write_grads(&mut g3);
+        assert!(g3.iter().all(|&v| v == 0.0));
+    }
+}

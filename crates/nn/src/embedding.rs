@@ -1,0 +1,165 @@
+//! Token embedding lookup layer.
+
+use rand::Rng;
+use sg_tensor::{xavier_uniform, Tensor};
+
+use crate::layer::{read_slice, write_slice, Layer};
+
+/// Embedding lookup: `[B, T]` token ids (stored as `f32`) → `[B, T, E]`.
+///
+/// The gradient of an embedding is **sparse** — only rows of tokens that
+/// occurred in the batch are non-zero. This matters for the reproduction:
+/// the paper's AG-News/TextRNN task produces gradients with a large
+/// proportion of exact zeros, a distinct sign-statistics regime for the
+/// SignGuard filter.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    vocab: usize,
+    dim: usize,
+    weight: Vec<f32>,
+    grad_weight: Vec<f32>,
+    cached_ids: Vec<usize>,
+    cached_shape: Vec<usize>,
+}
+
+impl Embedding {
+    /// Creates an embedding table of `vocab` rows and `dim` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, vocab: usize, dim: usize) -> Self {
+        assert!(vocab > 0 && dim > 0, "Embedding: zero-sized table");
+        Self {
+            vocab,
+            dim,
+            weight: xavier_uniform(rng, vocab * dim, vocab, dim),
+            grad_weight: vec![0.0; vocab * dim],
+            cached_ids: Vec::new(),
+            cached_shape: Vec::new(),
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Layer for Embedding {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 2, "Embedding: expected [B, T] token ids");
+        let (b, t) = (input.shape()[0], input.shape()[1]);
+        self.cached_ids = input
+            .data()
+            .iter()
+            .map(|&x| {
+                let id = x as usize;
+                assert!(
+                    x >= 0.0 && x.fract() == 0.0 && id < self.vocab,
+                    "Embedding: invalid token id {x} (vocab {})",
+                    self.vocab
+                );
+                id
+            })
+            .collect();
+        self.cached_shape = vec![b, t];
+        let mut out = vec![0.0f32; b * t * self.dim];
+        for (pos, &id) in self.cached_ids.iter().enumerate() {
+            out[pos * self.dim..(pos + 1) * self.dim]
+                .copy_from_slice(&self.weight[id * self.dim..(id + 1) * self.dim]);
+        }
+        Tensor::from_vec(out, &[b, t, self.dim])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(!self.cached_ids.is_empty(), "Embedding::backward before forward");
+        let (b, t) = (self.cached_shape[0], self.cached_shape[1]);
+        assert_eq!(grad_output.shape(), &[b, t, self.dim], "Embedding: grad shape mismatch");
+        for (pos, &id) in self.cached_ids.iter().enumerate() {
+            let src = &grad_output.data()[pos * self.dim..(pos + 1) * self.dim];
+            let dst = &mut self.grad_weight[id * self.dim..(id + 1) * self.dim];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        // Token ids are not differentiable; return a zero gradient of the
+        // input shape so Sequential chaining stays uniform.
+        Tensor::zeros(&self.cached_shape)
+    }
+
+    fn num_params(&self) -> usize {
+        self.weight.len()
+    }
+
+    fn write_params(&self, out: &mut [f32]) -> usize {
+        write_slice(out, &self.weight)
+    }
+
+    fn read_params(&mut self, src: &[f32]) -> usize {
+        read_slice(&mut self.weight, src)
+    }
+
+    fn write_grads(&self, out: &mut [f32]) -> usize {
+        write_slice(out, &self.grad_weight)
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_weight.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "Embedding"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_math::seeded_rng;
+
+    #[test]
+    fn lookup_returns_rows() {
+        let mut rng = seeded_rng(0);
+        let mut emb = Embedding::new(&mut rng, 5, 3);
+        let x = Tensor::from_vec(vec![0.0, 4.0, 2.0, 2.0], &[2, 2]);
+        let y = emb.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 2, 3]);
+        assert_eq!(&y.data()[0..3], &emb.weight[0..3]);
+        assert_eq!(&y.data()[3..6], &emb.weight[12..15]);
+        assert_eq!(&y.data()[6..9], &y.data()[9..12]); // same token 2 twice
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid token id")]
+    fn out_of_vocab_panics() {
+        let mut rng = seeded_rng(0);
+        let mut emb = Embedding::new(&mut rng, 3, 2);
+        let x = Tensor::from_vec(vec![5.0], &[1, 1]);
+        emb.forward(&x, true);
+    }
+
+    #[test]
+    fn gradient_is_sparse_and_accumulated() {
+        let mut rng = seeded_rng(1);
+        let mut emb = Embedding::new(&mut rng, 10, 2);
+        let x = Tensor::from_vec(vec![3.0, 3.0], &[1, 2]);
+        emb.forward(&x, true);
+        emb.backward(&Tensor::ones(&[1, 2, 2]));
+        let mut g = vec![0.0; emb.num_params()];
+        emb.write_grads(&mut g);
+        // Token 3 used twice: its row accumulates 2.0; everything else zero.
+        for (i, &v) in g.iter().enumerate() {
+            if (6..8).contains(&i) {
+                assert_eq!(v, 2.0);
+            } else {
+                assert_eq!(v, 0.0);
+            }
+        }
+    }
+}

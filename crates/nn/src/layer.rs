@@ -1,0 +1,61 @@
+//! The [`Layer`] trait: forward / backward with internally accumulated
+//! parameter gradients.
+
+use sg_tensor::Tensor;
+
+/// A differentiable layer.
+///
+/// Layers cache whatever they need during [`forward`](Layer::forward) and
+/// consume that cache in [`backward`](Layer::backward), which returns the
+/// gradient with respect to the layer input and *accumulates* parameter
+/// gradients internally. Flattening parameters and gradients into contiguous
+/// `f32` buffers is what connects models to the federated gradient pipeline.
+///
+/// The trait is object-safe; models are built as `Vec<Box<dyn Layer>>`.
+pub trait Layer {
+    /// Computes the layer output. `train` toggles training-time behaviour
+    /// (dropout masks, batch-norm statistics).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backpropagates `grad_output`, returning the gradient w.r.t. the most
+    /// recent forward input and accumulating parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before `forward`.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Total number of trainable parameters.
+    fn num_params(&self) -> usize;
+
+    /// Writes the parameters into `out` (must have room), returning the
+    /// number of values written.
+    fn write_params(&self, out: &mut [f32]) -> usize;
+
+    /// Reads parameters from `src`, returning the number consumed.
+    fn read_params(&mut self, src: &[f32]) -> usize;
+
+    /// Writes the accumulated gradients into `out`, returning the number of
+    /// values written.
+    fn write_grads(&self, out: &mut [f32]) -> usize;
+
+    /// Clears the accumulated gradients.
+    fn zero_grad(&mut self);
+
+    /// Human-readable layer name for debugging.
+    fn name(&self) -> &'static str;
+}
+
+/// Copies `src` into `dst[..src.len()]` and returns `src.len()`.
+///
+/// Helper shared by `write_params`/`write_grads` implementations.
+pub(crate) fn write_slice(dst: &mut [f32], src: &[f32]) -> usize {
+    dst[..src.len()].copy_from_slice(src);
+    src.len()
+}
+
+/// Copies `src[..dst.len()]` into `dst` and returns `dst.len()`.
+pub(crate) fn read_slice(dst: &mut [f32], src: &[f32]) -> usize {
+    dst.copy_from_slice(&src[..dst.len()]);
+    dst.len()
+}

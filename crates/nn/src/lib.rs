@@ -1,0 +1,58 @@
+//! From-scratch neural-network layers with hand-written backpropagation.
+//!
+//! This crate replaces the PyTorch training stack used by the SignGuard
+//! paper. It provides exactly what the federated-learning experiments need:
+//!
+//! * [`Layer`] implementations — dense, conv2d, pooling, ReLU, dropout,
+//!   batch-norm, embedding, LSTM, residual blocks;
+//! * a [`Sequential`] container with parameter/gradient **flattening**
+//!   (`Vec<f32>` ⇄ model), which is the interface every aggregation rule and
+//!   attack operates on;
+//! * softmax cross-entropy loss and an SGD optimizer with momentum and
+//!   weight decay matching the paper's training settings (momentum 0.9,
+//!   weight decay 5e-4);
+//! * model constructors mirroring the paper's four tasks (CNN for
+//!   MNIST/Fashion-MNIST, a residual CNN standing in for ResNet-18, and a
+//!   TextRNN for AG-News).
+//!
+//! # Examples
+//!
+//! ```
+//! use sg_nn::{models, loss::softmax_cross_entropy};
+//! use sg_tensor::Tensor;
+//!
+//! let mut model = models::mlp(&mut sg_math::seeded_rng(0), 4, &[8], 3);
+//! let x = Tensor::zeros(&[2, 4]);
+//! let logits = model.forward(&x, true);
+//! let (loss, grad) = softmax_cross_entropy(&logits, &[0, 2]);
+//! model.backward(&grad);
+//! assert!(loss > 0.0);
+//! assert_eq!(model.grad_vector().len(), model.num_params());
+//! ```
+
+pub mod activation;
+pub mod conv;
+pub mod dense;
+pub mod embedding;
+pub mod layer;
+pub mod loss;
+pub mod models;
+pub mod norm;
+pub mod optim;
+pub mod pool;
+pub mod recurrent;
+pub mod residual;
+pub mod sequential;
+
+pub use activation::{Dropout, Relu};
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use embedding::Embedding;
+pub use layer::Layer;
+pub use loss::{accuracy, softmax_cross_entropy};
+pub use norm::BatchNorm2d;
+pub use optim::MomentumSgd;
+pub use pool::{Flatten, GlobalAvgPool, MaxPool2d};
+pub use recurrent::Lstm;
+pub use residual::ResidualBlock;
+pub use sequential::Sequential;

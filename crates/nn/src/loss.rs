@@ -1,0 +1,133 @@
+//! Softmax cross-entropy loss and classification accuracy.
+
+use sg_tensor::Tensor;
+
+/// Computes mean softmax cross-entropy over a batch of logits `[B, C]` with
+/// integer labels, returning `(loss, grad_logits)`.
+///
+/// The gradient is already divided by the batch size, so feeding it straight
+/// into [`crate::Sequential::backward`] yields the mean-loss gradient — the
+/// quantity each federated client ships to the parameter server.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or any label is out
+/// of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.ndim(), 2, "softmax_cross_entropy: expected [B, C] logits");
+    let (b, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), b, "softmax_cross_entropy: label count mismatch");
+
+    let mut grad = vec![0.0f32; b * c];
+    let mut loss = 0.0f64;
+    let inv_b = 1.0 / b as f32;
+    for i in 0..b {
+        let label = labels[i];
+        assert!(label < c, "softmax_cross_entropy: label {label} out of range {c}");
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &x| a.max(x));
+        let mut denom = 0.0f64;
+        for &x in row {
+            denom += f64::from(x - max).exp();
+        }
+        let log_denom = denom.ln() as f32;
+        loss += f64::from(log_denom - (row[label] - max));
+        for j in 0..c {
+            let p = (f64::from(row[j] - max).exp() / denom) as f32;
+            grad[i * c + j] = (p - if j == label { 1.0 } else { 0.0 }) * inv_b;
+        }
+    }
+    ((loss / b as f64) as f32, Tensor::from_vec(grad, &[b, c]))
+}
+
+/// Fraction of rows whose argmax matches the label.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(logits.ndim(), 2, "accuracy: expected [B, C] logits");
+    let (b, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), b, "accuracy: label count mismatch");
+    if b == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for i in 0..b {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(j, _)| j)
+            .expect("non-empty row");
+        if pred == labels[i] {
+            correct += 1;
+        }
+    }
+    correct as f32 / b as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_loss_is_log_c() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0], &[1, 3]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0, 0.0, -1.0], &[2, 3]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]);
+        for i in 0..2 {
+            let s: f32 = grad.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_check_finite_difference() {
+        let raw = vec![0.3, -0.7, 1.2, -0.2, 0.9, 0.1];
+        let labels = [1usize, 2];
+        let logits = Tensor::from_vec(raw.clone(), &[2, 3]);
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..raw.len() {
+            let mut plus = raw.clone();
+            plus[i] += eps;
+            let (lp, _) = softmax_cross_entropy(&Tensor::from_vec(plus, &[2, 3]), &labels);
+            let mut minus = raw.clone();
+            minus[i] -= eps;
+            let (lm, _) = softmax_cross_entropy(&Tensor::from_vec(minus, &[2, 3]), &labels);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - grad.data()[i]).abs() < 1e-3, "logit {i}");
+        }
+    }
+
+    #[test]
+    fn loss_is_numerically_stable_for_huge_logits() {
+        let logits = Tensor::from_vec(vec![1000.0, -1000.0], &[1, 2]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite());
+        assert!(grad.data().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits = Tensor::from_vec(vec![2.0, 1.0, 0.0, 5.0], &[2, 2]);
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 0]), 0.0);
+        assert_eq!(accuracy(&logits, &[0, 0]), 0.5);
+    }
+}

@@ -1,0 +1,194 @@
+//! Model constructors mirroring the paper's four evaluation tasks.
+//!
+//! | Paper task | Paper model | Constructor here |
+//! |---|---|---|
+//! | MNIST | CNN (3 conv + 2 fc) | [`image_cnn`] |
+//! | Fashion-MNIST | same CNN | [`image_cnn`] |
+//! | CIFAR-10 | ResNet-18 | [`resnet_lite`] (residual CNN) |
+//! | AG-News | TextRNN (bi-LSTM) | [`text_rnn`] (LSTM) |
+//!
+//! The architectures are scaled to CPU-simulation size; the property that
+//! matters for SignGuard — the per-architecture *sign-statistics regime* of
+//! honest gradients (unbalanced for the plain CNN, nearly balanced for the
+//! residual net, zero-heavy for the embedding model) — is preserved.
+
+use rand::Rng;
+
+use crate::activation::Relu;
+use crate::conv::Conv2d;
+use crate::dense::Dense;
+use crate::embedding::Embedding;
+use crate::norm::BatchNorm2d;
+use crate::pool::{Flatten, GlobalAvgPool, MaxPool2d};
+use crate::recurrent::Lstm;
+use crate::residual::ResidualBlock;
+use crate::sequential::Sequential;
+
+/// Multi-layer perceptron over flat feature vectors.
+///
+/// Used for quick experiments and unit tests; not one of the paper's models
+/// but handy as the cheapest end-to-end federated task.
+pub fn mlp<R: Rng + ?Sized>(rng: &mut R, input_dim: usize, hidden: &[usize], classes: usize) -> Sequential {
+    let mut model = Sequential::new();
+    // Accept image-shaped `[B, C, H, W]` batches as well as flat `[B, D]`.
+    model.push(Box::new(Flatten::new()));
+    let mut prev = input_dim;
+    for &h in hidden {
+        model.push(Box::new(Dense::new(rng, prev, h)));
+        model.push(Box::new(Relu::new()));
+        prev = h;
+    }
+    model.push(Box::new(Dense::new(rng, prev, classes)));
+    model
+}
+
+/// The paper's MNIST/Fashion-MNIST CNN in miniature: three convolutions and
+/// two fully-connected layers.
+///
+/// `size` must be divisible by 4 (two 2× max-pools).
+///
+/// # Panics
+///
+/// Panics if `size` is not divisible by 4.
+pub fn image_cnn<R: Rng + ?Sized>(rng: &mut R, channels: usize, size: usize, classes: usize) -> Sequential {
+    assert_eq!(size % 4, 0, "image_cnn: size {size} must be divisible by 4");
+    let s2 = size / 2;
+    let s4 = size / 4;
+    Sequential::new()
+        .with(Conv2d::new(rng, channels, 8, 3, 1, 1, size, size))
+        .with(Relu::new())
+        .with(MaxPool2d::new(2))
+        .with(Conv2d::new(rng, 8, 16, 3, 1, 1, s2, s2))
+        .with(Relu::new())
+        .with(MaxPool2d::new(2))
+        .with(Conv2d::new(rng, 16, 16, 3, 1, 1, s4, s4))
+        .with(Relu::new())
+        .with(Flatten::new())
+        .with(Dense::new(rng, 16 * s4 * s4, 64))
+        .with(Relu::new())
+        .with(Dense::new(rng, 64, classes))
+}
+
+/// Residual CNN standing in for ResNet-18 on CIFAR-10: stem convolution,
+/// two basic residual blocks (the second downsampling), global average
+/// pooling and a linear classifier.
+///
+/// # Panics
+///
+/// Panics if `size` is not divisible by 2.
+pub fn resnet_lite<R: Rng + ?Sized>(rng: &mut R, channels: usize, size: usize, classes: usize) -> Sequential {
+    assert_eq!(size % 2, 0, "resnet_lite: size {size} must be even");
+    Sequential::new()
+        .with(Conv2d::new(rng, channels, 8, 3, 1, 1, size, size))
+        .with(BatchNorm2d::new(8))
+        .with(Relu::new())
+        .with(ResidualBlock::new(rng, 8, 8, size, 1))
+        .with(ResidualBlock::new(rng, 8, 16, size, 2))
+        .with(GlobalAvgPool::new())
+        .with(Dense::new(rng, 16, classes))
+}
+
+/// TextRNN standing in for the paper's AG-News model: embedding lookup,
+/// LSTM encoder, linear classifier.
+pub fn text_rnn<R: Rng + ?Sized>(
+    rng: &mut R,
+    vocab: usize,
+    embed_dim: usize,
+    hidden_dim: usize,
+    classes: usize,
+) -> Sequential {
+    Sequential::new()
+        .with(Embedding::new(rng, vocab, embed_dim))
+        .with(Lstm::new(rng, embed_dim, hidden_dim))
+        .with(Dense::new(rng, hidden_dim, classes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+    use sg_math::seeded_rng;
+    use sg_tensor::Tensor;
+
+    #[test]
+    fn mlp_shapes() {
+        let mut rng = seeded_rng(0);
+        let mut m = mlp(&mut rng, 10, &[16, 8], 4);
+        let y = m.forward(&Tensor::zeros(&[3, 10]), true);
+        assert_eq!(y.shape(), &[3, 4]);
+    }
+
+    #[test]
+    fn image_cnn_forward_backward() {
+        let mut rng = seeded_rng(1);
+        let mut m = image_cnn(&mut rng, 1, 12, 10);
+        let x = Tensor::zeros(&[2, 1, 12, 12]);
+        let logits = m.forward(&x, true);
+        assert_eq!(logits.shape(), &[2, 10]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[3, 7]);
+        assert!(loss.is_finite());
+        m.backward(&grad);
+        let g = m.grad_vector();
+        assert_eq!(g.len(), m.num_params());
+        assert!(g.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn resnet_lite_forward_backward() {
+        let mut rng = seeded_rng(2);
+        let mut m = resnet_lite(&mut rng, 3, 8, 10);
+        let x = Tensor::from_vec((0..2 * 3 * 64).map(|i| (i as f32 * 0.1).sin()).collect(), &[2, 3, 8, 8]);
+        let logits = m.forward(&x, true);
+        assert_eq!(logits.shape(), &[2, 10]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[0, 9]);
+        m.backward(&grad);
+        assert!(m.grad_vector().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn text_rnn_forward_backward() {
+        let mut rng = seeded_rng(3);
+        let mut m = text_rnn(&mut rng, 50, 8, 12, 4);
+        let tokens = Tensor::from_vec(vec![1.0, 5.0, 9.0, 0.0, 2.0, 2.0], &[2, 3]);
+        let logits = m.forward(&tokens, true);
+        assert_eq!(logits.shape(), &[2, 4]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1, 3]);
+        m.backward(&grad);
+        // Embedding grads are sparse: only rows for the 5 distinct tokens
+        // used above are non-zero, out of a 50-row table.
+        let g = m.grad_vector();
+        let emb = &g[..50 * 8];
+        let zeros = emb.iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros >= 45 * 8, "expected sparse embedding grads, zeros={zeros}/{}", emb.len());
+    }
+
+    #[test]
+    fn training_reduces_loss_on_tiny_problem() {
+        // Overfit 8 fixed samples with the MLP: loss must drop sharply.
+        let mut rng = seeded_rng(4);
+        let mut m = mlp(&mut rng, 4, &[16], 2);
+        let x = Tensor::from_vec(
+            (0..32).map(|i| if (i / 4) % 2 == 0 { 1.0 } else { -1.0 }).collect(),
+            &[8, 4],
+        );
+        let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
+        let mut opt = crate::optim::MomentumSgd::new(m.num_params(), 0.9, 0.0);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..60 {
+            let logits = m.forward(&x, true);
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+            if step == 0 {
+                first = loss;
+            }
+            last = loss;
+            m.zero_grad();
+            m.backward(&grad);
+            let mut params = m.param_vector();
+            let grads = m.grad_vector();
+            opt.step(&mut params, &grads, 0.1);
+            m.set_param_vector(&params);
+        }
+        assert!(last < first * 0.2, "loss {first} -> {last}");
+    }
+}

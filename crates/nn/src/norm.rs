@@ -1,0 +1,261 @@
+//! Batch normalization over channel planes (`BatchNorm2d`).
+
+use sg_tensor::Tensor;
+
+use crate::layer::{read_slice, write_slice, Layer};
+
+/// Batch normalization for `[B, C, H, W]` activations.
+///
+/// Normalizes each channel over the batch and spatial axes, then applies a
+/// learned affine `gamma * x_hat + beta`. Running statistics (momentum 0.1,
+/// PyTorch default) are kept for eval mode.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+    grad_gamma: Vec<f32>,
+    grad_beta: Vec<f32>,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    // Forward cache (training mode).
+    cached_xhat: Vec<f32>,
+    cached_inv_std: Vec<f32>,
+    in_shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "BatchNorm2d: channels must be positive");
+        Self {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            grad_gamma: vec![0.0; channels],
+            grad_beta: vec![0.0; channels],
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            cached_xhat: Vec::new(),
+            cached_inv_std: Vec::new(),
+            in_shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 4, "BatchNorm2d: expected [B, C, H, W]");
+        let (b, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        assert_eq!(c, self.channels, "BatchNorm2d: channel mismatch");
+        self.in_shape = input.shape().to_vec();
+        let plane = h * w;
+        let count = (b * plane) as f32;
+        let data = input.data();
+        let mut out = vec![0.0f32; data.len()];
+
+        if train {
+            self.cached_xhat = vec![0.0; data.len()];
+            self.cached_inv_std = vec![0.0; c];
+            for ci in 0..c {
+                let mut mean = 0.0f64;
+                for bi in 0..b {
+                    let base = (bi * c + ci) * plane;
+                    for v in &data[base..base + plane] {
+                        mean += f64::from(*v);
+                    }
+                }
+                let mean = (mean / f64::from(count)) as f32;
+                let mut var = 0.0f64;
+                for bi in 0..b {
+                    let base = (bi * c + ci) * plane;
+                    for v in &data[base..base + plane] {
+                        let d = f64::from(*v - mean);
+                        var += d * d;
+                    }
+                }
+                let var = (var / f64::from(count)) as f32;
+                let inv_std = 1.0 / (var + self.eps).sqrt();
+                self.cached_inv_std[ci] = inv_std;
+                self.running_mean[ci] = (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
+                self.running_var[ci] = (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
+                let (g, bta) = (self.gamma[ci], self.beta[ci]);
+                for bi in 0..b {
+                    let base = (bi * c + ci) * plane;
+                    for k in 0..plane {
+                        let xhat = (data[base + k] - mean) * inv_std;
+                        self.cached_xhat[base + k] = xhat;
+                        out[base + k] = g * xhat + bta;
+                    }
+                }
+            }
+        } else {
+            for ci in 0..c {
+                let inv_std = 1.0 / (self.running_var[ci] + self.eps).sqrt();
+                let (mean, g, bta) = (self.running_mean[ci], self.gamma[ci], self.beta[ci]);
+                for bi in 0..b {
+                    let base = (bi * c + ci) * plane;
+                    for k in 0..plane {
+                        out[base + k] = g * (data[base + k] - mean) * inv_std + bta;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, input.shape())
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(!self.cached_xhat.is_empty(), "BatchNorm2d::backward requires a training-mode forward");
+        let (b, c, h, w) = (self.in_shape[0], self.in_shape[1], self.in_shape[2], self.in_shape[3]);
+        assert_eq!(grad_output.shape(), self.in_shape.as_slice(), "BatchNorm2d: grad shape mismatch");
+        let plane = h * w;
+        let count = (b * plane) as f32;
+        let go = grad_output.data();
+        let mut grad_input = vec![0.0f32; go.len()];
+
+        for ci in 0..c {
+            // Accumulate the three reductions the BN backward needs.
+            let mut sum_dy = 0.0f64;
+            let mut sum_dy_xhat = 0.0f64;
+            for bi in 0..b {
+                let base = (bi * c + ci) * plane;
+                for k in 0..plane {
+                    let dy = f64::from(go[base + k]);
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * f64::from(self.cached_xhat[base + k]);
+                }
+            }
+            self.grad_beta[ci] += sum_dy as f32;
+            self.grad_gamma[ci] += sum_dy_xhat as f32;
+
+            let g = self.gamma[ci];
+            let inv_std = self.cached_inv_std[ci];
+            let m = f64::from(count);
+            for bi in 0..b {
+                let base = (bi * c + ci) * plane;
+                for k in 0..plane {
+                    let dy = f64::from(go[base + k]);
+                    let xhat = f64::from(self.cached_xhat[base + k]);
+                    let dx = f64::from(g) * f64::from(inv_std) * (dy - sum_dy / m - xhat * sum_dy_xhat / m);
+                    grad_input[base + k] = dx as f32;
+                }
+            }
+        }
+        Tensor::from_vec(grad_input, &self.in_shape)
+    }
+
+    fn num_params(&self) -> usize {
+        2 * self.channels
+    }
+
+    fn write_params(&self, out: &mut [f32]) -> usize {
+        let n = write_slice(out, &self.gamma);
+        n + write_slice(&mut out[n..], &self.beta)
+    }
+
+    fn read_params(&mut self, src: &[f32]) -> usize {
+        let n = read_slice(&mut self.gamma, src);
+        n + read_slice(&mut self.beta, &src[n..])
+    }
+
+    fn write_grads(&self, out: &mut [f32]) -> usize {
+        let n = write_slice(out, &self.grad_gamma);
+        n + write_slice(&mut out[n..], &self.grad_beta)
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_gamma.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_beta.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "BatchNorm2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_output_is_normalized() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], &[2, 1, 2, 2]);
+        let y = bn.forward(&x, true);
+        let mean: f32 = y.data().iter().sum::<f32>() / 8.0;
+        let var: f32 = y.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 8.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(vec![10.0, 10.0, 10.0, 10.0], &[1, 1, 2, 2]);
+        // Several training passes move running stats towards (10, 0).
+        for _ in 0..200 {
+            bn.forward(&x, true);
+        }
+        let y = bn.forward(&x, false);
+        // Normalized: (10 - ~10)/sqrt(~0+eps) ~ 0.
+        assert!(y.data().iter().all(|v| v.abs() < 0.5), "{:?}", y.data());
+    }
+
+    #[test]
+    fn backward_gradient_check() {
+        let mut bn = BatchNorm2d::new(2);
+        let x_data: Vec<f32> = (0..16).map(|i| ((i as f32) * 0.7).sin() * 2.0).collect();
+        let x = Tensor::from_vec(x_data.clone(), &[2, 2, 2, 2]);
+
+        bn.forward(&x, true);
+        bn.zero_grad();
+        let dx = bn.backward(&Tensor::ones(&[2, 2, 2, 2]));
+
+        let eps = 1e-3f32;
+        for &i in &[0usize, 5, 9, 15] {
+            let mut xp = x_data.clone();
+            xp[i] += eps;
+            let lp = bn.forward(&Tensor::from_vec(xp, x.shape()), true).sum();
+            let mut xm = x_data.clone();
+            xm[i] -= eps;
+            let lm = bn.forward(&Tensor::from_vec(xm, x.shape()), true).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - dx.data()[i]).abs() < 1e-2, "input {i}: {numeric} vs {}", dx.data()[i]);
+        }
+    }
+
+    #[test]
+    fn gamma_beta_gradient_check() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1], &[1, 1, 2, 2]);
+        bn.forward(&x, true);
+        bn.zero_grad();
+        bn.backward(&Tensor::ones(&[1, 1, 2, 2]));
+        let mut grads = vec![0.0; 2];
+        bn.write_grads(&mut grads);
+
+        let mut params = vec![0.0; 2];
+        bn.write_params(&mut params);
+        let eps = 1e-3f32;
+        for p in 0..2 {
+            let mut plus = params.clone();
+            plus[p] += eps;
+            bn.read_params(&plus);
+            let lp = bn.forward(&x, true).sum();
+            let mut minus = params.clone();
+            minus[p] -= eps;
+            bn.read_params(&minus);
+            let lm = bn.forward(&x, true).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - grads[p]).abs() < 1e-2, "param {p}");
+        }
+    }
+}

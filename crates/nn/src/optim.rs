@@ -1,0 +1,123 @@
+//! SGD with momentum and weight decay over flat parameter vectors.
+
+/// Momentum SGD matching the paper's training settings (momentum 0.9,
+/// weight decay 5e-4).
+///
+/// Operates on flat `f32` vectors because in federated learning the update
+/// is applied to the flattened global model after gradient aggregation.
+/// The momentum buffer lives *client-side* in the paper's reference
+/// implementation — each client smooths its own stochastic gradient before
+/// sending — so [`MomentumSgd::transform`] (gradient in, smoothed gradient
+/// out) is the primary API, with [`MomentumSgd::step`] as the conventional
+/// parameter-update form.
+#[derive(Debug, Clone)]
+pub struct MomentumSgd {
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<f32>,
+}
+
+impl MomentumSgd {
+    /// Creates an optimizer for `dim`-dimensional parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `momentum` is outside `[0, 1)` or `weight_decay < 0`.
+    pub fn new(dim: usize, momentum: f32, weight_decay: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "MomentumSgd: momentum {momentum} out of [0,1)");
+        assert!(weight_decay >= 0.0, "MomentumSgd: negative weight decay");
+        Self { momentum, weight_decay, velocity: vec![0.0; dim] }
+    }
+
+    /// Momentum coefficient.
+    pub fn momentum(&self) -> f32 {
+        self.momentum
+    }
+
+    /// Applies weight decay and momentum to a raw gradient, returning the
+    /// smoothed gradient the client sends to the server:
+    /// `v <- β v + (g + λ x)`, returns `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if vector lengths differ from the optimizer dimension.
+    pub fn transform(&mut self, grad: &[f32], params: &[f32]) -> Vec<f32> {
+        assert_eq!(grad.len(), self.velocity.len(), "MomentumSgd: gradient length mismatch");
+        assert_eq!(params.len(), self.velocity.len(), "MomentumSgd: params length mismatch");
+        for ((v, &g), &x) in self.velocity.iter_mut().zip(grad).zip(params) {
+            *v = self.momentum * *v + g + self.weight_decay * x;
+        }
+        self.velocity.clone()
+    }
+
+    /// Conventional in-place update `x <- x - lr * transform(g, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if vector lengths differ from the optimizer dimension.
+    pub fn step(&mut self, params: &mut [f32], grad: &[f32], lr: f32) {
+        let update = self.transform(grad, params);
+        for (x, u) in params.iter_mut().zip(update) {
+            *x -= lr * u;
+        }
+    }
+
+    /// Resets the momentum buffer (used when the global model is replaced).
+    pub fn reset(&mut self) {
+        self.velocity.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_momentum_zero_decay_is_plain_sgd() {
+        let mut opt = MomentumSgd::new(2, 0.0, 0.0);
+        let mut params = vec![1.0, 2.0];
+        opt.step(&mut params, &[0.5, -0.5], 0.1);
+        assert!((params[0] - 0.95).abs() < 1e-6);
+        assert!((params[1] - 2.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut opt = MomentumSgd::new(1, 0.9, 0.0);
+        let g = [1.0f32];
+        let p = [0.0f32];
+        let v1 = opt.transform(&g, &p)[0];
+        let v2 = opt.transform(&g, &p)[0];
+        assert!((v1 - 1.0).abs() < 1e-6);
+        assert!((v2 - 1.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_pulls_towards_zero() {
+        let mut opt = MomentumSgd::new(1, 0.0, 0.1);
+        let mut params = vec![10.0];
+        opt.step(&mut params, &[0.0], 1.0);
+        assert!((params[0] - 9.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reset_clears_velocity() {
+        let mut opt = MomentumSgd::new(1, 0.9, 0.0);
+        opt.transform(&[1.0], &[0.0]);
+        opt.reset();
+        let v = opt.transform(&[1.0], &[0.0])[0];
+        assert!((v - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        // Minimize f(x) = x^2 with gradient 2x.
+        let mut opt = MomentumSgd::new(1, 0.9, 0.0);
+        let mut x = vec![5.0f32];
+        for _ in 0..200 {
+            let g = [2.0 * x[0]];
+            opt.step(&mut x, &g, 0.05);
+        }
+        assert!(x[0].abs() < 1e-2, "x={}", x[0]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Pooling and reshaping layers: max-pool, global average pool, flatten.
+
+use sg_tensor::Tensor;
+
+use crate::layer::Layer;
+
+/// Max pooling with a square window and stride equal to the window size.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    window: usize,
+    argmax: Vec<usize>,
+    in_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with the given square window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "MaxPool2d: window must be positive");
+        Self { window, argmax: Vec::new(), in_shape: Vec::new() }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 4, "MaxPool2d: expected [B, C, H, W]");
+        let (b, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let k = self.window;
+        assert!(h >= k && w >= k, "MaxPool2d: window {k} larger than input {h}x{w}");
+        let (oh, ow) = (h / k, w / k);
+        let mut out = vec![f32::NEG_INFINITY; b * c * oh * ow];
+        self.argmax = vec![0; out.len()];
+        self.in_shape = input.shape().to_vec();
+        let data = input.data();
+        for bi in 0..b {
+            for ci in 0..c {
+                let plane = (bi * c + ci) * h * w;
+                let oplane = (bi * c + ci) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let oi = oplane + oy * ow + ox;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                let ii = plane + (oy * k + dy) * w + (ox * k + dx);
+                                if data[ii] > out[oi] {
+                                    out[oi] = data[ii];
+                                    self.argmax[oi] = ii;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[b, c, oh, ow])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert_eq!(grad_output.numel(), self.argmax.len(), "MaxPool2d::backward before forward");
+        let mut grad_input = vec![0.0f32; self.in_shape.iter().product()];
+        for (gi, (&g, &src)) in grad_output.data().iter().zip(&self.argmax).enumerate() {
+            let _ = gi;
+            grad_input[src] += g;
+        }
+        Tensor::from_vec(grad_input, &self.in_shape)
+    }
+
+    fn num_params(&self) -> usize {
+        0
+    }
+    fn write_params(&self, _out: &mut [f32]) -> usize {
+        0
+    }
+    fn read_params(&mut self, _src: &[f32]) -> usize {
+        0
+    }
+    fn write_grads(&self, _out: &mut [f32]) -> usize {
+        0
+    }
+    fn zero_grad(&mut self) {}
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+/// Global average pooling: `[B, C, H, W] -> [B, C]`.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    in_shape: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 4, "GlobalAvgPool: expected [B, C, H, W]");
+        let (b, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        self.in_shape = input.shape().to_vec();
+        let inv = 1.0 / (h * w) as f32;
+        let mut out = vec![0.0f32; b * c];
+        for bi in 0..b {
+            for ci in 0..c {
+                let plane = &input.data()[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w];
+                out[bi * c + ci] = plane.iter().sum::<f32>() * inv;
+            }
+        }
+        Tensor::from_vec(out, &[b, c])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(!self.in_shape.is_empty(), "GlobalAvgPool::backward before forward");
+        let (b, c, h, w) = (self.in_shape[0], self.in_shape[1], self.in_shape[2], self.in_shape[3]);
+        assert_eq!(grad_output.shape(), &[b, c], "GlobalAvgPool: grad shape mismatch");
+        let inv = 1.0 / (h * w) as f32;
+        let mut grad_input = vec![0.0f32; b * c * h * w];
+        for bi in 0..b {
+            for ci in 0..c {
+                let g = grad_output.data()[bi * c + ci] * inv;
+                for v in &mut grad_input[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w] {
+                    *v = g;
+                }
+            }
+        }
+        Tensor::from_vec(grad_input, &self.in_shape)
+    }
+
+    fn num_params(&self) -> usize {
+        0
+    }
+    fn write_params(&self, _out: &mut [f32]) -> usize {
+        0
+    }
+    fn read_params(&mut self, _src: &[f32]) -> usize {
+        0
+    }
+    fn write_grads(&self, _out: &mut [f32]) -> usize {
+        0
+    }
+    fn zero_grad(&mut self) {}
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool"
+    }
+}
+
+/// Flattens `[B, ...]` into `[B, features]`.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    in_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert!(input.ndim() >= 2, "Flatten: expected at least [B, ...]");
+        self.in_shape = input.shape().to_vec();
+        let b = self.in_shape[0];
+        let rest: usize = self.in_shape[1..].iter().product();
+        input.reshape(&[b, rest])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(!self.in_shape.is_empty(), "Flatten::backward before forward");
+        grad_output.reshape(&self.in_shape)
+    }
+
+    fn num_params(&self) -> usize {
+        0
+    }
+    fn write_params(&self, _out: &mut [f32]) -> usize {
+        0
+    }
+    fn read_params(&mut self, _src: &[f32]) -> usize {
+        0
+    }
+    fn write_grads(&self, _out: &mut [f32]) -> usize {
+        0
+    }
+    fn zero_grad(&mut self) {}
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_window_max() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0], &[1, 1, 4, 4]);
+        let y = p.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        p.forward(&x, true);
+        let g = p.backward(&Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]));
+        assert_eq!(g.data(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn gap_averages_plane() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2]);
+        let y = p.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[2.5, 25.0]);
+    }
+
+    #[test]
+    fn gap_backward_spreads_uniformly() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        p.forward(&x, true);
+        let g = p.backward(&Tensor::from_vec(vec![8.0], &[1, 1]));
+        assert_eq!(g.data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 2, 2]);
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 12]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), x.shape());
+        assert_eq!(g.data(), x.data());
+    }
+}

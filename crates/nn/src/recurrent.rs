@@ -1,0 +1,326 @@
+//! LSTM layer with full backpropagation through time.
+
+use rand::Rng;
+use sg_tensor::{xavier_uniform, Tensor};
+
+use crate::layer::{read_slice, write_slice, Layer};
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Per-timestep cache for BPTT.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Tensor,      // [B, E]
+    h_prev: Tensor, // [B, H]
+    c_prev: Tensor, // [B, H]
+    i: Vec<f32>,
+    f: Vec<f32>,
+    g: Vec<f32>,
+    o: Vec<f32>,
+    tanh_c: Vec<f32>,
+}
+
+/// Single-layer LSTM over `[B, T, E]` sequences, emitting the final hidden
+/// state `[B, H]`.
+///
+/// Stands in for the paper's two-layer bidirectional LSTM (TextRNN on
+/// AG-News): same cell math and gradient structure, scaled down to what the
+/// CPU-only federated simulation can train in reasonable time.
+///
+/// Gate parameter layout follows PyTorch (`i, f, g, o` stacked):
+/// `w_x: [4H, E]`, `w_h: [4H, H]`, `bias: [4H]`.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    input_dim: usize,
+    hidden_dim: usize,
+    w_x: Vec<f32>,
+    w_h: Vec<f32>,
+    bias: Vec<f32>,
+    grad_w_x: Vec<f32>,
+    grad_w_h: Vec<f32>,
+    grad_bias: Vec<f32>,
+    cache: Vec<StepCache>,
+    in_shape: Vec<usize>,
+}
+
+impl Lstm {
+    /// Creates an LSTM with Xavier-initialized weights and forget-gate bias 1
+    /// (the standard trick for stable early training).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, input_dim: usize, hidden_dim: usize) -> Self {
+        assert!(input_dim > 0 && hidden_dim > 0, "Lstm: zero-sized layer");
+        let mut bias = vec![0.0; 4 * hidden_dim];
+        for b in bias.iter_mut().take(2 * hidden_dim).skip(hidden_dim) {
+            *b = 1.0; // forget gate
+        }
+        Self {
+            input_dim,
+            hidden_dim,
+            w_x: xavier_uniform(rng, 4 * hidden_dim * input_dim, input_dim, hidden_dim),
+            w_h: xavier_uniform(rng, 4 * hidden_dim * hidden_dim, hidden_dim, hidden_dim),
+            bias,
+            grad_w_x: vec![0.0; 4 * hidden_dim * input_dim],
+            grad_w_h: vec![0.0; 4 * hidden_dim * hidden_dim],
+            grad_bias: vec![0.0; 4 * hidden_dim],
+            cache: Vec::new(),
+            in_shape: Vec::new(),
+        }
+    }
+
+    /// Hidden-state dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 3, "Lstm: expected [B, T, E]");
+        let (b, t, e) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        assert_eq!(e, self.input_dim, "Lstm: input dim mismatch");
+        assert!(t > 0, "Lstm: empty sequence");
+        self.in_shape = input.shape().to_vec();
+        let h_dim = self.hidden_dim;
+
+        let w_x = Tensor::from_vec(self.w_x.clone(), &[4 * h_dim, e]);
+        let w_h = Tensor::from_vec(self.w_h.clone(), &[4 * h_dim, h_dim]);
+
+        let mut h = Tensor::zeros(&[b, h_dim]);
+        let mut c = Tensor::zeros(&[b, h_dim]);
+        self.cache.clear();
+
+        for step in 0..t {
+            // Slice x_t = input[:, step, :].
+            let mut x_data = vec![0.0f32; b * e];
+            for bi in 0..b {
+                let src = (bi * t + step) * e;
+                x_data[bi * e..(bi + 1) * e].copy_from_slice(&input.data()[src..src + e]);
+            }
+            let x = Tensor::from_vec(x_data, &[b, e]);
+
+            let z = x.matmul_bt(&w_x).add(&h.matmul_bt(&w_h)).add_row_bias(&self.bias); // [B, 4H]
+            let zd = z.data();
+            let mut i_g = vec![0.0f32; b * h_dim];
+            let mut f_g = vec![0.0f32; b * h_dim];
+            let mut g_g = vec![0.0f32; b * h_dim];
+            let mut o_g = vec![0.0f32; b * h_dim];
+            for bi in 0..b {
+                let row = bi * 4 * h_dim;
+                for k in 0..h_dim {
+                    i_g[bi * h_dim + k] = sigmoid(zd[row + k]);
+                    f_g[bi * h_dim + k] = sigmoid(zd[row + h_dim + k]);
+                    g_g[bi * h_dim + k] = zd[row + 2 * h_dim + k].tanh();
+                    o_g[bi * h_dim + k] = sigmoid(zd[row + 3 * h_dim + k]);
+                }
+            }
+            let mut c_new = vec![0.0f32; b * h_dim];
+            let mut tanh_c = vec![0.0f32; b * h_dim];
+            let mut h_new = vec![0.0f32; b * h_dim];
+            for k in 0..b * h_dim {
+                c_new[k] = f_g[k] * c.data()[k] + i_g[k] * g_g[k];
+                tanh_c[k] = c_new[k].tanh();
+                h_new[k] = o_g[k] * tanh_c[k];
+            }
+            self.cache.push(StepCache {
+                x,
+                h_prev: h.clone(),
+                c_prev: c.clone(),
+                i: i_g,
+                f: f_g,
+                g: g_g,
+                o: o_g,
+                tanh_c,
+            });
+            h = Tensor::from_vec(h_new, &[b, h_dim]);
+            c = Tensor::from_vec(c_new, &[b, h_dim]);
+        }
+        h
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(!self.cache.is_empty(), "Lstm::backward before forward");
+        let (b, t, e) = (self.in_shape[0], self.in_shape[1], self.in_shape[2]);
+        let h_dim = self.hidden_dim;
+        assert_eq!(grad_output.shape(), &[b, h_dim], "Lstm: grad shape mismatch");
+
+        let w_x = Tensor::from_vec(self.w_x.clone(), &[4 * h_dim, e]);
+        let w_h = Tensor::from_vec(self.w_h.clone(), &[4 * h_dim, h_dim]);
+
+        let mut dh = grad_output.clone();
+        let mut dc = vec![0.0f32; b * h_dim];
+        let mut grad_input = vec![0.0f32; b * t * e];
+
+        for step in (0..t).rev() {
+            let cache = &self.cache[step];
+            let mut dz = vec![0.0f32; b * 4 * h_dim];
+            for bi in 0..b {
+                for k in 0..h_dim {
+                    let idx = bi * h_dim + k;
+                    let dhv = dh.data()[idx];
+                    let o = cache.o[idx];
+                    let tc = cache.tanh_c[idx];
+                    let dcv = dc[idx] + dhv * o * (1.0 - tc * tc);
+                    let i = cache.i[idx];
+                    let f = cache.f[idx];
+                    let g = cache.g[idx];
+                    let di = dcv * g;
+                    let df = dcv * cache.c_prev.data()[idx];
+                    let dg = dcv * i;
+                    let do_ = dhv * tc;
+                    let row = bi * 4 * h_dim;
+                    dz[row + k] = di * i * (1.0 - i);
+                    dz[row + h_dim + k] = df * f * (1.0 - f);
+                    dz[row + 2 * h_dim + k] = dg * (1.0 - g * g);
+                    dz[row + 3 * h_dim + k] = do_ * o * (1.0 - o);
+                    dc[idx] = dcv * f;
+                }
+            }
+            let dz_t = Tensor::from_vec(dz, &[b, 4 * h_dim]);
+            // Parameter gradients.
+            let dwx = dz_t.matmul_at(&cache.x); // [4H, E]
+            for (gp, &d) in self.grad_w_x.iter_mut().zip(dwx.data()) {
+                *gp += d;
+            }
+            let dwh = dz_t.matmul_at(&cache.h_prev); // [4H, H]
+            for (gp, &d) in self.grad_w_h.iter_mut().zip(dwh.data()) {
+                *gp += d;
+            }
+            for (gp, d) in self.grad_bias.iter_mut().zip(dz_t.col_sums()) {
+                *gp += d;
+            }
+            // Input and previous-hidden gradients.
+            let dx = dz_t.matmul(&w_x); // [B, E]
+            for bi in 0..b {
+                let dst = (bi * t + step) * e;
+                for k in 0..e {
+                    grad_input[dst + k] = dx.data()[bi * e + k];
+                }
+            }
+            dh = dz_t.matmul(&w_h); // [B, H] -> dh for t-1
+        }
+        Tensor::from_vec(grad_input, &self.in_shape)
+    }
+
+    fn num_params(&self) -> usize {
+        self.w_x.len() + self.w_h.len() + self.bias.len()
+    }
+
+    fn write_params(&self, out: &mut [f32]) -> usize {
+        let mut n = write_slice(out, &self.w_x);
+        n += write_slice(&mut out[n..], &self.w_h);
+        n + write_slice(&mut out[n..], &self.bias)
+    }
+
+    fn read_params(&mut self, src: &[f32]) -> usize {
+        let mut n = read_slice(&mut self.w_x, src);
+        n += read_slice(&mut self.w_h, &src[n..]);
+        n + read_slice(&mut self.bias, &src[n..])
+    }
+
+    fn write_grads(&self, out: &mut [f32]) -> usize {
+        let mut n = write_slice(out, &self.grad_w_x);
+        n += write_slice(&mut out[n..], &self.grad_w_h);
+        n + write_slice(&mut out[n..], &self.grad_bias)
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_w_x.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_w_h.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_bias.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "Lstm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_math::seeded_rng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = seeded_rng(0);
+        let mut lstm = Lstm::new(&mut rng, 4, 6);
+        let x = Tensor::zeros(&[3, 5, 4]);
+        let h = lstm.forward(&x, true);
+        assert_eq!(h.shape(), &[3, 6]);
+    }
+
+    #[test]
+    fn zero_input_gives_deterministic_hidden() {
+        let mut rng = seeded_rng(0);
+        let mut lstm = Lstm::new(&mut rng, 2, 3);
+        let x = Tensor::zeros(&[1, 4, 2]);
+        let h1 = lstm.forward(&x, true);
+        let h2 = lstm.forward(&x, true);
+        assert_eq!(h1.data(), h2.data());
+    }
+
+    #[test]
+    fn gradient_check_parameters() {
+        let mut rng = seeded_rng(7);
+        let mut lstm = Lstm::new(&mut rng, 3, 4);
+        let x_data: Vec<f32> = (0..2 * 3 * 3).map(|i| ((i as f32) * 0.41).sin()).collect();
+        let x = Tensor::from_vec(x_data.clone(), &[2, 3, 3]);
+
+        let out = lstm.forward(&x, true);
+        lstm.zero_grad();
+        let dx = lstm.backward(&Tensor::ones(out.shape()));
+
+        let mut params = vec![0.0; lstm.num_params()];
+        lstm.write_params(&mut params);
+        let mut grads = vec![0.0; lstm.num_params()];
+        lstm.write_grads(&mut grads);
+
+        let eps = 1e-2f32;
+        let probes = [0usize, 11, 29, 47, 60, params.len() - 5, params.len() - 1];
+        for &p in &probes {
+            let mut plus = params.clone();
+            plus[p] += eps;
+            lstm.read_params(&plus);
+            let lp = lstm.forward(&x, true).sum();
+            let mut minus = params.clone();
+            minus[p] -= eps;
+            lstm.read_params(&minus);
+            let lm = lstm.forward(&x, true).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grads[p]).abs() < 0.02,
+                "param {p}: numeric {numeric} analytic {}",
+                grads[p]
+            );
+        }
+
+        // Input gradient spot check.
+        lstm.read_params(&params);
+        for &i in &[0usize, 7, 17] {
+            let mut xp = x_data.clone();
+            xp[i] += eps;
+            let lp = lstm.forward(&Tensor::from_vec(xp, x.shape()), true).sum();
+            let mut xm = x_data.clone();
+            xm[i] -= eps;
+            let lm = lstm.forward(&Tensor::from_vec(xm, x.shape()), true).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - dx.data()[i]).abs() < 0.02, "input {i}");
+        }
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut rng = seeded_rng(1);
+        let lstm = Lstm::new(&mut rng, 2, 3);
+        let mut p = vec![0.0; lstm.num_params()];
+        lstm.write_params(&mut p);
+        let bias_start = lstm.w_x.len() + lstm.w_h.len();
+        // Gate order i, f, g, o — forget block is the second.
+        assert_eq!(&p[bias_start + 3..bias_start + 6], &[1.0, 1.0, 1.0]);
+        assert_eq!(&p[bias_start..bias_start + 3], &[0.0, 0.0, 0.0]);
+    }
+}

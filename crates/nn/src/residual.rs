@@ -1,0 +1,207 @@
+//! Residual block (the ResNet building brick).
+
+use rand::Rng;
+use sg_tensor::Tensor;
+
+use crate::activation::Relu;
+use crate::conv::Conv2d;
+use crate::layer::Layer;
+use crate::norm::BatchNorm2d;
+use crate::sequential::Sequential;
+
+/// A basic pre-activation-free residual block:
+/// `y = relu( bn2(conv2(relu(bn1(conv1(x))))) + skip(x) )`
+/// where `skip` is identity, or a 1×1 strided convolution + batch-norm when
+/// the block changes resolution or channel count (exactly the ResNet-18
+/// "basic block" the paper trains on CIFAR-10).
+pub struct ResidualBlock {
+    main: Sequential,
+    skip: Option<Sequential>,
+    relu_mask: Vec<bool>,
+    out_shape: Vec<usize>,
+}
+
+impl std::fmt::Debug for ResidualBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResidualBlock")
+            .field("num_params", &self.num_params())
+            .field("projected_skip", &self.skip.is_some())
+            .finish()
+    }
+}
+
+impl ResidualBlock {
+    /// Creates a residual block mapping `[B, in_ch, size, size]` to
+    /// `[B, out_ch, size/stride, size/stride]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-sized configuration.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_ch: usize, out_ch: usize, size: usize, stride: usize) -> Self {
+        assert!(in_ch > 0 && out_ch > 0 && size > 0 && stride > 0, "ResidualBlock: zero-sized config");
+        let mid = size / stride;
+        let main = Sequential::new()
+            .with(Conv2d::new(rng, in_ch, out_ch, 3, stride, 1, size, size))
+            .with(BatchNorm2d::new(out_ch))
+            .with(Relu::new())
+            .with(Conv2d::new(rng, out_ch, out_ch, 3, 1, 1, mid, mid))
+            .with(BatchNorm2d::new(out_ch));
+        let skip = if stride != 1 || in_ch != out_ch {
+            Some(
+                Sequential::new()
+                    .with(Conv2d::new(rng, in_ch, out_ch, 1, stride, 0, size, size))
+                    .with(BatchNorm2d::new(out_ch)),
+            )
+        } else {
+            None
+        };
+        Self { main, skip, relu_mask: Vec::new(), out_shape: Vec::new() }
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let m = self.main.forward(input, train);
+        let s = match &mut self.skip {
+            Some(proj) => proj.forward(input, train),
+            None => input.clone(),
+        };
+        let pre = m.add(&s);
+        self.relu_mask = pre.data().iter().map(|&x| x > 0.0).collect();
+        self.out_shape = pre.shape().to_vec();
+        pre.map(|x| if x > 0.0 { x } else { 0.0 })
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert_eq!(grad_output.numel(), self.relu_mask.len(), "ResidualBlock::backward before forward");
+        let gated: Vec<f32> = grad_output
+            .data()
+            .iter()
+            .zip(&self.relu_mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        let gated = Tensor::from_vec(gated, &self.out_shape);
+        let d_main = self.main.backward(&gated);
+        let d_skip = match &mut self.skip {
+            Some(proj) => proj.backward(&gated),
+            None => gated,
+        };
+        d_main.add(&d_skip)
+    }
+
+    fn num_params(&self) -> usize {
+        self.main.num_params() + self.skip.as_ref().map_or(0, |s| s.num_params())
+    }
+
+    fn write_params(&self, out: &mut [f32]) -> usize {
+        let mut n = self.main.write_params(out);
+        if let Some(s) = &self.skip {
+            n += s.write_params(&mut out[n..]);
+        }
+        n
+    }
+
+    fn read_params(&mut self, src: &[f32]) -> usize {
+        let mut n = self.main.read_params(src);
+        if let Some(s) = &mut self.skip {
+            n += s.read_params(&src[n..]);
+        }
+        n
+    }
+
+    fn write_grads(&self, out: &mut [f32]) -> usize {
+        let mut n = self.main.write_grads(out);
+        if let Some(s) = &self.skip {
+            n += s.write_grads(&mut out[n..]);
+        }
+        n
+    }
+
+    fn zero_grad(&mut self) {
+        self.main.zero_grad();
+        if let Some(s) = &mut self.skip {
+            s.zero_grad();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ResidualBlock"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_math::seeded_rng;
+
+    #[test]
+    fn identity_skip_shape() {
+        let mut rng = seeded_rng(0);
+        let mut block = ResidualBlock::new(&mut rng, 4, 4, 8, 1);
+        let x = Tensor::zeros(&[2, 4, 8, 8]);
+        let y = block.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 4, 8, 8]);
+    }
+
+    #[test]
+    fn projected_skip_downsamples() {
+        let mut rng = seeded_rng(1);
+        let mut block = ResidualBlock::new(&mut rng, 4, 8, 8, 2);
+        let x = Tensor::zeros(&[1, 4, 8, 8]);
+        let y = block.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn backward_shapes_match_input() {
+        let mut rng = seeded_rng(2);
+        let mut block = ResidualBlock::new(&mut rng, 3, 6, 4, 2);
+        let x = Tensor::from_vec((0..2 * 3 * 16).map(|i| (i as f32 * 0.3).sin()).collect(), &[2, 3, 4, 4]);
+        let y = block.forward(&x, true);
+        let dx = block.backward(&Tensor::ones(y.shape()));
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn gradient_check_spot() {
+        let mut rng = seeded_rng(3);
+        let mut block = ResidualBlock::new(&mut rng, 2, 2, 4, 1);
+        let x = Tensor::from_vec((0..2 * 2 * 16).map(|i| (i as f32 * 0.17).cos()).collect(), &[2, 2, 4, 4]);
+        block.forward(&x, true);
+        block.zero_grad();
+        block.backward(&Tensor::ones(&[2, 2, 4, 4]));
+        let mut params = vec![0.0; block.num_params()];
+        block.write_params(&mut params);
+        let mut grads = vec![0.0; block.num_params()];
+        block.write_grads(&mut grads);
+
+        let eps = 1e-2f32;
+        for &p in &[0usize, 17, 55, params.len() - 1] {
+            let mut plus = params.clone();
+            plus[p] += eps;
+            block.read_params(&plus);
+            let lp = block.forward(&x, true).sum();
+            let mut minus = params.clone();
+            minus[p] -= eps;
+            block.read_params(&minus);
+            let lm = block.forward(&x, true).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            // BN makes this less exact; tolerate a loose bound.
+            assert!((numeric - grads[p]).abs() < 0.1, "param {p}: {numeric} vs {}", grads[p]);
+        }
+    }
+
+    #[test]
+    fn param_round_trip() {
+        let mut rng = seeded_rng(4);
+        let block = ResidualBlock::new(&mut rng, 2, 4, 4, 2);
+        let mut p = vec![0.0; block.num_params()];
+        let n = block.write_params(&mut p);
+        assert_eq!(n, block.num_params());
+        let mut block2 = ResidualBlock::new(&mut rng, 2, 4, 4, 2);
+        assert_eq!(block2.read_params(&p), n);
+        let mut p2 = vec![0.0; n];
+        block2.write_params(&mut p2);
+        assert_eq!(p, p2);
+    }
+}

@@ -1,0 +1,249 @@
+//! Sequential model container with flat parameter/gradient views.
+
+use sg_tensor::Tensor;
+
+use crate::layer::Layer;
+
+/// A stack of layers applied in order.
+///
+/// `Sequential` is itself a [`Layer`], so it can nest (residual blocks use
+/// this for their main path). Its flat parameter/gradient vectors are the
+/// contract with the federated-learning pipeline: clients ship
+/// `grad_vector()` to the server and apply aggregated updates through
+/// [`Sequential::set_param_vector`].
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("layers", &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>())
+            .field("num_params", &self.num_params())
+            .finish()
+    }
+}
+
+impl Sequential {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn with(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs the full forward pass.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Runs the full backward pass from the loss gradient.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.num_params()).sum()
+    }
+
+    /// Flattens all parameters into one vector.
+    pub fn param_vector(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.num_params()];
+        let mut off = 0;
+        for layer in &self.layers {
+            off += layer.write_params(&mut out[off..]);
+        }
+        debug_assert_eq!(off, out.len());
+        out
+    }
+
+    /// Flattens all accumulated gradients into one vector.
+    pub fn grad_vector(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.num_params()];
+        let mut off = 0;
+        for layer in &self.layers {
+            off += layer.write_grads(&mut out[off..]);
+        }
+        debug_assert_eq!(off, out.len());
+        out
+    }
+
+    /// Loads parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len()` differs from [`Sequential::num_params`].
+    pub fn set_param_vector(&mut self, src: &[f32]) {
+        assert_eq!(src.len(), self.num_params(), "set_param_vector: length mismatch");
+        let mut off = 0;
+        for layer in &mut self.layers {
+            off += layer.read_params(&src[off..]);
+        }
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        Sequential::forward(self, input, train)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        Sequential::backward(self, grad_output)
+    }
+
+    fn num_params(&self) -> usize {
+        Sequential::num_params(self)
+    }
+
+    fn write_params(&self, out: &mut [f32]) -> usize {
+        let mut off = 0;
+        for layer in &self.layers {
+            off += layer.write_params(&mut out[off..]);
+        }
+        off
+    }
+
+    fn read_params(&mut self, src: &[f32]) -> usize {
+        let mut off = 0;
+        for layer in &mut self.layers {
+            off += layer.read_params(&src[off..]);
+        }
+        off
+    }
+
+    fn write_grads(&self, out: &mut [f32]) -> usize {
+        let mut off = 0;
+        for layer in &self.layers {
+            off += layer.write_grads(&mut out[off..]);
+        }
+        off
+    }
+
+    fn zero_grad(&mut self) {
+        Sequential::zero_grad(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::dense::Dense;
+    use sg_math::seeded_rng;
+
+    fn tiny_model(seed: u64) -> Sequential {
+        let mut rng = seeded_rng(seed);
+        Sequential::new()
+            .with(Dense::new(&mut rng, 4, 8))
+            .with(Relu::new())
+            .with(Dense::new(&mut rng, 8, 3))
+    }
+
+    #[test]
+    fn forward_shape_through_stack() {
+        let mut m = tiny_model(0);
+        let y = m.forward(&Tensor::zeros(&[5, 4]), true);
+        assert_eq!(y.shape(), &[5, 3]);
+    }
+
+    #[test]
+    fn param_vector_round_trip() {
+        let m1 = tiny_model(1);
+        let p = m1.param_vector();
+        assert_eq!(p.len(), m1.num_params());
+        let mut m2 = tiny_model(2);
+        assert_ne!(m2.param_vector(), p);
+        m2.set_param_vector(&p);
+        assert_eq!(m2.param_vector(), p);
+    }
+
+    #[test]
+    fn identical_params_give_identical_outputs() {
+        let mut m1 = tiny_model(1);
+        let mut m2 = tiny_model(3);
+        m2.set_param_vector(&m1.param_vector());
+        let x = Tensor::from_vec(vec![0.1, -0.2, 0.3, 0.4], &[1, 4]);
+        assert_eq!(m1.forward(&x, false).data(), m2.forward(&x, false).data());
+    }
+
+    #[test]
+    fn grad_vector_zeroed_by_zero_grad() {
+        let mut m = tiny_model(4);
+        let x = Tensor::ones(&[2, 4]);
+        let y = m.forward(&x, true);
+        m.backward(&Tensor::ones(y.shape()));
+        assert!(m.grad_vector().iter().any(|&g| g != 0.0));
+        m.zero_grad();
+        assert!(m.grad_vector().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn end_to_end_gradient_check() {
+        let mut m = tiny_model(5);
+        let x = Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.2, -0.1, 0.9, 0.4, -0.6], &[2, 4]);
+        let y = m.forward(&x, true);
+        m.zero_grad();
+        m.backward(&Tensor::ones(y.shape()));
+        let params = m.param_vector();
+        let grads = m.grad_vector();
+        let eps = 1e-2f32;
+        for &p in &[0usize, 10, 30, params.len() - 1] {
+            let mut plus = params.clone();
+            plus[p] += eps;
+            m.set_param_vector(&plus);
+            let lp = m.forward(&x, true).sum();
+            let mut minus = params.clone();
+            minus[p] -= eps;
+            m.set_param_vector(&minus);
+            let lm = m.forward(&x, true).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - grads[p]).abs() < 0.05, "param {p}: {numeric} vs {}", grads[p]);
+        }
+    }
+}

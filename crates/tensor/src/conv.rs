@@ -1,0 +1,210 @@
+//! im2col / col2im lowering for 2-D convolution.
+//!
+//! Convolution forward becomes one GEMM per batch over the unfolded input;
+//! the backward pass re-folds column gradients with [`col2im`]. This mirrors
+//! how the reference PyTorch models execute their conv layers on CPU.
+
+/// Geometry of a 2-D convolution (square stride / padding per axis pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub k_h: usize,
+    /// Kernel width.
+    pub k_w: usize,
+    /// Stride (both axes).
+    pub stride: usize,
+    /// Zero padding (both axes).
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Output height after convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn out_h(&self) -> usize {
+        let padded = self.in_h + 2 * self.padding;
+        assert!(padded >= self.k_h, "conv: kernel height {} exceeds padded input {}", self.k_h, padded);
+        (padded - self.k_h) / self.stride + 1
+    }
+
+    /// Output width after convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn out_w(&self) -> usize {
+        let padded = self.in_w + 2 * self.padding;
+        assert!(padded >= self.k_w, "conv: kernel width {} exceeds padded input {}", self.k_w, padded);
+        (padded - self.k_w) / self.stride + 1
+    }
+
+    /// Rows of the unfolded (im2col) matrix: `in_channels * k_h * k_w`.
+    pub fn col_rows(&self) -> usize {
+        self.in_channels * self.k_h * self.k_w
+    }
+
+    /// Columns of the unfolded matrix: `out_h * out_w`.
+    pub fn col_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+}
+
+/// Unfolds one image `[C, H, W]` (row-major) into a `[C*kh*kw, out_h*out_w]`
+/// matrix written into `cols`.
+///
+/// # Panics
+///
+/// Panics if the buffer sizes do not match `spec`.
+pub fn im2col(input: &[f32], spec: &Conv2dSpec, cols: &mut [f32]) {
+    let (c, h, w) = (spec.in_channels, spec.in_h, spec.in_w);
+    assert_eq!(input.len(), c * h * w, "im2col: input size mismatch");
+    let (oh, ow) = (spec.out_h(), spec.out_w());
+    assert_eq!(cols.len(), spec.col_rows() * spec.col_cols(), "im2col: cols size mismatch");
+    let pad = spec.padding as isize;
+    let stride = spec.stride;
+    let n_cols = oh * ow;
+
+    let mut row = 0usize;
+    for ch in 0..c {
+        let img = &input[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..spec.k_h {
+            for kx in 0..spec.k_w {
+                let out_row = &mut cols[row * n_cols..(row + 1) * n_cols];
+                let mut col = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * stride) as isize + ky as isize - pad;
+                    for ox in 0..ow {
+                        let ix = (ox * stride) as isize + kx as isize - pad;
+                        out_row[col] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            img[iy as usize * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        col += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Folds column gradients back onto an image gradient, accumulating into
+/// `grad_input` (`[C, H, W]`, must be zeroed by the caller for a fresh
+/// gradient).
+///
+/// # Panics
+///
+/// Panics if the buffer sizes do not match `spec`.
+pub fn col2im(cols: &[f32], spec: &Conv2dSpec, grad_input: &mut [f32]) {
+    let (c, h, w) = (spec.in_channels, spec.in_h, spec.in_w);
+    assert_eq!(grad_input.len(), c * h * w, "col2im: grad size mismatch");
+    let (oh, ow) = (spec.out_h(), spec.out_w());
+    assert_eq!(cols.len(), spec.col_rows() * spec.col_cols(), "col2im: cols size mismatch");
+    let pad = spec.padding as isize;
+    let stride = spec.stride;
+    let n_cols = oh * ow;
+
+    let mut row = 0usize;
+    for ch in 0..c {
+        let img = &mut grad_input[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..spec.k_h {
+            for kx in 0..spec.k_w {
+                let in_row = &cols[row * n_cols..(row + 1) * n_cols];
+                let mut col = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * stride) as isize + ky as isize - pad;
+                    for ox in 0..ow {
+                        let ix = (ox * stride) as isize + kx as isize - pad;
+                        if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            img[iy as usize * w + ix as usize] += in_row[col];
+                        }
+                        col += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_3x3() -> Conv2dSpec {
+        Conv2dSpec { in_channels: 1, in_h: 3, in_w: 3, k_h: 2, k_w: 2, stride: 1, padding: 0 }
+    }
+
+    #[test]
+    fn output_geometry() {
+        let s = Conv2dSpec { in_channels: 3, in_h: 32, in_w: 32, k_h: 3, k_w: 3, stride: 1, padding: 1 };
+        assert_eq!(s.out_h(), 32);
+        assert_eq!(s.out_w(), 32);
+        let s2 = Conv2dSpec { stride: 2, ..s };
+        assert_eq!(s2.out_h(), 16);
+    }
+
+    #[test]
+    fn im2col_small_example() {
+        // 3x3 input, 2x2 kernel, stride 1, no padding -> 4 patches.
+        let input = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let spec = spec_3x3();
+        let mut cols = vec![0.0; spec.col_rows() * spec.col_cols()];
+        im2col(&input, &spec, &mut cols);
+        // Patch top-left values (kernel position 0,0) across the 4 windows:
+        assert_eq!(&cols[0..4], &[1.0, 2.0, 4.0, 5.0]);
+        // Kernel position (1,1) across the 4 windows:
+        assert_eq!(&cols[12..16], &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn im2col_with_padding_zero_fills() {
+        let input = [1.0, 2.0, 3.0, 4.0];
+        let spec = Conv2dSpec { in_channels: 1, in_h: 2, in_w: 2, k_h: 3, k_w: 3, stride: 1, padding: 1 };
+        let mut cols = vec![0.0; spec.col_rows() * spec.col_cols()];
+        im2col(&input, &spec, &mut cols);
+        // Kernel offset (0,0) over the 4 outputs: top-left window sees padding.
+        assert_eq!(&cols[0..4], &[0.0, 0.0, 0.0, 1.0]);
+        // Center offset (1,1) sees the raw image.
+        let center = 4 * spec.col_cols();
+        assert_eq!(&cols[center..center + 4], &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y (adjoint test —
+        // exactly what backprop correctness requires).
+        use rand::Rng;
+        let mut rng = sg_math::seeded_rng(17);
+        let spec = Conv2dSpec { in_channels: 2, in_h: 5, in_w: 4, k_h: 3, k_w: 2, stride: 2, padding: 1 };
+        let x: Vec<f32> = (0..spec.in_channels * spec.in_h * spec.in_w).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f32> = (0..spec.col_rows() * spec.col_cols()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+        let mut cols = vec![0.0; y.len()];
+        im2col(&x, &spec, &mut cols);
+        let lhs: f32 = cols.iter().zip(&y).map(|(a, b)| a * b).sum();
+
+        let mut folded = vec![0.0; x.len()];
+        col2im(&y, &spec, &mut folded);
+        let rhs: f32 = x.iter().zip(&folded).map(|(a, b)| a * b).sum();
+
+        assert!((lhs - rhs).abs() < 1e-3, "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "input size mismatch")]
+    fn im2col_bad_input_panics() {
+        let spec = spec_3x3();
+        let mut cols = vec![0.0; spec.col_rows() * spec.col_cols()];
+        im2col(&[0.0; 4], &spec, &mut cols);
+    }
+}

@@ -1,0 +1,55 @@
+//! Weight-initialization schemes matching the PyTorch defaults the paper's
+//! reference implementation relies on.
+
+use rand::Rng;
+
+/// Kaiming (He) uniform initialization: `U(-b, b)` with
+/// `b = sqrt(6 / fan_in)` (gain for ReLU networks, `a = sqrt(5)` variant
+/// folded into the caller-provided fan-in as PyTorch does for conv/linear).
+pub fn kaiming_uniform<R: Rng + ?Sized>(rng: &mut R, n: usize, fan_in: usize) -> Vec<f32> {
+    assert!(fan_in > 0, "kaiming_uniform: fan_in must be positive");
+    let bound = (6.0 / fan_in as f64).sqrt() as f32;
+    (0..n).map(|_| rng.gen_range(-bound..bound)).collect()
+}
+
+/// Xavier (Glorot) uniform initialization: `U(-b, b)` with
+/// `b = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, n: usize, fan_in: usize, fan_out: usize) -> Vec<f32> {
+    assert!(fan_in + fan_out > 0, "xavier_uniform: fans must be positive");
+    let bound = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    (0..n).map(|_| rng.gen_range(-bound..bound)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_math::seeded_rng;
+
+    #[test]
+    fn kaiming_within_bound() {
+        let mut rng = seeded_rng(1);
+        let fan_in = 64;
+        let bound = (6.0f64 / fan_in as f64).sqrt() as f32;
+        let w = kaiming_uniform(&mut rng, 10_000, fan_in);
+        assert!(w.iter().all(|&x| x > -bound && x < bound));
+        // Mean roughly zero.
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < 0.01);
+    }
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = seeded_rng(2);
+        let (fi, fo) = (100, 50);
+        let bound = (6.0f64 / (fi + fo) as f64).sqrt() as f32;
+        let w = xavier_uniform(&mut rng, 10_000, fi, fo);
+        assert!(w.iter().all(|&x| x > -bound && x < bound));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = kaiming_uniform(&mut seeded_rng(3), 16, 8);
+        let b = kaiming_uniform(&mut seeded_rng(3), 16, 8);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,27 @@
+//! Dense row-major tensors with the kernels needed for from-scratch neural
+//! networks: matrix multiplication, im2col convolution lowering, and pooling.
+//!
+//! The SignGuard paper trains CNNs (MNIST-style), a ResNet-18 and a TextRNN
+//! with PyTorch; this crate is the substrate replacing the tensor half of
+//! that stack. Only `f32` is supported — the precision the federated
+//! gradient pipeline uses end to end.
+//!
+//! # Examples
+//!
+//! ```
+//! use sg_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+mod conv;
+mod init;
+mod matmul;
+mod tensor;
+
+pub use conv::{col2im, im2col, Conv2dSpec};
+pub use init::{kaiming_uniform, xavier_uniform};
+pub use tensor::Tensor;

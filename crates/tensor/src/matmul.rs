@@ -1,0 +1,136 @@
+//! Cache-friendly GEMM kernels.
+//!
+//! All kernels accumulate into a caller-provided zeroed buffer. Loop order is
+//! i-k-j so the innermost loop streams both `b` and `out` rows sequentially,
+//! which is the standard scalar-GEMM layout the autovectorizer handles well.
+
+/// `out[m×n] = a[m×k] @ b[k×n]`; `out` must be zero-filled on entry.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// `out[m×n] = a[m×k] @ b[n×k]^T`; `out` must be zero-filled on entry.
+///
+/// Both operands are traversed row-major, so this is the preferred kernel
+/// when the transpose of `b` is what the math calls for (e.g. dense-layer
+/// forward with weights stored `[out_features, in_features]`).
+pub fn gemm_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// `out[m×n] = a[k×m]^T @ b[k×n]`; `out` must be zero-filled on entry.
+pub fn gemm_at(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_pi * b_pj;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    out[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let (m, k, n) = (5, 7, 4);
+        let a: Vec<f32> = (0..m * k).map(|x| (x as f32).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|x| (x as f32).cos()).collect();
+        let mut out = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut out);
+        let want = naive(m, k, n, &a, &b);
+        for (x, y) in out.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_bt_matches_naive() {
+        let (m, k, n) = (3, 6, 5);
+        let a: Vec<f32> = (0..m * k).map(|x| (x as f32) * 0.1).collect();
+        let bt: Vec<f32> = (0..n * k).map(|x| (x as f32) * 0.2 - 1.0).collect();
+        // Build b = bt^T explicitly for the naive reference.
+        let mut b = vec![0.0; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = bt[j * k + p];
+            }
+        }
+        let mut out = vec![0.0; m * n];
+        gemm_bt(m, k, n, &a, &bt, &mut out);
+        let want = naive(m, k, n, &a, &b);
+        for (x, y) in out.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_at_matches_naive() {
+        let (m, k, n) = (4, 3, 6);
+        let at: Vec<f32> = (0..k * m).map(|x| (x as f32) * 0.3 - 2.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|x| (x as f32) * 0.05).collect();
+        let mut a = vec![0.0; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                a[i * k + p] = at[p * m + i];
+            }
+        }
+        let mut out = vec![0.0; m * n];
+        gemm_at(m, k, n, &at, &b, &mut out);
+        let want = naive(m, k, n, &a, &b);
+        for (x, y) in out.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! The core [`Tensor`] type: a dynamically-shaped, contiguous, row-major
+//! `f32` array.
+
+use crate::matmul;
+
+/// A dense row-major `f32` tensor with dynamic shape.
+///
+/// Data is always contiguous; views and strides are deliberately out of
+/// scope — the neural-network layers copy instead, which keeps backprop
+/// code straightforward to audit against the paper's math.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            numel,
+            "Tensor::from_vec: data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Self { shape: shape.to_vec(), data }
+    }
+
+    /// Creates a zero-filled tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+    }
+
+    /// Creates a one-filled tensor.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self { shape: shape.to_vec(), data: vec![1.0; shape.iter().product()] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Self { shape: shape.to_vec(), data: vec![value; shape.iter().product()] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns a reshaped copy sharing the same element order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different element count.
+    pub fn reshape(&self, shape: &[usize]) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(numel, self.data.len(), "reshape: {:?} -> {:?} changes element count", self.shape, shape);
+        Self { shape: shape.to_vec(), data: self.data.clone() }
+    }
+
+    /// Element at 2-D index `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or the index is out of bounds.
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        assert_eq!(self.ndim(), 2, "at2 on {}-D tensor", self.ndim());
+        let (r, c) = (self.shape[0], self.shape[1]);
+        assert!(i < r && j < c, "at2: index ({i},{j}) out of bounds ({r},{c})");
+        self.data[i * c + j]
+    }
+
+    /// Sets the element at 2-D index `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or the index is out of bounds.
+    pub fn set2(&mut self, i: usize, j: usize, v: f32) {
+        assert_eq!(self.ndim(), 2, "set2 on {}-D tensor", self.ndim());
+        let c = self.shape[1];
+        assert!(i < self.shape[0] && j < c, "set2: index out of bounds");
+        self.data[i * c + j] = v;
+    }
+
+    /// Matrix product of two 2-D tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul: lhs must be 2-D");
+        assert_eq!(other.ndim(), 2, "matmul: rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul: inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        matmul::gemm(m, k, n, &self.data, &other.data, &mut out);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self @ other^T` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the shared dimension differs.
+    pub fn matmul_bt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul_bt: lhs must be 2-D");
+        assert_eq!(other.ndim(), 2, "matmul_bt: rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_bt: shared dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        matmul::gemm_bt(m, k, n, &self.data, &other.data, &mut out);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self^T @ other` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the shared dimension differs.
+    pub fn matmul_at(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul_at: lhs must be 2-D");
+        assert_eq!(other.ndim(), 2, "matmul_at: rhs must be 2-D");
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_at: shared dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        matmul::gemm_at(m, k, n, &self.data, &other.data, &mut out);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transposed copy of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "transpose on {}-D tensor", self.ndim());
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor::from_vec(out, &[c, r])
+    }
+
+    /// Element-wise sum; shapes must match exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "add: shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a + b).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// Element-wise difference; shapes must match exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "sub: shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a - b).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// Element-wise (Hadamard) product; shapes must match exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "mul: shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// Returns a copy scaled by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| x * s).collect() }
+    }
+
+    /// Applies `f` element-wise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// In-place `self += alpha * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().map(|&x| f64::from(x)).sum::<f64>() as f32
+    }
+
+    /// Adds `bias` (length = columns) to every row of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or `bias.len()` differs from columns.
+    pub fn add_row_bias(&self, bias: &[f32]) -> Tensor {
+        assert_eq!(self.ndim(), 2, "add_row_bias on {}-D tensor", self.ndim());
+        let (r, c) = (self.shape[0], self.shape[1]);
+        assert_eq!(bias.len(), c, "add_row_bias: bias length mismatch");
+        let mut out = self.data.clone();
+        for i in 0..r {
+            for j in 0..c {
+                out[i * c + j] += bias[j];
+            }
+        }
+        Tensor::from_vec(out, &[r, c])
+    }
+
+    /// Column sums of a 2-D tensor (used for bias gradients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn col_sums(&self) -> Vec<f32> {
+        assert_eq!(self.ndim(), 2, "col_sums on {}-D tensor", self.ndim());
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j] += self.data[i * c + j];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.ndim(), 2);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(t.at2(1, 2), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_bad_shape_panics() {
+        let _ = Tensor::from_vec(vec![1.0; 5], &[2, 3]);
+    }
+
+    #[test]
+    fn zeros_ones_full_eye() {
+        assert_eq!(Tensor::zeros(&[2, 2]).sum(), 0.0);
+        assert_eq!(Tensor::ones(&[3]).sum(), 3.0);
+        assert_eq!(Tensor::full(&[2], 2.5).data(), &[2.5, 2.5]);
+        let i = Tensor::eye(3);
+        assert_eq!(i.at2(0, 0), 1.0);
+        assert_eq!(i.at2(0, 1), 0.0);
+        assert_eq!(i.sum(), 3.0);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]);
+        assert_eq!(a.matmul(&Tensor::eye(4)).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_bt_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let b = Tensor::from_vec((0..12).map(|x| (x as f32) * 0.5).collect(), &[4, 3]);
+        let direct = a.matmul_bt(&b);
+        let explicit = a.matmul(&b.transpose());
+        assert_eq!(direct.shape(), explicit.shape());
+        for (x, y) in direct.data().iter().zip(explicit.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_at_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[3, 2]);
+        let b = Tensor::from_vec((0..12).map(|x| (x as f32) * 0.25).collect(), &[3, 4]);
+        let direct = a.matmul_at(&b);
+        let explicit = a.transpose().matmul(&b);
+        assert_eq!(direct.shape(), explicit.shape());
+        for (x, y) in direct.data().iter().zip(explicit.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().at2(2, 1), a.at2(1, 2));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[2]);
+        assert_eq!(a.add(&b).data(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).data(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[3.0, 10.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0]);
+        assert_eq!(a.map(|x| x * x).data(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn axpy_in_place() {
+        let mut a = Tensor::ones(&[3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn bias_and_col_sums() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let biased = a.add_row_bias(&[10.0, 20.0]);
+        assert_eq!(biased.data(), &[11.0, 22.0, 13.0, 24.0]);
+        assert_eq!(a.col_sums(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_order() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let b = a.reshape(&[3, 2]);
+        assert_eq!(b.data(), a.data());
+        assert_eq!(b.shape(), &[3, 2]);
+    }
+}

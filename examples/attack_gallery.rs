@@ -1,0 +1,63 @@
+//! Attack gallery: run every attack from the paper against one defense and
+//! print an accuracy table (a single row of the paper's Table I).
+//!
+//! ```sh
+//! cargo run --release --example attack_gallery [defense]
+//! # defense ∈ {mean, trmean, median, geomed, krum, bulyan, dnc,
+//! #            signguard, signguard-sim, signguard-dist}
+//! ```
+
+use signguard::aggregators::{
+    Aggregator, Bulyan, CoordinateMedian, DnC, GeoMed, Mean, MultiKrum, TrimmedMean,
+};
+use signguard::attacks::{
+    Attack, ByzMean, LabelFlip, Lie, MinMax, MinSum, NoiseAttack, RandomAttack, SignFlip,
+};
+use signguard::core::SignGuard;
+use signguard::fl::{tasks, FlConfig, Simulator};
+
+fn build_defense(name: &str, n: usize, m: usize) -> Box<dyn Aggregator> {
+    match name {
+        "mean" => Box::new(Mean::new()),
+        "trmean" => Box::new(TrimmedMean::new(m)),
+        "median" => Box::new(CoordinateMedian::new()),
+        "geomed" => Box::new(GeoMed::new()),
+        "krum" => Box::new(MultiKrum::new(m, n - m)),
+        "bulyan" => Box::new(Bulyan::new(m)),
+        "dnc" => Box::new(DnC::new(m).with_subsample_dim(2000)),
+        "signguard" => Box::new(SignGuard::plain(0)),
+        "signguard-sim" => Box::new(SignGuard::sim(0)),
+        "signguard-dist" => Box::new(SignGuard::dist(0)),
+        other => panic!("unknown defense {other:?}"),
+    }
+}
+
+fn attacks() -> Vec<(&'static str, Option<Box<dyn Attack>>)> {
+    vec![
+        ("No Attack", None),
+        ("Random", Some(Box::new(RandomAttack::new()))),
+        ("Noise", Some(Box::new(NoiseAttack::new()))),
+        ("Label-flip", Some(Box::new(LabelFlip::new()))),
+        ("ByzMean", Some(Box::new(ByzMean::new()))),
+        ("Sign-flip", Some(Box::new(SignFlip::new()))),
+        ("LIE", Some(Box::new(Lie::new()))),
+        ("Min-Max", Some(Box::new(MinMax::new()))),
+        ("Min-Sum", Some(Box::new(MinSum::new()))),
+    ]
+}
+
+fn main() {
+    let defense = std::env::args().nth(1).unwrap_or_else(|| "signguard-sim".to_string());
+    let cfg = FlConfig { epochs: 6, ..FlConfig::default() };
+    let (n, m) = (cfg.num_clients, cfg.byzantine_count());
+
+    println!("Defense: {defense}  ({n} clients, {m} Byzantine, {} epochs)\n", cfg.epochs);
+    println!("{:<12} {:>10}", "Attack", "Best acc");
+    println!("{}", "-".repeat(23));
+    for (name, attack) in attacks() {
+        let gar = build_defense(&defense, n, m);
+        let mut sim = Simulator::new(tasks::fashion_like(7), cfg.clone(), gar, attack);
+        let r = sim.run();
+        println!("{:<12} {:>9.1}%", name, 100.0 * r.best_accuracy);
+    }
+}

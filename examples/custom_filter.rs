@@ -1,0 +1,61 @@
+//! Extending SignGuard: build a custom configuration with the builder API
+//! and inspect the filters on a hand-crafted round of gradients.
+//!
+//! Demonstrates the open "design more filters" direction from the paper's
+//! conclusion: the `Filter` trait lets you compose new screens with the
+//! existing norm / sign-cluster ones.
+//!
+//! ```sh
+//! cargo run --release --example custom_filter
+//! ```
+
+use signguard::aggregators::Aggregator;
+use signguard::core::{ClusteringBackend, Filter, NormFilter, SignClusterFilter, SignGuardBuilder, SimilarityFeature};
+
+fn main() {
+    // A synthetic round: 8 honest gradients (positive-leaning), one
+    // sign-flipped attacker, one scaled-up attacker.
+    let mut gradients: Vec<Vec<f32>> = (0..8)
+        .map(|i| {
+            (0..256)
+                .map(|j| {
+                    let base = if j % 5 == 0 { -0.4f32 } else { 0.7 };
+                    base + 0.1 * ((i * 256 + j) as f32 * 0.61).sin()
+                })
+                .collect()
+        })
+        .collect();
+    gradients.push(gradients[0].iter().map(|x| -x).collect()); // sign flip
+    gradients.push(gradients[1].iter().map(|x| x * 40.0).collect()); // blow-up
+    let norms: Vec<f32> = gradients.iter().map(|g| signguard::math::l2_norm(g)).collect();
+
+    // Inspect the two paper filters individually.
+    let mut norm_filter = NormFilter::new();
+    let kept_norm = norm_filter.filter(&gradients, &norms);
+    println!("norm filter keeps        : {kept_norm:?}");
+
+    let mut sign_filter =
+        SignClusterFilter::new(0.5, SimilarityFeature::None, ClusteringBackend::MeanShift, 3);
+    let kept_sign = sign_filter.filter(&gradients, &norms);
+    println!("sign-cluster filter keeps: {kept_sign:?}");
+
+    let both: Vec<usize> = kept_norm.intersection(&kept_sign).copied().collect();
+    println!("intersection (trusted)   : {both:?}");
+
+    // A customized SignGuard: KMeans back-end, tighter norm band, 50%
+    // coordinate sampling, cosine similarity feature.
+    let mut custom = SignGuardBuilder::new()
+        .norm_bounds(0.3, 2.0)
+        .coord_fraction(0.5)
+        .similarity(SimilarityFeature::Cosine)
+        .clustering(ClusteringBackend::KMeans(2))
+        .seed(7)
+        .build();
+    let out = custom.aggregate(&gradients);
+    println!("\ncustom SignGuard selected: {:?}", out.selected.as_ref().expect("selection"));
+    println!("aggregate norm           : {:.3}", signguard::math::l2_norm(&out.gradient));
+    println!(
+        "cosine(aggregate, honest): {:.3}",
+        signguard::math::cosine_similarity(&out.gradient, &gradients[0])
+    );
+}

@@ -1,0 +1,56 @@
+//! Quickstart: train a federated model under the Min-Max attack
+//! (Shejwalkar & Houmansadr), comparing the undefended mean against
+//! SignGuard.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use signguard::aggregators::Mean;
+use signguard::attacks::MinMax;
+use signguard::core::SignGuard;
+use signguard::fl::{tasks, FlConfig, Simulator};
+
+fn main() {
+    let cfg = FlConfig { epochs: 10, learning_rate: 0.05, ..FlConfig::default() };
+    println!(
+        "Federated setup: {} clients, {} Byzantine, {} epochs",
+        cfg.num_clients,
+        cfg.byzantine_count(),
+        cfg.epochs
+    );
+
+    // Baseline: no attack, plain mean aggregation.
+    let mut baseline = Simulator::new(tasks::fashion_like(42), cfg.clone(), Box::new(Mean::new()), None);
+    let base = baseline.run();
+    println!("\n[baseline]   Mean, no attack      : best {:.1}%", 100.0 * base.best_accuracy);
+
+    // Undefended mean under the Min-Max attack.
+    let mut undefended =
+        Simulator::new(tasks::fashion_like(42), cfg.clone(), Box::new(Mean::new()), Some(Box::new(MinMax::new())));
+    let broken = undefended.run();
+    println!(
+        "[undefended] Mean under Min-Max        : best {:.1}%  (attack impact {:.1} points)",
+        100.0 * broken.best_accuracy,
+        100.0 * broken.attack_impact(base.best_accuracy)
+    );
+
+    // SignGuard under the same attack.
+    let mut defended = Simulator::new(
+        tasks::fashion_like(42),
+        cfg,
+        Box::new(SignGuard::plain(0)),
+        Some(Box::new(MinMax::new())),
+    );
+    let safe = defended.run();
+    println!(
+        "[defended]   SignGuard under Min-Max  : best {:.1}%  (attack impact {:.1} points)",
+        100.0 * safe.best_accuracy,
+        100.0 * safe.attack_impact(base.best_accuracy)
+    );
+    println!(
+        "\nSignGuard selection rates — honest: {:.2}, malicious: {:.2}",
+        safe.selection.honest_rate(),
+        safe.selection.malicious_rate()
+    );
+}

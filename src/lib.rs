@@ -1,0 +1,59 @@
+//! # SignGuard — Byzantine-robust federated learning
+//!
+//! A full reproduction of *"Byzantine-robust Federated Learning through
+//! Collaborative Malicious Gradient Filtering"* (Xu, Huang, Song, Lan —
+//! ICDCS 2022) as a Rust workspace, including every substrate the paper
+//! depends on:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `sg-core` | the SignGuard aggregation rule (plain / Sim / Dist) |
+//! | [`aggregators`] | `sg-aggregators` | Mean, TrMean, Median, GeoMed, Multi-Krum, Bulyan, DnC, signSGD, CClip |
+//! | [`attacks`] | `sg-attacks` | Random, Noise, Sign-flip, Label-flip, LIE, ByzMean, Min-Max, Min-Sum |
+//! | [`fl`] | `sg-fl` | the federated simulator (clients, adversary, server, metrics) |
+//! | [`nn`] | `sg-nn` | from-scratch neural networks with hand-written backprop |
+//! | [`tensor`] | `sg-tensor` | dense tensors, GEMM, im2col convolution |
+//! | [`data`] | `sg-data` | synthetic datasets + IID / non-IID partitioners |
+//! | [`cluster`] | `sg-cluster` | MeanShift / KMeans used by the sign filter |
+//! | [`math`] | `sg-math` | vector ops, statistics, Gaussian sampling |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use signguard::attacks::Lie;
+//! use signguard::core::SignGuard;
+//! use signguard::fl::{tasks, FlConfig, Simulator};
+//!
+//! let task = tasks::mnist_like(42);
+//! let cfg = FlConfig::default();
+//! let mut sim = Simulator::new(task, cfg, Box::new(SignGuard::sim(0)), Some(Box::new(Lie::new())));
+//! let result = sim.run();
+//! println!("best accuracy under LIE: {:.1}%", 100.0 * result.best_accuracy);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harness binaries that regenerate every table and figure of the paper.
+
+pub use sg_aggregators as aggregators;
+pub use sg_attacks as attacks;
+pub use sg_cluster as cluster;
+pub use sg_core as core;
+pub use sg_data as data;
+pub use sg_fl as fl;
+pub use sg_math as math;
+pub use sg_nn as nn;
+pub use sg_tensor as tensor;
+
+/// Library version (workspace-wide).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        let _ = crate::core::SignGuard::plain(0);
+        let _ = crate::aggregators::Mean::new();
+        let _ = crate::attacks::Lie::new();
+        assert!(!crate::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Checks of the paper's convergence machinery:
+//!
+//! * **Lemma 1** — the deviation between the honest-subset average and the
+//!   global gradient respects `β²κ²/(1−β)² + σ²/((1−β)n)`;
+//! * **Assumption 2 / Theorem 1** (empirical form) — SignGuard's output
+//!   stays within a bounded bias of the honest average, and training
+//!   driven by SignGuard converges (loss decreases) in both IID and
+//!   non-IID settings.
+
+use rand::Rng;
+use signguard::aggregators::Aggregator;
+use signguard::core::SignGuard;
+use signguard::fl::{tasks, FlConfig, Partitioning, Simulator};
+use signguard::math::{l2_distance, seeded_rng, vecops};
+
+/// Builds a synthetic client population with controlled local variance σ²
+/// and heterogeneity κ² around a known global gradient.
+fn population(
+    n: usize,
+    dim: usize,
+    sigma: f32,
+    kappa: f32,
+    seed: u64,
+) -> (Vec<f32>, Vec<Vec<f32>>) {
+    let mut rng = seeded_rng(seed);
+    // Offset keeps the sign statistics unbalanced (the CNN-like regime of
+    // the paper's Fig. 2a); a perfectly balanced population is the known
+    // hard case for the plain sign filter (Table II, sign-flip row).
+    let global: Vec<f32> = (0..dim).map(|j| (j as f32 * 0.21).cos() * 0.6 + 0.4).collect();
+    let grads = (0..n)
+        .map(|_| {
+            // Per-client drift bounded by κ plus stochastic noise bounded-σ.
+            let drift: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+            let drift_norm = signguard::math::l2_norm(&drift).max(1e-9);
+            global
+                .iter()
+                .zip(&drift)
+                .map(|(&g, &d)| g + d / drift_norm * kappa / (dim as f32).sqrt() * (dim as f32).sqrt() + rng.gen_range(-sigma..sigma) / (dim as f32).sqrt())
+                .collect()
+        })
+        .collect();
+    (global, grads)
+}
+
+#[test]
+fn lemma1_deviation_bound_holds() {
+    let n = 50usize;
+    let dim = 1000usize;
+    let sigma = 2.0f32;
+    let kappa = 1.5f32;
+    for beta in [0.1f32, 0.2, 0.4] {
+        let (global, grads) = population(n, dim, sigma, kappa, 7);
+        let keep = ((1.0 - beta) * n as f32) as usize;
+        let honest: Vec<Vec<f32>> = grads[..keep].to_vec();
+        let avg = vecops::mean_vector(&honest, dim);
+        let dev_sq = l2_distance(&avg, &global).powi(2);
+        // Lemma 1 (using the construction's σ, κ as the bound constants;
+        // the uniform drift has norm κ exactly, noise per-coordinate is
+        // bounded so its total variance is ≤ σ²).
+        let bound = beta.powi(2) * kappa.powi(2) / (1.0 - beta).powi(2)
+            + sigma.powi(2) / ((1.0 - beta) * n as f32);
+        assert!(
+            dev_sq <= bound * 4.0, // slack for finite-sample randomness
+            "beta={beta}: deviation² {dev_sq} exceeds 4×bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn signguard_bias_to_honest_average_is_bounded() {
+    // Assumption 2's empirical content: with attackers present, the
+    // aggregate stays within the honest population's own spread of the
+    // honest mean.
+    let (_, mut grads) = population(40, 1000, 1.0, 0.5, 9);
+    let dim = 1000;
+    let honest_mean = vecops::mean_vector(&grads, dim);
+    let spread = grads.iter().map(|g| l2_distance(g, &honest_mean)).fold(0.0f32, f32::max);
+    // Ten sign-flipped attackers join.
+    for i in 0..10 {
+        let flipped: Vec<f32> = grads[i].iter().map(|x| -x * 2.0).collect();
+        grads.push(flipped);
+    }
+    let mut gar = SignGuard::plain(3);
+    let out = gar.aggregate(&grads);
+    let bias = l2_distance(&out.gradient, &honest_mean);
+    assert!(bias <= spread, "bias {bias} exceeds honest spread {spread}");
+}
+
+#[test]
+fn signguard_training_converges_iid() {
+    let cfg = FlConfig { num_clients: 10, epochs: 3, ..FlConfig::default() };
+    let mut sim = Simulator::new(tasks::mlp_task(11), cfg, Box::new(SignGuard::plain(0)), None);
+    let r = sim.run();
+    // Mean loss at the end must be clearly below the start (convergence),
+    // and accuracy above chance (5 classes).
+    let first_losses: f32 = r.rounds.iter().take(3).map(|m| m.mean_loss).sum::<f32>() / 3.0;
+    let last_losses: f32 = r.rounds.iter().rev().take(3).map(|m| m.mean_loss).sum::<f32>() / 3.0;
+    assert!(last_losses < first_losses, "loss {first_losses} -> {last_losses}");
+    assert!(r.best_accuracy > 0.3, "accuracy {}", r.best_accuracy);
+}
+
+#[test]
+fn signguard_training_converges_noniid() {
+    // Theorem 1's non-IID message: convergence still happens, with some
+    // accuracy gap allowed (Δ₂ > 0 even at δ = 0).
+    let cfg = FlConfig {
+        num_clients: 10,
+        epochs: 3,
+        partitioning: Partitioning::NonIid { s: 0.5 },
+        ..FlConfig::default()
+    };
+    let mut sim = Simulator::new(tasks::mlp_task(12), cfg, Box::new(SignGuard::plain(0)), None);
+    let r = sim.run();
+    assert!(r.best_accuracy > 0.25, "non-IID accuracy {}", r.best_accuracy);
+}
+
+#[test]
+fn noniid_gap_vs_iid_exists_under_attack() {
+    // The paper's Remark 2: Byzantine presence hurts more on skewed data.
+    let base = FlConfig { num_clients: 10, epochs: 3, ..FlConfig::default() };
+    let mut iid = Simulator::new(
+        tasks::mlp_task(13),
+        base.clone(),
+        Box::new(SignGuard::plain(0)),
+        Some(Box::new(signguard::attacks::Lie::new())),
+    );
+    let acc_iid = iid.run().best_accuracy;
+    let mut skewed = Simulator::new(
+        tasks::mlp_task(13),
+        FlConfig { partitioning: Partitioning::NonIid { s: 0.2 }, ..base },
+        Box::new(SignGuard::plain(0)),
+        Some(Box::new(signguard::attacks::Lie::new())),
+    );
+    let acc_skew = skewed.run().best_accuracy;
+    // Allow noise, but the skewed run should not dominate the IID run by a
+    // wide margin.
+    assert!(acc_skew <= acc_iid + 0.1, "iid {acc_iid} vs skewed {acc_skew}");
+}

@@ -1,0 +1,160 @@
+//! End-to-end federated runs across the attack × defense grid on a small
+//! configuration — the integration smoke of the whole stack (data →
+//! models → clients → attacks → aggregation → metrics).
+
+use signguard::aggregators::{Aggregator, Mean, MultiKrum, TrimmedMean};
+use signguard::attacks::{Attack, ByzMean, LabelFlip, Lie, MinMax, RandomAttack, SignFlip};
+use signguard::core::SignGuard;
+use signguard::fl::{tasks, FlConfig, Simulator};
+
+fn small_cfg() -> FlConfig {
+    FlConfig { num_clients: 10, epochs: 2, ..FlConfig::default() }
+}
+
+fn run(gar: Box<dyn Aggregator>, attack: Option<Box<dyn Attack>>, seed: u64) -> signguard::fl::RunResult {
+    let mut sim = Simulator::new(tasks::mlp_task(seed), small_cfg(), gar, attack);
+    sim.run()
+}
+
+#[test]
+fn every_attack_runs_against_signguard() {
+    let attacks: Vec<Box<dyn Attack>> = vec![
+        Box::new(RandomAttack::new()),
+        Box::new(SignFlip::new()),
+        Box::new(LabelFlip::new()),
+        Box::new(Lie::new()),
+        Box::new(ByzMean::new()),
+        Box::new(MinMax::new()),
+    ];
+    for attack in attacks {
+        let name = attack.name();
+        let r = run(Box::new(SignGuard::plain(0)), Some(attack), 21);
+        assert!(r.final_accuracy.is_finite(), "{name}: accuracy not finite");
+        assert!(r.best_accuracy >= 0.0 && r.best_accuracy <= 1.0, "{name}");
+        assert!(r.selection.has_data(), "{name}: SignGuard must report selection");
+    }
+}
+
+#[test]
+fn every_defense_runs_under_lie() {
+    let defenses: Vec<Box<dyn Aggregator>> = vec![
+        Box::new(Mean::new()),
+        Box::new(TrimmedMean::new(2)),
+        Box::new(MultiKrum::new(2, 8)),
+        Box::new(SignGuard::sim(0)),
+        Box::new(SignGuard::dist(0)),
+    ];
+    for gar in defenses {
+        let name = gar.name();
+        let r = run(gar, Some(Box::new(Lie::new())), 22);
+        assert!(r.best_accuracy > 0.15, "{name}: collapsed to {}", r.best_accuracy);
+    }
+}
+
+#[test]
+fn signguard_filters_blatant_attack_gradients() {
+    let r = run(Box::new(SignGuard::plain(5)), Some(Box::new(SignFlip::new())), 23);
+    assert!(
+        r.selection.malicious_rate() < 0.35,
+        "sign-flip selection rate too high: {}",
+        r.selection.malicious_rate()
+    );
+    assert!(
+        r.selection.honest_rate() > 0.5,
+        "honest selection rate too low: {}",
+        r.selection.honest_rate()
+    );
+}
+
+#[test]
+fn label_flip_poisons_client_side() {
+    // With the LabelFlip marker, Byzantine clients train on flipped labels;
+    // the run must complete and the gradients stay finite.
+    let r = run(Box::new(Mean::new()), Some(Box::new(LabelFlip::new())), 24);
+    assert!(r.final_accuracy.is_finite());
+    for m in &r.rounds {
+        assert!(m.mean_loss.is_finite());
+    }
+}
+
+#[test]
+fn accuracy_curve_has_one_point_per_epoch() {
+    let r = run(Box::new(Mean::new()), None, 25);
+    assert_eq!(r.accuracy_curve.len(), small_cfg().epochs);
+    // Curve rounds are strictly increasing.
+    assert!(r.accuracy_curve.windows(2).all(|w| w[0].0 < w[1].0));
+}
+
+#[test]
+fn nan_gradient_attack_does_not_poison_signguard() {
+    /// An attack that sends NaN gradients (fault injection).
+    struct NanAttack;
+    impl Attack for NanAttack {
+        fn craft(&mut self, ctx: &signguard::attacks::AttackContext<'_>) -> Vec<Vec<f32>> {
+            let dim = ctx.byzantine_honest[0].len();
+            vec![vec![f32::NAN; dim]; ctx.byzantine_count()]
+        }
+        fn name(&self) -> &'static str {
+            "NaN"
+        }
+    }
+    let r = run(Box::new(SignGuard::plain(0)), Some(Box::new(NanAttack)), 26);
+    assert!(r.final_accuracy.is_finite(), "NaN leaked into the model");
+    assert!(r.best_accuracy > 0.2, "NaN attack broke training: {}", r.best_accuracy);
+    assert_eq!(r.selection.malicious_rate(), 0.0, "NaN gradients must never be selected");
+}
+
+#[test]
+fn inf_gradient_attack_does_not_poison_signguard() {
+    struct InfAttack;
+    impl Attack for InfAttack {
+        fn craft(&mut self, ctx: &signguard::attacks::AttackContext<'_>) -> Vec<Vec<f32>> {
+            let dim = ctx.byzantine_honest[0].len();
+            vec![vec![f32::INFINITY; dim]; ctx.byzantine_count()]
+        }
+        fn name(&self) -> &'static str {
+            "Inf"
+        }
+    }
+    let r = run(Box::new(SignGuard::plain(0)), Some(Box::new(InfAttack)), 27);
+    assert!(r.final_accuracy.is_finite());
+    assert_eq!(r.selection.malicious_rate(), 0.0);
+}
+
+#[test]
+fn duplicate_colluding_gradients_handled() {
+    // All attackers send byte-identical vectors (the collusion case the
+    // paper notes KMeans-2 suffices for).
+    struct CloneAttack;
+    impl Attack for CloneAttack {
+        fn craft(&mut self, ctx: &signguard::attacks::AttackContext<'_>) -> Vec<Vec<f32>> {
+            let dim = ctx.byzantine_honest[0].len();
+            vec![vec![0.5; dim]; ctx.byzantine_count()]
+        }
+        fn name(&self) -> &'static str {
+            "Clone"
+        }
+    }
+    let r = run(Box::new(SignGuard::plain(0)), Some(Box::new(CloneAttack)), 28);
+    assert!(r.selection.malicious_rate() < 0.5);
+}
+
+#[test]
+fn run_is_reproducible_for_fixed_seed() {
+    let a = run(Box::new(SignGuard::sim(0)), Some(Box::new(Lie::new())), 29);
+    let b = run(Box::new(SignGuard::sim(0)), Some(Box::new(Lie::new())), 29);
+    assert_eq!(a.final_accuracy, b.final_accuracy);
+    assert_eq!(a.accuracy_curve, b.accuracy_curve);
+}
+
+#[test]
+fn all_four_paper_tasks_train_one_epoch() {
+    for task in tasks::paper_tasks(31) {
+        let name = task.name;
+        let cfg = FlConfig { num_clients: 10, epochs: 1, ..FlConfig::default() };
+        let mut sim = Simulator::new(task, cfg, Box::new(SignGuard::plain(0)), Some(Box::new(Lie::new())));
+        let r = sim.run();
+        assert!(r.final_accuracy.is_finite(), "{name}");
+        assert!(r.final_accuracy >= 0.0, "{name}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Integration tests for the extension features beyond the paper's core:
+//! validation-based defenses (FLTrust, Zeno), the adaptive white-box
+//! attack, and partial participation.
+
+use signguard::aggregators::Aggregator;
+use signguard::attacks::{AdaptiveSignMimicry, Attack, Lie, SignFlip};
+use signguard::core::SignGuard;
+use signguard::data::Dataset;
+use signguard::fl::{tasks, FlConfig, Simulator, ValidatingServer, ValidationRule};
+use signguard::math::seeded_rng;
+
+fn small_cfg() -> FlConfig {
+    FlConfig { num_clients: 10, epochs: 2, ..FlConfig::default() }
+}
+
+fn validating(rule: ValidationRule, seed: u64) -> (ValidatingServer, signguard::fl::Task) {
+    let task = tasks::mlp_task(seed);
+    let mut rng = seeded_rng(0);
+    let model = task.build_model(&mut rng);
+    let root = Dataset::new(
+        task.test.samples()[..60].to_vec(),
+        task.test.item_shape().to_vec(),
+        task.test.num_classes(),
+    );
+    (ValidatingServer::new(rule, model, root, 32, 9), task)
+}
+
+#[test]
+fn fltrust_trains_under_signflip() {
+    let (server, task) = validating(ValidationRule::FlTrust, 41);
+    let mut sim = Simulator::new(task, small_cfg(), Box::new(server), Some(Box::new(SignFlip::new())));
+    let r = sim.run();
+    assert!(r.best_accuracy > 0.3, "FLTrust best {:.3}", r.best_accuracy);
+    // Reversed gradients have negative cosine to the server gradient, so
+    // they are ReLU-clipped out.
+    assert!(r.selection.malicious_rate() < 0.3, "M rate {}", r.selection.malicious_rate());
+}
+
+#[test]
+fn zeno_trains_under_lie() {
+    let rule = ValidationRule::Zeno { b: 2, rho: 1e-4, gamma: 0.05 };
+    let (server, task) = validating(rule, 42);
+    let mut sim = Simulator::new(task, small_cfg(), Box::new(server), Some(Box::new(Lie::new())));
+    let r = sim.run();
+    assert!(r.best_accuracy > 0.3, "Zeno best {:.3}", r.best_accuracy);
+    assert!(r.selection.has_data());
+}
+
+#[test]
+fn validating_server_name_reported() {
+    let (server, _) = validating(ValidationRule::FlTrust, 43);
+    assert_eq!(server.name(), "FLTrust");
+    let (server, _) = validating(ValidationRule::Zeno { b: 1, rho: 1e-4, gamma: 0.01 }, 43);
+    assert_eq!(server.name(), "Zeno");
+}
+
+#[test]
+fn adaptive_attack_runs_end_to_end() {
+    let mut sim = Simulator::new(
+        tasks::mlp_task(44),
+        small_cfg(),
+        Box::new(SignGuard::plain(0)),
+        Some(Box::new(AdaptiveSignMimicry::new())),
+    );
+    let r = sim.run();
+    assert!(r.final_accuracy.is_finite());
+    // The adaptive attack is designed to evade the sign filter; a nonzero
+    // malicious selection rate is the expected (and documented) outcome.
+    assert!(r.selection.malicious_rate() <= 1.0);
+}
+
+#[test]
+fn adaptive_attack_evades_filters_better_than_signflip() {
+    let run = |attack: Box<dyn Attack>| {
+        let mut sim = Simulator::new(tasks::mlp_task(45), small_cfg(), Box::new(SignGuard::plain(1)), Some(attack));
+        sim.run().selection.malicious_rate()
+    };
+    let adaptive_rate = run(Box::new(AdaptiveSignMimicry::new()));
+    let blunt_rate = run(Box::new(signguard::attacks::ReverseScaling::new(50.0)));
+    // The blunt scaled reverse must be filtered at least as hard as the
+    // stealthy adaptive attack.
+    assert!(adaptive_rate >= blunt_rate, "adaptive {adaptive_rate} vs blunt {blunt_rate}");
+}
+
+#[test]
+fn partial_participation_with_attack_and_defense() {
+    let cfg = FlConfig { participation: 0.6, epochs: 2, ..small_cfg() };
+    let mut sim = Simulator::new(
+        tasks::mlp_task(46),
+        cfg,
+        Box::new(SignGuard::sim(0)),
+        Some(Box::new(Lie::new())),
+    );
+    let r = sim.run();
+    assert!(r.final_accuracy.is_finite());
+    assert!(r.selection.has_data());
+}
+
+#[test]
+fn participation_one_equals_full_round() {
+    // participation == 1.0 must follow the exact full-participation path.
+    let run = |participation: f32| {
+        let cfg = FlConfig { participation, ..small_cfg() };
+        let mut sim = Simulator::new(tasks::mlp_task(47), cfg, Box::new(signguard::aggregators::Mean::new()), None);
+        sim.run().final_accuracy
+    };
+    assert_eq!(run(1.0), run(1.0));
+}

@@ -1,0 +1,94 @@
+//! Numeric verification of the paper's Proposition 1: for a small enough
+//! attack factor `z`, the LIE gradient is *closer* to the true averaged
+//! gradient than some honest gradient (Eq. 6) and has *higher* cosine
+//! similarity (Eq. 7) — i.e. distance- and similarity-based defenses
+//! cannot see it. Meanwhile its sign statistics are visibly shifted,
+//! which is the observation SignGuard exploits.
+
+use rand::Rng;
+use signguard::attacks::{lie_z_max, Lie};
+use signguard::math::{cosine_similarity, l2_distance, normal_cdf, seeded_rng, vecops};
+
+/// A population of honest gradients: common signal + heavy per-client
+/// noise, mimicking the σ > μ regime the paper observes empirically.
+fn honest_population(n: usize, d: usize, noise: f32, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = seeded_rng(seed);
+    let signal: Vec<f32> = (0..d).map(|j| (j as f32 * 0.37).sin() * 0.5 + 0.15).collect();
+    (0..n)
+        .map(|_| signal.iter().map(|&s| s + rng.gen_range(-noise..noise)).collect())
+        .collect()
+}
+
+#[test]
+fn lie_gradient_is_closer_than_some_honest_gradient() {
+    let honest = honest_population(40, 2000, 1.0, 1);
+    let dim = 2000;
+    let mean = vecops::mean_vector(&honest, dim);
+    let lie = Lie::with_z(0.3).craft_single(&honest, 50, 10);
+
+    let d_lie = l2_distance(&lie, &mean);
+    let honest_dists: Vec<f32> = honest.iter().map(|g| l2_distance(g, &mean)).collect();
+    let max_honest = honest_dists.iter().cloned().fold(0.0f32, f32::max);
+    // Eq. (6): ∃ i with ||g_m - mean|| < ||g_i - mean||.
+    assert!(d_lie < max_honest, "LIE distance {d_lie} vs max honest {max_honest}");
+    // Stronger empirical claim from the proof: the bound is ~z·σ̄ < σ̄, so
+    // the LIE gradient beats *most* honest gradients, not just one.
+    let beaten = honest_dists.iter().filter(|&&d| d_lie < d).count();
+    assert!(beaten > honest.len() / 2, "LIE only beats {beaten}/{} honest gradients", honest.len());
+}
+
+#[test]
+fn lie_gradient_has_higher_cosine_than_some_honest_gradient() {
+    let honest = honest_population(40, 2000, 1.0, 2);
+    let dim = 2000;
+    let mean = vecops::mean_vector(&honest, dim);
+    let lie = Lie::with_z(0.3).craft_single(&honest, 50, 10);
+
+    let c_lie = cosine_similarity(&lie, &mean);
+    let honest_cos: Vec<f32> = honest.iter().map(|g| cosine_similarity(g, &mean)).collect();
+    let min_honest = honest_cos.iter().cloned().fold(1.0f32, f32::min);
+    // Eq. (7): ∃ i with cos(g_m, mean) > cos(g_i, mean).
+    assert!(c_lie > min_honest, "LIE cosine {c_lie} vs min honest {min_honest}");
+}
+
+#[test]
+fn lie_sign_statistics_are_shifted_despite_stealth() {
+    // The punchline of Section III: the same LIE gradient that evades
+    // distance checks has measurably different sign statistics.
+    let honest = honest_population(40, 5000, 0.6, 3);
+    let lie = Lie::with_z(1.0).craft_single(&honest, 50, 10);
+
+    let frac_pos = |v: &[f32]| {
+        let (p, z, n) = vecops::sign_counts(v);
+        p as f32 / (p + z + n) as f32
+    };
+    let honest_pos: Vec<f32> = honest.iter().map(|g| frac_pos(g)).collect();
+    let mean_honest_pos = signguard::math::mean(&honest_pos);
+    let honest_spread = signguard::math::std_dev(&honest_pos);
+    let lie_pos = frac_pos(&lie);
+    // The malicious positive-fraction sits many honest standard deviations
+    // below the honest mean.
+    assert!(
+        mean_honest_pos - lie_pos > 4.0 * honest_spread,
+        "honest pos {mean_honest_pos}±{honest_spread}, LIE pos {lie_pos}"
+    );
+}
+
+#[test]
+fn z_max_formula_matches_eq2() {
+    // Eq. (2): z_max = sup { z : φ(z) < (n - ⌊n/2+1⌋) / (n - m) }.
+    for (n, m) in [(50usize, 10usize), (50, 20), (100, 24), (25, 5)] {
+        let z = lie_z_max(n, m);
+        let s = (n as f64 - (n as f64 / 2.0 + 1.0).floor()) / (n - m) as f64;
+        assert!((normal_cdf(z) - s).abs() < 1e-6, "n={n} m={m}");
+        // Slightly larger z must violate the bound.
+        assert!(normal_cdf(z + 1e-3) > s);
+    }
+}
+
+#[test]
+fn larger_byzantine_fraction_permits_larger_z() {
+    let z_small = lie_z_max(50, 5);
+    let z_big = lie_z_max(50, 20);
+    assert!(z_big > z_small);
+}
