@@ -1,0 +1,81 @@
+//! Round-throughput bench: sequential vs. parallel engine at 32 / 128
+//! clients, plus the grid driver fanning out whole scenario cells.
+//!
+//! ```sh
+//! cargo bench --bench runtime
+//! ```
+//!
+//! On a multi-core host the `par` rows should beat `seq` at 128 clients
+//! (client training dominates and parallelizes embarrassingly); on a
+//! single-core container the engine degrades to the inline path and the
+//! rows tie.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use signguard::core::SignGuard;
+use signguard::fl::{tasks, FlConfig, SelectionTracker, Simulator};
+use signguard::runtime::{Engine, GridRunner, RunPlan};
+
+fn round_cfg(clients: usize) -> FlConfig {
+    FlConfig { num_clients: clients, batch_size: 4, epochs: 1, ..FlConfig::default() }
+}
+
+fn bench_round_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_throughput");
+    group.sample_size(10);
+    for &clients in &[32usize, 128] {
+        let modes: [(&str, Engine); 2] = [("seq", Engine::sequential()), ("par", Engine::parallel(0))];
+        for (mode, engine) in modes {
+            group.bench_with_input(BenchmarkId::new(mode, clients), &clients, |b, &n| {
+                let mut sim = Simulator::with_engine(
+                    tasks::mlp_task(1),
+                    round_cfg(n),
+                    Box::new(SignGuard::plain(0)),
+                    None,
+                    engine.clone(),
+                );
+                let mut tracker = SelectionTracker::new();
+                let mut round = 0;
+                b.iter(|| {
+                    sim.step(round, &mut tracker);
+                    round += 1;
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_grid_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_fanout_8_cells");
+    group.sample_size(10);
+    for (mode, jobs) in [("seq", 1usize), ("par", 0)] {
+        group.bench_function(mode, |b| {
+            b.iter(|| {
+                let mut plan: RunPlan<f32> = RunPlan::new(3);
+                for i in 0..8 {
+                    plan.cell(format!("cell-{i}"), |ctx| {
+                        let cfg = FlConfig {
+                            num_clients: 8,
+                            batch_size: 8,
+                            epochs: 1,
+                            seed: ctx.seed,
+                            ..FlConfig::default()
+                        };
+                        let mut sim = Simulator::new(
+                            tasks::mlp_task(ctx.seed),
+                            cfg,
+                            Box::new(SignGuard::plain(ctx.seed)),
+                            None,
+                        );
+                        sim.run().best_accuracy
+                    });
+                }
+                GridRunner::new(jobs).run(plan).cells.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_throughput, bench_grid_fanout);
+criterion_main!(benches);

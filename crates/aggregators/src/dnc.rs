@@ -26,13 +26,7 @@ impl DnC {
     /// Creates DnC with the defaults of the original paper: `niters = 1`,
     /// filter fraction `c = 1.0`, coordinate subsample of up to 10 000.
     pub fn new(assumed_byzantine: usize) -> Self {
-        Self {
-            assumed_byzantine,
-            iters: 1,
-            subsample_dim: 10_000,
-            filter_frac: 1.0,
-            rng: seeded_rng(0xd4c),
-        }
+        Self { assumed_byzantine, iters: 1, subsample_dim: 10_000, filter_frac: 1.0, rng: seeded_rng(0xd4c) }
     }
 
     /// Number of filtering iterations (intersection over all of them).
@@ -83,16 +77,15 @@ impl Aggregator for DnC {
     fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
         let dim = validate_gradients(gradients);
         let n = gradients.len();
-        let remove = ((self.filter_frac * self.assumed_byzantine as f32).round() as usize).min(n.saturating_sub(1));
+        let remove =
+            ((self.filter_frac * self.assumed_byzantine as f32).round() as usize).min(n.saturating_sub(1));
 
         let mut good: Vec<bool> = vec![true; n];
         for _ in 0..self.iters {
             let coords = sample_indices(&mut self.rng, dim, self.subsample_dim.min(dim));
             // Build sub-gradients and center them.
-            let subs: Vec<Vec<f32>> = gradients
-                .iter()
-                .map(|g| coords.iter().map(|&c| g[c]).collect())
-                .collect();
+            let subs: Vec<Vec<f32>> =
+                gradients.iter().map(|g| coords.iter().map(|&c| g[c]).collect()).collect();
             let mu = sg_math::vecops::mean_vector(&subs, coords.len());
             let centered: Vec<Vec<f32>> = subs.iter().map(|s| sg_math::vecops::sub(s, &mu)).collect();
             let v = Self::top_direction(&centered);
@@ -124,9 +117,7 @@ mod tests {
     use super::*;
 
     fn honest(n: usize, d: usize) -> Vec<Vec<f32>> {
-        (0..n)
-            .map(|i| (0..d).map(|j| ((i * d + j) as f32 * 0.13).sin() * 0.1 + 1.0).collect())
-            .collect()
+        (0..n).map(|i| (0..d).map(|j| ((i * d + j) as f32 * 0.13).sin() * 0.1 + 1.0).collect()).collect()
     }
 
     #[test]

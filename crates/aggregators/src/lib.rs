@@ -89,6 +89,14 @@ pub trait Aggregator {
     /// `sg-fl`) use it to evaluate candidate gradients against a root
     /// dataset at the current model.
     fn observe_global(&mut self, _params: &[f32]) {}
+
+    /// Installs a chunk executor so the rule's coordinate-sharded hot loops
+    /// run on the caller's thread pool (see `sg_math::exec`).
+    ///
+    /// Rules written against the executor contract produce bit-identical
+    /// output at any parallelism. The default is a no-op: rules that have
+    /// no sharded implementation simply stay sequential.
+    fn set_executor(&mut self, _executor: std::sync::Arc<dyn sg_math::ParallelExecutor>) {}
 }
 
 /// Validates a gradient batch, returning the common dimension.

@@ -1,43 +1,83 @@
 //! Mean, trimmed-mean and coordinate-wise median rules.
+//!
+//! All three are coordinate-independent, so their hot loops run through the
+//! pluggable [`ParallelExecutor`] in [`REDUCE_BLOCK`]-sized coordinate
+//! shards: per output coordinate the computation (and therefore every
+//! floating-point rounding) is identical at any parallelism.
 
-use sg_math::stats;
+use std::sync::Arc;
+
+use sg_math::vecops::{self, REDUCE_BLOCK};
+use sg_math::{ParallelExecutor, SeqExecutor};
 
 use crate::{validate_gradients, AggregationOutput, Aggregator};
 
 /// Naive arithmetic mean — the no-defense baseline (FedAvg/FedSGD).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Mean;
+#[derive(Clone)]
+pub struct Mean {
+    exec: Arc<dyn ParallelExecutor>,
+}
+
+impl std::fmt::Debug for Mean {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mean").field("parallelism", &self.exec.parallelism()).finish()
+    }
+}
 
 impl Mean {
-    /// Creates the mean rule.
+    /// Creates the mean rule (sequential until an executor is installed).
     pub fn new() -> Self {
-        Self
+        Self { exec: Arc::new(SeqExecutor) }
+    }
+}
+
+impl Default for Mean {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
 impl Aggregator for Mean {
     fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
         let dim = validate_gradients(gradients);
-        AggregationOutput::blended(sg_math::vecops::mean_vector(gradients, dim))
+        let mut out = vec![0.0f32; dim];
+        self.exec.run_chunks(&mut out, REDUCE_BLOCK, &|ci, chunk| {
+            vecops::mean_chunk(gradients, ci * REDUCE_BLOCK, chunk);
+        });
+        AggregationOutput::blended(out)
     }
 
     fn name(&self) -> &'static str {
         "Mean"
     }
+
+    fn set_executor(&mut self, executor: Arc<dyn ParallelExecutor>) {
+        self.exec = executor;
+    }
 }
 
 /// Coordinate-wise trimmed mean (Yin et al., ICML'18): for each coordinate,
 /// drop the `k` smallest and `k` largest values, average the rest.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct TrimmedMean {
     trim: usize,
+    exec: Arc<dyn ParallelExecutor>,
+}
+
+impl std::fmt::Debug for TrimmedMean {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrimmedMean")
+            .field("trim", &self.trim)
+            .field("parallelism", &self.exec.parallelism())
+            .finish()
+    }
 }
 
 impl TrimmedMean {
     /// Creates a trimmed mean that removes `trim` values from each tail —
     /// set to the assumed number of Byzantine clients.
     pub fn new(trim: usize) -> Self {
-        Self { trim }
+        Self { trim, exec: Arc::new(SeqExecutor) }
     }
 }
 
@@ -49,49 +89,62 @@ impl Aggregator for TrimmedMean {
         // trimming that leaves at least one value.
         let trim = self.trim.min((n - 1) / 2);
         let mut out = vec![0.0f32; dim];
-        let mut col = vec![0.0f32; n];
-        for j in 0..dim {
-            for (i, g) in gradients.iter().enumerate() {
-                col[i] = g[j];
-            }
-            out[j] = stats::trimmed_mean(&col, trim);
-        }
+        self.exec.run_chunks(&mut out, REDUCE_BLOCK, &|ci, chunk| {
+            vecops::trimmed_mean_chunk(gradients, trim, ci * REDUCE_BLOCK, chunk);
+        });
         AggregationOutput::blended(out)
     }
 
     fn name(&self) -> &'static str {
         "TrMean"
     }
+
+    fn set_executor(&mut self, executor: Arc<dyn ParallelExecutor>) {
+        self.exec = executor;
+    }
 }
 
 /// Coordinate-wise median (Yin et al., ICML'18).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct CoordinateMedian;
+#[derive(Clone)]
+pub struct CoordinateMedian {
+    exec: Arc<dyn ParallelExecutor>,
+}
+
+impl std::fmt::Debug for CoordinateMedian {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoordinateMedian").field("parallelism", &self.exec.parallelism()).finish()
+    }
+}
 
 impl CoordinateMedian {
     /// Creates the coordinate-wise median rule.
     pub fn new() -> Self {
-        Self
+        Self { exec: Arc::new(SeqExecutor) }
+    }
+}
+
+impl Default for CoordinateMedian {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
 impl Aggregator for CoordinateMedian {
     fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
         let dim = validate_gradients(gradients);
-        let n = gradients.len();
         let mut out = vec![0.0f32; dim];
-        let mut col = vec![0.0f32; n];
-        for j in 0..dim {
-            for (i, g) in gradients.iter().enumerate() {
-                col[i] = g[j];
-            }
-            out[j] = stats::median(&col);
-        }
+        self.exec.run_chunks(&mut out, REDUCE_BLOCK, &|ci, chunk| {
+            vecops::median_chunk(gradients, ci * REDUCE_BLOCK, chunk);
+        });
         AggregationOutput::blended(out)
     }
 
     fn name(&self) -> &'static str {
         "Median"
+    }
+
+    fn set_executor(&mut self, executor: Arc<dyn ParallelExecutor>) {
+        self.exec = executor;
     }
 }
 

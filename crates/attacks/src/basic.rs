@@ -35,9 +35,7 @@ impl Default for RandomAttack {
 impl Attack for RandomAttack {
     fn craft(&mut self, ctx: &AttackContext<'_>) -> Vec<Vec<f32>> {
         let dim = ctx.byzantine_honest.first().map_or(0, Vec::len);
-        (0..ctx.byzantine_count())
-            .map(|_| self.sampler.sample_vec(&mut self.rng, dim))
-            .collect()
+        (0..ctx.byzantine_count()).map(|_| self.sampler.sample_vec(&mut self.rng, dim)).collect()
     }
 
     fn name(&self) -> &'static str {

@@ -48,12 +48,7 @@ impl Attack for ByzMean {
         let dim = ctx.byzantine_honest[0].len();
 
         // Target gradient from the inner attack (its first malicious vector).
-        let gm1 = self
-            .inner
-            .craft(ctx)
-            .into_iter()
-            .next()
-            .expect("inner attack returned no gradients");
+        let gm1 = self.inner.craft(ctx).into_iter().next().expect("inner attack returned no gradients");
 
         let m1 = m / 2;
         let m2 = m - m1;
@@ -65,11 +60,8 @@ impl Attack for ByzMean {
         for g in ctx.benign {
             sg_math::vecops::axpy(1.0, g, &mut sum_benign);
         }
-        let gm2: Vec<f32> = gm1
-            .iter()
-            .zip(&sum_benign)
-            .map(|(&t, &s)| ((n - m1) as f32 * t - s) / m2 as f32)
-            .collect();
+        let gm2: Vec<f32> =
+            gm1.iter().zip(&sum_benign).map(|(&t, &s)| ((n - m1) as f32 * t - s) / m2 as f32).collect();
 
         let mut out = Vec::with_capacity(m);
         out.extend(std::iter::repeat_with(|| gm1.clone()).take(m1));

@@ -128,9 +128,8 @@ mod tests {
     fn small_z_keeps_malicious_gradient_close() {
         // Distance of the LIE gradient to the mean is z * ||sigma||, which
         // for small z is below the typical honest distance (Proposition 1).
-        let honest: Vec<Vec<f32>> = (0..20)
-            .map(|i| (0..50).map(|j| ((i * 53 + j * 17) as f32).sin()).collect())
-            .collect();
+        let honest: Vec<Vec<f32>> =
+            (0..20).map(|i| (0..50).map(|j| ((i * 53 + j * 17) as f32).sin()).collect()).collect();
         let dim = 50;
         let mu = vecops::mean_vector(&honest, dim);
         let lie = Lie::with_z(0.3);

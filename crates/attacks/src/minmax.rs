@@ -166,9 +166,7 @@ mod tests {
     use super::*;
 
     fn population(n: usize, d: usize) -> Vec<Vec<f32>> {
-        (0..n)
-            .map(|i| (0..d).map(|j| 1.0 + 0.3 * ((i * 31 + j * 7) as f32).sin()).collect())
-            .collect()
+        (0..n).map(|i| (0..d).map(|j| 1.0 + 0.3 * ((i * 31 + j * 7) as f32).sin()).collect()).collect()
     }
 
     #[test]

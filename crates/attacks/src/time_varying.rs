@@ -1,8 +1,8 @@
 //! Time-varying attack strategy (paper Fig. 5): re-sample the attack each
 //! epoch, including a "no attack" behaviour.
 
-use rand::Rng;
 use rand::rngs::StdRng;
+use rand::Rng;
 use sg_math::seeded_rng;
 
 use crate::{Attack, AttackContext};
@@ -37,7 +37,12 @@ impl TimeVarying {
     /// # Panics
     ///
     /// Panics if `attacks` is empty or `rounds_per_epoch == 0`.
-    pub fn new(attacks: Vec<Box<dyn Attack>>, include_no_attack: bool, rounds_per_epoch: usize, seed: u64) -> Self {
+    pub fn new(
+        attacks: Vec<Box<dyn Attack>>,
+        include_no_attack: bool,
+        rounds_per_epoch: usize,
+        seed: u64,
+    ) -> Self {
         assert!(!attacks.is_empty(), "TimeVarying: empty attack pool");
         assert!(rounds_per_epoch > 0, "TimeVarying: rounds_per_epoch must be positive");
         Self {

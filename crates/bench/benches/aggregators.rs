@@ -4,9 +4,7 @@
 //! defense must be computationally cheap relative to a training round.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sg_aggregators::{
-    Aggregator, Bulyan, CoordinateMedian, DnC, GeoMed, Mean, MultiKrum, TrimmedMean,
-};
+use sg_aggregators::{Aggregator, Bulyan, CoordinateMedian, DnC, GeoMed, Mean, MultiKrum, TrimmedMean};
 use sg_bench::synthetic_gradients;
 use sg_core::SignGuard;
 
@@ -14,7 +12,8 @@ fn bench_rules(c: &mut Criterion) {
     let mut group = c.benchmark_group("aggregators_n50_d10k");
     group.sample_size(10);
     let grads = synthetic_gradients(50, 10_000, 1);
-    let rules: Vec<(&str, Box<dyn Fn() -> Box<dyn Aggregator>>)> = vec![
+    type RuleCtor = Box<dyn Fn() -> Box<dyn Aggregator>>;
+    let rules: Vec<(&str, RuleCtor)> = vec![
         ("Mean", Box::new(|| Box::new(Mean::new()))),
         ("TrMean", Box::new(|| Box::new(TrimmedMean::new(10)))),
         ("Median", Box::new(|| Box::new(CoordinateMedian::new()))),

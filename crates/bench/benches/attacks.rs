@@ -11,7 +11,8 @@ fn bench_attacks(c: &mut Criterion) {
     let all = synthetic_gradients(50, 10_000, 1);
     let (byz, benign) = all.split_at(10);
 
-    let attacks: Vec<(&str, Box<dyn Fn() -> Box<dyn Attack>>)> = vec![
+    type AttackCtor = Box<dyn Fn() -> Box<dyn Attack>>;
+    let attacks: Vec<(&str, AttackCtor)> = vec![
         ("Random", Box::new(|| Box::new(RandomAttack::new()))),
         ("SignFlip", Box::new(|| Box::new(SignFlip::new()))),
         ("LIE", Box::new(|| Box::new(Lie::new()))),

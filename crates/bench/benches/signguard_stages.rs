@@ -37,7 +37,8 @@ fn bench_stages(c: &mut Criterion) {
     group.bench_function("meanshift_50pts", |b| {
         let fe = FeatureExtractor::new();
         let mut rng = sg_math::seeded_rng(0);
-        let points: Vec<Vec<f32>> = fe.extract(&mut rng, &grads, None).into_iter().map(|f| f.to_vec()).collect();
+        let points: Vec<Vec<f32>> =
+            fe.extract(&mut rng, &grads, None).into_iter().map(|f| f.to_vec()).collect();
         b.iter(|| std::hint::black_box(MeanShift::new().fit(&points)));
     });
 

@@ -42,15 +42,24 @@ fn main() {
 
     // 1. Coordinate-sampling fraction sweep.
     println!("== coordinate-sampling fraction (plain SignGuard) ==");
-    println!("{:<12} {:>10} {:>10} {:>10} {:>10}", "fraction", attacks[0], attacks[1], attacks[2], attacks[3]);
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}",
+        "fraction", attacks[0], attacks[1], attacks[2], attacks[3]
+    );
     for frac in [0.01f32, 0.1, 0.5, 1.0] {
         print!("{frac:<12}");
         for attack_name in attacks {
             let gar = SignGuardBuilder::new().coord_fraction(frac).seed(0).build();
-            let mut sim = Simulator::new(build_task(&task_name, 7), cfg.clone(), Box::new(gar), attack_by(attack_name));
+            let mut sim =
+                Simulator::new(build_task(&task_name, 7), cfg.clone(), Box::new(gar), attack_by(attack_name));
             let r = sim.run();
             print!(" {:>9.2}%", 100.0 * r.best_accuracy);
-            csv.push(vec!["coord_fraction".into(), frac.to_string(), attack_name.into(), format!("{:.2}", 100.0 * r.best_accuracy)]);
+            csv.push(vec![
+                "coord_fraction".into(),
+                frac.to_string(),
+                attack_name.into(),
+                format!("{:.2}", 100.0 * r.best_accuracy),
+            ]);
         }
         println!();
     }
@@ -58,7 +67,9 @@ fn main() {
     // 2. Clustering back-end.
     println!("\n== clustering back-end (SignGuard-Sim) ==");
     println!("{:<12} {:>10} {:>10} {:>10} {:>10}", "backend", attacks[0], attacks[1], attacks[2], attacks[3]);
-    for (label, backend) in [("MeanShift", ClusteringBackend::MeanShift), ("KMeans-2", ClusteringBackend::KMeans(2))] {
+    for (label, backend) in
+        [("MeanShift", ClusteringBackend::MeanShift), ("KMeans-2", ClusteringBackend::KMeans(2))]
+    {
         print!("{label:<12}");
         for attack_name in attacks {
             let gar = SignGuardBuilder::new()
@@ -66,10 +77,16 @@ fn main() {
                 .clustering(backend)
                 .seed(0)
                 .build();
-            let mut sim = Simulator::new(build_task(&task_name, 7), cfg.clone(), Box::new(gar), attack_by(attack_name));
+            let mut sim =
+                Simulator::new(build_task(&task_name, 7), cfg.clone(), Box::new(gar), attack_by(attack_name));
             let r = sim.run();
             print!(" {:>9.2}%", 100.0 * r.best_accuracy);
-            csv.push(vec!["backend".into(), label.into(), attack_name.into(), format!("{:.2}", 100.0 * r.best_accuracy)]);
+            csv.push(vec![
+                "backend".into(),
+                label.into(),
+                attack_name.into(),
+                format!("{:.2}", 100.0 * r.best_accuracy),
+            ]);
         }
         println!();
     }
@@ -106,7 +123,12 @@ fn main() {
             let mut sim = Simulator::new(task, cfg.clone(), gar, attack_by(attack_name));
             let r = sim.run();
             print!(" {:>9.2}%", 100.0 * r.best_accuracy);
-            csv.push(vec!["family".into(), defense.into(), attack_name.into(), format!("{:.2}", 100.0 * r.best_accuracy)]);
+            csv.push(vec![
+                "family".into(),
+                defense.into(),
+                attack_name.into(),
+                format!("{:.2}", 100.0 * r.best_accuracy),
+            ]);
         }
         println!();
     }

@@ -42,11 +42,16 @@ fn main() {
 
     for task_name in &tasks {
         // No-attack / no-defense baseline (Definition 3 reference point).
-        let base_cfg = FlConfig { epochs, learning_rate: 0.05, byzantine_fraction: 0.0, ..FlConfig::default() };
+        let base_cfg =
+            FlConfig { epochs, learning_rate: 0.05, byzantine_fraction: 0.0, ..FlConfig::default() };
         let mut baseline_sim =
             Simulator::new(build_task(task_name, 7), base_cfg, build_defense("Mean", 50, 0), None);
         let baseline = baseline_sim.run().best_accuracy;
-        println!("== {} == baseline (Mean, no attack): {:.2}%\n", build_task(task_name, 7).name, 100.0 * baseline);
+        println!(
+            "== {} == baseline (Mean, no attack): {:.2}%\n",
+            build_task(task_name, 7).name,
+            100.0 * baseline
+        );
 
         for defense in defenses {
             println!("-- defense: {defense}");

@@ -37,11 +37,15 @@ fn main() {
     for task_name in &tasks {
         let cfg = FlConfig { epochs, learning_rate: 0.05, ..FlConfig::default() };
         let (n, m) = (cfg.num_clients, cfg.byzantine_count());
-        println!("== {} — per-epoch accuracy under the time-varying attack ==\n", build_task(task_name, 7).name);
+        println!(
+            "== {} — per-epoch accuracy under the time-varying attack ==\n",
+            build_task(task_name, 7).name
+        );
 
         // Baseline: no attack, no defense.
         let base_cfg = FlConfig { byzantine_fraction: 0.0, ..cfg.clone() };
-        let mut base_sim = Simulator::new(build_task(task_name, 7), base_cfg, build_defense("Mean", n, 0), None);
+        let mut base_sim =
+            Simulator::new(build_task(task_name, 7), base_cfg, build_defense("Mean", n, 0), None);
         let base = base_sim.run();
         print_curve("Baseline", &base.accuracy_curve);
         for (e, (_, acc)) in base.accuracy_curve.iter().enumerate() {
@@ -52,11 +56,17 @@ fn main() {
             let task = build_task(task_name, 7);
             let rpe = cfg.rounds_per_epoch(task.train.len());
             let attack = TimeVarying::new(attack_pool(), true, rpe, 99);
-            let mut sim = Simulator::new(task, cfg.clone(), build_defense(defense, n, m), Some(Box::new(attack)));
+            let mut sim =
+                Simulator::new(task, cfg.clone(), build_defense(defense, n, m), Some(Box::new(attack)));
             let r = sim.run();
             print_curve(defense, &r.accuracy_curve);
             for (e, (_, acc)) in r.accuracy_curve.iter().enumerate() {
-                csv.push(vec![task_name.to_string(), defense.to_string(), e.to_string(), format!("{:.4}", acc)]);
+                csv.push(vec![
+                    task_name.to_string(),
+                    defense.to_string(),
+                    e.to_string(),
+                    format!("{:.4}", acc),
+                ]);
             }
         }
         println!();

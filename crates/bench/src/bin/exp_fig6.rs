@@ -22,13 +22,8 @@ fn main() {
     let defenses = ["TrMean", "Multi-Krum", "Bulyan", "DnC", "SignGuard-Sim"];
     let skews = [0.3f32, 0.5, 0.8];
 
-    let mut csv = vec![vec![
-        "task".to_string(),
-        "attack".into(),
-        "defense".into(),
-        "s".into(),
-        "best_accuracy".into(),
-    ]];
+    let mut csv =
+        vec![vec!["task".to_string(), "attack".into(), "defense".into(), "s".into(), "best_accuracy".into()]];
 
     for task_name in &tasks {
         println!("== {} — non-IID accuracy (best %) ==", build_task(task_name, 7).name);

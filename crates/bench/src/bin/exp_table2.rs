@@ -15,7 +15,8 @@ fn main() {
     let task_name = arg_value(&args, "--task").unwrap_or_else(|| "cifar".into());
 
     let attacks = ["ByzMean", "Sign-flip", "LIE", "Min-Max", "Min-Sum"];
-    let variants: [(&str, fn() -> SignGuard); 3] = [
+    type VariantCtor = fn() -> SignGuard;
+    let variants: [(&str, VariantCtor); 3] = [
         ("SignGuard", || SignGuard::plain(0)),
         ("SignGuard-Sim", || SignGuard::sim(0)),
         ("SignGuard-Dist", || SignGuard::dist(0)),
@@ -28,7 +29,10 @@ fn main() {
         cfg.num_clients,
         cfg.byzantine_count()
     );
-    println!("{:<11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}", "Attack", "SG H", "SG M", "Sim H", "Sim M", "Dist H", "Dist M");
+    println!(
+        "{:<11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Attack", "SG H", "SG M", "Sim H", "Sim M", "Dist H", "Dist M"
+    );
 
     let mut csv = vec![vec![
         "attack".to_string(),

@@ -36,8 +36,14 @@ fn main() {
     ];
 
     let cfg = FlConfig { epochs, learning_rate: 0.05, ..FlConfig::default() };
-    println!("Table III reproduction — component ablation on {} (SignGuard-Sim)\n", build_task(&task_name, 7).name);
-    println!("{:<14}{:<12}{:<10} {:>9} {:>9} {:>9}", "Thresholding", "Clustering", "NormClip", "Random", "Reverse", "LIE");
+    println!(
+        "Table III reproduction — component ablation on {} (SignGuard-Sim)\n",
+        build_task(&task_name, 7).name
+    );
+    println!(
+        "{:<14}{:<12}{:<10} {:>9} {:>9} {:>9}",
+        "Thresholding", "Clustering", "NormClip", "Random", "Reverse", "LIE"
+    );
 
     let mut csv = vec![vec![
         "thresholding".into(),

@@ -13,9 +13,7 @@ use sg_aggregators::{
     Aggregator, Bulyan, CenteredClip, CoordinateMedian, DnC, GeoMed, Mean, MultiKrum, SignMajority,
     TrimmedMean,
 };
-use sg_attacks::{
-    Attack, ByzMean, LabelFlip, Lie, MinMax, MinSum, NoiseAttack, RandomAttack, SignFlip,
-};
+use sg_attacks::{Attack, ByzMean, LabelFlip, Lie, MinMax, MinSum, NoiseAttack, RandomAttack, SignFlip};
 use sg_core::SignGuard;
 use sg_fl::{tasks, Task};
 
@@ -34,17 +32,8 @@ pub const TABLE1_DEFENSES: &[&str] = &[
 ];
 
 /// Names of all attacks in the paper's Table I column order.
-pub const TABLE1_ATTACKS: &[&str] = &[
-    "No Attack",
-    "Random",
-    "Noise",
-    "Label-flip",
-    "ByzMean",
-    "Sign-flip",
-    "LIE",
-    "Min-Max",
-    "Min-Sum",
-];
+pub const TABLE1_ATTACKS: &[&str] =
+    &["No Attack", "Random", "Noise", "Label-flip", "ByzMean", "Sign-flip", "LIE", "Min-Max", "Min-Sum"];
 
 /// Builds a defense by table name. `n` is the client count and `m` the
 /// Byzantine count handed to the baselines (the paper gives baselines the
@@ -140,9 +129,7 @@ pub fn synthetic_gradients(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
     use rand::Rng;
     let mut rng = sg_math::seeded_rng(seed);
     let base: Vec<f32> = (0..d).map(|j| (j as f32 * 0.11).sin()).collect();
-    (0..n)
-        .map(|_| base.iter().map(|&b| b + rng.gen_range(-0.3..0.3)).collect())
-        .collect()
+    (0..n).map(|_| base.iter().map(|&b| b + rng.gen_range(-0.3..0.3)).collect()).collect()
 }
 
 #[cfg(test)]

@@ -130,9 +130,7 @@ mod tests {
     use rand::Rng;
 
     fn blob<R: Rng>(rng: &mut R, center: &[f32], n: usize, spread: f32) -> Vec<Vec<f32>> {
-        (0..n)
-            .map(|_| center.iter().map(|&c| c + rng.gen_range(-spread..spread)).collect())
-            .collect()
+        (0..n).map(|_| center.iter().map(|&c| c + rng.gen_range(-spread..spread)).collect()).collect()
     }
 
     #[test]

@@ -65,12 +65,7 @@ impl Clustering {
             .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
             .map(|(i, _)| i)
             .expect("non-empty");
-        self.labels
-            .iter()
-            .enumerate()
-            .filter(|(_, &l)| l == best)
-            .map(|(i, _)| i)
-            .collect()
+        self.labels.iter().enumerate().filter(|(_, &l)| l == best).map(|(i, _)| i).collect()
     }
 }
 
@@ -91,10 +86,7 @@ mod tests {
 
     #[test]
     fn sizes_and_largest() {
-        let c = Clustering {
-            labels: vec![0, 1, 1, 1, 0],
-            centers: vec![vec![0.0], vec![1.0]],
-        };
+        let c = Clustering { labels: vec![0, 1, 1, 1, 0], centers: vec![vec![0.0], vec![1.0]] };
         assert_eq!(c.num_clusters(), 2);
         assert_eq!(c.sizes(), vec![2, 3]);
         assert_eq!(c.largest_cluster(), vec![1, 2, 3]);
@@ -102,10 +94,7 @@ mod tests {
 
     #[test]
     fn largest_cluster_tie_prefers_lowest_label() {
-        let c = Clustering {
-            labels: vec![0, 1, 0, 1],
-            centers: vec![vec![0.0], vec![1.0]],
-        };
+        let c = Clustering { labels: vec![0, 1, 0, 1], centers: vec![vec![0.0], vec![1.0]] };
         assert_eq!(c.largest_cluster(), vec![0, 2]);
     }
 

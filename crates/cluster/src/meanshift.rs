@@ -54,10 +54,8 @@ impl MeanShift {
         let k = ((n as f32) * 0.3).floor().max(1.0) as usize;
         let mut total = 0.0f64;
         for i in 0..n {
-            let mut dists: Vec<f32> = (0..n)
-                .filter(|&j| j != i)
-                .map(|j| squared_distance(&points[i], &points[j]).sqrt())
-                .collect();
+            let mut dists: Vec<f32> =
+                (0..n).filter(|&j| j != i).map(|j| squared_distance(&points[i], &points[j]).sqrt()).collect();
             let kth = k.min(dists.len()) - 1;
             let (_, d, _) = dists.select_nth_unstable_by(kth, f32::total_cmp);
             total += f64::from(*d);
@@ -170,9 +168,7 @@ mod tests {
     use sg_math::seeded_rng;
 
     fn blob<R: Rng>(rng: &mut R, center: &[f32], n: usize, spread: f32) -> Vec<Vec<f32>> {
-        (0..n)
-            .map(|_| center.iter().map(|&c| c + rng.gen_range(-spread..spread)).collect())
-            .collect()
+        (0..n).map(|_| center.iter().map(|&c| c + rng.gen_range(-spread..spread)).collect()).collect()
     }
 
     #[test]

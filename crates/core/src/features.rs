@@ -2,6 +2,7 @@
 
 use rand::Rng;
 use sg_math::vecops;
+use sg_math::{ParallelExecutor, SeqExecutor};
 
 /// Sign statistics of one gradient (proportions over a coordinate subset).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,7 +63,7 @@ impl FeatureExtractor {
         Self { coord_fraction: 0.1, similarity: SimilarityFeature::None }
     }
 
-    /// Computes features for every gradient.
+    /// Computes features for every gradient (sequentially).
     ///
     /// `reference` is the "correct" gradient used by the similarity
     /// feature; pass the previous aggregate when available.
@@ -77,6 +78,28 @@ impl FeatureExtractor {
         gradients: &[Vec<f32>],
         reference: Option<&[f32]>,
     ) -> Vec<GradientFeatures> {
+        self.extract_with(&SeqExecutor, rng, gradients, reference)
+    }
+
+    /// Computes features for every gradient, sharding per-gradient work
+    /// (sign counting and similarity) across `exec`.
+    ///
+    /// The coordinate subset is sampled from `rng` on the calling thread
+    /// before any parallel work, and per-gradient results are integer
+    /// counts or pure functions of one gradient — so the output is
+    /// bit-identical to [`FeatureExtractor::extract`] at any parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gradients` is empty or `coord_fraction` is outside
+    /// `(0, 1]`.
+    pub fn extract_with<R: Rng + ?Sized>(
+        &self,
+        exec: &dyn ParallelExecutor,
+        rng: &mut R,
+        gradients: &[Vec<f32>],
+        reference: Option<&[f32]>,
+    ) -> Vec<GradientFeatures> {
         assert!(!gradients.is_empty(), "FeatureExtractor: empty batch");
         assert!(
             self.coord_fraction > 0.0 && self.coord_fraction <= 1.0,
@@ -87,50 +110,56 @@ impl FeatureExtractor {
         let k = (((dim as f32) * self.coord_fraction).round() as usize).clamp(1, dim);
         let coords = sg_math::rng::sample_indices(rng, dim, k);
 
-        // Sign statistics on the sampled coordinates.
-        let mut feats: Vec<GradientFeatures> = gradients
-            .iter()
-            .map(|g| {
-                let (mut pos, mut zero, mut neg) = (0usize, 0usize, 0usize);
-                for &c in &coords {
-                    let x = g[c];
-                    if x > 0.0 {
-                        pos += 1;
-                    } else if x < 0.0 {
-                        neg += 1;
-                    } else {
-                        zero += 1;
-                    }
-                }
-                let inv = 1.0 / coords.len() as f32;
-                GradientFeatures {
-                    positive: pos as f32 * inv,
-                    zero: zero as f32 * inv,
-                    negative: neg as f32 * inv,
-                    similarity: None,
-                }
-            })
-            .collect();
-
-        // Optional similarity feature against the reference gradient.
-        match self.similarity {
-            SimilarityFeature::None => {}
-            SimilarityFeature::Cosine => {
-                let reference = self.resolve_reference(gradients, reference);
-                for (f, g) in feats.iter_mut().zip(gradients) {
-                    f.similarity = Some(vecops::cosine_similarity(g, &reference));
+        // One row of width 3 (sign stats) or 4 (+ similarity) per gradient;
+        // each row is one executor chunk, so a gradient's features are
+        // always computed whole by one worker.
+        let with_sim = self.similarity != SimilarityFeature::None;
+        let width = if with_sim { 4 } else { 3 };
+        let reference = if with_sim { Some(self.resolve_reference(gradients, reference)) } else { None };
+        let similarity = self.similarity;
+        let mut rows = vec![0.0f32; gradients.len() * width];
+        exec.run_chunks(&mut rows, width, &|i, row| {
+            let g = &gradients[i];
+            let (mut pos, mut zero, mut neg) = (0usize, 0usize, 0usize);
+            for &c in &coords {
+                let x = g[c];
+                if x > 0.0 {
+                    pos += 1;
+                } else if x < 0.0 {
+                    neg += 1;
+                } else {
+                    zero += 1;
                 }
             }
-            SimilarityFeature::Euclidean => {
-                let reference = self.resolve_reference(gradients, reference);
-                let dists: Vec<f32> = gradients.iter().map(|g| vecops::l2_distance(g, &reference)).collect();
-                let med = sg_math::median(&dists).max(1e-12);
-                for (f, &d) in feats.iter_mut().zip(&dists) {
-                    f.similarity = Some(d / med);
-                }
+            let inv = 1.0 / coords.len() as f32;
+            row[0] = pos as f32 * inv;
+            row[1] = zero as f32 * inv;
+            row[2] = neg as f32 * inv;
+            match (similarity, &reference) {
+                (SimilarityFeature::Cosine, Some(r)) => row[3] = vecops::cosine_similarity(g, r),
+                (SimilarityFeature::Euclidean, Some(r)) => row[3] = vecops::l2_distance(g, r),
+                _ => {}
+            }
+        });
+
+        // Distance features are normalized by their median, which needs all
+        // gradients — done after the parallel pass, in index order.
+        if similarity == SimilarityFeature::Euclidean {
+            let dists: Vec<f32> = rows.chunks(width).map(|r| r[3]).collect();
+            let med = sg_math::median(&dists).max(1e-12);
+            for r in rows.chunks_mut(width) {
+                r[3] /= med;
             }
         }
-        feats
+
+        rows.chunks(width)
+            .map(|r| GradientFeatures {
+                positive: r[0],
+                zero: r[1],
+                negative: r[2],
+                similarity: with_sim.then(|| r[3]),
+            })
+            .collect()
     }
 
     /// Uses the supplied reference, or falls back to the coordinate-wise
@@ -194,9 +223,8 @@ mod tests {
     #[test]
     fn cosine_feature_distinguishes_reversed_gradient() {
         let mut rng = seeded_rng(2);
-        let honest: Vec<Vec<f32>> = (0..5)
-            .map(|i| (0..40).map(|j| 1.0 + 0.1 * ((i + j) as f32).sin()).collect())
-            .collect();
+        let honest: Vec<Vec<f32>> =
+            (0..5).map(|i| (0..40).map(|j| 1.0 + 0.1 * ((i + j) as f32).sin()).collect()).collect();
         let mut grads = honest.clone();
         grads.push(honest[0].iter().map(|x| -x).collect());
         let reference = sg_math::vecops::mean_vector(&honest, 40);

@@ -1,10 +1,12 @@
 //! The collaborative filters of SignGuard's Algorithm 2.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
 use sg_cluster::{KMeans, MeanShift};
+use sg_math::{ParallelExecutor, SeqExecutor};
 
 use crate::features::{FeatureExtractor, SimilarityFeature};
 use crate::signguard::ClusteringBackend;
@@ -83,12 +85,22 @@ impl Filter for NormFilter {
 /// Sign-based clustering (Algorithm 2, Step 2): extract sign-statistics
 /// features on a random coordinate subset, cluster, trust the largest
 /// cluster.
-#[derive(Debug)]
 pub struct SignClusterFilter {
     extractor: FeatureExtractor,
     backend: ClusteringBackend,
     rng: StdRng,
     reference: Option<Vec<f32>>,
+    exec: Arc<dyn ParallelExecutor>,
+}
+
+impl std::fmt::Debug for SignClusterFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SignClusterFilter")
+            .field("extractor", &self.extractor)
+            .field("backend", &self.backend)
+            .field("parallelism", &self.exec.parallelism())
+            .finish()
+    }
 }
 
 impl SignClusterFilter {
@@ -104,6 +116,7 @@ impl SignClusterFilter {
             backend,
             rng: sg_math::seeded_rng(seed),
             reference: None,
+            exec: Arc::new(SeqExecutor),
         }
     }
 
@@ -112,18 +125,31 @@ impl SignClusterFilter {
     pub fn set_reference(&mut self, reference: Option<Vec<f32>>) {
         self.reference = reference;
     }
+
+    /// Installs a chunk executor for the per-gradient feature pass.
+    pub fn set_executor(&mut self, executor: Arc<dyn ParallelExecutor>) {
+        self.exec = executor;
+    }
 }
 
 impl Filter for SignClusterFilter {
     fn filter(&mut self, gradients: &[Vec<f32>], norms: &[f32]) -> BTreeSet<usize> {
         // Exclude non-finite gradients up front: their features would poison
-        // the clustering geometry.
+        // the clustering geometry. The common all-finite case borrows the
+        // batch as-is instead of cloning every gradient.
         let valid: Vec<usize> = (0..gradients.len()).filter(|&i| norms[i].is_finite()).collect();
         if valid.is_empty() {
             return BTreeSet::new();
         }
-        let sub: Vec<Vec<f32>> = valid.iter().map(|&i| gradients[i].clone()).collect();
-        let feats = self.extractor.extract(&mut self.rng, &sub, self.reference.as_deref());
+        let sub: Vec<Vec<f32>>;
+        let batch: &[Vec<f32>] = if valid.len() == gradients.len() {
+            gradients
+        } else {
+            sub = valid.iter().map(|&i| gradients[i].clone()).collect();
+            &sub
+        };
+        let feats =
+            self.extractor.extract_with(self.exec.as_ref(), &mut self.rng, batch, self.reference.as_deref());
         let points: Vec<Vec<f32>> = feats.iter().map(|f| f.to_vec()).collect();
 
         let clustering = match self.backend {
@@ -149,11 +175,11 @@ mod tests {
     #[test]
     fn norm_filter_drops_giant_and_tiny() {
         let grads = vec![
-            vec![1.0, 0.0],     // norm 1
-            vec![0.0, 1.1],     // norm 1.1
-            vec![0.9, 0.0],     // norm 0.9
-            vec![100.0, 0.0],   // giant
-            vec![0.001, 0.0],   // tiny
+            vec![1.0, 0.0],   // norm 1
+            vec![0.0, 1.1],   // norm 1.1
+            vec![0.9, 0.0],   // norm 0.9
+            vec![100.0, 0.0], // giant
+            vec![0.001, 0.0], // tiny
         ];
         let mut f = NormFilter::new();
         let kept = f.filter(&grads, &norms_of(&grads));
@@ -178,9 +204,8 @@ mod tests {
     #[test]
     fn sign_cluster_separates_flipped_gradients() {
         // 8 honest positive-leaning gradients, 3 sign-flipped.
-        let honest: Vec<Vec<f32>> = (0..8)
-            .map(|i| (0..200).map(|j| if (i + j) % 4 == 0 { -1.0 } else { 1.0 }).collect())
-            .collect();
+        let honest: Vec<Vec<f32>> =
+            (0..8).map(|i| (0..200).map(|j| if (i + j) % 4 == 0 { -1.0 } else { 1.0 }).collect()).collect();
         let mut grads = honest.clone();
         for g in honest.iter().take(3) {
             grads.push(g.iter().map(|x| -x).collect());
@@ -193,9 +218,8 @@ mod tests {
 
     #[test]
     fn sign_cluster_kmeans_backend_works() {
-        let honest: Vec<Vec<f32>> = (0..6)
-            .map(|_| (0..100).map(|j| if j % 5 == 0 { -1.0 } else { 1.0 }).collect())
-            .collect();
+        let honest: Vec<Vec<f32>> =
+            (0..6).map(|_| (0..100).map(|j| if j % 5 == 0 { -1.0 } else { 1.0 }).collect()).collect();
         let mut grads = honest.clone();
         grads.push(honest[0].iter().map(|x| -x).collect());
         let mut f = SignClusterFilter::new(1.0, SimilarityFeature::None, ClusteringBackend::KMeans(2), 8);
@@ -221,9 +245,7 @@ mod tests {
         // cannot tell honest from reversed, cosine to a reference can.
         let honest: Vec<Vec<f32>> = (0..8)
             .map(|i| {
-                (0..100)
-                    .map(|j| (j as f32 * 0.7).sin() + 0.15 * ((i * 100 + j) as f32 * 1.3).cos())
-                    .collect()
+                (0..100).map(|j| (j as f32 * 0.7).sin() + 0.15 * ((i * 100 + j) as f32 * 1.3).cos()).collect()
             })
             .collect();
         let mut grads = honest.clone();

@@ -1,8 +1,11 @@
 //! The SignGuard aggregation rule (paper Algorithm 2) and its builder.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use sg_aggregators::{validate_gradients, AggregationOutput, Aggregator};
+use sg_math::vecops::REDUCE_BLOCK;
+use sg_math::{ParallelExecutor, SeqExecutor};
 
 use crate::features::SimilarityFeature;
 use crate::filters::{Filter, NormFilter, SignClusterFilter};
@@ -65,7 +68,10 @@ impl SignGuardBuilder {
     /// (default 0.1).
     #[must_use]
     pub fn coord_fraction(mut self, fraction: f32) -> Self {
-        assert!(fraction > 0.0 && fraction <= 1.0, "SignGuardBuilder: coord_fraction {fraction} out of (0,1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "SignGuardBuilder: coord_fraction {fraction} out of (0,1]"
+        );
         self.coord_fraction = fraction;
         self
     }
@@ -126,6 +132,7 @@ impl SignGuardBuilder {
             similarity: self.similarity,
             prev_aggregate: None,
             last_selected: Vec::new(),
+            exec: Arc::new(SeqExecutor),
         }
     }
 }
@@ -141,7 +148,6 @@ impl Default for SignGuardBuilder {
 /// See the [crate docs](crate) for the algorithm. Unlike the baselines,
 /// SignGuard does **not** need to know the Byzantine fraction — the paper
 /// highlights this as a practical advantage.
-#[derive(Debug)]
 pub struct SignGuard {
     norm_filter: NormFilter,
     cluster_filter: SignClusterFilter,
@@ -151,6 +157,18 @@ pub struct SignGuard {
     similarity: SimilarityFeature,
     prev_aggregate: Option<Vec<f32>>,
     last_selected: Vec<usize>,
+    exec: Arc<dyn ParallelExecutor>,
+}
+
+impl std::fmt::Debug for SignGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SignGuard")
+            .field("norm_filter", &self.norm_filter)
+            .field("cluster_filter", &self.cluster_filter)
+            .field("similarity", &self.similarity)
+            .field("parallelism", &self.exec.parallelism())
+            .finish()
+    }
 }
 
 impl SignGuard {
@@ -185,14 +203,16 @@ impl Aggregator for SignGuard {
     fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
         let dim = validate_gradients(gradients);
         let n = gradients.len();
-        let norms: Vec<f32> = gradients.iter().map(|g| sg_math::l2_norm(g)).collect();
+        // Per-gradient norms, one executor chunk per gradient. `l2_norm`
+        // follows the fixed reduction tree, so the values are bit-identical
+        // at any parallelism.
+        let mut norms = vec![0.0f32; n];
+        self.exec.run_chunks(&mut norms, 1, &|i, slot| {
+            slot[0] = sg_math::l2_norm(&gradients[i]);
+        });
 
         let all: BTreeSet<usize> = (0..n).collect();
-        let s1 = if self.use_norm_filter {
-            self.norm_filter.filter(gradients, &norms)
-        } else {
-            all.clone()
-        };
+        let s1 = if self.use_norm_filter { self.norm_filter.filter(gradients, &norms) } else { all.clone() };
         let s2 = if self.use_cluster_filter {
             self.cluster_filter.set_reference(self.prev_aggregate.clone());
             self.cluster_filter.filter(gradients, &norms)
@@ -218,18 +238,28 @@ impl Aggregator for SignGuard {
             return AggregationOutput::selected(vec![0.0; dim], Vec::new());
         }
 
-        // Aggregation with norm clipping at the median norm (Alg. 2 line 14).
+        // Aggregation with norm clipping at the median norm (Alg. 2 line
+        // 14), sharded over coordinate chunks. Each output coordinate
+        // accumulates across the trusted set in the same order as the
+        // sequential axpy loop, so chunking never changes a bit.
         let finite: Vec<f32> = norms.iter().copied().filter(|x| x.is_finite()).collect();
         let clip = sg_math::median(&finite).max(1e-12);
+        let use_clipping = self.use_norm_clipping;
+        let inv = 1.0 / trusted.len() as f32;
         let mut acc = vec![0.0f32; dim];
-        for &i in &trusted {
-            if self.use_norm_clipping && norms[i] > clip {
-                sg_math::vecops::axpy(clip / norms[i], &gradients[i], &mut acc);
-            } else {
-                sg_math::vecops::axpy(1.0, &gradients[i], &mut acc);
+        self.exec.run_chunks(&mut acc, REDUCE_BLOCK, &|ci, chunk| {
+            let base = ci * REDUCE_BLOCK;
+            let len = chunk.len();
+            for &i in &trusted {
+                let alpha = if use_clipping && norms[i] > clip { clip / norms[i] } else { 1.0 };
+                for (o, &x) in chunk.iter_mut().zip(&gradients[i][base..base + len]) {
+                    *o += alpha * x;
+                }
             }
-        }
-        sg_math::vecops::scale_in_place(&mut acc, 1.0 / trusted.len() as f32);
+            for o in chunk.iter_mut() {
+                *o *= inv;
+            }
+        });
 
         self.prev_aggregate = Some(acc.clone());
         self.last_selected = trusted.clone();
@@ -242,6 +272,11 @@ impl Aggregator for SignGuard {
             SimilarityFeature::Cosine => "SignGuard-Sim",
             SimilarityFeature::Euclidean => "SignGuard-Dist",
         }
+    }
+
+    fn set_executor(&mut self, executor: Arc<dyn ParallelExecutor>) {
+        self.cluster_filter.set_executor(executor.clone());
+        self.exec = executor;
     }
 }
 
@@ -343,20 +378,14 @@ mod tests {
 
         // Clustering only (no threshold, no clip): large reversed gradient
         // is caught by sign statistics.
-        let mut cluster_only = SignGuardBuilder::new()
-            .norm_filter(false)
-            .norm_clipping(false)
-            .seed(7)
-            .build();
+        let mut cluster_only =
+            SignGuardBuilder::new().norm_filter(false).norm_clipping(false).seed(7).build();
         let out = cluster_only.aggregate(&grads);
         assert!(out.selected.expect("sel").iter().all(|&i| i < 8));
 
         // Threshold only: the giant is caught by its norm.
-        let mut thresh_only = SignGuardBuilder::new()
-            .cluster_filter(false)
-            .norm_clipping(false)
-            .seed(8)
-            .build();
+        let mut thresh_only =
+            SignGuardBuilder::new().cluster_filter(false).norm_clipping(false).seed(8).build();
         let out = thresh_only.aggregate(&grads);
         assert!(out.selected.expect("sel").iter().all(|&i| i < 8));
     }

@@ -1,12 +1,10 @@
 //! In-memory dataset container and batching.
 
-use serde::{Deserialize, Serialize};
-
 /// One labelled sample: flat features plus a class index.
 ///
 /// Image samples store `[C*H*W]` pixel values; text samples store token ids
 /// as `f32` (the embedding layer casts them back).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
     /// Flattened feature values.
     pub features: Vec<f32>,
@@ -36,7 +34,7 @@ impl Batch {
 }
 
 /// An in-memory labelled dataset with fixed per-item shape.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     samples: Vec<Sample>,
     item_shape: Vec<usize>,
@@ -55,8 +53,17 @@ impl Dataset {
         assert!(num_classes > 0, "Dataset: num_classes must be positive");
         let numel: usize = item_shape.iter().product();
         for (i, s) in samples.iter().enumerate() {
-            assert_eq!(s.features.len(), numel, "Dataset: sample {i} has {} features, expected {numel}", s.features.len());
-            assert!(s.label < num_classes, "Dataset: sample {i} label {} out of range {num_classes}", s.label);
+            assert_eq!(
+                s.features.len(),
+                numel,
+                "Dataset: sample {i} has {} features, expected {numel}",
+                s.features.len()
+            );
+            assert!(
+                s.label < num_classes,
+                "Dataset: sample {i} label {} out of range {num_classes}",
+                s.label
+            );
         }
         Self { samples, item_shape, num_classes }
     }

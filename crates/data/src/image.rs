@@ -95,7 +95,11 @@ impl SyntheticImageSpec {
     /// Panics if any field is zero.
     pub fn generate(&self, seed: u64) -> (Dataset, Dataset) {
         assert!(
-            self.channels > 0 && self.size > 0 && self.classes > 0 && self.train_samples > 0 && self.test_samples > 0,
+            self.channels > 0
+                && self.size > 0
+                && self.classes > 0
+                && self.train_samples > 0
+                && self.test_samples > 0,
             "SyntheticImageSpec: zero-sized configuration"
         );
         let mut rng = seeded_rng(seed);
@@ -107,10 +111,8 @@ impl SyntheticImageSpec {
                 .map(|i| {
                     let label = i % self.classes;
                     let jitter = 1.0 + 0.1 * (rng.gen::<f32>() - 0.5);
-                    let features = prototypes[label]
-                        .iter()
-                        .map(|&p| p * jitter + noise.sample(rng) as f32)
-                        .collect();
+                    let features =
+                        prototypes[label].iter().map(|&p| p * jitter + noise.sample(rng) as f32).collect();
                     Sample { features, label }
                 })
                 .collect()
@@ -214,7 +216,8 @@ mod tests {
         let class0: Vec<&Sample> = train.samples().iter().filter(|s| s.label == 0).take(10).collect();
         let class1: Vec<&Sample> = train.samples().iter().filter(|s| s.label == 1).take(10).collect();
         let d_within = sg_math::l2_distance(&class0[0].features, &class0[1].features);
-        let d_between: f32 = class1.iter().map(|s| sg_math::l2_distance(&class0[0].features, &s.features)).sum::<f32>() / 10.0;
+        let d_between: f32 =
+            class1.iter().map(|s| sg_math::l2_distance(&class0[0].features, &s.features)).sum::<f32>() / 10.0;
         assert!(d_within < d_between, "within {d_within} between {d_between}");
     }
 }

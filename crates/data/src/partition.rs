@@ -156,7 +156,8 @@ mod tests {
 
     #[test]
     fn noniid_s_zero_is_skewed() {
-        let spec = SyntheticImageSpec { train_samples: 600, classes: 10, size: 4, ..SyntheticImageSpec::small() };
+        let spec =
+            SyntheticImageSpec { train_samples: 600, classes: 10, size: 4, ..SyntheticImageSpec::small() };
         let (train, _) = spec.generate(2);
         let mut rng = seeded_rng(2);
         let parts = partition_noniid(&train, 10, 0.0, &mut rng);
@@ -168,7 +169,8 @@ mod tests {
 
     #[test]
     fn noniid_s_one_is_balanced() {
-        let spec = SyntheticImageSpec { train_samples: 600, classes: 10, size: 4, ..SyntheticImageSpec::small() };
+        let spec =
+            SyntheticImageSpec { train_samples: 600, classes: 10, size: 4, ..SyntheticImageSpec::small() };
         let (train, _) = spec.generate(3);
         let mut rng = seeded_rng(3);
         let parts = partition_noniid(&train, 10, 1.0, &mut rng);
@@ -179,7 +181,8 @@ mod tests {
 
     #[test]
     fn noniid_skew_monotone_in_s() {
-        let spec = SyntheticImageSpec { train_samples: 1000, classes: 10, size: 4, ..SyntheticImageSpec::small() };
+        let spec =
+            SyntheticImageSpec { train_samples: 1000, classes: 10, size: 4, ..SyntheticImageSpec::small() };
         let (train, _) = spec.generate(4);
         let shares: Vec<f32> = [0.0f32, 0.5, 1.0]
             .iter()

@@ -68,7 +68,11 @@ impl SyntheticTextSpec {
     /// is zero.
     pub fn generate(&self, seed: u64) -> (Dataset, Dataset) {
         assert!(
-            self.vocab > 0 && self.seq_len > 0 && self.classes > 0 && self.train_samples > 0 && self.test_samples > 0,
+            self.vocab > 0
+                && self.seq_len > 0
+                && self.classes > 0
+                && self.train_samples > 0
+                && self.test_samples > 0,
             "SyntheticTextSpec: zero-sized configuration"
         );
         let topic_total = self.classes * self.topic_tokens_per_class;
@@ -154,7 +158,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "do not fit in vocab")]
     fn oversized_topics_panic() {
-        let spec = SyntheticTextSpec { vocab: 10, topic_tokens_per_class: 4, classes: 3, ..SyntheticTextSpec::small() };
+        let spec = SyntheticTextSpec {
+            vocab: 10,
+            topic_tokens_per_class: 4,
+            classes: 3,
+            ..SyntheticTextSpec::small()
+        };
         let _ = spec.generate(0);
     }
 }

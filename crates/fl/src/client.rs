@@ -19,6 +19,7 @@ pub struct Client {
     rng: StdRng,
     flip_labels: bool,
     last_loss: f32,
+    raw_grad: Vec<f32>,
 }
 
 impl std::fmt::Debug for Client {
@@ -55,6 +56,7 @@ impl Client {
             rng,
             flip_labels: false,
             last_loss: 0.0,
+            raw_grad: Vec::new(),
         }
     }
 
@@ -90,6 +92,25 @@ impl Client {
     ///
     /// Panics if `global_params` does not match the model dimension.
     pub fn local_gradient(&mut self, global_params: &[f32], train: &Dataset, batch_size: usize) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.local_gradient_into(global_params, train, batch_size, &mut out);
+        out
+    }
+
+    /// [`Client::local_gradient`] writing into a caller-owned buffer
+    /// (typically an arena slot), so steady-state rounds allocate nothing
+    /// per client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global_params` does not match the model dimension.
+    pub fn local_gradient_into(
+        &mut self,
+        global_params: &[f32],
+        train: &Dataset,
+        batch_size: usize,
+        out: &mut Vec<f32>,
+    ) {
         self.model.set_param_vector(global_params);
         let bs = batch_size.min(self.indices.len());
         let batch_idx: Vec<usize> =
@@ -105,8 +126,10 @@ impl Client {
         self.last_loss = loss;
         self.model.zero_grad();
         self.model.backward(&grad);
-        let raw = self.model.grad_vector();
-        self.optimizer.transform(&raw, global_params)
+        let mut raw = std::mem::take(&mut self.raw_grad);
+        self.model.grad_vector_into(&mut raw);
+        self.optimizer.transform_into(&raw, global_params, out);
+        self.raw_grad = raw;
     }
 }
 

@@ -36,5 +36,5 @@ pub use config::{FlConfig, Partitioning};
 pub use eval::evaluate_accuracy;
 pub use metrics::{RoundMetrics, RunResult, SelectionTracker};
 pub use simulator::Simulator;
-pub use validation::{ValidatingServer, ValidationRule};
 pub use tasks::Task;
+pub use validation::{ValidatingServer, ValidationRule};

@@ -5,6 +5,7 @@ use sg_attacks::{Attack, AttackContext};
 use sg_data::{partition_iid, partition_noniid};
 use sg_math::SeedStream;
 use sg_nn::Sequential;
+use sg_runtime::{Engine, GradientArena};
 
 use crate::client::Client;
 use crate::config::{FlConfig, Partitioning};
@@ -18,6 +19,13 @@ use crate::tasks::Task;
 /// attack); clients `m..n` are benign. The aggregation rules never see
 /// indices, so the arrangement is immaterial to the defense — it only
 /// anchors the ground truth for selection accounting.
+///
+/// The simulation runs on an [`Engine`]: client training is distributed
+/// over the engine's worker pool and the aggregation rule's
+/// coordinate-sharded kernels run on its executor. [`Simulator::new`] uses
+/// the sequential engine; [`Simulator::with_engine`] takes any thread
+/// budget and — per the engine's determinism contract — produces
+/// bit-identical metrics for the same seed at any parallelism.
 pub struct Simulator {
     task: Task,
     cfg: FlConfig,
@@ -28,6 +36,8 @@ pub struct Simulator {
     eval_model: Sequential,
     byz_count: usize,
     round_rng: rand::rngs::StdRng,
+    engine: Engine,
+    arena: GradientArena,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -43,14 +53,32 @@ impl std::fmt::Debug for Simulator {
 }
 
 impl Simulator {
-    /// Builds a simulation. Pass `attack = None` for the no-attack setting.
+    /// Builds a simulation on the sequential engine. Pass `attack = None`
+    /// for the no-attack setting.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid (see [`FlConfig::validate`])
     /// or the dataset is too small for the client count.
     pub fn new(task: Task, cfg: FlConfig, gar: Box<dyn Aggregator>, attack: Option<Box<dyn Attack>>) -> Self {
+        Self::with_engine(task, cfg, gar, attack, Engine::sequential())
+    }
+
+    /// Builds a simulation on the given execution engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`FlConfig::validate`])
+    /// or the dataset is too small for the client count.
+    pub fn with_engine(
+        task: Task,
+        cfg: FlConfig,
+        mut gar: Box<dyn Aggregator>,
+        attack: Option<Box<dyn Attack>>,
+        engine: Engine,
+    ) -> Self {
         cfg.validate();
+        gar.set_executor(engine.executor());
         let mut seeds = SeedStream::new(cfg.seed);
 
         // Global model.
@@ -74,7 +102,8 @@ impl Simulator {
             .map(|(id, indices)| {
                 let mut replica_rng = seeds.next_rng();
                 let replica = task.build_model(&mut replica_rng);
-                let mut c = Client::new(id, replica, indices, cfg.momentum, cfg.weight_decay, seeds.next_rng());
+                let mut c =
+                    Client::new(id, replica, indices, cfg.momentum, cfg.weight_decay, seeds.next_rng());
                 if is_data_poison && id < byz_count {
                     c.set_flip_labels(true);
                 }
@@ -83,12 +112,30 @@ impl Simulator {
             .collect();
 
         let round_rng = seeds.next_rng();
-        Self { eval_model: global_model, task, cfg, gar, attack, clients, global_params, byz_count, round_rng }
+        let arena = GradientArena::new(clients.len());
+        Self {
+            eval_model: global_model,
+            task,
+            cfg,
+            gar,
+            attack,
+            clients,
+            global_params,
+            byz_count,
+            round_rng,
+            engine,
+            arena,
+        }
     }
 
     /// The task being trained.
     pub fn task(&self) -> &Task {
         &self.task
+    }
+
+    /// The engine this simulation runs on.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// Rounds per epoch for this task/config pair.
@@ -138,43 +185,67 @@ impl Simulator {
         let n = participants.len();
         let m = participants.iter().filter(|&&i| i < self.byz_count).count();
 
-        // Every participating client computes an honest local gradient.
+        // Every participating client computes an honest local gradient —
+        // concurrently across the engine's worker pool, each into its own
+        // arena buffer. Clients own their RNG streams, so scheduling can
+        // never perturb the result; with a sequential engine this is an
+        // inline loop in participant order.
+        let mut slots: Vec<Option<&mut Client>> = self.clients.iter_mut().map(Some).collect();
+        let jobs: Vec<(&mut Client, Vec<f32>)> = participants
+            .iter()
+            .map(|&id| (slots[id].take().expect("duplicate participant"), self.arena.take(id)))
+            .collect();
+        let global_params = &self.global_params;
+        let train = &self.task.train;
+        let batch_size = self.cfg.batch_size;
+        let results: Vec<(Vec<f32>, f32)> = self.engine.pool().map(jobs, |_, (client, mut buf)| {
+            client.local_gradient_into(global_params, train, batch_size, &mut buf);
+            let loss = client.last_loss();
+            (buf, loss)
+        });
+
+        // Honest-loss accounting in participant order (the same
+        // floating-point order as a sequential loop would produce).
         let mut grads: Vec<Vec<f32>> = Vec::with_capacity(n);
         let mut loss_sum = 0.0f32;
-        for &id in &participants {
-            let c = &mut self.clients[id];
-            grads.push(c.local_gradient(&self.global_params, &self.task.train, self.cfg.batch_size));
+        for ((g, loss), &id) in results.into_iter().zip(&participants) {
             if id >= self.byz_count {
-                loss_sum += c.last_loss();
+                loss_sum += loss;
             }
+            grads.push(g);
         }
         let mean_loss = if n > m { loss_sum / (n - m) as f32 } else { 0.0 };
 
-        // The adversary replaces the Byzantine messages.
-        let all_grads: Vec<Vec<f32>> = if m > 0 {
+        // The adversary replaces the Byzantine messages in place — same
+        // values the old malicious-then-benign concatenation produced,
+        // without cloning any benign gradient.
+        if m > 0 {
             if let Some(attack) = self.attack.as_mut() {
                 let (byz_honest, benign) = grads.split_at(m);
                 let ctx = AttackContext { benign, byzantine_honest: byz_honest, round };
-                let mut malicious = attack.craft(&ctx);
+                let malicious = attack.craft(&ctx);
                 assert_eq!(malicious.len(), m, "attack returned wrong gradient count");
-                malicious.extend_from_slice(benign);
-                malicious
-            } else {
-                grads
+                for (slot, mal) in grads.iter_mut().zip(malicious) {
+                    *slot = mal;
+                }
             }
-        } else {
-            grads
-        };
+        }
 
         // Robust aggregation and the global SGD step. Validation-based
         // rules need the current model to score gradients.
         self.gar.observe_global(&self.global_params);
-        let out = self.gar.aggregate(&all_grads);
+        let out = self.gar.aggregate(&grads);
         if let Some(sel) = &out.selected {
             selection.record(sel, m, n);
         }
         for (p, g) in self.global_params.iter_mut().zip(&out.gradient) {
             *p -= self.cfg.learning_rate * g;
+        }
+
+        // Park the round's buffers (including attack-crafted replacements)
+        // for reuse next round.
+        for (g, &id) in grads.into_iter().zip(&participants) {
+            self.arena.put(id, g);
         }
 
         RoundMetrics { round, mean_loss, test_accuracy: None }
@@ -201,14 +272,7 @@ mod tests {
     use sg_core::SignGuard;
 
     fn quick_cfg() -> FlConfig {
-        FlConfig {
-            num_clients: 10,
-            byzantine_fraction: 0.2,
-            batch_size: 8,
-            epochs: 3,
-            
-            ..FlConfig::default()
-        }
+        FlConfig { num_clients: 10, byzantine_fraction: 0.2, batch_size: 8, epochs: 3, ..FlConfig::default() }
     }
 
     #[test]
@@ -297,7 +361,8 @@ mod tests {
     #[test]
     fn zero_byzantine_fraction_runs_clean() {
         let cfg = FlConfig { byzantine_fraction: 0.0, epochs: 1, ..quick_cfg() };
-        let mut sim = Simulator::new(tasks::mlp_task(8), cfg, Box::new(Mean::new()), Some(Box::new(SignFlip::new())));
+        let mut sim =
+            Simulator::new(tasks::mlp_task(8), cfg, Box::new(Mean::new()), Some(Box::new(SignFlip::new())));
         let r = sim.run();
         assert!(r.final_accuracy > 0.0);
     }

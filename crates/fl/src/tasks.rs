@@ -89,7 +89,12 @@ pub fn agnews_like(seed: u64) -> Task {
         test_samples: 500,
     };
     let (train, test) = spec.generate(seed ^ 0xa6);
-    Task { name: "AGNews-like (TextRNN)", train, test, model_builder: |rng| models::text_rnn(rng, 200, 8, 16, 4) }
+    Task {
+        name: "AGNews-like (TextRNN)",
+        train,
+        test,
+        model_builder: |rng| models::text_rnn(rng, 200, 8, 16, 4),
+    }
 }
 
 /// Cheap MLP task for unit tests and quickstart examples.

@@ -144,15 +144,20 @@ impl ValidatingServer {
         AggregationOutput::selected(out, selected)
     }
 
-    fn aggregate_zeno(&mut self, gradients: &[Vec<f32>], b: usize, rho: f32, gamma: f32) -> AggregationOutput {
+    fn aggregate_zeno(
+        &mut self,
+        gradients: &[Vec<f32>],
+        b: usize,
+        rho: f32,
+        gamma: f32,
+    ) -> AggregationOutput {
         let n = gradients.len();
         let (x, labels) = self.sample_batch();
         let base_loss = self.loss_at(&self.params.clone(), &x, &labels);
         let scores: Vec<f32> = gradients
             .iter()
             .map(|g| {
-                let probe: Vec<f32> =
-                    self.params.iter().zip(g).map(|(&p, &gi)| p - gamma * gi).collect();
+                let probe: Vec<f32> = self.params.iter().zip(g).map(|(&p, &gi)| p - gamma * gi).collect();
                 let probe_loss = self.loss_at(&probe, &x, &labels);
                 base_loss - probe_loss - rho * vecops::l2_norm_sq(g)
             })
@@ -273,7 +278,8 @@ mod tests {
 
     #[test]
     fn zeno_keeps_at_least_one() {
-        let (mut server, params, honest) = make_server(ValidationRule::Zeno { b: 100, rho: 1e-4, gamma: 0.05 });
+        let (mut server, params, honest) =
+            make_server(ValidationRule::Zeno { b: 100, rho: 1e-4, gamma: 0.05 });
         server.sync_params(&params);
         let out = server.aggregate(&honest);
         assert_eq!(out.selected.expect("sel").len(), 1);

@@ -1,0 +1,80 @@
+//! Pluggable chunk executor: the seam between numeric kernels and the
+//! thread pool.
+//!
+//! `sg-math` stays dependency-free and single-threaded; `sg-runtime`'s
+//! worker pool implements [`ParallelExecutor`] and is injected into
+//! aggregation rules ([`Aggregator::set_executor`]) so their hot loops run
+//! sharded across cores without the math/aggregator crates knowing about
+//! threads.
+//!
+//! # Determinism contract
+//!
+//! `run_chunks` splits `out` into consecutive `chunk_len`-sized chunks
+//! (the last may be ragged) and calls `f(chunk_index, chunk)` exactly once
+//! per chunk. Implementations may run chunks in any order and on any
+//! thread, but each chunk is processed whole by one call. Kernels written
+//! against this API are bit-identical under any executor as long as each
+//! output element depends only on its own chunk's computation — which is
+//! how every kernel in [`crate::vecops`] is written (per-coordinate
+//! accumulation order never crosses a chunk boundary).
+//!
+//! [`Aggregator::set_executor`]: https://docs.rs/sg-aggregators
+
+/// Runs chunked data-parallel work. See the [module docs](self) for the
+/// determinism contract.
+pub trait ParallelExecutor: Send + Sync {
+    /// Calls `f(chunk_index, chunk)` for every consecutive `chunk_len`
+    /// chunk of `out` (last chunk may be shorter), each exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len == 0`.
+    fn run_chunks(&self, out: &mut [f32], chunk_len: usize, f: &(dyn Fn(usize, &mut [f32]) + Sync));
+
+    /// Number of OS threads this executor may use (1 = sequential).
+    fn parallelism(&self) -> usize {
+        1
+    }
+}
+
+/// The trivial executor: runs chunks inline, in index order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeqExecutor;
+
+impl ParallelExecutor for SeqExecutor {
+    fn run_chunks(&self, out: &mut [f32], chunk_len: usize, f: &(dyn Fn(usize, &mut [f32]) + Sync)) {
+        assert!(chunk_len > 0, "run_chunks: zero chunk_len");
+        for (i, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_executor_visits_every_chunk_in_order() {
+        let mut out = vec![0.0f32; 10];
+        SeqExecutor.run_chunks(&mut out, 4, &|i, chunk| {
+            for x in chunk.iter_mut() {
+                *x = i as f32;
+            }
+        });
+        assert_eq!(out, vec![0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn seq_executor_empty_out_is_noop() {
+        let mut out: Vec<f32> = vec![];
+        SeqExecutor.run_chunks(&mut out, 8, &|_, _| panic!("no chunks expected"));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero chunk_len")]
+    fn zero_chunk_len_rejected() {
+        let mut out = vec![0.0f32; 4];
+        SeqExecutor.run_chunks(&mut out, 0, &|_, _| {});
+    }
+}

@@ -14,11 +14,13 @@
 //! assert_eq!(vecops::l2_norm(&g), 5.0);
 //! ```
 
+pub mod exec;
 pub mod normal;
 pub mod rng;
 pub mod stats;
 pub mod vecops;
 
+pub use exec::{ParallelExecutor, SeqExecutor};
 pub use normal::{normal_cdf, normal_quantile, NormalSampler};
 pub use rng::{seeded_rng, SeedStream};
 pub use stats::{mean, median, quantile, std_dev, variance};

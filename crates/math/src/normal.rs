@@ -54,7 +54,7 @@ pub fn normal_quantile(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -73,12 +73,8 @@ pub fn normal_quantile(p: f64) -> f64 {
         4.374664141464968e+00,
         2.938163982698783e+00,
     ];
-    const D: [f64; 4] = [
-        7.784695709041462e-03,
-        3.224671290700398e-01,
-        2.445134137142996e+00,
-        3.754408661907416e+00,
-    ];
+    const D: [f64; 4] =
+        [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00];
     const P_LOW: f64 = 0.02425;
 
     let x = if p < P_LOW {

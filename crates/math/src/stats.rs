@@ -103,11 +103,7 @@ pub fn trimmed_mean(xs: &[f32], k: usize) -> f32 {
 /// Panics if `xs` is empty.
 pub fn argmin(xs: &[f32]) -> usize {
     assert!(!xs.is_empty(), "argmin of empty slice");
-    xs.iter()
-        .enumerate()
-        .min_by(|(_, a), (_, b)| a.total_cmp(b))
-        .map(|(i, _)| i)
-        .expect("non-empty")
+    xs.iter().enumerate().min_by(|(_, a), (_, b)| a.total_cmp(b)).map(|(i, _)| i).expect("non-empty")
 }
 
 /// Index of the maximum value (ties resolved to the first).
@@ -117,11 +113,7 @@ pub fn argmin(xs: &[f32]) -> usize {
 /// Panics if `xs` is empty.
 pub fn argmax(xs: &[f32]) -> usize {
     assert!(!xs.is_empty(), "argmax of empty slice");
-    xs.iter()
-        .enumerate()
-        .max_by(|(_, a), (_, b)| a.total_cmp(b))
-        .map(|(i, _)| i)
-        .expect("non-empty")
+    xs.iter().enumerate().max_by(|(_, a), (_, b)| a.total_cmp(b)).map(|(i, _)| i).expect("non-empty")
 }
 
 #[cfg(test)]

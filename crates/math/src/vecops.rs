@@ -3,11 +3,77 @@
 //! These are the hot-path primitives of the reproduction: every aggregation
 //! rule, attack and filter reduces to norms, dot products and element-wise
 //! arithmetic over flattened gradients.
+//!
+//! # Fixed-tree reductions
+//!
+//! All scalar reductions (`l2_norm`, `dot`, `l2_distance`, …) accumulate in
+//! `f64` over fixed [`REDUCE_BLOCK`]-sized blocks: each block is summed
+//! left-to-right, then the block partials are summed in block order. The
+//! sequential implementations follow exactly this tree, so a sharded
+//! implementation that computes block partials concurrently (see
+//! `sg-runtime`) and combines them in block order produces **bit-identical**
+//! results at any thread count — floating-point addition is only ever
+//! reassociated along boundaries both paths share.
+
+/// Block length of the fixed reduction tree (16 KiB of `f32`s — sized so a
+/// block's partial sum stays in cache while still amortizing the f64
+/// combine step).
+pub const REDUCE_BLOCK: usize = 4096;
+
+/// Number of [`REDUCE_BLOCK`] blocks covering a `len`-element vector.
+pub const fn num_blocks(len: usize) -> usize {
+    len.div_ceil(REDUCE_BLOCK)
+}
+
+/// Writes the per-block partial sums of squares of `v` into `partials`
+/// (block `k` covers `v[k*REDUCE_BLOCK..]`, summed left-to-right in `f64`).
+///
+/// `combine_block_partials(partials).sqrt()` equals [`l2_norm`] bit-for-bit;
+/// this is the kernel a sharded executor parallelizes.
+///
+/// # Panics
+///
+/// Panics if `partials.len() != num_blocks(v.len())`.
+pub fn sumsq_block_partials(v: &[f32], partials: &mut [f64]) {
+    assert_eq!(partials.len(), num_blocks(v.len()), "sumsq_block_partials: partial count mismatch");
+    for (p, block) in partials.iter_mut().zip(v.chunks(REDUCE_BLOCK)) {
+        let mut acc = 0.0f64;
+        for &x in block {
+            acc += f64::from(x) * f64::from(x);
+        }
+        *p = acc;
+    }
+}
+
+/// Sums block partials in block order (the root of the fixed reduction
+/// tree).
+pub fn combine_block_partials(partials: &[f64]) -> f64 {
+    let mut total = 0.0f64;
+    for &p in partials {
+        total += p;
+    }
+    total
+}
+
+/// Blocked left-to-right `f64` sum of `f(x, y)` over two zipped slices.
+fn blocked_sum2(a: &[f32], b: &[f32], f: impl Fn(f64, f64) -> f64) -> f64 {
+    let mut total = 0.0f64;
+    for (ca, cb) in a.chunks(REDUCE_BLOCK).zip(b.chunks(REDUCE_BLOCK)) {
+        let mut acc = 0.0f64;
+        for (&x, &y) in ca.iter().zip(cb) {
+            acc += f(f64::from(x), f64::from(y));
+        }
+        total += acc;
+    }
+    total
+}
 
 /// Returns the l2 (Euclidean) norm of `v`.
 ///
-/// Accumulates in `f64` to stay accurate for the million-element gradients
-/// produced by the CNN/ResNet models.
+/// Accumulates in `f64` over the fixed block tree (see the [module
+/// docs](self)) to stay accurate for the million-element gradients produced
+/// by the CNN/ResNet models while remaining shard-parallelizable without
+/// changing a single bit.
 ///
 /// # Examples
 ///
@@ -15,12 +81,24 @@
 /// assert_eq!(sg_math::vecops::l2_norm(&[3.0, 4.0]), 5.0);
 /// ```
 pub fn l2_norm(v: &[f32]) -> f32 {
-    v.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt() as f32
+    l2_norm_sq_f64(v).sqrt() as f32
 }
 
 /// Returns the squared l2 norm of `v`.
 pub fn l2_norm_sq(v: &[f32]) -> f32 {
-    v.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>() as f32
+    l2_norm_sq_f64(v) as f32
+}
+
+fn l2_norm_sq_f64(v: &[f32]) -> f64 {
+    let mut total = 0.0f64;
+    for block in v.chunks(REDUCE_BLOCK) {
+        let mut acc = 0.0f64;
+        for &x in block {
+            acc += f64::from(x) * f64::from(x);
+        }
+        total += acc;
+    }
+    total
 }
 
 /// Returns the dot product of `a` and `b`.
@@ -30,7 +108,7 @@ pub fn l2_norm_sq(v: &[f32]) -> f32 {
 /// Panics if `a` and `b` have different lengths.
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
-    a.iter().zip(b).map(|(&x, &y)| f64::from(x) * f64::from(y)).sum::<f64>() as f32
+    blocked_sum2(a, b, |x, y| x * y) as f32
 }
 
 /// Returns the Euclidean distance between `a` and `b`.
@@ -40,14 +118,11 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 /// Panics if `a` and `b` have different lengths.
 pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "l2_distance: length mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| {
-            let d = f64::from(x) - f64::from(y);
-            d * d
-        })
-        .sum::<f64>()
-        .sqrt() as f32
+    blocked_sum2(a, b, |x, y| {
+        let d = x - y;
+        d * d
+    })
+    .sqrt() as f32
 }
 
 /// Returns the squared Euclidean distance between `a` and `b`.
@@ -57,13 +132,10 @@ pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
 /// Panics if `a` and `b` have different lengths.
 pub fn l2_distance_sq(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "l2_distance_sq: length mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| {
-            let d = f64::from(x) - f64::from(y);
-            d * d
-        })
-        .sum::<f64>() as f32
+    blocked_sum2(a, b, |x, y| {
+        let d = x - y;
+        d * d
+    }) as f32
 }
 
 /// Returns the cosine similarity `a·b / (‖a‖‖b‖)`.
@@ -136,13 +208,86 @@ pub fn mean_vector(vectors: &[Vec<f32>], dim: usize) -> Vec<f32> {
     if vectors.is_empty() {
         return out;
     }
+    for (i, v) in vectors.iter().enumerate() {
+        assert_eq!(v.len(), dim, "mean_vector: vector {i} dimension mismatch");
+    }
+    mean_chunk(vectors, 0, &mut out);
+    out
+}
+
+/// Coordinate-wise mean of `vectors` restricted to the coordinate window
+/// `[offset, offset + out.len())`, written into `out`.
+///
+/// Each output coordinate accumulates across vectors in vector order —
+/// exactly the order [`mean_vector`] uses — so computing a vector's mean in
+/// chunks (sequentially or sharded across threads) is bit-identical to
+/// computing it whole.
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty or the window exceeds any vector.
+pub fn mean_chunk(vectors: &[Vec<f32>], offset: usize, out: &mut [f32]) {
+    assert!(!vectors.is_empty(), "mean_chunk: empty batch");
+    let end = offset + out.len();
+    out.fill(0.0);
     for v in vectors {
-        assert_eq!(v.len(), dim, "mean_vector: dimension mismatch");
-        axpy(1.0, v, &mut out);
+        assert!(v.len() >= end, "mean_chunk: window {offset}..{end} exceeds dim {}", v.len());
+        for (o, &x) in out.iter_mut().zip(&v[offset..end]) {
+            *o += x;
+        }
     }
     let inv = 1.0 / vectors.len() as f32;
-    scale_in_place(&mut out, inv);
-    out
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
+}
+
+/// Coordinate-wise trimmed mean over the window `[offset, offset +
+/// out.len())`: per coordinate, drop the `trim` smallest and largest
+/// values, average the rest. Chunk-order independent by construction
+/// (each coordinate is processed independently).
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty, the window exceeds any vector, or
+/// `2 * trim >= vectors.len()`.
+pub fn trimmed_mean_chunk(vectors: &[Vec<f32>], trim: usize, offset: usize, out: &mut [f32]) {
+    assert!(!vectors.is_empty(), "trimmed_mean_chunk: empty batch");
+    assert!(2 * trim < vectors.len(), "trimmed_mean_chunk: trim {trim} leaves no values");
+    let end = offset + out.len();
+    for v in vectors {
+        assert!(v.len() >= end, "trimmed_mean_chunk: window {offset}..{end} exceeds dim {}", v.len());
+    }
+    let mut col = vec![0.0f32; vectors.len()];
+    for (k, o) in out.iter_mut().enumerate() {
+        let j = offset + k;
+        for (c, v) in col.iter_mut().zip(vectors) {
+            *c = v[j];
+        }
+        *o = crate::stats::trimmed_mean(&col, trim);
+    }
+}
+
+/// Coordinate-wise median over the window `[offset, offset + out.len())`.
+/// Chunk-order independent by construction.
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty or the window exceeds any vector.
+pub fn median_chunk(vectors: &[Vec<f32>], offset: usize, out: &mut [f32]) {
+    assert!(!vectors.is_empty(), "median_chunk: empty batch");
+    let end = offset + out.len();
+    for v in vectors {
+        assert!(v.len() >= end, "median_chunk: window {offset}..{end} exceeds dim {}", v.len());
+    }
+    let mut col = vec![0.0f32; vectors.len()];
+    for (k, o) in out.iter_mut().enumerate() {
+        let j = offset + k;
+        for (c, v) in col.iter_mut().zip(vectors) {
+            *c = v[j];
+        }
+        *o = crate::stats::median(&col);
+    }
 }
 
 /// Returns the coordinate-wise (biased) standard deviation of `vectors`.
@@ -333,5 +478,80 @@ mod tests {
         assert!(all_finite(&[1.0, -2.0]));
         assert!(!all_finite(&[1.0, f32::NAN]));
         assert!(!all_finite(&[f32::INFINITY]));
+    }
+
+    /// A vector long enough to span several reduction blocks, with values
+    /// chosen so reassociating the sum across block boundaries would change
+    /// low-order bits (mixed magnitudes, irrational increments).
+    fn long_vector(len: usize) -> Vec<f32> {
+        (0..len).map(|i| ((i as f32) * 0.618_034).sin() * (1.0 + (i % 17) as f32 * 123.456)).collect()
+    }
+
+    #[test]
+    fn block_partials_match_scalar_norm_exactly() {
+        // 0 ULP: the scalar norm follows the same fixed reduction tree as
+        // the block-partial path, including across split boundaries.
+        for len in [1, REDUCE_BLOCK - 1, REDUCE_BLOCK, REDUCE_BLOCK + 1, 3 * REDUCE_BLOCK + 17] {
+            let v = long_vector(len);
+            let mut partials = vec![0.0f64; num_blocks(len)];
+            sumsq_block_partials(&v, &mut partials);
+            let via_partials = combine_block_partials(&partials).sqrt() as f32;
+            assert_eq!(via_partials.to_bits(), l2_norm(&v).to_bits(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn mean_chunks_match_whole_mean_exactly() {
+        // 0 ULP across arbitrary (even unaligned) split boundaries: per
+        // coordinate the accumulation order never changes.
+        let n = 7;
+        let dim = 2 * REDUCE_BLOCK + 331;
+        let vectors: Vec<Vec<f32>> =
+            (0..n).map(|i| (0..dim).map(|j| ((i * dim + j) as f32 * 0.377).cos() * 3.0).collect()).collect();
+        let whole = mean_vector(&vectors, dim);
+        for chunk_len in [1usize, 613, REDUCE_BLOCK, dim] {
+            let mut chunked = vec![0.0f32; dim];
+            let mut offset = 0;
+            while offset < dim {
+                let len = chunk_len.min(dim - offset);
+                let (head, tail) = chunked.split_at_mut(offset + len);
+                let _ = tail;
+                mean_chunk(&vectors, offset, &mut head[offset..]);
+                offset += len;
+            }
+            for (a, b) in whole.iter().zip(&chunked) {
+                assert_eq!(a.to_bits(), b.to_bits(), "chunk_len {chunk_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn trimmed_and_median_chunks_match_whole() {
+        let n = 9;
+        let dim = 301;
+        let vectors: Vec<Vec<f32>> =
+            (0..n).map(|i| (0..dim).map(|j| ((i * 31 + j * 7) % 97) as f32 - 48.0).collect()).collect();
+        let mut whole_t = vec![0.0f32; dim];
+        trimmed_mean_chunk(&vectors, 2, 0, &mut whole_t);
+        let mut whole_m = vec![0.0f32; dim];
+        median_chunk(&vectors, 0, &mut whole_m);
+        let mut part_t = vec![0.0f32; dim];
+        let mut part_m = vec![0.0f32; dim];
+        for (start, len) in [(0usize, 100usize), (100, 150), (250, 51)] {
+            trimmed_mean_chunk(&vectors, 2, start, &mut part_t[start..start + len]);
+            median_chunk(&vectors, start, &mut part_m[start..start + len]);
+        }
+        assert_eq!(whole_t, part_t);
+        assert_eq!(whole_m, part_m);
+    }
+
+    #[test]
+    fn dot_and_distance_still_correct_after_blocking() {
+        let a = long_vector(2 * REDUCE_BLOCK + 5);
+        // Self-distance zero, self-dot equals squared norm.
+        assert_eq!(l2_distance(&a, &a), 0.0);
+        let d = dot(&a, &a);
+        let n2 = l2_norm_sq(&a);
+        assert_eq!(d.to_bits(), n2.to_bits());
     }
 }

@@ -29,12 +29,8 @@ impl Layer for Relu {
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         assert_eq!(grad_output.numel(), self.mask.len(), "Relu::backward before forward");
-        let data = grad_output
-            .data()
-            .iter()
-            .zip(&self.mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
+        let data =
+            grad_output.data().iter().zip(&self.mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
         Tensor::from_vec(data, &self.shape)
     }
 
@@ -96,9 +92,7 @@ impl Layer for Dropout {
         let mut rng = seeded_rng(self.rng_seed.wrapping_add(self.counter));
         let keep = 1.0 - self.p;
         let inv = 1.0 / keep;
-        self.mask = (0..input.numel())
-            .map(|_| if rng.gen::<f32>() < keep { inv } else { 0.0 })
-            .collect();
+        self.mask = (0..input.numel()).map(|_| if rng.gen::<f32>() < keep { inv } else { 0.0 }).collect();
         let data = input.data().iter().zip(&self.mask).map(|(&x, &m)| x * m).collect();
         Tensor::from_vec(data, input.shape())
     }

@@ -1,7 +1,7 @@
 //! 2-D convolution layer via im2col lowering.
 
 use rand::Rng;
-use sg_tensor::{im2col, col2im, kaiming_uniform, Conv2dSpec, Tensor};
+use sg_tensor::{col2im, im2col, kaiming_uniform, Conv2dSpec, Tensor};
 
 use crate::layer::{read_slice, write_slice, Layer};
 
@@ -28,6 +28,7 @@ impl Conv2d {
     /// # Panics
     ///
     /// Panics if any dimension is zero.
+    #[allow(clippy::too_many_arguments)]
     pub fn new<R: Rng + ?Sized>(
         rng: &mut R,
         in_channels: usize,

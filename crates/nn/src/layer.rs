@@ -12,7 +12,10 @@ use sg_tensor::Tensor;
 /// `f32` buffers is what connects models to the federated gradient pipeline.
 ///
 /// The trait is object-safe; models are built as `Vec<Box<dyn Layer>>`.
-pub trait Layer {
+/// `Send` is a supertrait so whole models (and therefore federated clients)
+/// can move between the execution engine's worker threads; every layer is
+/// plain owned data, so this costs implementations nothing.
+pub trait Layer: Send {
     /// Computes the layer output. `train` toggles training-time behaviour
     /// (dropout masks, batch-norm statistics).
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;

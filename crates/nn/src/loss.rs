@@ -53,15 +53,14 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
         return 0.0;
     }
     let mut correct = 0usize;
-    for i in 0..b {
-        let row = &logits.data()[i * c..(i + 1) * c];
+    for (row, &label) in logits.data().chunks(c).zip(labels) {
         let pred = row
             .iter()
             .enumerate()
             .max_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(j, _)| j)
             .expect("non-empty row");
-        if pred == labels[i] {
+        if pred == label {
             correct += 1;
         }
     }

@@ -167,10 +167,8 @@ mod tests {
         // Overfit 8 fixed samples with the MLP: loss must drop sharply.
         let mut rng = seeded_rng(4);
         let mut m = mlp(&mut rng, 4, &[16], 2);
-        let x = Tensor::from_vec(
-            (0..32).map(|i| if (i / 4) % 2 == 0 { 1.0 } else { -1.0 }).collect(),
-            &[8, 4],
-        );
+        let x =
+            Tensor::from_vec((0..32).map(|i| if (i / 4) % 2 == 0 { 1.0 } else { -1.0 }).collect(), &[8, 4]);
         let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
         let mut opt = crate::optim::MomentumSgd::new(m.num_params(), 0.9, 0.0);
         let mut first = 0.0;

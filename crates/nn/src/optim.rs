@@ -42,12 +42,25 @@ impl MomentumSgd {
     ///
     /// Panics if vector lengths differ from the optimizer dimension.
     pub fn transform(&mut self, grad: &[f32], params: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.transform_into(grad, params, &mut out);
+        out
+    }
+
+    /// [`MomentumSgd::transform`] writing into a caller-owned buffer
+    /// (cleared and filled; the allocation is reused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if vector lengths differ from the optimizer dimension.
+    pub fn transform_into(&mut self, grad: &[f32], params: &[f32], out: &mut Vec<f32>) {
         assert_eq!(grad.len(), self.velocity.len(), "MomentumSgd: gradient length mismatch");
         assert_eq!(params.len(), self.velocity.len(), "MomentumSgd: params length mismatch");
         for ((v, &g), &x) in self.velocity.iter_mut().zip(grad).zip(params) {
             *v = self.momentum * *v + g + self.weight_decay * x;
         }
-        self.velocity.clone()
+        out.clear();
+        out.extend_from_slice(&self.velocity);
     }
 
     /// Conventional in-place update `x <- x - lr * transform(g, x)`.

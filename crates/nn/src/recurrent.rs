@@ -291,11 +291,7 @@ mod tests {
             lstm.read_params(&minus);
             let lm = lstm.forward(&x, true).sum();
             let numeric = (lp - lm) / (2.0 * eps);
-            assert!(
-                (numeric - grads[p]).abs() < 0.02,
-                "param {p}: numeric {numeric} analytic {}",
-                grads[p]
-            );
+            assert!((numeric - grads[p]).abs() < 0.02, "param {p}: numeric {numeric} analytic {}", grads[p]);
         }
 
         // Input gradient spot check.

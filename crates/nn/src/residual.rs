@@ -37,7 +37,13 @@ impl ResidualBlock {
     /// # Panics
     ///
     /// Panics on zero-sized configuration.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_ch: usize, out_ch: usize, size: usize, stride: usize) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_ch: usize,
+        out_ch: usize,
+        size: usize,
+        stride: usize,
+    ) -> Self {
         assert!(in_ch > 0 && out_ch > 0 && size > 0 && stride > 0, "ResidualBlock: zero-sized config");
         let mid = size / stride;
         let main = Sequential::new()
@@ -74,12 +80,8 @@ impl Layer for ResidualBlock {
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         assert_eq!(grad_output.numel(), self.relu_mask.len(), "ResidualBlock::backward before forward");
-        let gated: Vec<f32> = grad_output
-            .data()
-            .iter()
-            .zip(&self.relu_mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
+        let gated: Vec<f32> =
+            grad_output.data().iter().zip(&self.relu_mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
         let gated = Tensor::from_vec(gated, &self.out_shape);
         let d_main = self.main.backward(&gated);
         let d_skip = match &mut self.skip {
@@ -164,7 +166,11 @@ mod tests {
 
     #[test]
     fn gradient_check_spot() {
-        let mut rng = seeded_rng(3);
+        // Seed chosen so no pre-activation sits within finite-difference
+        // range of the ReLU kink: a near-zero crossing biases every numeric
+        // estimate by up to half that position's slope and would fail the
+        // check even though the analytic gradient is exact.
+        let mut rng = seeded_rng(5);
         let mut block = ResidualBlock::new(&mut rng, 2, 2, 4, 1);
         let x = Tensor::from_vec((0..2 * 2 * 16).map(|i| (i as f32 * 0.17).cos()).collect(), &[2, 2, 4, 4]);
         block.forward(&x, true);

@@ -88,13 +88,22 @@ impl Sequential {
 
     /// Flattens all accumulated gradients into one vector.
     pub fn grad_vector(&self) -> Vec<f32> {
-        let mut out = vec![0.0; self.num_params()];
+        let mut out = Vec::new();
+        self.grad_vector_into(&mut out);
+        out
+    }
+
+    /// Flattens all accumulated gradients into `out`, reusing its
+    /// allocation (the buffer is resized to `num_params` and fully
+    /// overwritten).
+    pub fn grad_vector_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.num_params(), 0.0);
         let mut off = 0;
         for layer in &self.layers {
             off += layer.write_grads(&mut out[off..]);
         }
         debug_assert_eq!(off, out.len());
-        out
     }
 
     /// Loads parameters from a flat vector.
@@ -179,10 +188,7 @@ mod tests {
 
     fn tiny_model(seed: u64) -> Sequential {
         let mut rng = seeded_rng(seed);
-        Sequential::new()
-            .with(Dense::new(&mut rng, 4, 8))
-            .with(Relu::new())
-            .with(Dense::new(&mut rng, 8, 3))
+        Sequential::new().with(Dense::new(&mut rng, 4, 8)).with(Relu::new()).with(Dense::new(&mut rng, 8, 3))
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Gradient buffer arena: one reusable `Vec<f32>` per client.
+//!
+//! A federated round materializes one flattened gradient per participating
+//! client. Allocating those `Vec<f32>`s fresh every round (the naive
+//! pattern) costs an allocation + page-fault churn per client per round at
+//! exactly the moment every worker thread is hot. The arena keeps one
+//! buffer per client slot; the simulator takes buffers out at the start of
+//! a round, lets clients write into them in place, hands them to the
+//! attack/aggregation pipeline, and returns them when the round ends.
+
+/// Per-slot reusable gradient buffers.
+///
+/// # Examples
+///
+/// ```
+/// use sg_runtime::GradientArena;
+///
+/// let mut arena = GradientArena::new(4);
+/// let mut buf = arena.take(2);
+/// buf.clear();
+/// buf.extend_from_slice(&[1.0, 2.0]);
+/// arena.put(2, buf);
+/// assert_eq!(arena.take(2), vec![1.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GradientArena {
+    buffers: Vec<Vec<f32>>,
+}
+
+impl GradientArena {
+    /// Creates an arena with `slots` empty buffers.
+    pub fn new(slots: usize) -> Self {
+        Self { buffers: vec![Vec::new(); slots] }
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Takes slot `i`'s buffer out of the arena (leaving an empty one).
+    ///
+    /// The returned buffer keeps whatever capacity it grew in earlier
+    /// rounds; contents are unspecified — overwrite, don't read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn take(&mut self, i: usize) -> Vec<f32> {
+        std::mem::take(&mut self.buffers[i])
+    }
+
+    /// Returns a buffer to slot `i` for reuse next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn put(&mut self, i: usize, buffer: Vec<f32>) {
+        self.buffers[i] = buffer;
+    }
+
+    /// Total capacity currently parked in the arena, in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.buffers.iter().map(|b| b.capacity() * std::mem::size_of::<f32>()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_keep_capacity_across_rounds() {
+        let mut arena = GradientArena::new(2);
+        let mut b = arena.take(0);
+        b.resize(1024, 1.0);
+        let ptr = b.as_ptr();
+        arena.put(0, b);
+        let b2 = arena.take(0);
+        assert_eq!(b2.capacity(), 1024);
+        assert_eq!(b2.as_ptr(), ptr, "same allocation reused");
+    }
+
+    #[test]
+    fn resident_bytes_counts_capacity() {
+        let mut arena = GradientArena::new(3);
+        let mut b = arena.take(1);
+        b.reserve_exact(100);
+        arena.put(1, b);
+        assert!(arena.resident_bytes() >= 400);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_slot_panics() {
+        let mut arena = GradientArena::new(1);
+        let _ = arena.take(5);
+    }
+}

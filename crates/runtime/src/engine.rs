@@ -1,0 +1,77 @@
+//! The engine handle a simulation runs on.
+
+use std::sync::Arc;
+
+use sg_math::ParallelExecutor;
+
+use crate::pool::WorkerPool;
+
+/// Execution engine: a shared [`WorkerPool`] plus the executor view of it
+/// that numeric kernels consume.
+///
+/// Cloning an `Engine` is cheap (it shares the pool). The default —
+/// [`Engine::sequential`] — makes every consumer run inline, bit-identical
+/// to the pre-engine code path.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    pool: Arc<WorkerPool>,
+}
+
+impl Engine {
+    /// Engine running everything inline on the calling thread.
+    pub fn sequential() -> Self {
+        Self { pool: Arc::new(WorkerPool::sequential()) }
+    }
+
+    /// Engine with a `threads`-wide pool; `0` means "all available cores".
+    pub fn parallel(threads: usize) -> Self {
+        Self { pool: Arc::new(WorkerPool::new(threads)) }
+    }
+
+    /// The worker pool (per-item parallelism: client training, grid cells).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// The chunk executor (coordinate-sharded kernels), for
+    /// `Aggregator::set_executor`.
+    pub fn executor(&self) -> Arc<dyn ParallelExecutor> {
+        self.pool.clone()
+    }
+
+    /// Thread budget.
+    pub fn parallelism(&self) -> usize {
+        self.pool.parallelism()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_engine_is_single_threaded() {
+        assert_eq!(Engine::sequential().parallelism(), 1);
+        assert_eq!(Engine::default().parallelism(), 1);
+    }
+
+    #[test]
+    fn parallel_zero_resolves_to_cores() {
+        assert!(Engine::parallel(0).parallelism() >= 1);
+        assert_eq!(Engine::parallel(3).parallelism(), 3);
+    }
+
+    #[test]
+    fn executor_shares_the_pool() {
+        let e = Engine::parallel(2);
+        assert_eq!(e.executor().parallelism(), 2);
+        let e2 = e.clone();
+        assert_eq!(e2.parallelism(), 2);
+    }
+}

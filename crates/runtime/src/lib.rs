@@ -1,0 +1,66 @@
+//! **sg-runtime** — the parallel federated execution engine.
+//!
+//! Everything above this crate (the simulator, the experiment binaries, the
+//! scenario grids) expresses *what* to compute; this crate decides *how* it
+//! runs on the hardware:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`pool`] | [`WorkerPool`]: scoped-thread worker pool with work-stealing `map` and the sharded-chunk executor |
+//! | [`arena`] | [`GradientArena`]: per-client gradient buffers reused across rounds |
+//! | [`engine`] | [`Engine`]: the handle a `Simulator` runs on (pool + executor) |
+//! | [`grid`] | [`RunPlan`] → [`GridRunner`]: many independent scenario cells executed concurrently |
+//!
+//! # Threading model
+//!
+//! The engine is built on `std::thread::scope` — no global thread pool, no
+//! async runtime, no external dependencies. A [`WorkerPool`] is a *budget*
+//! (`parallelism` threads), not a set of live threads: each `map` /
+//! `run_chunks` call spawns scoped workers, which lets borrowed data
+//! (gradients, datasets, model replicas) flow into workers without `Arc`
+//! gymnastics and guarantees no work outlives the call. With
+//! `parallelism == 1` every code path degenerates to an inline loop on the
+//! caller's thread — sequential execution is the special case, not a
+//! separate implementation.
+//!
+//! Two parallel axes compose:
+//!
+//! 1. **Within a round** — clients of one round train concurrently
+//!    ([`WorkerPool::map`]), and gradient-dimension work (mean / trimmed
+//!    mean / SignGuard's norm + sign passes) runs sharded in
+//!    [`sg_math::vecops::REDUCE_BLOCK`]-sized coordinate chunks through the
+//!    [`sg_math::ParallelExecutor`] implementation on [`WorkerPool`].
+//! 2. **Across scenarios** — [`GridRunner`] executes independent
+//!    (attack × aggregator × partitioning) cells of a [`RunPlan`]
+//!    concurrently, each cell being a full sequential-inside simulation.
+//!
+//! # Determinism contract
+//!
+//! For a fixed seed, **every result is bit-identical at any parallelism**:
+//!
+//! * Randomness is never shared across workers. Each client owns its RNG
+//!   stream (derived via `SeedStream`), and grid cells receive their seeds
+//!   from the plan's seed schedule *in cell-index order before dispatch*,
+//!   so execution order cannot perturb any stream.
+//! * Work assignment only distributes *which thread* computes a value,
+//!   never the order of floating-point operations inside one value:
+//!   [`WorkerPool::map`] writes results by item index, and chunk kernels
+//!   keep each output coordinate's accumulation order fixed (see the
+//!   fixed-tree contract in `sg_math::vecops`).
+//! * Reductions that cross chunk boundaries (norms, dots) follow the fixed
+//!   [`sg_math::vecops::REDUCE_BLOCK`] tree in both the sequential and the
+//!   sharded implementation.
+//!
+//! The root-level `tests/runtime_determinism.rs` asserts this end to end:
+//! a `GridRunner` run at `parallelism = N` reproduces the
+//! `parallelism = 1` metrics bit for bit.
+
+pub mod arena;
+pub mod engine;
+pub mod grid;
+pub mod pool;
+
+pub use arena::GradientArena;
+pub use engine::Engine;
+pub use grid::{CellContext, CellResult, GridReport, GridRunner, RunPlan};
+pub use pool::WorkerPool;

@@ -186,7 +186,8 @@ mod tests {
         use rand::Rng;
         let mut rng = sg_math::seeded_rng(17);
         let spec = Conv2dSpec { in_channels: 2, in_h: 5, in_w: 4, k_h: 3, k_w: 2, stride: 2, padding: 1 };
-        let x: Vec<f32> = (0..spec.in_channels * spec.in_h * spec.in_w).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let x: Vec<f32> =
+            (0..spec.in_channels * spec.in_h * spec.in_w).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let y: Vec<f32> = (0..spec.col_rows() * spec.col_cols()).map(|_| rng.gen_range(-1.0..1.0)).collect();
 
         let mut cols = vec![0.0; y.len()];

@@ -274,8 +274,8 @@ impl Tensor {
         let (r, c) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; c];
         for i in 0..r {
-            for j in 0..c {
-                out[j] += self.data[i * c + j];
+            for (o, &x) in out.iter_mut().zip(&self.data[i * c..(i + 1) * c]) {
+                *o += x;
             }
         }
         out

@@ -10,7 +10,9 @@
 //! ```
 
 use signguard::aggregators::Aggregator;
-use signguard::core::{ClusteringBackend, Filter, NormFilter, SignClusterFilter, SignGuardBuilder, SimilarityFeature};
+use signguard::core::{
+    ClusteringBackend, Filter, NormFilter, SignClusterFilter, SignGuardBuilder, SimilarityFeature,
+};
 
 fn main() {
     // A synthetic round: 8 honest gradients (positive-leaning), one

@@ -9,8 +9,8 @@
 use signguard::aggregators::{Aggregator, MultiKrum, TrimmedMean};
 use signguard::attacks::ByzMean;
 use signguard::core::SignGuard;
-use signguard::data::PartitionStats;
 use signguard::data::partition_noniid;
+use signguard::data::PartitionStats;
 use signguard::fl::{tasks, FlConfig, Partitioning, Simulator};
 
 fn main() {
@@ -26,12 +26,16 @@ fn main() {
         let stats = PartitionStats::compute(&task.train, &parts);
         let mean_labels: f32 =
             stats.distinct_labels.iter().sum::<usize>() as f32 / stats.distinct_labels.len() as f32;
-        println!("  s={s:.1}: mean distinct labels/client = {mean_labels:.1}, max-share = {:.2}", stats.mean_max_share);
+        println!(
+            "  s={s:.1}: mean distinct labels/client = {mean_labels:.1}, max-share = {:.2}",
+            stats.mean_max_share
+        );
     }
 
     println!("\nBest accuracy under ByzMean at each skew level:");
     println!("{:<16} {:>8} {:>8} {:>8}", "Defense", "s=0.3", "s=0.5", "s=0.8");
-    let defenses: Vec<(&str, fn(usize, usize) -> Box<dyn Aggregator>)> = vec![
+    type DefenseCtor = fn(usize, usize) -> Box<dyn Aggregator>;
+    let defenses: Vec<(&str, DefenseCtor)> = vec![
         ("TrMean", |_n, m| Box::new(TrimmedMean::new(m))),
         ("Multi-Krum", |n, m| Box::new(MultiKrum::new(m, n - m))),
         ("SignGuard-Sim", |_n, _m| Box::new(SignGuard::sim(0))),

@@ -26,8 +26,12 @@ fn main() {
     println!("\n[baseline]   Mean, no attack      : best {:.1}%", 100.0 * base.best_accuracy);
 
     // Undefended mean under the Min-Max attack.
-    let mut undefended =
-        Simulator::new(tasks::fashion_like(42), cfg.clone(), Box::new(Mean::new()), Some(Box::new(MinMax::new())));
+    let mut undefended = Simulator::new(
+        tasks::fashion_like(42),
+        cfg.clone(),
+        Box::new(Mean::new()),
+        Some(Box::new(MinMax::new())),
+    );
     let broken = undefended.run();
     println!(
         "[undefended] Mean under Min-Max        : best {:.1}%  (attack impact {:.1} points)",

@@ -6,9 +6,7 @@
 //! ```
 
 use signguard::aggregators::{Aggregator, Bulyan, DnC, Mean, MultiKrum};
-use signguard::attacks::{
-    Attack, ByzMean, Lie, MinMax, RandomAttack, SignFlip, TimeVarying,
-};
+use signguard::attacks::{Attack, ByzMean, Lie, MinMax, RandomAttack, SignFlip, TimeVarying};
 use signguard::core::SignGuard;
 use signguard::fl::{tasks, FlConfig, Simulator};
 
@@ -26,7 +24,8 @@ fn main() {
     let cfg = FlConfig { epochs: 10, ..FlConfig::default() };
     let (n, m) = (cfg.num_clients, cfg.byzantine_count());
 
-    let defenses: Vec<(&str, Box<dyn FnOnce() -> Box<dyn Aggregator>>)> = vec![
+    type DefenseCtor = Box<dyn FnOnce() -> Box<dyn Aggregator>>;
+    let defenses: Vec<(&str, DefenseCtor)> = vec![
         ("Baseline (no attack)", Box::new(|| Box::new(Mean::new()) as Box<dyn Aggregator>)),
         ("Multi-Krum", Box::new(move || Box::new(MultiKrum::new(m, n - m)) as Box<dyn Aggregator>)),
         ("Bulyan", Box::new(move || Box::new(Bulyan::new(m)) as Box<dyn Aggregator>)),

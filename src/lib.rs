@@ -11,6 +11,7 @@
 //! | [`aggregators`] | `sg-aggregators` | Mean, TrMean, Median, GeoMed, Multi-Krum, Bulyan, DnC, signSGD, CClip |
 //! | [`attacks`] | `sg-attacks` | Random, Noise, Sign-flip, Label-flip, LIE, ByzMean, Min-Max, Min-Sum |
 //! | [`fl`] | `sg-fl` | the federated simulator (clients, adversary, server, metrics) |
+//! | [`runtime`] | `sg-runtime` | parallel execution engine: worker pool, sharded kernels, gradient arena, scenario-grid driver |
 //! | [`nn`] | `sg-nn` | from-scratch neural networks with hand-written backprop |
 //! | [`tensor`] | `sg-tensor` | dense tensors, GEMM, im2col convolution |
 //! | [`data`] | `sg-data` | synthetic datasets + IID / non-IID partitioners |
@@ -42,6 +43,7 @@ pub use sg_data as data;
 pub use sg_fl as fl;
 pub use sg_math as math;
 pub use sg_nn as nn;
+pub use sg_runtime as runtime;
 pub use sg_tensor as tensor;
 
 /// Library version (workspace-wide).

@@ -15,13 +15,7 @@ use signguard::math::{l2_distance, seeded_rng, vecops};
 
 /// Builds a synthetic client population with controlled local variance σ²
 /// and heterogeneity κ² around a known global gradient.
-fn population(
-    n: usize,
-    dim: usize,
-    sigma: f32,
-    kappa: f32,
-    seed: u64,
-) -> (Vec<f32>, Vec<Vec<f32>>) {
+fn population(n: usize, dim: usize, sigma: f32, kappa: f32, seed: u64) -> (Vec<f32>, Vec<Vec<f32>>) {
     let mut rng = seeded_rng(seed);
     // Offset keeps the sign statistics unbalanced (the CNN-like regime of
     // the paper's Fig. 2a); a perfectly balanced population is the known
@@ -35,7 +29,10 @@ fn population(
             global
                 .iter()
                 .zip(&drift)
-                .map(|(&g, &d)| g + d / drift_norm * kappa / (dim as f32).sqrt() * (dim as f32).sqrt() + rng.gen_range(-sigma..sigma) / (dim as f32).sqrt())
+                .map(|(&g, &d)| {
+                    g + d / drift_norm * kappa / (dim as f32).sqrt() * (dim as f32).sqrt()
+                        + rng.gen_range(-sigma..sigma) / (dim as f32).sqrt()
+                })
                 .collect()
         })
         .collect();
@@ -57,8 +54,8 @@ fn lemma1_deviation_bound_holds() {
         // Lemma 1 (using the construction's σ, κ as the bound constants;
         // the uniform drift has norm κ exactly, noise per-coordinate is
         // bounded so its total variance is ≤ σ²).
-        let bound = beta.powi(2) * kappa.powi(2) / (1.0 - beta).powi(2)
-            + sigma.powi(2) / ((1.0 - beta) * n as f32);
+        let bound =
+            beta.powi(2) * kappa.powi(2) / (1.0 - beta).powi(2) + sigma.powi(2) / ((1.0 - beta) * n as f32);
         assert!(
             dev_sq <= bound * 4.0, // slack for finite-sample randomness
             "beta={beta}: deviation² {dev_sq} exceeds 4×bound {bound}"

@@ -59,11 +59,7 @@ fn signguard_filters_blatant_attack_gradients() {
         "sign-flip selection rate too high: {}",
         r.selection.malicious_rate()
     );
-    assert!(
-        r.selection.honest_rate() > 0.5,
-        "honest selection rate too low: {}",
-        r.selection.honest_rate()
-    );
+    assert!(r.selection.honest_rate() > 0.5, "honest selection rate too low: {}", r.selection.honest_rate());
 }
 
 #[test]

@@ -72,7 +72,8 @@ fn adaptive_attack_runs_end_to_end() {
 #[test]
 fn adaptive_attack_evades_filters_better_than_signflip() {
     let run = |attack: Box<dyn Attack>| {
-        let mut sim = Simulator::new(tasks::mlp_task(45), small_cfg(), Box::new(SignGuard::plain(1)), Some(attack));
+        let mut sim =
+            Simulator::new(tasks::mlp_task(45), small_cfg(), Box::new(SignGuard::plain(1)), Some(attack));
         sim.run().selection.malicious_rate()
     };
     let adaptive_rate = run(Box::new(AdaptiveSignMimicry::new()));
@@ -85,12 +86,8 @@ fn adaptive_attack_evades_filters_better_than_signflip() {
 #[test]
 fn partial_participation_with_attack_and_defense() {
     let cfg = FlConfig { participation: 0.6, epochs: 2, ..small_cfg() };
-    let mut sim = Simulator::new(
-        tasks::mlp_task(46),
-        cfg,
-        Box::new(SignGuard::sim(0)),
-        Some(Box::new(Lie::new())),
-    );
+    let mut sim =
+        Simulator::new(tasks::mlp_task(46), cfg, Box::new(SignGuard::sim(0)), Some(Box::new(Lie::new())));
     let r = sim.run();
     assert!(r.final_accuracy.is_finite());
     assert!(r.selection.has_data());
@@ -98,11 +95,17 @@ fn partial_participation_with_attack_and_defense() {
 
 #[test]
 fn participation_one_equals_full_round() {
-    // participation == 1.0 must follow the exact full-participation path.
+    // participation == 1.0 takes the direct all-clients fast path;
+    // participation just below 1.0 selects every client through the
+    // sampling branch (k = ceil(n * p) = n, then byz-first sort restores
+    // 0..n order). Both must produce the identical training trajectory —
+    // comparing them actually exercises the sampling path, unlike
+    // run(1.0) == run(1.0).
     let run = |participation: f32| {
         let cfg = FlConfig { participation, ..small_cfg() };
-        let mut sim = Simulator::new(tasks::mlp_task(47), cfg, Box::new(signguard::aggregators::Mean::new()), None);
+        let mut sim =
+            Simulator::new(tasks::mlp_task(47), cfg, Box::new(signguard::aggregators::Mean::new()), None);
         sim.run().final_accuracy
     };
-    assert_eq!(run(1.0), run(1.0));
+    assert_eq!(run(1.0), run(0.999));
 }

@@ -1,69 +1,88 @@
-//! Property-based tests (proptest) on the core invariants of the
-//! aggregation rules, filters and data pipeline.
+//! Property-style tests on the core invariants of the aggregation rules,
+//! filters and data pipeline.
+//!
+//! The build environment has no `proptest`, so each property runs over a
+//! deterministic seeded fuzz loop (64 cases) instead of a shrinking
+//! strategy. Invariants and bounds are unchanged.
 
-use proptest::prelude::*;
-use signguard::aggregators::{
-    Aggregator, Bulyan, CoordinateMedian, Mean, MultiKrum, TrimmedMean,
-};
+use rand::Rng;
+use signguard::aggregators::{Aggregator, Bulyan, CoordinateMedian, Mean, MultiKrum, TrimmedMean};
 use signguard::core::SignGuard;
 use signguard::math::vecops;
 
-/// Strategy: a batch of `n ∈ [3, 12]` gradients of dim `d ∈ [2, 24]` with
-/// bounded finite values.
-fn gradient_batch() -> impl Strategy<Value = Vec<Vec<f32>>> {
-    (3usize..12, 2usize..24).prop_flat_map(|(n, d)| {
-        proptest::collection::vec(proptest::collection::vec(-100.0f32..100.0, d..=d), n..=n)
-    })
+const CASES: u64 = 64;
+
+/// A batch of `n ∈ [3, 12)` gradients of dim `d ∈ [2, 24)` with bounded
+/// finite values, deterministic per case seed.
+fn gradient_batch(seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = signguard::math::seeded_rng(seed);
+    let n = rng.gen_range(3usize..12);
+    let d = rng.gen_range(2usize..24);
+    (0..n).map(|_| (0..d).map(|_| rng.gen_range(-100.0f32..100.0)).collect()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn mean_is_permutation_invariant(grads in gradient_batch(), seed in 0u64..1000) {
+#[test]
+fn mean_is_permutation_invariant() {
+    for seed in 0..CASES {
+        let grads = gradient_batch(seed);
         let mut shuffled = grads.clone();
-        let mut rng = signguard::math::seeded_rng(seed);
+        let mut rng = signguard::math::seeded_rng(seed ^ 0xABCD);
         signguard::math::rng::shuffle(&mut rng, &mut shuffled);
         let a = Mean::new().aggregate(&grads).gradient;
         let b = Mean::new().aggregate(&shuffled).gradient;
         for (x, y) in a.iter().zip(&b) {
-            prop_assert!((x - y).abs() < 1e-3);
+            assert!((x - y).abs() < 1e-3, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn median_is_permutation_invariant(grads in gradient_batch(), seed in 0u64..1000) {
+#[test]
+fn median_is_permutation_invariant() {
+    for seed in 0..CASES {
+        let grads = gradient_batch(seed);
         let mut shuffled = grads.clone();
-        let mut rng = signguard::math::seeded_rng(seed);
+        let mut rng = signguard::math::seeded_rng(seed ^ 0x1234);
         signguard::math::rng::shuffle(&mut rng, &mut shuffled);
         let a = CoordinateMedian::new().aggregate(&grads).gradient;
         let b = CoordinateMedian::new().aggregate(&shuffled).gradient;
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}");
     }
+}
 
-    #[test]
-    fn median_within_coordinate_range(grads in gradient_batch()) {
+#[test]
+fn median_within_coordinate_range() {
+    for seed in 0..CASES {
+        let grads = gradient_batch(seed);
         let out = CoordinateMedian::new().aggregate(&grads).gradient;
         for j in 0..out.len() {
             let lo = grads.iter().map(|g| g[j]).fold(f32::INFINITY, f32::min);
             let hi = grads.iter().map(|g| g[j]).fold(f32::NEG_INFINITY, f32::max);
-            prop_assert!(out[j] >= lo - 1e-5 && out[j] <= hi + 1e-5);
+            assert!(out[j] >= lo - 1e-5 && out[j] <= hi + 1e-5, "seed {seed} coord {j}");
         }
     }
+}
 
-    #[test]
-    fn trimmed_mean_within_coordinate_range(grads in gradient_batch()) {
+#[test]
+fn trimmed_mean_within_coordinate_range() {
+    for seed in 0..CASES {
+        let grads = gradient_batch(seed);
         let k = (grads.len() - 1) / 2;
         let out = TrimmedMean::new(k).aggregate(&grads).gradient;
         for j in 0..out.len() {
             let lo = grads.iter().map(|g| g[j]).fold(f32::INFINITY, f32::min);
             let hi = grads.iter().map(|g| g[j]).fold(f32::NEG_INFINITY, f32::max);
-            prop_assert!(out[j] >= lo - 1e-5 && out[j] <= hi + 1e-5);
+            assert!(out[j] >= lo - 1e-5 && out[j] <= hi + 1e-5, "seed {seed} coord {j}");
         }
     }
+}
 
-    #[test]
-    fn identical_gradients_are_a_fixed_point(g in proptest::collection::vec(-50.0f32..50.0, 2..20), n in 3usize..10) {
+#[test]
+fn identical_gradients_are_a_fixed_point() {
+    for seed in 0..CASES {
+        let mut rng = signguard::math::seeded_rng(seed);
+        let d = rng.gen_range(2usize..20);
+        let n = rng.gen_range(3usize..10);
+        let g: Vec<f32> = (0..d).map(|_| rng.gen_range(-50.0f32..50.0)).collect();
         let grads = vec![g.clone(); n];
         let rules: Vec<Box<dyn Aggregator>> = vec![
             Box::new(Mean::new()),
@@ -75,81 +94,115 @@ proptest! {
         for mut rule in rules {
             let out = rule.aggregate(&grads).gradient;
             for (x, y) in out.iter().zip(&g) {
-                prop_assert!((x - y).abs() < 1e-4, "{} not fixed point", rule.name());
+                assert!((x - y).abs() < 1e-4, "{} not fixed point, seed {seed}", rule.name());
             }
         }
     }
+}
 
-    #[test]
-    fn multikrum_selects_requested_count(grads in gradient_batch(), m in 1usize..5) {
+#[test]
+fn multikrum_selects_requested_count() {
+    for seed in 0..CASES {
+        let grads = gradient_batch(seed);
         let n = grads.len();
+        let m = signguard::math::seeded_rng(seed ^ 0x77).gen_range(1usize..5);
         let sel = MultiKrum::new(1, m).aggregate(&grads).selected.expect("selection");
-        prop_assert_eq!(sel.len(), m.min(n));
-        // Indices valid and unique.
+        assert_eq!(sel.len(), m.min(n), "seed {seed}");
         let mut sorted = sel.clone();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), sel.len());
-        prop_assert!(sel.iter().all(|&i| i < n));
+        assert_eq!(sorted.len(), sel.len(), "seed {seed}");
+        assert!(sel.iter().all(|&i| i < n), "seed {seed}");
     }
+}
 
-    #[test]
-    fn signguard_aggregate_norm_bounded_by_median(grads in gradient_batch(), seed in 0u64..100) {
+#[test]
+fn signguard_aggregate_norm_bounded_by_median() {
+    for seed in 0..CASES {
+        let grads = gradient_batch(seed);
         let norms: Vec<f32> = grads.iter().map(|g| signguard::math::l2_norm(g)).collect();
         let med = signguard::math::median(&norms);
         let out = SignGuard::plain(seed).aggregate(&grads);
         // Mean of norm-clipped vectors cannot exceed the clip bound.
-        prop_assert!(signguard::math::l2_norm(&out.gradient) <= med * 1.01 + 1e-4);
+        assert!(signguard::math::l2_norm(&out.gradient) <= med * 1.01 + 1e-4, "seed {seed}");
     }
+}
 
-    #[test]
-    fn signguard_selection_is_valid_subset(grads in gradient_batch(), seed in 0u64..100) {
+#[test]
+fn signguard_selection_is_valid_subset() {
+    for seed in 0..CASES {
+        let grads = gradient_batch(seed);
         let out = SignGuard::plain(seed).aggregate(&grads);
         let sel = out.selected.expect("signguard reports selection");
-        prop_assert!(!sel.is_empty());
-        prop_assert!(sel.iter().all(|&i| i < grads.len()));
-        let sorted = sel.clone();
-        sorted.windows(2).for_each(|w| assert!(w[0] < w[1], "selection must be sorted unique"));
+        assert!(!sel.is_empty(), "seed {seed}");
+        assert!(sel.iter().all(|&i| i < grads.len()), "seed {seed}");
+        sel.windows(2).for_each(|w| assert!(w[0] < w[1], "selection must be sorted unique"));
     }
+}
 
-    #[test]
-    fn clip_norm_never_exceeds_bound(v in proptest::collection::vec(-1e3f32..1e3, 1..50), bound in 0.1f32..10.0) {
+#[test]
+fn clip_norm_never_exceeds_bound() {
+    for seed in 0..CASES {
+        let mut rng = signguard::math::seeded_rng(seed);
+        let len = rng.gen_range(1usize..50);
+        let v: Vec<f32> = (0..len).map(|_| rng.gen_range(-1e3f32..1e3)).collect();
+        let bound = rng.gen_range(0.1f32..10.0);
         let c = vecops::clip_norm(&v, bound);
-        prop_assert!(signguard::math::l2_norm(&c) <= bound * 1.001);
+        assert!(signguard::math::l2_norm(&c) <= bound * 1.001, "seed {seed}");
         // Direction preserved.
         if signguard::math::l2_norm(&v) > 0.0 {
-            prop_assert!(vecops::cosine_similarity(&v, &c) > 0.999);
+            assert!(vecops::cosine_similarity(&v, &c) > 0.999, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn sign_fractions_partition_unity(v in proptest::collection::vec(-10.0f32..10.0, 1..200)) {
-        let (p, z, n) = vecops::sign_counts(&v);
-        prop_assert_eq!(p + z + n, v.len());
-    }
-
-    #[test]
-    fn partition_iid_conserves(len in 10usize..200, n in 1usize..10, seed in 0u64..100) {
-        prop_assume!(len >= n);
+#[test]
+fn sign_fractions_partition_unity() {
+    for seed in 0..CASES {
         let mut rng = signguard::math::seeded_rng(seed);
+        let len = rng.gen_range(1usize..200);
+        let v: Vec<f32> = (0..len).map(|_| rng.gen_range(-10.0f32..10.0)).collect();
+        let (p, z, n) = vecops::sign_counts(&v);
+        assert_eq!(p + z + n, v.len(), "seed {seed}");
+    }
+}
+
+#[test]
+fn partition_iid_conserves() {
+    for seed in 0..CASES {
+        let mut rng = signguard::math::seeded_rng(seed);
+        let n = rng.gen_range(1usize..10);
+        let len = rng.gen_range(10usize..200).max(n);
         let parts = signguard::data::partition_iid(len, n, &mut rng);
         let mut all: Vec<usize> = parts.into_iter().flatten().collect();
         all.sort_unstable();
-        prop_assert_eq!(all, (0..len).collect::<Vec<_>>());
+        assert_eq!(all, (0..len).collect::<Vec<_>>(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn flip_label_stays_in_range(classes in 2usize..20, l in 0usize..19) {
-        prop_assume!(l < classes);
+#[test]
+fn flip_label_stays_in_range() {
+    for seed in 0..CASES {
+        let mut rng = signguard::math::seeded_rng(seed);
+        let classes = rng.gen_range(2usize..20);
+        let l = rng.gen_range(0usize..classes);
         let f = signguard::data::flip_label(l, classes);
-        prop_assert!(f < classes);
-        prop_assert_eq!(signguard::data::flip_label(f, classes), l);
+        assert!(f < classes, "seed {seed}");
+        assert_eq!(signguard::data::flip_label(f, classes), l, "seed {seed}");
     }
+}
 
-    #[test]
-    fn lie_z_monotone_in_byzantine_count(n in 10usize..100, m1 in 1usize..20, m2 in 21usize..45) {
-        prop_assume!(m2 < n / 2 && m1 < m2);
+#[test]
+fn lie_z_monotone_in_byzantine_count() {
+    for seed in 0..CASES {
+        let mut rng = signguard::math::seeded_rng(seed);
+        let n = rng.gen_range(10usize..100);
+        let m2 = rng.gen_range(21usize..45);
+        let m1 = rng.gen_range(1usize..20);
+        if m2 >= n / 2 || m1 >= m2 {
+            continue;
+        }
         let z1 = signguard::attacks::lie_z_max(n, m1);
         let z2 = signguard::attacks::lie_z_max(n, m2);
-        prop_assert!(z2 >= z1, "z({n},{m1})={z1} z({n},{m2})={z2}");
+        assert!(z2 >= z1, "z({n},{m1})={z1} z({n},{m2})={z2}");
     }
 }

@@ -14,9 +14,7 @@ use signguard::math::{cosine_similarity, l2_distance, normal_cdf, seeded_rng, ve
 fn honest_population(n: usize, d: usize, noise: f32, seed: u64) -> Vec<Vec<f32>> {
     let mut rng = seeded_rng(seed);
     let signal: Vec<f32> = (0..d).map(|j| (j as f32 * 0.37).sin() * 0.5 + 0.15).collect();
-    (0..n)
-        .map(|_| signal.iter().map(|&s| s + rng.gen_range(-noise..noise)).collect())
-        .collect()
+    (0..n).map(|_| signal.iter().map(|&s| s + rng.gen_range(-noise..noise)).collect()).collect()
 }
 
 #[test]

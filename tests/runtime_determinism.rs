@@ -1,0 +1,129 @@
+//! The engine's determinism contract, end to end: for a fixed seed,
+//! parallel execution (`parallelism > 1`) is **bit-identical** to
+//! sequential execution — per-round metrics, selection accounting,
+//! accuracy curves, everything.
+
+use signguard::aggregators::{Aggregator, Mean, TrimmedMean};
+use signguard::attacks::SignFlip;
+use signguard::core::SignGuard;
+use signguard::fl::{tasks, FlConfig, RunResult, Simulator};
+use signguard::runtime::{Engine, GridRunner, RunPlan};
+
+fn quick_cfg(seed: u64) -> FlConfig {
+    FlConfig {
+        num_clients: 10,
+        byzantine_fraction: 0.2,
+        batch_size: 8,
+        epochs: 2,
+        seed,
+        ..FlConfig::default()
+    }
+}
+
+fn assert_bit_identical(a: &RunResult, b: &RunResult, what: &str) {
+    assert_eq!(a.rounds, b.rounds, "{what}: per-round metrics diverge");
+    assert_eq!(a.accuracy_curve, b.accuracy_curve, "{what}: accuracy curves diverge");
+    assert_eq!(a.selection, b.selection, "{what}: selection stats diverge");
+    assert_eq!(a.best_accuracy.to_bits(), b.best_accuracy.to_bits(), "{what}: best accuracy diverges");
+    assert_eq!(a.final_accuracy.to_bits(), b.final_accuracy.to_bits(), "{what}: final accuracy diverges");
+}
+
+fn run_on(engine: Engine, gar: Box<dyn Aggregator>, seed: u64) -> RunResult {
+    let mut sim = Simulator::with_engine(
+        tasks::mlp_task(seed),
+        quick_cfg(seed),
+        gar,
+        Some(Box::new(SignFlip::new())),
+        engine,
+    );
+    sim.run()
+}
+
+#[test]
+fn parallel_simulator_matches_sequential_signguard() {
+    // SignGuard exercises every sharded path: per-gradient norms, the
+    // parallel sign-feature pass, and the chunked clipped aggregation.
+    let seq = run_on(Engine::sequential(), Box::new(SignGuard::plain(3)), 11);
+    for threads in [2, 4] {
+        let par = run_on(Engine::parallel(threads), Box::new(SignGuard::plain(3)), 11);
+        assert_bit_identical(&seq, &par, &format!("SignGuard @ {threads} threads"));
+    }
+}
+
+#[test]
+fn parallel_simulator_matches_sequential_mean_and_trmean() {
+    type GarCtor = fn() -> Box<dyn Aggregator>;
+    let rules: [(&str, GarCtor); 2] =
+        [("Mean", || Box::new(Mean::new())), ("TrMean", || Box::new(TrimmedMean::new(2)))];
+    for (name, gar) in rules {
+        let seq = run_on(Engine::sequential(), gar(), 5);
+        let par = run_on(Engine::parallel(4), gar(), 5);
+        assert_bit_identical(&seq, &par, name);
+    }
+}
+
+#[test]
+fn engine_parallelism_one_matches_plain_new() {
+    // `Simulator::new` (the legacy constructor) and an explicit
+    // single-thread engine are the same code path.
+    let mut a = Simulator::new(
+        tasks::mlp_task(7),
+        quick_cfg(7),
+        Box::new(SignGuard::plain(0)),
+        Some(Box::new(SignFlip::new())),
+    );
+    let mut b = Simulator::with_engine(
+        tasks::mlp_task(7),
+        quick_cfg(7),
+        Box::new(SignGuard::plain(0)),
+        Some(Box::new(SignFlip::new())),
+        Engine::parallel(1),
+    );
+    assert_bit_identical(&a.run(), &b.run(), "new vs parallelism=1");
+}
+
+fn grid_plan() -> RunPlan<RunResult> {
+    let mut plan = RunPlan::new(99);
+    for (attack_on, gar_kind) in [
+        (false, "mean"),
+        (true, "mean"),
+        (true, "signguard"),
+        (true, "trmean"),
+        (false, "signguard"),
+        (true, "mean"),
+    ] {
+        plan.cell(format!("{gar_kind}/attack={attack_on}"), move |ctx| {
+            let gar: Box<dyn Aggregator> = match gar_kind {
+                "mean" => Box::new(Mean::new()),
+                "trmean" => Box::new(TrimmedMean::new(2)),
+                _ => Box::new(SignGuard::plain(ctx.seed)),
+            };
+            let attack = attack_on.then(|| Box::new(SignFlip::new()) as _);
+            let mut sim = Simulator::new(tasks::mlp_task(ctx.seed), quick_cfg(ctx.seed), gar, attack);
+            sim.run()
+        });
+    }
+    plan
+}
+
+#[test]
+fn grid_runner_parallel_matches_sequential() {
+    let seq = GridRunner::new(1).run(grid_plan());
+    let par = GridRunner::new(4).run(grid_plan());
+    assert_eq!(seq.cells.len(), par.cells.len());
+    for (a, b) in seq.cells.iter().zip(&par.cells) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.seed, b.seed, "seed schedule must not depend on execution order");
+        assert_bit_identical(&a.output, &b.output, &a.label);
+    }
+}
+
+#[test]
+fn grid_seed_schedule_derives_distinct_cell_seeds() {
+    let report = GridRunner::new(2).run(grid_plan());
+    let mut seeds: Vec<u64> = report.cells.iter().map(|c| c.seed).collect();
+    seeds.sort_unstable();
+    seeds.dedup();
+    assert_eq!(seeds.len(), report.cells.len(), "every cell gets its own seed");
+}
