@@ -1,16 +1,28 @@
 //! Round-throughput bench: sequential vs. parallel engine at 32 / 128
-//! clients, plus the grid driver fanning out whole scenario cells.
+//! clients, the grid driver fanning out whole scenario cells, and the
+//! robust-aggregator family (mean / median / krum / bulyan / geomed)
+//! sequential vs. sharded.
 //!
 //! ```sh
 //! cargo bench --bench runtime
 //! ```
 //!
-//! On a multi-core host the `par` rows should beat `seq` at 128 clients
-//! (client training dominates and parallelizes embarrassingly); on a
-//! single-core container the engine degrades to the inline path and the
-//! rows tie.
+//! On a multi-core host the `par` rows should beat `seq` at 128 clients;
+//! on a single-core container the engine degrades to the inline path and
+//! the rows tie.
+//!
+//! # Perf gate
+//!
+//! After the Criterion groups, the binary times one `aggregate` call per
+//! rule — sequential vs. an `SG_BENCH_THREADS`-wide pool (default 4) at
+//! 128 clients — and writes the wall times to `target/BENCH_pr.json`. With
+//! `SG_BENCH_GATE=1` (CI's bench-gate job) the process exits non-zero if
+//! any rule is slower parallel than sequential.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use signguard::aggregators::{Aggregator, Bulyan, CoordinateMedian, GeoMed, Mean, MultiKrum};
 use signguard::core::SignGuard;
 use signguard::fl::{tasks, FlConfig, SelectionTracker, Simulator};
 use signguard::runtime::{Engine, GridRunner, RunPlan};
@@ -77,5 +89,137 @@ fn bench_grid_fanout(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round_throughput, bench_grid_fanout);
-criterion_main!(benches);
+// ---- robust-aggregator family (seq vs. sharded) ------------------------
+
+type RuleBuilder = fn(usize) -> Box<dyn Aggregator>;
+
+/// The gated rule family: (name, gradient dimension, builder taking the
+/// client count). Pairwise rules get a smaller dimension (their cost is
+/// O(n²·d)); coordinate rules a larger one (O(n·d)).
+fn family_rules() -> Vec<(&'static str, usize, RuleBuilder)> {
+    vec![
+        ("mean", 1 << 18, |_n| Box::new(Mean::new())),
+        ("median", 1 << 16, |_n| Box::new(CoordinateMedian::new())),
+        ("krum", 1 << 14, |n| Box::new(MultiKrum::new(n / 5, n - n / 5))),
+        ("bulyan", 1 << 14, |n| Box::new(Bulyan::new(n / 5))),
+        ("geomed", 1 << 14, |_n| Box::new(GeoMed::new().with_max_iter(20))),
+    ]
+}
+
+/// Deterministic synthetic gradient population around a shared direction.
+fn family_gradients(n: usize, d: usize) -> Vec<Vec<f32>> {
+    (0..n).map(|i| (0..d).map(|j| ((i * d + j) as f32 * 0.37).sin() * 2.0).collect()).collect()
+}
+
+fn bench_pairwise_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregator_family");
+    group.sample_size(10);
+    for &clients in &[32usize, 128] {
+        for (name, dim, build) in family_rules() {
+            let grads = family_gradients(clients, dim);
+            let modes: [(&str, Engine); 2] = [("seq", Engine::sequential()), ("par", Engine::parallel(0))];
+            for (mode, engine) in modes {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{name}/{mode}"), clients),
+                    &grads,
+                    |b, g| {
+                        let mut gar = build(clients);
+                        gar.set_executor(engine.executor());
+                        b.iter(|| black_box(gar.aggregate(g)));
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+// ---- BENCH_pr.json perf gate -------------------------------------------
+
+/// Best-of-N wall time of one `aggregate` call on the given engine.
+fn time_aggregate(build: RuleBuilder, clients: usize, grads: &[Vec<f32>], engine: &Engine) -> f64 {
+    let reps = 3;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut gar = build(clients);
+        gar.set_executor(engine.executor());
+        let start = Instant::now();
+        black_box(gar.aggregate(grads));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Times the rule family seq vs. par, writes `target/BENCH_pr.json`, and —
+/// under `SG_BENCH_GATE=1` — fails the process if parallel lost anywhere.
+fn perf_gate() {
+    let threads: usize =
+        std::env::var("SG_BENCH_THREADS").ok().and_then(|v| v.parse().ok()).filter(|&t| t > 0).unwrap_or(4);
+    let clients = 128usize;
+    let seq_engine = Engine::sequential();
+    let par_engine = Engine::parallel(threads);
+
+    println!("\nperf gate — {clients} clients, seq vs {threads} threads (best of 3)");
+    let mut rows = Vec::new();
+    for (name, dim, build) in family_rules() {
+        let grads = family_gradients(clients, dim);
+        // One warm call per engine pages the gradients in and excludes
+        // pool spin-up from the timed runs.
+        let _ = time_aggregate(build, clients, &grads, &seq_engine);
+        let seq_s = time_aggregate(build, clients, &grads, &seq_engine);
+        let par_s = time_aggregate(build, clients, &grads, &par_engine);
+        println!(
+            "  {name:<8} dim {dim:>7}  seq {:>9.3} ms  par {:>9.3} ms  speedup {:>5.2}x",
+            seq_s * 1e3,
+            par_s * 1e3,
+            seq_s / par_s
+        );
+        rows.push((name, dim, seq_s, par_s));
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|(name, dim, seq_s, par_s)| {
+            format!(
+                "    {{\"name\": \"{name}\", \"dim\": {dim}, \"seq_ms\": {:.4}, \"par_ms\": {:.4}}}",
+                seq_s * 1e3,
+                par_s * 1e3
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"clients\": {clients},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/BENCH_pr.json");
+    std::fs::create_dir_all(path.parent().expect("bench json path has a parent"))
+        .expect("create bench json dir");
+    std::fs::write(&path, json).expect("write BENCH_pr.json");
+    println!("[bench json] {}", path.display());
+
+    if std::env::var("SG_BENCH_GATE").as_deref() == Ok("1") {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores < threads {
+            println!(
+                "perf gate SKIP: host has {cores} core(s) < {threads} gate threads; \
+                 an oversubscribed pool cannot be required to beat sequential"
+            );
+            return;
+        }
+        let losers: Vec<&str> =
+            rows.iter().filter(|(_, _, seq_s, par_s)| par_s > seq_s).map(|&(name, ..)| name).collect();
+        if losers.is_empty() {
+            println!("perf gate PASS: parallel beats sequential for every rule at {threads} threads");
+        } else {
+            eprintln!("perf gate FAIL: parallel slower than sequential for {losers:?} at {threads} threads");
+            std::process::exit(1);
+        }
+    }
+}
+
+criterion_group!(benches, bench_round_throughput, bench_grid_fanout, bench_pairwise_family);
+
+fn main() {
+    benches();
+    perf_gate();
+}

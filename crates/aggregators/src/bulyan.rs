@@ -1,6 +1,11 @@
 //! Bulyan (El Mhamdi et al., ICML'18).
 
-use crate::krum::{pairwise_sq_distances, scores_from_matrix};
+use std::sync::Arc;
+
+use sg_math::vecops::REDUCE_BLOCK;
+use sg_math::{PairwiseDistances, ParallelExecutor, SeqExecutor};
+
+use crate::krum::scores_from_matrix;
 use crate::{validate_gradients, AggregationOutput, Aggregator};
 
 /// Bulyan: a Krum-based selection stage followed by a coordinate-wise
@@ -10,15 +15,30 @@ use crate::{validate_gradients, AggregationOutput, Aggregator};
 /// aggregates each coordinate as the mean of the `β = θ - 2f` values
 /// closest to the coordinate median. Requires `n ≥ 4f + 3` in theory; this
 /// implementation degrades gracefully by clamping `θ` and `β` to at least 1.
-#[derive(Debug, Clone, Copy)]
+///
+/// Both `O(d)`-heavy passes shard across the installed executor: the
+/// `O(n²·d)` pairwise-distance matrix (shared by every stage-1 iteration,
+/// see [`sg_math::pairwise`]) and the stage-2 per-coordinate trim. The
+/// iterative selection itself works on scalar scores and stays sequential.
+#[derive(Clone)]
 pub struct Bulyan {
     assumed_byzantine: usize,
+    exec: Arc<dyn ParallelExecutor>,
+}
+
+impl std::fmt::Debug for Bulyan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bulyan")
+            .field("assumed_byzantine", &self.assumed_byzantine)
+            .field("parallelism", &self.exec.parallelism())
+            .finish()
+    }
 }
 
 impl Bulyan {
     /// Creates Bulyan assuming `f` Byzantine clients.
     pub fn new(assumed_byzantine: usize) -> Self {
-        Self { assumed_byzantine }
+        Self { assumed_byzantine, exec: Arc::new(SeqExecutor) }
     }
 }
 
@@ -31,8 +51,8 @@ impl Aggregator for Bulyan {
         let beta = theta.saturating_sub(2 * f).max(1);
 
         // Stage 1: iterative Krum selection without replacement, reusing one
-        // pairwise distance matrix across all iterations.
-        let d2 = pairwise_sq_distances(gradients);
+        // pairwise distance matrix (computed sharded) across all iterations.
+        let d2 = PairwiseDistances::compute(self.exec.as_ref(), gradients);
         let mut remaining: Vec<usize> = (0..n).collect();
         let mut chosen: Vec<usize> = Vec::with_capacity(theta);
         while chosen.len() < theta && !remaining.is_empty() {
@@ -43,22 +63,33 @@ impl Aggregator for Bulyan {
         }
         chosen.sort_unstable();
 
-        // Stage 2: per-coordinate β-trimmed mean around the median.
+        // Stage 2: per-coordinate β-trimmed mean around the median, sharded
+        // in coordinate chunks. Every coordinate is processed whole inside
+        // one chunk call, so the output is chunk-order independent.
         let mut out = vec![0.0f32; dim];
-        let mut col: Vec<f32> = Vec::with_capacity(chosen.len());
-        for j in 0..dim {
-            col.clear();
-            col.extend(chosen.iter().map(|&i| gradients[i][j]));
-            let med = sg_math::stats::median(&col);
-            col.sort_by(|a, b| (a - med).abs().total_cmp(&(b - med).abs()));
-            let take = beta.min(col.len());
-            out[j] = col[..take].iter().sum::<f32>() / take as f32;
-        }
+        let chosen_ref = &chosen;
+        self.exec.run_chunks(&mut out, REDUCE_BLOCK, &|ci, chunk| {
+            let base = ci * REDUCE_BLOCK;
+            let mut col: Vec<f32> = Vec::with_capacity(chosen_ref.len());
+            for (k, o) in chunk.iter_mut().enumerate() {
+                let j = base + k;
+                col.clear();
+                col.extend(chosen_ref.iter().map(|&i| gradients[i][j]));
+                let med = sg_math::stats::median(&col);
+                col.sort_by(|a, b| (a - med).abs().total_cmp(&(b - med).abs()));
+                let take = beta.min(col.len());
+                *o = col[..take].iter().sum::<f32>() / take as f32;
+            }
+        });
         AggregationOutput::selected(out, chosen)
     }
 
     fn name(&self) -> &'static str {
         "Bulyan"
+    }
+
+    fn set_executor(&mut self, executor: Arc<dyn ParallelExecutor>) {
+        self.exec = executor;
     }
 }
 
@@ -99,5 +130,17 @@ mod tests {
         let g: Vec<Vec<f32>> = (0..11).map(|i| vec![i as f32 * 0.01]).collect();
         let out = Bulyan::new(2).aggregate(&g);
         assert_eq!(out.selected.expect("sel").len(), 11 - 4);
+    }
+
+    #[test]
+    fn wide_gradients_cross_chunk_boundaries() {
+        // Dimensions past REDUCE_BLOCK exercise the multi-chunk stage-2
+        // path even on the sequential executor.
+        let dim = REDUCE_BLOCK + 7;
+        let g: Vec<Vec<f32>> =
+            (0..9).map(|i| (0..dim).map(|j| ((i * 31 + j) % 13) as f32 - 6.0).collect()).collect();
+        let out = Bulyan::new(2).aggregate(&g);
+        assert_eq!(out.gradient.len(), dim);
+        assert!(out.gradient.iter().all(|x| x.is_finite()));
     }
 }

@@ -1,22 +1,50 @@
 //! Geometric median via Weiszfeld's algorithm.
 
-use sg_math::vecops;
+use std::sync::Arc;
+
+use sg_math::vecops::{self, REDUCE_BLOCK};
+use sg_math::{ParallelExecutor, SeqExecutor};
 
 use crate::{validate_gradients, AggregationOutput, Aggregator};
 
 /// Geometric median (the point minimizing the sum of Euclidean distances to
 /// all gradients), computed with smoothed Weiszfeld iterations.
-#[derive(Debug, Clone, Copy)]
+///
+/// Every `O(n·d)` pass of the inner loop shards across the installed
+/// executor while keeping the floating-point order of each output value
+/// fixed:
+///
+/// * the per-client distance pass runs one client per chunk
+///   (`chunk_len == 1`), each distance following the fixed
+///   [`REDUCE_BLOCK`] reduction tree of [`vecops::l2_distance`];
+/// * the weighted-mean update runs in coordinate chunks, accumulating every
+///   coordinate in client order in `f64` — exactly the sequential order —
+///   so the iterate is bit-identical at any thread count.
+///
+/// The `O(n)` weight normalization and the `O(d)` convergence check are
+/// sequential (they are a vanishing fraction of the work).
+#[derive(Clone)]
 pub struct GeoMed {
     max_iter: usize,
     tol: f32,
     smoothing: f32,
+    exec: Arc<dyn ParallelExecutor>,
+}
+
+impl std::fmt::Debug for GeoMed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GeoMed")
+            .field("max_iter", &self.max_iter)
+            .field("tol", &self.tol)
+            .field("parallelism", &self.exec.parallelism())
+            .finish()
+    }
 }
 
 impl GeoMed {
     /// Creates a geometric-median rule with default iteration settings.
     pub fn new() -> Self {
-        Self { max_iter: 100, tol: 1e-6, smoothing: 1e-8 }
+        Self { max_iter: 100, tol: 1e-6, smoothing: 1e-8, exec: Arc::new(SeqExecutor) }
     }
 
     /// Caps Weiszfeld iterations.
@@ -36,23 +64,54 @@ impl Default for GeoMed {
 impl Aggregator for GeoMed {
     fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
         let dim = validate_gradients(gradients);
-        // Start from the coordinate mean.
-        let mut z = vecops::mean_vector(gradients, dim);
+        let n = gradients.len();
+
+        // Start from the coordinate mean (sharded; bit-identical to
+        // `vecops::mean_vector` per the mean_chunk contract).
+        let mut z = vec![0.0f32; dim];
+        self.exec.run_chunks(&mut z, REDUCE_BLOCK, &|ci, chunk| {
+            vecops::mean_chunk(gradients, ci * REDUCE_BLOCK, chunk);
+        });
+
+        let mut dists = vec![0.0f32; n];
+        let mut next = vec![0.0f32; dim];
+        let mut weights = vec![0.0f64; n];
         for _ in 0..self.max_iter {
+            // Distances to the current iterate, one client per chunk.
+            let z_ref = &z;
+            self.exec.run_chunks(&mut dists, 1, &|i, slot| {
+                slot[0] = vecops::l2_distance(&gradients[i], z_ref);
+            });
+
+            // Weiszfeld weights, accumulated in client order.
             let mut weight_sum = 0.0f64;
-            let mut next = vec![0.0f64; dim];
-            for g in gradients {
-                let d = f64::from(vecops::l2_distance(g, &z)) + f64::from(self.smoothing);
-                let w = 1.0 / d;
-                weight_sum += w;
-                for (n, &x) in next.iter_mut().zip(g) {
-                    *n += w * f64::from(x);
-                }
+            for (w, &d) in weights.iter_mut().zip(&dists) {
+                *w = 1.0 / (f64::from(d) + f64::from(self.smoothing));
+                weight_sum += *w;
             }
+
+            // Weighted-mean update, sharded in coordinate chunks. Each
+            // coordinate accumulates across clients in client order in
+            // `f64`, so chunk boundaries never change a bit.
+            let weights_ref = &weights;
+            self.exec.run_chunks(&mut next, REDUCE_BLOCK, &|ci, chunk| {
+                let base = ci * REDUCE_BLOCK;
+                let mut acc = vec![0.0f64; chunk.len()];
+                for (g, &w) in gradients.iter().zip(weights_ref) {
+                    for (a, &x) in acc.iter_mut().zip(&g[base..base + chunk.len()]) {
+                        *a += w * f64::from(x);
+                    }
+                }
+                for (o, &a) in chunk.iter_mut().zip(&acc) {
+                    *o = (a / weight_sum) as f32;
+                }
+            });
+
+            // Convergence check and iterate swap.
             let mut shift = 0.0f64;
-            for (zi, n) in z.iter_mut().zip(next) {
-                let v = (n / weight_sum) as f32;
-                shift += f64::from((v - *zi) * (v - *zi));
+            for (zi, &v) in z.iter_mut().zip(&next) {
+                let d = v - *zi;
+                shift += f64::from(d * d);
                 *zi = v;
             }
             if shift.sqrt() < f64::from(self.tol) {
@@ -64,6 +123,10 @@ impl Aggregator for GeoMed {
 
     fn name(&self) -> &'static str {
         "GeoMed"
+    }
+
+    fn set_executor(&mut self, executor: Arc<dyn ParallelExecutor>) {
+        self.exec = executor;
     }
 }
 
@@ -102,5 +165,17 @@ mod tests {
         let out = GeoMed::new().aggregate(&g);
         assert!((out.gradient[0] - 3.0).abs() < 1e-4);
         assert!((out.gradient[1] + 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn wide_gradients_cross_chunk_boundaries() {
+        // Dimensions past REDUCE_BLOCK exercise the multi-chunk update
+        // path even on the sequential executor.
+        let dim = REDUCE_BLOCK + 5;
+        let g: Vec<Vec<f32>> =
+            (0..5).map(|i| (0..dim).map(|j| ((i + j) % 7) as f32 * 0.25).collect()).collect();
+        let out = GeoMed::new().with_max_iter(10).aggregate(&g);
+        assert_eq!(out.gradient.len(), dim);
+        assert!(out.gradient.iter().all(|x| x.is_finite()));
     }
 }

@@ -1,16 +1,33 @@
 //! Krum and Multi-Krum (Blanchard et al., NeurIPS'17).
 
-use sg_math::vecops;
+use std::sync::Arc;
+
+use sg_math::{PairwiseDistances, ParallelExecutor, SeqExecutor};
 
 use crate::{mean_of, validate_gradients, AggregationOutput, Aggregator};
 
 /// Multi-Krum: scores every gradient by the sum of squared distances to its
 /// `n - f - 2` nearest neighbors and averages the `m` best-scoring
 /// gradients. `m = 1` is classic Krum.
-#[derive(Debug, Clone, Copy)]
+///
+/// The `O(n²·d)` pairwise-distance pass — the rule's dominant cost — shards
+/// across the installed executor (see [`sg_math::pairwise`]); scoring and
+/// selection are `O(n² log n)` on scalars and stay sequential.
+#[derive(Clone)]
 pub struct MultiKrum {
     assumed_byzantine: usize,
     select: usize,
+    exec: Arc<dyn ParallelExecutor>,
+}
+
+impl std::fmt::Debug for MultiKrum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiKrum")
+            .field("assumed_byzantine", &self.assumed_byzantine)
+            .field("select", &self.select)
+            .field("parallelism", &self.exec.parallelism())
+            .finish()
+    }
 }
 
 impl MultiKrum {
@@ -18,7 +35,7 @@ impl MultiKrum {
     /// `select` gradients. The paper's experiments give baselines the exact
     /// Byzantine count, so `select` is typically `n - f`.
     pub fn new(assumed_byzantine: usize, select: usize) -> Self {
-        Self { assumed_byzantine, select: select.max(1) }
+        Self { assumed_byzantine, select: select.max(1), exec: Arc::new(SeqExecutor) }
     }
 
     /// Classic Krum: select exactly one gradient.
@@ -33,28 +50,20 @@ impl MultiKrum {
     /// Panics on an empty or ragged batch.
     pub fn scores(&self, gradients: &[Vec<f32>]) -> Vec<f32> {
         validate_gradients(gradients);
-        let d2 = pairwise_sq_distances(gradients);
+        let d2 = PairwiseDistances::compute(self.exec.as_ref(), gradients);
         let all: Vec<usize> = (0..gradients.len()).collect();
         scores_from_matrix(&d2, &all, self.assumed_byzantine)
     }
 }
 
-/// Full pairwise squared-distance matrix of a gradient batch.
+/// Full pairwise squared-distance matrix of a gradient batch, computed
+/// sequentially.
 ///
-/// Computed once per round and shared between Krum scoring and Bulyan's
-/// iterative selection — the dominant cost of both rules is this `O(n²·d)`
-/// pass.
-pub fn pairwise_sq_distances(gradients: &[Vec<f32>]) -> Vec<Vec<f32>> {
-    let n = gradients.len();
-    let mut d2 = vec![vec![0.0f32; n]; n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = vecops::l2_distance_sq(&gradients[i], &gradients[j]);
-            d2[i][j] = d;
-            d2[j][i] = d;
-        }
-    }
-    d2
+/// Convenience wrapper over [`PairwiseDistances::compute`] with the inline
+/// executor; rules that hold an executor (Multi-Krum, Bulyan) call
+/// `compute` directly so the pass shards across the engine's pool.
+pub fn pairwise_sq_distances(gradients: &[Vec<f32>]) -> PairwiseDistances {
+    PairwiseDistances::compute(&SeqExecutor, gradients)
 }
 
 /// Krum scores restricted to `subset` (global indices into the matrix),
@@ -64,14 +73,14 @@ pub fn pairwise_sq_distances(gradients: &[Vec<f32>]) -> Vec<Vec<f32>> {
 /// # Panics
 ///
 /// Panics if `subset` is empty.
-pub fn scores_from_matrix(d2: &[Vec<f32>], subset: &[usize], f: usize) -> Vec<f32> {
+pub fn scores_from_matrix(d2: &PairwiseDistances, subset: &[usize], f: usize) -> Vec<f32> {
     assert!(!subset.is_empty(), "scores_from_matrix: empty subset");
     let n = subset.len();
     let k = n.saturating_sub(f + 2).max(1).min(n.saturating_sub(1).max(1));
     subset
         .iter()
         .map(|&i| {
-            let mut row: Vec<f32> = subset.iter().filter(|&&j| j != i).map(|&j| d2[i][j]).collect();
+            let mut row: Vec<f32> = subset.iter().filter(|&&j| j != i).map(|&j| d2.get(i, j)).collect();
             if row.is_empty() {
                 return 0.0;
             }
@@ -96,6 +105,10 @@ impl Aggregator for MultiKrum {
 
     fn name(&self) -> &'static str {
         "Multi-Krum"
+    }
+
+    fn set_executor(&mut self, executor: Arc<dyn ParallelExecutor>) {
+        self.exec = executor;
     }
 }
 
@@ -151,5 +164,18 @@ mod tests {
         let g = honest_cloud(4);
         let out = MultiKrum::new(0, 100).aggregate(&g);
         assert_eq!(out.selected.expect("sel").len(), 4);
+    }
+
+    #[test]
+    fn scores_agree_with_shared_distance_matrix() {
+        // `scores` (via the executor path) and `scores_from_matrix` over a
+        // standalone matrix are the same computation — Bulyan relies on
+        // reusing one matrix across iterations.
+        let g = honest_cloud(12);
+        let mk = MultiKrum::new(2, 5);
+        let d2 = pairwise_sq_distances(&g);
+        let all: Vec<usize> = (0..g.len()).collect();
+        let via_matrix = scores_from_matrix(&d2, &all, 2);
+        assert_eq!(mk.scores(&g), via_matrix);
     }
 }

@@ -2,16 +2,25 @@
 //! gradients for the three SignGuard variants on the residual-network task.
 //!
 //! ```sh
-//! cargo run --release -p sg-bench --bin exp_table2 -- [--epochs N] [--task cifar]
+//! cargo run --release -p sg-bench --bin exp_table2 -- [--epochs N] [--task cifar] [--jobs N]
 //! ```
+//!
+//! Every (attack, variant) cell is one [`sg_runtime::RunPlan`] cell
+//! executed concurrently by [`sg_runtime::GridRunner`] (`--jobs` bounds the
+//! fan-out; default all cores). Cells share the config seed — variants must
+//! be compared on the same model init / partition / batch trajectory — and
+//! share no RNG state, so the table matches a sequential run at any
+//! `--jobs` value.
 
 use sg_bench::{arg_value, build_attack, build_task, write_csv};
 use sg_core::SignGuard;
 use sg_fl::{FlConfig, Simulator};
+use sg_runtime::{GridRunner, RunPlan};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let epochs: usize = arg_value(&args, "--epochs").map_or(8, |v| v.parse().expect("--epochs N"));
+    let jobs: usize = arg_value(&args, "--jobs").map_or(0, |v| v.parse().expect("--jobs N"));
     let task_name = arg_value(&args, "--task").unwrap_or_else(|| "cifar".into());
 
     let attacks = ["ByzMean", "Sign-flip", "LIE", "Min-Max", "Min-Sum"];
@@ -23,12 +32,34 @@ fn main() {
     ];
 
     let cfg = FlConfig { epochs, learning_rate: 0.05, ..FlConfig::default() };
+    let runner = GridRunner::new(jobs);
     println!(
-        "Table II reproduction — selection rates on {} ({} clients, {} Byzantine)\n",
+        "Table II reproduction — selection rates on {} ({} clients, {} Byzantine, {} grid workers)\n",
         build_task(&task_name, 7).name,
         cfg.num_clients,
-        cfg.byzantine_count()
+        cfg.byzantine_count(),
+        runner.parallelism()
     );
+
+    // One cell per (attack, variant), declared in row-major table order so
+    // the report reads back directly into rows.
+    let mut plan: RunPlan<(f32, f32)> = RunPlan::new(cfg.seed);
+    for attack_name in attacks {
+        for (variant_name, make) in &variants {
+            let make = *make;
+            let cfg = cfg.clone();
+            let task_name = task_name.clone();
+            plan.cell(format!("{attack_name}/{variant_name}"), move |_ctx| {
+                let task = build_task(&task_name, 7);
+                let attack = build_attack(attack_name);
+                let mut sim = Simulator::new(task, cfg, Box::new(make()), attack);
+                let r = sim.run();
+                (r.selection.honest_rate(), r.selection.malicious_rate())
+            });
+        }
+    }
+    let report = runner.run(plan);
+
     println!(
         "{:<11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "Attack", "SG H", "SG M", "Sim H", "Sim M", "Dist H", "Dist M"
@@ -44,15 +75,10 @@ fn main() {
         "dist_m".to_string(),
     ]];
 
+    let mut cells_iter = report.cells.iter();
     for attack_name in attacks {
-        let mut cells = Vec::new();
-        for (_, make) in &variants {
-            let task = build_task(&task_name, 7);
-            let attack = build_attack(attack_name);
-            let mut sim = Simulator::new(task, cfg.clone(), Box::new(make()), attack);
-            let r = sim.run();
-            cells.push((r.selection.honest_rate(), r.selection.malicious_rate()));
-        }
+        let cells: Vec<(f32, f32)> =
+            variants.iter().map(|_| cells_iter.next().expect("report covers the grid").output).collect();
         println!(
             "{:<11} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
             attack_name, cells[0].0, cells[0].1, cells[1].0, cells[1].1, cells[2].0, cells[2].1

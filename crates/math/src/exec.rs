@@ -18,6 +18,13 @@
 //! how every kernel in [`crate::vecops`] is written (per-coordinate
 //! accumulation order never crosses a chunk boundary).
 //!
+//! The chunked `out` buffer does not have to be a coordinate window of a
+//! gradient: any index space that flattens to one `f32` per element shards
+//! the same way. [`crate::pairwise`] runs the upper-triangular `(i, j)`
+//! pair space of the Krum/Bulyan distance matrix through this seam, and
+//! per-item passes (one l2 norm or Weiszfeld distance per client) use
+//! `chunk_len == 1` so chunk index ≡ item index.
+//!
 //! [`Aggregator::set_executor`]: https://docs.rs/sg-aggregators
 
 /// Runs chunked data-parallel work. See the [module docs](self) for the

@@ -16,12 +16,14 @@
 
 pub mod exec;
 pub mod normal;
+pub mod pairwise;
 pub mod rng;
 pub mod stats;
 pub mod vecops;
 
 pub use exec::{ParallelExecutor, SeqExecutor};
 pub use normal::{normal_cdf, normal_quantile, NormalSampler};
+pub use pairwise::PairwiseDistances;
 pub use rng::{seeded_rng, SeedStream};
 pub use stats::{mean, median, quantile, std_dev, variance};
 pub use vecops::{cosine_similarity, dot, l2_distance, l2_norm};

@@ -1,0 +1,237 @@
+//! Sharded upper-triangular pairwise-distance kernels.
+//!
+//! The pairwise-distance family of robust aggregators (Krum/Multi-Krum and
+//! Bulyan) spends essentially all of its time computing the `n(n-1)/2`
+//! squared distances between client gradients — an `O(n²·d)` pass that the
+//! SignGuard paper's cost comparison (Table IV) measures against. This
+//! module flattens the strict upper triangle `(i, j), i < j` into the
+//! single index space `0..num_pairs(n)` so that pass shards through
+//! [`ParallelExecutor::run_chunks`] exactly like the coordinate kernels in
+//! [`crate::vecops`]: the flat distance buffer is split into contiguous
+//! [`PAIR_CHUNK`]-sized windows and each window is filled by one executor
+//! chunk call.
+//!
+//! # Determinism
+//!
+//! Every flat element is one whole distance, computed by
+//! [`vecops::l2_distance_sq`]'s fixed [`vecops::REDUCE_BLOCK`] reduction
+//! tree without ever crossing a chunk boundary, so the matrix is
+//! **bit-identical** at any thread count and any chunk size — the executor
+//! only decides *which thread* computes a pair, never the order of
+//! floating-point operations inside one distance.
+
+use crate::exec::ParallelExecutor;
+use crate::vecops;
+
+/// Pairs per executor chunk. Each pair costs `O(d)` (one full-gradient
+/// distance), so chunks are coarse work units even at this small length,
+/// while `n = 128` clients still yields 254 chunks to balance across cores.
+pub const PAIR_CHUNK: usize = 32;
+
+/// Number of unordered pairs `(i, j), i < j` over `n` items.
+pub const fn num_pairs(n: usize) -> usize {
+    n * n.saturating_sub(1) / 2
+}
+
+/// Flat index where row `i`'s pairs start (row `i` holds `(i, j)` for all
+/// `j > i`, so it contributes `n - 1 - i` pairs).
+pub const fn row_start(i: usize, n: usize) -> usize {
+    // sum_{r < i} (n - 1 - r) = i * (2n - i - 1) / 2, overflow-safe for i = 0.
+    i * (2 * n - i - 1) / 2
+}
+
+/// Flat index of pair `(i, j)`.
+///
+/// Requires `i < j < n`; callers pass ordered pairs (see
+/// [`PairwiseDistances::get`] for the symmetric view).
+pub const fn flat_index(i: usize, j: usize, n: usize) -> usize {
+    row_start(i, n) + (j - i - 1)
+}
+
+/// The pair `(i, j)` at flat index `p`.
+///
+/// # Panics
+///
+/// Panics if `p >= num_pairs(n)`.
+pub fn pair_at(p: usize, n: usize) -> (usize, usize) {
+    assert!(p < num_pairs(n), "pair_at: index {p} out of {} pairs", num_pairs(n));
+    let mut i = 0;
+    while row_start(i + 1, n) <= p {
+        i += 1;
+    }
+    (i, i + 1 + (p - row_start(i, n)))
+}
+
+/// Writes the squared distances of the flat-pair window
+/// `[offset, offset + out.len())` into `out` — the kernel an executor
+/// shards (window `k` of a [`PAIR_CHUNK`]-chunked buffer starts at
+/// `offset = k * PAIR_CHUNK`).
+///
+/// # Panics
+///
+/// Panics if the window exceeds `num_pairs(gradients.len())`.
+pub fn pairwise_sq_distances_chunk(gradients: &[Vec<f32>], offset: usize, out: &mut [f32]) {
+    if out.is_empty() {
+        return;
+    }
+    let n = gradients.len();
+    let total = num_pairs(n);
+    assert!(
+        offset + out.len() <= total,
+        "pairwise chunk {offset}..{} exceeds {total} pairs",
+        offset + out.len()
+    );
+    let (mut i, mut j) = pair_at(offset, n);
+    for slot in out.iter_mut() {
+        *slot = vecops::l2_distance_sq(&gradients[i], &gradients[j]);
+        j += 1;
+        if j == n {
+            i += 1;
+            j = i + 1;
+        }
+    }
+}
+
+/// The full pairwise squared-distance matrix of a gradient batch, stored as
+/// the flattened strict upper triangle.
+///
+/// Computed once per round and shared between Krum scoring and Bulyan's
+/// iterative selection — the dominant cost of both rules is this `O(n²·d)`
+/// pass, which [`PairwiseDistances::compute`] shards across the given
+/// executor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairwiseDistances {
+    n: usize,
+    flat: Vec<f32>,
+}
+
+impl PairwiseDistances {
+    /// Computes all pairwise squared distances, sharding the flat pair
+    /// space over `exec` in [`PAIR_CHUNK`]-sized windows.
+    pub fn compute(exec: &dyn ParallelExecutor, gradients: &[Vec<f32>]) -> Self {
+        let n = gradients.len();
+        let mut flat = vec![0.0f32; num_pairs(n)];
+        exec.run_chunks(&mut flat, PAIR_CHUNK, &|ci, chunk| {
+            pairwise_sq_distances_chunk(gradients, ci * PAIR_CHUNK, chunk);
+        });
+        Self { n, flat }
+    }
+
+    /// Number of items the matrix covers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix covers no items.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Squared distance between items `i` and `j` (symmetric; `0.0` on the
+    /// diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        assert!(i < self.n && j < self.n, "PairwiseDistances::get({i}, {j}) out of {} items", self.n);
+        if i == j {
+            return 0.0;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.flat[flat_index(a, b, self.n)]
+    }
+
+    /// The flattened strict upper triangle, in [`flat_index`] order.
+    pub fn flat(&self) -> &[f32] {
+        &self.flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::SeqExecutor;
+
+    #[test]
+    fn index_round_trips() {
+        for n in [2usize, 3, 7, 20] {
+            let mut p = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    assert_eq!(flat_index(i, j, n), p, "({i},{j}) of {n}");
+                    assert_eq!(pair_at(p, n), (i, j), "p {p} of {n}");
+                    p += 1;
+                }
+            }
+            assert_eq!(p, num_pairs(n));
+        }
+    }
+
+    #[test]
+    fn num_pairs_small_cases() {
+        assert_eq!(num_pairs(0), 0);
+        assert_eq!(num_pairs(1), 0);
+        assert_eq!(num_pairs(2), 1);
+        assert_eq!(num_pairs(5), 10);
+    }
+
+    fn cloud(n: usize, d: usize) -> Vec<Vec<f32>> {
+        (0..n).map(|i| (0..d).map(|j| ((i * d + j) as f32 * 0.37).sin() * 2.0).collect()).collect()
+    }
+
+    #[test]
+    fn chunked_matches_naive_double_loop() {
+        let g = cloud(9, 33);
+        let d2 = PairwiseDistances::compute(&SeqExecutor, &g);
+        for i in 0..g.len() {
+            for j in 0..g.len() {
+                let naive = vecops::l2_distance_sq(&g[i], &g[j]);
+                assert_eq!(d2.get(i, j).to_bits(), naive.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_windows_cover_every_pair_once() {
+        let g = cloud(13, 8);
+        let total = num_pairs(g.len());
+        let whole = PairwiseDistances::compute(&SeqExecutor, &g);
+        // Fill via explicit ragged windows instead of the executor.
+        let mut flat = vec![f32::NAN; total];
+        let mut offset = 0;
+        for len in [1usize, 7, 31, 64, total] {
+            if offset >= total {
+                break;
+            }
+            let len = len.min(total - offset);
+            pairwise_sq_distances_chunk(&g, offset, &mut flat[offset..offset + len]);
+            offset += len;
+        }
+        pairwise_sq_distances_chunk(&g, offset, &mut flat[offset..]);
+        for (a, b) in whole.flat().iter().zip(&flat) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn diagonal_is_zero_and_symmetric() {
+        let g = cloud(4, 5);
+        let d2 = PairwiseDistances::compute(&SeqExecutor, &g);
+        for i in 0..4 {
+            assert_eq!(d2.get(i, i), 0.0);
+            for j in 0..4 {
+                assert_eq!(d2.get(i, j).to_bits(), d2.get(j, i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_batches() {
+        let d2 = PairwiseDistances::compute(&SeqExecutor, &[]);
+        assert!(d2.is_empty());
+        let d2 = PairwiseDistances::compute(&SeqExecutor, &[vec![1.0, 2.0]]);
+        assert_eq!(d2.len(), 1);
+        assert_eq!(d2.get(0, 0), 0.0);
+    }
+}

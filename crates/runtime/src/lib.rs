@@ -6,30 +6,42 @@
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`pool`] | [`WorkerPool`]: scoped-thread worker pool with work-stealing `map` and the sharded-chunk executor |
+//! | [`pool`] | [`WorkerPool`]: persistent worker pool with work-stealing `map` and the sharded-chunk executor |
 //! | [`arena`] | [`GradientArena`]: per-client gradient buffers reused across rounds |
 //! | [`engine`] | [`Engine`]: the handle a `Simulator` runs on (pool + executor) |
 //! | [`grid`] | [`RunPlan`] → [`GridRunner`]: many independent scenario cells executed concurrently |
 //!
 //! # Threading model
 //!
-//! The engine is built on `std::thread::scope` — no global thread pool, no
-//! async runtime, no external dependencies. A [`WorkerPool`] is a *budget*
-//! (`parallelism` threads), not a set of live threads: each `map` /
-//! `run_chunks` call spawns scoped workers, which lets borrowed data
-//! (gradients, datasets, model replicas) flow into workers without `Arc`
-//! gymnastics and guarantees no work outlives the call. With
-//! `parallelism == 1` every code path degenerates to an inline loop on the
-//! caller's thread — sequential execution is the special case, not a
-//! separate implementation.
+//! A [`WorkerPool`] with `parallelism = p > 1` spawns `p − 1` long-lived
+//! worker threads **once**, at construction — no global thread pool, no
+//! async runtime, no external dependencies. Every `map` / `run_chunks`
+//! call becomes a batch of tasks on one shared injector queue: workers
+//! pull tasks as they free up, and the submitting thread drains the same
+//! queue instead of blocking, making it the `p`-th executor. This keeps
+//! micro-calls — a pairwise-distance pass, one Weiszfeld iteration — at a
+//! couple of mutex operations instead of a thread spawn/join per call.
+//! A batch never returns before all of its tasks have finished (which is
+//! what makes lending stack-borrowed gradients to the `'static` workers
+//! sound), task panics are caught on the worker and re-raised on the
+//! submitter after the batch drains, and the workers shut down and join
+//! when the last pool clone (including executor handles held by
+//! aggregators) drops. With `parallelism == 1` every code path
+//! degenerates to an inline loop on the caller's thread — sequential
+//! execution is the special case, not a separate implementation.
 //!
 //! Two parallel axes compose:
 //!
 //! 1. **Within a round** — clients of one round train concurrently
-//!    ([`WorkerPool::map`]), and gradient-dimension work (mean / trimmed
-//!    mean / SignGuard's norm + sign passes) runs sharded in
-//!    [`sg_math::vecops::REDUCE_BLOCK`]-sized coordinate chunks through the
-//!    [`sg_math::ParallelExecutor`] implementation on [`WorkerPool`].
+//!    ([`WorkerPool::map`]), and gradient-dimension work runs sharded
+//!    through the [`sg_math::ParallelExecutor`] implementation on
+//!    [`WorkerPool`]. The sharded aggregation rules are Mean, TrMean,
+//!    Median and SignGuard (coordinate chunks of
+//!    [`sg_math::vecops::REDUCE_BLOCK`]), plus the `O(n²·d)`
+//!    pairwise-distance family — Krum/Multi-Krum and Bulyan shard the
+//!    upper-triangular pair space (see [`sg_math::pairwise`]) and Bulyan's
+//!    coordinate trim, and GeoMed shards its Weiszfeld inner loop
+//!    (per-client distances + coordinate-chunked weighted mean).
 //! 2. **Across scenarios** — [`GridRunner`] executes independent
 //!    (attack × aggregator × partitioning) cells of a [`RunPlan`]
 //!    concurrently, each cell being a full sequential-inside simulation.
@@ -45,15 +57,18 @@
 //! * Work assignment only distributes *which thread* computes a value,
 //!   never the order of floating-point operations inside one value:
 //!   [`WorkerPool::map`] writes results by item index, and chunk kernels
-//!   keep each output coordinate's accumulation order fixed (see the
-//!   fixed-tree contract in `sg_math::vecops`).
-//! * Reductions that cross chunk boundaries (norms, dots) follow the fixed
-//!   [`sg_math::vecops::REDUCE_BLOCK`] tree in both the sequential and the
-//!   sharded implementation.
+//!   keep each output element's computation order fixed (see the
+//!   fixed-tree contract in `sg_math::vecops`) — one whole pairwise
+//!   distance, one whole coordinate accumulation, per chunk element.
+//! * Reductions that cross chunk boundaries (norms, dots, distances)
+//!   follow the fixed [`sg_math::vecops::REDUCE_BLOCK`] tree in both the
+//!   sequential and the sharded implementation.
 //!
-//! The root-level `tests/runtime_determinism.rs` asserts this end to end:
-//! a `GridRunner` run at `parallelism = N` reproduces the
-//! `parallelism = 1` metrics bit for bit.
+//! The root-level `tests/runtime_determinism.rs` asserts this end to end —
+//! simulator-level for SignGuard, Mean, TrMean, Krum/Multi-Krum, Bulyan
+//! and GeoMed, and aggregator-level (exact output bits) for the pairwise
+//! family — at thread counts `1, 2, 3, 8` by default (override with
+//! `SG_THREADS`).
 
 pub mod arena;
 pub mod engine;

@@ -1,51 +1,264 @@
-//! Scoped-thread worker pool: per-item work stealing and sharded chunks.
+//! Persistent worker pool: long-lived threads fed through a shared
+//! injector queue, with per-item work stealing and sharded chunks.
+//!
+//! # Threading model
+//!
+//! A [`WorkerPool`] with `parallelism = p > 1` spawns `p - 1` OS threads
+//! **once**, at construction; the calling thread is the `p`-th executor.
+//! Every [`map`](WorkerPool::map) / [`run_chunks`](ParallelExecutor::run_chunks)
+//! call turns into a *batch* of lifetime-erased tasks pushed onto one
+//! shared injector queue; workers pull tasks as they free up (natural work
+//! stealing) and the submitting thread drains the same queue instead of
+//! blocking, so micro-calls — a per-round pairwise-distance pass, one
+//! Weiszfeld iteration — pay a couple of mutex operations instead of a
+//! thread spawn/join per call. Clones share the same workers; the threads
+//! shut down and are joined when the last clone (including executor
+//! handles held by aggregators) drops.
+//!
+//! # Panic propagation
+//!
+//! A panic inside a task is caught on the worker, the rest of the batch
+//! runs to completion, and the first payload is re-raised on the submitting
+//! thread. Workers survive task panics, so the pool stays usable.
+//!
+//! # Safety
+//!
+//! Batch tasks borrow caller-stack data (gradients, output slices), which
+//! requires erasing their lifetimes before they can sit in the `'static`
+//! injector queue. Soundness hinges on one invariant, maintained by
+//! [`WorkerPool::run_batch`]: **a batch submission never returns — normally
+//! or by unwinding — before every task of the batch has finished running**,
+//! so no erased borrow is ever dereferenced after its referent is gone.
 
+use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::mpsc;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 use sg_math::ParallelExecutor;
 
-/// A thread budget for data-parallel work.
+/// A lifetime-erased unit of work queued on the injector.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A unit of work still carrying its true borrow lifetime.
+type ScopedTask<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+struct InjectorState {
+    tasks: VecDeque<Task>,
+    shutdown: bool,
+}
+
+/// The queue workers pull from, shared by every pool clone and worker.
+struct Injector {
+    queue: Mutex<InjectorState>,
+    /// Signaled when tasks are pushed or shutdown begins.
+    ready: Condvar,
+}
+
+impl Injector {
+    fn pop(&self) -> Option<Task> {
+        self.queue.lock().expect("injector lock").tasks.pop_front()
+    }
+}
+
+fn worker_loop(injector: &Injector) {
+    loop {
+        let task = {
+            let mut st = injector.queue.lock().expect("injector lock");
+            loop {
+                if let Some(t) = st.tasks.pop_front() {
+                    break Some(t);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = injector.ready.wait(st).expect("injector lock");
+            }
+        };
+        match task {
+            // Tasks catch their own panics (see `run_batch`), so the
+            // worker thread itself never unwinds.
+            Some(t) => t(),
+            None => return,
+        }
+    }
+}
+
+/// Completion tracking for one batch: (unfinished tasks, first panic).
+struct Batch {
+    state: Mutex<(usize, Option<Box<dyn Any + Send>>)>,
+    done: Condvar,
+}
+
+/// The shared live half of a pool: injector plus worker join handles.
+/// Dropping the last reference shuts the workers down and joins them.
+struct PoolCore {
+    injector: Arc<Injector>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Drop for PoolCore {
+    fn drop(&mut self) {
+        self.injector.queue.lock().expect("injector lock").shutdown = true;
+        self.injector.ready.notify_all();
+        // The last pool handle can be dropped from inside one of the pool's
+        // own workers (a task that took ownership of a clone); joining that
+        // thread from itself would deadlock, so it is detached instead — it
+        // still exits promptly via the shutdown flag above.
+        let current = std::thread::current().id();
+        for handle in self.handles.lock().expect("worker handles lock").drain(..) {
+            if handle.thread().id() != current {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// A persistent thread budget for data-parallel work.
 ///
-/// See the [crate docs](crate) for the threading model and determinism
-/// contract. A pool with `parallelism() == 1` runs everything inline on
-/// the calling thread.
-#[derive(Debug, Clone)]
+/// See the [module docs](self) for the threading model, panic behavior and
+/// determinism notes. A pool with `parallelism() == 1` spawns no threads
+/// and runs everything inline on the calling thread; cloning shares the
+/// worker threads.
+#[derive(Clone)]
 pub struct WorkerPool {
     parallelism: usize,
+    core: Option<Arc<PoolCore>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("parallelism", &self.parallelism)
+            .field("workers", &self.workers())
+            .finish()
+    }
 }
 
 impl WorkerPool {
     /// Creates a pool using `parallelism` threads; `0` means "all
-    /// available cores".
+    /// available cores". For `parallelism > 1` this spawns
+    /// `parallelism - 1` long-lived worker threads (the caller of each
+    /// batch is the remaining executor).
     pub fn new(parallelism: usize) -> Self {
         let parallelism = if parallelism == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             parallelism
         };
-        Self { parallelism }
+        let core = (parallelism > 1).then(|| {
+            let injector = Arc::new(Injector {
+                queue: Mutex::new(InjectorState { tasks: VecDeque::new(), shutdown: false }),
+                ready: Condvar::new(),
+            });
+            let handles = (0..parallelism - 1)
+                .map(|i| {
+                    let injector = Arc::clone(&injector);
+                    std::thread::Builder::new()
+                        .name(format!("sg-worker-{i}"))
+                        .spawn(move || worker_loop(&injector))
+                        .expect("spawn pool worker")
+                })
+                .collect();
+            Arc::new(PoolCore { injector, handles: Mutex::new(handles) })
+        });
+        Self { parallelism, core }
     }
 
-    /// The single-threaded pool.
+    /// The single-threaded pool (no worker threads; everything inline).
     pub fn sequential() -> Self {
-        Self { parallelism: 1 }
+        Self { parallelism: 1, core: None }
     }
 
-    /// Number of threads this pool may use.
+    /// Number of threads this pool may use (workers + the caller).
     pub fn parallelism(&self) -> usize {
         self.parallelism
+    }
+
+    /// Number of live worker threads (`parallelism - 1`, or `0` for the
+    /// sequential pool).
+    pub fn workers(&self) -> usize {
+        if self.core.is_some() {
+            self.parallelism - 1
+        } else {
+            0
+        }
+    }
+
+    /// Queues `tasks` on the injector and runs them to completion — on the
+    /// workers and on the calling thread — before returning.
+    ///
+    /// # Panics
+    ///
+    /// If a task panics, the first payload is re-raised here after the
+    /// whole batch has finished (see the [module docs](self)).
+    fn run_batch<'env>(&self, tasks: Vec<ScopedTask<'env>>) {
+        let core = self.core.as_ref().expect("run_batch on a sequential pool");
+        let injector = &core.injector;
+        let batch = Arc::new(Batch { state: Mutex::new((tasks.len(), None)), done: Condvar::new() });
+        {
+            let mut st = injector.queue.lock().expect("injector lock");
+            for task in tasks {
+                let batch = Arc::clone(&batch);
+                let wrapped: ScopedTask<'env> = Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(task));
+                    let mut bs = batch.state.lock().expect("batch lock");
+                    bs.0 -= 1;
+                    if let Err(payload) = result {
+                        bs.1.get_or_insert(payload);
+                    }
+                    if bs.0 == 0 {
+                        batch.done.notify_all();
+                    }
+                });
+                // SAFETY: only the lifetime is erased; the fat-pointer
+                // layout is unchanged. The wrapped task may borrow from the
+                // caller's stack ('env), and run_batch does not return —
+                // normally or by unwinding — until the batch count hits
+                // zero, i.e. until every wrapped task has finished, so no
+                // erased borrow outlives its referent. (The code below the
+                // push has no panic path before that wait: lock poisoning
+                // cannot occur because tasks catch their own panics.)
+                let wrapped: Task = unsafe { std::mem::transmute::<ScopedTask<'env>, Task>(wrapped) };
+                st.tasks.push_back(wrapped);
+            }
+        }
+        injector.ready.notify_all();
+
+        // Help while waiting: the submitting thread is one of the
+        // `parallelism` executors, so it drains queued tasks (its own
+        // batch's, or a concurrent batch's — whose submitter is itself
+        // blocked, keeping those borrows alive) instead of blocking.
+        loop {
+            if batch.state.lock().expect("batch lock").0 == 0 {
+                break;
+            }
+            match injector.pop() {
+                Some(task) => task(),
+                // Queue drained: our stragglers are running on workers.
+                None => break,
+            }
+        }
+        let mut bs = batch.state.lock().expect("batch lock");
+        while bs.0 > 0 {
+            bs = batch.done.wait(bs).expect("batch lock");
+        }
+        let panic = bs.1.take();
+        drop(bs);
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
     }
 
     /// Applies `f(index, item)` to every item, returning results in item
     /// order.
     ///
-    /// Items are dealt out work-stealing style (a worker takes the next
-    /// pending item when free), which load-balances uneven items like
-    /// client training steps. Results are placed by index, so the output —
-    /// and, because items never share mutable state, the computation — is
-    /// independent of which worker ran what.
+    /// Each item is one injector task, so a free worker takes the next
+    /// pending item — which load-balances uneven items like client training
+    /// steps. Results are placed by index, so the output — and, because
+    /// items never share mutable state, the computation — is independent of
+    /// which worker ran what.
     pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
@@ -53,74 +266,67 @@ impl WorkerPool {
         F: Fn(usize, T) -> R + Sync,
     {
         let n = items.len();
-        if self.parallelism <= 1 || n <= 1 {
+        if self.core.is_none() || n <= 1 {
             return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
-        let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
-        let (tx, rx) = mpsc::channel::<(usize, R)>();
-        let workers = self.parallelism.min(n);
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let queue = &queue;
-                let f = &f;
-                s.spawn(move || {
-                    loop {
-                        let job = queue.lock().expect("worker pool queue poisoned").pop_front();
-                        let Some((i, item)) = job else { break };
-                        // A send can only fail if the receiver was dropped,
-                        // which cannot happen while the scope is alive.
-                        let _ = tx.send((i, f(i, item)));
-                    }
-                });
-            }
-        });
-        drop(tx);
-        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        for (i, r) in rx {
-            out[i] = Some(r);
-        }
-        out.into_iter().map(|r| r.expect("worker pool lost a result")).collect()
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let f = &f;
+        let tasks: Vec<ScopedTask<'_>> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let slot = &slots[i];
+                Box::new(move || {
+                    *slot.lock().expect("result slot lock") = Some(f(i, item));
+                }) as ScopedTask<'_>
+            })
+            .collect();
+        self.run_batch(tasks);
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("result slot lock").expect("worker pool lost a result"))
+            .collect()
     }
 }
 
 impl ParallelExecutor for WorkerPool {
     /// Runs chunk `i` over `out[i * chunk_len ..]`, distributing
-    /// *contiguous ranges of chunks* across workers.
+    /// *contiguous ranges of chunks* across the pool.
     ///
-    /// The static contiguous split (instead of stealing) keeps the hot
-    /// aggregation path free of queue traffic; chunks of one `run_chunks`
-    /// call are uniform work, so balance comes from the split itself.
+    /// One injector task per executor (not per chunk) keeps the hot
+    /// aggregation path to a handful of queue operations; chunks of one
+    /// `run_chunks` call are uniform work, so balance comes from the
+    /// contiguous split itself.
     fn run_chunks(&self, out: &mut [f32], chunk_len: usize, f: &(dyn Fn(usize, &mut [f32]) + Sync)) {
         assert!(chunk_len > 0, "run_chunks: zero chunk_len");
         let n_chunks = out.len().div_ceil(chunk_len);
-        if self.parallelism <= 1 || n_chunks <= 1 {
+        if self.core.is_none() || n_chunks <= 1 {
             for (i, chunk) in out.chunks_mut(chunk_len).enumerate() {
                 f(i, chunk);
             }
             return;
         }
-        let workers = self.parallelism.min(n_chunks);
-        let per_worker = n_chunks / workers;
-        let extra = n_chunks % workers;
-        std::thread::scope(|s| {
-            let mut rest = out;
-            let mut first_chunk = 0;
-            for w in 0..workers {
-                let count = per_worker + usize::from(w < extra);
-                let elems = (count * chunk_len).min(rest.len());
-                let (mine, tail) = rest.split_at_mut(elems);
-                rest = tail;
-                let first = first_chunk;
-                first_chunk += count;
-                s.spawn(move || {
-                    for (j, chunk) in mine.chunks_mut(chunk_len).enumerate() {
-                        f(first + j, chunk);
-                    }
-                });
-            }
-            debug_assert!(rest.is_empty());
-        });
+        let shards = self.parallelism.min(n_chunks);
+        let per_shard = n_chunks / shards;
+        let extra = n_chunks % shards;
+        let mut tasks: Vec<ScopedTask<'_>> = Vec::with_capacity(shards);
+        let mut rest = out;
+        let mut first_chunk = 0;
+        for s in 0..shards {
+            let count = per_shard + usize::from(s < extra);
+            let elems = (count * chunk_len).min(rest.len());
+            let (mine, tail) = rest.split_at_mut(elems);
+            rest = tail;
+            let first = first_chunk;
+            first_chunk += count;
+            tasks.push(Box::new(move || {
+                for (j, chunk) in mine.chunks_mut(chunk_len).enumerate() {
+                    f(first + j, chunk);
+                }
+            }));
+        }
+        debug_assert!(rest.is_empty());
+        self.run_batch(tasks);
     }
 
     fn parallelism(&self) -> usize {
@@ -136,6 +342,7 @@ mod tests {
     fn zero_means_available_parallelism() {
         assert!(WorkerPool::new(0).parallelism() >= 1);
         assert_eq!(WorkerPool::sequential().parallelism(), 1);
+        assert_eq!(WorkerPool::sequential().workers(), 0);
     }
 
     #[test]
@@ -194,5 +401,95 @@ mod tests {
         for (i, (x, _)) in out.iter().enumerate() {
             assert_eq!(i, *x);
         }
+    }
+
+    // ---- persistent-pool lifecycle -------------------------------------
+
+    #[test]
+    fn pool_is_reused_across_many_rounds() {
+        // One pool, many batches: the same worker threads serve every call
+        // (no spawn per call), and results stay correct throughout.
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.workers(), 3);
+        for round in 0..100usize {
+            let out = pool.map((0..9).collect::<Vec<usize>>(), |_, x| x + round);
+            assert_eq!(out, (round..round + 9).collect::<Vec<_>>());
+            let mut buf = vec![0.0f32; 53];
+            pool.run_chunks(&mut buf, 7, &|i, chunk| chunk.fill(i as f32));
+            let expected: Vec<f32> = (0..53).map(|j| (j / 7) as f32).collect();
+            assert_eq!(buf, expected);
+        }
+    }
+
+    #[test]
+    fn clones_share_workers_and_shutdown_is_graceful() {
+        let a = WorkerPool::new(3);
+        let b = a.clone();
+        assert_eq!(b.workers(), 2);
+        // Dropping one clone must not tear down the shared workers.
+        drop(a);
+        let out = b.map(vec![1u32, 2, 3], |_, x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+        // Dropping the last clone joins the workers; returning from this
+        // test (instead of hanging) is the graceful-shutdown assertion.
+        drop(b);
+    }
+
+    #[test]
+    fn executor_handle_keeps_workers_alive() {
+        let pool = WorkerPool::new(2);
+        let exec: Arc<dyn ParallelExecutor> = Arc::new(pool.clone());
+        drop(pool);
+        let mut out = vec![0.0f32; 16];
+        exec.run_chunks(&mut out, 2, &|i, chunk| chunk.fill(i as f32));
+        assert_eq!(out[15], 7.0);
+    }
+
+    #[test]
+    fn panic_in_map_item_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.map((0..8).collect::<Vec<usize>>(), |_, x| {
+                assert!(x != 5, "boom at {x}");
+                x
+            })
+        }));
+        assert!(result.is_err(), "panic must cross map");
+        // The workers caught the panic and are still serving batches.
+        assert_eq!(pool.map(vec![1u32, 2, 3], |_, x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn panic_in_chunk_kernel_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut out = vec![0.0f32; 64];
+            pool.run_chunks(&mut out, 4, &|i, chunk| {
+                assert!(i != 3, "kernel panic in chunk {i}");
+                chunk.fill(1.0);
+            });
+        }));
+        assert!(result.is_err(), "panic must cross run_chunks");
+        let mut out = vec![0.0f32; 8];
+        pool.run_chunks(&mut out, 2, &|i, chunk| chunk.fill(i as f32));
+        assert_eq!(out, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn concurrent_batches_from_multiple_threads() {
+        // Two OS threads submit batches to the same pool concurrently;
+        // both complete with correct, independent results.
+        let pool = WorkerPool::new(3);
+        std::thread::scope(|s| {
+            for offset in [0usize, 1000] {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        let out = pool.map((0..12).collect::<Vec<usize>>(), |_, x| x + offset);
+                        assert_eq!(out, (offset..offset + 12).collect::<Vec<_>>());
+                    }
+                });
+            }
+        });
     }
 }

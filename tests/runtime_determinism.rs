@@ -2,12 +2,31 @@
 //! parallel execution (`parallelism > 1`) is **bit-identical** to
 //! sequential execution — per-round metrics, selection accounting,
 //! accuracy curves, everything.
+//!
+//! The parallel thread counts under test default to `1, 2, 3, 8` (odd
+//! counts exercise ragged shard splits) and can be overridden with the
+//! `SG_THREADS` environment variable — a single count or a comma-separated
+//! list, e.g. `SG_THREADS=3` or `SG_THREADS=1,2,3,8`. CI's smoke job loops
+//! the suite over each count separately.
 
-use signguard::aggregators::{Aggregator, Mean, TrimmedMean};
+use signguard::aggregators::{Aggregator, Bulyan, GeoMed, Mean, MultiKrum, TrimmedMean};
 use signguard::attacks::SignFlip;
 use signguard::core::SignGuard;
 use signguard::fl::{tasks, FlConfig, RunResult, Simulator};
 use signguard::runtime::{Engine, GridRunner, RunPlan};
+
+/// Thread counts for the parallel side of every seq-vs-par comparison.
+fn par_thread_counts() -> Vec<usize> {
+    match std::env::var("SG_THREADS") {
+        Ok(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(|t| t.parse().unwrap_or_else(|_| panic!("SG_THREADS: bad thread count {t:?}")))
+            .collect(),
+        Err(_) => vec![1, 2, 3, 8],
+    }
+}
 
 fn quick_cfg(seed: u64) -> FlConfig {
     FlConfig {
@@ -44,7 +63,7 @@ fn parallel_simulator_matches_sequential_signguard() {
     // SignGuard exercises every sharded path: per-gradient norms, the
     // parallel sign-feature pass, and the chunked clipped aggregation.
     let seq = run_on(Engine::sequential(), Box::new(SignGuard::plain(3)), 11);
-    for threads in [2, 4] {
+    for threads in par_thread_counts() {
         let par = run_on(Engine::parallel(threads), Box::new(SignGuard::plain(3)), 11);
         assert_bit_identical(&seq, &par, &format!("SignGuard @ {threads} threads"));
     }
@@ -57,8 +76,77 @@ fn parallel_simulator_matches_sequential_mean_and_trmean() {
         [("Mean", || Box::new(Mean::new())), ("TrMean", || Box::new(TrimmedMean::new(2)))];
     for (name, gar) in rules {
         let seq = run_on(Engine::sequential(), gar(), 5);
-        let par = run_on(Engine::parallel(4), gar(), 5);
-        assert_bit_identical(&seq, &par, name);
+        for threads in par_thread_counts() {
+            let par = run_on(Engine::parallel(threads), gar(), 5);
+            assert_bit_identical(&seq, &par, &format!("{name} @ {threads} threads"));
+        }
+    }
+}
+
+#[test]
+fn parallel_simulator_matches_sequential_pairwise_family() {
+    // The O(n²·d) family: Krum/Multi-Krum and Bulyan shard the pairwise
+    // distance matrix, GeoMed the Weiszfeld inner loop. quick_cfg has
+    // n = 10 clients with f = 2 Byzantine.
+    type GarCtor = fn() -> Box<dyn Aggregator>;
+    let rules: [(&str, GarCtor); 4] = [
+        ("Krum", || Box::new(MultiKrum::krum(2))),
+        ("Multi-Krum", || Box::new(MultiKrum::new(2, 8))),
+        ("Bulyan", || Box::new(Bulyan::new(2))),
+        ("GeoMed", || Box::new(GeoMed::new().with_max_iter(10))),
+    ];
+    for (name, gar) in rules {
+        let seq = run_on(Engine::sequential(), gar(), 13);
+        for threads in par_thread_counts() {
+            let par = run_on(Engine::parallel(threads), gar(), 13);
+            assert_bit_identical(&seq, &par, &format!("{name} @ {threads} threads"));
+        }
+    }
+}
+
+/// Deterministic synthetic gradients spanning several executor chunks, with
+/// one gross outlier so selection rules have something to reject.
+fn wide_gradients(n: usize, dim: usize) -> Vec<Vec<f32>> {
+    let mut g: Vec<Vec<f32>> = (0..n)
+        .map(|i| (0..dim).map(|j| ((i * dim + j) as f32 * 0.377).cos() * (1.0 + (j % 9) as f32)).collect())
+        .collect();
+    for x in g[0].iter_mut() {
+        *x *= 1e3;
+    }
+    g
+}
+
+#[test]
+fn pairwise_family_aggregate_bits_match_sequential() {
+    // Aggregator-level (no simulator): the exact gradient vector and the
+    // selected set must match the sequential executor bit for bit at every
+    // thread count. dim spans multiple REDUCE_BLOCK chunks and n = 20
+    // clients give 190 pairs — several PAIR_CHUNK windows.
+    use sg_math::vecops::REDUCE_BLOCK;
+    let grads = wide_gradients(20, 2 * REDUCE_BLOCK + 33);
+    type GarCtor = fn() -> Box<dyn Aggregator>;
+    let rules: [(&str, GarCtor); 4] = [
+        ("Krum", || Box::new(MultiKrum::krum(3))),
+        ("Multi-Krum", || Box::new(MultiKrum::new(3, 15))),
+        ("Bulyan", || Box::new(Bulyan::new(3))),
+        ("GeoMed", || Box::new(GeoMed::new().with_max_iter(15))),
+    ];
+    for (name, ctor) in rules {
+        let seq_out = ctor().aggregate(&grads);
+        for threads in par_thread_counts() {
+            let mut gar = ctor();
+            gar.set_executor(Engine::parallel(threads).executor());
+            let par_out = gar.aggregate(&grads);
+            assert_eq!(par_out.selected, seq_out.selected, "{name} @ {threads} threads: selection diverges");
+            assert_eq!(par_out.gradient.len(), seq_out.gradient.len());
+            for (j, (a, b)) in seq_out.gradient.iter().zip(&par_out.gradient).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{name} @ {threads} threads: coordinate {j} diverges ({a} vs {b})"
+                );
+            }
+        }
     }
 }
 
