@@ -17,7 +17,20 @@
 //! rule — sequential vs. an `SG_BENCH_THREADS`-wide pool (default 4) at
 //! 128 clients — and writes the wall times to `target/BENCH_pr.json`. With
 //! `SG_BENCH_GATE=1` (CI's bench-gate job) the process exits non-zero if
-//! any rule is slower parallel than sequential.
+//! any rule is slower parallel than sequential, **or** if a rule's
+//! parallel speedup regressed below `SG_BENCH_REGRESSION` (default 0.5)
+//! times the speedup recorded in the committed `BENCH_base.json`
+//! baseline (override the path with `SG_BENCH_BASELINE`). Speedup ratios
+//! — not absolute times — are compared, so the gate tolerates host-class
+//! differences while still catching structural regressions.
+//!
+//! `SG_BENCH_GATE_ONLY=1` skips the Criterion groups and runs just the
+//! gate — used to (re)generate the baseline:
+//!
+//! ```sh
+//! SG_BENCH_GATE_ONLY=1 cargo bench --bench runtime
+//! cp target/BENCH_pr.json BENCH_base.json
+//! ```
 
 use std::time::Instant;
 
@@ -187,8 +200,12 @@ fn perf_gate() {
             )
         })
         .collect();
+    // host_cores lets a baseline self-describe the machine class it was
+    // recorded on (the speedup-ratio diff tolerates the difference).
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"threads\": {threads},\n  \"clients\": {clients},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"threads\": {threads},\n  \"clients\": {clients},\n  \"host_cores\": {host_cores},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n")
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/BENCH_pr.json");
@@ -214,12 +231,81 @@ fn perf_gate() {
             eprintln!("perf gate FAIL: parallel slower than sequential for {losers:?} at {threads} threads");
             std::process::exit(1);
         }
+        baseline_gate(&rows);
+    }
+}
+
+// ---- BENCH_base.json regression diff -----------------------------------
+
+/// Parses rows out of a `BENCH_*.json` file written by [`perf_gate`] (our
+/// own fixed format — one `{"name": …, "seq_ms": …, "par_ms": …}` object
+/// per line; no external JSON crate in the offline container).
+fn parse_bench_rows(text: &str) -> Vec<(String, f64, f64)> {
+    let field = |line: &str, key: &str| -> Option<f64> {
+        let rest = &line[line.find(key)? + key.len()..];
+        let rest = rest.trim_start_matches([':', ' ']);
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        rest[..end].trim().parse().ok()
+    };
+    text.lines()
+        .filter(|l| l.contains("\"name\""))
+        .filter_map(|l| {
+            let after = &l[l.find("\"name\"")? + 6..];
+            let start = after.find('"')? + 1;
+            let name = after[start..].split('"').next()?.to_string();
+            Some((name, field(l, "\"seq_ms\"")?, field(l, "\"par_ms\"")?))
+        })
+        .collect()
+}
+
+/// Diffs this run's speedups against the committed baseline and fails the
+/// process if any rule regressed below `SG_BENCH_REGRESSION` (default
+/// 0.5) of its baseline speedup.
+fn baseline_gate(rows: &[(&str, usize, f64, f64)]) {
+    let path = std::env::var("SG_BENCH_BASELINE").map_or_else(
+        |_| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_base.json"),
+        std::path::PathBuf::from,
+    );
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        println!("baseline diff SKIP: no baseline at {}", path.display());
+        return;
+    };
+    let frac: f64 = std::env::var("SG_BENCH_REGRESSION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|f| (0.0..=1.0).contains(f))
+        .unwrap_or(0.5);
+    let baseline = parse_bench_rows(&text);
+    println!("baseline diff vs {} (min allowed speedup ratio {frac})", path.display());
+    let mut regressed = Vec::new();
+    for &(name, _, seq_s, par_s) in rows {
+        let Some((_, base_seq, base_par)) = baseline.iter().find(|(n, ..)| n == name) else {
+            println!("  {name:<8} not in baseline — skipped");
+            continue;
+        };
+        let base_speedup = base_seq / base_par;
+        let pr_speedup = seq_s / par_s;
+        let ratio = pr_speedup / base_speedup;
+        println!("  {name:<8} base {base_speedup:>5.2}x  pr {pr_speedup:>5.2}x  ratio {ratio:>5.2}");
+        if ratio < frac {
+            regressed.push(name);
+        }
+    }
+    if regressed.is_empty() {
+        println!("baseline diff PASS: no rule regressed below {frac} of its baseline speedup");
+    } else {
+        eprintln!("baseline diff FAIL: speedup regression for {regressed:?}");
+        std::process::exit(1);
     }
 }
 
 criterion_group!(benches, bench_round_throughput, bench_grid_fanout, bench_pairwise_family);
 
 fn main() {
-    benches();
+    // SG_BENCH_GATE_ONLY=1 skips the Criterion groups: used to regenerate
+    // the committed BENCH_base.json baseline quickly.
+    if std::env::var("SG_BENCH_GATE_ONLY").as_deref() != Ok("1") {
+        benches();
+    }
     perf_gate();
 }

@@ -8,7 +8,7 @@ use crate::{validate_gradients, AggregationOutput, Aggregator};
 ///
 /// `v ← v + mean_i clip(g_i − v, τ)` repeated `iters` times, with `v`
 /// carried across rounds. Cited in the paper's related work as the
-/// momentum/history line of defenses ([31], [32]); included here as an
+/// momentum/history line of defenses (\[31\], \[32\]); included here as an
 /// extension baseline.
 #[derive(Debug, Clone)]
 pub struct CenteredClip {

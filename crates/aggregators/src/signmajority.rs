@@ -4,7 +4,7 @@ use crate::{validate_gradients, AggregationOutput, Aggregator};
 
 /// Element-wise sign majority vote, scaled by a configurable magnitude.
 ///
-/// One of the sign-based related works the paper cites ([22], [26]): the
+/// One of the sign-based related works the paper cites (\[22\], \[26\]): the
 /// server aggregates only the sign of each coordinate. Majority voting is
 /// inherently fault-tolerant below 50% Byzantine, at the cost of a
 /// magnitude-free update (here scaled by `scale`, default the mean of the

@@ -107,7 +107,7 @@ impl Attack for SignFlip {
     }
 }
 
-/// Reverse attack with scaling (DETOX [34], used in the paper's Table III
+/// Reverse attack with scaling (DETOX \[34\], used in the paper's Table III
 /// ablation): `g_m = -r · g_b` with `r` chosen against the defense's norm
 /// bound (or a large value like 100 when no norm defense is present).
 #[derive(Debug, Clone, Copy)]

@@ -12,125 +12,14 @@
 //!
 //! ```sh
 //! cargo run --release -p sg-bench --bin exp_ablation -- [--epochs N] [--task fashion]
+//!                                                        [--jobs N] [--smoke]
 //! ```
-
-use sg_attacks::{AdaptiveSignMimicry, Attack, Lie, SignFlip};
-use sg_bench::{arg_value, build_task, write_csv};
-use sg_core::{ClusteringBackend, SignGuard, SignGuardBuilder, SimilarityFeature};
-use sg_data::Dataset;
-use sg_fl::{FlConfig, Simulator, ValidatingServer, ValidationRule};
-use sg_math::seeded_rng;
-
-fn attack_by(name: &str) -> Option<Box<dyn Attack>> {
-    match name {
-        "None" => None,
-        "Sign-flip" => Some(Box::new(SignFlip::new())),
-        "LIE" => Some(Box::new(Lie::new())),
-        "Adaptive" => Some(Box::new(AdaptiveSignMimicry::new())),
-        other => panic!("unknown attack {other}"),
-    }
-}
+//!
+//! Every (configuration, attack) pair is one [`sg_runtime::RunPlan`] cell
+//! run concurrently by [`sg_runtime::GridRunner`]; output is reproducible
+//! at any `--jobs` value and the CSV lands in
+//! `target/experiments/ablation.csv`.
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let epochs: usize = arg_value(&args, "--epochs").map_or(8, |v| v.parse().expect("--epochs N"));
-    let task_name = arg_value(&args, "--task").unwrap_or_else(|| "fashion".into());
-    let cfg = FlConfig { epochs, learning_rate: 0.05, ..FlConfig::default() };
-    let attacks = ["None", "Sign-flip", "LIE", "Adaptive"];
-
-    let mut csv = vec![vec!["section".to_string(), "config".into(), "attack".into(), "best_accuracy".into()]];
-
-    // 1. Coordinate-sampling fraction sweep.
-    println!("== coordinate-sampling fraction (plain SignGuard) ==");
-    println!(
-        "{:<12} {:>10} {:>10} {:>10} {:>10}",
-        "fraction", attacks[0], attacks[1], attacks[2], attacks[3]
-    );
-    for frac in [0.01f32, 0.1, 0.5, 1.0] {
-        print!("{frac:<12}");
-        for attack_name in attacks {
-            let gar = SignGuardBuilder::new().coord_fraction(frac).seed(0).build();
-            let mut sim =
-                Simulator::new(build_task(&task_name, 7), cfg.clone(), Box::new(gar), attack_by(attack_name));
-            let r = sim.run();
-            print!(" {:>9.2}%", 100.0 * r.best_accuracy);
-            csv.push(vec![
-                "coord_fraction".into(),
-                frac.to_string(),
-                attack_name.into(),
-                format!("{:.2}", 100.0 * r.best_accuracy),
-            ]);
-        }
-        println!();
-    }
-
-    // 2. Clustering back-end.
-    println!("\n== clustering back-end (SignGuard-Sim) ==");
-    println!("{:<12} {:>10} {:>10} {:>10} {:>10}", "backend", attacks[0], attacks[1], attacks[2], attacks[3]);
-    for (label, backend) in
-        [("MeanShift", ClusteringBackend::MeanShift), ("KMeans-2", ClusteringBackend::KMeans(2))]
-    {
-        print!("{label:<12}");
-        for attack_name in attacks {
-            let gar = SignGuardBuilder::new()
-                .similarity(SimilarityFeature::Cosine)
-                .clustering(backend)
-                .seed(0)
-                .build();
-            let mut sim =
-                Simulator::new(build_task(&task_name, 7), cfg.clone(), Box::new(gar), attack_by(attack_name));
-            let r = sim.run();
-            print!(" {:>9.2}%", 100.0 * r.best_accuracy);
-            csv.push(vec![
-                "backend".into(),
-                label.into(),
-                attack_name.into(),
-                format!("{:.2}", 100.0 * r.best_accuracy),
-            ]);
-        }
-        println!();
-    }
-
-    // 3. SignGuard variants + validation-based defenses under the same attacks.
-    println!("\n== defense family comparison (incl. validation-based) ==");
-    println!("{:<15} {:>10} {:>10} {:>10} {:>10}", "defense", attacks[0], attacks[1], attacks[2], attacks[3]);
-    let defense_names = ["SignGuard", "SignGuard-Sim", "FLTrust", "Zeno"];
-    for defense in defense_names {
-        print!("{defense:<15}");
-        for attack_name in attacks {
-            let task = build_task(&task_name, 7);
-            let gar: Box<dyn sg_aggregators::Aggregator> = match defense {
-                "SignGuard" => Box::new(SignGuard::plain(0)),
-                "SignGuard-Sim" => Box::new(SignGuard::sim(0)),
-                name => {
-                    // Validation defenses hold 100 root samples at the server
-                    // (split off the test set, as in the cited works).
-                    let mut rng = seeded_rng(0);
-                    let model = task.build_model(&mut rng);
-                    let root = Dataset::new(
-                        task.test.samples()[..100].to_vec(),
-                        task.test.item_shape().to_vec(),
-                        task.test.num_classes(),
-                    );
-                    let rule = if name == "FLTrust" {
-                        ValidationRule::FlTrust
-                    } else {
-                        ValidationRule::Zeno { b: cfg.byzantine_count(), rho: 1e-4, gamma: cfg.learning_rate }
-                    };
-                    Box::new(ValidatingServer::new(rule, model, root, 32, 5))
-                }
-            };
-            let mut sim = Simulator::new(task, cfg.clone(), gar, attack_by(attack_name));
-            let r = sim.run();
-            print!(" {:>9.2}%", 100.0 * r.best_accuracy);
-            csv.push(vec![
-                "family".into(),
-                defense.into(),
-                attack_name.into(),
-                format!("{:.2}", 100.0 * r.best_accuracy),
-            ]);
-        }
-        println!();
-    }
-    write_csv("ablation_extra", &csv);
+    sg_bench::sweep::run_standalone("ablation");
 }

@@ -1,0 +1,80 @@
+//! **exp_all**: the entire paper grid — Tables I–III, Figs. 2/4/5/6 and
+//! the extended ablations — as **one** resource-shared, two-level-parallel
+//! sweep, emitting a consolidated JSON report.
+//!
+//! ```sh
+//! cargo run --release -p sg-bench --bin exp_all -- [--smoke] [--jobs N] [--epochs N]
+//!                                                   [--seed N] [--task NAME|both|all]
+//!                                                   [--only table1,fig4,...] [--out PATH]
+//! ```
+//!
+//! * `--smoke` shrinks every section to a CI-sized grid (MLP task, one
+//!   epoch, trimmed matrices) while still exercising each experiment.
+//! * `--jobs N` bounds the grid fan-out (default all cores); cells also
+//!   shard their inner work on the grid's engine, so the thread budget is
+//!   shared by both levels.
+//! * `--only` restricts the sweep to a comma-separated subset of
+//!   experiments (`table1 table2 table3 fig2 fig4 fig5 fig6 ablation`).
+//!
+//! All cells of one task share a single generated dataset through the
+//! sweep's task cache, and the report (default
+//! `target/experiments/ALL.json`) is **byte-identical at any `--jobs`
+//! value** — CI's `grid-smoke` job runs the sweep at `--jobs 4` and
+//! `--jobs 1` and `cmp`s the two files.
+
+use sg_bench::sweep::{self, Rows, Section, SweepOpts, ALL_EXPERIMENTS};
+use sg_bench::{experiments_dir, ExpArgs};
+use sg_runtime::{GridRunner, RunPlan};
+
+fn main() {
+    let a = ExpArgs::parse();
+    let o = SweepOpts::from_args(&a);
+    let selected: Vec<String> = match a.value("--only") {
+        Some(list) => list.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect(),
+        None => ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect(),
+    };
+
+    let mut plan: RunPlan<Rows> = RunPlan::new(o.seed);
+    let sections: Vec<Section> = selected.iter().map(|exp| sweep::plan_section(exp, &mut plan, &o)).collect();
+    let runner = GridRunner::new(a.jobs());
+    eprintln!(
+        "[exp_all] {} experiments, {} cells, {} grid workers{}",
+        sections.len(),
+        plan.len(),
+        runner.parallelism(),
+        if o.smoke { " (smoke)" } else { "" }
+    );
+
+    let report = runner.run(plan);
+
+    // Slice the plan-ordered report back into sections and post-process
+    // (Fig. 4 gains its attack_impact column from the baseline cell).
+    let mut cells = report.cells.into_iter();
+    let mut results: Vec<(Section, Rows)> = Vec::with_capacity(sections.len());
+    for mut s in sections {
+        let rows: Rows =
+            (0..s.cells).flat_map(|_| cells.next().expect("report covers the plan").output).collect();
+        let (header, rows) = sweep::finish(s.exp, s.header, rows);
+        s.header = header;
+        results.push((s, rows));
+    }
+
+    println!("== exp_all — consolidated sweep ==");
+    for (s, rows) in &results {
+        println!("{:<10} {:>5} cells  {:>6} rows   {}", s.exp, s.cells, rows.len(), s.title);
+    }
+    println!(
+        "datasets: {} generated, {} cache hits, {} misses",
+        o.cache.len(),
+        o.cache.hits(),
+        o.cache.misses()
+    );
+
+    let json = sweep::consolidated_json(&o, &results);
+    let path = a.out().unwrap_or_else(|| experiments_dir().join("ALL.json"));
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).expect("create report dir");
+    }
+    std::fs::write(&path, json).expect("write consolidated report");
+    println!("[report] {}", path.display());
+}

@@ -7,136 +7,13 @@
 //! whole SignGuard filter is built on.
 //!
 //! ```sh
-//! cargo run --release -p sg-bench --bin exp_fig2 -- [--epochs N] [--jobs N]
+//! cargo run --release -p sg-bench --bin exp_fig2 -- [--epochs N] [--jobs N] [--smoke]
 //! ```
 //!
-//! The two model traces are independent scenarios, so they run as two
-//! cells of a [`sg_runtime::RunPlan`] on [`sg_runtime::GridRunner`] —
-//! concurrently under `--jobs 2`, byte-identical output either way.
-
-use sg_attacks::Lie;
-use sg_bench::{arg_value, build_task, write_csv};
-use sg_fl::{Client, FlConfig};
-use sg_math::vecops::sign_counts;
-use sg_math::SeedStream;
-use sg_runtime::{GridRunner, RunPlan};
-
-fn stats(v: &[f32]) -> (f32, f32, f32) {
-    let (p, z, n) = sign_counts(v);
-    let t = (p + z + n) as f32;
-    (p as f32 / t, z as f32 / t, n as f32 / t)
-}
-
-/// One model's full trace: printed lines plus CSV rows.
-struct Trace {
-    header: String,
-    lines: Vec<String>,
-    csv_rows: Vec<Vec<String>>,
-}
-
-fn trace_task(task_name: &str, cfg: &FlConfig) -> Trace {
-    let task = build_task(task_name, 7);
-    let mut lines = Vec::new();
-    let mut csv_rows = Vec::new();
-
-    let mut seeds = SeedStream::new(cfg.seed);
-    let mut model_rng = seeds.next_rng();
-    let global_model = task.build_model(&mut model_rng);
-    let mut params = global_model.param_vector();
-    let mut part_rng = seeds.next_rng();
-    let parts = sg_data::partition_iid(task.train.len(), cfg.num_clients, &mut part_rng);
-    let mut clients: Vec<Client> = parts
-        .into_iter()
-        .enumerate()
-        .map(|(id, idx)| {
-            let mut r = seeds.next_rng();
-            let replica = task.build_model(&mut r);
-            Client::new(id, replica, idx, cfg.momentum, cfg.weight_decay, seeds.next_rng())
-        })
-        .collect();
-
-    let total = cfg.total_rounds(task.train.len());
-    let lie = Lie::new();
-    let m = cfg.byzantine_count();
-    for round in 0..total {
-        let grads: Vec<Vec<f32>> =
-            clients.iter_mut().map(|c| c.local_gradient(&params, &task.train, cfg.batch_size)).collect();
-        let dim = grads[0].len();
-
-        // Average honest sign statistics across clients.
-        let mut hon = (0.0f32, 0.0f32, 0.0f32);
-        for g in &grads {
-            let s = stats(g);
-            hon = (hon.0 + s.0, hon.1 + s.1, hon.2 + s.2);
-        }
-        let inv = 1.0 / grads.len() as f32;
-        hon = (hon.0 * inv, hon.1 * inv, hon.2 * inv);
-
-        // Virtual LIE gradient crafted from the same population (Eq. 1).
-        let virt = lie.craft_single(&grads, cfg.num_clients, m);
-        let mal = stats(&virt);
-
-        if round % 5 == 0 || round + 1 == total {
-            lines.push(format!(
-                "{:>6} | {:>7.3} {:>7.3} {:>7.3} | {:>7.3} {:>7.3} {:>7.3}",
-                round, hon.0, hon.1, hon.2, mal.0, mal.1, mal.2
-            ));
-        }
-        csv_rows.push(vec![
-            task_name.to_string(),
-            round.to_string(),
-            format!("{:.4}", hon.0),
-            format!("{:.4}", hon.1),
-            format!("{:.4}", hon.2),
-            format!("{:.4}", mal.0),
-            format!("{:.4}", mal.1),
-            format!("{:.4}", mal.2),
-        ]);
-
-        // Honest (mean-aggregated) training step keeps the trajectory
-        // identical to the paper's no-attack setting.
-        let mean = sg_math::vecops::mean_vector(&grads, dim);
-        for (p, g) in params.iter_mut().zip(&mean) {
-            *p -= cfg.learning_rate * g;
-        }
-    }
-    Trace { header: format!("== {} ==", task.name), lines, csv_rows }
-}
+//! The model traces are independent scenarios, so each runs as one cell of
+//! a [`sg_runtime::RunPlan`] on [`sg_runtime::GridRunner`] — concurrently
+//! under `--jobs`, byte-identical output either way.
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let epochs: usize = arg_value(&args, "--epochs").map_or(10, |v| v.parse().expect("--epochs N"));
-    let jobs: usize = arg_value(&args, "--jobs").map_or(0, |v| v.parse().expect("--jobs N"));
-    let cfg = FlConfig { epochs, learning_rate: 0.05, ..FlConfig::default() };
-
-    let mut plan: RunPlan<Trace> = RunPlan::new(cfg.seed);
-    for task_name in ["mnist", "cifar"] {
-        let cfg = cfg.clone();
-        plan.cell(task_name, move |_ctx| trace_task(task_name, &cfg));
-    }
-    let report = GridRunner::new(jobs).run(plan);
-
-    let mut csv = vec![vec![
-        "model".to_string(),
-        "round".into(),
-        "honest_pos".into(),
-        "honest_zero".into(),
-        "honest_neg".into(),
-        "lie_pos".into(),
-        "lie_zero".into(),
-        "lie_neg".into(),
-    ]];
-    for cell in &report.cells {
-        println!("{}", cell.output.header);
-        println!(
-            "{:>6} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
-            "round", "hon+", "hon0", "hon-", "lie+", "lie0", "lie-"
-        );
-        for line in &cell.output.lines {
-            println!("{line}");
-        }
-        println!();
-        csv.extend(cell.output.csv_rows.iter().cloned());
-    }
-    write_csv("fig2", &csv);
+    sg_bench::sweep::run_standalone("fig2");
 }

@@ -1,94 +1,20 @@
 //! **Fig. 4**: attack impact (accuracy drop vs. the no-attack/no-defense
 //! baseline) as the Byzantine fraction sweeps 0–40%, for five defenses
-//! under the five strongest attacks.
+//! under the strongest attacks.
 //!
 //! ```sh
 //! cargo run --release -p sg-bench --bin exp_fig4 -- [--task fashion|cifar|both]
-//!                                                    [--epochs N] [--full]
+//!                                                    [--epochs N] [--full] [--jobs N] [--smoke]
 //! ```
 //!
 //! `--full` runs all five attacks of the paper's figure; the default keeps
-//! the three headline ones to stay fast.
-
-use sg_bench::{arg_present, arg_value, build_attack, build_defense, build_task, write_csv};
-use sg_fl::{FlConfig, Simulator};
+//! the three headline ones to stay fast. Every (defense, attack, fraction)
+//! point — and the per-task baseline itself — is one
+//! [`sg_runtime::RunPlan`] cell run concurrently by
+//! [`sg_runtime::GridRunner`]; the `attack_impact` column is appended from
+//! the baseline cell after the sweep. Output is reproducible at any
+//! `--jobs` value.
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let epochs: usize = arg_value(&args, "--epochs").map_or(8, |v| v.parse().expect("--epochs N"));
-    let task_arg = arg_value(&args, "--task").unwrap_or_else(|| "fashion".into());
-    let tasks: Vec<&str> = match task_arg.as_str() {
-        "both" => vec!["fashion", "cifar"],
-        "fashion" => vec!["fashion"],
-        "cifar" => vec!["cifar"],
-        other => panic!("unknown task {other}"),
-    };
-    let attacks: Vec<&str> = if arg_present(&args, "--full") {
-        vec!["ByzMean", "Sign-flip", "LIE", "Min-Max", "Min-Sum"]
-    } else {
-        vec!["ByzMean", "Sign-flip", "LIE"]
-    };
-    let defenses = ["Median", "TrMean", "Multi-Krum", "DnC", "SignGuard-Sim"];
-    let fractions = [0.0f32, 0.1, 0.2, 0.3, 0.4];
-
-    let mut csv = vec![vec![
-        "task".to_string(),
-        "defense".into(),
-        "attack".into(),
-        "byz_fraction".into(),
-        "best_accuracy".into(),
-        "attack_impact".into(),
-    ]];
-
-    for task_name in &tasks {
-        // No-attack / no-defense baseline (Definition 3 reference point).
-        let base_cfg =
-            FlConfig { epochs, learning_rate: 0.05, byzantine_fraction: 0.0, ..FlConfig::default() };
-        let mut baseline_sim =
-            Simulator::new(build_task(task_name, 7), base_cfg, build_defense("Mean", 50, 0), None);
-        let baseline = baseline_sim.run().best_accuracy;
-        println!(
-            "== {} == baseline (Mean, no attack): {:.2}%\n",
-            build_task(task_name, 7).name,
-            100.0 * baseline
-        );
-
-        for defense in defenses {
-            println!("-- defense: {defense}");
-            print!("{:<11}", "attack");
-            for f in fractions {
-                print!("{:>9}", format!("{}%", (f * 100.0) as usize));
-            }
-            println!("   (attack impact, percentage points)");
-            for attack_name in &attacks {
-                print!("{attack_name:<11}");
-                for frac in fractions {
-                    let cfg = FlConfig {
-                        epochs,
-                        learning_rate: 0.05,
-                        byzantine_fraction: frac,
-                        ..FlConfig::default()
-                    };
-                    let m = cfg.byzantine_count();
-                    let attack = if frac == 0.0 { None } else { build_attack(attack_name) };
-                    let mut sim =
-                        Simulator::new(build_task(task_name, 7), cfg, build_defense(defense, 50, m), attack);
-                    let r = sim.run();
-                    let impact = r.attack_impact(baseline);
-                    print!("{:>9.2}", 100.0 * impact);
-                    csv.push(vec![
-                        task_name.to_string(),
-                        defense.to_string(),
-                        attack_name.to_string(),
-                        format!("{frac:.1}"),
-                        format!("{:.2}", 100.0 * r.best_accuracy),
-                        format!("{:.2}", 100.0 * impact),
-                    ]);
-                }
-                println!();
-            }
-            println!();
-        }
-    }
-    write_csv("fig4", &csv);
+    sg_bench::sweep::run_standalone("fig4");
 }

@@ -3,99 +3,16 @@
 //! for the state-of-the-art defenses against a no-attack baseline.
 //!
 //! ```sh
-//! cargo run --release -p sg-bench --bin exp_fig5 -- [--task fashion|cifar|both] [--epochs N] [--jobs N]
+//! cargo run --release -p sg-bench --bin exp_fig5 -- [--task fashion|cifar|both] [--epochs N]
+//!                                                    [--jobs N] [--smoke]
 //! ```
 //!
 //! Every (task, defense) curve — including the no-attack baseline — is one
 //! [`sg_runtime::RunPlan`] cell executed concurrently by
 //! [`sg_runtime::GridRunner`] (`--jobs` bounds the fan-out; default all
-//! cores). Cells share the config seed and no RNG state, so the curves
-//! match a sequential run at any `--jobs` value.
-
-use sg_attacks::{Attack, ByzMean, Lie, MinMax, RandomAttack, SignFlip, TimeVarying};
-use sg_bench::{arg_value, build_defense, build_task, write_csv};
-use sg_fl::{FlConfig, Simulator};
-use sg_runtime::{GridRunner, RunPlan};
-
-fn attack_pool() -> Vec<Box<dyn Attack>> {
-    vec![
-        Box::new(RandomAttack::new()),
-        Box::new(SignFlip::new()),
-        Box::new(Lie::new()),
-        Box::new(ByzMean::new()),
-        Box::new(MinMax::new()),
-    ]
-}
+//! cores). Cells share the config seed, the task's cached dataset, and no
+//! RNG state, so the curves match a sequential run at any `--jobs` value.
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let epochs: usize = arg_value(&args, "--epochs").map_or(12, |v| v.parse().expect("--epochs N"));
-    let jobs: usize = arg_value(&args, "--jobs").map_or(0, |v| v.parse().expect("--jobs N"));
-    let task_arg = arg_value(&args, "--task").unwrap_or_else(|| "fashion".into());
-    let tasks: Vec<&str> = match task_arg.as_str() {
-        "both" => vec!["fashion", "cifar"],
-        "fashion" => vec!["fashion"],
-        "cifar" => vec!["cifar"],
-        other => panic!("unknown task {other}"),
-    };
-    let defenses = ["Multi-Krum", "Bulyan", "DnC", "SignGuard"];
-
-    let cfg = FlConfig { epochs, learning_rate: 0.05, ..FlConfig::default() };
-    let (n, m) = (cfg.num_clients, cfg.byzantine_count());
-
-    // One cell per curve, declared task-major (baseline first, then the
-    // defenses) so the report reads back in presentation order.
-    let mut plan: RunPlan<Vec<(usize, f32)>> = RunPlan::new(cfg.seed);
-    for task_name in &tasks {
-        let task_name = task_name.to_string();
-        {
-            let task_name = task_name.clone();
-            let cfg = cfg.clone();
-            plan.cell(format!("{task_name}/Baseline"), move |_ctx| {
-                // Baseline: no attack, no defense.
-                let base_cfg = FlConfig { byzantine_fraction: 0.0, ..cfg };
-                let mut sim =
-                    Simulator::new(build_task(&task_name, 7), base_cfg, build_defense("Mean", n, 0), None);
-                sim.run().accuracy_curve
-            });
-        }
-        for defense in defenses {
-            let task_name = task_name.clone();
-            let cfg = cfg.clone();
-            plan.cell(format!("{task_name}/{defense}"), move |_ctx| {
-                let task = build_task(&task_name, 7);
-                let rpe = cfg.rounds_per_epoch(task.train.len());
-                let attack = TimeVarying::new(attack_pool(), true, rpe, 99);
-                let mut sim = Simulator::new(task, cfg, build_defense(defense, n, m), Some(Box::new(attack)));
-                sim.run().accuracy_curve
-            });
-        }
-    }
-    let runner = GridRunner::new(jobs);
-    let report = runner.run(plan);
-
-    let mut csv = vec![vec!["task".to_string(), "defense".into(), "epoch".into(), "accuracy".into()]];
-    let mut cells_iter = report.cells.iter();
-    for task_name in &tasks {
-        println!(
-            "== {} — per-epoch accuracy under the time-varying attack ({} grid workers) ==\n",
-            build_task(task_name, 7).name,
-            runner.parallelism()
-        );
-        for label in std::iter::once("Baseline").chain(defenses) {
-            let curve = &cells_iter.next().expect("report covers every curve").output;
-            print_curve(label, curve);
-            for (e, (_, acc)) in curve.iter().enumerate() {
-                csv.push(vec![task_name.to_string(), label.to_string(), e.to_string(), format!("{acc:.4}")]);
-            }
-        }
-        println!();
-    }
-    write_csv("fig5", &csv);
-}
-
-fn print_curve(name: &str, curve: &[(usize, f32)]) {
-    let cells: Vec<String> = curve.iter().map(|(_, a)| format!("{:>4.0}", 100.0 * a)).collect();
-    let best = curve.iter().map(|(_, a)| *a).fold(0.0f32, f32::max);
-    println!("{:<12} [{}]  best {:>5.1}%", name, cells.join(""), 100.0 * best);
+    sg_bench::sweep::run_standalone("fig5");
 }

@@ -2,64 +2,15 @@
 //! `s ∈ {0.3, 0.5, 0.8}` for the strongest attacks and defenses.
 //!
 //! ```sh
-//! cargo run --release -p sg-bench --bin exp_fig6 -- [--task fashion|cifar|both] [--epochs N]
+//! cargo run --release -p sg-bench --bin exp_fig6 -- [--task fashion|cifar|both]
+//!                                                    [--epochs N] [--jobs N] [--smoke]
 //! ```
-
-use sg_bench::{arg_value, build_attack, build_defense, build_task, write_csv};
-use sg_fl::{FlConfig, Partitioning, Simulator};
+//!
+//! Every (task, attack, defense, skew) combination is one
+//! [`sg_runtime::RunPlan`] cell run concurrently by
+//! [`sg_runtime::GridRunner`], sharing datasets through the sweep's task
+//! cache. Output is reproducible at any `--jobs` value.
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let epochs: usize = arg_value(&args, "--epochs").map_or(10, |v| v.parse().expect("--epochs N"));
-    let task_arg = arg_value(&args, "--task").unwrap_or_else(|| "fashion".into());
-    let tasks: Vec<&str> = match task_arg.as_str() {
-        "both" => vec!["fashion", "cifar"],
-        "fashion" => vec!["fashion"],
-        "cifar" => vec!["cifar"],
-        other => panic!("unknown task {other}"),
-    };
-    let attacks = ["Sign-flip", "LIE", "ByzMean"];
-    let defenses = ["TrMean", "Multi-Krum", "Bulyan", "DnC", "SignGuard-Sim"];
-    let skews = [0.3f32, 0.5, 0.8];
-
-    let mut csv =
-        vec![vec!["task".to_string(), "attack".into(), "defense".into(), "s".into(), "best_accuracy".into()]];
-
-    for task_name in &tasks {
-        println!("== {} — non-IID accuracy (best %) ==", build_task(task_name, 7).name);
-        for attack_name in attacks {
-            println!("\n-- attack: {attack_name}");
-            println!("{:<15} {:>8} {:>8} {:>8}", "defense", "s=0.3", "s=0.5", "s=0.8");
-            for defense in defenses {
-                print!("{defense:<15}");
-                for s in skews {
-                    let cfg = FlConfig {
-                        epochs,
-                        learning_rate: 0.05,
-                        partitioning: Partitioning::NonIid { s },
-                        ..FlConfig::default()
-                    };
-                    let (n, m) = (cfg.num_clients, cfg.byzantine_count());
-                    let mut sim = Simulator::new(
-                        build_task(task_name, 7),
-                        cfg,
-                        build_defense(defense, n, m),
-                        build_attack(attack_name),
-                    );
-                    let r = sim.run();
-                    print!(" {:>7.2}%", 100.0 * r.best_accuracy);
-                    csv.push(vec![
-                        task_name.to_string(),
-                        attack_name.to_string(),
-                        defense.to_string(),
-                        format!("{s:.1}"),
-                        format!("{:.2}", 100.0 * r.best_accuracy),
-                    ]);
-                }
-                println!();
-            }
-        }
-        println!();
-    }
-    write_csv("fig6", &csv);
+    sg_bench::sweep::run_standalone("fig6");
 }

@@ -2,121 +2,19 @@
 //!
 //! ```sh
 //! cargo run --release -p sg-bench --bin exp_table1 -- [--task mnist|fashion|cifar|agnews|all]
-//!                                                      [--epochs N] [--quick] [--jobs N]
+//!                                                      [--epochs N] [--quick] [--jobs N] [--smoke]
 //! ```
 //!
 //! `--quick` restricts to the Fashion-like task and the state-of-the-art
-//! attacks so the table regenerates in a couple of minutes. `--jobs N`
-//! bounds the scenario-grid parallelism (default: all cores).
-//!
-//! Every (task, defense, attack) cell is one [`sg_runtime::RunPlan`] cell
-//! executed by [`sg_runtime::GridRunner`]; cells run concurrently but all
-//! share the config seed (defenses must be compared on the same model
-//! init / partition / batch trajectory), so the table is reproducible at
-//! any `--jobs` value and matches a sequential run.
-
-use sg_bench::{
-    arg_present, arg_value, build_attack, build_defense, build_task, write_csv, TABLE1_ATTACKS,
-    TABLE1_DEFENSES,
-};
-use sg_fl::{FlConfig, Simulator};
-use sg_runtime::{GridRunner, RunPlan};
+//! attacks so the table regenerates in minutes. Every (task, defense,
+//! attack) cell is one [`sg_runtime::RunPlan`] cell executed by
+//! [`sg_runtime::GridRunner`] (`--jobs` bounds the fan-out; default all
+//! cores): cells share each task's generated dataset through the sweep's
+//! task cache, shard their inner work on the grid's two-level engine, and
+//! all share the config seed — defenses must be compared on the same
+//! model init / partition / batch trajectory — so the table is
+//! reproducible at any `--jobs` value and matches a sequential run.
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = arg_present(&args, "--quick");
-    let epochs: usize = arg_value(&args, "--epochs").map_or(12, |v| v.parse().expect("--epochs N"));
-    let jobs: usize = arg_value(&args, "--jobs").map_or(0, |v| v.parse().expect("--jobs N"));
-    let task_arg =
-        arg_value(&args, "--task").unwrap_or_else(|| if quick { "fashion".into() } else { "all".into() });
-
-    let task_names: Vec<&str> = match task_arg.as_str() {
-        "all" => vec!["mnist", "fashion", "cifar", "agnews"],
-        one => vec![match one {
-            "mnist" => "mnist",
-            "fashion" => "fashion",
-            "cifar" => "cifar",
-            "agnews" => "agnews",
-            other => panic!("unknown task {other}"),
-        }],
-    };
-    let attacks: Vec<&str> = if quick {
-        vec!["No Attack", "ByzMean", "Sign-flip", "LIE", "Min-Max", "Min-Sum"]
-    } else {
-        TABLE1_ATTACKS.to_vec()
-    };
-
-    let cfg = FlConfig { epochs, learning_rate: 0.05, ..FlConfig::default() };
-    let (n, m) = (cfg.num_clients, cfg.byzantine_count());
-    let total_cells = task_names.len() * TABLE1_DEFENSES.len() * attacks.len();
-    let runner = GridRunner::new(jobs);
-    println!(
-        "Table I reproduction — {n} clients, {m} Byzantine, {epochs} epochs, IID, {} grid workers\n",
-        runner.parallelism()
-    );
-
-    // One grid cell per (task, defense, attack); cells are declared in
-    // row-major table order so the report reads back directly into rows.
-    // Every cell keeps the shared cfg.seed (not its per-cell schedule
-    // seed): Table I compares defenses on the *same* model init, data
-    // partition and client-batch trajectory, and cells share no RNG
-    // state, so the shared seed is both comparable and parallel-safe.
-    let mut plan: RunPlan<f32> = RunPlan::new(cfg.seed);
-    for task_name in &task_names {
-        for defense in TABLE1_DEFENSES {
-            for attack_name in &attacks {
-                let (task_name, defense, attack_name) =
-                    (task_name.to_string(), defense.to_string(), attack_name.to_string());
-                let cfg = cfg.clone();
-                plan.cell(format!("{task_name}/{defense}/{attack_name}"), move |ctx| {
-                    let task = build_task(&task_name, 7);
-                    let gar = build_defense(&defense, n, m);
-                    let attack = build_attack(&attack_name);
-                    let mut sim = Simulator::new(task, cfg, gar, attack);
-                    let acc = sim.run().best_accuracy;
-                    // Progress to stderr as cells finish (stdout carries
-                    // the table, printed in order at the end).
-                    eprintln!(
-                        "[grid {}/{}] {} -> {:.2}%",
-                        ctx.index + 1,
-                        total_cells,
-                        ctx.label,
-                        100.0 * acc
-                    );
-                    acc
-                });
-            }
-        }
-    }
-    let report = runner.run(plan);
-
-    let mut csv = vec![{
-        let mut h = vec!["task".to_string(), "defense".to_string()];
-        h.extend(attacks.iter().map(|a| a.to_string()));
-        h
-    }];
-
-    let mut cells = report.cells.iter();
-    for task_name in &task_names {
-        println!("== {} ==", build_task(task_name, 7).name);
-        print!("{:<15}", "GAR");
-        for a in &attacks {
-            print!("{a:>11}");
-        }
-        println!();
-        for defense in TABLE1_DEFENSES {
-            print!("{defense:<15}");
-            let mut row = vec![task_name.to_string(), defense.to_string()];
-            for _ in &attacks {
-                let cell = cells.next().expect("report covers the full grid");
-                let acc = cell.output;
-                print!("{:>10.2}%", 100.0 * acc);
-                row.push(format!("{:.2}", 100.0 * acc));
-            }
-            println!();
-            csv.push(row);
-        }
-        println!();
-    }
-    write_csv("table1", &csv);
+    sg_bench::sweep::run_standalone("table1");
 }

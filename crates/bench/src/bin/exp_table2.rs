@@ -2,96 +2,16 @@
 //! gradients for the three SignGuard variants on the residual-network task.
 //!
 //! ```sh
-//! cargo run --release -p sg-bench --bin exp_table2 -- [--epochs N] [--task cifar] [--jobs N]
+//! cargo run --release -p sg-bench --bin exp_table2 -- [--epochs N] [--task cifar] [--jobs N] [--smoke]
 //! ```
 //!
-//! Every (attack, variant) cell is one [`sg_runtime::RunPlan`] cell
-//! executed concurrently by [`sg_runtime::GridRunner`] (`--jobs` bounds the
-//! fan-out; default all cores). Cells share the config seed — variants must
-//! be compared on the same model init / partition / batch trajectory — and
-//! share no RNG state, so the table matches a sequential run at any
-//! `--jobs` value.
-
-use sg_bench::{arg_value, build_attack, build_task, write_csv};
-use sg_core::SignGuard;
-use sg_fl::{FlConfig, Simulator};
-use sg_runtime::{GridRunner, RunPlan};
+//! Every (attack, variant) pair is one [`sg_runtime::RunPlan`] cell
+//! executed concurrently by [`sg_runtime::GridRunner`] (`--jobs` bounds
+//! the fan-out; default all cores). Cells share the config seed — variants
+//! must be compared on the same model init / partition / batch trajectory
+//! — and the task's dataset (via the sweep cache), and share no RNG
+//! state, so the table matches a sequential run at any `--jobs` value.
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let epochs: usize = arg_value(&args, "--epochs").map_or(8, |v| v.parse().expect("--epochs N"));
-    let jobs: usize = arg_value(&args, "--jobs").map_or(0, |v| v.parse().expect("--jobs N"));
-    let task_name = arg_value(&args, "--task").unwrap_or_else(|| "cifar".into());
-
-    let attacks = ["ByzMean", "Sign-flip", "LIE", "Min-Max", "Min-Sum"];
-    type VariantCtor = fn() -> SignGuard;
-    let variants: [(&str, VariantCtor); 3] = [
-        ("SignGuard", || SignGuard::plain(0)),
-        ("SignGuard-Sim", || SignGuard::sim(0)),
-        ("SignGuard-Dist", || SignGuard::dist(0)),
-    ];
-
-    let cfg = FlConfig { epochs, learning_rate: 0.05, ..FlConfig::default() };
-    let runner = GridRunner::new(jobs);
-    println!(
-        "Table II reproduction — selection rates on {} ({} clients, {} Byzantine, {} grid workers)\n",
-        build_task(&task_name, 7).name,
-        cfg.num_clients,
-        cfg.byzantine_count(),
-        runner.parallelism()
-    );
-
-    // One cell per (attack, variant), declared in row-major table order so
-    // the report reads back directly into rows.
-    let mut plan: RunPlan<(f32, f32)> = RunPlan::new(cfg.seed);
-    for attack_name in attacks {
-        for (variant_name, make) in &variants {
-            let make = *make;
-            let cfg = cfg.clone();
-            let task_name = task_name.clone();
-            plan.cell(format!("{attack_name}/{variant_name}"), move |_ctx| {
-                let task = build_task(&task_name, 7);
-                let attack = build_attack(attack_name);
-                let mut sim = Simulator::new(task, cfg, Box::new(make()), attack);
-                let r = sim.run();
-                (r.selection.honest_rate(), r.selection.malicious_rate())
-            });
-        }
-    }
-    let report = runner.run(plan);
-
-    println!(
-        "{:<11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "Attack", "SG H", "SG M", "Sim H", "Sim M", "Dist H", "Dist M"
-    );
-
-    let mut csv = vec![vec![
-        "attack".to_string(),
-        "signguard_h".to_string(),
-        "signguard_m".to_string(),
-        "sim_h".to_string(),
-        "sim_m".to_string(),
-        "dist_h".to_string(),
-        "dist_m".to_string(),
-    ]];
-
-    let mut cells_iter = report.cells.iter();
-    for attack_name in attacks {
-        let cells: Vec<(f32, f32)> =
-            variants.iter().map(|_| cells_iter.next().expect("report covers the grid").output).collect();
-        println!(
-            "{:<11} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
-            attack_name, cells[0].0, cells[0].1, cells[1].0, cells[1].1, cells[2].0, cells[2].1
-        );
-        csv.push(vec![
-            attack_name.to_string(),
-            format!("{:.4}", cells[0].0),
-            format!("{:.4}", cells[0].1),
-            format!("{:.4}", cells[1].0),
-            format!("{:.4}", cells[1].1),
-            format!("{:.4}", cells[2].0),
-            format!("{:.4}", cells[2].1),
-        ]);
-    }
-    write_csv("table2", &csv);
+    sg_bench::sweep::run_standalone("table2");
 }

@@ -2,93 +2,19 @@
 //! norm thresholding, sign clustering, norm clipping — under the Random,
 //! Reverse-with-scaling and LIE attacks.
 //!
-//! The reverse attack scales the flipped gradient by the norm bound `R`
-//! when thresholding/clipping is active, or by 100 otherwise (as in the
-//! paper's Section VI-C).
-//!
 //! ```sh
 //! cargo run --release -p sg-bench --bin exp_table3 -- [--epochs N] [--task cifar]
+//!                                                      [--jobs N] [--smoke] [--seed N]
 //! ```
-
-use sg_attacks::{Attack, Lie, RandomAttack, ReverseScaling};
-use sg_bench::{arg_value, build_task, write_csv};
-use sg_core::{SignGuardBuilder, SimilarityFeature};
-use sg_fl::{FlConfig, Simulator};
-
-struct Row {
-    thresholding: bool,
-    clustering: bool,
-    clipping: bool,
-}
+//!
+//! Every (component row, attack) pair is one [`sg_runtime::RunPlan`] cell
+//! run by [`sg_runtime::GridRunner`] (`--jobs` bounds the fan-out); cells
+//! share the generated dataset through the sweep's task cache and shard
+//! their inner work on the grid's two-level engine. Output is
+//! reproducible at any `--jobs` value. The reverse attack scales the
+//! flipped gradient by the norm bound `R` when thresholding/clipping is
+//! active, or by 100 otherwise (paper Section VI-C).
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let epochs: usize = arg_value(&args, "--epochs").map_or(8, |v| v.parse().expect("--epochs N"));
-    let task_name = arg_value(&args, "--task").unwrap_or_else(|| "cifar".into());
-
-    let rows = [
-        Row { thresholding: true, clustering: false, clipping: false },
-        Row { thresholding: false, clustering: true, clipping: false },
-        Row { thresholding: false, clustering: false, clipping: true },
-        Row { thresholding: true, clustering: true, clipping: false },
-        Row { thresholding: false, clustering: true, clipping: true },
-        Row { thresholding: true, clustering: true, clipping: true },
-    ];
-
-    let cfg = FlConfig { epochs, learning_rate: 0.05, ..FlConfig::default() };
-    println!(
-        "Table III reproduction — component ablation on {} (SignGuard-Sim)\n",
-        build_task(&task_name, 7).name
-    );
-    println!(
-        "{:<14}{:<12}{:<10} {:>9} {:>9} {:>9}",
-        "Thresholding", "Clustering", "NormClip", "Random", "Reverse", "LIE"
-    );
-
-    let mut csv = vec![vec![
-        "thresholding".into(),
-        "clustering".into(),
-        "norm_clip".into(),
-        "random".into(),
-        "reverse".into(),
-        "lie".to_string(),
-    ]];
-
-    for row in &rows {
-        let mark = |b: bool| if b { "yes" } else { "-" };
-        print!("{:<14}{:<12}{:<10}", mark(row.thresholding), mark(row.clustering), mark(row.clipping));
-        let mut cells: Vec<String> = Vec::new();
-        for attack_name in ["random", "reverse", "lie"] {
-            // Reverse scaling r: the norm bound R when a norm defense is up,
-            // otherwise a blatant 100x.
-            let r_scale = if row.thresholding || row.clipping { 3.0 } else { 100.0 };
-            let attack: Box<dyn Attack> = match attack_name {
-                "random" => Box::new(RandomAttack::new()),
-                "reverse" => Box::new(ReverseScaling::new(r_scale)),
-                _ => Box::new(Lie::new()),
-            };
-            let gar = SignGuardBuilder::new()
-                .similarity(SimilarityFeature::Cosine)
-                .norm_filter(row.thresholding)
-                .cluster_filter(row.clustering)
-                .norm_clipping(row.clipping)
-                .seed(0)
-                .build();
-            let task = build_task(&task_name, 7);
-            let mut sim = Simulator::new(task, cfg.clone(), Box::new(gar), Some(attack));
-            let res = sim.run();
-            print!(" {:>8.2}%", 100.0 * res.best_accuracy);
-            cells.push(format!("{:.2}", 100.0 * res.best_accuracy));
-        }
-        println!();
-        csv.push(vec![
-            row.thresholding.to_string(),
-            row.clustering.to_string(),
-            row.clipping.to_string(),
-            cells[0].clone(),
-            cells[1].clone(),
-            cells[2].clone(),
-        ]);
-    }
-    write_csv("table3", &csv);
+    sg_bench::sweep::run_standalone("table3");
 }

@@ -17,6 +17,8 @@ use sg_attacks::{Attack, ByzMean, LabelFlip, Lie, MinMax, MinSum, NoiseAttack, R
 use sg_core::SignGuard;
 use sg_fl::{tasks, Task};
 
+pub mod sweep;
+
 /// Names of all defenses in the paper's Table I row order.
 pub const TABLE1_DEFENSES: &[&str] = &[
     "Mean",
@@ -80,20 +82,13 @@ pub fn build_attack(name: &str) -> Option<Box<dyn Attack>> {
     }
 }
 
-/// Builds a task by short name.
+/// Builds a task by short name (delegates to [`tasks::by_name`]).
 ///
 /// # Panics
 ///
 /// Panics on an unknown name.
 pub fn build_task(name: &str, seed: u64) -> Task {
-    match name {
-        "mnist" => tasks::mnist_like(seed),
-        "fashion" => tasks::fashion_like(seed),
-        "cifar" => tasks::cifar_like(seed),
-        "agnews" => tasks::agnews_like(seed),
-        "mlp" => tasks::mlp_task(seed),
-        other => panic!("unknown task {other:?} (mnist|fashion|cifar|agnews|mlp)"),
-    }
+    tasks::by_name(name, seed)
 }
 
 /// Output directory for experiment CSVs (`target/experiments`).
@@ -105,8 +100,15 @@ pub fn experiments_dir() -> PathBuf {
 
 /// Writes CSV rows (first row = header) to `target/experiments/<name>.csv`.
 pub fn write_csv(name: &str, rows: &[Vec<String>]) {
-    let path = experiments_dir().join(format!("{name}.csv"));
-    let mut f = fs::File::create(&path).expect("create csv");
+    write_csv_to(&experiments_dir().join(format!("{name}.csv")), rows);
+}
+
+/// Writes CSV rows (first row = header) to an explicit path.
+pub fn write_csv_to(path: &std::path::Path, rows: &[Vec<String>]) {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).expect("create csv dir");
+    }
+    let mut f = fs::File::create(path).expect("create csv");
     for row in rows {
         writeln!(f, "{}", row.join(",")).expect("write csv");
     }
@@ -121,6 +123,91 @@ pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
 /// Whether a bare `--flag` is present.
 pub fn arg_present(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// The command line shared by every `exp_*` binary:
+/// `--epochs N  --jobs N  --task NAME  --seed N  --out PATH` plus bare
+/// flags (`--quick`, `--full`, `--smoke`). One parser instead of eight
+/// hand-rolled copies.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    args: Vec<String>,
+}
+
+impl ExpArgs {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        Self::from_vec(std::env::args().skip(1).collect())
+    }
+
+    /// Builds from an explicit argument vector (tests).
+    pub fn from_vec(args: Vec<String>) -> Self {
+        Self { args }
+    }
+
+    /// The value following `--<flag>`, if present.
+    pub fn value(&self, flag: &str) -> Option<String> {
+        arg_value(&self.args, flag)
+    }
+
+    /// Whether a bare `--<flag>` is present.
+    pub fn flag(&self, flag: &str) -> bool {
+        arg_present(&self.args, flag)
+    }
+
+    /// `--epochs N` (panics on a malformed value).
+    pub fn epochs(&self, default: usize) -> usize {
+        self.value("--epochs").map_or(default, |v| v.parse().expect("--epochs N"))
+    }
+
+    /// Epochs as an override: `Some(N)` only when `--epochs` was given.
+    pub fn epochs_override(&self) -> Option<usize> {
+        self.value("--epochs").map(|v| v.parse().expect("--epochs N"))
+    }
+
+    /// `--jobs N` grid parallelism (default `0` = all cores).
+    pub fn jobs(&self) -> usize {
+        self.value("--jobs").map_or(0, |v| v.parse().expect("--jobs N"))
+    }
+
+    /// `--seed N` master seed.
+    pub fn seed(&self, default: u64) -> u64 {
+        self.value("--seed").map_or(default, |v| v.parse().expect("--seed N"))
+    }
+
+    /// `--out PATH` output override.
+    pub fn out(&self) -> Option<PathBuf> {
+        self.value("--out").map(PathBuf::from)
+    }
+
+    /// `--task NAME` as a single validated task name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown task name.
+    pub fn task(&self, default: &str) -> String {
+        self_validated(&self.value("--task").unwrap_or_else(|| default.into()))
+    }
+
+    /// `--task NAME|both|all` expanded to a validated task list:
+    /// `all` → the four paper tasks, `both` → `fashion, cifar`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown task name.
+    pub fn task_list(&self, default: &str) -> Vec<String> {
+        let arg = self.value("--task").unwrap_or_else(|| default.into());
+        match arg.as_str() {
+            "all" => ["mnist", "fashion", "cifar", "agnews"].map(String::from).to_vec(),
+            "both" => ["fashion", "cifar"].map(String::from).to_vec(),
+            one => vec![self_validated(one)],
+        }
+    }
+}
+
+fn self_validated(name: &str) -> String {
+    assert!(tasks::TASK_NAMES.contains(&name), "unknown task {name:?}");
+    name.to_string()
 }
 
 /// Deterministic synthetic gradient population for the Criterion benches:
@@ -152,6 +239,30 @@ mod tests {
         assert_eq!(arg_value(&args, "--epochs").as_deref(), Some("12"));
         assert!(arg_present(&args, "--quick"));
         assert!(!arg_present(&args, "--full"));
+    }
+
+    #[test]
+    fn exp_args_accessors() {
+        let a = ExpArgs::from_vec(
+            ["--epochs", "3", "--jobs", "2", "--task", "both", "--seed", "9", "--smoke", "--out", "x.json"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert_eq!(a.epochs(12), 3);
+        assert_eq!(a.epochs_override(), Some(3));
+        assert_eq!(a.jobs(), 2);
+        assert_eq!(a.seed(42), 9);
+        assert!(a.flag("--smoke"));
+        assert_eq!(a.out().unwrap().to_str(), Some("x.json"));
+        assert_eq!(a.task_list("fashion"), vec!["fashion".to_string(), "cifar".into()]);
+
+        let d = ExpArgs::from_vec(vec![]);
+        assert_eq!(d.epochs(12), 12);
+        assert_eq!(d.epochs_override(), None);
+        assert_eq!(d.jobs(), 0);
+        assert_eq!(d.task("cifar"), "cifar");
+        assert_eq!(d.task_list("all").len(), 4);
     }
 
     #[test]

@@ -1,0 +1,854 @@
+//! The paper grid as declarative [`RunPlan`] sections.
+//!
+//! Every experiment of the paper — Tables I–III, Figs. 2/4/5/6 and the
+//! extended ablations — is declared here as a `plan_*` function that
+//! appends cells to a shared [`RunPlan`] and returns its [`Section`]
+//! layout. The `exp_*` binaries run a single section; `exp_all` plans all
+//! of them into **one** grid and sweeps the entire paper in one go.
+//!
+//! Cells are built for scale:
+//!
+//! * **Shared datasets** — every cell draws its task from the sweep's
+//!   [`TaskCache`], so all cells of one `(task, data seed)` share a single
+//!   generated dataset instead of regenerating it per cell.
+//! * **Two-level parallelism** — cells run their simulators on
+//!   [`CellContext::engine`], the engine carved from the grid's own worker
+//!   pool, so client training and aggregation kernels shard across the
+//!   same threads that fan the cells out.
+//! * **Bit-for-bit reproducibility** — cell outputs are plain formatted
+//!   rows computed from deterministic simulations, declared and collected
+//!   in plan order; a sweep at `--jobs 1` and `--jobs 4` emits identical
+//!   bytes (enforced by CI's `grid-smoke` job).
+//!
+//! `SweepOpts::smoke` shrinks every section — the MLP task, one epoch, a
+//! trimmed attack/defense matrix — so the whole grid stays CI-sized while
+//! still exercising each experiment's code path.
+
+use sg_aggregators::Aggregator;
+use sg_attacks::{Attack, ByzMean, Lie, MinMax, RandomAttack, ReverseScaling, SignFlip, TimeVarying};
+use sg_core::{ClusteringBackend, SignGuard, SignGuardBuilder, SimilarityFeature};
+use sg_data::Dataset;
+use sg_fl::{
+    Client, FlConfig, Partitioning, RunResult, Simulator, TaskCache, ValidatingServer, ValidationRule,
+};
+use sg_math::vecops::sign_counts;
+use sg_math::{seeded_rng, SeedStream};
+use sg_runtime::{CellContext, GridRunner, RunPlan};
+
+use crate::{build_attack, build_defense, ExpArgs, TABLE1_ATTACKS, TABLE1_DEFENSES};
+
+/// Dataset generation seed shared by every experiment (matches the
+/// original per-figure binaries).
+pub const DATA_SEED: u64 = 7;
+
+/// One cell's output: CSV-style data rows (no header).
+pub type Rows = Vec<Vec<String>>;
+
+/// Layout of one experiment inside a plan: which cells are its, and how
+/// their rows are labelled.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Short experiment key (`table1`, `fig4`, …).
+    pub exp: &'static str,
+    /// Human title for printed output.
+    pub title: &'static str,
+    /// Column names for the section's rows.
+    pub header: Vec<String>,
+    /// Number of plan cells the section declared.
+    pub cells: usize,
+}
+
+/// Options shared by every section of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOpts {
+    /// Shrink every section to a CI-sized smoke grid.
+    pub smoke: bool,
+    /// Widen sections that have an extended matrix (Fig. 4's full attack
+    /// set).
+    pub full: bool,
+    /// Table I quick mode: the Fashion task and the state-of-the-art
+    /// attacks only, at full epochs.
+    pub quick: bool,
+    /// Epoch override (`None` = per-section paper defaults).
+    pub epochs: Option<usize>,
+    /// Task-list override (`None` = per-section paper defaults).
+    pub tasks: Option<Vec<String>>,
+    /// Master config seed for every cell.
+    pub seed: u64,
+    /// Shared memoized task construction.
+    pub cache: TaskCache,
+}
+
+impl SweepOpts {
+    /// Paper-default options at the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            smoke: false,
+            full: false,
+            quick: false,
+            epochs: None,
+            tasks: None,
+            seed,
+            cache: TaskCache::new(),
+        }
+    }
+
+    /// Options from a parsed `exp_*` command line
+    /// (`--smoke --full --quick --epochs --task --seed`).
+    pub fn from_args(a: &ExpArgs) -> Self {
+        Self {
+            smoke: a.flag("--smoke"),
+            full: a.flag("--full"),
+            quick: a.flag("--quick"),
+            epochs: a.epochs_override(),
+            tasks: a.value("--task").map(|_| a.task_list("fashion")),
+            seed: a.seed(42),
+            cache: TaskCache::new(),
+        }
+    }
+
+    /// Base config for a section whose paper default is `default_epochs`.
+    fn cfg(&self, default_epochs: usize) -> FlConfig {
+        let mut cfg = FlConfig { learning_rate: 0.05, seed: self.seed, ..FlConfig::default() };
+        cfg.epochs = self.epochs.unwrap_or(default_epochs);
+        if self.smoke {
+            cfg.num_clients = 10;
+            cfg.batch_size = 8;
+            cfg.epochs = self.epochs.unwrap_or(1);
+        }
+        cfg
+    }
+
+    /// The task list a section sweeps (smoke → the cheap MLP task).
+    fn tasks_for(&self, defaults: &[&str]) -> Vec<String> {
+        if self.smoke {
+            return vec!["mlp".into()];
+        }
+        self.tasks.clone().unwrap_or_else(|| defaults.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Picks the smoke or full variant of a name list.
+    fn pick<'a>(&self, full: &[&'a str], smoke: &[&'a str]) -> Vec<&'a str> {
+        if self.smoke {
+            smoke.to_vec()
+        } else {
+            full.to_vec()
+        }
+    }
+}
+
+fn pct(x: f32) -> String {
+    format!("{:.2}", 100.0 * x)
+}
+
+fn rate(x: f32) -> String {
+    format!("{x:.4}")
+}
+
+/// Runs one simulation cell on the grid's engine with a cached task.
+fn run_sim(
+    cache: &TaskCache,
+    task_name: &str,
+    cfg: &FlConfig,
+    gar: Box<dyn Aggregator>,
+    attack: Option<Box<dyn Attack>>,
+    ctx: &CellContext,
+) -> RunResult {
+    let task = cache.get(task_name, DATA_SEED);
+    let mut sim = Simulator::with_engine(task, cfg.clone(), gar, attack, ctx.engine().clone());
+    let result = sim.run();
+    eprintln!("[grid {}] {}", ctx.index + 1, ctx.label);
+    result
+}
+
+fn section(
+    plan_before: usize,
+    plan: &RunPlan<Rows>,
+    exp: &'static str,
+    title: &'static str,
+    header: &[&str],
+) -> Section {
+    Section {
+        exp,
+        title,
+        header: header.iter().map(|s| s.to_string()).collect(),
+        cells: plan.len() - plan_before,
+    }
+}
+
+// ---- Table I ----------------------------------------------------------
+
+/// Best accuracy of every defense under every attack (paper Table I).
+/// `SweepOpts::quick` restricts to the Fashion task and the
+/// state-of-the-art attacks so the table regenerates in minutes.
+pub fn plan_table1(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
+    let before = plan.len();
+    let quick = o.quick && !o.smoke;
+    let tasks = if quick && o.tasks.is_none() {
+        vec!["fashion".to_string()]
+    } else {
+        o.tasks_for(&["mnist", "fashion", "cifar", "agnews"])
+    };
+    let defenses = o.pick(TABLE1_DEFENSES, &["Mean", "TrMean", "Multi-Krum", "SignGuard"]);
+    let attacks = if quick {
+        vec!["No Attack", "ByzMean", "Sign-flip", "LIE", "Min-Max", "Min-Sum"]
+    } else {
+        o.pick(TABLE1_ATTACKS, &["No Attack", "Sign-flip", "LIE"])
+    };
+    let cfg = o.cfg(12);
+    let (n, m) = (cfg.num_clients, cfg.byzantine_count());
+    for task in &tasks {
+        for defense in &defenses {
+            for attack in &attacks {
+                let (task, defense, attack) = (task.clone(), defense.to_string(), attack.to_string());
+                let (cfg, cache) = (cfg.clone(), o.cache.clone());
+                plan.cell(format!("table1/{task}/{defense}/{attack}"), move |ctx| {
+                    let gar = build_defense(&defense, n, m);
+                    let r = run_sim(&cache, &task, &cfg, gar, build_attack(&attack), ctx);
+                    vec![vec![task, defense, attack, pct(r.best_accuracy)]]
+                });
+            }
+        }
+    }
+    section(
+        before,
+        plan,
+        "table1",
+        "Table I — best accuracy per (defense, attack)",
+        &["task", "defense", "attack", "best_accuracy"],
+    )
+}
+
+// ---- Table II ---------------------------------------------------------
+
+/// Honest/malicious selection rates of the SignGuard variants (Table II).
+pub fn plan_table2(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
+    let before = plan.len();
+    let tasks = o.tasks_for(&["cifar"]);
+    let attacks = o.pick(&["ByzMean", "Sign-flip", "LIE", "Min-Max", "Min-Sum"], &["Sign-flip", "LIE"]);
+    let variants = ["SignGuard", "SignGuard-Sim", "SignGuard-Dist"];
+    let cfg = o.cfg(8);
+    for task in &tasks {
+        for attack in &attacks {
+            for variant in variants {
+                let (task, attack, variant) = (task.clone(), attack.to_string(), variant.to_string());
+                let (cfg, cache) = (cfg.clone(), o.cache.clone());
+                plan.cell(format!("table2/{task}/{attack}/{variant}"), move |ctx| {
+                    let gar: Box<dyn Aggregator> = match variant.as_str() {
+                        "SignGuard" => Box::new(SignGuard::plain(0)),
+                        "SignGuard-Sim" => Box::new(SignGuard::sim(0)),
+                        _ => Box::new(SignGuard::dist(0)),
+                    };
+                    let r = run_sim(&cache, &task, &cfg, gar, build_attack(&attack), ctx);
+                    vec![vec![
+                        task,
+                        attack,
+                        variant,
+                        rate(r.selection.honest_rate()),
+                        rate(r.selection.malicious_rate()),
+                    ]]
+                });
+            }
+        }
+    }
+    section(
+        before,
+        plan,
+        "table2",
+        "Table II — SignGuard selection rates",
+        &["task", "attack", "variant", "honest_rate", "malicious_rate"],
+    )
+}
+
+// ---- Table III --------------------------------------------------------
+
+/// Component ablation rows: which SignGuard stages are enabled.
+const TABLE3_ROWS: &[(bool, bool, bool)] = &[
+    (true, false, false),
+    (false, true, false),
+    (false, false, true),
+    (true, true, false),
+    (false, true, true),
+    (true, true, true),
+];
+
+/// Ablation of SignGuard's stages under Random / Reverse / LIE (Table III).
+pub fn plan_table3(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
+    let before = plan.len();
+    let tasks = o.tasks_for(&["cifar"]);
+    let rows: Vec<(bool, bool, bool)> =
+        if o.smoke { vec![(true, true, true), (true, false, false)] } else { TABLE3_ROWS.to_vec() };
+    let attacks = o.pick(&["random", "reverse", "lie"], &["random", "lie"]);
+    let cfg = o.cfg(8);
+    for task in &tasks {
+        for &(thresholding, clustering, clipping) in &rows {
+            for attack in &attacks {
+                let (task, attack) = (task.clone(), attack.to_string());
+                let (cfg, cache) = (cfg.clone(), o.cache.clone());
+                let label = format!("table3/{task}/t{thresholding}-c{clustering}-n{clipping}/{attack}");
+                plan.cell(label, move |ctx| {
+                    // Reverse scaling r: the norm bound R when a norm
+                    // defense is up, otherwise a blatant 100x (paper §VI-C).
+                    let r_scale = if thresholding || clipping { 3.0 } else { 100.0 };
+                    let atk: Box<dyn Attack> = match attack.as_str() {
+                        "random" => Box::new(RandomAttack::new()),
+                        "reverse" => Box::new(ReverseScaling::new(r_scale)),
+                        _ => Box::new(Lie::new()),
+                    };
+                    let gar = SignGuardBuilder::new()
+                        .similarity(SimilarityFeature::Cosine)
+                        .norm_filter(thresholding)
+                        .cluster_filter(clustering)
+                        .norm_clipping(clipping)
+                        .seed(0)
+                        .build();
+                    let r = run_sim(&cache, &task, &cfg, Box::new(gar), Some(atk), ctx);
+                    vec![vec![
+                        task,
+                        thresholding.to_string(),
+                        clustering.to_string(),
+                        clipping.to_string(),
+                        attack,
+                        pct(r.best_accuracy),
+                    ]]
+                });
+            }
+        }
+    }
+    section(
+        before,
+        plan,
+        "table3",
+        "Table III — SignGuard component ablation",
+        &["task", "thresholding", "clustering", "norm_clip", "attack", "best_accuracy"],
+    )
+}
+
+// ---- Fig. 2 -----------------------------------------------------------
+
+fn sign_stats(v: &[f32]) -> (f32, f32, f32) {
+    let (p, z, n) = sign_counts(v);
+    let t = (p + z + n) as f32;
+    (p as f32 / t, z as f32 / t, n as f32 / t)
+}
+
+/// One model's honest-vs-LIE sign-statistics trace (the Fig. 2 insight).
+fn trace_rows(cache: &TaskCache, task_name: &str, cfg: &FlConfig) -> Rows {
+    let task = cache.get(task_name, DATA_SEED);
+    let mut rows = Vec::new();
+
+    let mut seeds = SeedStream::new(cfg.seed);
+    let mut model_rng = seeds.next_rng();
+    let global_model = task.build_model(&mut model_rng);
+    let mut params = global_model.param_vector();
+    let mut part_rng = seeds.next_rng();
+    let parts = sg_data::partition_iid(task.train.len(), cfg.num_clients, &mut part_rng);
+    let mut clients: Vec<Client> = parts
+        .into_iter()
+        .enumerate()
+        .map(|(id, idx)| {
+            let mut r = seeds.next_rng();
+            let replica = task.build_model(&mut r);
+            Client::new(id, replica, idx, cfg.momentum, cfg.weight_decay, seeds.next_rng())
+        })
+        .collect();
+
+    let total = cfg.total_rounds(task.train.len());
+    let lie = Lie::new();
+    let m = cfg.byzantine_count();
+    for round in 0..total {
+        let grads: Vec<Vec<f32>> =
+            clients.iter_mut().map(|c| c.local_gradient(&params, &task.train, cfg.batch_size)).collect();
+        let dim = grads[0].len();
+
+        // Average honest sign statistics across clients.
+        let mut hon = (0.0f32, 0.0f32, 0.0f32);
+        for g in &grads {
+            let s = sign_stats(g);
+            hon = (hon.0 + s.0, hon.1 + s.1, hon.2 + s.2);
+        }
+        let inv = 1.0 / grads.len() as f32;
+        hon = (hon.0 * inv, hon.1 * inv, hon.2 * inv);
+
+        // Virtual LIE gradient crafted from the same population (Eq. 1).
+        let virt = lie.craft_single(&grads, cfg.num_clients, m);
+        let mal = sign_stats(&virt);
+
+        rows.push(vec![
+            task_name.to_string(),
+            round.to_string(),
+            rate(hon.0),
+            rate(hon.1),
+            rate(hon.2),
+            rate(mal.0),
+            rate(mal.1),
+            rate(mal.2),
+        ]);
+
+        // Honest (mean-aggregated) training step keeps the trajectory
+        // identical to the paper's no-attack setting.
+        let mean = sg_math::vecops::mean_vector(&grads, dim);
+        for (p, g) in params.iter_mut().zip(&mean) {
+            *p -= cfg.learning_rate * g;
+        }
+    }
+    rows
+}
+
+/// Honest vs LIE sign statistics over training (Fig. 2).
+pub fn plan_fig2(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
+    let before = plan.len();
+    let tasks = o.tasks_for(&["mnist", "cifar"]);
+    let cfg = o.cfg(10);
+    for task in &tasks {
+        let task = task.clone();
+        let (cfg, cache) = (cfg.clone(), o.cache.clone());
+        plan.cell(format!("fig2/{task}"), move |_ctx| trace_rows(&cache, &task, &cfg));
+    }
+    section(
+        before,
+        plan,
+        "fig2",
+        "Fig. 2 — sign statistics, honest vs LIE",
+        &["model", "round", "honest_pos", "honest_zero", "honest_neg", "lie_pos", "lie_zero", "lie_neg"],
+    )
+}
+
+// ---- Fig. 4 -----------------------------------------------------------
+
+/// Attack impact across Byzantine fractions 0–40% (Fig. 4). The
+/// per-task no-attack/no-defense baseline is itself a cell (defense
+/// `Baseline`); the `attack_impact` column is appended from it by
+/// [`finish`].
+pub fn plan_fig4(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
+    let before = plan.len();
+    let tasks = o.tasks_for(&["fashion"]);
+    let defenses =
+        o.pick(&["Median", "TrMean", "Multi-Krum", "DnC", "SignGuard-Sim"], &["TrMean", "SignGuard-Sim"]);
+    let attacks = if o.full && !o.smoke {
+        vec!["ByzMean", "Sign-flip", "LIE", "Min-Max", "Min-Sum"]
+    } else {
+        o.pick(&["ByzMean", "Sign-flip", "LIE"], &["Sign-flip"])
+    };
+    let fractions: Vec<f32> = if o.smoke { vec![0.0, 0.2] } else { vec![0.0, 0.1, 0.2, 0.3, 0.4] };
+    let cfg = o.cfg(8);
+    for task in &tasks {
+        {
+            // No-attack / no-defense reference point (Definition 3).
+            let task = task.clone();
+            let (cfg, cache) = (cfg.clone(), o.cache.clone());
+            plan.cell(format!("fig4/{task}/Baseline"), move |ctx| {
+                let base_cfg = FlConfig { byzantine_fraction: 0.0, ..cfg };
+                let n = base_cfg.num_clients;
+                let r = run_sim(&cache, &task, &base_cfg, build_defense("Mean", n, 0), None, ctx);
+                vec![vec![task, "Baseline".into(), "No Attack".into(), "0.0".into(), pct(r.best_accuracy)]]
+            });
+        }
+        for defense in &defenses {
+            for attack in &attacks {
+                for &frac in &fractions {
+                    let (task, defense, attack) = (task.clone(), defense.to_string(), attack.to_string());
+                    let (cfg, cache) = (cfg.clone(), o.cache.clone());
+                    plan.cell(format!("fig4/{task}/{defense}/{attack}/{frac:.1}"), move |ctx| {
+                        let cfg = FlConfig { byzantine_fraction: frac, ..cfg };
+                        let (n, m) = (cfg.num_clients, cfg.byzantine_count());
+                        let atk = if frac == 0.0 { None } else { build_attack(&attack) };
+                        let r = run_sim(&cache, &task, &cfg, build_defense(&defense, n, m), atk, ctx);
+                        vec![vec![task, defense, attack, format!("{frac:.1}"), pct(r.best_accuracy)]]
+                    });
+                }
+            }
+        }
+    }
+    section(
+        before,
+        plan,
+        "fig4",
+        "Fig. 4 — attack impact vs Byzantine fraction",
+        &["task", "defense", "attack", "byz_fraction", "best_accuracy"],
+    )
+}
+
+// ---- Fig. 5 -----------------------------------------------------------
+
+fn attack_pool() -> Vec<Box<dyn Attack>> {
+    vec![
+        Box::new(RandomAttack::new()),
+        Box::new(SignFlip::new()),
+        Box::new(Lie::new()),
+        Box::new(ByzMean::new()),
+        Box::new(MinMax::new()),
+    ]
+}
+
+/// Accuracy curves under the time-varying attack (Fig. 5).
+pub fn plan_fig5(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
+    let before = plan.len();
+    let tasks = o.tasks_for(&["fashion"]);
+    let defenses = o.pick(&["Multi-Krum", "Bulyan", "DnC", "SignGuard"], &["Multi-Krum", "SignGuard"]);
+    let cfg = o.cfg(12);
+    let curve_rows = |task: &str, defense: &str, curve: &[(usize, f32)]| -> Rows {
+        curve
+            .iter()
+            .enumerate()
+            .map(|(e, (_, acc))| vec![task.to_string(), defense.to_string(), e.to_string(), rate(*acc)])
+            .collect()
+    };
+    for task in &tasks {
+        {
+            let task = task.clone();
+            let (cfg, cache) = (cfg.clone(), o.cache.clone());
+            plan.cell(format!("fig5/{task}/Baseline"), move |ctx| {
+                // Baseline: no attack, no defense.
+                let base_cfg = FlConfig { byzantine_fraction: 0.0, ..cfg };
+                let n = base_cfg.num_clients;
+                let r = run_sim(&cache, &task, &base_cfg, build_defense("Mean", n, 0), None, ctx);
+                curve_rows(&task, "Baseline", &r.accuracy_curve)
+            });
+        }
+        for defense in &defenses {
+            let (task, defense) = (task.clone(), defense.to_string());
+            let (cfg, cache) = (cfg.clone(), o.cache.clone());
+            plan.cell(format!("fig5/{task}/{defense}"), move |ctx| {
+                let (n, m) = (cfg.num_clients, cfg.byzantine_count());
+                let rpe = cfg.rounds_per_epoch(cache.get(&task, DATA_SEED).train.len());
+                let attack = TimeVarying::new(attack_pool(), true, rpe, 99);
+                let r =
+                    run_sim(&cache, &task, &cfg, build_defense(&defense, n, m), Some(Box::new(attack)), ctx);
+                curve_rows(&task, &defense, &r.accuracy_curve)
+            });
+        }
+    }
+    section(
+        before,
+        plan,
+        "fig5",
+        "Fig. 5 — accuracy under the time-varying attack",
+        &["task", "defense", "epoch", "accuracy"],
+    )
+}
+
+// ---- Fig. 6 -----------------------------------------------------------
+
+/// Non-IID accuracy at three skew levels (Fig. 6).
+pub fn plan_fig6(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
+    let before = plan.len();
+    let tasks = o.tasks_for(&["fashion"]);
+    let attacks = o.pick(&["Sign-flip", "LIE", "ByzMean"], &["Sign-flip"]);
+    let defenses =
+        o.pick(&["TrMean", "Multi-Krum", "Bulyan", "DnC", "SignGuard-Sim"], &["TrMean", "SignGuard-Sim"]);
+    let skews: Vec<f32> = if o.smoke { vec![0.3, 0.8] } else { vec![0.3, 0.5, 0.8] };
+    let cfg = o.cfg(10);
+    for task in &tasks {
+        for attack in &attacks {
+            for defense in &defenses {
+                for &s in &skews {
+                    let (task, attack, defense) = (task.clone(), attack.to_string(), defense.to_string());
+                    let (cfg, cache) = (cfg.clone(), o.cache.clone());
+                    plan.cell(format!("fig6/{task}/{attack}/{defense}/s{s:.1}"), move |ctx| {
+                        let cfg = FlConfig { partitioning: Partitioning::NonIid { s }, ..cfg };
+                        let (n, m) = (cfg.num_clients, cfg.byzantine_count());
+                        let r = run_sim(
+                            &cache,
+                            &task,
+                            &cfg,
+                            build_defense(&defense, n, m),
+                            build_attack(&attack),
+                            ctx,
+                        );
+                        vec![vec![task, attack, defense, format!("{s:.1}"), pct(r.best_accuracy)]]
+                    });
+                }
+            }
+        }
+    }
+    section(
+        before,
+        plan,
+        "fig6",
+        "Fig. 6 — non-IID accuracy across skew levels",
+        &["task", "attack", "defense", "s", "best_accuracy"],
+    )
+}
+
+// ---- Extended ablations -----------------------------------------------
+
+fn ablation_attack(name: &str) -> Option<Box<dyn Attack>> {
+    match name {
+        "None" => None,
+        "Sign-flip" => Some(Box::new(SignFlip::new())),
+        "LIE" => Some(Box::new(Lie::new())),
+        "Adaptive" => Some(Box::new(sg_attacks::AdaptiveSignMimicry::new())),
+        other => panic!("unknown ablation attack {other}"),
+    }
+}
+
+/// Extended ablations: coordinate-sampling fraction, clustering back-end,
+/// and the defense-family comparison including validation-based rules.
+pub fn plan_ablation(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
+    let before = plan.len();
+    let tasks = o.tasks_for(&["fashion"]);
+    let attacks = o.pick(&["None", "Sign-flip", "LIE", "Adaptive"], &["None", "Sign-flip"]);
+    let fractions: Vec<f32> = if o.smoke { vec![0.1] } else { vec![0.01, 0.1, 0.5, 1.0] };
+    let backends = [("MeanShift", ClusteringBackend::MeanShift), ("KMeans-2", ClusteringBackend::KMeans(2))];
+    let families = o.pick(&["SignGuard", "SignGuard-Sim", "FLTrust", "Zeno"], &["SignGuard", "FLTrust"]);
+    let cfg = o.cfg(8);
+
+    for task in &tasks {
+        // 1. Coordinate-sampling fraction sweep (plain SignGuard).
+        for &frac in &fractions {
+            for attack in &attacks {
+                let (task, attack) = (task.clone(), attack.to_string());
+                let (cfg, cache) = (cfg.clone(), o.cache.clone());
+                plan.cell(format!("ablation/{task}/coord{frac}/{attack}"), move |ctx| {
+                    let gar = SignGuardBuilder::new().coord_fraction(frac).seed(0).build();
+                    let r = run_sim(&cache, &task, &cfg, Box::new(gar), ablation_attack(&attack), ctx);
+                    vec![vec!["coord_fraction".into(), frac.to_string(), attack, pct(r.best_accuracy)]]
+                });
+            }
+        }
+        // 2. Clustering back-end (SignGuard-Sim).
+        for (label, backend) in backends {
+            for attack in &attacks {
+                let (task, attack) = (task.clone(), attack.to_string());
+                let (cfg, cache) = (cfg.clone(), o.cache.clone());
+                plan.cell(format!("ablation/{task}/{label}/{attack}"), move |ctx| {
+                    let gar = SignGuardBuilder::new()
+                        .similarity(SimilarityFeature::Cosine)
+                        .clustering(backend)
+                        .seed(0)
+                        .build();
+                    let r = run_sim(&cache, &task, &cfg, Box::new(gar), ablation_attack(&attack), ctx);
+                    vec![vec!["backend".into(), label.into(), attack, pct(r.best_accuracy)]]
+                });
+            }
+        }
+        // 3. Defense families, incl. validation-based rules holding 100
+        //    root samples at the server (split off the test set).
+        for family in &families {
+            for attack in &attacks {
+                let (task, attack, family) = (task.clone(), attack.to_string(), family.to_string());
+                let (cfg, cache) = (cfg.clone(), o.cache.clone());
+                plan.cell(format!("ablation/{task}/{family}/{attack}"), move |ctx| {
+                    let gar: Box<dyn Aggregator> = match family.as_str() {
+                        "SignGuard" => Box::new(SignGuard::plain(0)),
+                        "SignGuard-Sim" => Box::new(SignGuard::sim(0)),
+                        name => {
+                            let t = cache.get(&task, DATA_SEED);
+                            let mut rng = seeded_rng(0);
+                            let model = t.build_model(&mut rng);
+                            let root = Dataset::new(
+                                t.test.samples()[..100].to_vec(),
+                                t.test.item_shape().to_vec(),
+                                t.test.num_classes(),
+                            );
+                            let rule = if name == "FLTrust" {
+                                ValidationRule::FlTrust
+                            } else {
+                                ValidationRule::Zeno {
+                                    b: cfg.byzantine_count(),
+                                    rho: 1e-4,
+                                    gamma: cfg.learning_rate,
+                                }
+                            };
+                            Box::new(ValidatingServer::new(rule, model, root, 32, 5))
+                        }
+                    };
+                    let r = run_sim(&cache, &task, &cfg, gar, ablation_attack(&attack), ctx);
+                    vec![vec!["family".into(), family, attack, pct(r.best_accuracy)]]
+                });
+            }
+        }
+    }
+    section(
+        before,
+        plan,
+        "ablation",
+        "Extended ablations (sampling / clustering / families)",
+        &["section", "config", "attack", "best_accuracy"],
+    )
+}
+
+// ---- Dispatch, rendering, drivers -------------------------------------
+
+/// Every experiment key, in sweep order.
+pub const ALL_EXPERIMENTS: &[&str] =
+    &["table1", "table2", "table3", "fig2", "fig4", "fig5", "fig6", "ablation"];
+
+/// Plans one experiment by key.
+///
+/// # Panics
+///
+/// Panics on an unknown key.
+pub fn plan_section(exp: &str, plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
+    match exp {
+        "table1" => plan_table1(plan, o),
+        "table2" => plan_table2(plan, o),
+        "table3" => plan_table3(plan, o),
+        "fig2" => plan_fig2(plan, o),
+        "fig4" => plan_fig4(plan, o),
+        "fig5" => plan_fig5(plan, o),
+        "fig6" => plan_fig6(plan, o),
+        "ablation" => plan_ablation(plan, o),
+        other => panic!("unknown experiment {other:?} (expected one of {ALL_EXPERIMENTS:?})"),
+    }
+}
+
+/// Post-processes a section's collected rows. Fig. 4 appends the
+/// `attack_impact` column (percentage points below the task's `Baseline`
+/// cell); other sections pass through.
+pub fn finish(exp: &str, header: Vec<String>, rows: Rows) -> (Vec<String>, Rows) {
+    if exp != "fig4" {
+        return (header, rows);
+    }
+    let baselines: Vec<(String, f32)> = rows
+        .iter()
+        .filter(|r| r[1] == "Baseline")
+        .map(|r| (r[0].clone(), r[4].parse().expect("baseline accuracy")))
+        .collect();
+    let mut header = header;
+    header.push("attack_impact".into());
+    let rows = rows
+        .into_iter()
+        .map(|mut r| {
+            let base =
+                baselines.iter().find(|(t, _)| *t == r[0]).map(|&(_, b)| b).expect("fig4 baseline for task");
+            let acc: f32 = r[4].parse().expect("fig4 accuracy");
+            // Definition 3 clamps impact at zero: beating the baseline is
+            // "no impact", not negative impact (see RunResult::attack_impact).
+            r.push(format!("{:.2}", (base - acc).max(0.0)));
+            r
+        })
+        .collect();
+    (header, rows)
+}
+
+/// Renders a header + rows as an aligned text table.
+pub fn render(header: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |row: &[String]| -> String {
+        row.iter()
+            .zip(&widths)
+            .map(|(cell, &w)| format!("{cell:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_string()
+    };
+    let mut out = vec![line(header)];
+    out.extend(rows.iter().map(|r| line(r)));
+    out.join("\n")
+}
+
+/// Full driver for a single-experiment binary: parse the shared CLI, plan
+/// the section, sweep it on a [`GridRunner`], print the rows and write the
+/// CSV under `target/experiments/<exp>.csv`.
+pub fn run_standalone(exp: &'static str) {
+    let a = ExpArgs::parse();
+    let o = SweepOpts::from_args(&a);
+    let mut plan: RunPlan<Rows> = RunPlan::new(o.seed);
+    let s = plan_section(exp, &mut plan, &o);
+    let runner = GridRunner::new(a.jobs());
+    eprintln!("[{exp}] {} cells on {} grid workers (two-level engine)", plan.len(), runner.parallelism());
+    let report = runner.run(plan);
+    let rows: Rows = report.cells.into_iter().flat_map(|c| c.output).collect();
+    let (header, rows) = finish(exp, s.header, rows);
+    println!("== {} ==", s.title);
+    println!("{}", render(&header, &rows));
+    eprintln!(
+        "[cache] {} task(s) generated, {} cache hits across {} cells",
+        o.cache.len(),
+        o.cache.hits(),
+        s.cells
+    );
+    let mut csv = vec![header];
+    csv.extend(rows);
+    match a.out() {
+        Some(path) => crate::write_csv_to(&path, &csv),
+        None => crate::write_csv(exp, &csv),
+    }
+}
+
+// ---- Consolidated report ----------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("\"{}\"", json_escape(s))).collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+/// Serializes a sweep into the consolidated report JSON. Everything in the
+/// report is deterministic — plan-ordered rows, sorted dataset
+/// fingerprints, order-independent cache counters; no timings, no thread
+/// counts — so the bytes are identical at any `--jobs` value (CI's
+/// `grid-smoke` job compares runs with `cmp`).
+pub fn consolidated_json(o: &SweepOpts, results: &[(Section, Rows)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"sg-exp-all/v1\",\n");
+    out.push_str(&format!("  \"seed\": {},\n", o.seed));
+    out.push_str(&format!("  \"smoke\": {},\n", o.smoke));
+    out.push_str(&format!("  \"data_seed\": {DATA_SEED},\n"));
+
+    let datasets: Vec<String> = o
+        .cache
+        .snapshot()
+        .into_iter()
+        .map(|(name, seed, train_fp, test_fp)| {
+            format!(
+                "    {{\"task\": \"{}\", \"data_seed\": {seed}, \"train_fp\": \"{train_fp:016x}\", \
+                 \"test_fp\": \"{test_fp:016x}\"}}",
+                json_escape(&name)
+            )
+        })
+        .collect();
+    out.push_str(&format!("  \"datasets\": [\n{}\n  ],\n", datasets.join(",\n")));
+    out.push_str(&format!(
+        "  \"cache\": {{\"tasks\": {}, \"hits\": {}, \"misses\": {}}},\n",
+        o.cache.len(),
+        o.cache.hits(),
+        o.cache.misses()
+    ));
+
+    let sections: Vec<String> = results
+        .iter()
+        .map(|(s, rows)| {
+            let row_lines: Vec<String> =
+                rows.iter().map(|r| format!("        {}", json_string_array(r))).collect();
+            let rows_block = if row_lines.is_empty() {
+                "[]".to_string()
+            } else {
+                format!("[\n{}\n      ]", row_lines.join(",\n"))
+            };
+            format!(
+                "    {{\n      \"exp\": \"{}\",\n      \"title\": \"{}\",\n      \"cells\": {},\n      \
+                 \"header\": {},\n      \"rows\": {}\n    }}",
+                s.exp,
+                json_escape(s.title),
+                s.cells,
+                json_string_array(&s.header),
+                rows_block
+            )
+        })
+        .collect();
+    out.push_str(&format!("  \"sections\": [\n{}\n  ]\n", sections.join(",\n")));
+    out.push_str("}\n");
+    out
+}

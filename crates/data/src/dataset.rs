@@ -126,6 +126,33 @@ impl Dataset {
         Batch { features, item_shape: self.item_shape.clone(), labels }
     }
 
+    /// Order-sensitive FNV-1a digest over the dataset's exact contents —
+    /// shape, class count, and every label and feature *bit*. Two datasets
+    /// fingerprint equal iff they would behave identically in training, so
+    /// this is the cheap identity used by resource-cache tests and sweep
+    /// reports ("cache-hit cells saw the same bytes").
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |word: u64| {
+            h ^= word;
+            h = h.wrapping_mul(PRIME);
+        };
+        eat(self.samples.len() as u64);
+        eat(self.num_classes as u64);
+        for &d in &self.item_shape {
+            eat(d as u64);
+        }
+        for s in &self.samples {
+            eat(s.label as u64);
+            for &f in &s.features {
+                eat(u64::from(f.to_bits()));
+            }
+        }
+        h
+    }
+
     /// Histogram of labels over the given indices (length = `num_classes`).
     pub fn label_histogram(&self, indices: &[usize]) -> Vec<usize> {
         let mut hist = vec![0usize; self.num_classes];
@@ -186,6 +213,23 @@ mod tests {
         let flip = |l: usize| 2 - l;
         let b = d.batch(&[0, 1, 2], Some(&flip));
         assert_eq!(b.labels, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn fingerprint_separates_contents() {
+        let d = toy();
+        assert_eq!(d.fingerprint(), toy().fingerprint(), "same bytes, same fingerprint");
+        let mut other = vec![
+            Sample { features: vec![1.0, 2.0], label: 0 },
+            Sample { features: vec![3.0, 4.0], label: 1 },
+            Sample { features: vec![5.0, 6.5], label: 2 },
+        ];
+        let tweaked = Dataset::new(other.clone(), vec![2], 3);
+        assert_ne!(d.fingerprint(), tweaked.fingerprint(), "feature change must show");
+        other[2].features[1] = 6.0;
+        other[2].label = 1;
+        let relabeled = Dataset::new(other, vec![2], 3);
+        assert_ne!(d.fingerprint(), relabeled.fingerprint(), "label change must show");
     }
 
     #[test]

@@ -139,7 +139,7 @@ mod tests {
     use crate::tasks;
     use sg_math::seeded_rng;
 
-    fn make_client(flip: bool) -> (Client, sg_data::Dataset) {
+    fn make_client(flip: bool) -> (Client, std::sync::Arc<sg_data::Dataset>) {
         let task = tasks::mlp_task(1);
         let mut rng = seeded_rng(0);
         let model = task.build_model(&mut rng);

@@ -36,5 +36,5 @@ pub use config::{FlConfig, Partitioning};
 pub use eval::evaluate_accuracy;
 pub use metrics::{RoundMetrics, RunResult, SelectionTracker};
 pub use simulator::Simulator;
-pub use tasks::Task;
+pub use tasks::{Task, TaskCache};
 pub use validation::{ValidatingServer, ValidationRule};

@@ -1,17 +1,26 @@
 //! The paper's four evaluation tasks instantiated on synthetic data.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use sg_data::{Dataset, SyntheticImageSpec, SyntheticTextSpec};
 use sg_nn::{models, Sequential};
+use sg_runtime::ResourceCache;
 
 /// A federated learning task: train/test data plus a model architecture.
+///
+/// The datasets sit behind `Arc`, so cloning a `Task` is cheap and shares
+/// the generated data — this is what lets scenario-grid cells of the same
+/// task reuse one dataset (see [`TaskCache`]) instead of regenerating it
+/// per cell.
+#[derive(Clone)]
 pub struct Task {
     /// Task name as used in the paper's tables.
     pub name: &'static str,
     /// Training split (distributed across clients).
-    pub train: Dataset,
+    pub train: Arc<Dataset>,
     /// Held-out test split (evaluated at the server).
-    pub test: Dataset,
+    pub test: Arc<Dataset>,
     model_builder: fn(&mut StdRng) -> Sequential,
 }
 
@@ -44,7 +53,12 @@ pub fn mnist_like(seed: u64) -> Task {
         prototype_scale: 1.0,
     };
     let (train, test) = spec.generate(seed);
-    Task { name: "MNIST-like (CNN)", train, test, model_builder: |rng| models::image_cnn(rng, 1, 8, 10) }
+    Task {
+        name: "MNIST-like (CNN)",
+        train: Arc::new(train),
+        test: Arc::new(test),
+        model_builder: |rng| models::image_cnn(rng, 1, 8, 10),
+    }
 }
 
 /// Fashion-MNIST stand-in: same geometry, noisier distribution.
@@ -59,7 +73,12 @@ pub fn fashion_like(seed: u64) -> Task {
         prototype_scale: 1.0,
     };
     let (train, test) = spec.generate(seed ^ 0xfa51);
-    Task { name: "Fashion-like (CNN)", train, test, model_builder: |rng| models::image_cnn(rng, 1, 8, 10) }
+    Task {
+        name: "Fashion-like (CNN)",
+        train: Arc::new(train),
+        test: Arc::new(test),
+        model_builder: |rng| models::image_cnn(rng, 1, 8, 10),
+    }
 }
 
 /// CIFAR-10 stand-in: 3×8×8 synthetic RGB + the residual network.
@@ -74,7 +93,12 @@ pub fn cifar_like(seed: u64) -> Task {
         prototype_scale: 1.0,
     };
     let (train, test) = spec.generate(seed ^ 0xc1fa);
-    Task { name: "CIFAR-like (ResNet)", train, test, model_builder: |rng| models::resnet_lite(rng, 3, 8, 10) }
+    Task {
+        name: "CIFAR-like (ResNet)",
+        train: Arc::new(train),
+        test: Arc::new(test),
+        model_builder: |rng| models::resnet_lite(rng, 3, 8, 10),
+    }
 }
 
 /// AG-News stand-in: synthetic 4-topic token sequences + TextRNN (LSTM).
@@ -91,8 +115,8 @@ pub fn agnews_like(seed: u64) -> Task {
     let (train, test) = spec.generate(seed ^ 0xa6);
     Task {
         name: "AGNews-like (TextRNN)",
-        train,
-        test,
+        train: Arc::new(train),
+        test: Arc::new(test),
         model_builder: |rng| models::text_rnn(rng, 200, 8, 16, 4),
     }
 }
@@ -109,12 +133,99 @@ pub fn mlp_task(seed: u64) -> Task {
         prototype_scale: 1.0,
     };
     let (train, test) = spec.generate(seed ^ 0x317);
-    Task { name: "MLP (synthetic)", train, test, model_builder: |rng| models::mlp(rng, 64, &[32], 5) }
+    Task {
+        name: "MLP (synthetic)",
+        train: Arc::new(train),
+        test: Arc::new(test),
+        model_builder: |rng| models::mlp(rng, 64, &[32], 5),
+    }
 }
 
 /// All four paper tasks in Table I order.
 pub fn paper_tasks(seed: u64) -> Vec<Task> {
     vec![mnist_like(seed), fashion_like(seed), cifar_like(seed), agnews_like(seed)]
+}
+
+/// Short names accepted by [`by_name`], in Table I order (+ the test MLP).
+pub const TASK_NAMES: &[&str] = &["mnist", "fashion", "cifar", "agnews", "mlp"];
+
+/// Builds a task by its short name (see [`TASK_NAMES`]).
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn by_name(name: &str, seed: u64) -> Task {
+    match name {
+        "mnist" => mnist_like(seed),
+        "fashion" => fashion_like(seed),
+        "cifar" => cifar_like(seed),
+        "agnews" => agnews_like(seed),
+        "mlp" => mlp_task(seed),
+        other => panic!("unknown task {other:?} (mnist|fashion|cifar|agnews|mlp)"),
+    }
+}
+
+/// Memoized task construction for scenario grids, keyed by
+/// `(task name, data seed)`.
+///
+/// The first request for a key generates the task's datasets; every later
+/// request — concurrent grid cells included — receives a cheap [`Task`]
+/// clone sharing the same `Arc`'d data. Because generation is a pure
+/// function of the key, a cache hit is bit-identical to an uncached build
+/// (asserted by `tests/resource_cache.rs`).
+#[derive(Clone, Debug, Default)]
+pub struct TaskCache {
+    cache: ResourceCache<(String, u64), Task>,
+}
+
+impl TaskCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the (possibly cached) task for `(name, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown task name.
+    pub fn get(&self, name: &str, seed: u64) -> Task {
+        (*self.cache.get_or_create((name.to_string(), seed), || by_name(name, seed))).clone()
+    }
+
+    /// Distinct `(name, seed)` keys generated so far.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether no task has been requested yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Requests served from cache.
+    pub fn hits(&self) -> usize {
+        self.cache.hits()
+    }
+
+    /// Requests that generated a task (one per distinct key).
+    pub fn misses(&self) -> usize {
+        self.cache.misses()
+    }
+
+    /// `(name, seed, train fingerprint, test fingerprint)` for every
+    /// generated task, sorted by key — a stable identity block for
+    /// reproducible sweep reports.
+    pub fn snapshot(&self) -> Vec<(String, u64, u64, u64)> {
+        let mut rows: Vec<(String, u64, u64, u64)> = self
+            .cache
+            .entries()
+            .into_iter()
+            .map(|((name, seed), task)| (name, seed, task.train.fingerprint(), task.test.fingerprint()))
+            .collect();
+        rows.sort();
+        rows
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +251,35 @@ mod tests {
         let a = mnist_like(3);
         let b = mnist_like(3);
         assert_eq!(a.train.samples()[0], b.train.samples()[0]);
+    }
+
+    #[test]
+    fn by_name_covers_every_task() {
+        for name in TASK_NAMES {
+            let t = by_name(name, 3);
+            assert!(!t.train.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn task_clone_shares_datasets() {
+        let a = mlp_task(2);
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.train, &b.train) && Arc::ptr_eq(&a.test, &b.test));
+    }
+
+    #[test]
+    fn task_cache_hits_share_and_miss_once() {
+        let cache = TaskCache::new();
+        let a = cache.get("mlp", 7);
+        let b = cache.get("mlp", 7);
+        let c = cache.get("mlp", 8);
+        assert!(Arc::ptr_eq(&a.train, &b.train), "same key shares the dataset");
+        assert!(!Arc::ptr_eq(&a.train, &c.train), "different seed is a different dataset");
+        assert_eq!((cache.len(), cache.misses(), cache.hits()), (2, 2, 1));
+        let snap = cache.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_ne!(snap[0].2, snap[1].2, "fingerprints separate data seeds");
     }
 
     #[test]

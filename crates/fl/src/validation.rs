@@ -7,11 +7,11 @@
 //! such data "may not always be available in practice" — these two
 //! implementations make the comparison concrete.
 //!
-//! * **FLTrust** (Cao et al., NDSS'21 — the paper's [27]): the server
+//! * **FLTrust** (Cao et al., NDSS'21 — the paper's \[27\]): the server
 //!   computes its own gradient on the root data, weights each client
 //!   gradient by the ReLU-clipped cosine similarity to it, rescales every
 //!   accepted gradient to the server gradient's norm, and averages.
-//! * **Zeno** (Xie et al., ICML'19 — the paper's [17]): scores each
+//! * **Zeno** (Xie et al., ICML'19 — the paper's \[17\]): scores each
 //!   gradient by the estimated loss decrease on the root data minus a
 //!   magnitude penalty, `loss(x) − loss(x − γg) − ρ‖g‖²`, and averages the
 //!   `n − b` best-scoring gradients.

@@ -1,0 +1,209 @@
+//! Memoized shared resources for scenario grids.
+//!
+//! A scenario grid runs many cells over the *same* generated inputs — every
+//! Table I cell of one task trains on the same synthetic dataset, every
+//! Fig. 6 skew level re-partitions the same corpus. Regenerating those
+//! inputs per cell multiplies the grid's setup cost by the cell count.
+//! [`ResourceCache`] memoizes any `K → V` construction behind `Arc`s so the
+//! first cell to ask for a key pays the generation and every later cell —
+//! on any thread — shares the result.
+//!
+//! # Concurrency
+//!
+//! The cache is safe to clone into concurrently running grid cells (clones
+//! share state). Each key is generated **at most once**: concurrent
+//! requests for the same key block on a per-key [`OnceLock`] rather than
+//! racing duplicate generations, and the map lock is *not* held while a
+//! value is being built, so generating one key never serializes requests
+//! for other keys.
+//!
+//! # Determinism
+//!
+//! Memoization cannot perturb results: the cached value is produced by the
+//! same pure constructor a cache-less cell would have called, and sharing
+//! is by immutable `Arc`. The hit/miss counters are execution-order
+//! independent too — every distinct key is exactly one miss (the request
+//! that ran the constructor) and every other request is a hit — so they may
+//! appear in reproducible reports.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+struct CacheInner<K, V> {
+    slots: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// A concurrent memoization cache handing out `Arc<V>` per key.
+///
+/// Cloning is cheap and clones share the underlying cache — move a clone
+/// into each grid cell closure.
+///
+/// # Examples
+///
+/// ```
+/// use sg_runtime::ResourceCache;
+///
+/// let cache: ResourceCache<(String, u64), Vec<u32>> = ResourceCache::new();
+/// let a = cache.get_or_create(("mnist".into(), 7), || vec![1, 2, 3]);
+/// let b = cache.get_or_create(("mnist".into(), 7), || unreachable!("cached"));
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// assert_eq!((cache.misses(), cache.hits()), (1, 1));
+/// ```
+pub struct ResourceCache<K, V> {
+    inner: Arc<CacheInner<K, V>>,
+}
+
+impl<K, V> Clone for ResourceCache<K, V> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<K, V> std::fmt::Debug for ResourceCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResourceCache")
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl<K, V> Default for ResourceCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> ResourceCache<K, V> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(CacheInner {
+                slots: Mutex::new(HashMap::new()),
+                hits: AtomicUsize::new(0),
+                misses: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Number of keys with a (started) generation.
+    pub fn len(&self) -> usize {
+        self.inner.slots.lock().expect("resource cache lock").len()
+    }
+
+    /// Whether no key has been requested yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Requests that found the value already generated.
+    pub fn hits(&self) -> usize {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that ran the constructor (one per distinct key).
+    pub fn misses(&self) -> usize {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> ResourceCache<K, V> {
+    /// Returns the cached value for `key`, running `make` to create it on
+    /// first request. Concurrent requests for the same key wait for the one
+    /// in-flight construction instead of duplicating it.
+    pub fn get_or_create(&self, key: K, make: impl FnOnce() -> V) -> Arc<V> {
+        let cell = {
+            let mut slots = self.inner.slots.lock().expect("resource cache lock");
+            Arc::clone(slots.entry(key).or_insert_with(|| Arc::new(OnceLock::new())))
+        };
+        // The map lock is released: `make` runs (or is awaited) on the
+        // per-key cell only, so other keys stay fully concurrent.
+        let mut built = false;
+        let value = Arc::clone(cell.get_or_init(|| {
+            built = true;
+            Arc::new(make())
+        }));
+        if built {
+            self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// All generated `(key, value)` entries, in unspecified order. Callers
+    /// that put entries in a report must sort them first.
+    pub fn entries(&self) -> Vec<(K, Arc<V>)> {
+        let slots = self.inner.slots.lock().expect("resource cache lock");
+        slots.iter().filter_map(|(k, cell)| cell.get().map(|v| (k.clone(), Arc::clone(v)))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_by_key_and_counts() {
+        let cache: ResourceCache<u32, String> = ResourceCache::new();
+        assert!(cache.is_empty());
+        let a = cache.get_or_create(1, || "one".to_string());
+        let b = cache.get_or_create(1, || panic!("must be cached"));
+        let c = cache.get_or_create(2, || "two".to_string());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*c, "two");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_cache() {
+        let cache: ResourceCache<&'static str, u64> = ResourceCache::new();
+        let clone = cache.clone();
+        let a = cache.get_or_create("k", || 41);
+        let b = clone.get_or_create("k", || 42);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*b, 41);
+        assert_eq!(clone.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_requests_generate_once() {
+        let cache: ResourceCache<u8, usize> = ResourceCache::new();
+        let generations = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cache = cache.clone();
+                let generations = Arc::clone(&generations);
+                s.spawn(move || {
+                    let v = cache.get_or_create(9, || {
+                        generations.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window so waiters really overlap.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        7
+                    });
+                    assert_eq!(*v, 7);
+                });
+            }
+        });
+        assert_eq!(generations.load(Ordering::SeqCst), 1, "constructor ran more than once");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 7);
+    }
+
+    #[test]
+    fn entries_reports_generated_values() {
+        let cache: ResourceCache<u32, u32> = ResourceCache::new();
+        cache.get_or_create(3, || 30);
+        cache.get_or_create(1, || 10);
+        let mut entries: Vec<(u32, u32)> = cache.entries().into_iter().map(|(k, v)| (k, *v)).collect();
+        entries.sort_unstable();
+        assert_eq!(entries, vec![(1, 10), (3, 30)]);
+    }
+}

@@ -28,6 +28,14 @@ impl Engine {
         Self { pool: Arc::new(WorkerPool::new(threads)) }
     }
 
+    /// Engine on an existing pool (clones share workers). This is how a
+    /// grid cell's engine is carved out of the grid's own [`WorkerPool`]:
+    /// outer cell fan-out and inner kernel sharding then draw from one
+    /// physical thread budget instead of multiplying pools.
+    pub fn on_pool(pool: WorkerPool) -> Self {
+        Self { pool: Arc::new(pool) }
+    }
+
     /// The worker pool (per-item parallelism: client training, grid cells).
     pub fn pool(&self) -> &WorkerPool {
         &self.pool
@@ -65,6 +73,19 @@ mod tests {
     fn parallel_zero_resolves_to_cores() {
         assert!(Engine::parallel(0).parallelism() >= 1);
         assert_eq!(Engine::parallel(3).parallelism(), 3);
+    }
+
+    #[test]
+    fn on_pool_shares_workers() {
+        let pool = WorkerPool::new(3);
+        let a = Engine::on_pool(pool.clone());
+        let b = Engine::on_pool(pool);
+        assert_eq!(a.parallelism(), 3);
+        assert_eq!(b.pool().workers(), 2);
+        // Both engines feed the same injector; a batch on either works.
+        let mut out = vec![0.0f32; 8];
+        a.executor().run_chunks(&mut out, 2, &|i, chunk| chunk.fill(i as f32));
+        assert_eq!(out[7], 3.0);
     }
 
     #[test]

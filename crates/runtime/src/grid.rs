@@ -5,15 +5,31 @@
 //! cells, [`GridRunner`] executes them concurrently on a [`WorkerPool`],
 //! and the [`GridReport`] returns outputs in plan order.
 //!
+//! # Two-level scheduling
+//!
+//! Each cell's [`CellContext`] carries an [`Engine`] carved from the
+//! runner's own pool ([`CellContext::engine`]): a cell that builds its
+//! simulator with `Simulator::with_engine(…, ctx.engine().clone())` shards
+//! its *inner* work — client training, coordinate kernels, pairwise
+//! distances — onto the same worker threads that fan the cells out. Both
+//! levels feed one injector queue, so the grid keeps every thread busy
+//! whether the bottleneck is many small cells (outer parallelism wins) or
+//! a few huge ones (inner sharding wins), without ever oversubscribing the
+//! configured thread budget. Nested batches are sound by the pool's batch
+//! invariant (see `pool`): a submitter blocked on an inner batch helps
+//! drain the shared queue instead of idling.
+//!
 //! # Seed schedule
 //!
 //! Each cell receives a seed derived from the plan seed with `SeedStream`,
 //! assigned **in cell-index order before any cell runs**. Execution order
-//! therefore cannot perturb any cell's randomness, and a plan re-run at a
-//! different parallelism reproduces every cell bit for bit.
+//! therefore cannot perturb any cell's randomness, and — because the
+//! engine's determinism contract also covers nested execution — a plan
+//! re-run at a different parallelism reproduces every cell bit for bit.
 
 use sg_math::SeedStream;
 
+use crate::engine::Engine;
 use crate::pool::WorkerPool;
 
 /// Context handed to a cell when it runs.
@@ -25,6 +41,16 @@ pub struct CellContext {
     pub label: String,
     /// Seed from the plan's deterministic schedule.
     pub seed: u64,
+    engine: Engine,
+}
+
+impl CellContext {
+    /// The cell's execution engine, sharing the grid's worker pool — pass
+    /// it to `Simulator::with_engine` to shard the cell's inner work
+    /// across the same threads that run the cells (two-level parallelism).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
 }
 
 type CellFn<T> = Box<dyn FnOnce(&CellContext) -> T + Send>;
@@ -134,6 +160,9 @@ impl GridRunner {
     /// Runs every cell and collects outputs in plan order.
     pub fn run<T: Send>(&self, plan: RunPlan<T>) -> GridReport<T> {
         let plan_seed = plan.seed;
+        // Every cell's engine shares this runner's pool: inner sharding
+        // and outer fan-out draw from one thread budget.
+        let engine = Engine::on_pool(self.pool.clone());
         // Seeds are fixed by cell index here, before dispatch: the
         // schedule is part of the plan, not of the execution.
         let mut stream = SeedStream::new(plan_seed);
@@ -141,7 +170,9 @@ impl GridRunner {
             .cells
             .into_iter()
             .enumerate()
-            .map(|(index, (label, run))| (CellContext { index, label, seed: stream.next_seed() }, run))
+            .map(|(index, (label, run))| {
+                (CellContext { index, label, seed: stream.next_seed(), engine: engine.clone() }, run)
+            })
             .collect();
         let cells = self.pool.map(jobs, |_, (ctx, run)| {
             let output = run(&ctx);
@@ -190,6 +221,40 @@ mod tests {
         let report = GridRunner::new(1).run(plan_of_squares(4));
         assert_eq!(report.get("cell-2").expect("cell").index, 2);
         assert!(report.get("missing").is_none());
+    }
+
+    #[test]
+    fn cell_engine_shares_runner_pool() {
+        let runner = GridRunner::new(3);
+        let mut plan = RunPlan::new(1);
+        plan.cell("width", |ctx| ctx.engine().parallelism());
+        assert_eq!(runner.run(plan).cells[0].output, 3);
+    }
+
+    #[test]
+    fn cells_can_shard_inner_work_on_their_engine() {
+        // Nested batches: every cell runs a chunked kernel on the same
+        // pool that fans the cells out, at several thread budgets.
+        for jobs in [1usize, 2, 4] {
+            let mut plan = RunPlan::new(5);
+            for len in [0usize, 1, 37, 200] {
+                plan.cell(format!("len-{len}"), move |ctx| {
+                    let mut out = vec![0.0f32; len];
+                    ctx.engine().executor().run_chunks(&mut out, 8, &|i, chunk| {
+                        for (j, x) in chunk.iter_mut().enumerate() {
+                            *x = (i * 100 + j) as f32;
+                        }
+                    });
+                    out
+                });
+            }
+            let report = GridRunner::new(jobs).run(plan);
+            for cell in &report.cells {
+                for (k, &x) in cell.output.iter().enumerate() {
+                    assert_eq!(x, ((k / 8) * 100 + k % 8) as f32, "jobs {jobs} cell {}", cell.label);
+                }
+            }
+        }
     }
 
     #[test]

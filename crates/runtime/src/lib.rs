@@ -10,6 +10,7 @@
 //! | [`arena`] | [`GradientArena`]: per-client gradient buffers reused across rounds |
 //! | [`engine`] | [`Engine`]: the handle a `Simulator` runs on (pool + executor) |
 //! | [`grid`] | [`RunPlan`] → [`GridRunner`]: many independent scenario cells executed concurrently |
+//! | [`cache`] | [`ResourceCache`]: memoized shared resources (datasets, tasks) for grid cells |
 //!
 //! # Threading model
 //!
@@ -44,7 +45,19 @@
 //!    (per-client distances + coordinate-chunked weighted mean).
 //! 2. **Across scenarios** — [`GridRunner`] executes independent
 //!    (attack × aggregator × partitioning) cells of a [`RunPlan`]
-//!    concurrently, each cell being a full sequential-inside simulation.
+//!    concurrently. The two axes *compose*: each cell's
+//!    [`CellContext`] carries an [`Engine`] carved from the grid's own
+//!    pool, so a cell built with `Simulator::with_engine(…,
+//!    ctx.engine().clone())` shards its inner work onto the same threads
+//!    that fan the cells out. Both levels feed one injector queue — a
+//!    submitter blocked on an inner batch helps drain the queue — which
+//!    keeps the thread budget fixed and every thread busy whether the
+//!    grid is many small cells or a few huge ones.
+//!
+//! Grid cells of one task share generated inputs through
+//! [`ResourceCache`]: the first cell to request `(task, data_seed)` pays
+//! the dataset generation, every later cell receives the same `Arc` —
+//! with per-key at-most-once construction even under concurrent requests.
 //!
 //! # Determinism contract
 //!
@@ -71,11 +84,13 @@
 //! `SG_THREADS`).
 
 pub mod arena;
+pub mod cache;
 pub mod engine;
 pub mod grid;
 pub mod pool;
 
 pub use arena::GradientArena;
+pub use cache::ResourceCache;
 pub use engine::Engine;
 pub use grid::{CellContext, CellResult, GridReport, GridRunner, RunPlan};
 pub use pool::WorkerPool;

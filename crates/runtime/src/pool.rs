@@ -26,7 +26,7 @@
 //! Batch tasks borrow caller-stack data (gradients, output slices), which
 //! requires erasing their lifetimes before they can sit in the `'static`
 //! injector queue. Soundness hinges on one invariant, maintained by
-//! [`WorkerPool::run_batch`]: **a batch submission never returns — normally
+//! `WorkerPool::run_batch`: **a batch submission never returns — normally
 //! or by unwinding — before every task of the batch has finished running**,
 //! so no erased borrow is ever dereferenced after its referent is gone.
 

@@ -1,0 +1,82 @@
+//! The resource-cache contract, end to end: a cache-hit cell sees exactly
+//! the bytes an uncached cell would have generated, keys never collide
+//! across task names or data seeds, and a grid's worth of concurrent
+//! cells triggers exactly one generation per key.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use signguard::attacks::SignFlip;
+use signguard::core::SignGuard;
+use signguard::fl::{tasks, FlConfig, RunResult, Simulator, Task, TaskCache};
+use signguard::runtime::{GridRunner, RunPlan};
+
+fn quick_cfg() -> FlConfig {
+    FlConfig {
+        num_clients: 10,
+        byzantine_fraction: 0.2,
+        batch_size: 8,
+        epochs: 1,
+        seed: 5,
+        ..FlConfig::default()
+    }
+}
+
+fn run_once(task: Task) -> RunResult {
+    let mut sim =
+        Simulator::new(task, quick_cfg(), Box::new(SignGuard::plain(0)), Some(Box::new(SignFlip::new())));
+    sim.run()
+}
+
+#[test]
+fn cache_hit_is_bit_identical_to_uncached_build() {
+    let cache = TaskCache::new();
+    let _prime = cache.get("mlp", 7);
+    let cached = cache.get("mlp", 7);
+    assert_eq!((cache.misses(), cache.hits()), (1, 1), "second get must be a hit");
+
+    let fresh = tasks::by_name("mlp", 7);
+    assert_eq!(cached.train.fingerprint(), fresh.train.fingerprint(), "train bytes diverge");
+    assert_eq!(cached.test.fingerprint(), fresh.test.fingerprint(), "test bytes diverge");
+
+    let a = run_once(cached);
+    let b = run_once(fresh);
+    assert_eq!(a.rounds, b.rounds, "cached vs uncached: per-round metrics diverge");
+    assert_eq!(a.accuracy_curve, b.accuracy_curve);
+    assert_eq!(a.selection, b.selection);
+    assert_eq!(a.best_accuracy.to_bits(), b.best_accuracy.to_bits());
+    assert_eq!(a.final_accuracy.to_bits(), b.final_accuracy.to_bits());
+}
+
+#[test]
+fn keys_do_not_collide_across_tasks_or_data_seeds() {
+    let cache = TaskCache::new();
+    let keys: [(&str, u64); 4] = [("mlp", 7), ("mlp", 8), ("fashion", 7), ("mnist", 7)];
+    let fps: Vec<u64> = keys.iter().map(|&(name, seed)| cache.get(name, seed).train.fingerprint()).collect();
+    let distinct: HashSet<u64> = fps.iter().copied().collect();
+    assert_eq!(distinct.len(), keys.len(), "colliding fingerprints: {fps:x?}");
+    assert_eq!((cache.len(), cache.misses(), cache.hits()), (4, 4, 0));
+
+    // The snapshot is the sorted, reproducible view the sweep report embeds.
+    let snapshot = cache.snapshot();
+    assert_eq!(snapshot.len(), 4);
+    assert!(snapshot.windows(2).all(|w| w[0] <= w[1]), "snapshot must be sorted");
+}
+
+#[test]
+fn concurrent_grid_cells_share_one_generation() {
+    let cache = TaskCache::new();
+    let mut plan: RunPlan<usize> = RunPlan::new(1);
+    for i in 0..8 {
+        let cache = cache.clone();
+        plan.cell(format!("cell-{i}"), move |_ctx| {
+            let task = cache.get("mlp", 7);
+            Arc::as_ptr(&task.train) as usize
+        });
+    }
+    let report = GridRunner::new(4).run(plan);
+    let ptrs: HashSet<usize> = report.cells.iter().map(|c| c.output).collect();
+    assert_eq!(ptrs.len(), 1, "all cells must share one generated dataset");
+    assert_eq!(cache.misses(), 1, "exactly one cell pays the generation");
+    assert_eq!(cache.hits(), 7);
+}

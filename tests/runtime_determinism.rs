@@ -208,6 +208,45 @@ fn grid_runner_parallel_matches_sequential() {
 }
 
 #[test]
+fn two_level_grid_matches_sequential() {
+    // Nested execution: cells run their simulators on `ctx.engine()` — the
+    // engine carved from the grid's own pool, so client training and the
+    // aggregators' sharded kernels run on the same threads that fan the
+    // cells out — while sharing one generated dataset via a TaskCache.
+    // The whole sweep must be bit-identical at any `--jobs` width.
+    use signguard::fl::TaskCache;
+    let build = |cache: TaskCache| -> RunPlan<RunResult> {
+        let mut plan = RunPlan::new(77);
+        for (gar_kind, attack_on) in
+            [("signguard", true), ("mean", true), ("trmean", false), ("signguard", false), ("mean", false)]
+        {
+            let cache = cache.clone();
+            plan.cell(format!("{gar_kind}/attack={attack_on}"), move |ctx| {
+                let gar: Box<dyn Aggregator> = match gar_kind {
+                    "mean" => Box::new(Mean::new()),
+                    "trmean" => Box::new(TrimmedMean::new(2)),
+                    _ => Box::new(SignGuard::plain(3)),
+                };
+                let attack = attack_on.then(|| Box::new(SignFlip::new()) as _);
+                let task = cache.get("mlp", 7);
+                let mut sim = Simulator::with_engine(task, quick_cfg(9), gar, attack, ctx.engine().clone());
+                sim.run()
+            });
+        }
+        plan
+    };
+    let seq = GridRunner::new(1).run(build(TaskCache::new()));
+    for jobs in par_thread_counts() {
+        let par = GridRunner::new(jobs).run(build(TaskCache::new()));
+        assert_eq!(seq.cells.len(), par.cells.len());
+        for (a, b) in seq.cells.iter().zip(&par.cells) {
+            assert_eq!(a.seed, b.seed, "nested run must keep the seed schedule");
+            assert_bit_identical(&a.output, &b.output, &format!("{} @ {jobs} jobs (two-level)", a.label));
+        }
+    }
+}
+
+#[test]
 fn grid_seed_schedule_derives_distinct_cell_seeds() {
     let report = GridRunner::new(2).run(grid_plan());
     let mut seeds: Vec<u64> = report.cells.iter().map(|c| c.seed).collect();
