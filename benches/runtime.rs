@@ -1,7 +1,8 @@
 //! Round-throughput bench: sequential vs. parallel engine at 32 / 128
-//! clients, the grid driver fanning out whole scenario cells, and the
-//! robust-aggregator family (mean / median / krum / bulyan / geomed)
-//! sequential vs. sharded.
+//! clients, the grid driver fanning out whole scenario cells, the
+//! schedule axis (sync vs. straggler vs. async-buffered pipeline overhead
+//! at 128 clients), and the robust-aggregator family (mean / median /
+//! krum / bulyan / geomed) sequential vs. sharded.
 //!
 //! ```sh
 //! cargo bench --bench runtime
@@ -15,7 +16,10 @@
 //!
 //! After the Criterion groups, the binary times one `aggregate` call per
 //! rule — sequential vs. an `SG_BENCH_THREADS`-wide pool (default 4) at
-//! 128 clients — and writes the wall times to `target/BENCH_pr.json`. With
+//! 128 clients — plus the scheduler hot path (per-step pipeline time of
+//! the straggler and async-buffered schedules against the synchronous
+//! baseline, as `sched/*` rows), and writes the wall times to
+//! `target/BENCH_pr.json`. With
 //! `SG_BENCH_GATE=1` (CI's bench-gate job) the process exits non-zero if
 //! any rule is slower parallel than sequential, **or** if a rule's
 //! parallel speedup regressed below `SG_BENCH_REGRESSION` (default 0.5)
@@ -37,7 +41,7 @@ use std::time::Instant;
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use signguard::aggregators::{Aggregator, Bulyan, CoordinateMedian, GeoMed, Mean, MultiKrum};
 use signguard::core::SignGuard;
-use signguard::fl::{tasks, FlConfig, SelectionTracker, Simulator};
+use signguard::fl::{tasks, FlConfig, Schedule, SelectionTracker, Simulator};
 use signguard::runtime::{Engine, GridRunner, RunPlan};
 
 fn round_cfg(clients: usize) -> FlConfig {
@@ -96,6 +100,44 @@ fn bench_grid_fanout(c: &mut Criterion) {
                     });
                 }
                 GridRunner::new(jobs).run(plan).cells.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+// ---- scheduler overhead (sync vs. async schedules) ---------------------
+
+/// Round-pipeline overhead of the schedule axis at 128 clients: the sync
+/// schedule against straggler and FedBuf-style buffered-async. The delta
+/// over `sync` is what the virtual clock, the model-history snapshots and
+/// the pending-update buffer cost per server step. The perf gate measures
+/// the same path as `sched/*` rows in `BENCH_pr.json` and diffs the
+/// overhead ratio against the committed baseline.
+fn bench_scheduler_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_overhead_128_clients");
+    group.sample_size(10);
+    let schedules: [(&str, Schedule); 3] = [
+        ("sync", Schedule::Sync),
+        ("straggler", Schedule::Straggler { slow_fraction: 0.3, max_delay: 4 }),
+        ("async-buffered", Schedule::AsyncBuffered { k: 64, max_delay: 4 }),
+    ];
+    for (name, schedule) in schedules {
+        group.bench_function(name, |b| {
+            // Mean keeps the aggregation cost flat, so the measured
+            // difference is the scheduler/pipeline machinery itself.
+            let mut sim = Simulator::with_engine(
+                tasks::mlp_task(1),
+                FlConfig { schedule, ..round_cfg(128) },
+                Box::new(Mean::new()),
+                None,
+                Engine::sequential(),
+            );
+            let mut tracker = SelectionTracker::new();
+            let mut round = 0;
+            b.iter(|| {
+                sim.step(round, &mut tracker);
+                round += 1;
             });
         });
     }
@@ -163,8 +205,36 @@ fn time_aggregate(build: RuleBuilder, clients: usize, grads: &[Vec<f32>], engine
     best
 }
 
-/// Times the rule family seq vs. par, writes `target/BENCH_pr.json`, and —
-/// under `SG_BENCH_GATE=1` — fails the process if parallel lost anywhere.
+/// Mean per-step wall time of `steps` pipeline steps under `schedule`
+/// (best of 3 fresh simulators; construction excluded).
+fn time_schedule(schedule: Schedule, steps: usize) -> f64 {
+    let reps = 3;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut sim = Simulator::with_engine(
+            tasks::mlp_task(1),
+            FlConfig { schedule, ..round_cfg(128) },
+            Box::new(Mean::new()),
+            None,
+            Engine::sequential(),
+        );
+        let mut tracker = SelectionTracker::new();
+        let start = Instant::now();
+        for round in 0..steps {
+            sim.step(round, &mut tracker);
+        }
+        best = best.min(start.elapsed().as_secs_f64() / steps as f64);
+    }
+    best
+}
+
+/// Times the rule family seq vs. par **and** the scheduler hot path (per-
+/// step pipeline time of the async schedules against the synchronous
+/// baseline, as `sched/*` rows), writes `target/BENCH_pr.json`, and —
+/// under `SG_BENCH_GATE=1` — fails the process if parallel lost anywhere
+/// or a speedup ratio regressed against the baseline. `sched/*` rows take
+/// part in the baseline-ratio diff only (an async schedule is not a
+/// parallel variant of sync, so "par must beat seq" does not apply).
 fn perf_gate() {
     let threads: usize =
         std::env::var("SG_BENCH_THREADS").ok().and_then(|v| v.parse().ok()).filter(|&t| t > 0).unwrap_or(4);
@@ -188,6 +258,28 @@ fn perf_gate() {
             seq_s / par_s
         );
         rows.push((name, dim, seq_s, par_s));
+    }
+
+    // Scheduler hot path: per-step pipeline time under each async schedule
+    // vs. the synchronous baseline at 128 clients. Stored as (sync, sched)
+    // in the (seq, par) columns, so the baseline diff gates the overhead
+    // ratio — a regression in the virtual clock, the model-history
+    // snapshots or the pending buffer shows up as a ratio drop.
+    let steps = 30usize;
+    let sync_s = time_schedule(Schedule::Sync, steps);
+    let sched_rows: [(&str, Schedule); 2] = [
+        ("sched/straggler", Schedule::Straggler { slow_fraction: 0.3, max_delay: 4 }),
+        ("sched/async-buffered", Schedule::AsyncBuffered { k: 64, max_delay: 4 }),
+    ];
+    for (name, schedule) in sched_rows {
+        let sched_s = time_schedule(schedule, steps);
+        println!(
+            "  {name:<20}  sync {:>9.3} ms/step  sched {:>9.3} ms/step  ratio {:>5.2}",
+            sync_s * 1e3,
+            sched_s * 1e3,
+            sync_s / sched_s
+        );
+        rows.push((name, 0, sync_s, sched_s));
     }
 
     let json_rows: Vec<String> = rows
@@ -223,8 +315,12 @@ fn perf_gate() {
             );
             return;
         }
-        let losers: Vec<&str> =
-            rows.iter().filter(|(_, _, seq_s, par_s)| par_s > seq_s).map(|&(name, ..)| name).collect();
+        let losers: Vec<&str> = rows
+            .iter()
+            .filter(|(name, ..)| !name.starts_with("sched/"))
+            .filter(|(_, _, seq_s, par_s)| par_s > seq_s)
+            .map(|&(name, ..)| name)
+            .collect();
         if losers.is_empty() {
             println!("perf gate PASS: parallel beats sequential for every rule at {threads} threads");
         } else {
@@ -299,7 +395,13 @@ fn baseline_gate(rows: &[(&str, usize, f64, f64)]) {
     }
 }
 
-criterion_group!(benches, bench_round_throughput, bench_grid_fanout, bench_pairwise_family);
+criterion_group!(
+    benches,
+    bench_round_throughput,
+    bench_grid_fanout,
+    bench_scheduler_overhead,
+    bench_pairwise_family
+);
 
 fn main() {
     // SG_BENCH_GATE_ONLY=1 skips the Criterion groups: used to regenerate

@@ -1,6 +1,9 @@
 //! Centered clipping (Karimireddy et al., ICML'21) — a history-aided rule.
 
-use sg_math::vecops;
+use std::sync::Arc;
+
+use sg_math::vecops::{self, REDUCE_BLOCK};
+use sg_math::{ParallelExecutor, SeqExecutor};
 
 use crate::{validate_gradients, AggregationOutput, Aggregator};
 
@@ -10,11 +13,34 @@ use crate::{validate_gradients, AggregationOutput, Aggregator};
 /// carried across rounds. Cited in the paper's related work as the
 /// momentum/history line of defenses (\[31\], \[32\]); included here as an
 /// extension baseline.
-#[derive(Debug, Clone)]
+///
+/// Each clip iteration is two sharded `O(n·d)` passes on the installed
+/// executor, both bit-identical at any thread count:
+///
+/// * the clip factors run one client per chunk (`chunk_len == 1`), each
+///   `‖g_i − v‖` accumulated over the same fixed [`REDUCE_BLOCK`] tree —
+///   and the same `f32` subtraction — the sequential `sub` + `l2_norm`
+///   pair used;
+/// * the clipped-mean update runs in coordinate chunks, accumulating every
+///   coordinate across clients in client order (the sequential axpy
+///   order).
+#[derive(Clone)]
 pub struct CenteredClip {
     tau: f32,
     iters: usize,
     state: Option<Vec<f32>>,
+    exec: Arc<dyn ParallelExecutor>,
+}
+
+impl std::fmt::Debug for CenteredClip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CenteredClip")
+            .field("tau", &self.tau)
+            .field("iters", &self.iters)
+            .field("has_state", &self.state.is_some())
+            .field("parallelism", &self.exec.parallelism())
+            .finish()
+    }
 }
 
 impl CenteredClip {
@@ -25,7 +51,7 @@ impl CenteredClip {
     /// Panics if `tau` is not positive.
     pub fn new(tau: f32) -> Self {
         assert!(tau > 0.0, "CenteredClip: tau must be positive");
-        Self { tau, iters: 3, state: None }
+        Self { tau, iters: 3, state: None, exec: Arc::new(SeqExecutor) }
     }
 
     /// Sets the number of clipping iterations per round.
@@ -39,23 +65,70 @@ impl CenteredClip {
     pub fn reset(&mut self) {
         self.state = None;
     }
+
+    /// Seeds the carried aggregate (tests and warm restarts).
+    pub fn set_state(&mut self, v: Vec<f32>) {
+        self.state = Some(v);
+    }
+
+    /// `‖g − v‖` over the fixed reduction tree, with the difference taken
+    /// in `f32` — the exact float sequence of `l2_norm(&sub(g, v))`,
+    /// without materializing the difference vector.
+    fn diff_norm(g: &[f32], v: &[f32]) -> f32 {
+        let mut total = 0.0f64;
+        for (gb, vb) in g.chunks(REDUCE_BLOCK).zip(v.chunks(REDUCE_BLOCK)) {
+            let mut acc = 0.0f64;
+            for (&x, &y) in gb.iter().zip(vb) {
+                let d = x - y;
+                acc += f64::from(d) * f64::from(d);
+            }
+            total += acc;
+        }
+        total.sqrt() as f32
+    }
 }
 
 impl Aggregator for CenteredClip {
     fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
         let dim = validate_gradients(gradients);
+        let n = gradients.len();
         let mut v = match self.state.take() {
             Some(s) if s.len() == dim => s,
-            _ => vecops::mean_vector(gradients, dim),
-        };
-        for _ in 0..self.iters {
-            let mut acc = vec![0.0f32; dim];
-            for g in gradients {
-                let diff = vecops::sub(g, &v);
-                let clipped = vecops::clip_norm(&diff, self.tau);
-                vecops::axpy(1.0, &clipped, &mut acc);
+            _ => {
+                let mut v = vec![0.0f32; dim];
+                self.exec.run_chunks(&mut v, REDUCE_BLOCK, &|ci, chunk| {
+                    vecops::mean_chunk(gradients, ci * REDUCE_BLOCK, chunk);
+                });
+                v
             }
-            vecops::scale_in_place(&mut acc, 1.0 / gradients.len() as f32);
+        };
+        let mut factors = vec![0.0f32; n];
+        let mut acc = vec![0.0f32; dim];
+        let inv = 1.0 / n as f32;
+        for _ in 0..self.iters {
+            // Clip factors, one whole norm per client.
+            let v_ref = &v;
+            let tau = self.tau;
+            self.exec.run_chunks(&mut factors, 1, &|i, slot| {
+                let norm = Self::diff_norm(&gradients[i], v_ref);
+                slot[0] = if norm <= tau || norm == 0.0 { 1.0 } else { tau / norm };
+            });
+
+            // mean_i clip(g_i − v, τ), accumulated per coordinate in client
+            // order, sharded in coordinate chunks.
+            let factors_ref = &factors;
+            self.exec.run_chunks(&mut acc, REDUCE_BLOCK, &|ci, chunk| {
+                let base = ci * REDUCE_BLOCK;
+                chunk.fill(0.0);
+                for (g, &f) in gradients.iter().zip(factors_ref) {
+                    for (o, (&x, &y)) in chunk.iter_mut().zip(g[base..].iter().zip(&v_ref[base..])) {
+                        *o += (x - y) * f;
+                    }
+                }
+                for o in chunk.iter_mut() {
+                    *o *= inv;
+                }
+            });
             vecops::axpy(1.0, &acc, &mut v);
         }
         self.state = Some(v.clone());
@@ -64,6 +137,10 @@ impl Aggregator for CenteredClip {
 
     fn name(&self) -> &'static str {
         "CClip"
+    }
+
+    fn set_executor(&mut self, executor: Arc<dyn ParallelExecutor>) {
+        self.exec = executor;
     }
 }
 
@@ -85,7 +162,7 @@ mod tests {
         let g = vec![vec![0.0], vec![0.0], vec![0.0], vec![1e6]];
         let mut cc = CenteredClip::new(1.0).with_iters(1);
         // Start state at 0 to make the bound exact.
-        cc.state = Some(vec![0.0]);
+        cc.set_state(vec![0.0]);
         let out = cc.aggregate(&g);
         // The outlier contributes at most tau/n = 0.25.
         assert!(out.gradient[0] <= 0.25 + 1e-5, "{}", out.gradient[0]);
@@ -95,7 +172,7 @@ mod tests {
     fn state_carries_across_rounds() {
         let g = vec![vec![5.0]];
         let mut cc = CenteredClip::new(0.5).with_iters(1);
-        cc.state = Some(vec![0.0]);
+        cc.set_state(vec![0.0]);
         let first = cc.aggregate(&g).gradient[0];
         let second = cc.aggregate(&g).gradient[0];
         // Each round moves at most tau towards 5.0.
@@ -112,5 +189,36 @@ mod tests {
         // After reset the state is rebuilt from the (honest) mean.
         let out = cc.aggregate(&g);
         assert!((out.gradient[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn diff_norm_matches_sub_then_norm_bits() {
+        let dim = 2 * REDUCE_BLOCK + 99;
+        let g: Vec<f32> = (0..dim).map(|j| ((j as f32) * 0.377).cos() * 7.0).collect();
+        let v: Vec<f32> = (0..dim).map(|j| ((j as f32) * 0.123).sin() * 3.0).collect();
+        let expected = vecops::l2_norm(&vecops::sub(&g, &v));
+        assert_eq!(CenteredClip::diff_norm(&g, &v).to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn sharded_matches_sequential_bits() {
+        // Clipping must not change a bit under an adversarial chunk order,
+        // across multiple stateful rounds.
+        let dim = REDUCE_BLOCK + 61;
+        let g: Vec<Vec<f32>> = (0..12)
+            .map(|i| (0..dim).map(|j| ((i * dim + j) as f32 * 0.31).sin() * (1.0 + i as f32)).collect())
+            .collect();
+        let mut seq = CenteredClip::new(2.0).with_iters(3);
+        let seq_rounds: Vec<Vec<f32>> = (0..3).map(|_| seq.aggregate(&g).gradient).collect();
+        for threads in [2usize, 3, 8] {
+            let mut par = CenteredClip::new(2.0).with_iters(3);
+            par.set_executor(Arc::new(sg_math::StripedExec(threads)));
+            for round in &seq_rounds {
+                let got = par.aggregate(&g).gradient;
+                for (a, b) in round.iter().zip(&got) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+                }
+            }
+        }
     }
 }

@@ -1,8 +1,11 @@
 //! Divide-and-Conquer (DnC) aggregation (Shejwalkar & Houmansadr, NDSS'21).
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use sg_math::rng::sample_indices;
-use sg_math::seeded_rng;
+use sg_math::vecops::REDUCE_BLOCK;
+use sg_math::{seeded_rng, ParallelExecutor, SeqExecutor};
 
 use crate::{mean_of, validate_gradients, AggregationOutput, Aggregator};
 
@@ -13,20 +16,55 @@ use crate::{mean_of, validate_gradients, AggregationOutput, Aggregator};
 /// gradient by its squared projection on that direction, and discards the
 /// `c · f` highest-scoring gradients. The final good set is the
 /// intersection over iterations; the aggregate is its mean.
-#[derive(Debug)]
+///
+/// The `O(n·k)` passes over the subsampled `n × k` matrix shard across the
+/// installed executor while keeping each output value's floating-point
+/// order fixed:
+///
+/// * the gather and centering passes run one sub-gradient row per chunk
+///   (`chunk_len == k`), each row independent;
+/// * the column mean and the `Mᵀu` update run in coordinate chunks,
+///   accumulating every coordinate across clients in client order —
+///   exactly the sequential order;
+/// * the `Mv` projections and the final scores run one client per chunk
+///   (`chunk_len == 1`), each dot following the fixed `REDUCE_BLOCK` tree
+///   of [`sg_math::dot`];
+///
+/// so the selected set and the aggregate are bit-identical at any thread
+/// count. Coordinate subsampling itself stays on the rule's own seeded RNG
+/// and is untouched by the executor.
 pub struct DnC {
     assumed_byzantine: usize,
     iters: usize,
     subsample_dim: usize,
     filter_frac: f32,
     rng: StdRng,
+    exec: Arc<dyn ParallelExecutor>,
+}
+
+impl std::fmt::Debug for DnC {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DnC")
+            .field("assumed_byzantine", &self.assumed_byzantine)
+            .field("iters", &self.iters)
+            .field("subsample_dim", &self.subsample_dim)
+            .field("parallelism", &self.exec.parallelism())
+            .finish()
+    }
 }
 
 impl DnC {
     /// Creates DnC with the defaults of the original paper: `niters = 1`,
     /// filter fraction `c = 1.0`, coordinate subsample of up to 10 000.
     pub fn new(assumed_byzantine: usize) -> Self {
-        Self { assumed_byzantine, iters: 1, subsample_dim: 10_000, filter_frac: 1.0, rng: seeded_rng(0xd4c) }
+        Self {
+            assumed_byzantine,
+            iters: 1,
+            subsample_dim: 10_000,
+            filter_frac: 1.0,
+            rng: seeded_rng(0xd4c),
+            exec: Arc::new(SeqExecutor),
+        }
     }
 
     /// Number of filtering iterations (intersection over all of them).
@@ -50,24 +88,43 @@ impl DnC {
         self
     }
 
-    /// Top right-singular direction of the centered matrix via power
-    /// iteration; `rows` is `n` vectors of equal length.
-    fn top_direction(rows: &[Vec<f32>]) -> Vec<f32> {
-        let dim = rows[0].len();
-        let mut v = vec![1.0f32 / (dim as f32).sqrt(); dim];
+    /// Top right-singular direction of the centered `n × k` matrix (rows
+    /// flattened into `rows`) via power iteration, sharded on the executor.
+    fn top_direction(&self, rows: &[f32], n: usize, k: usize) -> Vec<f32> {
+        let mut v = vec![1.0f32 / (k as f32).sqrt(); k];
+        let mut u = vec![0.0f32; n];
+        let mut next = vec![0.0f32; k];
         for _ in 0..20 {
-            // u = M v (length n), then v' = M^T u, normalized.
-            let u: Vec<f32> = rows.iter().map(|r| sg_math::dot(r, &v)).collect();
-            let mut next = vec![0.0f32; dim];
-            for (r, &ui) in rows.iter().zip(&u) {
-                sg_math::vecops::axpy(ui, r, &mut next);
-            }
+            // u = M v (one whole dot per client, fixed reduction tree).
+            let v_ref = &v;
+            self.exec.run_chunks(&mut u, 1, &|i, slot| {
+                slot[0] = sg_math::dot(&rows[i * k..(i + 1) * k], v_ref);
+            });
+            // next = Mᵀ u: each coordinate accumulates across clients in
+            // client order (the sequential axpy order), sharded in
+            // coordinate chunks.
+            let u_ref = &u;
+            self.exec.run_chunks(&mut next, REDUCE_BLOCK, &|ci, chunk| {
+                let base = ci * REDUCE_BLOCK;
+                chunk.fill(0.0);
+                for (i, &w) in u_ref.iter().enumerate() {
+                    let row = &rows[i * k + base..i * k + base + chunk.len()];
+                    for (o, &x) in chunk.iter_mut().zip(row) {
+                        *o += w * x;
+                    }
+                }
+            });
             let norm = sg_math::l2_norm(&next);
             if norm < 1e-12 {
                 break;
             }
-            sg_math::vecops::scale_in_place(&mut next, 1.0 / norm);
-            v = next;
+            // Multiply by the precomputed reciprocal — the float sequence
+            // of the pre-port `scale_in_place(&mut next, 1.0 / norm)` —
+            // so the port does not perturb a single bit.
+            let inv = 1.0 / norm;
+            for (vi, &x) in v.iter_mut().zip(&next) {
+                *vi = x * inv;
+            }
         }
         v
     }
@@ -83,13 +140,56 @@ impl Aggregator for DnC {
         let mut good: Vec<bool> = vec![true; n];
         for _ in 0..self.iters {
             let coords = sample_indices(&mut self.rng, dim, self.subsample_dim.min(dim));
-            // Build sub-gradients and center them.
-            let subs: Vec<Vec<f32>> =
-                gradients.iter().map(|g| coords.iter().map(|&c| g[c]).collect()).collect();
-            let mu = sg_math::vecops::mean_vector(&subs, coords.len());
-            let centered: Vec<Vec<f32>> = subs.iter().map(|s| sg_math::vecops::sub(s, &mu)).collect();
-            let v = Self::top_direction(&centered);
-            let scores: Vec<f32> = centered.iter().map(|c| sg_math::dot(c, &v).powi(2)).collect();
+            let k = coords.len();
+
+            // Gather the n × k sub-gradient matrix, one row per chunk.
+            let mut sub = vec![0.0f32; n * k];
+            let coords_ref = &coords;
+            self.exec.run_chunks(&mut sub, k, &|i, row| {
+                let g = &gradients[i];
+                for (x, &c) in row.iter_mut().zip(coords_ref) {
+                    *x = g[c];
+                }
+            });
+
+            // Column mean, accumulated per coordinate in client order
+            // (bit-identical to `vecops::mean_chunk` on the same rows).
+            let mut mu = vec![0.0f32; k];
+            let sub_ref = &sub;
+            let inv = 1.0 / n as f32;
+            self.exec.run_chunks(&mut mu, REDUCE_BLOCK, &|ci, chunk| {
+                let base = ci * REDUCE_BLOCK;
+                chunk.fill(0.0);
+                for i in 0..n {
+                    let row = &sub_ref[i * k + base..i * k + base + chunk.len()];
+                    for (o, &x) in chunk.iter_mut().zip(row) {
+                        *o += x;
+                    }
+                }
+                for o in chunk.iter_mut() {
+                    *o *= inv;
+                }
+            });
+
+            // Center in place, one row per chunk.
+            let mu_ref = &mu;
+            self.exec.run_chunks(&mut sub, k, &|_i, row| {
+                for (x, &m) in row.iter_mut().zip(mu_ref) {
+                    *x -= m;
+                }
+            });
+
+            let v = self.top_direction(&sub, n, k);
+
+            // Score = squared projection on the top direction, one whole
+            // dot per client.
+            let mut scores = vec![0.0f32; n];
+            let v_ref = &v;
+            let sub_ref = &sub;
+            self.exec.run_chunks(&mut scores, 1, &|i, slot| {
+                slot[0] = sg_math::dot(&sub_ref[i * k..(i + 1) * k], v_ref).powi(2);
+            });
+
             // Remove the `remove` highest-scoring gradients this round.
             let mut order: Vec<usize> = (0..n).collect();
             order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
@@ -109,6 +209,10 @@ impl Aggregator for DnC {
 
     fn name(&self) -> &'static str {
         "DnC"
+    }
+
+    fn set_executor(&mut self, executor: Arc<dyn ParallelExecutor>) {
+        self.exec = executor;
     }
 }
 
@@ -159,5 +263,23 @@ mod tests {
         let g = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
         let out = DnC::new(1).with_iters(5).aggregate(&g);
         assert!(!out.selected.expect("sel").is_empty());
+    }
+
+    #[test]
+    fn sharded_matches_sequential_bits() {
+        // The executor port must not change a bit relative to the
+        // sequential path, including with subsampling active.
+        let mut g = honest(9, 2 * REDUCE_BLOCK + 17);
+        g.push((0..2 * REDUCE_BLOCK + 17).map(|_| 40.0).collect());
+        let seq = DnC::new(2).with_seed(3).with_subsample_dim(500).aggregate(&g);
+        for threads in [2usize, 3, 8] {
+            let mut gar = DnC::new(2).with_seed(3).with_subsample_dim(500);
+            gar.set_executor(Arc::new(sg_math::StripedExec(threads)));
+            let par = gar.aggregate(&g);
+            assert_eq!(par.selected, seq.selected, "{threads} threads");
+            for (a, b) in seq.gradient.iter().zip(&par.gradient) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+            }
+        }
     }
 }

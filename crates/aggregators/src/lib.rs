@@ -34,6 +34,7 @@ mod geomed;
 mod krum;
 mod mean;
 mod signmajority;
+mod staleness;
 
 pub use bulyan::Bulyan;
 pub use centered_clip::CenteredClip;
@@ -42,6 +43,41 @@ pub use geomed::GeoMed;
 pub use krum::{pairwise_sq_distances, scores_from_matrix, MultiKrum};
 pub use mean::{CoordinateMedian, Mean, TrimmedMean};
 pub use signmajority::SignMajority;
+pub use staleness::StalenessDamped;
+
+/// Input to an aggregation rule: the message batch plus optional arrival
+/// metadata from asynchronous schedules.
+///
+/// Synchronous rounds carry no metadata ([`GradientBatch::synchronous`]);
+/// async schedules attach per-message staleness — how many server steps old
+/// the model each gradient was computed against is — so rules can
+/// down-weight or reject stale contributions (see [`StalenessDamped`])
+/// without the eight batch-only rules having to know staleness exists.
+#[derive(Debug, Clone, Copy)]
+pub struct GradientBatch<'a> {
+    /// Flattened client gradients, one per message.
+    pub gradients: &'a [Vec<f32>],
+    /// Per-message staleness in server steps, aligned with `gradients`
+    /// (`None` for synchronous rounds, where every message is fresh).
+    pub staleness: Option<&'a [usize]>,
+}
+
+impl<'a> GradientBatch<'a> {
+    /// A batch from a synchronous round (no arrival metadata).
+    pub fn synchronous(gradients: &'a [Vec<f32>]) -> Self {
+        Self { gradients, staleness: None }
+    }
+
+    /// A batch carrying per-message staleness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `staleness` and `gradients` lengths differ.
+    pub fn with_staleness(gradients: &'a [Vec<f32>], staleness: &'a [usize]) -> Self {
+        assert_eq!(staleness.len(), gradients.len(), "GradientBatch: staleness/gradient count mismatch");
+        Self { gradients, staleness: Some(staleness) }
+    }
+}
 
 /// Output of a gradient aggregation rule.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +115,19 @@ pub trait Aggregator {
     /// Implementations panic if `gradients` is empty or dimensions are
     /// inconsistent (validated via [`validate_gradients`]).
     fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput;
+
+    /// Aggregates a batch carrying arrival metadata (async schedules).
+    ///
+    /// The default ignores the metadata and delegates to
+    /// [`Aggregator::aggregate`], so every existing rule works unchanged
+    /// under any schedule; staleness-aware rules override this instead.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Aggregator::aggregate`].
+    fn aggregate_batch(&mut self, batch: &GradientBatch<'_>) -> AggregationOutput {
+        self.aggregate(batch.gradients)
+    }
 
     /// Rule name as used in the paper's tables.
     fn name(&self) -> &'static str;

@@ -1,0 +1,136 @@
+//! Staleness-aware down-weighting: an adapter over any aggregation rule.
+
+use std::sync::Arc;
+
+use crate::{AggregationOutput, Aggregator, GradientBatch};
+
+/// Wraps any rule with per-message staleness damping for asynchronous
+/// schedules.
+///
+/// Each message computed against a model `s` server steps old is scaled by
+/// `1/√(1+s)` before the inner rule runs — the polynomial staleness weight
+/// of async-SGD servers (Xie et al.'s staleness-aware async SGD; FedBuff
+/// uses the same family). Fresh messages (`s = 0`) pass through unscaled,
+/// so on a synchronous schedule the wrapper is exactly the inner rule.
+///
+/// # Examples
+///
+/// ```
+/// use sg_aggregators::{Aggregator, GradientBatch, Mean, StalenessDamped};
+///
+/// let grads = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+/// let staleness = vec![0, 3];
+/// let mut gar = StalenessDamped::new(Box::new(Mean::new()));
+/// let out = gar.aggregate_batch(&GradientBatch::with_staleness(&grads, &staleness));
+/// // The stale message contributes at half weight: (1 + 0.5) / 2.
+/// assert!((out.gradient[0] - 0.75).abs() < 1e-6);
+/// ```
+pub struct StalenessDamped {
+    inner: Box<dyn Aggregator>,
+}
+
+impl std::fmt::Debug for StalenessDamped {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StalenessDamped").field("inner", &self.inner.name()).finish()
+    }
+}
+
+impl StalenessDamped {
+    /// Wraps `inner` with staleness damping.
+    pub fn new(inner: Box<dyn Aggregator>) -> Self {
+        Self { inner }
+    }
+
+    /// The damping factor for a message `staleness` steps stale.
+    pub fn weight(staleness: usize) -> f32 {
+        1.0 / (1.0 + staleness as f32).sqrt()
+    }
+}
+
+impl Aggregator for StalenessDamped {
+    fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
+        self.inner.aggregate(gradients)
+    }
+
+    fn aggregate_batch(&mut self, batch: &GradientBatch<'_>) -> AggregationOutput {
+        let Some(staleness) = batch.staleness else {
+            return self.inner.aggregate(batch.gradients);
+        };
+        assert_eq!(staleness.len(), batch.gradients.len(), "StalenessDamped: metadata length mismatch");
+        if staleness.iter().all(|&s| s == 0) {
+            return self.inner.aggregate(batch.gradients);
+        }
+        let damped: Vec<Vec<f32>> = batch
+            .gradients
+            .iter()
+            .zip(staleness)
+            .map(|(g, &s)| {
+                let w = Self::weight(s);
+                g.iter().map(|&x| x * w).collect()
+            })
+            .collect();
+        self.inner.aggregate(&damped)
+    }
+
+    fn name(&self) -> &'static str {
+        "StaleDamped"
+    }
+
+    fn observe_global(&mut self, params: &[f32]) {
+        self.inner.observe_global(params);
+    }
+
+    fn set_executor(&mut self, executor: Arc<dyn sg_math::ParallelExecutor>) {
+        self.inner.set_executor(executor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mean;
+
+    fn wrapped() -> StalenessDamped {
+        StalenessDamped::new(Box::new(Mean::new()))
+    }
+
+    #[test]
+    fn fresh_batch_matches_inner_rule() {
+        let g = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let stale = vec![0, 0];
+        let a = wrapped().aggregate_batch(&GradientBatch::with_staleness(&g, &stale));
+        let b = Mean::new().aggregate(&g);
+        assert_eq!(a.gradient, b.gradient);
+    }
+
+    #[test]
+    fn no_metadata_delegates_unchanged() {
+        let g = vec![vec![2.0], vec![4.0]];
+        let a = wrapped().aggregate_batch(&GradientBatch::synchronous(&g));
+        assert_eq!(a.gradient, vec![3.0]);
+    }
+
+    #[test]
+    fn stale_messages_are_down_weighted() {
+        let g = vec![vec![1.0], vec![1.0]];
+        let stale = vec![0, 8];
+        let out = wrapped().aggregate_batch(&GradientBatch::with_staleness(&g, &stale));
+        // Weights 1 and 1/3: mean = (1 + 1/3) / 2 = 2/3.
+        assert!((out.gradient[0] - 2.0 / 3.0).abs() < 1e-6, "{}", out.gradient[0]);
+    }
+
+    #[test]
+    fn weight_decays_monotonically() {
+        assert_eq!(StalenessDamped::weight(0), 1.0);
+        assert!(StalenessDamped::weight(1) > StalenessDamped::weight(4));
+        assert!((StalenessDamped::weight(3) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "metadata length mismatch")]
+    fn ragged_metadata_rejected() {
+        let g = vec![vec![1.0], vec![1.0]];
+        let stale = vec![0];
+        let _ = wrapped().aggregate_batch(&GradientBatch { gradients: &g, staleness: Some(&stale) });
+    }
+}

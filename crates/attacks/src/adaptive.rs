@@ -109,7 +109,7 @@ mod tests {
     fn crafted_norm_matches_median() {
         let benign = population(8, 400);
         let byz = population(2, 400);
-        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let ctx = AttackContext::new(&benign, &byz, 0);
         let out = AdaptiveSignMimicry::new().craft(&ctx);
         let norms: Vec<f32> = ctx.all_honest().iter().map(|g| sg_math::l2_norm(g)).collect();
         let med = sg_math::median(&norms);
@@ -120,7 +120,7 @@ mod tests {
     fn sign_statistics_stay_close_to_honest() {
         let benign = population(8, 1000);
         let byz = population(2, 1000);
-        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let ctx = AttackContext::new(&benign, &byz, 0);
         let out = AdaptiveSignMimicry::new().craft(&ctx);
         let frac_pos = |v: &[f32]| {
             let (p, z, n) = vecops::sign_counts(v);
@@ -136,7 +136,7 @@ mod tests {
     fn attack_reverses_the_heaviest_coordinates() {
         let benign = population(8, 100);
         let byz = population(2, 100);
-        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let ctx = AttackContext::new(&benign, &byz, 0);
         let all = ctx.all_honest();
         let mu = vecops::mean_vector(&all, 100);
         let out = AdaptiveSignMimicry::new().craft(&ctx);
@@ -149,7 +149,7 @@ mod tests {
     fn flip_budget_is_respected() {
         let benign = population(10, 500);
         let byz = population(2, 500);
-        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let ctx = AttackContext::new(&benign, &byz, 0);
         let all = ctx.all_honest();
         let mu = vecops::mean_vector(&all, 500);
         let out = AdaptiveSignMimicry::new().with_flip_fraction(0.05).craft(&ctx);

@@ -170,11 +170,11 @@ mod tests {
 
     fn ctx_fixture(benign: &[Vec<f32>], byz: &[Vec<f32>]) -> AttackContext<'static> {
         // Leak for test brevity; fine in unit tests.
-        AttackContext {
-            benign: Box::leak(benign.to_vec().into_boxed_slice()),
-            byzantine_honest: Box::leak(byz.to_vec().into_boxed_slice()),
-            round: 0,
-        }
+        AttackContext::new(
+            Box::leak(benign.to_vec().into_boxed_slice()),
+            Box::leak(byz.to_vec().into_boxed_slice()),
+            0,
+        )
     }
 
     #[test]

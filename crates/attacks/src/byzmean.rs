@@ -83,7 +83,7 @@ mod tests {
     fn mean_of_all_gradients_equals_target() {
         let benign: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32, 1.0, -0.5]).collect();
         let byz: Vec<Vec<f32>> = (0..2).map(|_| vec![0.0, 0.0, 0.0]).collect();
-        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let ctx = AttackContext::new(&benign, &byz, 0);
 
         let mut attack = ByzMean::new();
         let malicious = attack.craft(&ctx);
@@ -103,7 +103,7 @@ mod tests {
     fn works_with_random_inner() {
         let benign: Vec<Vec<f32>> = (0..6).map(|i| vec![(i as f32).cos(); 4]).collect();
         let byz = vec![vec![0.0; 4]; 4];
-        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let ctx = AttackContext::new(&benign, &byz, 0);
         let mut attack = ByzMean::with_inner(Box::new(RandomAttack::new()));
         let out = attack.craft(&ctx);
         assert_eq!(out.len(), 4);
@@ -118,7 +118,7 @@ mod tests {
         // m = 1 => m1 = 0, m2 = 1: the lone attacker must steer the mean alone.
         let benign = vec![vec![2.0], vec![4.0]];
         let byz = vec![vec![0.0]];
-        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let ctx = AttackContext::new(&benign, &byz, 0);
         let mut attack = ByzMean::with_inner(Box::new(crate::basic::SignFlip::new()));
         let out = attack.craft(&ctx);
         assert_eq!(out.len(), 1);

@@ -19,7 +19,7 @@
 //!
 //! let benign = vec![vec![1.0, -2.0]];
 //! let byz_honest = vec![vec![0.5, -1.0]];
-//! let ctx = AttackContext { benign: &benign, byzantine_honest: &byz_honest, round: 0 };
+//! let ctx = AttackContext::new(&benign, &byz_honest, 0);
 //! let malicious = SignFlip::new().craft(&ctx);
 //! assert_eq!(malicious[0], vec![-0.5, 1.0]);
 //! ```
@@ -48,9 +48,41 @@ pub struct AttackContext<'a> {
     pub byzantine_honest: &'a [Vec<f32>],
     /// Training round index (time-varying strategies key off this).
     pub round: usize,
+    /// Arrival view under asynchronous schedules: per-message staleness in
+    /// server steps for the batch about to be aggregated — the first
+    /// `byzantine_count()` entries describe the Byzantine messages, the
+    /// rest the benign ones. Empty on synchronous rounds, where the
+    /// adversary learns nothing beyond the gradients themselves; adaptive
+    /// attacks can exploit it to, e.g., mimic the freshest honest updates.
+    pub staleness: &'a [usize],
 }
 
 impl<'a> AttackContext<'a> {
+    /// A synchronous-round context (no arrival metadata).
+    pub fn new(benign: &'a [Vec<f32>], byzantine_honest: &'a [Vec<f32>], round: usize) -> Self {
+        Self { benign, byzantine_honest, round, staleness: &[] }
+    }
+
+    /// A context carrying the async arrival view (per-message staleness,
+    /// Byzantine messages first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `staleness` does not cover every message of the batch.
+    pub fn with_staleness(
+        benign: &'a [Vec<f32>],
+        byzantine_honest: &'a [Vec<f32>],
+        round: usize,
+        staleness: &'a [usize],
+    ) -> Self {
+        assert_eq!(
+            staleness.len(),
+            benign.len() + byzantine_honest.len(),
+            "AttackContext: staleness must cover every message"
+        );
+        Self { benign, byzantine_honest, round, staleness }
+    }
+
     /// Total number of clients `n`.
     pub fn total_clients(&self) -> usize {
         self.benign.len() + self.byzantine_honest.len()
@@ -59,6 +91,17 @@ impl<'a> AttackContext<'a> {
     /// Number of Byzantine clients `m`.
     pub fn byzantine_count(&self) -> usize {
         self.byzantine_honest.len()
+    }
+
+    /// Staleness of the `i`-th Byzantine message, `0` on synchronous
+    /// rounds (no arrival view ⇒ every message is fresh).
+    pub fn byzantine_staleness(&self, i: usize) -> usize {
+        self.staleness.get(i).copied().unwrap_or(0)
+    }
+
+    /// Staleness of the `i`-th benign message, `0` on synchronous rounds.
+    pub fn benign_staleness(&self, i: usize) -> usize {
+        self.staleness.get(self.byzantine_count() + i).copied().unwrap_or(0)
     }
 
     /// All honest gradients (benign + Byzantine-held), cloned into one
@@ -101,9 +144,39 @@ mod tests {
     fn context_counts() {
         let benign = vec![vec![0.0]; 7];
         let byz = vec![vec![0.0]; 3];
-        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let ctx = AttackContext::new(&benign, &byz, 0);
         assert_eq!(ctx.total_clients(), 10);
         assert_eq!(ctx.byzantine_count(), 3);
         assert_eq!(ctx.all_honest().len(), 10);
+    }
+
+    #[test]
+    fn synchronous_context_has_fresh_view() {
+        let benign = vec![vec![0.0]; 2];
+        let byz = vec![vec![0.0]; 1];
+        let ctx = AttackContext::new(&benign, &byz, 4);
+        assert!(ctx.staleness.is_empty());
+        assert_eq!(ctx.byzantine_staleness(0), 0);
+        assert_eq!(ctx.benign_staleness(1), 0);
+    }
+
+    #[test]
+    fn staleness_view_splits_byzantine_first() {
+        let benign = vec![vec![0.0]; 2];
+        let byz = vec![vec![0.0]; 1];
+        let stale = vec![5, 0, 2];
+        let ctx = AttackContext::with_staleness(&benign, &byz, 9, &stale);
+        assert_eq!(ctx.byzantine_staleness(0), 5);
+        assert_eq!(ctx.benign_staleness(0), 0);
+        assert_eq!(ctx.benign_staleness(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "staleness must cover")]
+    fn short_staleness_rejected() {
+        let benign = vec![vec![0.0]; 2];
+        let byz = vec![vec![0.0]; 1];
+        let stale = vec![1];
+        let _ = AttackContext::with_staleness(&benign, &byz, 0, &stale);
     }
 }

@@ -118,7 +118,7 @@ mod tests {
     fn all_byzantine_send_identical() {
         let benign: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32, 1.0]).collect();
         let byz: Vec<Vec<f32>> = (0..2).map(|i| vec![i as f32, 1.0]).collect();
-        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let ctx = AttackContext::new(&benign, &byz, 0);
         let out = Lie::new().craft(&ctx);
         assert_eq!(out.len(), 2);
         assert_eq!(out[0], out[1]);

@@ -173,7 +173,7 @@ mod tests {
     fn minmax_satisfies_distance_constraint() {
         let benign = population(10, 20);
         let byz = population(3, 20);
-        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let ctx = AttackContext::new(&benign, &byz, 0);
         let out = MinMax::new().craft(&ctx);
         assert_eq!(out.len(), 3);
         assert_eq!(out[0], out[2]);
@@ -193,7 +193,7 @@ mod tests {
     fn minsum_satisfies_sum_constraint() {
         let benign = population(8, 16);
         let byz = population(2, 16);
-        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let ctx = AttackContext::new(&benign, &byz, 0);
         let out = MinSum::new().craft(&ctx);
 
         let all = ctx.all_honest();
@@ -210,7 +210,7 @@ mod tests {
     fn attack_actually_deviates_from_mean() {
         let benign = population(10, 20);
         let byz = population(3, 20);
-        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let ctx = AttackContext::new(&benign, &byz, 0);
         let all = ctx.all_honest();
         let mu = vecops::mean_vector(&all, 20);
         let out = MinMax::new().craft(&ctx);
@@ -224,7 +224,7 @@ mod tests {
         // malicious gradient equals the mean.
         let benign = vec![vec![1.0, 2.0]; 5];
         let byz = vec![vec![1.0, 2.0]; 2];
-        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let ctx = AttackContext::new(&benign, &byz, 0);
         let out = MinMax::new().craft(&ctx);
         assert!((out[0][0] - 1.0).abs() < 1e-4);
         assert!((out[0][1] - 2.0).abs() < 1e-4);
@@ -234,7 +234,7 @@ mod tests {
     fn inverse_unit_perturbation_supported() {
         let benign = population(6, 10);
         let byz = population(2, 10);
-        let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round: 0 };
+        let ctx = AttackContext::new(&benign, &byz, 0);
         let out = MinMax::new().with_perturbation(Perturbation::InverseUnit).craft(&ctx);
         assert!(out[0].iter().all(|x| x.is_finite()));
     }

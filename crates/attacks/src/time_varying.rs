@@ -104,7 +104,7 @@ mod tests {
         let mut tv = TimeVarying::new(pool(), false, 10, 7);
         let mut names = Vec::new();
         for round in 0..10 {
-            let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round };
+            let ctx = AttackContext::new(&benign, &byz, round);
             let _ = tv.craft(&ctx);
             names.push(tv.active_attack());
         }
@@ -118,7 +118,7 @@ mod tests {
         let mut tv = TimeVarying::new(pool(), true, 1, 11);
         let mut seen = std::collections::HashSet::new();
         for round in 0..40 {
-            let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round };
+            let ctx = AttackContext::new(&benign, &byz, round);
             let _ = tv.craft(&ctx);
             seen.insert(tv.active_attack());
         }
@@ -133,7 +133,7 @@ mod tests {
         let mut tv = TimeVarying::new(vec![Box::new(SignFlip::new())], true, 1, 3);
         let mut saw_honest = false;
         for round in 0..30 {
-            let ctx = AttackContext { benign: &benign, byzantine_honest: &byz, round };
+            let ctx = AttackContext::new(&benign, &byz, round);
             let out = tv.craft(&ctx);
             if tv.active_attack() == "None" {
                 assert_eq!(out[0], vec![5.0]);

@@ -24,7 +24,7 @@ fn bench_attacks(c: &mut Criterion) {
         group.bench_function(name, |b| {
             let mut attack = make();
             b.iter(|| {
-                let ctx = AttackContext { benign, byzantine_honest: byz, round: 0 };
+                let ctx = AttackContext::new(benign, byz, 0);
                 std::hint::black_box(attack.craft(&ctx))
             });
         });

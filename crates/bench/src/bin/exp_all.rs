@@ -65,9 +65,15 @@ fn main() {
     }
     println!(
         "datasets: {} generated, {} cache hits, {} misses",
-        o.cache.len(),
-        o.cache.hits(),
-        o.cache.misses()
+        o.res.tasks.len(),
+        o.res.tasks.hits(),
+        o.res.tasks.misses()
+    );
+    println!(
+        "partitions: {} computed, {} cache hits, {} misses",
+        o.res.parts.len(),
+        o.res.parts.hits(),
+        o.res.parts.misses()
     );
 
     let json = sweep::consolidated_json(&o, &results);

@@ -1,0 +1,17 @@
+//! **exp_async**: defense robustness across client schedules — the
+//! paper grid's schedule axis (sync / straggler / FedBuf-style buffered
+//! async), opened by the round-pipeline refactor.
+//!
+//! ```sh
+//! cargo run --release -p sg-bench --bin exp_async -- [--smoke] [--jobs N]
+//!                                                     [--epochs N] [--seed N] [--task NAME]
+//! ```
+//!
+//! Rows report best accuracy plus the staleness profile the server saw
+//! (applied rounds, mean batch staleness). Like every section, the sweep
+//! is bit-for-bit reproducible at any `--jobs` value: the async schedules
+//! run on a seeded virtual clock, not wall time.
+
+fn main() {
+    sg_bench::sweep::run_standalone("async");
+}

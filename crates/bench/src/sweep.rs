@@ -1,16 +1,19 @@
 //! The paper grid as declarative [`RunPlan`] sections.
 //!
-//! Every experiment of the paper — Tables I–III, Figs. 2/4/5/6 and the
-//! extended ablations — is declared here as a `plan_*` function that
-//! appends cells to a shared [`RunPlan`] and returns its [`Section`]
+//! Every experiment of the paper — Tables I–III, Figs. 2/4/5/6, the
+//! extended ablations, and the schedule axis (`async`: sync vs straggler
+//! vs buffered-async clients) — is declared here as a `plan_*` function
+//! that appends cells to a shared [`RunPlan`] and returns its [`Section`]
 //! layout. The `exp_*` binaries run a single section; `exp_all` plans all
 //! of them into **one** grid and sweeps the entire paper in one go.
 //!
 //! Cells are built for scale:
 //!
-//! * **Shared datasets** — every cell draws its task from the sweep's
+//! * **Shared inputs** — every cell draws its task from the sweep's
 //!   [`TaskCache`], so all cells of one `(task, data seed)` share a single
-//!   generated dataset instead of regenerating it per cell.
+//!   generated dataset instead of regenerating it per cell, and its client
+//!   shards from the shared [`PartitionCache`], so one
+//!   `(task, partitioning, n, seed)` partition is computed once.
 //! * **Two-level parallelism** — cells run their simulators on
 //!   [`CellContext::engine`], the engine carved from the grid's own worker
 //!   pool, so client training and aggregation kernels shard across the
@@ -29,7 +32,8 @@ use sg_attacks::{Attack, ByzMean, Lie, MinMax, RandomAttack, ReverseScaling, Sig
 use sg_core::{ClusteringBackend, SignGuard, SignGuardBuilder, SimilarityFeature};
 use sg_data::Dataset;
 use sg_fl::{
-    Client, FlConfig, Partitioning, RunResult, Simulator, TaskCache, ValidatingServer, ValidationRule,
+    Client, FlConfig, PartitionCache, Partitioning, RunResult, Schedule, Simulator, TaskCache,
+    ValidatingServer, ValidationRule,
 };
 use sg_math::vecops::sign_counts;
 use sg_math::{seeded_rng, SeedStream};
@@ -75,8 +79,21 @@ pub struct SweepOpts {
     pub tasks: Option<Vec<String>>,
     /// Master config seed for every cell.
     pub seed: u64,
-    /// Shared memoized task construction.
-    pub cache: TaskCache,
+    /// Memoized resources shared by every cell of the sweep.
+    pub res: SweepResources,
+}
+
+/// The memoized resources shared by every cell of a sweep: generated
+/// datasets ([`TaskCache`]) and client-data partitions
+/// ([`PartitionCache`]). Clones are cheap and share state — move one into
+/// each cell closure.
+#[derive(Clone, Debug, Default)]
+pub struct SweepResources {
+    /// Shared generated datasets, keyed by `(task, data seed)`.
+    pub tasks: TaskCache,
+    /// Shared client-data partitions, keyed by
+    /// `(dataset, partitioning, n, seed)`.
+    pub parts: PartitionCache,
 }
 
 impl SweepOpts {
@@ -89,7 +106,7 @@ impl SweepOpts {
             epochs: None,
             tasks: None,
             seed,
-            cache: TaskCache::new(),
+            res: SweepResources::default(),
         }
     }
 
@@ -103,7 +120,7 @@ impl SweepOpts {
             epochs: a.epochs_override(),
             tasks: a.value("--task").map(|_| a.task_list("fashion")),
             seed: a.seed(42),
-            cache: TaskCache::new(),
+            res: SweepResources::default(),
         }
     }
 
@@ -145,17 +162,18 @@ fn rate(x: f32) -> String {
     format!("{x:.4}")
 }
 
-/// Runs one simulation cell on the grid's engine with a cached task.
+/// Runs one simulation cell on the grid's engine with cached task data and
+/// cached client partitions.
 fn run_sim(
-    cache: &TaskCache,
+    res: &SweepResources,
     task_name: &str,
     cfg: &FlConfig,
     gar: Box<dyn Aggregator>,
     attack: Option<Box<dyn Attack>>,
     ctx: &CellContext,
 ) -> RunResult {
-    let task = cache.get(task_name, DATA_SEED);
-    let mut sim = Simulator::with_engine(task, cfg.clone(), gar, attack, ctx.engine().clone());
+    let task = res.tasks.get(task_name, DATA_SEED);
+    let mut sim = Simulator::with_resources(task, cfg.clone(), gar, attack, ctx.engine().clone(), &res.parts);
     let result = sim.run();
     eprintln!("[grid {}] {}", ctx.index + 1, ctx.label);
     result
@@ -201,10 +219,10 @@ pub fn plan_table1(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
         for defense in &defenses {
             for attack in &attacks {
                 let (task, defense, attack) = (task.clone(), defense.to_string(), attack.to_string());
-                let (cfg, cache) = (cfg.clone(), o.cache.clone());
+                let (cfg, res) = (cfg.clone(), o.res.clone());
                 plan.cell(format!("table1/{task}/{defense}/{attack}"), move |ctx| {
                     let gar = build_defense(&defense, n, m);
-                    let r = run_sim(&cache, &task, &cfg, gar, build_attack(&attack), ctx);
+                    let r = run_sim(&res, &task, &cfg, gar, build_attack(&attack), ctx);
                     vec![vec![task, defense, attack, pct(r.best_accuracy)]]
                 });
             }
@@ -232,14 +250,14 @@ pub fn plan_table2(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
         for attack in &attacks {
             for variant in variants {
                 let (task, attack, variant) = (task.clone(), attack.to_string(), variant.to_string());
-                let (cfg, cache) = (cfg.clone(), o.cache.clone());
+                let (cfg, res) = (cfg.clone(), o.res.clone());
                 plan.cell(format!("table2/{task}/{attack}/{variant}"), move |ctx| {
                     let gar: Box<dyn Aggregator> = match variant.as_str() {
                         "SignGuard" => Box::new(SignGuard::plain(0)),
                         "SignGuard-Sim" => Box::new(SignGuard::sim(0)),
                         _ => Box::new(SignGuard::dist(0)),
                     };
-                    let r = run_sim(&cache, &task, &cfg, gar, build_attack(&attack), ctx);
+                    let r = run_sim(&res, &task, &cfg, gar, build_attack(&attack), ctx);
                     vec![vec![
                         task,
                         attack,
@@ -284,7 +302,7 @@ pub fn plan_table3(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
         for &(thresholding, clustering, clipping) in &rows {
             for attack in &attacks {
                 let (task, attack) = (task.clone(), attack.to_string());
-                let (cfg, cache) = (cfg.clone(), o.cache.clone());
+                let (cfg, res) = (cfg.clone(), o.res.clone());
                 let label = format!("table3/{task}/t{thresholding}-c{clustering}-n{clipping}/{attack}");
                 plan.cell(label, move |ctx| {
                     // Reverse scaling r: the norm bound R when a norm
@@ -302,7 +320,7 @@ pub fn plan_table3(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
                         .norm_clipping(clipping)
                         .seed(0)
                         .build();
-                    let r = run_sim(&cache, &task, &cfg, Box::new(gar), Some(atk), ctx);
+                    let r = run_sim(&res, &task, &cfg, Box::new(gar), Some(atk), ctx);
                     vec![vec![
                         task,
                         thresholding.to_string(),
@@ -402,8 +420,8 @@ pub fn plan_fig2(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
     let cfg = o.cfg(10);
     for task in &tasks {
         let task = task.clone();
-        let (cfg, cache) = (cfg.clone(), o.cache.clone());
-        plan.cell(format!("fig2/{task}"), move |_ctx| trace_rows(&cache, &task, &cfg));
+        let (cfg, res) = (cfg.clone(), o.res.clone());
+        plan.cell(format!("fig2/{task}"), move |_ctx| trace_rows(&res.tasks, &task, &cfg));
     }
     section(
         before,
@@ -436,11 +454,11 @@ pub fn plan_fig4(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
         {
             // No-attack / no-defense reference point (Definition 3).
             let task = task.clone();
-            let (cfg, cache) = (cfg.clone(), o.cache.clone());
+            let (cfg, res) = (cfg.clone(), o.res.clone());
             plan.cell(format!("fig4/{task}/Baseline"), move |ctx| {
                 let base_cfg = FlConfig { byzantine_fraction: 0.0, ..cfg };
                 let n = base_cfg.num_clients;
-                let r = run_sim(&cache, &task, &base_cfg, build_defense("Mean", n, 0), None, ctx);
+                let r = run_sim(&res, &task, &base_cfg, build_defense("Mean", n, 0), None, ctx);
                 vec![vec![task, "Baseline".into(), "No Attack".into(), "0.0".into(), pct(r.best_accuracy)]]
             });
         }
@@ -448,12 +466,12 @@ pub fn plan_fig4(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
             for attack in &attacks {
                 for &frac in &fractions {
                     let (task, defense, attack) = (task.clone(), defense.to_string(), attack.to_string());
-                    let (cfg, cache) = (cfg.clone(), o.cache.clone());
+                    let (cfg, res) = (cfg.clone(), o.res.clone());
                     plan.cell(format!("fig4/{task}/{defense}/{attack}/{frac:.1}"), move |ctx| {
                         let cfg = FlConfig { byzantine_fraction: frac, ..cfg };
                         let (n, m) = (cfg.num_clients, cfg.byzantine_count());
                         let atk = if frac == 0.0 { None } else { build_attack(&attack) };
-                        let r = run_sim(&cache, &task, &cfg, build_defense(&defense, n, m), atk, ctx);
+                        let r = run_sim(&res, &task, &cfg, build_defense(&defense, n, m), atk, ctx);
                         vec![vec![task, defense, attack, format!("{frac:.1}"), pct(r.best_accuracy)]]
                     });
                 }
@@ -497,24 +515,24 @@ pub fn plan_fig5(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
     for task in &tasks {
         {
             let task = task.clone();
-            let (cfg, cache) = (cfg.clone(), o.cache.clone());
+            let (cfg, res) = (cfg.clone(), o.res.clone());
             plan.cell(format!("fig5/{task}/Baseline"), move |ctx| {
                 // Baseline: no attack, no defense.
                 let base_cfg = FlConfig { byzantine_fraction: 0.0, ..cfg };
                 let n = base_cfg.num_clients;
-                let r = run_sim(&cache, &task, &base_cfg, build_defense("Mean", n, 0), None, ctx);
+                let r = run_sim(&res, &task, &base_cfg, build_defense("Mean", n, 0), None, ctx);
                 curve_rows(&task, "Baseline", &r.accuracy_curve)
             });
         }
         for defense in &defenses {
             let (task, defense) = (task.clone(), defense.to_string());
-            let (cfg, cache) = (cfg.clone(), o.cache.clone());
+            let (cfg, res) = (cfg.clone(), o.res.clone());
             plan.cell(format!("fig5/{task}/{defense}"), move |ctx| {
                 let (n, m) = (cfg.num_clients, cfg.byzantine_count());
-                let rpe = cfg.rounds_per_epoch(cache.get(&task, DATA_SEED).train.len());
+                let rpe = cfg.rounds_per_epoch(res.tasks.get(&task, DATA_SEED).train.len());
                 let attack = TimeVarying::new(attack_pool(), true, rpe, 99);
                 let r =
-                    run_sim(&cache, &task, &cfg, build_defense(&defense, n, m), Some(Box::new(attack)), ctx);
+                    run_sim(&res, &task, &cfg, build_defense(&defense, n, m), Some(Box::new(attack)), ctx);
                 curve_rows(&task, &defense, &r.accuracy_curve)
             });
         }
@@ -544,12 +562,12 @@ pub fn plan_fig6(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
             for defense in &defenses {
                 for &s in &skews {
                     let (task, attack, defense) = (task.clone(), attack.to_string(), defense.to_string());
-                    let (cfg, cache) = (cfg.clone(), o.cache.clone());
+                    let (cfg, res) = (cfg.clone(), o.res.clone());
                     plan.cell(format!("fig6/{task}/{attack}/{defense}/s{s:.1}"), move |ctx| {
                         let cfg = FlConfig { partitioning: Partitioning::NonIid { s }, ..cfg };
                         let (n, m) = (cfg.num_clients, cfg.byzantine_count());
                         let r = run_sim(
-                            &cache,
+                            &res,
                             &task,
                             &cfg,
                             build_defense(&defense, n, m),
@@ -599,10 +617,10 @@ pub fn plan_ablation(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
         for &frac in &fractions {
             for attack in &attacks {
                 let (task, attack) = (task.clone(), attack.to_string());
-                let (cfg, cache) = (cfg.clone(), o.cache.clone());
+                let (cfg, res) = (cfg.clone(), o.res.clone());
                 plan.cell(format!("ablation/{task}/coord{frac}/{attack}"), move |ctx| {
                     let gar = SignGuardBuilder::new().coord_fraction(frac).seed(0).build();
-                    let r = run_sim(&cache, &task, &cfg, Box::new(gar), ablation_attack(&attack), ctx);
+                    let r = run_sim(&res, &task, &cfg, Box::new(gar), ablation_attack(&attack), ctx);
                     vec![vec!["coord_fraction".into(), frac.to_string(), attack, pct(r.best_accuracy)]]
                 });
             }
@@ -611,14 +629,14 @@ pub fn plan_ablation(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
         for (label, backend) in backends {
             for attack in &attacks {
                 let (task, attack) = (task.clone(), attack.to_string());
-                let (cfg, cache) = (cfg.clone(), o.cache.clone());
+                let (cfg, res) = (cfg.clone(), o.res.clone());
                 plan.cell(format!("ablation/{task}/{label}/{attack}"), move |ctx| {
                     let gar = SignGuardBuilder::new()
                         .similarity(SimilarityFeature::Cosine)
                         .clustering(backend)
                         .seed(0)
                         .build();
-                    let r = run_sim(&cache, &task, &cfg, Box::new(gar), ablation_attack(&attack), ctx);
+                    let r = run_sim(&res, &task, &cfg, Box::new(gar), ablation_attack(&attack), ctx);
                     vec![vec!["backend".into(), label.into(), attack, pct(r.best_accuracy)]]
                 });
             }
@@ -628,13 +646,13 @@ pub fn plan_ablation(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
         for family in &families {
             for attack in &attacks {
                 let (task, attack, family) = (task.clone(), attack.to_string(), family.to_string());
-                let (cfg, cache) = (cfg.clone(), o.cache.clone());
+                let (cfg, res) = (cfg.clone(), o.res.clone());
                 plan.cell(format!("ablation/{task}/{family}/{attack}"), move |ctx| {
                     let gar: Box<dyn Aggregator> = match family.as_str() {
                         "SignGuard" => Box::new(SignGuard::plain(0)),
                         "SignGuard-Sim" => Box::new(SignGuard::sim(0)),
                         name => {
-                            let t = cache.get(&task, DATA_SEED);
+                            let t = res.tasks.get(&task, DATA_SEED);
                             let mut rng = seeded_rng(0);
                             let model = t.build_model(&mut rng);
                             let root = Dataset::new(
@@ -654,7 +672,7 @@ pub fn plan_ablation(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
                             Box::new(ValidatingServer::new(rule, model, root, 32, 5))
                         }
                     };
-                    let r = run_sim(&cache, &task, &cfg, gar, ablation_attack(&attack), ctx);
+                    let r = run_sim(&res, &task, &cfg, gar, ablation_attack(&attack), ctx);
                     vec![vec!["family".into(), family, attack, pct(r.best_accuracy)]]
                 });
             }
@@ -669,11 +687,77 @@ pub fn plan_ablation(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
     )
 }
 
+// ---- Async / staleness schedules ---------------------------------------
+
+/// The schedule matrix a sweep runs: the paper's synchronous setting plus
+/// the straggler and FedBuf-style buffered-async modes (30% stragglers /
+/// half-population buffer, staleness up to 4 steps).
+fn schedule_matrix(num_clients: usize) -> Vec<Schedule> {
+    vec![
+        Schedule::Sync,
+        Schedule::Straggler { slow_fraction: 0.3, max_delay: 4 },
+        Schedule::AsyncBuffered { k: (num_clients / 2).max(1), max_delay: 4 },
+    ]
+}
+
+/// Defense robustness across client schedules (the scenario axis opened by
+/// the round-pipeline refactor): every (schedule × defense × attack) cell
+/// reports best accuracy plus the staleness profile the server actually
+/// saw. The smoke variant keeps **all three schedules** — the schedule
+/// axis is exactly what CI's determinism comparison must cover — and trims
+/// the defense/attack matrix instead.
+pub fn plan_async(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
+    let before = plan.len();
+    let tasks = o.tasks_for(&["fashion"]);
+    let defenses = o.pick(&["Mean", "TrMean", "Multi-Krum", "SignGuard"], &["Mean", "SignGuard"]);
+    let attacks = o.pick(&["No Attack", "Sign-flip", "LIE", "Min-Max"], &["Sign-flip"]);
+    let cfg = o.cfg(8);
+    for task in &tasks {
+        for schedule in schedule_matrix(cfg.num_clients) {
+            for defense in &defenses {
+                for attack in &attacks {
+                    let (task, defense, attack) = (task.clone(), defense.to_string(), attack.to_string());
+                    let (cfg, res) = (cfg.clone(), o.res.clone());
+                    let label = format!("async/{task}/{}/{defense}/{attack}", schedule.label());
+                    plan.cell(label, move |ctx| {
+                        let cfg = FlConfig { schedule, ..cfg };
+                        let (n, m) = (cfg.num_clients, cfg.byzantine_count());
+                        let r = run_sim(
+                            &res,
+                            &task,
+                            &cfg,
+                            build_defense(&defense, n, m),
+                            build_attack(&attack),
+                            ctx,
+                        );
+                        vec![vec![
+                            task,
+                            schedule.label().to_string(),
+                            defense,
+                            attack,
+                            pct(r.best_accuracy),
+                            r.applied_rounds().to_string(),
+                            rate(r.mean_batch_staleness()),
+                        ]]
+                    });
+                }
+            }
+        }
+    }
+    section(
+        before,
+        plan,
+        "async",
+        "Schedule axis — accuracy under sync / straggler / async-buffered",
+        &["task", "schedule", "defense", "attack", "best_accuracy", "applied_rounds", "mean_staleness"],
+    )
+}
+
 // ---- Dispatch, rendering, drivers -------------------------------------
 
 /// Every experiment key, in sweep order.
 pub const ALL_EXPERIMENTS: &[&str] =
-    &["table1", "table2", "table3", "fig2", "fig4", "fig5", "fig6", "ablation"];
+    &["table1", "table2", "table3", "fig2", "fig4", "fig5", "fig6", "ablation", "async"];
 
 /// Plans one experiment by key.
 ///
@@ -690,6 +774,7 @@ pub fn plan_section(exp: &str, plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Secti
         "fig5" => plan_fig5(plan, o),
         "fig6" => plan_fig6(plan, o),
         "ablation" => plan_ablation(plan, o),
+        "async" => plan_async(plan, o),
         other => panic!("unknown experiment {other:?} (expected one of {ALL_EXPERIMENTS:?})"),
     }
 }
@@ -761,9 +846,11 @@ pub fn run_standalone(exp: &'static str) {
     println!("== {} ==", s.title);
     println!("{}", render(&header, &rows));
     eprintln!(
-        "[cache] {} task(s) generated, {} cache hits across {} cells",
-        o.cache.len(),
-        o.cache.hits(),
+        "[cache] {} task(s) generated ({} hits), {} partition(s) computed ({} hits) across {} cells",
+        o.res.tasks.len(),
+        o.res.tasks.hits(),
+        o.res.parts.len(),
+        o.res.parts.hits(),
         s.cells
     );
     let mut csv = vec![header];
@@ -802,13 +889,14 @@ fn json_string_array(items: &[String]) -> String {
 pub fn consolidated_json(o: &SweepOpts, results: &[(Section, Rows)]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"sg-exp-all/v1\",\n");
+    out.push_str("  \"schema\": \"sg-exp-all/v2\",\n");
     out.push_str(&format!("  \"seed\": {},\n", o.seed));
     out.push_str(&format!("  \"smoke\": {},\n", o.smoke));
     out.push_str(&format!("  \"data_seed\": {DATA_SEED},\n"));
 
     let datasets: Vec<String> = o
-        .cache
+        .res
+        .tasks
         .snapshot()
         .into_iter()
         .map(|(name, seed, train_fp, test_fp)| {
@@ -822,9 +910,15 @@ pub fn consolidated_json(o: &SweepOpts, results: &[(Section, Rows)]) -> String {
     out.push_str(&format!("  \"datasets\": [\n{}\n  ],\n", datasets.join(",\n")));
     out.push_str(&format!(
         "  \"cache\": {{\"tasks\": {}, \"hits\": {}, \"misses\": {}}},\n",
-        o.cache.len(),
-        o.cache.hits(),
-        o.cache.misses()
+        o.res.tasks.len(),
+        o.res.tasks.hits(),
+        o.res.tasks.misses()
+    ));
+    out.push_str(&format!(
+        "  \"partitions\": {{\"computed\": {}, \"hits\": {}, \"misses\": {}}},\n",
+        o.res.parts.len(),
+        o.res.parts.hits(),
+        o.res.parts.misses()
     ));
 
     let sections: Vec<String> = results

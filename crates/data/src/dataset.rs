@@ -39,6 +39,9 @@ pub struct Dataset {
     samples: Vec<Sample>,
     item_shape: Vec<usize>,
     num_classes: usize,
+    /// Lazily computed [`Dataset::fingerprint`] — the contents are
+    /// immutable after construction, so the digest never goes stale.
+    fingerprint: std::sync::OnceLock<u64>,
 }
 
 impl Dataset {
@@ -65,7 +68,7 @@ impl Dataset {
                 s.label
             );
         }
-        Self { samples, item_shape, num_classes }
+        Self { samples, item_shape, num_classes, fingerprint: std::sync::OnceLock::new() }
     }
 
     /// Number of samples.
@@ -129,28 +132,33 @@ impl Dataset {
     /// Order-sensitive FNV-1a digest over the dataset's exact contents —
     /// shape, class count, and every label and feature *bit*. Two datasets
     /// fingerprint equal iff they would behave identically in training, so
-    /// this is the cheap identity used by resource-cache tests and sweep
-    /// reports ("cache-hit cells saw the same bytes").
+    /// this is the cheap identity used by resource-cache keys (partition
+    /// sharing), resource-cache tests and sweep reports ("cache-hit cells
+    /// saw the same bytes"). Computed once and memoized — the contents are
+    /// immutable — so repeated calls (one per simulator construction in a
+    /// grid) cost a load, not a pass over the data.
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        let mut eat = |word: u64| {
-            h ^= word;
-            h = h.wrapping_mul(PRIME);
-        };
-        eat(self.samples.len() as u64);
-        eat(self.num_classes as u64);
-        for &d in &self.item_shape {
-            eat(d as u64);
-        }
-        for s in &self.samples {
-            eat(s.label as u64);
-            for &f in &s.features {
-                eat(u64::from(f.to_bits()));
+        *self.fingerprint.get_or_init(|| {
+            const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+            const PRIME: u64 = 0x0000_0100_0000_01b3;
+            let mut h = OFFSET;
+            let mut eat = |word: u64| {
+                h ^= word;
+                h = h.wrapping_mul(PRIME);
+            };
+            eat(self.samples.len() as u64);
+            eat(self.num_classes as u64);
+            for &d in &self.item_shape {
+                eat(d as u64);
             }
-        }
-        h
+            for s in &self.samples {
+                eat(s.label as u64);
+                for &f in &s.features {
+                    eat(u64::from(f.to_bits()));
+                }
+            }
+            h
+        })
     }
 
     /// Histogram of labels over the given indices (length = `num_classes`).

@@ -13,6 +13,64 @@ pub enum Partitioning {
     },
 }
 
+/// When client updates reach the parameter server (the schedule axis of
+/// the scenario grid).
+///
+/// Every mode runs on the simulator's seeded **virtual clock** — server
+/// steps, not wall time — so any schedule is bit-for-bit reproducible at
+/// any thread count (see `sg_fl::scheduler`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Schedule {
+    /// The paper's synchronous setting: every sampled client's update
+    /// arrives in the step it was computed (honors
+    /// [`FlConfig::participation`]).
+    Sync,
+    /// Heterogeneous clients with a seeded per-client delay: a
+    /// `slow_fraction` of clients redeliver every `2..=max_delay + 1`
+    /// steps, their gradients computed against the stale global model they
+    /// last fetched (staleness up to `max_delay` steps); the rest behave
+    /// synchronously.
+    Straggler {
+        /// Fraction of clients drawn as stragglers (`0.0` degenerates to
+        /// `Sync` with full participation).
+        slow_fraction: f32,
+        /// Largest staleness (in server steps) a straggler's update can
+        /// carry.
+        max_delay: usize,
+    },
+    /// FedBuf-style buffered asynchrony: every client's compute time is
+    /// drawn per dispatch from `1..=max_delay + 1` steps, arrived updates
+    /// are buffered, and the server aggregates as soon as `k` updates are
+    /// waiting (draining the whole buffer).
+    AsyncBuffered {
+        /// Buffer threshold: aggregate once this many updates are pending.
+        k: usize,
+        /// Largest compute-time staleness (in server steps) per dispatch.
+        max_delay: usize,
+    },
+}
+
+impl Schedule {
+    /// Largest staleness (server steps) this schedule can attach to an
+    /// update at compute time — the depth of model history the round
+    /// pipeline must retain.
+    pub fn max_staleness(&self) -> usize {
+        match *self {
+            Schedule::Sync => 0,
+            Schedule::Straggler { max_delay, .. } | Schedule::AsyncBuffered { max_delay, .. } => max_delay,
+        }
+    }
+
+    /// Short stable label for reports and sweep rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Schedule::Sync => "sync",
+            Schedule::Straggler { .. } => "straggler",
+            Schedule::AsyncBuffered { .. } => "async-buffered",
+        }
+    }
+}
+
 /// Simulation hyper-parameters, defaulting to the paper's setup scaled to
 /// the synthetic tasks: 50 clients, 20% Byzantine, momentum 0.9, weight
 /// decay 5e-4.
@@ -36,8 +94,13 @@ pub struct FlConfig {
     pub partitioning: Partitioning,
     /// Fraction of clients participating each round (1.0 = full, the
     /// paper's synchronous setting; lower values exercise the partial-
-    /// participation variant of Section IV-A).
+    /// participation variant of Section IV-A). Only meaningful under
+    /// [`Schedule::Sync`]; the async schedules model availability through
+    /// their own delay process.
     pub participation: f32,
+    /// When client updates reach the server (default: [`Schedule::Sync`],
+    /// the paper's setting).
+    pub schedule: Schedule,
     /// Master seed for every random choice in the run.
     pub seed: u64,
 }
@@ -54,6 +117,7 @@ impl Default for FlConfig {
             epochs: 10,
             partitioning: Partitioning::Iid,
             participation: 1.0,
+            schedule: Schedule::Sync,
             seed: 42,
         }
     }
@@ -100,6 +164,34 @@ impl FlConfig {
         if let Partitioning::NonIid { s } = self.partitioning {
             assert!((0.0..=1.0).contains(&s), "FlConfig: non-IID s {s} out of [0,1]");
         }
+        match self.schedule {
+            Schedule::Sync => {}
+            Schedule::Straggler { slow_fraction, max_delay } => {
+                assert!(
+                    (0.0..=1.0).contains(&slow_fraction),
+                    "FlConfig: straggler slow_fraction {slow_fraction} out of [0,1]"
+                );
+                assert!(max_delay >= 1, "FlConfig: straggler max_delay must be >= 1");
+                assert!(
+                    self.participation >= 1.0,
+                    "FlConfig: partial participation is a Sync-only knob (async schedules model \
+                     availability through their delay process)"
+                );
+            }
+            Schedule::AsyncBuffered { k, max_delay } => {
+                assert!(
+                    k >= 1 && k <= self.num_clients,
+                    "FlConfig: async buffer threshold k={k} out of [1, {}]",
+                    self.num_clients
+                );
+                assert!(max_delay >= 1, "FlConfig: async max_delay must be >= 1");
+                assert!(
+                    self.participation >= 1.0,
+                    "FlConfig: partial participation is a Sync-only knob (async schedules model \
+                     availability through their delay process)"
+                );
+            }
+        }
     }
 }
 
@@ -142,5 +234,43 @@ mod tests {
     #[should_panic(expected = "beta < 0.5")]
     fn majority_byzantine_rejected() {
         FlConfig { byzantine_fraction: 0.5, ..FlConfig::default() }.validate();
+    }
+
+    #[test]
+    fn schedule_validation_accepts_sane_async_modes() {
+        FlConfig {
+            schedule: Schedule::Straggler { slow_fraction: 0.3, max_delay: 4 },
+            ..FlConfig::default()
+        }
+        .validate();
+        FlConfig { schedule: Schedule::AsyncBuffered { k: 10, max_delay: 3 }, ..FlConfig::default() }
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [1, 50]")]
+    fn async_threshold_above_population_rejected() {
+        FlConfig { schedule: Schedule::AsyncBuffered { k: 51, max_delay: 2 }, ..FlConfig::default() }
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "Sync-only knob")]
+    fn partial_participation_requires_sync() {
+        FlConfig {
+            participation: 0.5,
+            schedule: Schedule::Straggler { slow_fraction: 0.2, max_delay: 2 },
+            ..FlConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn schedule_staleness_and_labels() {
+        assert_eq!(Schedule::Sync.max_staleness(), 0);
+        assert_eq!(Schedule::Straggler { slow_fraction: 0.5, max_delay: 7 }.max_staleness(), 7);
+        assert_eq!(Schedule::AsyncBuffered { k: 4, max_delay: 3 }.max_staleness(), 3);
+        assert_eq!(Schedule::Sync.label(), "sync");
+        assert_eq!(Schedule::AsyncBuffered { k: 4, max_delay: 3 }.label(), "async-buffered");
     }
 }

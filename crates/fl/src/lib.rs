@@ -1,40 +1,88 @@
 //! Federated-learning simulator: clients, Byzantine adversaries, parameter
-//! server and metrics — the experimental testbed of the SignGuard paper.
+//! server and metrics — the experimental testbed of the SignGuard paper,
+//! generalized over a pluggable **schedule axis**.
 //!
-//! The simulation follows the paper's Algorithm 1 with full participation
-//! and one local iteration per round: every client computes a mini-batch
-//! gradient from the shared global model, smooths it with client-side
-//! momentum (0.9) and weight decay (5e-4), and ships it to the parameter
-//! server, which applies a pluggable gradient aggregation rule and a global
-//! SGD step. The adversary sees every honest gradient before substituting
-//! the Byzantine clients' messages (strongest threat model of Section IV).
+//! # The round pipeline
+//!
+//! Every server step runs through a staged [`RoundPipeline`]
+//! (see [`rounds`]):
+//!
+//! 1. **compute** — the installed [`ClientScheduler`] names the step's
+//!    arrivals; each arriving client computes a mini-batch gradient from
+//!    the model version it fetched, smooths it with client-side momentum
+//!    (0.9) and weight decay (5e-4), concurrently on the engine's worker
+//!    pool;
+//! 2. **attack** — arrivals land in a pending-update buffer; once the
+//!    scheduler declares the batch ready, the adversary replaces the
+//!    Byzantine messages, seeing every honest message and (on async
+//!    schedules) the per-message staleness (strongest threat model of
+//!    Section IV, extended with the arrival view);
+//! 3. **aggregate** — a pluggable gradient aggregation rule consumes the
+//!    batch together with its optional staleness metadata
+//!    (`sg_aggregators::GradientBatch`);
+//! 4. **apply** — the global SGD step and selection accounting.
+//!
+//! # Schedules and the virtual-clock staleness model
+//!
+//! [`Schedule`] picks who delivers when, on a **seeded virtual clock**
+//! counted in server steps (never wall time):
+//!
+//! * [`Schedule::Sync`] — the paper's Algorithm 1: every sampled client
+//!   delivers a fresh update each step (including the Section IV-A
+//!   partial-participation variant);
+//! * [`Schedule::Straggler`] — a seeded fraction of clients redelivers on
+//!   a fixed per-client period, each update computed against the global
+//!   model the client last fetched and arriving `period − 1` steps stale;
+//! * [`Schedule::AsyncBuffered`] — FedBuf-style buffered asynchrony: per-
+//!   dispatch compute times, with the server aggregating as soon as `k`
+//!   updates are buffered.
+//!
+//! A client *fetches* the model at the end of the step in which its
+//! previous update was consumed, computes for a scheduler-drawn number of
+//! steps, and *delivers*; staleness is `current step − fetched step`. The
+//! pipeline keeps a bounded ring of recent parameter snapshots
+//! ([`rounds::ModelHistory`]) to serve stale fetches. Because all delay
+//! draws happen on the driver thread in deterministic order, every
+//! schedule inherits the engine's bit-for-bit determinism contract: the
+//! same seed reproduces the same run at any thread count.
 //!
 //! # Examples
 //!
 //! ```no_run
-//! use sg_fl::{FlConfig, Simulator, tasks};
+//! use sg_fl::{FlConfig, Schedule, Simulator, tasks};
 //! use sg_core::SignGuard;
 //! use sg_attacks::Lie;
 //!
 //! let task = tasks::mnist_like(1);
-//! let cfg = FlConfig { epochs: 3, ..FlConfig::default() };
+//! let cfg = FlConfig {
+//!     epochs: 3,
+//!     schedule: Schedule::Straggler { slow_fraction: 0.3, max_delay: 4 },
+//!     ..FlConfig::default()
+//! };
 //! let mut sim = Simulator::new(task, cfg, Box::new(SignGuard::plain(0)), Some(Box::new(Lie::new())));
 //! let result = sim.run();
-//! println!("best accuracy {:.2}%", 100.0 * result.best_accuracy);
+//! println!("best accuracy {:.2}%, mean staleness {:.2}",
+//!     100.0 * result.best_accuracy, result.mean_batch_staleness());
 //! ```
 
 mod client;
 mod config;
 mod eval;
 mod metrics;
+mod partition_cache;
+pub mod rounds;
+pub mod scheduler;
 mod simulator;
 pub mod tasks;
 pub mod validation;
 
 pub use client::Client;
-pub use config::{FlConfig, Partitioning};
+pub use config::{FlConfig, Partitioning, Schedule};
 pub use eval::evaluate_accuracy;
 pub use metrics::{RoundMetrics, RunResult, SelectionTracker};
+pub use partition_cache::{PartitionCache, PartitionKey};
+pub use rounds::{ModelHistory, RoundPipeline, RoundState};
+pub use scheduler::{build_scheduler, Arrival, ClientScheduler};
 pub use simulator::Simulator;
 pub use tasks::{Task, TaskCache};
 pub use validation::{ValidatingServer, ValidationRule};

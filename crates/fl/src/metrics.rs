@@ -5,10 +5,39 @@
 pub struct RoundMetrics {
     /// Round index.
     pub round: usize,
-    /// Mean training loss across honest clients this round.
+    /// Mean training loss across the honest clients that delivered an
+    /// update this round (`0.0` when none did).
     pub mean_loss: f32,
     /// Test accuracy, when this round was evaluated (end of epoch).
     pub test_accuracy: Option<f32>,
+    /// Client updates that arrived at the server this round (equals the
+    /// participant count under the synchronous schedule).
+    pub arrivals: usize,
+    /// Whether the server aggregated and applied an update this round
+    /// (always `true` under the synchronous schedule; async schedules may
+    /// idle while their buffer fills or every client is still computing).
+    pub applied: bool,
+    /// Mean staleness, in server steps, across the aggregated batch
+    /// (`0.0` when the round did not apply, or under `Sync`).
+    pub mean_staleness: f32,
+    /// Largest staleness in the aggregated batch.
+    pub max_staleness: usize,
+}
+
+impl RoundMetrics {
+    /// Metrics for a fresh, fully synchronous round (`arrivals` updates,
+    /// all staleness 0, aggregate applied).
+    pub fn synchronous(round: usize, mean_loss: f32, arrivals: usize) -> Self {
+        Self {
+            round,
+            mean_loss,
+            test_accuracy: None,
+            arrivals,
+            applied: true,
+            mean_staleness: 0.0,
+            max_staleness: 0,
+        }
+    }
 }
 
 /// Selection-rate accounting for Table II: how often honest and malicious
@@ -86,6 +115,21 @@ impl RunResult {
     pub fn attack_impact(&self, baseline_accuracy: f32) -> f32 {
         (baseline_accuracy - self.best_accuracy).max(0.0)
     }
+
+    /// Rounds in which the server aggregated and applied an update.
+    pub fn applied_rounds(&self) -> usize {
+        self.rounds.iter().filter(|m| m.applied).count()
+    }
+
+    /// Mean of the per-round mean batch staleness over applied rounds
+    /// (`0.0` for a synchronous run, or when nothing applied).
+    pub fn mean_batch_staleness(&self) -> f32 {
+        let applied = self.applied_rounds();
+        if applied == 0 {
+            return 0.0;
+        }
+        self.rounds.iter().filter(|m| m.applied).map(|m| m.mean_staleness).sum::<f32>() / applied as f32
+    }
 }
 
 #[cfg(test)]
@@ -122,5 +166,37 @@ mod tests {
         assert!((r.attack_impact(0.9) - 0.2).abs() < 1e-6);
         // Impact clamps at zero when the defense beats the baseline.
         assert_eq!(r.attack_impact(0.5), 0.0);
+    }
+
+    #[test]
+    fn staleness_summaries_ignore_idle_rounds() {
+        let mut r = RunResult {
+            best_accuracy: 0.0,
+            final_accuracy: 0.0,
+            accuracy_curve: vec![],
+            rounds: vec![RoundMetrics::synchronous(0, 1.0, 10)],
+            selection: SelectionTracker::new(),
+        };
+        r.rounds.push(RoundMetrics { applied: false, arrivals: 0, ..RoundMetrics::synchronous(1, 0.0, 0) });
+        r.rounds.push(RoundMetrics {
+            mean_staleness: 2.0,
+            max_staleness: 4,
+            ..RoundMetrics::synchronous(2, 0.8, 5)
+        });
+        assert_eq!(r.applied_rounds(), 2);
+        assert!((r.mean_batch_staleness() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_run_has_zero_staleness() {
+        let r = RunResult {
+            best_accuracy: 0.0,
+            final_accuracy: 0.0,
+            accuracy_curve: vec![],
+            rounds: vec![],
+            selection: SelectionTracker::new(),
+        };
+        assert_eq!(r.applied_rounds(), 0);
+        assert_eq!(r.mean_batch_staleness(), 0.0);
     }
 }

@@ -1,0 +1,176 @@
+//! Memoized client data partitions for scenario grids.
+//!
+//! Every grid cell of one `(task, partitioning, n, seed)` combination
+//! derives exactly the same client shards — the partition RNG is seeded
+//! from the cell's config seed — yet each cell used to recompute
+//! `partition_iid` / `partition_noniid` from scratch. [`PartitionCache`]
+//! memoizes the shard lists behind `Arc`s (the ROADMAP's partition-cache
+//! item), the same way [`crate::TaskCache`] shares generated datasets:
+//! the construction is a pure function of the key, so a cache hit is
+//! bit-identical to an uncached build.
+
+use std::sync::Arc;
+
+use sg_data::{partition_iid, partition_noniid, Dataset};
+use sg_math::seeded_rng;
+use sg_runtime::ResourceCache;
+
+use crate::config::Partitioning;
+
+/// Cache key: everything the partition construction depends on.
+///
+/// The dataset enters through its content fingerprint (plus length for
+/// extra safety), so two `Task` instances sharing the same generated data
+/// — e.g. cache hits of a [`crate::TaskCache`] — share partitions too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PartitionKey {
+    /// Content fingerprint of the training split.
+    pub dataset_fp: u64,
+    /// Training split length.
+    pub dataset_len: usize,
+    /// Number of clients.
+    pub num_clients: usize,
+    /// Partitioning scheme (`None` = IID, `Some(s_bits)` = non-IID with
+    /// the skew fraction's bit pattern — exact, no float in the key).
+    pub noniid_s_bits: Option<u32>,
+    /// Seed of the partition RNG.
+    pub part_seed: u64,
+}
+
+impl PartitionKey {
+    /// Builds the key for partitioning `train` across `num_clients`
+    /// clients with `part_seed`.
+    pub fn new(train: &Dataset, partitioning: Partitioning, num_clients: usize, part_seed: u64) -> Self {
+        Self {
+            dataset_fp: train.fingerprint(),
+            dataset_len: train.len(),
+            num_clients,
+            noniid_s_bits: match partitioning {
+                Partitioning::Iid => None,
+                Partitioning::NonIid { s } => Some(s.to_bits()),
+            },
+            part_seed,
+        }
+    }
+}
+
+/// Memoized partition construction keyed by [`PartitionKey`].
+///
+/// Clones share the cache; move a clone into each grid cell (or hold one
+/// in the sweep options next to the `TaskCache`).
+///
+/// # Examples
+///
+/// ```
+/// use sg_fl::{tasks, Partitioning, PartitionCache};
+///
+/// let cache = PartitionCache::new();
+/// let task = tasks::mlp_task(1);
+/// let a = cache.get(&task.train, Partitioning::Iid, 10, 42);
+/// let b = cache.get(&task.train, Partitioning::Iid, 10, 42);
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// assert_eq!((cache.misses(), cache.hits()), (1, 1));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PartitionCache {
+    cache: ResourceCache<PartitionKey, Vec<Vec<usize>>>,
+}
+
+impl PartitionCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the (possibly cached) client shards for partitioning
+    /// `train` across `num_clients` clients, with the partition RNG seeded
+    /// at `part_seed` — exactly the shards an uncached
+    /// `partition_iid`/`partition_noniid` call with a fresh
+    /// `seeded_rng(part_seed)` produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is too small for the client count (see the
+    /// partitioners in `sg-data`).
+    pub fn get(
+        &self,
+        train: &Dataset,
+        partitioning: Partitioning,
+        num_clients: usize,
+        part_seed: u64,
+    ) -> Arc<Vec<Vec<usize>>> {
+        let key = PartitionKey::new(train, partitioning, num_clients, part_seed);
+        self.cache.get_or_create(key, || {
+            let mut rng = seeded_rng(part_seed);
+            match partitioning {
+                Partitioning::Iid => partition_iid(train.len(), num_clients, &mut rng),
+                Partitioning::NonIid { s } => partition_noniid(train, num_clients, s, &mut rng),
+            }
+        })
+    }
+
+    /// Distinct partition keys generated so far.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether no partition has been requested yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Requests served from cache.
+    pub fn hits(&self) -> usize {
+        self.cache.hits()
+    }
+
+    /// Requests that computed a partition (one per distinct key).
+    pub fn misses(&self) -> usize {
+        self.cache.misses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks;
+
+    #[test]
+    fn cached_partition_matches_direct_computation() {
+        let task = tasks::mlp_task(4);
+        let cache = PartitionCache::new();
+        let cached = cache.get(&task.train, Partitioning::NonIid { s: 0.5 }, 8, 99);
+        let mut rng = seeded_rng(99);
+        let direct = partition_noniid(&task.train, 8, 0.5, &mut rng);
+        assert_eq!(*cached, direct, "cache hit must be bit-identical to an uncached build");
+    }
+
+    #[test]
+    fn keys_separate_every_axis() {
+        let task = tasks::mlp_task(4);
+        let other = tasks::mlp_task(5);
+        let cache = PartitionCache::new();
+        let base = cache.get(&task.train, Partitioning::Iid, 10, 1);
+        let diff_seed = cache.get(&task.train, Partitioning::Iid, 10, 2);
+        let diff_n = cache.get(&task.train, Partitioning::Iid, 5, 1);
+        let diff_scheme = cache.get(&task.train, Partitioning::NonIid { s: 0.5 }, 10, 1);
+        let diff_data = cache.get(&other.train, Partitioning::Iid, 10, 1);
+        assert_eq!(cache.len(), 5, "five distinct keys");
+        assert!(!Arc::ptr_eq(&base, &diff_seed));
+        assert!(!Arc::ptr_eq(&base, &diff_n));
+        assert!(!Arc::ptr_eq(&base, &diff_scheme));
+        assert!(!Arc::ptr_eq(&base, &diff_data));
+    }
+
+    #[test]
+    fn shared_dataset_shares_partitions() {
+        // Two cheap Task clones of one generated dataset hit the same key.
+        let task = tasks::mlp_task(6);
+        let clone = task.clone();
+        let cache = PartitionCache::new();
+        let a = cache.get(&task.train, Partitioning::Iid, 10, 7);
+        let b = cache.get(&clone.train, Partitioning::Iid, 10, 7);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+    }
+}

@@ -1,0 +1,370 @@
+//! The staged round pipeline: compute → attack → aggregate → apply.
+//!
+//! One server step of the federated protocol, decomposed into four stages
+//! that are identical across every [`crate::Schedule`]:
+//!
+//! 1. **compute** — the installed [`ClientScheduler`] names this step's
+//!    arrivals; each arriving client computes its (momentum-smoothed)
+//!    local gradient against the model version it fetched — looked up in
+//!    the pipeline's [`ModelHistory`] when stale — concurrently across the
+//!    engine's worker pool, each into its own arena buffer;
+//! 2. **attack** — arrivals land in the pending-update buffer
+//!    ([`sg_runtime::UpdateBuffer`]); once the scheduler declares the
+//!    batch ready, it is drained Byzantine-first and the adversary
+//!    replaces the Byzantine messages in place, seeing the arrival view
+//!    (per-message staleness) on async schedules;
+//! 3. **aggregate** — the aggregation rule consumes a
+//!    [`sg_aggregators::GradientBatch`] carrying the same staleness
+//!    metadata, so staleness-aware rules can down-weight old messages
+//!    while the batch-only rules run unchanged;
+//! 4. **apply** — the global SGD step, selection accounting, buffer
+//!    return, and the scheduler's consumption notice (consumed clients
+//!    refetch the model and restart their virtual-clock timers).
+//!
+//! On the synchronous schedule the pipeline is float-for-float the
+//! monolithic pre-pipeline round loop: every client arrives fresh, the
+//! buffer drains every step, and the history keeps no snapshots.
+
+use std::collections::VecDeque;
+
+use sg_aggregators::{Aggregator, GradientBatch};
+use sg_attacks::{Attack, AttackContext};
+use sg_data::Dataset;
+use sg_runtime::{Engine, GradientArena, PendingUpdate, UpdateBuffer};
+
+use crate::client::Client;
+use crate::metrics::{RoundMetrics, SelectionTracker};
+use crate::scheduler::ClientScheduler;
+
+/// Ring of recent global-parameter snapshots, indexed by server step.
+///
+/// `record(step, params)` is called at the start of every step; `get`
+/// serves the snapshot a stale arrival trained against. Depth 0 (the
+/// synchronous schedule) records nothing — the current parameters are the
+/// only version any arrival can reference — so sync rounds pay no copies.
+#[derive(Debug)]
+pub struct ModelHistory {
+    depth: usize,
+    ring: VecDeque<(usize, Vec<f32>)>,
+}
+
+impl ModelHistory {
+    /// A history retaining `depth` past steps (plus the current one).
+    pub fn new(depth: usize) -> Self {
+        Self { depth, ring: VecDeque::with_capacity(depth + 1) }
+    }
+
+    /// Largest staleness this history can serve.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Snapshots the parameters current at the start of `step`. Evicted
+    /// snapshots donate their allocation to the new one, so a steady-state
+    /// round allocates nothing.
+    pub fn record(&mut self, step: usize, params: &[f32]) {
+        if self.depth == 0 {
+            return;
+        }
+        let mut buf = if self.ring.len() > self.depth {
+            self.ring.pop_front().expect("non-empty ring").1
+        } else {
+            Vec::with_capacity(params.len())
+        };
+        buf.clear();
+        buf.extend_from_slice(params);
+        self.ring.push_back((step, buf));
+    }
+
+    /// The parameters an arrival with `model_step` trains against at
+    /// `current_step` (`current` being the live parameter vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot is older than the history depth — a
+    /// scheduler bug, since schedulers declare their maximum staleness.
+    pub fn get<'a>(&'a self, model_step: usize, current_step: usize, current: &'a [f32]) -> &'a [f32] {
+        if model_step >= current_step {
+            debug_assert_eq!(model_step, current_step, "arrival from the future");
+            return current;
+        }
+        self.ring.iter().find(|(s, _)| *s == model_step).map(|(_, p)| p.as_slice()).unwrap_or_else(|| {
+            panic!(
+                "model history: step {model_step} evicted (current step {current_step}, depth {})",
+                self.depth
+            )
+        })
+    }
+}
+
+/// Everything a round needs from the simulation that owns it.
+pub struct RoundState<'a> {
+    /// All clients (the scheduler picks who computes).
+    pub clients: &'a mut [Client],
+    /// The live global parameter vector (mutated by the apply stage).
+    pub global_params: &'a mut Vec<f32>,
+    /// Shared training data.
+    pub train: &'a Dataset,
+    /// Mini-batch size per client step.
+    pub batch_size: usize,
+    /// Global SGD learning rate.
+    pub learning_rate: f32,
+    /// Execution engine (client compute fans out on its pool).
+    pub engine: &'a Engine,
+}
+
+/// The staged round loop: owns the schedule-dependent state (scheduler,
+/// history, pending buffer, arena) and the server-side actors (attack,
+/// aggregation rule).
+pub struct RoundPipeline {
+    gar: Box<dyn Aggregator>,
+    attack: Option<Box<dyn Attack>>,
+    scheduler: Box<dyn ClientScheduler>,
+    byz_count: usize,
+    history: ModelHistory,
+    buffer: UpdateBuffer<usize>,
+    arena: GradientArena,
+    /// Whether batches carry the arrival view (any schedule that can
+    /// produce staleness > 0).
+    async_metadata: bool,
+}
+
+impl std::fmt::Debug for RoundPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoundPipeline")
+            .field("gar", &self.gar.name())
+            .field("attack", &self.attack.as_ref().map(|a| a.name()))
+            .field("schedule", &self.scheduler.name())
+            .field("history_depth", &self.history.depth())
+            .finish()
+    }
+}
+
+impl RoundPipeline {
+    /// Assembles the pipeline. The pending-update buffer comes from the
+    /// engine's buffer seam; the history depth from the scheduler's
+    /// declared maximum staleness.
+    pub fn new(
+        gar: Box<dyn Aggregator>,
+        attack: Option<Box<dyn Attack>>,
+        scheduler: Box<dyn ClientScheduler>,
+        byz_count: usize,
+        num_clients: usize,
+        engine: &Engine,
+    ) -> Self {
+        let depth = scheduler.max_staleness();
+        Self {
+            gar,
+            attack,
+            scheduler,
+            byz_count,
+            history: ModelHistory::new(depth),
+            buffer: engine.update_buffer(),
+            arena: GradientArena::new(num_clients),
+            async_metadata: depth > 0,
+        }
+    }
+
+    /// The aggregation rule's table name.
+    pub fn gar_name(&self) -> &'static str {
+        self.gar.name()
+    }
+
+    /// The attack's table name, if an adversary is present.
+    pub fn attack_name(&self) -> Option<&'static str> {
+        self.attack.as_ref().map(|a| a.name())
+    }
+
+    /// The schedule's name.
+    pub fn schedule_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    /// Peak number of updates ever pending at once (async diagnostics).
+    pub fn buffer_high_water(&self) -> usize {
+        self.buffer.high_water()
+    }
+
+    /// Executes one server step, returning its metrics.
+    pub fn step(
+        &mut self,
+        round: usize,
+        state: RoundState<'_>,
+        selection: &mut SelectionTracker,
+    ) -> RoundMetrics {
+        self.history.record(round, state.global_params);
+
+        // ---- compute stage -------------------------------------------
+        // The scheduler names this step's arrivals; each computes its
+        // gradient against the model version it fetched, concurrently on
+        // the engine's pool, each into its own arena buffer. Clients own
+        // their RNG streams, so scheduling can never perturb the result.
+        let arrivals = self.scheduler.arrivals(round);
+        let arrived = arrivals.len();
+        let mut loss_sum = 0.0f32;
+        let mut honest_arrivals = 0usize;
+        if arrived > 0 {
+            let mut slots: Vec<Option<&mut Client>> = state.clients.iter_mut().map(Some).collect();
+            let history = &self.history;
+            let arena = &mut self.arena;
+            let global: &[f32] = state.global_params;
+            let jobs: Vec<(&mut Client, Vec<f32>, &[f32])> = arrivals
+                .iter()
+                .map(|a| {
+                    let params = history.get(a.model_step, round, global);
+                    (slots[a.client].take().expect("duplicate arrival"), arena.take(a.client), params)
+                })
+                .collect();
+            let train = state.train;
+            let batch_size = state.batch_size;
+            let results: Vec<(Vec<f32>, f32)> =
+                state.engine.pool().map(jobs, |_, (client, mut buf, params)| {
+                    client.local_gradient_into(params, train, batch_size, &mut buf);
+                    let loss = client.last_loss();
+                    (buf, loss)
+                });
+
+            // Honest-loss accounting in arrival order (the same
+            // floating-point order as a sequential loop would produce),
+            // then into the pending buffer with the model step attached.
+            for ((gradient, loss), a) in results.into_iter().zip(&arrivals) {
+                if a.client >= self.byz_count {
+                    loss_sum += loss;
+                    honest_arrivals += 1;
+                }
+                self.buffer.push(PendingUpdate { client: a.client, gradient, meta: a.model_step });
+            }
+        }
+        let mean_loss = if honest_arrivals > 0 { loss_sum / honest_arrivals as f32 } else { 0.0 };
+
+        if !self.scheduler.ready(round, self.buffer.len()) {
+            // Async idle step: the buffer keeps filling, nothing applies.
+            return RoundMetrics {
+                round,
+                mean_loss,
+                test_accuracy: None,
+                arrivals: arrived,
+                applied: false,
+                mean_staleness: 0.0,
+                max_staleness: 0,
+            };
+        }
+
+        // Drain Byzantine-first (stable within each group), so message
+        // index < m means "malicious" for the attack and the selection
+        // accounting, exactly as in the synchronous protocol.
+        let mut batch = self.buffer.drain();
+        batch.sort_by_key(|u| u.client >= self.byz_count);
+        let n = batch.len();
+        let m = batch.iter().filter(|u| u.client < self.byz_count).count();
+        let staleness: Vec<usize> = batch.iter().map(|u| round - u.meta).collect();
+        let batch_clients: Vec<usize> = batch.iter().map(|u| u.client).collect();
+        let mut grads: Vec<Vec<f32>> = batch.into_iter().map(|u| u.gradient).collect();
+
+        // ---- attack stage --------------------------------------------
+        // The adversary replaces the Byzantine messages in place, seeing
+        // every honest message of the batch — and, on async schedules, the
+        // arrival view (per-message staleness, Byzantine first).
+        if m > 0 {
+            if let Some(attack) = self.attack.as_mut() {
+                let (byz_honest, benign) = grads.split_at(m);
+                let ctx = if self.async_metadata {
+                    AttackContext::with_staleness(benign, byz_honest, round, &staleness)
+                } else {
+                    AttackContext::new(benign, byz_honest, round)
+                };
+                let malicious = attack.craft(&ctx);
+                assert_eq!(malicious.len(), m, "attack returned wrong gradient count");
+                for (slot, mal) in grads.iter_mut().zip(malicious) {
+                    *slot = mal;
+                }
+            }
+        }
+
+        // ---- aggregate stage -----------------------------------------
+        // Validation-based rules need the current model to score
+        // gradients; staleness-aware rules get the arrival metadata.
+        self.gar.observe_global(state.global_params);
+        let input = if self.async_metadata {
+            GradientBatch::with_staleness(&grads, &staleness)
+        } else {
+            GradientBatch::synchronous(&grads)
+        };
+        let out = self.gar.aggregate_batch(&input);
+        if let Some(sel) = &out.selected {
+            selection.record(sel, m, n);
+        }
+
+        // ---- apply stage ---------------------------------------------
+        for (p, g) in state.global_params.iter_mut().zip(&out.gradient) {
+            *p -= state.learning_rate * g;
+        }
+
+        // Park the batch's buffers (including attack-crafted replacements)
+        // for reuse, and let the consumed clients refetch and restart.
+        for (g, &id) in grads.into_iter().zip(&batch_clients) {
+            self.arena.put(id, g);
+        }
+        self.scheduler.on_consumed(round, &batch_clients);
+
+        let max_staleness = staleness.iter().copied().max().unwrap_or(0);
+        let mean_staleness = if n > 0 { staleness.iter().sum::<usize>() as f32 / n as f32 } else { 0.0 };
+        RoundMetrics {
+            round,
+            mean_loss,
+            test_accuracy: None,
+            arrivals: arrived,
+            applied: true,
+            mean_staleness,
+            max_staleness,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_depth_zero_records_nothing() {
+        let mut h = ModelHistory::new(0);
+        h.record(0, &[1.0, 2.0]);
+        let current = [9.0f32];
+        assert_eq!(h.get(3, 3, &current), &current);
+    }
+
+    #[test]
+    fn history_serves_recent_snapshots() {
+        let mut h = ModelHistory::new(2);
+        for step in 0..5usize {
+            h.record(step, &[step as f32]);
+        }
+        let current = [99.0f32];
+        assert_eq!(h.get(4, 4, &current), &current, "current step bypasses the ring");
+        assert_eq!(h.get(3, 4, &current), &[3.0]);
+        assert_eq!(h.get(2, 4, &current), &[2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "evicted")]
+    fn history_panics_past_depth() {
+        let mut h = ModelHistory::new(1);
+        for step in 0..4usize {
+            h.record(step, &[step as f32]);
+        }
+        let current = [0.0f32];
+        let _ = h.get(0, 3, &current);
+    }
+
+    #[test]
+    fn history_reuses_evicted_allocations() {
+        let mut h = ModelHistory::new(1);
+        let params = vec![1.0f32; 512];
+        h.record(0, &params);
+        h.record(1, &params);
+        let evicted_ptr = h.ring.front().expect("front").1.as_ptr();
+        h.record(2, &params);
+        // Step 0's buffer was recycled into step 2's snapshot.
+        assert_eq!(h.ring.back().expect("back").1.as_ptr(), evicted_ptr);
+    }
+}

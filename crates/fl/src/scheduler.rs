@@ -1,0 +1,443 @@
+//! Client schedulers: who delivers an update at each server step, and how
+//! stale it is.
+//!
+//! The round pipeline (see [`crate::rounds`]) is schedule-agnostic: every
+//! server step it asks the installed [`ClientScheduler`] which client
+//! updates *arrive*, computes those gradients against the (possibly stale)
+//! model each client fetched, buffers them, and aggregates when the
+//! scheduler says the batch is ready. The schedulers implement the three
+//! schedule modes of [`Schedule`]:
+//!
+//! * [`SyncScheduler`] — the paper's synchronous setting, including the
+//!   Section IV-A partial-participation variant (per-round client
+//!   sampling);
+//! * [`StragglerScheduler`] — a seeded fraction of clients is slow: each
+//!   straggler redelivers on a fixed per-client period drawn at
+//!   construction, its gradient computed against the model it fetched when
+//!   it last restarted (arriving `period − 1` steps stale);
+//! * [`AsyncBufferedScheduler`] — FedBuf-style: every dispatch draws a
+//!   fresh compute time, and the server only aggregates once `k` updates
+//!   are buffered.
+//!
+//! # The virtual clock
+//!
+//! Time is counted in **server steps**, never wall time. A client's life
+//! cycle on this clock: it *fetches* the global model at the end of some
+//! step `t₀` (so it trains against the parameters current at the start of
+//! step `t₀ + 1`, its *model step*), computes for a scheduler-chosen
+//! number of steps, *delivers* at step `t₁`, and fetches again at the end
+//! of whichever step its delivery is *consumed* (aggregated). Staleness of
+//! an update is `current step − model step`. All delay draws come from one
+//! seeded RNG advanced in deterministic (client-index / batch) order on
+//! the driver thread, so the schedule — like everything else in the
+//! engine's determinism contract — is bit-for-bit reproducible at any
+//! thread count.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sg_math::rng::sample_indices;
+
+use crate::config::Schedule;
+
+/// One client update reaching the server this step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Delivering client id.
+    pub client: usize,
+    /// Server step whose start-of-step parameters the client trained
+    /// against (staleness at step `t` is `t - model_step`).
+    pub model_step: usize,
+}
+
+/// Decides, per server step, which client updates arrive and when the
+/// server aggregates.
+///
+/// Implementations run on the driver thread only; they own whatever RNG
+/// state the schedule needs, so worker-thread scheduling can never perturb
+/// a delay draw.
+pub trait ClientScheduler: Send {
+    /// Client updates delivered at server step `step`, Byzantine clients
+    /// first (ids below the Byzantine count), ascending id within each
+    /// group — the message order the attack and selection accounting
+    /// expect.
+    fn arrivals(&mut self, step: usize) -> Vec<Arrival>;
+
+    /// Whether the server aggregates this step given `buffered` pending
+    /// updates (called after this step's arrivals were buffered).
+    fn ready(&self, step: usize, buffered: usize) -> bool;
+
+    /// Notifies the scheduler that the given clients' updates were
+    /// aggregated at `step`; they refetch the model and restart.
+    fn on_consumed(&mut self, step: usize, clients: &[usize]);
+
+    /// Largest staleness an arrival can carry at compute time (the model
+    /// history depth the pipeline must keep).
+    fn max_staleness(&self) -> usize;
+
+    /// Schedule name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Builds the scheduler for a config's [`Schedule`].
+///
+/// `rng` is the round-scheduling RNG from the simulator's seed stream —
+/// for [`Schedule::Sync`] it drives participation sampling exactly as the
+/// pre-pipeline round loop did; for the async schedules it drives the
+/// delay draws.
+pub fn build_scheduler(
+    schedule: Schedule,
+    num_clients: usize,
+    byzantine_count: usize,
+    participation: f32,
+    rng: StdRng,
+) -> Box<dyn ClientScheduler> {
+    match schedule {
+        Schedule::Sync => Box::new(SyncScheduler::new(num_clients, byzantine_count, participation, rng)),
+        Schedule::Straggler { slow_fraction, max_delay } => {
+            Box::new(StragglerScheduler::new(num_clients, byzantine_count, slow_fraction, max_delay, rng))
+        }
+        Schedule::AsyncBuffered { k, max_delay } => {
+            Box::new(AsyncBufferedScheduler::new(num_clients, k, max_delay, rng))
+        }
+    }
+}
+
+// ---- Sync --------------------------------------------------------------
+
+/// The paper's synchronous schedule: every sampled client delivers a fresh
+/// (staleness-0) update each step.
+pub struct SyncScheduler {
+    num_clients: usize,
+    byzantine_count: usize,
+    participation: f32,
+    rng: StdRng,
+}
+
+impl SyncScheduler {
+    /// Creates the synchronous schedule; `participation < 1.0` samples
+    /// that fraction of clients per step (at least one).
+    pub fn new(num_clients: usize, byzantine_count: usize, participation: f32, rng: StdRng) -> Self {
+        Self { num_clients, byzantine_count, participation, rng }
+    }
+}
+
+impl ClientScheduler for SyncScheduler {
+    fn arrivals(&mut self, step: usize) -> Vec<Arrival> {
+        // Partial participation: sample this step's clients, keeping the
+        // Byzantine ones (ids < byzantine_count) first so message index
+        // < m means "malicious" for selection accounting. Full
+        // participation draws nothing from the RNG.
+        let ids: Vec<usize> = if self.participation >= 1.0 {
+            (0..self.num_clients).collect()
+        } else {
+            let k =
+                (((self.num_clients as f32) * self.participation).ceil() as usize).clamp(1, self.num_clients);
+            let mut ids = sample_indices(&mut self.rng, self.num_clients, k);
+            ids.sort_unstable_by_key(|&i| (i >= self.byzantine_count, i));
+            ids
+        };
+        ids.into_iter().map(|client| Arrival { client, model_step: step }).collect()
+    }
+
+    fn ready(&self, _step: usize, buffered: usize) -> bool {
+        buffered > 0
+    }
+
+    fn on_consumed(&mut self, _step: usize, _clients: &[usize]) {}
+
+    fn max_staleness(&self) -> usize {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "sync"
+    }
+}
+
+// ---- Straggler ---------------------------------------------------------
+
+/// Seeded straggler schedule: slow clients deliver on a fixed per-client
+/// period, computing against the model they fetched at their last restart.
+pub struct StragglerScheduler {
+    byzantine_count: usize,
+    max_delay: usize,
+    /// Per-client delivery period in steps (1 = synchronous behavior).
+    period: Vec<usize>,
+    /// Step at which each client's in-flight update delivers.
+    due: Vec<usize>,
+    /// Model step each client's in-flight update trains against.
+    model_step: Vec<usize>,
+}
+
+impl StragglerScheduler {
+    /// Draws the slow set and per-client periods from `rng` (in client
+    /// order, so the draw is independent of execution order).
+    pub fn new(
+        num_clients: usize,
+        byzantine_count: usize,
+        slow_fraction: f32,
+        max_delay: usize,
+        mut rng: StdRng,
+    ) -> Self {
+        let period: Vec<usize> = (0..num_clients)
+            .map(|_| {
+                let slow = rng.gen_bool(f64::from(slow_fraction.clamp(0.0, 1.0)));
+                if slow && max_delay >= 1 {
+                    rng.gen_range(2..=max_delay + 1)
+                } else {
+                    1
+                }
+            })
+            .collect();
+        // Everyone fetched the initial model (model step 0) and delivers
+        // after one full period: period-1 clients at step 0, a period-p
+        // straggler at step p − 1, already p − 1 steps stale.
+        let due: Vec<usize> = period.iter().map(|&p| p - 1).collect();
+        Self { byzantine_count, max_delay, period, due, model_step: vec![0; num_clients] }
+    }
+
+    /// Per-client delivery periods (tests and diagnostics).
+    pub fn periods(&self) -> &[usize] {
+        &self.period
+    }
+}
+
+impl ClientScheduler for StragglerScheduler {
+    fn arrivals(&mut self, step: usize) -> Vec<Arrival> {
+        // Ascending client id is Byzantine-first: Byzantine clients hold
+        // ids 0..byzantine_count by construction.
+        (0..self.due.len())
+            .filter(|&c| self.due[c] == step)
+            .map(|client| Arrival { client, model_step: self.model_step[client] })
+            .collect()
+    }
+
+    fn ready(&self, _step: usize, buffered: usize) -> bool {
+        buffered > 0
+    }
+
+    fn on_consumed(&mut self, step: usize, clients: &[usize]) {
+        for &c in clients {
+            // Refetch at the end of `step` ⇒ train against the parameters
+            // current at the start of step + 1; redeliver one period later.
+            self.model_step[c] = step + 1;
+            self.due[c] = step + self.period[c];
+        }
+    }
+
+    fn max_staleness(&self) -> usize {
+        self.max_delay
+    }
+
+    fn name(&self) -> &'static str {
+        "straggler"
+    }
+}
+
+impl std::fmt::Debug for StragglerScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let slow = self.period.iter().filter(|&&p| p > 1).count();
+        f.debug_struct("StragglerScheduler")
+            .field("clients", &self.period.len())
+            .field("stragglers", &slow)
+            .field("byzantine", &self.byzantine_count)
+            .finish()
+    }
+}
+
+// ---- AsyncBuffered -----------------------------------------------------
+
+/// FedBuf-style buffered asynchrony: per-dispatch compute times, server
+/// aggregates once `k` updates are pending.
+pub struct AsyncBufferedScheduler {
+    k: usize,
+    max_delay: usize,
+    rng: StdRng,
+    /// Step at which each client's in-flight update delivers (`usize::MAX`
+    /// while the client waits for its previous update to be consumed).
+    due: Vec<usize>,
+    model_step: Vec<usize>,
+}
+
+/// Sentinel for "delivered, waiting to be consumed".
+const PARKED: usize = usize::MAX;
+
+impl AsyncBufferedScheduler {
+    /// Creates the buffered schedule; initial compute times are drawn in
+    /// client order.
+    pub fn new(num_clients: usize, k: usize, max_delay: usize, mut rng: StdRng) -> Self {
+        let due: Vec<usize> = (0..num_clients).map(|_| rng.gen_range(1..=max_delay + 1) - 1).collect();
+        Self { k, max_delay, rng, due, model_step: vec![0; num_clients] }
+    }
+}
+
+impl ClientScheduler for AsyncBufferedScheduler {
+    fn arrivals(&mut self, step: usize) -> Vec<Arrival> {
+        let mut out = Vec::new();
+        for c in 0..self.due.len() {
+            if self.due[c] == step {
+                out.push(Arrival { client: c, model_step: self.model_step[c] });
+                // Parked until the buffered update is consumed.
+                self.due[c] = PARKED;
+            }
+        }
+        out
+    }
+
+    fn ready(&self, _step: usize, buffered: usize) -> bool {
+        buffered >= self.k
+    }
+
+    fn on_consumed(&mut self, step: usize, clients: &[usize]) {
+        for &c in clients {
+            debug_assert_eq!(self.due[c], PARKED, "consumed a client that was not parked");
+            self.model_step[c] = step + 1;
+            self.due[c] = step + self.rng.gen_range(1..=self.max_delay + 1);
+        }
+    }
+
+    fn max_staleness(&self) -> usize {
+        self.max_delay
+    }
+
+    fn name(&self) -> &'static str {
+        "async-buffered"
+    }
+}
+
+impl std::fmt::Debug for AsyncBufferedScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncBufferedScheduler")
+            .field("clients", &self.due.len())
+            .field("k", &self.k)
+            .field("max_delay", &self.max_delay)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_math::seeded_rng;
+
+    fn drain_step(s: &mut dyn ClientScheduler, step: usize) -> Vec<Arrival> {
+        let arrivals = s.arrivals(step);
+        let ids: Vec<usize> = arrivals.iter().map(|a| a.client).collect();
+        if s.ready(step, ids.len()) {
+            s.on_consumed(step, &ids);
+        }
+        arrivals
+    }
+
+    #[test]
+    fn sync_full_participation_delivers_everyone_fresh() {
+        let mut s = SyncScheduler::new(6, 2, 1.0, seeded_rng(0));
+        for step in 0..3 {
+            let a = s.arrivals(step);
+            assert_eq!(a.len(), 6);
+            assert!(a.iter().all(|x| x.model_step == step), "staleness 0");
+            assert_eq!(a[0].client, 0);
+        }
+        assert_eq!(s.max_staleness(), 0);
+    }
+
+    #[test]
+    fn sync_partial_participation_sorts_byzantine_first() {
+        let mut s = SyncScheduler::new(10, 3, 0.5, seeded_rng(7));
+        for step in 0..20 {
+            let a = s.arrivals(step);
+            assert_eq!(a.len(), 5);
+            let ids: Vec<usize> = a.iter().map(|x| x.client).collect();
+            let byz_end = ids.iter().take_while(|&&i| i < 3).count();
+            assert!(ids[byz_end..].iter().all(|&i| i >= 3), "byz-first order: {ids:?}");
+        }
+    }
+
+    #[test]
+    fn straggler_zero_fraction_degenerates_to_sync() {
+        let mut s = StragglerScheduler::new(5, 1, 0.0, 4, seeded_rng(3));
+        assert!(s.periods().iter().all(|&p| p == 1));
+        for step in 0..4 {
+            let a = drain_step(&mut s, step);
+            assert_eq!(a.len(), 5);
+            assert!(a.iter().all(|x| x.model_step == step));
+        }
+    }
+
+    #[test]
+    fn straggler_slow_clients_deliver_stale_on_their_period() {
+        let mut s = StragglerScheduler::new(8, 2, 0.5, 4, seeded_rng(5));
+        let periods = s.periods().to_vec();
+        assert!(periods.iter().any(|&p| p > 1), "seeded draw includes stragglers: {periods:?}");
+        assert!(periods.iter().all(|&p| p <= 5));
+        let mut deliveries = [0usize; 8];
+        for step in 0..40 {
+            for a in drain_step(&mut s, step) {
+                deliveries[a.client] += 1;
+                let staleness = step - a.model_step;
+                assert_eq!(staleness, periods[a.client] - 1, "client {} at step {step}", a.client);
+                assert!(staleness <= s.max_staleness());
+            }
+        }
+        for (c, &p) in periods.iter().enumerate() {
+            // A period-p client delivers every p steps over 40 steps.
+            assert_eq!(deliveries[c], 40 / p, "client {c} period {p}");
+        }
+    }
+
+    #[test]
+    fn async_buffered_waits_for_k_and_drains() {
+        let mut s = AsyncBufferedScheduler::new(6, 4, 3, seeded_rng(9));
+        let mut buffered: Vec<usize> = Vec::new();
+        let mut applies = 0;
+        for step in 0..60 {
+            for a in s.arrivals(step) {
+                let staleness = step - a.model_step;
+                assert!(staleness <= s.max_staleness(), "arrival staleness bounded");
+                buffered.push(a.client);
+            }
+            if s.ready(step, buffered.len()) {
+                assert!(buffered.len() >= 4, "never aggregates below k");
+                s.on_consumed(step, &buffered);
+                buffered.clear();
+                applies += 1;
+            }
+        }
+        assert!(applies > 5, "buffered schedule keeps applying ({applies})");
+    }
+
+    #[test]
+    fn async_client_never_has_two_updates_in_flight() {
+        let mut s = AsyncBufferedScheduler::new(4, 3, 2, seeded_rng(11));
+        let mut pending: Vec<usize> = Vec::new();
+        for step in 0..40 {
+            for a in s.arrivals(step) {
+                assert!(!pending.contains(&a.client), "client {} delivered twice", a.client);
+                pending.push(a.client);
+            }
+            if s.ready(step, pending.len()) {
+                s.on_consumed(step, &pending);
+                pending.clear();
+            }
+        }
+    }
+
+    #[test]
+    fn schedulers_are_deterministic_for_a_seed() {
+        let run = |seed: u64| -> Vec<Vec<Arrival>> {
+            let mut s = StragglerScheduler::new(7, 2, 0.4, 3, seeded_rng(seed));
+            (0..15).map(|t| drain_step(&mut s, t)).collect()
+        };
+        assert_eq!(run(13), run(13));
+        assert_ne!(run(13), run(14), "different seeds draw different schedules");
+    }
+
+    #[test]
+    fn build_scheduler_dispatches_by_schedule() {
+        let mk = |sched| build_scheduler(sched, 10, 2, 1.0, seeded_rng(0));
+        assert_eq!(mk(Schedule::Sync).name(), "sync");
+        assert_eq!(mk(Schedule::Straggler { slow_fraction: 0.5, max_delay: 2 }).name(), "straggler");
+        assert_eq!(mk(Schedule::AsyncBuffered { k: 3, max_delay: 2 }).name(), "async-buffered");
+        assert_eq!(mk(Schedule::AsyncBuffered { k: 3, max_delay: 2 }).max_staleness(), 2);
+    }
+}

@@ -1,51 +1,60 @@
-//! The round loop tying clients, adversary and parameter server together.
+//! The simulation driver tying clients, adversary and parameter server
+//! together through the staged round pipeline.
 
 use sg_aggregators::Aggregator;
-use sg_attacks::{Attack, AttackContext};
-use sg_data::{partition_iid, partition_noniid};
+use sg_attacks::Attack;
 use sg_math::SeedStream;
 use sg_nn::Sequential;
-use sg_runtime::{Engine, GradientArena};
+use sg_runtime::Engine;
 
 use crate::client::Client;
-use crate::config::{FlConfig, Partitioning};
+use crate::config::FlConfig;
 use crate::eval::evaluate_accuracy;
 use crate::metrics::{RoundMetrics, RunResult, SelectionTracker};
+use crate::partition_cache::PartitionCache;
+use crate::rounds::{RoundPipeline, RoundState};
+use crate::scheduler::build_scheduler;
 use crate::tasks::Task;
 
-/// A federated training simulation (paper Algorithm 1).
+/// A federated training simulation (paper Algorithm 1, generalized over
+/// the schedule axis).
 ///
 /// Clients `0..m` are Byzantine (their messages are replaced by the
 /// attack); clients `m..n` are benign. The aggregation rules never see
 /// indices, so the arrangement is immaterial to the defense — it only
 /// anchors the ground truth for selection accounting.
 ///
+/// Each server step runs through a [`RoundPipeline`] (compute → attack →
+/// aggregate → apply) driven by the config's
+/// [`Schedule`](crate::Schedule): the paper's synchronous setting, the
+/// straggler schedule, or FedBuf-style buffered asynchrony — all on a
+/// seeded virtual clock (see [`crate::scheduler`]).
+///
 /// The simulation runs on an [`Engine`]: client training is distributed
 /// over the engine's worker pool and the aggregation rule's
 /// coordinate-sharded kernels run on its executor. [`Simulator::new`] uses
 /// the sequential engine; [`Simulator::with_engine`] takes any thread
 /// budget and — per the engine's determinism contract — produces
-/// bit-identical metrics for the same seed at any parallelism.
+/// bit-identical metrics for the same seed at any parallelism, under every
+/// schedule.
 pub struct Simulator {
     task: Task,
     cfg: FlConfig,
-    gar: Box<dyn Aggregator>,
-    attack: Option<Box<dyn Attack>>,
     clients: Vec<Client>,
     global_params: Vec<f32>,
     eval_model: Sequential,
     byz_count: usize,
-    round_rng: rand::rngs::StdRng,
     engine: Engine,
-    arena: GradientArena,
+    pipeline: RoundPipeline,
 }
 
 impl std::fmt::Debug for Simulator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
             .field("task", &self.task.name)
-            .field("gar", &self.gar.name())
-            .field("attack", &self.attack.as_ref().map(|a| a.name()))
+            .field("gar", &self.pipeline.gar_name())
+            .field("attack", &self.pipeline.attack_name())
+            .field("schedule", &self.pipeline.schedule_name())
             .field("clients", &self.clients.len())
             .field("byzantine", &self.byz_count)
             .finish()
@@ -73,9 +82,30 @@ impl Simulator {
     pub fn with_engine(
         task: Task,
         cfg: FlConfig,
+        gar: Box<dyn Aggregator>,
+        attack: Option<Box<dyn Attack>>,
+        engine: Engine,
+    ) -> Self {
+        Self::with_resources(task, cfg, gar, attack, engine, &PartitionCache::new())
+    }
+
+    /// [`Simulator::with_engine`] drawing the client data partition from a
+    /// shared [`PartitionCache`] — grid cells of one `(task, partitioning,
+    /// n, seed)` then compute the shards once instead of once per cell.
+    /// The cached build is bit-identical to the uncached one (the
+    /// partition is a pure function of the cache key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`FlConfig::validate`])
+    /// or the dataset is too small for the client count.
+    pub fn with_resources(
+        task: Task,
+        cfg: FlConfig,
         mut gar: Box<dyn Aggregator>,
         attack: Option<Box<dyn Attack>>,
         engine: Engine,
+        partitions: &PartitionCache,
     ) -> Self {
         cfg.validate();
         gar.set_executor(engine.executor());
@@ -86,24 +116,28 @@ impl Simulator {
         let global_model = task.build_model(&mut model_rng);
         let global_params = global_model.param_vector();
 
-        // Partition data.
-        let mut part_rng = seeds.next_rng();
-        let parts = match cfg.partitioning {
-            Partitioning::Iid => partition_iid(task.train.len(), cfg.num_clients, &mut part_rng),
-            Partitioning::NonIid { s } => partition_noniid(&task.train, cfg.num_clients, s, &mut part_rng),
-        };
+        // Partition data (seeded exactly as an inline `seeds.next_rng()`
+        // partitioning would be; the cache key carries this seed).
+        let part_seed = seeds.next_seed();
+        let parts = partitions.get(&task.train, cfg.partitioning, cfg.num_clients, part_seed);
 
         let byz_count = cfg.byzantine_count();
         let is_data_poison = attack.as_ref().is_some_and(|a| a.is_data_poisoning());
 
         let clients: Vec<Client> = parts
-            .into_iter()
+            .iter()
             .enumerate()
             .map(|(id, indices)| {
                 let mut replica_rng = seeds.next_rng();
                 let replica = task.build_model(&mut replica_rng);
-                let mut c =
-                    Client::new(id, replica, indices, cfg.momentum, cfg.weight_decay, seeds.next_rng());
+                let mut c = Client::new(
+                    id,
+                    replica,
+                    indices.clone(),
+                    cfg.momentum,
+                    cfg.weight_decay,
+                    seeds.next_rng(),
+                );
                 if is_data_poison && id < byz_count {
                     c.set_flip_labels(true);
                 }
@@ -112,20 +146,10 @@ impl Simulator {
             .collect();
 
         let round_rng = seeds.next_rng();
-        let arena = GradientArena::new(clients.len());
-        Self {
-            eval_model: global_model,
-            task,
-            cfg,
-            gar,
-            attack,
-            clients,
-            global_params,
-            byz_count,
-            round_rng,
-            engine,
-            arena,
-        }
+        let scheduler =
+            build_scheduler(cfg.schedule, cfg.num_clients, byz_count, cfg.participation, round_rng);
+        let pipeline = RoundPipeline::new(gar, attack, scheduler, byz_count, clients.len(), &engine);
+        Self { eval_model: global_model, task, cfg, clients, global_params, byz_count, engine, pipeline }
     }
 
     /// The task being trained.
@@ -136,6 +160,11 @@ impl Simulator {
     /// The engine this simulation runs on.
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// The round pipeline (schedule, buffer diagnostics).
+    pub fn pipeline(&self) -> &RoundPipeline {
+        &self.pipeline
     }
 
     /// Rounds per epoch for this task/config pair.
@@ -168,87 +197,21 @@ impl Simulator {
         RunResult { best_accuracy: best, final_accuracy: last, accuracy_curve: curve, rounds, selection }
     }
 
-    /// Executes one communication round, returning its metrics.
+    /// Executes one server step through the pipeline, returning its
+    /// metrics.
     pub fn step(&mut self, round: usize, selection: &mut SelectionTracker) -> RoundMetrics {
-        // Partial participation: sample this round's clients, keeping the
-        // Byzantine ones (ids < byz_count) first so message index < m means
-        // "malicious" for selection accounting.
-        let participants: Vec<usize> = if self.cfg.participation >= 1.0 {
-            (0..self.clients.len()).collect()
-        } else {
-            let k = (((self.clients.len() as f32) * self.cfg.participation).ceil() as usize)
-                .clamp(1, self.clients.len());
-            let mut ids = sg_math::rng::sample_indices(&mut self.round_rng, self.clients.len(), k);
-            ids.sort_unstable_by_key(|&i| (i >= self.byz_count, i));
-            ids
-        };
-        let n = participants.len();
-        let m = participants.iter().filter(|&&i| i < self.byz_count).count();
-
-        // Every participating client computes an honest local gradient —
-        // concurrently across the engine's worker pool, each into its own
-        // arena buffer. Clients own their RNG streams, so scheduling can
-        // never perturb the result; with a sequential engine this is an
-        // inline loop in participant order.
-        let mut slots: Vec<Option<&mut Client>> = self.clients.iter_mut().map(Some).collect();
-        let jobs: Vec<(&mut Client, Vec<f32>)> = participants
-            .iter()
-            .map(|&id| (slots[id].take().expect("duplicate participant"), self.arena.take(id)))
-            .collect();
-        let global_params = &self.global_params;
-        let train = &self.task.train;
-        let batch_size = self.cfg.batch_size;
-        let results: Vec<(Vec<f32>, f32)> = self.engine.pool().map(jobs, |_, (client, mut buf)| {
-            client.local_gradient_into(global_params, train, batch_size, &mut buf);
-            let loss = client.last_loss();
-            (buf, loss)
-        });
-
-        // Honest-loss accounting in participant order (the same
-        // floating-point order as a sequential loop would produce).
-        let mut grads: Vec<Vec<f32>> = Vec::with_capacity(n);
-        let mut loss_sum = 0.0f32;
-        for ((g, loss), &id) in results.into_iter().zip(&participants) {
-            if id >= self.byz_count {
-                loss_sum += loss;
-            }
-            grads.push(g);
-        }
-        let mean_loss = if n > m { loss_sum / (n - m) as f32 } else { 0.0 };
-
-        // The adversary replaces the Byzantine messages in place — same
-        // values the old malicious-then-benign concatenation produced,
-        // without cloning any benign gradient.
-        if m > 0 {
-            if let Some(attack) = self.attack.as_mut() {
-                let (byz_honest, benign) = grads.split_at(m);
-                let ctx = AttackContext { benign, byzantine_honest: byz_honest, round };
-                let malicious = attack.craft(&ctx);
-                assert_eq!(malicious.len(), m, "attack returned wrong gradient count");
-                for (slot, mal) in grads.iter_mut().zip(malicious) {
-                    *slot = mal;
-                }
-            }
-        }
-
-        // Robust aggregation and the global SGD step. Validation-based
-        // rules need the current model to score gradients.
-        self.gar.observe_global(&self.global_params);
-        let out = self.gar.aggregate(&grads);
-        if let Some(sel) = &out.selected {
-            selection.record(sel, m, n);
-        }
-        for (p, g) in self.global_params.iter_mut().zip(&out.gradient) {
-            *p -= self.cfg.learning_rate * g;
-        }
-
-        // Park the round's buffers (including attack-crafted replacements)
-        // for reuse next round.
-        for (g, &id) in grads.into_iter().zip(&participants) {
-            self.arena.put(id, g);
-        }
-
-        RoundMetrics { round, mean_loss, test_accuracy: None }
+        self.pipeline.step(
+            round,
+            RoundState {
+                clients: &mut self.clients,
+                global_params: &mut self.global_params,
+                train: &self.task.train,
+                batch_size: self.cfg.batch_size,
+                learning_rate: self.cfg.learning_rate,
+                engine: &self.engine,
+            },
+            selection,
+        )
     }
 
     /// Evaluates the global model on the held-out test set.
@@ -266,6 +229,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Schedule;
     use crate::tasks;
     use sg_aggregators::Mean;
     use sg_attacks::SignFlip;
@@ -282,6 +246,8 @@ mod tests {
         // 5 classes, chance = 0.2; after 3 epochs the MLP must beat chance.
         assert!(r.best_accuracy > 0.4, "best {:.3}", r.best_accuracy);
         assert_eq!(r.accuracy_curve.len(), 3);
+        // Synchronous schedule: everyone arrives, every round applies.
+        assert!(r.rounds.iter().all(|m| m.applied && m.arrivals == 10 && m.max_staleness == 0));
     }
 
     #[test]
@@ -342,6 +308,7 @@ mod tests {
         let mut sim = Simulator::new(tasks::mlp_task(9), cfg, Box::new(Mean::new()), None);
         let r = sim.run();
         assert!(r.best_accuracy > 0.3, "best {:.3}", r.best_accuracy);
+        assert!(r.rounds.iter().all(|m| m.arrivals == 4), "40% of 10 clients per round");
     }
 
     #[test]
@@ -365,5 +332,68 @@ mod tests {
             Simulator::new(tasks::mlp_task(8), cfg, Box::new(Mean::new()), Some(Box::new(SignFlip::new())));
         let r = sim.run();
         assert!(r.final_accuracy > 0.0);
+    }
+
+    #[test]
+    fn straggler_schedule_runs_and_reports_staleness() {
+        let cfg = FlConfig {
+            schedule: Schedule::Straggler { slow_fraction: 0.5, max_delay: 3 },
+            epochs: 2,
+            ..quick_cfg()
+        };
+        let mut sim = Simulator::new(tasks::mlp_task(21), cfg, Box::new(Mean::new()), None);
+        let r = sim.run();
+        assert!(r.best_accuracy > 0.3, "stragglers still learn: {:.3}", r.best_accuracy);
+        assert!(
+            r.rounds.iter().any(|m| m.applied && m.max_staleness > 0),
+            "some aggregated batch carries stale messages"
+        );
+        assert!(r.rounds.iter().all(|m| m.max_staleness <= 3), "staleness bounded by max_delay");
+    }
+
+    #[test]
+    fn straggler_all_fast_matches_sync_exactly() {
+        // slow_fraction = 0 draws no stragglers: every client redelivers
+        // every step with staleness 0 — float-for-float the Sync run.
+        let run = |schedule: Schedule| {
+            let cfg = FlConfig { schedule, epochs: 2, ..quick_cfg() };
+            let mut sim = Simulator::new(tasks::mlp_task(22), cfg, Box::new(Mean::new()), None);
+            sim.run()
+        };
+        let sync = run(Schedule::Sync);
+        let fast = run(Schedule::Straggler { slow_fraction: 0.0, max_delay: 2 });
+        assert_eq!(sync.accuracy_curve, fast.accuracy_curve);
+        assert_eq!(sync.final_accuracy.to_bits(), fast.final_accuracy.to_bits());
+        for (a, b) in sync.rounds.iter().zip(&fast.rounds) {
+            assert_eq!(a.mean_loss.to_bits(), b.mean_loss.to_bits(), "round {}", a.round);
+        }
+    }
+
+    #[test]
+    fn async_buffered_schedule_applies_on_threshold() {
+        let cfg =
+            FlConfig { schedule: Schedule::AsyncBuffered { k: 5, max_delay: 3 }, epochs: 2, ..quick_cfg() };
+        let mut sim = Simulator::new(tasks::mlp_task(23), cfg, Box::new(Mean::new()), None);
+        let r = sim.run();
+        let applied = r.applied_rounds();
+        assert!(applied > 0 && applied < r.rounds.len(), "buffered server skips some steps: {applied}");
+        assert!(r.best_accuracy > 0.25, "async run still learns: {:.3}", r.best_accuracy);
+        assert!(r.mean_batch_staleness() > 0.0, "buffered batches carry staleness");
+        assert!(sim.pipeline().buffer_high_water() >= 5, "buffer reached the threshold");
+    }
+
+    #[test]
+    fn async_buffered_defense_still_filters() {
+        let cfg =
+            FlConfig { schedule: Schedule::AsyncBuffered { k: 6, max_delay: 2 }, epochs: 2, ..quick_cfg() };
+        let mut sim = Simulator::new(
+            tasks::mlp_task(24),
+            cfg,
+            Box::new(SignGuard::plain(4)),
+            Some(Box::new(SignFlip::new())),
+        );
+        let r = sim.run();
+        assert!(r.selection.has_data());
+        assert!(r.selection.malicious_rate() < 0.5, "M rate {}", r.selection.malicious_rate());
     }
 }

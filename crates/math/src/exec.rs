@@ -57,6 +57,37 @@ impl ParallelExecutor for SeqExecutor {
     }
 }
 
+/// Adversarial-order executor for determinism tests: runs chunks on the
+/// calling thread but in a striped, out-of-index-order schedule (all chunk
+/// indices `≡ 0 (mod stride)` first, then `≡ 1`, …).
+///
+/// A kernel that is bit-identical under `StripedExec(s)` for several `s`
+/// honors the "chunks may run in any order" half of the executor contract
+/// without needing threads — which lets crates below `sg-runtime` assert
+/// their sharded kernels' determinism in plain unit tests.
+#[derive(Debug, Clone, Copy)]
+pub struct StripedExec(
+    /// Stride of the schedule (also reported as [`ParallelExecutor::parallelism`]).
+    pub usize,
+);
+
+impl ParallelExecutor for StripedExec {
+    fn run_chunks(&self, out: &mut [f32], chunk_len: usize, f: &(dyn Fn(usize, &mut [f32]) + Sync)) {
+        assert!(chunk_len > 0, "run_chunks: zero chunk_len");
+        let stride = self.0.max(1);
+        let mut chunks: Vec<(usize, &mut [f32])> = out.chunks_mut(chunk_len).enumerate().collect();
+        for residue in 0..stride {
+            for (i, chunk) in chunks.iter_mut().filter(|(i, _)| i % stride == residue) {
+                f(*i, chunk);
+            }
+        }
+    }
+
+    fn parallelism(&self) -> usize {
+        self.0.max(1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +114,25 @@ mod tests {
     fn zero_chunk_len_rejected() {
         let mut out = vec![0.0f32; 4];
         SeqExecutor.run_chunks(&mut out, 0, &|_, _| {});
+    }
+
+    #[test]
+    fn striped_executor_visits_every_chunk_once() {
+        let kernel = |i: usize, chunk: &mut [f32]| {
+            for x in chunk.iter_mut() {
+                *x += (i + 1) as f32;
+            }
+        };
+        for len in [0usize, 1, 10, 37] {
+            let mut seq = vec![0.0f32; len];
+            SeqExecutor.run_chunks(&mut seq, 4, &kernel);
+            for stride in [1usize, 2, 3, 8] {
+                let mut striped = vec![0.0f32; len];
+                StripedExec(stride).run_chunks(&mut striped, 4, &kernel);
+                assert_eq!(seq, striped, "len {len} stride {stride}");
+            }
+        }
+        assert_eq!(StripedExec(3).parallelism(), 3);
+        assert_eq!(StripedExec(0).parallelism(), 1);
     }
 }

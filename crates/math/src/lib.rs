@@ -21,7 +21,7 @@ pub mod rng;
 pub mod stats;
 pub mod vecops;
 
-pub use exec::{ParallelExecutor, SeqExecutor};
+pub use exec::{ParallelExecutor, SeqExecutor, StripedExec};
 pub use normal::{normal_cdf, normal_quantile, NormalSampler};
 pub use pairwise::PairwiseDistances;
 pub use rng::{seeded_rng, SeedStream};

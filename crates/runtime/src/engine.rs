@@ -47,6 +47,15 @@ impl Engine {
         self.pool.clone()
     }
 
+    /// A fresh pending-update buffer for asynchronous parameter-server
+    /// schedules (see [`crate::pending`]). The buffer itself is engine-
+    /// independent today; handing it out here keeps the seam in one place
+    /// so a future streaming engine can back it with shared storage
+    /// without touching the round drivers.
+    pub fn update_buffer<M>(&self) -> crate::pending::UpdateBuffer<M> {
+        crate::pending::UpdateBuffer::new()
+    }
+
     /// Thread budget.
     pub fn parallelism(&self) -> usize {
         self.pool.parallelism()

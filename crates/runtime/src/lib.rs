@@ -10,7 +10,8 @@
 //! | [`arena`] | [`GradientArena`]: per-client gradient buffers reused across rounds |
 //! | [`engine`] | [`Engine`]: the handle a `Simulator` runs on (pool + executor) |
 //! | [`grid`] | [`RunPlan`] → [`GridRunner`]: many independent scenario cells executed concurrently |
-//! | [`cache`] | [`ResourceCache`]: memoized shared resources (datasets, tasks) for grid cells |
+//! | [`cache`] | [`ResourceCache`]: memoized shared resources (datasets, tasks, partitions) for grid cells |
+//! | [`pending`] | [`UpdateBuffer`]: pending client updates for async parameter-server schedules |
 //!
 //! # Threading model
 //!
@@ -87,10 +88,12 @@ pub mod arena;
 pub mod cache;
 pub mod engine;
 pub mod grid;
+pub mod pending;
 pub mod pool;
 
 pub use arena::GradientArena;
 pub use cache::ResourceCache;
 pub use engine::Engine;
 pub use grid::{CellContext, CellResult, GridReport, GridRunner, RunPlan};
+pub use pending::{PendingUpdate, UpdateBuffer};
 pub use pool::WorkerPool;

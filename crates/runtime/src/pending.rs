@@ -1,0 +1,123 @@
+//! Pending-update buffer: the server-side seam for asynchronous schedules.
+//!
+//! A synchronous parameter server consumes every client update the moment
+//! it arrives; an asynchronous one (stragglers, FedBuf-style buffered
+//! aggregation) must *hold* arrived updates until the aggregation condition
+//! triggers — enough updates buffered, or a timeout of the virtual clock.
+//! [`UpdateBuffer`] is that holding area: a plain, deterministic FIFO of
+//! [`PendingUpdate`]s with no locks and no wall-clock anywhere, so a
+//! simulated async schedule stays bit-for-bit reproducible at any thread
+//! count (the buffer is only ever touched from the round driver, never
+//! from pool workers).
+//!
+//! The buffer is deliberately dumb: *when* to drain is the scheduler's
+//! decision (`sg-fl`'s `ClientScheduler`), *what* the drained batch means
+//! is the round pipeline's. Gradients inside the buffer keep their arena
+//! allocations, so parking an update across server steps costs no copies.
+
+/// One buffered client update awaiting aggregation.
+///
+/// `M` is caller-defined arrival metadata — the round pipeline stores the
+/// model version the gradient was computed against, which is what turns
+/// into per-message staleness at drain time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingUpdate<M> {
+    /// Originating client id.
+    pub client: usize,
+    /// The flattened update (typically an arena-owned buffer).
+    pub gradient: Vec<f32>,
+    /// Arrival metadata (e.g. the model step the client trained against).
+    pub meta: M,
+}
+
+/// A deterministic FIFO of client updates the server has received but not
+/// yet aggregated.
+///
+/// # Examples
+///
+/// ```
+/// use sg_runtime::{PendingUpdate, UpdateBuffer};
+///
+/// let mut buf: UpdateBuffer<usize> = UpdateBuffer::new();
+/// buf.push(PendingUpdate { client: 3, gradient: vec![1.0], meta: 7 });
+/// buf.push(PendingUpdate { client: 0, gradient: vec![2.0], meta: 8 });
+/// assert_eq!(buf.len(), 2);
+/// let batch = buf.drain();
+/// assert_eq!(batch[0].client, 3, "arrival order preserved");
+/// assert!(buf.is_empty());
+/// assert_eq!(buf.high_water(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UpdateBuffer<M> {
+    updates: Vec<PendingUpdate<M>>,
+    high_water: usize,
+}
+
+impl<M> UpdateBuffer<M> {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self { updates: Vec::new(), high_water: 0 }
+    }
+
+    /// Appends an arrived update (FIFO order).
+    pub fn push(&mut self, update: PendingUpdate<M>) {
+        self.updates.push(update);
+        self.high_water = self.high_water.max(self.updates.len());
+    }
+
+    /// Number of buffered updates.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether the buffer holds no updates.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Takes every buffered update, in arrival order, leaving the buffer
+    /// empty. The drained `Vec` carries its allocation with it (the
+    /// caller usually consumes it by value); the buffer itself restarts
+    /// from an empty vector and regrows — a handful of pointer-sized
+    /// elements per applied round, dwarfed by the gradients they point at.
+    pub fn drain(&mut self) -> Vec<PendingUpdate<M>> {
+        std::mem::take(&mut self.updates)
+    }
+
+    /// Largest number of updates ever buffered at once — a sizing
+    /// diagnostic for async schedules (how far behind the server ran).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_reuse() {
+        let mut buf: UpdateBuffer<u32> = UpdateBuffer::new();
+        for i in 0..5usize {
+            buf.push(PendingUpdate { client: 4 - i, gradient: vec![i as f32], meta: i as u32 });
+        }
+        let batch = buf.drain();
+        assert_eq!(batch.iter().map(|u| u.client).collect::<Vec<_>>(), vec![4, 3, 2, 1, 0]);
+        assert!(buf.is_empty());
+        // Buffer stays usable after a drain.
+        buf.push(PendingUpdate { client: 9, gradient: vec![], meta: 0 });
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut buf: UpdateBuffer<()> = UpdateBuffer::new();
+        assert_eq!(buf.high_water(), 0);
+        for c in 0..3 {
+            buf.push(PendingUpdate { client: c, gradient: vec![], meta: () });
+        }
+        let _ = buf.drain();
+        buf.push(PendingUpdate { client: 0, gradient: vec![], meta: () });
+        assert_eq!(buf.high_water(), 3, "peak survives drains");
+    }
+}

@@ -8,9 +8,10 @@
 //!   non-IID settings.
 
 use rand::Rng;
-use signguard::aggregators::Aggregator;
+use signguard::aggregators::{Aggregator, Mean};
+use signguard::attacks::SignFlip;
 use signguard::core::SignGuard;
-use signguard::fl::{tasks, FlConfig, Partitioning, Simulator};
+use signguard::fl::{tasks, FlConfig, Partitioning, Schedule, Simulator};
 use signguard::math::{l2_distance, seeded_rng, vecops};
 
 /// Builds a synthetic client population with controlled local variance σ²
@@ -109,6 +110,43 @@ fn signguard_training_converges_noniid() {
     let mut sim = Simulator::new(tasks::mlp_task(12), cfg, Box::new(SignGuard::plain(0)), None);
     let r = sim.run();
     assert!(r.best_accuracy > 0.25, "non-IID accuracy {}", r.best_accuracy);
+}
+
+#[test]
+fn signguard_beats_mean_under_signflip_with_stragglers() {
+    // The filtering pipeline must stay effective when 30% of the clients
+    // deliver stale gradients (the heterogeneous regime of Mai et al. /
+    // Kritharakis et al.): under sign-flip, SignGuard's selection should
+    // keep it at or above the undefended Mean, straggling or not.
+    let cfg = FlConfig {
+        num_clients: 10,
+        epochs: 3,
+        schedule: Schedule::Straggler { slow_fraction: 0.3, max_delay: 4 },
+        ..FlConfig::default()
+    };
+    let mut mean = Simulator::new(
+        tasks::mlp_task(17),
+        cfg.clone(),
+        Box::new(Mean::new()),
+        Some(Box::new(SignFlip::new())),
+    );
+    let r_mean = mean.run();
+    let mut sg = Simulator::new(
+        tasks::mlp_task(17),
+        cfg,
+        Box::new(SignGuard::plain(0)),
+        Some(Box::new(SignFlip::new())),
+    );
+    let r_sg = sg.run();
+    assert!(
+        r_sg.best_accuracy >= r_mean.best_accuracy,
+        "SignGuard {:.3} must not lose to Mean {:.3} under sign-flip with 30% stragglers",
+        r_sg.best_accuracy,
+        r_mean.best_accuracy
+    );
+    assert!(r_sg.best_accuracy > 0.3, "SignGuard still converges: {:.3}", r_sg.best_accuracy);
+    // The straggler schedule really produced stale batches.
+    assert!(r_sg.rounds.iter().any(|m| m.applied && m.max_staleness > 0));
 }
 
 #[test]

@@ -8,8 +8,8 @@ use std::sync::Arc;
 
 use signguard::attacks::SignFlip;
 use signguard::core::SignGuard;
-use signguard::fl::{tasks, FlConfig, RunResult, Simulator, Task, TaskCache};
-use signguard::runtime::{GridRunner, RunPlan};
+use signguard::fl::{tasks, FlConfig, PartitionCache, RunResult, Simulator, Task, TaskCache};
+use signguard::runtime::{Engine, GridRunner, RunPlan};
 
 fn quick_cfg() -> FlConfig {
     FlConfig {
@@ -61,6 +61,52 @@ fn keys_do_not_collide_across_tasks_or_data_seeds() {
     let snapshot = cache.snapshot();
     assert_eq!(snapshot.len(), 4);
     assert!(snapshot.windows(2).all(|w| w[0] <= w[1]), "snapshot must be sorted");
+}
+
+#[test]
+fn partition_cache_hit_is_bit_identical_to_uncached_build() {
+    // Two simulators drawing their shards from one PartitionCache must
+    // reproduce the uncached (per-simulator partitioning) run exactly.
+    let tasks_cache = TaskCache::new();
+    let parts = PartitionCache::new();
+    let run_with = |parts: &PartitionCache| -> RunResult {
+        let mut sim = Simulator::with_resources(
+            tasks_cache.get("mlp", 7),
+            quick_cfg(),
+            Box::new(SignGuard::plain(0)),
+            Some(Box::new(SignFlip::new())),
+            Engine::sequential(),
+            parts,
+        );
+        sim.run()
+    };
+    let first = run_with(&parts);
+    let second = run_with(&parts);
+    assert_eq!((parts.misses(), parts.hits()), (1, 1), "second simulator shares the shards");
+    let uncached = run_with(&PartitionCache::new());
+    for (label, r) in [("cache hit", &second), ("uncached", &uncached)] {
+        assert_eq!(first.rounds, r.rounds, "{label}: per-round metrics diverge");
+        assert_eq!(first.accuracy_curve, r.accuracy_curve, "{label}");
+        assert_eq!(first.best_accuracy.to_bits(), r.best_accuracy.to_bits(), "{label}");
+    }
+}
+
+#[test]
+fn partition_cache_separates_schemes_and_seeds() {
+    use signguard::fl::Partitioning;
+    let task = tasks::by_name("mlp", 3);
+    let parts = PartitionCache::new();
+    let a = parts.get(&task.train, Partitioning::Iid, 10, 1);
+    let b = parts.get(&task.train, Partitioning::NonIid { s: 0.5 }, 10, 1);
+    let c = parts.get(&task.train, Partitioning::Iid, 10, 2);
+    assert_eq!(parts.len(), 3);
+    assert!(!Arc::ptr_eq(&a, &b) && !Arc::ptr_eq(&a, &c));
+    // Every shard list is a permutation of the dataset.
+    for shards in [&a, &b, &c] {
+        let mut all: Vec<usize> = shards.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..task.train.len()).collect::<Vec<_>>());
+    }
 }
 
 #[test]

@@ -1,7 +1,10 @@
 //! The engine's determinism contract, end to end: for a fixed seed,
 //! parallel execution (`parallelism > 1`) is **bit-identical** to
 //! sequential execution — per-round metrics, selection accounting,
-//! accuracy curves, everything.
+//! accuracy curves, everything — under **every client schedule** (sync,
+//! straggler, FedBuf-style buffered async: the async modes run on a seeded
+//! virtual clock, so asynchrony is simulated deterministically rather than
+//! wall-clock racy).
 //!
 //! The parallel thread counts under test default to `1, 2, 3, 8` (odd
 //! counts exercise ragged shard splits) and can be overridden with the
@@ -9,10 +12,10 @@
 //! list, e.g. `SG_THREADS=3` or `SG_THREADS=1,2,3,8`. CI's smoke job loops
 //! the suite over each count separately.
 
-use signguard::aggregators::{Aggregator, Bulyan, GeoMed, Mean, MultiKrum, TrimmedMean};
+use signguard::aggregators::{Aggregator, Bulyan, CenteredClip, DnC, GeoMed, Mean, MultiKrum, TrimmedMean};
 use signguard::attacks::SignFlip;
 use signguard::core::SignGuard;
-use signguard::fl::{tasks, FlConfig, RunResult, Simulator};
+use signguard::fl::{tasks, FlConfig, RunResult, Schedule, Simulator};
 use signguard::runtime::{Engine, GridRunner, RunPlan};
 
 /// Thread counts for the parallel side of every seq-vs-par comparison.
@@ -48,9 +51,13 @@ fn assert_bit_identical(a: &RunResult, b: &RunResult, what: &str) {
 }
 
 fn run_on(engine: Engine, gar: Box<dyn Aggregator>, seed: u64) -> RunResult {
+    run_scheduled(engine, gar, seed, Schedule::Sync)
+}
+
+fn run_scheduled(engine: Engine, gar: Box<dyn Aggregator>, seed: u64, schedule: Schedule) -> RunResult {
     let mut sim = Simulator::with_engine(
         tasks::mlp_task(seed),
-        quick_cfg(seed),
+        FlConfig { schedule, ..quick_cfg(seed) },
         gar,
         Some(Box::new(SignFlip::new())),
         engine,
@@ -145,6 +152,83 @@ fn pairwise_family_aggregate_bits_match_sequential() {
                     b.to_bits(),
                     "{name} @ {threads} threads: coordinate {j} diverges ({a} vs {b})"
                 );
+            }
+        }
+    }
+}
+
+#[test]
+fn straggler_schedule_matches_sequential() {
+    // The straggler schedule's virtual clock lives on the driver thread:
+    // per-client delay draws, the model-history lookups and the pending
+    // buffer are all thread-count independent, so the whole run — idle
+    // steps, staleness stats, selection accounting — must be bit-identical
+    // at any parallelism. SignGuard exercises every sharded kernel on the
+    // stale-gradient batches.
+    let schedule = Schedule::Straggler { slow_fraction: 0.4, max_delay: 3 };
+    let seq = run_scheduled(Engine::sequential(), Box::new(SignGuard::plain(3)), 31, schedule);
+    assert!(
+        seq.rounds.iter().any(|m| m.applied && m.max_staleness > 0),
+        "the seeded draw must include stragglers for this test to bite"
+    );
+    for threads in par_thread_counts() {
+        let par = run_scheduled(Engine::parallel(threads), Box::new(SignGuard::plain(3)), 31, schedule);
+        assert_bit_identical(&seq, &par, &format!("Straggler/SignGuard @ {threads} threads"));
+    }
+    // And with a blending rule, for schedule coverage independent of the
+    // defense's selection machinery.
+    let seq = run_scheduled(Engine::sequential(), Box::new(Mean::new()), 32, schedule);
+    for threads in par_thread_counts() {
+        let par = run_scheduled(Engine::parallel(threads), Box::new(Mean::new()), 32, schedule);
+        assert_bit_identical(&seq, &par, &format!("Straggler/Mean @ {threads} threads"));
+    }
+}
+
+#[test]
+fn async_buffered_schedule_matches_sequential() {
+    // FedBuf-style buffering: idle steps while the buffer fills, whole-
+    // buffer drains with mixed staleness, and restart draws in batch
+    // order — all deterministic, so bit-identical at any thread count.
+    let schedule = Schedule::AsyncBuffered { k: 6, max_delay: 3 };
+    let seq = run_scheduled(Engine::sequential(), Box::new(SignGuard::plain(5)), 33, schedule);
+    assert!(
+        seq.rounds.iter().any(|m| !m.applied) && seq.rounds.iter().any(|m| m.applied),
+        "the buffered schedule must mix idle and apply steps"
+    );
+    for threads in par_thread_counts() {
+        let par = run_scheduled(Engine::parallel(threads), Box::new(SignGuard::plain(5)), 33, schedule);
+        assert_bit_identical(&seq, &par, &format!("AsyncBuffered/SignGuard @ {threads} threads"));
+    }
+}
+
+#[test]
+fn executor_ported_rules_aggregate_bits_match_sequential() {
+    // DnC (subsampled spectral projections) and CenteredClip (clip loop)
+    // are the latest rules ported onto the executor seam: exact output
+    // bits at every thread count, including DnC's seeded coordinate
+    // subsampling and CClip's cross-round carried state.
+    use sg_math::vecops::REDUCE_BLOCK;
+    let grads = wide_gradients(16, REDUCE_BLOCK + 257);
+    let seq_dnc = DnC::new(3).with_seed(7).with_subsample_dim(600).aggregate(&grads);
+    for threads in par_thread_counts() {
+        let mut gar = DnC::new(3).with_seed(7).with_subsample_dim(600);
+        gar.set_executor(Engine::parallel(threads).executor());
+        let par = gar.aggregate(&grads);
+        assert_eq!(par.selected, seq_dnc.selected, "DnC @ {threads} threads: selection diverges");
+        for (j, (a, b)) in seq_dnc.gradient.iter().zip(&par.gradient).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "DnC @ {threads} threads: coordinate {j}");
+        }
+    }
+
+    let mut seq_cc = CenteredClip::new(3.0).with_iters(3);
+    let seq_rounds: Vec<Vec<f32>> = (0..3).map(|_| seq_cc.aggregate(&grads).gradient).collect();
+    for threads in par_thread_counts() {
+        let mut gar = CenteredClip::new(3.0).with_iters(3);
+        gar.set_executor(Engine::parallel(threads).executor());
+        for (round, expected) in seq_rounds.iter().enumerate() {
+            let got = gar.aggregate(&grads).gradient;
+            for (j, (a, b)) in expected.iter().zip(&got).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "CClip @ {threads} threads round {round} coord {j}");
             }
         }
     }
