@@ -13,12 +13,16 @@
 //! ```sh
 //! cargo run --release -p sg-bench --bin exp_ablation -- [--epochs N] [--task fashion]
 //!                                                        [--jobs N] [--smoke]
+//!                                                        [--journal PATH] [--resume]
 //! ```
 //!
 //! Every (configuration, attack) pair is one [`sg_runtime::RunPlan`] cell
 //! run concurrently by [`sg_runtime::GridRunner`]; output is reproducible
 //! at any `--jobs` value and the CSV lands in
 //! `target/experiments/ablation.csv`.
+//!
+//! `--journal PATH` / `--resume` checkpoint the sweep and continue an
+//! interrupted one (see the crate docs on checkpoint & resume).
 
 fn main() {
     sg_bench::sweep::run_standalone("ablation");

@@ -1,11 +1,13 @@
-//! **exp_all**: the entire paper grid — Tables I–III, Figs. 2/4/5/6 and
-//! the extended ablations — as **one** resource-shared, two-level-parallel
-//! sweep, emitting a consolidated JSON report.
+//! **exp_all**: the entire paper grid — Tables I–III, Figs. 2/4/5/6, the
+//! extended ablations and the schedule axis — as **one** resource-shared,
+//! two-level-parallel, crash-safe sweep, emitting a consolidated JSON
+//! report.
 //!
 //! ```sh
 //! cargo run --release -p sg-bench --bin exp_all -- [--smoke] [--jobs N] [--epochs N]
 //!                                                   [--seed N] [--task NAME|both|all]
 //!                                                   [--only table1,fig4,...] [--out PATH]
+//!                                                   [--journal PATH] [--resume]
 //! ```
 //!
 //! * `--smoke` shrinks every section to a CI-sized grid (MLP task, one
@@ -14,17 +16,24 @@
 //!   shard their inner work on the grid's engine, so the thread budget is
 //!   shared by both levels.
 //! * `--only` restricts the sweep to a comma-separated subset of
-//!   experiments (`table1 table2 table3 fig2 fig4 fig5 fig6 ablation`).
+//!   experiments (`table1 table2 table3 fig2 fig4 fig5 fig6 ablation
+//!   async`).
+//! * `--journal PATH` checkpoints every completed cell to an fsync'd
+//!   journal (default `target/experiments/sweep.journal` under
+//!   `--resume`); `--resume` validates an existing journal against the
+//!   freshly planned sweep, hydrates the completed cells and executes
+//!   only the remainder. A journal written by a *different* sweep (edited
+//!   plan, smoke vs full, another seed) is refused, never mixed in.
 //!
 //! All cells of one task share a single generated dataset through the
 //! sweep's task cache, and the report (default
 //! `target/experiments/ALL.json`) is **byte-identical at any `--jobs`
-//! value** — CI's `grid-smoke` job runs the sweep at `--jobs 4` and
-//! `--jobs 1` and `cmp`s the two files.
+//! value and across a crash/resume cycle** — CI's `grid-smoke` job
+//! compares `--jobs 4` vs `--jobs 1`, and `resume-smoke` kills a sweep
+//! mid-run, resumes it, and compares against an uninterrupted report.
 
-use sg_bench::sweep::{self, Rows, Section, SweepOpts, ALL_EXPERIMENTS};
+use sg_bench::sweep::{self, SweepOpts, ALL_EXPERIMENTS};
 use sg_bench::{experiments_dir, ExpArgs};
-use sg_runtime::{GridRunner, RunPlan};
 
 fn main() {
     let a = ExpArgs::parse();
@@ -33,50 +42,38 @@ fn main() {
         Some(list) => list.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect(),
         None => ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect(),
     };
+    let journal = a.journal_cfg(&experiments_dir().join("sweep.journal"));
 
-    let mut plan: RunPlan<Rows> = RunPlan::new(o.seed);
-    let sections: Vec<Section> = selected.iter().map(|exp| sweep::plan_section(exp, &mut plan, &o)).collect();
-    let runner = GridRunner::new(a.jobs());
-    eprintln!(
-        "[exp_all] {} experiments, {} cells, {} grid workers{}",
-        sections.len(),
-        plan.len(),
-        runner.parallelism(),
-        if o.smoke { " (smoke)" } else { "" }
-    );
+    let outcome = match sweep::run_sections(&selected, &o, a.jobs(), &journal) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("[exp_all] {e}");
+            std::process::exit(2);
+        }
+    };
 
-    let report = runner.run(plan);
-
-    // Slice the plan-ordered report back into sections and post-process
-    // (Fig. 4 gains its attack_impact column from the baseline cell).
-    let mut cells = report.cells.into_iter();
-    let mut results: Vec<(Section, Rows)> = Vec::with_capacity(sections.len());
-    for mut s in sections {
-        let rows: Rows =
-            (0..s.cells).flat_map(|_| cells.next().expect("report covers the plan").output).collect();
-        let (header, rows) = sweep::finish(s.exp, s.header, rows);
-        s.header = header;
-        results.push((s, rows));
-    }
-
-    println!("== exp_all — consolidated sweep ==");
-    for (s, rows) in &results {
+    println!("== exp_all — consolidated sweep{} ==", if o.smoke { " (smoke)" } else { "" });
+    for (s, rows) in &outcome.results {
         println!("{:<10} {:>5} cells  {:>6} rows   {}", s.exp, s.cells, rows.len(), s.title);
     }
     println!(
+        "cells: {} total, {} executed, {} resumed from the journal",
+        outcome.total_cells, outcome.executed, outcome.hydrated
+    );
+    eprintln!(
         "datasets: {} generated, {} cache hits, {} misses",
         o.res.tasks.len(),
         o.res.tasks.hits(),
         o.res.tasks.misses()
     );
-    println!(
+    eprintln!(
         "partitions: {} computed, {} cache hits, {} misses",
         o.res.parts.len(),
         o.res.parts.hits(),
         o.res.parts.misses()
     );
 
-    let json = sweep::consolidated_json(&o, &results);
+    let json = sweep::consolidated_json(&o, &outcome.results);
     let path = a.out().unwrap_or_else(|| experiments_dir().join("ALL.json"));
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent).expect("create report dir");

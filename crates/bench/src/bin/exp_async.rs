@@ -5,12 +5,16 @@
 //! ```sh
 //! cargo run --release -p sg-bench --bin exp_async -- [--smoke] [--jobs N]
 //!                                                     [--epochs N] [--seed N] [--task NAME]
+//!                                                     [--journal PATH] [--resume]
 //! ```
 //!
 //! Rows report best accuracy plus the staleness profile the server saw
 //! (applied rounds, mean batch staleness). Like every section, the sweep
 //! is bit-for-bit reproducible at any `--jobs` value: the async schedules
 //! run on a seeded virtual clock, not wall time.
+//!
+//! `--journal PATH` / `--resume` checkpoint the sweep and continue an
+//! interrupted one (see the crate docs on checkpoint & resume).
 
 fn main() {
     sg_bench::sweep::run_standalone("async");

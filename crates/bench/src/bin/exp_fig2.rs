@@ -8,11 +8,15 @@
 //!
 //! ```sh
 //! cargo run --release -p sg-bench --bin exp_fig2 -- [--epochs N] [--jobs N] [--smoke]
+//! cargo run --release -p sg-bench --bin exp_fig2 -- [--journal PATH] [--resume]
 //! ```
 //!
 //! The model traces are independent scenarios, so each runs as one cell of
 //! a [`sg_runtime::RunPlan`] on [`sg_runtime::GridRunner`] — concurrently
 //! under `--jobs`, byte-identical output either way.
+//!
+//! `--journal PATH` / `--resume` checkpoint the sweep and continue an
+//! interrupted one (see the crate docs on checkpoint & resume).
 
 fn main() {
     sg_bench::sweep::run_standalone("fig2");

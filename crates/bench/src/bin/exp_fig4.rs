@@ -5,6 +5,7 @@
 //! ```sh
 //! cargo run --release -p sg-bench --bin exp_fig4 -- [--task fashion|cifar|both]
 //!                                                    [--epochs N] [--full] [--jobs N] [--smoke]
+//!                                                    [--journal PATH] [--resume]
 //! ```
 //!
 //! `--full` runs all five attacks of the paper's figure; the default keeps
@@ -14,6 +15,9 @@
 //! [`sg_runtime::GridRunner`]; the `attack_impact` column is appended from
 //! the baseline cell after the sweep. Output is reproducible at any
 //! `--jobs` value.
+//!
+//! `--journal PATH` / `--resume` checkpoint the sweep and continue an
+//! interrupted one (see the crate docs on checkpoint & resume).
 
 fn main() {
     sg_bench::sweep::run_standalone("fig4");

@@ -5,6 +5,7 @@
 //! ```sh
 //! cargo run --release -p sg-bench --bin exp_fig5 -- [--task fashion|cifar|both] [--epochs N]
 //!                                                    [--jobs N] [--smoke]
+//!                                                    [--journal PATH] [--resume]
 //! ```
 //!
 //! Every (task, defense) curve — including the no-attack baseline — is one
@@ -12,6 +13,9 @@
 //! [`sg_runtime::GridRunner`] (`--jobs` bounds the fan-out; default all
 //! cores). Cells share the config seed, the task's cached dataset, and no
 //! RNG state, so the curves match a sequential run at any `--jobs` value.
+//!
+//! `--journal PATH` / `--resume` checkpoint the sweep and continue an
+//! interrupted one (see the crate docs on checkpoint & resume).
 
 fn main() {
     sg_bench::sweep::run_standalone("fig5");

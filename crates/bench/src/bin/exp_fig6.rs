@@ -4,12 +4,16 @@
 //! ```sh
 //! cargo run --release -p sg-bench --bin exp_fig6 -- [--task fashion|cifar|both]
 //!                                                    [--epochs N] [--jobs N] [--smoke]
+//!                                                    [--journal PATH] [--resume]
 //! ```
 //!
 //! Every (task, attack, defense, skew) combination is one
 //! [`sg_runtime::RunPlan`] cell run concurrently by
 //! [`sg_runtime::GridRunner`], sharing datasets through the sweep's task
 //! cache. Output is reproducible at any `--jobs` value.
+//!
+//! `--journal PATH` / `--resume` checkpoint the sweep and continue an
+//! interrupted one (see the crate docs on checkpoint & resume).
 
 fn main() {
     sg_bench::sweep::run_standalone("fig6");

@@ -3,6 +3,7 @@
 //! ```sh
 //! cargo run --release -p sg-bench --bin exp_table1 -- [--task mnist|fashion|cifar|agnews|all]
 //!                                                      [--epochs N] [--quick] [--jobs N] [--smoke]
+//!                                                      [--journal PATH] [--resume]
 //! ```
 //!
 //! `--quick` restricts to the Fashion-like task and the state-of-the-art
@@ -14,6 +15,9 @@
 //! all share the config seed — defenses must be compared on the same
 //! model init / partition / batch trajectory — so the table is
 //! reproducible at any `--jobs` value and matches a sequential run.
+//!
+//! `--journal PATH` / `--resume` checkpoint the sweep and continue an
+//! interrupted one (see the crate docs on checkpoint & resume).
 
 fn main() {
     sg_bench::sweep::run_standalone("table1");

@@ -3,6 +3,7 @@
 //!
 //! ```sh
 //! cargo run --release -p sg-bench --bin exp_table2 -- [--epochs N] [--task cifar] [--jobs N] [--smoke]
+//! cargo run --release -p sg-bench --bin exp_table2 -- [--journal PATH] [--resume]
 //! ```
 //!
 //! Every (attack, variant) pair is one [`sg_runtime::RunPlan`] cell
@@ -11,6 +12,9 @@
 //! must be compared on the same model init / partition / batch trajectory
 //! — and the task's dataset (via the sweep cache), and share no RNG
 //! state, so the table matches a sequential run at any `--jobs` value.
+//!
+//! `--journal PATH` / `--resume` checkpoint the sweep and continue an
+//! interrupted one (see the crate docs on checkpoint & resume).
 
 fn main() {
     sg_bench::sweep::run_standalone("table2");

@@ -5,6 +5,7 @@
 //! ```sh
 //! cargo run --release -p sg-bench --bin exp_table3 -- [--epochs N] [--task cifar]
 //!                                                      [--jobs N] [--smoke] [--seed N]
+//!                                                      [--journal PATH] [--resume]
 //! ```
 //!
 //! Every (component row, attack) pair is one [`sg_runtime::RunPlan`] cell
@@ -14,6 +15,9 @@
 //! reproducible at any `--jobs` value. The reverse attack scales the
 //! flipped gradient by the norm bound `R` when thresholding/clipping is
 //! active, or by 100 otherwise (paper Section VI-C).
+//!
+//! `--journal PATH` / `--resume` checkpoint the sweep and continue an
+//! interrupted one (see the crate docs on checkpoint & resume).
 
 fn main() {
     sg_bench::sweep::run_standalone("table3");

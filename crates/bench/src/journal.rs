@@ -1,0 +1,662 @@
+//! Checkpoint & resume: the crash-safe sweep journal.
+//!
+//! Long `exp_all` sweeps are the unit of paper reproduction, and a crash
+//! or CI timeout must not throw away completed cells. The journal makes a
+//! sweep restartable with a hard guarantee: **a resumed sweep emits a
+//! consolidated report byte-identical to an uninterrupted run** (see
+//! [`crate::sweep::run_sections`], which owns the orchestration).
+//!
+//! # File format
+//!
+//! A journal is an append-only file: an 8-byte magic (`b"SGJRNL1\n"`),
+//! then a sequence of *frames*. Every frame is
+//!
+//! ```text
+//! len: u32 LE | len_chk: u32 LE (= !len) | payload[len] | crc32(payload): u32 LE
+//! ```
+//!
+//! The first frame's payload is the [`JournalHeader`] (kind byte `H`);
+//! every later frame is one [`CellRecord`] (kind byte `C`) holding a
+//! completed grid cell's plan index, schedule seed, label and output rows
+//! inline. Records are appended — and fsync'd — one per completed cell,
+//! in plan order (the [`sg_runtime::RunOpts::on_cell`] hook guarantees
+//! plan order regardless of worker interleaving), so the journal is
+//! always a plan-order prefix of the executed cells.
+//!
+//! # Fingerprint keying
+//!
+//! The header pins everything a resume must agree on before any journaled
+//! row may be trusted: the plan fingerprint (a digest over the option set,
+//! every section's cell labels and the `--jobs`-independent seed
+//! schedule), per-section fingerprints (so a mismatch can name the
+//! offending section), the dataset fingerprints of every task the plan
+//! touches, the master/data seeds, and a digest of the executable itself
+//! (so a rebuilt binary with changed simulation code cannot quietly adopt
+//! cells computed by the old code). A journal written by a different
+//! plan or build — an edited section, smoke vs full, another seed, a code
+//! change — is **refused**, never silently mixed into a report.
+//!
+//! # Crash safety
+//!
+//! * Each append is a single `write_all` followed by `fsync`, so a crash
+//!   leaves at most one *torn* frame at the tail.
+//! * [`parse`] recovers the longest valid prefix: a trailing incomplete
+//!   frame is dropped (and reported via [`Parsed::torn_bytes`]);
+//!   [`JournalWriter::resume`] truncates it before appending.
+//! * Corruption is never mistaken for truncation: the frame length is
+//!   stored with its bitwise complement and the payload carries a CRC-32,
+//!   so a flipped byte anywhere in a *complete* frame fails parsing with
+//!   [`JournalError::Corrupt`] instead of shortening the journal.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// File magic: identifies a sweep journal, version 1.
+pub const MAGIC: &[u8; 8] = b"SGJRNL1\n";
+
+/// Header payload kind byte.
+const KIND_HEADER: u8 = b'H';
+/// Cell-record payload kind byte.
+const KIND_CELL: u8 = b'C';
+
+/// Frame overhead: `len` + `len_chk` before the payload, CRC after it.
+const FRAME_PREFIX: usize = 8;
+const FRAME_SUFFIX: usize = 4;
+
+// ---- CRC-32 (IEEE 802.3) ----------------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE) over `bytes` — the per-frame payload checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---- Errors ------------------------------------------------------------
+
+/// Why a journal could not be read.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The file does not start with the journal magic.
+    BadMagic,
+    /// The file ends before a complete header frame — nothing usable.
+    TornHeader,
+    /// A complete frame failed validation (length complement or CRC), or
+    /// its payload did not decode: the journal is damaged, not torn.
+    Corrupt {
+        /// Byte offset of the offending frame.
+        offset: usize,
+        /// What failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "journal I/O error: {e}"),
+            Self::BadMagic => write!(f, "not a sweep journal (bad magic)"),
+            Self::TornHeader => write!(f, "journal header is incomplete (crash before the first fsync?)"),
+            Self::Corrupt { offset, reason } => {
+                write!(f, "journal corrupt at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+// ---- Data model --------------------------------------------------------
+
+/// One section's identity inside the header: enough to name the offending
+/// section when a resume is refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionMark {
+    /// Experiment key (`table1`, `fig4`, …).
+    pub exp: String,
+    /// Number of plan cells the section declared.
+    pub cells: u32,
+    /// Digest over the section's header columns, cell labels and seeds.
+    pub fp: u64,
+}
+
+/// One generated dataset's identity: task name plus the train/test
+/// [`Dataset::fingerprint`](sg_data::Dataset::fingerprint) digests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetMark {
+    /// Task short name (`mlp`, `cifar`, …).
+    pub task: String,
+    /// Fingerprint of the generated training split.
+    pub train_fp: u64,
+    /// Fingerprint of the generated test split.
+    pub test_fp: u64,
+}
+
+/// The journal's first record: the full identity of the sweep it belongs
+/// to. A resume validates every field against the freshly planned sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Format version (currently 1).
+    pub version: u32,
+    /// The plan's master seed (`SweepOpts::seed`).
+    pub plan_seed: u64,
+    /// Digest over options, sections, labels and the seed schedule.
+    pub plan_fp: u64,
+    /// Digest of the executable that wrote the journal: a rebuilt binary
+    /// (changed simulation/aggregation code) must not silently mix its
+    /// cells with journaled ones, even when the plan shape is unchanged.
+    pub code_fp: u64,
+    /// Dataset-generation seed (`sweep::DATA_SEED`).
+    pub data_seed: u64,
+    /// Total cells the plan declared (journaled + still to run).
+    pub total_cells: u32,
+    /// Human-readable option summary (smoke/full/quick/epochs/tasks).
+    pub opts: String,
+    /// Per-section identities, in sweep order.
+    pub sections: Vec<SectionMark>,
+    /// Dataset fingerprints of every task the plan touches, sorted.
+    pub datasets: Vec<DatasetMark>,
+}
+
+/// One journaled grid cell: its plan position, schedule seed, label and
+/// the output rows, stored inline so a resume needs no recomputation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellRecord {
+    /// Plan index of the cell.
+    pub index: u32,
+    /// Seed the cell ran with (from the plan's seed schedule).
+    pub seed: u64,
+    /// The cell's plan label.
+    pub label: String,
+    /// The rows the cell produced.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// A fully parsed journal.
+#[derive(Debug)]
+pub struct Parsed {
+    /// The validated header.
+    pub header: JournalHeader,
+    /// Every complete, checksum-valid cell record, in append order.
+    pub cells: Vec<CellRecord>,
+    /// Offset of the first byte past the header frame.
+    pub header_len: usize,
+    /// Offset of the first byte past the last valid frame.
+    pub valid_len: usize,
+    /// Trailing bytes of a torn (incomplete) frame, dropped by recovery.
+    pub torn_bytes: usize,
+}
+
+// ---- Payload codec -----------------------------------------------------
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or_else(|| format!("payload underrun at {}", self.pos))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn str(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| format!("invalid utf8 at {}", self.pos))
+    }
+    fn finish(self) -> Result<(), String> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("{} trailing payload bytes", self.bytes.len() - self.pos))
+        }
+    }
+}
+
+fn encode_header_payload(h: &JournalHeader) -> Vec<u8> {
+    let mut e = Enc(Vec::new());
+    e.u8(KIND_HEADER);
+    e.u32(h.version);
+    e.u64(h.plan_seed);
+    e.u64(h.plan_fp);
+    e.u64(h.code_fp);
+    e.u64(h.data_seed);
+    e.u32(h.total_cells);
+    e.str(&h.opts);
+    e.u32(h.sections.len() as u32);
+    for s in &h.sections {
+        e.str(&s.exp);
+        e.u32(s.cells);
+        e.u64(s.fp);
+    }
+    e.u32(h.datasets.len() as u32);
+    for d in &h.datasets {
+        e.str(&d.task);
+        e.u64(d.train_fp);
+        e.u64(d.test_fp);
+    }
+    e.0
+}
+
+fn decode_header_payload(payload: &[u8]) -> Result<JournalHeader, String> {
+    let mut d = Dec { bytes: payload, pos: 0 };
+    if d.u8()? != KIND_HEADER {
+        return Err("first frame is not a header".into());
+    }
+    let version = d.u32()?;
+    if version != 1 {
+        return Err(format!("unsupported journal version {version}"));
+    }
+    let plan_seed = d.u64()?;
+    let plan_fp = d.u64()?;
+    let code_fp = d.u64()?;
+    let data_seed = d.u64()?;
+    let total_cells = d.u32()?;
+    let opts = d.str()?;
+    let sections = (0..d.u32()?)
+        .map(|_| Ok(SectionMark { exp: d.str()?, cells: d.u32()?, fp: d.u64()? }))
+        .collect::<Result<_, String>>()?;
+    let datasets = (0..d.u32()?)
+        .map(|_| Ok(DatasetMark { task: d.str()?, train_fp: d.u64()?, test_fp: d.u64()? }))
+        .collect::<Result<_, String>>()?;
+    let header = JournalHeader {
+        version,
+        plan_seed,
+        plan_fp,
+        code_fp,
+        data_seed,
+        total_cells,
+        opts,
+        sections,
+        datasets,
+    };
+    d.finish()?;
+    Ok(header)
+}
+
+fn encode_cell_payload(c: &CellRecord) -> Vec<u8> {
+    let mut e = Enc(Vec::new());
+    e.u8(KIND_CELL);
+    e.u32(c.index);
+    e.u64(c.seed);
+    e.str(&c.label);
+    e.u32(c.rows.len() as u32);
+    for row in &c.rows {
+        e.u32(row.len() as u32);
+        for cell in row {
+            e.str(cell);
+        }
+    }
+    e.0
+}
+
+fn decode_cell_payload(payload: &[u8]) -> Result<CellRecord, String> {
+    let mut d = Dec { bytes: payload, pos: 0 };
+    if d.u8()? != KIND_CELL {
+        return Err("frame is not a cell record".into());
+    }
+    let index = d.u32()?;
+    let seed = d.u64()?;
+    let label = d.str()?;
+    let rows = (0..d.u32()?)
+        .map(|_| (0..d.u32()?).map(|_| d.str()).collect::<Result<Vec<_>, _>>())
+        .collect::<Result<_, String>>()?;
+    let record = CellRecord { index, seed, label, rows };
+    d.finish()?;
+    Ok(record)
+}
+
+// ---- Frame codec -------------------------------------------------------
+
+/// Wraps a payload in the `len | !len | payload | crc` frame.
+fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let len = payload.len() as u32;
+    let mut out = Vec::with_capacity(FRAME_PREFIX + payload.len() + FRAME_SUFFIX);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&(!len).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+enum Frame<'a> {
+    /// A complete, checksum-valid payload and the offset just past it.
+    Ok { payload: &'a [u8], next: usize },
+    /// The file ends inside this frame: torn tail.
+    Torn,
+}
+
+fn read_frame(bytes: &[u8], offset: usize) -> Result<Frame<'_>, JournalError> {
+    let rest = &bytes[offset..];
+    if rest.len() < FRAME_PREFIX {
+        return Ok(Frame::Torn);
+    }
+    let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes"));
+    let len_chk = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+    // The complement check distinguishes corruption from truncation: a
+    // torn tail can only ever *shorten* a frame, never damage the length
+    // field of bytes that are present.
+    if len != !len_chk {
+        return Err(JournalError::Corrupt { offset, reason: "frame length fails complement check".into() });
+    }
+    let len = len as usize;
+    let total = FRAME_PREFIX + len + FRAME_SUFFIX;
+    if rest.len() < total {
+        return Ok(Frame::Torn);
+    }
+    let payload = &rest[FRAME_PREFIX..FRAME_PREFIX + len];
+    let stored = u32::from_le_bytes(rest[FRAME_PREFIX + len..total].try_into().expect("4 bytes"));
+    let actual = crc32(payload);
+    if stored != actual {
+        return Err(JournalError::Corrupt {
+            offset,
+            reason: format!("payload CRC mismatch (stored {stored:08x}, computed {actual:08x})"),
+        });
+    }
+    Ok(Frame::Ok { payload, next: offset + total })
+}
+
+// ---- Whole-journal encode / parse --------------------------------------
+
+/// Serializes a complete journal to bytes (magic + header + cells) — the
+/// pure counterpart of [`JournalWriter`], used by the codec property
+/// tests.
+pub fn encode(header: &JournalHeader, cells: &[CellRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&encode_frame(&encode_header_payload(header)));
+    for cell in cells {
+        out.extend_from_slice(&encode_frame(&encode_cell_payload(cell)));
+    }
+    out
+}
+
+/// Parses journal bytes, recovering the longest valid prefix.
+///
+/// A trailing **incomplete** frame (crash mid-append) is dropped and
+/// reported through [`Parsed::torn_bytes`]. A **complete** frame that
+/// fails its complement check or CRC — a flipped byte, not a short write —
+/// is an error: resuming from a damaged journal would risk silently wrong
+/// science.
+///
+/// # Errors
+///
+/// [`JournalError::BadMagic`] / [`JournalError::TornHeader`] when the file
+/// isn't a journal or ends before one full header frame;
+/// [`JournalError::Corrupt`] on any checksum or decode failure.
+pub fn parse(bytes: &[u8]) -> Result<Parsed, JournalError> {
+    if bytes.len() < MAGIC.len() {
+        return Err(JournalError::TornHeader);
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(JournalError::BadMagic);
+    }
+    let header_off = MAGIC.len();
+    let (header, header_len) = match read_frame(bytes, header_off)? {
+        Frame::Ok { payload, next } => {
+            let header = decode_header_payload(payload)
+                .map_err(|reason| JournalError::Corrupt { offset: header_off, reason })?;
+            (header, next)
+        }
+        Frame::Torn => return Err(JournalError::TornHeader),
+    };
+
+    let mut cells = Vec::new();
+    let mut offset = header_len;
+    loop {
+        if offset == bytes.len() {
+            return Ok(Parsed { header, cells, header_len, valid_len: offset, torn_bytes: 0 });
+        }
+        match read_frame(bytes, offset)? {
+            Frame::Ok { payload, next } => {
+                cells.push(
+                    decode_cell_payload(payload)
+                        .map_err(|reason| JournalError::Corrupt { offset, reason })?,
+                );
+                offset = next;
+            }
+            Frame::Torn => {
+                return Ok(Parsed {
+                    header,
+                    cells,
+                    header_len,
+                    valid_len: offset,
+                    torn_bytes: bytes.len() - offset,
+                });
+            }
+        }
+    }
+}
+
+// ---- Durable writer ----------------------------------------------------
+
+/// Appends fsync'd records to a journal file.
+///
+/// Every append is durable before the call returns, so the on-disk
+/// journal never lags the sweep by more than the record being written —
+/// the property the kill/resume harness relies on.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+}
+
+/// Makes `path`'s directory entry itself durable: without an fsync of the
+/// parent directory, a power loss can forget a freshly created file even
+/// though every write *into* it was synced. No-op where directories can't
+/// be opened for syncing.
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    if !cfg!(unix) {
+        return Ok(());
+    }
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    File::open(parent)?.sync_all()
+}
+
+impl JournalWriter {
+    /// Creates (or truncates) a journal and durably writes its header —
+    /// including the parent-directory entry, so the file survives a crash
+    /// right after creation.
+    pub fn create(path: &Path, header: &JournalHeader) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = File::create(path)?;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&encode_frame(&encode_header_payload(header)));
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        sync_parent_dir(path)?;
+        Ok(Self { file })
+    }
+
+    /// Opens an existing journal for resumption: parses it, truncates any
+    /// torn tail left by the crash, and positions for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`parse`] errors; the caller still has to validate the
+    /// header against its freshly planned sweep.
+    pub fn resume(path: &Path) -> Result<(Self, Parsed), JournalError> {
+        let bytes = std::fs::read(path)?;
+        let parsed = parse(&bytes)?;
+        let file = OpenOptions::new().write(true).open(path)?;
+        if parsed.torn_bytes > 0 {
+            file.set_len(parsed.valid_len as u64)?;
+            file.sync_all()?;
+        }
+        let mut writer = Self { file };
+        use std::io::Seek as _;
+        writer.file.seek(io::SeekFrom::Start(parsed.valid_len as u64))?;
+        Ok((writer, parsed))
+    }
+
+    /// Durably appends one completed cell.
+    pub fn append(&mut self, cell: &CellRecord) -> io::Result<()> {
+        self.file.write_all(&encode_frame(&encode_cell_payload(cell)))?;
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> JournalHeader {
+        JournalHeader {
+            version: 1,
+            plan_seed: 42,
+            plan_fp: 0xDEAD_BEEF_CAFE_F00D,
+            code_fp: 0x0123_4567_89AB_CDEF,
+            data_seed: 7,
+            total_cells: 3,
+            opts: "smoke=true seed=42".into(),
+            sections: vec![
+                SectionMark { exp: "table1".into(), cells: 2, fp: 11 },
+                SectionMark { exp: "fig4".into(), cells: 1, fp: 22 },
+            ],
+            datasets: vec![DatasetMark { task: "mlp".into(), train_fp: 1, test_fp: 2 }],
+        }
+    }
+
+    fn sample_cells() -> Vec<CellRecord> {
+        vec![
+            CellRecord {
+                index: 0,
+                seed: 99,
+                label: "table1/mlp/Mean/No Attack".into(),
+                rows: vec![vec!["mlp".into(), "Mean".into(), "71.00".into()]],
+            },
+            CellRecord { index: 2, seed: 101, label: "fig4/mlp/Baseline".into(), rows: vec![] },
+        ]
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_parse_round_trip() {
+        let bytes = encode(&sample_header(), &sample_cells());
+        let parsed = parse(&bytes).expect("parse");
+        assert_eq!(parsed.header, sample_header());
+        assert_eq!(parsed.cells, sample_cells());
+        assert_eq!(parsed.torn_bytes, 0);
+        assert_eq!(parsed.valid_len, bytes.len());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let full = encode(&sample_header(), &sample_cells());
+        let one = encode(&sample_header(), &sample_cells()[..1]);
+        // Cut in the middle of the second cell record.
+        let cut = &full[..one.len() + 5];
+        let parsed = parse(cut).expect("parse");
+        assert_eq!(parsed.cells.len(), 1);
+        assert_eq!(parsed.valid_len, one.len());
+        assert_eq!(parsed.torn_bytes, 5);
+    }
+
+    #[test]
+    fn flipped_byte_is_rejected() {
+        let mut bytes = encode(&sample_header(), &sample_cells());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(parse(&bytes).is_err(), "flip at {mid} must fail");
+    }
+
+    #[test]
+    fn writer_appends_durably_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("sg-journal-unit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("unit.journal");
+        let cells = sample_cells();
+        {
+            let mut w = JournalWriter::create(&path, &sample_header()).expect("create");
+            w.append(&cells[0]).expect("append");
+        }
+        // Simulate a crash mid-append of the second record.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let mut torn = encode_frame(&encode_cell_payload(&cells[1]));
+        torn.truncate(torn.len() - 3);
+        bytes.extend_from_slice(&torn);
+        std::fs::write(&path, &bytes).expect("write torn");
+
+        let (mut w, parsed) = JournalWriter::resume(&path).expect("resume");
+        assert_eq!(parsed.cells.len(), 1);
+        assert_eq!(parsed.torn_bytes, torn.len());
+        w.append(&cells[1]).expect("re-append");
+        drop(w);
+
+        let parsed = parse(&std::fs::read(&path).expect("read")).expect("parse");
+        assert_eq!(parsed.cells, cells);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -4,6 +4,32 @@
 //! Each `exp_*` binary regenerates one table or figure of the SignGuard
 //! paper (see `DESIGN.md` for the experiment index), prints paper-style
 //! rows and writes a CSV under `target/experiments/`.
+//!
+//! # Checkpoint & resume
+//!
+//! Sweeps are crash-safe. With `--journal PATH` (or bare `--resume`,
+//! which defaults the path) every completed grid cell is appended to a
+//! sweep journal — one fsync'd, CRC-framed record per cell, written in
+//! plan order, with the cell's rows inline — so a crash or CI timeout
+//! loses at most the cell in flight. Rerunning with `--resume` opens the
+//! journal, validates its header against the freshly planned sweep, and
+//! executes **only** the non-journaled cells, hydrating the rest.
+//!
+//! The header is keyed by a *plan fingerprint* — the option set, every
+//! section's cell labels and header columns, the `--jobs`-independent
+//! per-cell seed schedule, and the dataset fingerprints of every task the
+//! plan touches — plus a digest of the executable itself. A journal
+//! written by a different sweep or build — an edited section, smoke vs
+//! full, another seed, regenerated data, a recompiled binary — is
+//! **refused** with an error naming the offending section; no partial
+//! rows ever leak into a report.
+//!
+//! The guarantee is strict **byte identity**: an interrupted-then-resumed
+//! sweep's consolidated JSON `cmp`s equal to an uninterrupted run's, at
+//! any `--jobs` value (CI's `resume-smoke` job kills `exp_all --smoke`
+//! mid-run and enforces exactly this; `tests/sweep_resume.rs` does the
+//! same in-process). Record-format details live in [`journal`];
+//! orchestration in [`sweep::run_sections`].
 
 use std::fs;
 use std::io::Write as _;
@@ -17,6 +43,7 @@ use sg_attacks::{Attack, ByzMean, LabelFlip, Lie, MinMax, MinSum, NoiseAttack, R
 use sg_core::SignGuard;
 use sg_fl::{tasks, Task};
 
+pub mod journal;
 pub mod sweep;
 
 /// Names of all defenses in the paper's Table I row order.
@@ -178,6 +205,28 @@ impl ExpArgs {
     /// `--out PATH` output override.
     pub fn out(&self) -> Option<PathBuf> {
         self.value("--out").map(PathBuf::from)
+    }
+
+    /// Bare `--resume`: continue an interrupted sweep from its journal.
+    pub fn resume(&self) -> bool {
+        self.flag("--resume")
+    }
+
+    /// `--journal PATH` checkpoint-journal override.
+    pub fn journal(&self) -> Option<PathBuf> {
+        self.value("--journal").map(PathBuf::from)
+    }
+
+    /// The sweep's [`sweep::JournalCfg`]: checkpointing is enabled by
+    /// `--journal PATH` (explicit file) or bare `--resume` (journal at
+    /// `default`); without either, no journal is written.
+    pub fn journal_cfg(&self, default: &std::path::Path) -> sweep::JournalCfg {
+        let resume = self.resume();
+        match self.journal() {
+            Some(path) => sweep::JournalCfg::at(path, resume),
+            None if resume => sweep::JournalCfg::at(default, true),
+            None => sweep::JournalCfg::none(),
+        }
     }
 
     /// `--task NAME` as a single validated task name.

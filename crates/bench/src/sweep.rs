@@ -22,6 +22,12 @@
 //!   rows computed from deterministic simulations, declared and collected
 //!   in plan order; a sweep at `--jobs 1` and `--jobs 4` emits identical
 //!   bytes (enforced by CI's `grid-smoke` job).
+//! * **Crash safety** — with a [`JournalCfg`], [`run_sections`] appends
+//!   every completed cell to an fsync'd [`crate::journal`] and can resume
+//!   an interrupted sweep, re-executing only the missing cells while
+//!   keeping the consolidated report byte-identical to an uninterrupted
+//!   run (enforced by CI's `resume-smoke` job and
+//!   `tests/sweep_resume.rs`).
 //!
 //! `SweepOpts::smoke` shrinks every section — the MLP task, one epoch, a
 //! trimmed attack/defense matrix — so the whole grid stays CI-sized while
@@ -60,6 +66,11 @@ pub struct Section {
     pub header: Vec<String>,
     /// Number of plan cells the section declared.
     pub cells: usize,
+    /// Task names the section's cells draw from the shared [`TaskCache`] —
+    /// the deterministic dataset inventory of the sweep (the consolidated
+    /// report and the journal header derive their dataset fingerprints
+    /// from this, independent of which cells actually executed).
+    pub tasks: Vec<String>,
 }
 
 /// Options shared by every section of a sweep.
@@ -185,12 +196,14 @@ fn section(
     exp: &'static str,
     title: &'static str,
     header: &[&str],
+    tasks: &[String],
 ) -> Section {
     Section {
         exp,
         title,
         header: header.iter().map(|s| s.to_string()).collect(),
         cells: plan.len() - plan_before,
+        tasks: tasks.to_vec(),
     }
 }
 
@@ -234,6 +247,7 @@ pub fn plan_table1(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
         "table1",
         "Table I — best accuracy per (defense, attack)",
         &["task", "defense", "attack", "best_accuracy"],
+        &tasks,
     )
 }
 
@@ -275,6 +289,7 @@ pub fn plan_table2(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
         "table2",
         "Table II — SignGuard selection rates",
         &["task", "attack", "variant", "honest_rate", "malicious_rate"],
+        &tasks,
     )
 }
 
@@ -339,6 +354,7 @@ pub fn plan_table3(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
         "table3",
         "Table III — SignGuard component ablation",
         &["task", "thresholding", "clustering", "norm_clip", "attack", "best_accuracy"],
+        &tasks,
     )
 }
 
@@ -429,6 +445,7 @@ pub fn plan_fig2(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
         "fig2",
         "Fig. 2 — sign statistics, honest vs LIE",
         &["model", "round", "honest_pos", "honest_zero", "honest_neg", "lie_pos", "lie_zero", "lie_neg"],
+        &tasks,
     )
 }
 
@@ -484,6 +501,7 @@ pub fn plan_fig4(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
         "fig4",
         "Fig. 4 — attack impact vs Byzantine fraction",
         &["task", "defense", "attack", "byz_fraction", "best_accuracy"],
+        &tasks,
     )
 }
 
@@ -543,6 +561,7 @@ pub fn plan_fig5(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
         "fig5",
         "Fig. 5 — accuracy under the time-varying attack",
         &["task", "defense", "epoch", "accuracy"],
+        &tasks,
     )
 }
 
@@ -586,6 +605,7 @@ pub fn plan_fig6(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
         "fig6",
         "Fig. 6 — non-IID accuracy across skew levels",
         &["task", "attack", "defense", "s", "best_accuracy"],
+        &tasks,
     )
 }
 
@@ -684,6 +704,7 @@ pub fn plan_ablation(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
         "ablation",
         "Extended ablations (sampling / clustering / families)",
         &["section", "config", "attack", "best_accuracy"],
+        &tasks,
     )
 }
 
@@ -750,6 +771,7 @@ pub fn plan_async(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
         "async",
         "Schedule axis — accuracy under sync / straggler / async-buffered",
         &["task", "schedule", "defense", "attack", "best_accuracy", "applied_rounds", "mean_staleness"],
+        &tasks,
     )
 }
 
@@ -831,20 +853,28 @@ pub fn render(header: &[String], rows: &[Vec<String>]) -> String {
 }
 
 /// Full driver for a single-experiment binary: parse the shared CLI, plan
-/// the section, sweep it on a [`GridRunner`], print the rows and write the
-/// CSV under `target/experiments/<exp>.csv`.
+/// the section, sweep it on a [`GridRunner`] — checkpointing/resuming when
+/// `--journal`/`--resume` are given — print the rows and write the CSV
+/// under `target/experiments/<exp>.csv`.
 pub fn run_standalone(exp: &'static str) {
     let a = ExpArgs::parse();
     let o = SweepOpts::from_args(&a);
-    let mut plan: RunPlan<Rows> = RunPlan::new(o.seed);
-    let s = plan_section(exp, &mut plan, &o);
-    let runner = GridRunner::new(a.jobs());
-    eprintln!("[{exp}] {} cells on {} grid workers (two-level engine)", plan.len(), runner.parallelism());
-    let report = runner.run(plan);
-    let rows: Rows = report.cells.into_iter().flat_map(|c| c.output).collect();
-    let (header, rows) = finish(exp, s.header, rows);
+    let selected = vec![exp.to_string()];
+    let journal = a.journal_cfg(&crate::experiments_dir().join(format!("{exp}.journal")));
+    let outcome = match run_sections(&selected, &o, a.jobs(), &journal) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("[{exp}] {e}");
+            std::process::exit(2);
+        }
+    };
+    let (s, rows) = outcome.results.into_iter().next().expect("one section");
+    eprintln!(
+        "[{exp}] {} cells: {} executed, {} resumed from the journal",
+        outcome.total_cells, outcome.executed, outcome.hydrated
+    );
     println!("== {} ==", s.title);
-    println!("{}", render(&header, &rows));
+    println!("{}", render(&s.header, &rows));
     eprintln!(
         "[cache] {} task(s) generated ({} hits), {} partition(s) computed ({} hits) across {} cells",
         o.res.tasks.len(),
@@ -853,12 +883,470 @@ pub fn run_standalone(exp: &'static str) {
         o.res.parts.hits(),
         s.cells
     );
-    let mut csv = vec![header];
+    let mut csv = vec![s.header];
     csv.extend(rows);
     match a.out() {
         Some(path) => crate::write_csv_to(&path, &csv),
         None => crate::write_csv(exp, &csv),
     }
+}
+
+// ---- Checkpoint & resume orchestration ---------------------------------
+
+/// FNV-1a (64-bit) accumulator for plan and section fingerprints. Field
+/// boundaries are delimited so `("ab","c")` and `("a","bc")` differ.
+struct Fp(u64);
+
+impl Fp {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+        self.bytes(&[0xFF]);
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn done(self) -> u64 {
+        self.0
+    }
+}
+
+/// How a sweep uses the checkpoint journal.
+#[derive(Debug, Clone, Default)]
+pub struct JournalCfg {
+    /// Journal file. `None` disables checkpointing entirely.
+    pub path: Option<std::path::PathBuf>,
+    /// Resume from an existing journal at `path` (validate its header,
+    /// hydrate its cells, execute only the remainder). Without this, an
+    /// existing journal is overwritten.
+    pub resume: bool,
+    /// Crash-test fault injection: panic after this many journaled cells
+    /// (see [`sg_runtime::RunOpts::fault_after`]). Also settable through
+    /// the `SG_SWEEP_FAULT_CELLS` environment variable.
+    pub fault_after: Option<usize>,
+}
+
+impl JournalCfg {
+    /// No journaling.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Journal at `path`, resuming if `resume`.
+    pub fn at(path: impl Into<std::path::PathBuf>, resume: bool) -> Self {
+        Self { path: Some(path.into()), resume, fault_after: None }
+    }
+}
+
+/// Why [`run_sections`] refused to produce results.
+#[derive(Debug)]
+pub enum SweepError {
+    /// The journal file could not be read or failed its checksums.
+    Journal(crate::journal::JournalError),
+    /// The journal belongs to a different sweep: the stored plan
+    /// fingerprint disagrees with the freshly planned one. The reason
+    /// names what diverged (the offending section, option set, seed or
+    /// dataset); **no journaled rows are used** when this happens.
+    Stale {
+        /// Human-readable description of the first divergence.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Journal(e) => write!(f, "{e}"),
+            Self::Stale { reason } => {
+                write!(f, "stale journal refused: {reason} (delete the journal or rerun without --resume)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<crate::journal::JournalError> for SweepError {
+    fn from(e: crate::journal::JournalError) -> Self {
+        Self::Journal(e)
+    }
+}
+
+/// A completed (possibly resumed) sweep.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Per-section headers and post-processed rows, in sweep order.
+    pub results: Vec<(Section, Rows)>,
+    /// Cells the plan declared.
+    pub total_cells: usize,
+    /// Cells actually executed this run.
+    pub executed: usize,
+    /// Cells hydrated from the journal instead of executing.
+    pub hydrated: usize,
+}
+
+/// The sorted, deduplicated union of every section's task list — the
+/// sweep's deterministic dataset inventory.
+fn union_tasks<'a>(sections: impl Iterator<Item = &'a Section>) -> Vec<String> {
+    let mut tasks: Vec<String> = sections.flat_map(|s| s.tasks.iter().cloned()).collect();
+    tasks.sort();
+    tasks.dedup();
+    tasks
+}
+
+/// Canonical one-line option summary; part of the plan fingerprint and
+/// quoted verbatim in stale-journal errors.
+fn opts_line(selected: &[String], o: &SweepOpts) -> String {
+    format!(
+        "selected={} smoke={} full={} quick={} epochs={} tasks={} seed={}",
+        selected.join(","),
+        o.smoke,
+        o.full,
+        o.quick,
+        o.epochs.map_or_else(|| "default".to_string(), |e| e.to_string()),
+        o.tasks.as_ref().map_or_else(|| "default".to_string(), |t| t.join(",")),
+        o.seed
+    )
+}
+
+/// Digest of the running executable — the code-identity half of the
+/// journal key. A rebuilt binary (changed simulation, aggregation or
+/// attack code) hashes differently even when the plan shape is unchanged,
+/// so its resume is refused instead of silently mixing old and new cells.
+/// Memoized per process; `0` when the executable cannot be read (both
+/// sides then degrade to plan-only keying rather than refusing falsely).
+fn code_fingerprint() -> u64 {
+    static FP: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *FP.get_or_init(|| {
+        std::env::current_exe().ok().and_then(|p| std::fs::read(p).ok()).map_or(0, |bytes| {
+            // Word-chunked FNV fold rather than the byte-wise [`Fp`]: this
+            // hashes the whole executable (hundreds of MB for a debug test
+            // binary) once per process, where byte-at-a-time folding is
+            // ~8x slower. Seeding with the length keeps zero-padding to a
+            // word boundary from colliding.
+            let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (bytes.len() as u64).wrapping_mul(0x100_0000_01b3);
+            for chunk in bytes.chunks(8) {
+                let mut word = [0u8; 8];
+                word[..chunk.len()].copy_from_slice(chunk);
+                h = (h ^ u64::from_le_bytes(word)).wrapping_mul(0x100_0000_01b3);
+            }
+            h
+        })
+    })
+}
+
+/// Builds the journal header for a freshly planned sweep: per-section
+/// fingerprints over labels + seed schedule, dataset fingerprints of every
+/// task the plan touches (generated through the shared [`TaskCache`], so
+/// nothing is wasted), the executable digest, and the plan fingerprint
+/// tying it all together.
+fn journal_header(
+    selected: &[String],
+    o: &SweepOpts,
+    sections: &[Section],
+    labels: &[String],
+    seeds: &[u64],
+) -> crate::journal::JournalHeader {
+    use crate::journal::{DatasetMark, JournalHeader, SectionMark};
+    let mut marks = Vec::with_capacity(sections.len());
+    let mut offset = 0usize;
+    for s in sections {
+        let mut fp = Fp::new();
+        fp.str(s.exp);
+        for col in &s.header {
+            fp.str(col);
+        }
+        for i in offset..offset + s.cells {
+            fp.str(&labels[i]);
+            fp.u64(seeds[i]);
+        }
+        marks.push(SectionMark { exp: s.exp.to_string(), cells: s.cells as u32, fp: fp.done() });
+        offset += s.cells;
+    }
+    let datasets: Vec<DatasetMark> = union_tasks(sections.iter())
+        .into_iter()
+        .map(|task| {
+            let t = o.res.tasks.get(&task, DATA_SEED);
+            DatasetMark { task, train_fp: t.train.fingerprint(), test_fp: t.test.fingerprint() }
+        })
+        .collect();
+    let opts = opts_line(selected, o);
+    let mut fp = Fp::new();
+    fp.str(&opts);
+    fp.u64(DATA_SEED);
+    fp.u64(o.seed);
+    fp.u64(labels.len() as u64);
+    for m in &marks {
+        fp.str(&m.exp);
+        fp.u64(m.cells as u64);
+        fp.u64(m.fp);
+    }
+    for d in &datasets {
+        fp.str(&d.task);
+        fp.u64(d.train_fp);
+        fp.u64(d.test_fp);
+    }
+    JournalHeader {
+        version: 1,
+        plan_seed: o.seed,
+        plan_fp: fp.done(),
+        code_fp: code_fingerprint(),
+        data_seed: DATA_SEED,
+        total_cells: labels.len() as u32,
+        opts,
+        sections: marks,
+        datasets,
+    }
+}
+
+/// Pinpoints the first divergence between a stored journal header and the
+/// freshly planned one, naming the offending section where possible.
+fn stale_reason(stored: &crate::journal::JournalHeader, current: &crate::journal::JournalHeader) -> String {
+    if stored.plan_seed != current.plan_seed {
+        return format!("master seed changed (journal {}, current {})", stored.plan_seed, current.plan_seed);
+    }
+    if stored.data_seed != current.data_seed {
+        return format!("data seed changed (journal {}, current {})", stored.data_seed, current.data_seed);
+    }
+    if stored.code_fp != current.code_fp {
+        return format!(
+            "the binary changed since the journal was written (code fingerprint {:016x} vs {:016x}) — \
+             journaled cells from a different build cannot be mixed with fresh ones",
+            stored.code_fp, current.code_fp
+        );
+    }
+    // Section-level diagnosis first, so the error names the offending
+    // section: extra/missing by name, then count and fingerprint drift.
+    let missing: Vec<&str> = current
+        .sections
+        .iter()
+        .filter(|c| stored.sections.iter().all(|s| s.exp != c.exp))
+        .map(|c| c.exp.as_str())
+        .collect();
+    if !missing.is_empty() {
+        return format!("section(s) `{}` missing from the journal", missing.join("`, `"));
+    }
+    let extra: Vec<&str> = stored
+        .sections
+        .iter()
+        .filter(|s| current.sections.iter().all(|c| c.exp != s.exp))
+        .map(|s| s.exp.as_str())
+        .collect();
+    if !extra.is_empty() {
+        return format!("journal has extra section(s) `{}`", extra.join("`, `"));
+    }
+    for (i, (s, c)) in stored.sections.iter().zip(&current.sections).enumerate() {
+        if s.exp != c.exp {
+            return format!(
+                "section order changed at position {i} (journal `{}`, current `{}`)",
+                s.exp, c.exp
+            );
+        }
+        if s.cells != c.cells {
+            return format!(
+                "section `{}` changed cell count (journal {}, current {})",
+                c.exp, s.cells, c.cells
+            );
+        }
+        if s.fp != c.fp {
+            return format!("section `{}` changed its cell labels or seed schedule", c.exp);
+        }
+    }
+    for i in 0..stored.datasets.len().max(current.datasets.len()) {
+        match (stored.datasets.get(i), current.datasets.get(i)) {
+            (Some(d), None) => return format!("journal has an extra dataset `{}`", d.task),
+            (None, Some(d)) => return format!("dataset `{}` is missing from the journal", d.task),
+            (Some(s), Some(c)) if s != c => {
+                return format!("dataset fingerprints changed for task `{}`", c.task)
+            }
+            _ => {}
+        }
+    }
+    if stored.opts != current.opts {
+        return format!("option set changed (journal: `{}`; current: `{}`)", stored.opts, current.opts);
+    }
+    format!("plan fingerprint mismatch (journal {:016x}, current {:016x})", stored.plan_fp, current.plan_fp)
+}
+
+/// Fault-injection cell count from `SG_SWEEP_FAULT_CELLS` (CI's crash
+/// harness sets it on the real binaries; in-process tests use
+/// [`JournalCfg::fault_after`] directly).
+///
+/// # Panics
+///
+/// Panics on a malformed value.
+fn fault_from_env() -> Option<usize> {
+    let raw = std::env::var("SG_SWEEP_FAULT_CELLS").ok()?;
+    let n: usize = raw.parse().expect("SG_SWEEP_FAULT_CELLS must be an integer");
+    assert!(n > 0, "SG_SWEEP_FAULT_CELLS must be >= 1");
+    Some(n)
+}
+
+/// Validates a parsed journal against the freshly planned sweep and
+/// hydrates its cells into `hydrated`; returns the writer positioned for
+/// appending the remainder.
+fn resume_into(
+    parsed: crate::journal::Parsed,
+    header: &crate::journal::JournalHeader,
+    labels: &[String],
+    seeds: &[u64],
+    hydrated: &mut std::collections::BTreeMap<usize, Rows>,
+    writer: crate::journal::JournalWriter,
+) -> Result<crate::journal::JournalWriter, SweepError> {
+    if parsed.header != *header {
+        return Err(SweepError::Stale { reason: stale_reason(&parsed.header, header) });
+    }
+    let torn_bytes = parsed.torn_bytes;
+    for cell in parsed.cells {
+        let index = cell.index as usize;
+        let valid = index < labels.len()
+            && labels[index] == cell.label
+            && seeds[index] == cell.seed
+            && !hydrated.contains_key(&index);
+        if !valid {
+            return Err(SweepError::Stale {
+                reason: format!(
+                    "journaled cell {index} (`{}`) does not match the plan's label/seed schedule",
+                    cell.label
+                ),
+            });
+        }
+        hydrated.insert(index, cell.rows);
+    }
+    if torn_bytes > 0 {
+        eprintln!(
+            "[journal] dropped a torn {torn_bytes}-byte tail (crash mid-append); {} cells recovered",
+            hydrated.len()
+        );
+    }
+    Ok(writer)
+}
+
+/// Plans and sweeps `selected` experiments as one grid, optionally
+/// checkpointing each completed cell to a journal and resuming from one.
+///
+/// This is the engine behind `exp_all` and [`run_standalone`]. With
+/// `journal.resume` set and a valid journal at `journal.path`, the
+/// already-journaled cells are **hydrated** (their rows read back, their
+/// closures never run) and only the remainder executes — the returned
+/// results, and therefore [`consolidated_json`], are byte-identical to an
+/// uninterrupted run at any `--jobs` value.
+///
+/// # Errors
+///
+/// [`SweepError::Journal`] when the journal is unreadable or corrupt;
+/// [`SweepError::Stale`] when it belongs to a different sweep (edited
+/// plan, smoke vs full, different seed, changed datasets). On error **no
+/// cells run and no partial rows are returned**.
+///
+/// # Panics
+///
+/// Panics when a cell or the journal append fails mid-sweep, and on the
+/// injected fault (crash testing) — exactly like the crash it simulates.
+pub fn run_sections(
+    selected: &[String],
+    o: &SweepOpts,
+    jobs: usize,
+    journal: &JournalCfg,
+) -> Result<SweepOutcome, SweepError> {
+    use crate::journal::{CellRecord, JournalWriter};
+    use std::collections::{BTreeMap, HashSet};
+
+    let mut plan: RunPlan<Rows> = RunPlan::new(o.seed);
+    let sections: Vec<Section> = selected.iter().map(|exp| plan_section(exp, &mut plan, o)).collect();
+    let total_cells = plan.len();
+    let labels: Vec<String> = plan.labels().map(str::to_string).collect();
+    // Replay the runner's seed schedule (fixed by cell index, independent
+    // of --jobs and of any skip set) for fingerprinting and validation.
+    let mut stream = SeedStream::new(o.seed);
+    let seeds: Vec<u64> = (0..total_cells).map(|_| stream.next_seed()).collect();
+
+    let mut hydrated: BTreeMap<usize, Rows> = BTreeMap::new();
+    let mut writer: Option<JournalWriter> = None;
+    if let Some(path) = &journal.path {
+        let header = journal_header(selected, o, &sections, &labels, &seeds);
+        if journal.resume && path.exists() {
+            // A header that never made it to disk whole (crash in the
+            // window between `File::create` and the first fsync) means
+            // zero recoverable cells — that is "nothing to resume", not
+            // damage, so fall through to a fresh journal instead of
+            // demanding a manual delete. Anything else unreadable is
+            // refused as usual.
+            let resumed = match JournalWriter::resume(path) {
+                Ok(resumed) => Some(resumed),
+                Err(crate::journal::JournalError::TornHeader) => {
+                    eprintln!(
+                        "[journal] header at {} is incomplete (crash during creation); starting fresh",
+                        path.display()
+                    );
+                    None
+                }
+                Err(e) => return Err(e.into()),
+            };
+            match resumed {
+                None => {
+                    writer =
+                        Some(JournalWriter::create(path, &header).map_err(crate::journal::JournalError::Io)?);
+                }
+                Some((w, parsed)) => {
+                    writer = Some(resume_into(parsed, &header, &labels, &seeds, &mut hydrated, w)?);
+                }
+            }
+        } else {
+            if journal.resume {
+                eprintln!("[journal] nothing to resume at {}; starting fresh", path.display());
+            }
+            writer = Some(JournalWriter::create(path, &header).map_err(crate::journal::JournalError::Io)?);
+        }
+    }
+
+    let skip: HashSet<usize> = hydrated.keys().copied().collect();
+    let hydrated_count = hydrated.len();
+    let on_cell: Option<sg_runtime::CellHook<'_, Rows>> = writer.map(|mut w| {
+        Box::new(move |c: &sg_runtime::CellResult<Rows>| {
+            let record = CellRecord {
+                index: c.index as u32,
+                seed: c.seed,
+                label: c.label.clone(),
+                rows: c.output.clone(),
+            };
+            w.append(&record).expect("journal append");
+        }) as sg_runtime::CellHook<'_, Rows>
+    });
+    let opts =
+        sg_runtime::RunOpts { skip, on_cell, fault_after: journal.fault_after.or_else(fault_from_env) };
+
+    let runner = GridRunner::new(jobs);
+    let report = runner.run_opts(plan, opts);
+    let executed = report.cells.len();
+
+    // Merge executed outputs with hydrated rows, in plan order.
+    let mut outputs: Vec<Option<Rows>> = (0..total_cells).map(|_| None).collect();
+    for (index, rows) in hydrated {
+        outputs[index] = Some(rows);
+    }
+    for cell in report.cells {
+        outputs[cell.index] = Some(cell.output);
+    }
+    let mut outputs = outputs.into_iter();
+    let mut results: Vec<(Section, Rows)> = Vec::with_capacity(sections.len());
+    for mut s in sections {
+        let rows: Rows = (0..s.cells)
+            .flat_map(|_| outputs.next().expect("plan covers sections").expect("cell output"))
+            .collect();
+        let (header, rows) = finish(s.exp, s.header, rows);
+        s.header = header;
+        results.push((s, rows));
+    }
+    Ok(SweepOutcome { results, total_cells, executed, hydrated: hydrated_count })
 }
 
 // ---- Consolidated report ----------------------------------------------
@@ -882,44 +1370,40 @@ fn json_string_array(items: &[String]) -> String {
 }
 
 /// Serializes a sweep into the consolidated report JSON. Everything in the
-/// report is deterministic — plan-ordered rows, sorted dataset
-/// fingerprints, order-independent cache counters; no timings, no thread
-/// counts — so the bytes are identical at any `--jobs` value (CI's
-/// `grid-smoke` job compares runs with `cmp`).
+/// report is a **pure function of the plan and its cell outputs** —
+/// plan-ordered rows, dataset fingerprints derived from the plan's task
+/// inventory; no timings, no thread counts, no runtime cache counters — so
+/// the bytes are identical at any `--jobs` value **and** across a
+/// checkpoint resume: an interrupted-then-resumed sweep emits exactly the
+/// bytes of an uninterrupted one (CI's `grid-smoke` and `resume-smoke`
+/// jobs both compare runs with `cmp`). Execution-dependent diagnostics
+/// (cache hit/miss counters) go to stderr instead.
 pub fn consolidated_json(o: &SweepOpts, results: &[(Section, Rows)]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"sg-exp-all/v2\",\n");
+    out.push_str("  \"schema\": \"sg-exp-all/v3\",\n");
     out.push_str(&format!("  \"seed\": {},\n", o.seed));
     out.push_str(&format!("  \"smoke\": {},\n", o.smoke));
     out.push_str(&format!("  \"data_seed\": {DATA_SEED},\n"));
 
-    let datasets: Vec<String> = o
-        .res
-        .tasks
-        .snapshot()
+    // The dataset inventory comes from the sections' task lists, not from
+    // whatever the run happened to generate: a resumed sweep that hydrated
+    // most cells still reports the full, identical inventory (generation
+    // is seeded, so fingerprints are reproducible on demand).
+    let datasets: Vec<String> = union_tasks(results.iter().map(|(s, _)| s))
         .into_iter()
-        .map(|(name, seed, train_fp, test_fp)| {
+        .map(|name| {
+            let t = o.res.tasks.get(&name, DATA_SEED);
             format!(
-                "    {{\"task\": \"{}\", \"data_seed\": {seed}, \"train_fp\": \"{train_fp:016x}\", \
-                 \"test_fp\": \"{test_fp:016x}\"}}",
-                json_escape(&name)
+                "    {{\"task\": \"{}\", \"data_seed\": {DATA_SEED}, \"train_fp\": \"{:016x}\", \
+                 \"test_fp\": \"{:016x}\"}}",
+                json_escape(&name),
+                t.train.fingerprint(),
+                t.test.fingerprint()
             )
         })
         .collect();
     out.push_str(&format!("  \"datasets\": [\n{}\n  ],\n", datasets.join(",\n")));
-    out.push_str(&format!(
-        "  \"cache\": {{\"tasks\": {}, \"hits\": {}, \"misses\": {}}},\n",
-        o.res.tasks.len(),
-        o.res.tasks.hits(),
-        o.res.tasks.misses()
-    ));
-    out.push_str(&format!(
-        "  \"partitions\": {{\"computed\": {}, \"hits\": {}, \"misses\": {}}},\n",
-        o.res.parts.len(),
-        o.res.parts.hits(),
-        o.res.parts.misses()
-    ));
 
     let sections: Vec<String> = results
         .iter()

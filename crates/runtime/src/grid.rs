@@ -26,6 +26,22 @@
 //! therefore cannot perturb any cell's randomness, and — because the
 //! engine's determinism contract also covers nested execution — a plan
 //! re-run at a different parallelism reproduces every cell bit for bit.
+//! Seeds are consumed for *every* cell, including cells excluded through
+//! [`RunOpts::skip`], so a partial re-run (checkpoint resume) hands each
+//! executed cell exactly the seed it had in the full plan.
+//!
+//! # Completion hooks
+//!
+//! [`GridRunner::run_opts`] accepts an optional per-cell completion hook
+//! ([`RunOpts::on_cell`]) that fires **in plan-index order** regardless of
+//! which worker finished what when: results are parked in a reorder buffer
+//! and flushed, under one lock, as soon as every lower-index executed cell
+//! has completed. A checkpoint journal appended from the hook therefore
+//! always holds a plan-order prefix of the executed cells, no matter how
+//! the workers interleaved.
+
+use std::collections::HashSet;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use sg_math::SeedStream;
 
@@ -104,6 +120,17 @@ impl<T> RunPlan<T> {
     pub fn is_empty(&self) -> bool {
         self.cells.is_empty()
     }
+
+    /// The plan's root seed (cell seeds derive from it via `SeedStream`).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Cell labels in plan order (checkpoint fingerprinting reads these
+    /// without running anything).
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.cells.iter().map(|(label, _)| label.as_str())
+    }
 }
 
 /// One executed cell.
@@ -135,6 +162,69 @@ impl<T> GridReport<T> {
     }
 }
 
+/// A per-cell completion callback (see [`RunOpts::on_cell`]).
+pub type CellHook<'hook, T> = Box<dyn FnMut(&CellResult<T>) + Send + 'hook>;
+
+/// Options for [`GridRunner::run_opts`].
+///
+/// The default options reproduce [`GridRunner::run`]: no skipped cells, no
+/// completion hook, no fault injection.
+pub struct RunOpts<'hook, T> {
+    /// Plan indices to *not* execute. Skipped cells still consume their
+    /// seed-schedule slot and still count toward plan order, so the
+    /// executed remainder behaves exactly as it would inside a full run —
+    /// this is the resume half of a checkpoint/resume sweep (the caller
+    /// hydrates skipped outputs from its journal).
+    pub skip: HashSet<usize>,
+    /// Fired once per executed cell, in plan-index order, after the cell
+    /// completes (see the [module docs](self) on ordering). Runs under the
+    /// runner's reorder lock: keep it short-ish (a journal append), and
+    /// note a panic here propagates out of `run_opts` like a cell panic.
+    pub on_cell: Option<CellHook<'hook, T>>,
+    /// Fault injection for crash tests: after this many hook deliveries,
+    /// the runner stops delivering (and stops starting new cells) and
+    /// panics, simulating a crash mid-sweep with exactly `n` cells
+    /// journaled.
+    pub fault_after: Option<usize>,
+}
+
+impl<T> Default for RunOpts<'_, T> {
+    fn default() -> Self {
+        Self { skip: HashSet::new(), on_cell: None, fault_after: None }
+    }
+}
+
+impl<T> std::fmt::Debug for RunOpts<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOpts")
+            .field("skip", &self.skip.len())
+            .field("on_cell", &self.on_cell.is_some())
+            .field("fault_after", &self.fault_after)
+            .finish()
+    }
+}
+
+/// Reorder buffer shared by the in-flight cells of one `run_opts` call:
+/// results park here until every lower executed position has completed,
+/// then flush — delivering the hook — in plan order.
+struct Collector<'hook, T> {
+    /// One slot per *executed* cell, in plan order.
+    slots: Vec<Option<CellResult<T>>>,
+    /// Next executed position to flush.
+    flushed: usize,
+    on_cell: Option<CellHook<'hook, T>>,
+    fault_after: Option<usize>,
+    /// Set when the injected fault fires: cells not yet started return
+    /// without running (the process is notionally dead).
+    aborted: bool,
+}
+
+/// Locks tolerating poisoning: after an injected-fault panic the remaining
+/// in-flight cells still deposit their (discarded) results.
+fn lock_collector<'a, 'hook, T>(m: &'a Mutex<Collector<'hook, T>>) -> MutexGuard<'a, Collector<'hook, T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Executes [`RunPlan`]s on a worker pool.
 #[derive(Debug, Clone)]
 pub struct GridRunner {
@@ -159,26 +249,100 @@ impl GridRunner {
 
     /// Runs every cell and collects outputs in plan order.
     pub fn run<T: Send>(&self, plan: RunPlan<T>) -> GridReport<T> {
+        self.run_opts(plan, RunOpts::default())
+    }
+
+    /// Runs the plan's cells minus [`RunOpts::skip`], firing
+    /// [`RunOpts::on_cell`] in plan order as executed cells complete.
+    ///
+    /// The report contains only the executed cells, still in plan order;
+    /// skipped cells consume their seed slot but are absent from the
+    /// output (the resume caller merges them back from its journal).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises cell panics (like [`run`](Self::run)), hook panics, and
+    /// the [`RunOpts::fault_after`] injected fault.
+    pub fn run_opts<T: Send>(&self, plan: RunPlan<T>, opts: RunOpts<'_, T>) -> GridReport<T> {
         let plan_seed = plan.seed;
         // Every cell's engine shares this runner's pool: inner sharding
         // and outer fan-out draw from one thread budget.
         let engine = Engine::on_pool(self.pool.clone());
-        // Seeds are fixed by cell index here, before dispatch: the
-        // schedule is part of the plan, not of the execution.
+        // Seeds are fixed by cell index here, before dispatch — for every
+        // cell, skipped or not: the schedule is part of the plan, not of
+        // the execution (or of which subset of it re-runs).
         let mut stream = SeedStream::new(plan_seed);
-        let jobs: Vec<(CellContext, CellFn<T>)> = plan
+        let jobs: Vec<(usize, CellContext, CellFn<T>)> = plan
             .cells
             .into_iter()
             .enumerate()
-            .map(|(index, (label, run))| {
-                (CellContext { index, label, seed: stream.next_seed(), engine: engine.clone() }, run)
+            .filter_map(|(index, (label, run))| {
+                let seed = stream.next_seed();
+                if opts.skip.contains(&index) {
+                    return None;
+                }
+                Some((index, label, run, seed))
+            })
+            .enumerate()
+            .map(|(pos, (index, label, run, seed))| {
+                (pos, CellContext { index, label, seed, engine: engine.clone() }, run)
             })
             .collect();
-        let cells = self.pool.map(jobs, |_, (ctx, run)| {
-            let output = run(&ctx);
-            CellResult { index: ctx.index, label: ctx.label, seed: ctx.seed, output }
+
+        let collector = Mutex::new(Collector {
+            slots: (0..jobs.len()).map(|_| None).collect(),
+            flushed: 0,
+            on_cell: opts.on_cell,
+            fault_after: opts.fault_after,
+            aborted: false,
         });
-        GridReport { cells, seed: plan_seed }
+        self.pool.map(jobs, |_, (pos, ctx, run)| {
+            if lock_collector(&collector).aborted {
+                // The injected fault already "crashed" this run; cells
+                // that had not started stay unexecuted.
+                return;
+            }
+            let output = run(&ctx);
+            let result = CellResult { index: ctx.index, label: ctx.label, seed: ctx.seed, output };
+            let mut st = lock_collector(&collector);
+            st.slots[pos] = Some(result);
+            // Flush the contiguous completed prefix in plan order; the
+            // flushing thread delivers hooks for other cells' results too.
+            while st.flushed < st.slots.len() && st.slots[st.flushed].is_some() {
+                let i = st.flushed;
+                st.flushed += 1;
+                let delivery = {
+                    let Collector { slots, on_cell, .. } = &mut *st;
+                    match on_cell.as_mut() {
+                        Some(hook) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            hook(slots[i].as_ref().expect("flushed slot filled"))
+                        })),
+                        None => Ok(()),
+                    }
+                };
+                if let Err(payload) = delivery {
+                    // A panicking hook (e.g. a failed journal append that
+                    // may have written a partial frame) must stop every
+                    // further delivery: appending after the damage would
+                    // corrupt the journal mid-file instead of leaving the
+                    // recoverable torn tail the format promises.
+                    st.aborted = true;
+                    st.on_cell = None;
+                    drop(st);
+                    std::panic::resume_unwind(payload);
+                }
+                if st.fault_after == Some(st.flushed) {
+                    st.aborted = true;
+                    st.on_cell = None;
+                    let delivered = st.flushed;
+                    drop(st);
+                    panic!("GridRunner: injected fault after {delivered} cell completions");
+                }
+            }
+        });
+
+        let st = collector.into_inner().unwrap_or_else(PoisonError::into_inner);
+        GridReport { cells: st.slots.into_iter().flatten().collect(), seed: plan_seed }
     }
 }
 
@@ -261,5 +425,110 @@ mod tests {
     fn empty_plan_is_fine() {
         let report = GridRunner::new(4).run(RunPlan::<()>::new(0));
         assert!(report.cells.is_empty());
+    }
+
+    #[test]
+    fn plan_exposes_labels_and_seed() {
+        let plan = plan_of_squares(3);
+        assert_eq!(plan.seed(), 7);
+        assert_eq!(plan.labels().collect::<Vec<_>>(), vec!["cell-0", "cell-1", "cell-2"]);
+    }
+
+    #[test]
+    fn skipped_cells_keep_the_seed_schedule() {
+        // Skipping cells must not shift the seeds of the cells that still
+        // run — the resume contract.
+        let full = GridRunner::new(1).run(plan_of_squares(8));
+        for jobs in [1usize, 4] {
+            let skip: HashSet<usize> = [0usize, 3, 4, 7].into_iter().collect();
+            let opts = RunOpts { skip: skip.clone(), ..RunOpts::default() };
+            let partial = GridRunner::new(jobs).run_opts(plan_of_squares(8), opts);
+            assert_eq!(partial.cells.len(), 4, "jobs {jobs}");
+            for cell in &partial.cells {
+                assert!(!skip.contains(&cell.index));
+                let reference = &full.cells[cell.index];
+                assert_eq!(cell.seed, reference.seed, "jobs {jobs} cell {}", cell.index);
+                assert_eq!(cell.output, reference.output, "jobs {jobs} cell {}", cell.index);
+            }
+        }
+    }
+
+    #[test]
+    fn completion_hook_fires_in_plan_order() {
+        for jobs in [1usize, 2, 4] {
+            let seen = Mutex::new(Vec::new());
+            let opts = RunOpts {
+                on_cell: Some(Box::new(|c: &CellResult<u64>| {
+                    seen.lock().expect("seen").push(c.index);
+                })),
+                ..RunOpts::default()
+            };
+            GridRunner::new(jobs).run_opts(plan_of_squares(9), opts);
+            assert_eq!(seen.into_inner().expect("seen"), (0..9).collect::<Vec<_>>(), "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn completion_hook_skips_skipped_cells_but_keeps_order() {
+        let skip: HashSet<usize> = [1usize, 4].into_iter().collect();
+        let seen = Mutex::new(Vec::new());
+        let opts = RunOpts {
+            skip,
+            on_cell: Some(Box::new(|c: &CellResult<u64>| {
+                seen.lock().expect("seen").push(c.index);
+            })),
+            fault_after: None,
+        };
+        GridRunner::new(3).run_opts(plan_of_squares(6), opts);
+        assert_eq!(seen.into_inner().expect("seen"), vec![0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn hook_panic_stops_all_further_deliveries() {
+        // A hook that dies (journal append failure) must not be invoked
+        // again by surviving workers: later appends after a partial write
+        // would corrupt the journal mid-file.
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        for jobs in [1usize, 4] {
+            let seen = Mutex::new(Vec::new());
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let opts = RunOpts {
+                    on_cell: Some(Box::new(|c: &CellResult<u64>| {
+                        seen.lock().expect("seen").push(c.index);
+                        assert!(c.index != 2, "hook dies at cell 2");
+                    })),
+                    ..RunOpts::default()
+                };
+                GridRunner::new(jobs).run_opts(plan_of_squares(9), opts)
+            }));
+            assert!(result.is_err(), "jobs {jobs}: hook panic must propagate");
+            assert_eq!(
+                seen.into_inner().expect("seen"),
+                vec![0, 1, 2],
+                "jobs {jobs}: no delivery may follow the failed one"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_fault_panics_after_exact_deliveries() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        for jobs in [1usize, 4] {
+            let seen = Mutex::new(Vec::new());
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let opts = RunOpts {
+                    on_cell: Some(Box::new(|c: &CellResult<u64>| {
+                        seen.lock().expect("seen").push(c.index);
+                    })),
+                    fault_after: Some(3),
+                    ..RunOpts::default()
+                };
+                GridRunner::new(jobs).run_opts(plan_of_squares(9), opts)
+            }));
+            assert!(result.is_err(), "jobs {jobs}: fault must panic");
+            // Exactly the first three cells, in plan order, were delivered
+            // before the "crash" — that's what a resume would find.
+            assert_eq!(seen.into_inner().expect("seen"), vec![0, 1, 2], "jobs {jobs}");
+        }
     }
 }

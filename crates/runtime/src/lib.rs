@@ -94,6 +94,6 @@ pub mod pool;
 pub use arena::GradientArena;
 pub use cache::ResourceCache;
 pub use engine::Engine;
-pub use grid::{CellContext, CellResult, GridReport, GridRunner, RunPlan};
+pub use grid::{CellContext, CellHook, CellResult, GridReport, GridRunner, RunOpts, RunPlan};
 pub use pending::{PendingUpdate, UpdateBuffer};
 pub use pool::WorkerPool;

@@ -9,7 +9,7 @@
 
 use rand::Rng;
 use signguard::aggregators::{Aggregator, Mean};
-use signguard::attacks::SignFlip;
+use signguard::attacks::{ByzMean, SignFlip};
 use signguard::core::SignGuard;
 use signguard::fl::{tasks, FlConfig, Partitioning, Schedule, Simulator};
 use signguard::math::{l2_distance, seeded_rng, vecops};
@@ -146,6 +146,38 @@ fn signguard_beats_mean_under_signflip_with_stragglers() {
     );
     assert!(r_sg.best_accuracy > 0.3, "SignGuard still converges: {:.3}", r_sg.best_accuracy);
     // The straggler schedule really produced stale batches.
+    assert!(r_sg.rounds.iter().any(|m| m.applied && m.max_staleness > 0));
+}
+
+#[test]
+fn signguard_beats_mean_under_byzmean_async_buffered() {
+    // The buffered-async schedule (FedBuf-style: the server aggregates
+    // once k updates are pending, so every round mixes fresh and stale
+    // gradients) is the one schedule mode the convergence suite did not
+    // yet cover. ByzMean (Eq. 8) steers the *mean of all updates* to its
+    // inner target — here a sign-flipped gradient, the hybrid's
+    // destructive form — so the undefended Mean is fully captured while
+    // SignGuard's filtering must still separate the malicious updates.
+    let byzmean = || -> Box<ByzMean> { Box::new(ByzMean::with_inner(Box::new(SignFlip::new()))) };
+    let cfg = FlConfig {
+        num_clients: 10,
+        byzantine_fraction: 0.3,
+        epochs: 3,
+        schedule: Schedule::AsyncBuffered { k: 5, max_delay: 4 },
+        ..FlConfig::default()
+    };
+    let mut mean = Simulator::new(tasks::mlp_task(21), cfg.clone(), Box::new(Mean::new()), Some(byzmean()));
+    let r_mean = mean.run();
+    let mut sg = Simulator::new(tasks::mlp_task(21), cfg, Box::new(SignGuard::plain(0)), Some(byzmean()));
+    let r_sg = sg.run();
+    assert!(
+        r_sg.best_accuracy >= r_mean.best_accuracy + 0.3,
+        "SignGuard {:.3} must clearly beat Mean {:.3} under ByzMean in the buffered-async schedule",
+        r_sg.best_accuracy,
+        r_mean.best_accuracy
+    );
+    assert!(r_sg.best_accuracy > 0.3, "SignGuard still converges: {:.3}", r_sg.best_accuracy);
+    // The buffered schedule really delivered stale gradients to the server.
     assert!(r_sg.rounds.iter().any(|m| m.applied && m.max_staleness > 0));
 }
 

@@ -206,3 +206,115 @@ fn lie_z_monotone_in_byzantine_count() {
         assert!(z2 >= z1, "z({n},{m1})={z1} z({n},{m2})={z2}");
     }
 }
+
+// ---- Sweep-journal codec (checkpoint/resume) ---------------------------
+//
+// The journal underwrites the byte-identical-resume guarantee, so its
+// codec gets the property treatment: round-trip fidelity over random
+// records, torn-tail recovery at *every* truncation offset, and strict
+// rejection of any single flipped byte (CRC-32 catches all ≤8-bit bursts,
+// the length-complement check catches damage to the frame length itself).
+
+use sg_bench::journal::{self, CellRecord, DatasetMark, JournalHeader, SectionMark};
+
+fn journal_string(rng: &mut impl Rng, max_len: usize) -> String {
+    const POOL: &[char] = &['a', 'B', '7', '/', '-', '.', ' ', '"', '\\', '{', '}', '\n', 'π', 'δ', '☂'];
+    let len = rng.gen_range(0usize..max_len.max(1));
+    (0..len).map(|_| POOL[rng.gen_range(0usize..POOL.len())]).collect()
+}
+
+fn journal_case(seed: u64, max_cells: usize) -> (JournalHeader, Vec<CellRecord>) {
+    let mut rng = signguard::math::seeded_rng(seed ^ 0x5EED_1095);
+    let sections = (0..rng.gen_range(0usize..4))
+        .map(|_| SectionMark {
+            exp: journal_string(&mut rng, 12),
+            cells: rng.gen_range(0u32..100),
+            fp: rng.gen_range(0u64..u64::MAX),
+        })
+        .collect();
+    let datasets = (0..rng.gen_range(0usize..3))
+        .map(|_| DatasetMark {
+            task: journal_string(&mut rng, 10),
+            train_fp: rng.gen_range(0u64..u64::MAX),
+            test_fp: rng.gen_range(0u64..u64::MAX),
+        })
+        .collect();
+    let header = JournalHeader {
+        version: 1,
+        plan_seed: rng.gen_range(0u64..u64::MAX),
+        plan_fp: rng.gen_range(0u64..u64::MAX),
+        code_fp: rng.gen_range(0u64..u64::MAX),
+        data_seed: rng.gen_range(0u64..u64::MAX),
+        total_cells: rng.gen_range(0u32..1000),
+        opts: journal_string(&mut rng, 60),
+        sections,
+        datasets,
+    };
+    let cells = (0..rng.gen_range(0usize..max_cells.max(1)))
+        .map(|i| CellRecord {
+            index: i as u32,
+            seed: rng.gen_range(0u64..u64::MAX),
+            label: journal_string(&mut rng, 30),
+            rows: (0..rng.gen_range(0usize..4))
+                .map(|_| (0..rng.gen_range(0usize..5)).map(|_| journal_string(&mut rng, 12)).collect())
+                .collect(),
+        })
+        .collect();
+    (header, cells)
+}
+
+#[test]
+fn journal_round_trips_over_random_records() {
+    for seed in 0..CASES {
+        let (header, cells) = journal_case(seed, 6);
+        let bytes = journal::encode(&header, &cells);
+        let parsed = journal::parse(&bytes).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(parsed.header, header, "seed {seed}");
+        assert_eq!(parsed.cells, cells, "seed {seed}");
+        assert_eq!(parsed.torn_bytes, 0, "seed {seed}");
+        assert_eq!(parsed.valid_len, bytes.len(), "seed {seed}");
+    }
+}
+
+#[test]
+fn journal_torn_tail_recovers_longest_prefix_at_every_offset() {
+    for seed in [3u64, 11, 29] {
+        let (header, cells) = journal_case(seed, 5);
+        let full = journal::encode(&header, &cells);
+        // boundaries[k] = encoded length of the journal with k cells.
+        let boundaries: Vec<usize> =
+            (0..=cells.len()).map(|k| journal::encode(&header, &cells[..k]).len()).collect();
+        let header_end = boundaries[0];
+        for cut in 0..full.len() {
+            let parsed = journal::parse(&full[..cut]);
+            if cut < header_end {
+                assert!(parsed.is_err(), "seed {seed} cut {cut}: torn header must not parse");
+                continue;
+            }
+            let parsed = parsed.unwrap_or_else(|e| panic!("seed {seed} cut {cut}: {e}"));
+            let recovered = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(parsed.cells.len(), recovered, "seed {seed} cut {cut}");
+            assert_eq!(parsed.cells[..], cells[..recovered], "seed {seed} cut {cut}");
+            assert_eq!(parsed.valid_len, boundaries[recovered], "seed {seed} cut {cut}");
+            assert_eq!(parsed.torn_bytes, cut - boundaries[recovered], "seed {seed} cut {cut}");
+        }
+    }
+}
+
+#[test]
+fn journal_any_flipped_byte_is_rejected() {
+    for seed in [5u64, 17] {
+        let (header, cells) = journal_case(seed, 4);
+        let full = journal::encode(&header, &cells);
+        for pos in 0..full.len() {
+            for mask in [0x01u8, 0x80] {
+                let mut bytes = full.clone();
+                bytes[pos] ^= mask;
+                assert!(
+                    journal::parse(&bytes).is_err(),
+                    "seed {seed}: flip {mask:#04x} at byte {pos} must be caught"
+                );
+            }
+        }
+    }
+}

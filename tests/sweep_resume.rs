@@ -1,0 +1,269 @@
+//! Kill/resume harness for the crash-safe sweep journal.
+//!
+//! The contract under test: a sweep interrupted after `k` of `n` cells
+//! (via the fault-injection hook in `GridRunner`) and then resumed
+//! produces a consolidated JSON **byte-identical** to an uninterrupted
+//! run, re-executing only the non-journaled cells — at `--jobs 1` and
+//! `--jobs 4` alike. Stale journals (edited plan, different seed, smoke
+//! vs full, doctored data seed) must be refused by fingerprint, naming
+//! the offending section, with no partial rows leaking into a report.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use sg_bench::journal;
+use sg_bench::sweep::{consolidated_json, run_sections, JournalCfg, SweepError, SweepOpts, ALL_EXPERIMENTS};
+
+/// Cells to complete before the injected crash.
+const K: usize = 7;
+
+fn smoke_opts(seed: u64) -> SweepOpts {
+    SweepOpts { smoke: true, ..SweepOpts::new(seed) }
+}
+
+fn all_selected() -> Vec<String> {
+    ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+}
+
+fn tmp_journal(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sg-sweep-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+/// Asserts byte equality with a useful first-divergence message instead of
+/// dumping two whole reports.
+fn assert_same_bytes(a: &str, b: &str, what: &str) {
+    if a == b {
+        return;
+    }
+    let at = a.bytes().zip(b.bytes()).position(|(x, y)| x != y).unwrap_or(a.len().min(b.len()));
+    let lo = at.saturating_sub(40);
+    panic!(
+        "{what}: reports diverge at byte {at} (lens {} vs {}):\n  a: …{}…\n  b: …{}…",
+        a.len(),
+        b.len(),
+        &a[lo..(at + 40).min(a.len())],
+        &b[lo..(at + 40).min(b.len())]
+    );
+}
+
+#[test]
+fn interrupted_then_resumed_sweep_is_byte_identical() {
+    let selected = all_selected();
+
+    // Uninterrupted reference (jobs 1, no journal) — the bytes every
+    // resumed run must reproduce exactly.
+    let o_ref = smoke_opts(42);
+    let reference = run_sections(&selected, &o_ref, 1, &JournalCfg::none()).expect("reference sweep");
+    let ref_json = consolidated_json(&o_ref, &reference.results);
+    let total = reference.total_cells;
+    assert!(total > K + 1, "smoke grid must be larger than the fault point");
+    assert_eq!(reference.executed, total);
+    assert_eq!(reference.hydrated, 0);
+
+    for jobs in [1usize, 4] {
+        let path = tmp_journal(&format!("kill-resume-jobs{jobs}.journal"));
+        std::fs::remove_file(&path).ok();
+
+        // Crash after exactly K journaled cells.
+        let crash = catch_unwind(AssertUnwindSafe(|| {
+            let o = smoke_opts(42);
+            let jc = JournalCfg { path: Some(path.clone()), resume: false, fault_after: Some(K) };
+            let _ = run_sections(&selected, &o, jobs, &jc);
+        }));
+        assert!(crash.is_err(), "jobs {jobs}: the injected fault must abort the sweep");
+
+        // The journal holds exactly the first K plan cells, in plan order,
+        // regardless of how the workers interleaved.
+        let parsed = journal::parse(&std::fs::read(&path).expect("journal bytes")).expect("parse journal");
+        assert_eq!(parsed.cells.len(), K, "jobs {jobs}");
+        assert_eq!(parsed.torn_bytes, 0, "jobs {jobs}: every append is fsync'd whole");
+        for (i, cell) in parsed.cells.iter().enumerate() {
+            assert_eq!(cell.index as usize, i, "jobs {jobs}: journal must be a plan-order prefix");
+        }
+
+        // Resume: only the remainder executes, and the report bytes match.
+        let o = smoke_opts(42);
+        let resumed = run_sections(&selected, &o, jobs, &JournalCfg::at(&path, true)).expect("resumed sweep");
+        assert_eq!(resumed.hydrated, K, "jobs {jobs}: journaled cells must hydrate, not re-run");
+        assert_eq!(resumed.executed, total - K, "jobs {jobs}: only non-journaled cells re-execute");
+        let resumed_json = consolidated_json(&o, &resumed.results);
+        assert_same_bytes(&ref_json, &resumed_json, &format!("jobs {jobs}"));
+
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn resuming_a_completed_journal_executes_nothing() {
+    let selected = vec!["table2".to_string(), "async".to_string()];
+    let path = tmp_journal("completed.journal");
+    std::fs::remove_file(&path).ok();
+
+    let o = smoke_opts(42);
+    let full = run_sections(&selected, &o, 2, &JournalCfg::at(&path, false)).expect("journaled sweep");
+    let full_json = consolidated_json(&o, &full.results);
+    assert_eq!(full.executed, full.total_cells);
+
+    let o = smoke_opts(42);
+    let again = run_sections(&selected, &o, 2, &JournalCfg::at(&path, true)).expect("resume");
+    assert_eq!(again.executed, 0, "a completed journal leaves nothing to run");
+    assert_eq!(again.hydrated, full.total_cells);
+    assert_same_bytes(&full_json, &consolidated_json(&o, &again.results), "completed resume");
+
+    std::fs::remove_file(&path).ok();
+}
+
+/// Journals a small sweep, then asserts that resuming with `selected`,
+/// `opts` refuses with a message containing `expect_msg`.
+fn assert_stale(
+    journal_selected: &[&str],
+    resume_selected: &[&str],
+    resume_opts: SweepOpts,
+    expect_msg: &str,
+    name: &str,
+) {
+    let path = tmp_journal(name);
+    std::fs::remove_file(&path).ok();
+    let journal_selected: Vec<String> = journal_selected.iter().map(|s| s.to_string()).collect();
+    let o = smoke_opts(42);
+    run_sections(&journal_selected, &o, 2, &JournalCfg::at(&path, false)).expect("journaled sweep");
+
+    let resume_selected: Vec<String> = resume_selected.iter().map(|s| s.to_string()).collect();
+    let err = run_sections(&resume_selected, &resume_opts, 2, &JournalCfg::at(&path, true))
+        .err()
+        .unwrap_or_else(|| panic!("{name}: stale journal must be refused"));
+    let msg = err.to_string();
+    assert!(matches!(err, SweepError::Stale { .. }), "{name}: expected Stale, got: {msg}");
+    assert!(msg.contains(expect_msg), "{name}: error `{msg}` should mention `{expect_msg}`");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn stale_journal_extra_section_is_refused_by_name() {
+    assert_stale(
+        &["table2", "async"],
+        &["table2"],
+        smoke_opts(42),
+        "extra section(s) `async`",
+        "stale-extra.journal",
+    );
+}
+
+#[test]
+fn stale_journal_missing_section_is_refused_by_name() {
+    assert_stale(
+        &["table2"],
+        &["table2", "fig4"],
+        smoke_opts(42),
+        "section(s) `fig4` missing",
+        "stale-missing.journal",
+    );
+}
+
+#[test]
+fn stale_journal_cell_count_change_is_refused_by_name() {
+    // The same section planned smoke vs full has a different cell count
+    // (and task list); the error must name the section, not just mismatch.
+    assert_stale(
+        &["fig4"],
+        &["fig4"],
+        SweepOpts::new(42), // full-size plan against a smoke journal
+        "section `fig4` changed cell count",
+        "stale-count.journal",
+    );
+}
+
+#[test]
+fn stale_journal_seed_change_is_refused() {
+    assert_stale(&["table2"], &["table2"], smoke_opts(43), "master seed changed", "stale-seed.journal");
+}
+
+#[test]
+fn stale_journal_doctored_data_seed_is_refused() {
+    // A journal whose header claims a different dataset-generation seed
+    // (as if DATA_SEED or the generator changed underneath it).
+    let selected = vec!["table2".to_string()];
+    let path = tmp_journal("stale-dataseed.journal");
+    std::fs::remove_file(&path).ok();
+    let o = smoke_opts(42);
+    run_sections(&selected, &o, 2, &JournalCfg::at(&path, false)).expect("journaled sweep");
+
+    let parsed = journal::parse(&std::fs::read(&path).expect("read")).expect("parse");
+    let mut header = parsed.header;
+    header.data_seed += 1;
+    std::fs::write(&path, journal::encode(&header, &parsed.cells)).expect("rewrite");
+
+    let o = smoke_opts(42);
+    let err = run_sections(&selected, &o, 2, &JournalCfg::at(&path, true)).expect_err("must refuse");
+    assert!(err.to_string().contains("data seed changed"), "got: {err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn stale_journal_doctored_code_fingerprint_is_refused() {
+    // A journal written by a different build of the binary (simulated by
+    // doctoring the stored executable digest) must be refused even though
+    // the plan shape is identical — old-code cells and new-code cells
+    // must never mix in one report.
+    let selected = vec!["table2".to_string()];
+    let path = tmp_journal("stale-codefp.journal");
+    std::fs::remove_file(&path).ok();
+    let o = smoke_opts(42);
+    run_sections(&selected, &o, 2, &JournalCfg::at(&path, false)).expect("journaled sweep");
+
+    let parsed = journal::parse(&std::fs::read(&path).expect("read")).expect("parse");
+    let mut header = parsed.header;
+    header.code_fp ^= 1;
+    std::fs::write(&path, journal::encode(&header, &parsed.cells)).expect("rewrite");
+
+    let o = smoke_opts(42);
+    let err = run_sections(&selected, &o, 2, &JournalCfg::at(&path, true)).expect_err("must refuse");
+    assert!(err.to_string().contains("binary changed"), "got: {err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn torn_header_resume_starts_fresh_instead_of_failing() {
+    // A crash in the window between journal creation and the header's
+    // fsync leaves a torn header: zero recoverable cells. That is
+    // "nothing to resume", not damage — the sweep must start fresh and
+    // leave a valid journal behind, with no manual delete needed.
+    let selected = vec!["table2".to_string()];
+    let path = tmp_journal("torn-header.journal");
+    std::fs::write(&path, &journal::MAGIC[..6]).expect("write torn header");
+
+    let o = smoke_opts(42);
+    let out = run_sections(&selected, &o, 2, &JournalCfg::at(&path, true)).expect("fresh start");
+    assert_eq!(out.executed, out.total_cells, "nothing could hydrate from a torn header");
+    assert_eq!(out.hydrated, 0);
+    let parsed = journal::parse(&std::fs::read(&path).expect("read")).expect("journal now valid");
+    assert_eq!(parsed.cells.len(), out.total_cells);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupt_journal_is_refused_not_truncated() {
+    // A flipped byte in a *complete* record is damage, not a torn tail:
+    // resume must fail loudly rather than silently dropping cells.
+    let selected = vec!["table2".to_string()];
+    let path = tmp_journal("corrupt.journal");
+    std::fs::remove_file(&path).ok();
+    let o = smoke_opts(42);
+    run_sections(&selected, &o, 2, &JournalCfg::at(&path, false)).expect("journaled sweep");
+
+    let mut bytes = std::fs::read(&path).expect("read");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, &bytes).expect("corrupt");
+
+    let o = smoke_opts(42);
+    let err = run_sections(&selected, &o, 2, &JournalCfg::at(&path, true)).expect_err("must refuse");
+    assert!(
+        matches!(err, SweepError::Journal(journal::JournalError::Corrupt { .. }))
+            || err.to_string().contains("corrupt"),
+        "got: {err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
