@@ -1,8 +1,10 @@
 //! Round-throughput bench: sequential vs. parallel engine at 32 / 128
 //! clients, the grid driver fanning out whole scenario cells, the
 //! schedule axis (sync vs. straggler vs. async-buffered pipeline overhead
-//! at 128 clients), and the robust-aggregator family (mean / median /
-//! krum / bulyan / geomed) sequential vs. sharded.
+//! at 128 clients), the sg-obs instrumentation overhead (registry
+//! disabled vs. enabled on the same pipeline), and the robust-aggregator
+//! family (mean / median / krum / bulyan / geomed) sequential vs.
+//! sharded.
 //!
 //! ```sh
 //! cargo bench --bench runtime
@@ -18,7 +20,9 @@
 //! rule — sequential vs. an `SG_BENCH_THREADS`-wide pool (default 4) at
 //! 128 clients — plus the scheduler hot path (per-step pipeline time of
 //! the straggler and async-buffered schedules against the synchronous
-//! baseline, as `sched/*` rows), and writes the wall times to
+//! baseline, as `sched/*` rows) and the sg-obs probe cost (the same sync
+//! pipeline with the registry disabled vs. enabled, as the
+//! `obs/round-overhead` row), and writes the wall times to
 //! `target/BENCH_pr.json`. With
 //! `SG_BENCH_GATE=1` (CI's bench-gate job) the process exits non-zero if
 //! any rule is slower parallel than sequential, **or** if a rule's
@@ -42,6 +46,7 @@ use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use signguard::aggregators::{Aggregator, Bulyan, CoordinateMedian, GeoMed, Mean, MultiKrum};
 use signguard::core::SignGuard;
 use signguard::fl::{tasks, FlConfig, Schedule, SelectionTracker, Simulator};
+use signguard::obs;
 use signguard::runtime::{Engine, GridRunner, RunPlan};
 
 fn round_cfg(clients: usize) -> FlConfig {
@@ -144,6 +149,43 @@ fn bench_scheduler_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+// ---- sg-obs instrumentation overhead (disabled vs. enabled) ------------
+
+/// Cost of the observability layer on the round-pipeline hot path at 128
+/// clients: the same synchronous Mean pipeline with the sg-obs registry
+/// disabled (every probe is one relaxed atomic load) vs. enabled with the
+/// aggregates-only sink (spans, counters and histograms hit the registry
+/// mutex). The perf gate measures the same path as the
+/// `obs/round-overhead` row in `BENCH_pr.json`.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead_128_clients");
+    group.sample_size(10);
+    for (mode, enabled) in [("disabled", false), ("enabled", true)] {
+        group.bench_function(mode, |b| {
+            let mut sim = Simulator::with_engine(
+                tasks::mlp_task(1),
+                round_cfg(128),
+                Box::new(Mean::new()),
+                None,
+                Engine::sequential(),
+            );
+            let mut tracker = SelectionTracker::new();
+            let mut round = 0;
+            if enabled {
+                obs::enable();
+            }
+            b.iter(|| {
+                sim.step(round, &mut tracker);
+                round += 1;
+            });
+            if enabled {
+                let _ = obs::finish();
+            }
+        });
+    }
+    group.finish();
+}
+
 // ---- robust-aggregator family (seq vs. sharded) ------------------------
 
 type RuleBuilder = fn(usize) -> Box<dyn Aggregator>;
@@ -230,11 +272,13 @@ fn time_schedule(schedule: Schedule, steps: usize) -> f64 {
 
 /// Times the rule family seq vs. par **and** the scheduler hot path (per-
 /// step pipeline time of the async schedules against the synchronous
-/// baseline, as `sched/*` rows), writes `target/BENCH_pr.json`, and —
-/// under `SG_BENCH_GATE=1` — fails the process if parallel lost anywhere
-/// or a speedup ratio regressed against the baseline. `sched/*` rows take
-/// part in the baseline-ratio diff only (an async schedule is not a
-/// parallel variant of sync, so "par must beat seq" does not apply).
+/// baseline, as `sched/*` rows) **and** the sg-obs probe cost (the same
+/// sync pipeline with the registry disabled vs. enabled, as the
+/// `obs/round-overhead` row), writes `target/BENCH_pr.json`, and — under
+/// `SG_BENCH_GATE=1` — fails the process if parallel lost anywhere or a
+/// speedup ratio regressed against the baseline. `sched/*` and `obs/*`
+/// rows take part in the baseline-ratio diff only (neither column pair is
+/// a parallel variant, so "par must beat seq" does not apply).
 fn perf_gate() {
     let threads: usize =
         std::env::var("SG_BENCH_THREADS").ok().and_then(|v| v.parse().ok()).filter(|&t| t > 0).unwrap_or(4);
@@ -282,6 +326,23 @@ fn perf_gate() {
         rows.push((name, 0, sync_s, sched_s));
     }
 
+    // Observability overhead: the sync pipeline again with the sg-obs
+    // registry enabled (aggregates-only sink). Stored as (disabled,
+    // enabled) in the (seq, par) columns, so the baseline diff gates the
+    // probe cost ratio; enabled is allowed to cost a little, hence the
+    // row is excluded from the par-must-beat-seq check like `sched/*`.
+    obs::enable();
+    let obs_enabled_s = time_schedule(Schedule::Sync, steps);
+    let _ = obs::finish();
+    println!(
+        "  {:<20}  off  {:>9.3} ms/step  on    {:>9.3} ms/step  ratio {:>5.2}",
+        "obs/round-overhead",
+        sync_s * 1e3,
+        obs_enabled_s * 1e3,
+        sync_s / obs_enabled_s
+    );
+    rows.push(("obs/round-overhead", 0, sync_s, obs_enabled_s));
+
     let json_rows: Vec<String> = rows
         .iter()
         .map(|(name, dim, seq_s, par_s)| {
@@ -317,7 +378,7 @@ fn perf_gate() {
         }
         let losers: Vec<&str> = rows
             .iter()
-            .filter(|(name, ..)| !name.starts_with("sched/"))
+            .filter(|(name, ..)| !name.starts_with("sched/") && !name.starts_with("obs/"))
             .filter(|(_, _, seq_s, par_s)| par_s > seq_s)
             .map(|&(name, ..)| name)
             .collect();
@@ -400,6 +461,7 @@ criterion_group!(
     bench_round_throughput,
     bench_grid_fanout,
     bench_scheduler_overhead,
+    bench_obs_overhead,
     bench_pairwise_family
 );
 

@@ -8,6 +8,7 @@
 //!                                                   [--seed N] [--task NAME|both|all]
 //!                                                   [--only table1,fig4,...] [--out PATH]
 //!                                                   [--journal PATH] [--resume]
+//!                                                   [--trace PATH]
 //! ```
 //!
 //! * `--smoke` shrinks every section to a CI-sized grid (MLP task, one
@@ -24,6 +25,11 @@
 //!   freshly planned sweep, hydrates the completed cells and executes
 //!   only the remainder. A journal written by a *different* sweep (edited
 //!   plan, smoke vs full, another seed) is refused, never mixed in.
+//! * `--trace PATH` streams an `sg-obs` JSONL trace: one span event per
+//!   grid cell (labeled, with wall time) and per pipeline stage, plus the
+//!   pool/cache/filter metrics at the end. Observation only — the report
+//!   bytes are identical with or without it (CI's `trace-smoke` proves
+//!   this against the untraced `grid-smoke` artifact).
 //!
 //! All cells of one task share a single generated dataset through the
 //! sweep's task cache, and the report (default
@@ -37,6 +43,7 @@ use sg_bench::{experiments_dir, ExpArgs};
 
 fn main() {
     let a = ExpArgs::parse();
+    a.init_obs();
     let o = SweepOpts::from_args(&a);
     let selected: Vec<String> = match a.value("--only") {
         Some(list) => list.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect(),
@@ -60,18 +67,10 @@ fn main() {
         "cells: {} total, {} executed, {} resumed from the journal",
         outcome.total_cells, outcome.executed, outcome.hydrated
     );
-    eprintln!(
-        "datasets: {} generated, {} cache hits, {} misses",
-        o.res.tasks.len(),
-        o.res.tasks.hits(),
-        o.res.tasks.misses()
-    );
-    eprintln!(
-        "partitions: {} computed, {} cache hits, {} misses",
-        o.res.parts.len(),
-        o.res.parts.hits(),
-        o.res.parts.misses()
-    );
+    // The dataset/partition cache tallies flow through the sg-obs registry
+    // (one telemetry sink) and land in the summary's counter block below.
+    o.res.tasks.publish("task");
+    o.res.parts.publish("partition");
 
     let json = sweep::consolidated_json(&o, &outcome.results);
     let path = a.out().unwrap_or_else(|| experiments_dir().join("ALL.json"));
@@ -80,4 +79,11 @@ fn main() {
     }
     std::fs::write(&path, json).expect("write consolidated report");
     println!("[report] {}", path.display());
+
+    // Per-cell wall times live in the trace/summary only, never in the
+    // report — print the costliest cells for grid-placement tuning.
+    if !sg_obs::quiet() {
+        eprint!("{}", sg_obs::render_top("cell", 10));
+    }
+    sg_bench::finish_obs();
 }

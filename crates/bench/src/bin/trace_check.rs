@@ -1,0 +1,52 @@
+//! **trace_check**: validates an `sg-obs` JSONL trace.
+//!
+//! ```sh
+//! cargo run --release -p sg-bench --bin trace_check -- PATH [--min-spans N]
+//! ```
+//!
+//! Every non-empty line must be a well-formed JSON object carrying an
+//! `"ev"` field (checked by `sg_obs::validate_jsonl` — no JSON crate
+//! involved). Prints the event/span tally; exits 1 on a malformed trace,
+//! a missing `"end"` trailer, or fewer than `--min-spans` span events
+//! (CI's `trace-smoke` job uses this to assert a traced sweep actually
+//! emitted stage-level spans for its cells).
+
+use sg_bench::{arg_value, ExpArgs};
+
+fn main() {
+    let a = ExpArgs::parse();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = args
+        .iter()
+        .find(|s| !s.starts_with("--") && arg_value(&args, "--min-spans").as_deref() != Some(s))
+        .unwrap_or_else(|| {
+            eprintln!("usage: trace_check PATH [--min-spans N]");
+            std::process::exit(2);
+        });
+    let min_spans: usize = a.value("--min-spans").map_or(1, |v| v.parse().expect("--min-spans N"));
+
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("trace_check: {path}: {e}");
+        std::process::exit(1);
+    });
+    match sg_obs::validate_jsonl(&text) {
+        Ok(stats) => {
+            println!(
+                "trace_check: {path}: {} events, {} spans, terminated: {}",
+                stats.lines, stats.spans, stats.terminated
+            );
+            if !stats.terminated {
+                eprintln!("trace_check: trace has no \"end\" trailer (run died mid-sweep?)");
+                std::process::exit(1);
+            }
+            if stats.spans < min_spans {
+                eprintln!("trace_check: only {} span event(s), expected >= {min_spans}", stats.spans);
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("trace_check: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

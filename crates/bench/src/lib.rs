@@ -30,6 +30,16 @@
 //! mid-run and enforces exactly this; `tests/sweep_resume.rs` does the
 //! same in-process). Record-format details live in [`journal`];
 //! orchestration in [`sweep::run_sections`].
+//!
+//! # Observability
+//!
+//! Every binary also shares `--trace PATH` (stream an `sg-obs` JSONL
+//! trace — per-cell and per-stage spans, pool/cache/filter metrics) and
+//! prints an aggregated span-tree summary to stderr at exit (suppress
+//! with `SG_QUIET=1`). Tracing is observation only: the consolidated JSON
+//! and CSVs are byte-identical with it on or off — CI's `trace-smoke` job
+//! `cmp`s a traced sweep against the untraced `grid-smoke` artifact. See
+//! the `sg-obs` crate docs for the determinism contract.
 
 use std::fs;
 use std::io::Write as _;
@@ -153,9 +163,9 @@ pub fn arg_present(args: &[String], flag: &str) -> bool {
 }
 
 /// The command line shared by every `exp_*` binary:
-/// `--epochs N  --jobs N  --task NAME  --seed N  --out PATH` plus bare
-/// flags (`--quick`, `--full`, `--smoke`). One parser instead of eight
-/// hand-rolled copies.
+/// `--epochs N  --jobs N  --task NAME  --seed N  --out PATH  --trace PATH`
+/// plus bare flags (`--quick`, `--full`, `--smoke`). One parser instead of
+/// eight hand-rolled copies.
 #[derive(Debug, Clone)]
 pub struct ExpArgs {
     args: Vec<String>,
@@ -217,6 +227,28 @@ impl ExpArgs {
         self.value("--journal").map(PathBuf::from)
     }
 
+    /// `--trace PATH`: where to stream the sg-obs JSONL trace.
+    pub fn trace(&self) -> Option<PathBuf> {
+        self.value("--trace").map(PathBuf::from)
+    }
+
+    /// Arms the `sg-obs` registry for this process: the in-memory
+    /// aggregates (the end-of-run stderr summary) are always on for the
+    /// experiment binaries, and `--trace PATH` additionally attaches the
+    /// JSONL event sink. Call once, before any cell runs; pair with
+    /// [`finish_obs`] after the report is written.
+    pub fn init_obs(&self) {
+        match self.trace() {
+            Some(path) => {
+                if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                    std::fs::create_dir_all(parent).expect("create trace dir");
+                }
+                sg_obs::init_trace(&path).unwrap_or_else(|e| panic!("--trace {}: {e}", path.display()));
+            }
+            None => sg_obs::enable(),
+        }
+    }
+
     /// The sweep's [`sweep::JournalCfg`]: checkpointing is enabled by
     /// `--journal PATH` (explicit file) or bare `--resume` (journal at
     /// `default`); without either, no journal is written.
@@ -257,6 +289,20 @@ impl ExpArgs {
 fn self_validated(name: &str) -> String {
     assert!(tasks::TASK_NAMES.contains(&name), "unknown task {name:?}");
     name.to_string()
+}
+
+/// Flushes the `sg-obs` registry at the end of an experiment binary:
+/// prints the aggregated span-tree summary to stderr (suppressed by
+/// `SG_QUIET`), then drains the JSONL sink, if any, via
+/// [`sg_obs::finish`]. Strictly after the report/CSV is written — nothing
+/// here can reach the deterministic output path.
+pub fn finish_obs() {
+    if !sg_obs::quiet() {
+        eprint!("{}", sg_obs::render_summary());
+    }
+    if let Err(e) = sg_obs::finish() {
+        eprintln!("[obs] trace flush failed: {e}");
+    }
 }
 
 /// Deterministic synthetic gradient population for the Criterion benches:

@@ -186,7 +186,7 @@ fn run_sim(
     let task = res.tasks.get(task_name, DATA_SEED);
     let mut sim = Simulator::with_resources(task, cfg.clone(), gar, attack, ctx.engine().clone(), &res.parts);
     let result = sim.run();
-    eprintln!("[grid {}] {}", ctx.index + 1, ctx.label);
+    sg_obs::progress(|| format!("[grid {}] {}", ctx.index + 1, ctx.label));
     result
 }
 
@@ -858,6 +858,7 @@ pub fn render(header: &[String], rows: &[Vec<String>]) -> String {
 /// under `target/experiments/<exp>.csv`.
 pub fn run_standalone(exp: &'static str) {
     let a = ExpArgs::parse();
+    a.init_obs();
     let o = SweepOpts::from_args(&a);
     let selected = vec![exp.to_string()];
     let journal = a.journal_cfg(&crate::experiments_dir().join(format!("{exp}.journal")));
@@ -875,20 +876,17 @@ pub fn run_standalone(exp: &'static str) {
     );
     println!("== {} ==", s.title);
     println!("{}", render(&s.header, &rows));
-    eprintln!(
-        "[cache] {} task(s) generated ({} hits), {} partition(s) computed ({} hits) across {} cells",
-        o.res.tasks.len(),
-        o.res.tasks.hits(),
-        o.res.parts.len(),
-        o.res.parts.hits(),
-        s.cells
-    );
+    // What used to be an ad-hoc `[cache] …` stderr line now goes through
+    // the one telemetry sink and shows up in the summary's counter block.
+    o.res.tasks.publish("task");
+    o.res.parts.publish("partition");
     let mut csv = vec![s.header];
     csv.extend(rows);
     match a.out() {
         Some(path) => crate::write_csv_to(&path, &csv),
         None => crate::write_csv(exp, &csv),
     }
+    crate::finish_obs();
 }
 
 // ---- Checkpoint & resume orchestration ---------------------------------

@@ -220,8 +220,19 @@ impl Aggregator for SignGuard {
             all.clone()
         };
 
+        // Per-stage accept/reject tallies (paper Fig. 5/6 diagnostics);
+        // observation only — the filter decisions above are already made.
+        if sg_obs::enabled() {
+            sg_obs::counter_add("signguard.rounds", 1);
+            sg_obs::counter_add("signguard.norm.accepted", s1.len() as u64);
+            sg_obs::counter_add("signguard.norm.rejected", (n - s1.len()) as u64);
+            sg_obs::counter_add("signguard.sign.accepted", s2.len() as u64);
+            sg_obs::counter_add("signguard.sign.rejected", (n - s2.len()) as u64);
+        }
+
         let mut trusted: Vec<usize> = s1.intersection(&s2).copied().collect();
         if trusted.is_empty() {
+            sg_obs::counter_add("signguard.fallback_rounds", 1);
             // Fall back to whichever filter kept anything, else everything
             // finite — availability over precision in the degenerate case.
             trusted = if !s1.is_empty() {
@@ -234,8 +245,13 @@ impl Aggregator for SignGuard {
         }
         if trusted.is_empty() {
             // Every gradient was non-finite; emit a zero update.
+            sg_obs::counter_add("signguard.rejected", n as u64);
             self.last_selected = Vec::new();
             return AggregationOutput::selected(vec![0.0; dim], Vec::new());
+        }
+        if sg_obs::enabled() {
+            sg_obs::counter_add("signguard.accepted", trusted.len() as u64);
+            sg_obs::counter_add("signguard.rejected", (n - trusted.len()) as u64);
         }
 
         // Aggregation with norm clipping at the median norm (Alg. 2 line

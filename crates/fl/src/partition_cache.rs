@@ -128,6 +128,12 @@ impl PartitionCache {
     pub fn misses(&self) -> usize {
         self.cache.misses()
     }
+
+    /// Publishes the tallies as `cache.<name>.*` counters in the `sg-obs`
+    /// registry (see [`ResourceCache::publish`]).
+    pub fn publish(&self, name: &str) {
+        self.cache.publish(name);
+    }
 }
 
 #[cfg(test)]

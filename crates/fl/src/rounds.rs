@@ -24,6 +24,10 @@
 //! On the synchronous schedule the pipeline is float-for-float the
 //! monolithic pre-pipeline round loop: every client arrives fresh, the
 //! buffer drains every step, and the history keeps no snapshots.
+//!
+//! Each stage runs under an `sg-obs` span of the same name, with batch
+//! staleness recorded into the `pipeline.staleness` histogram at drain
+//! time — pure observation, never an input to any stage.
 
 use std::collections::VecDeque;
 
@@ -193,14 +197,17 @@ impl RoundPipeline {
         selection: &mut SelectionTracker,
     ) -> RoundMetrics {
         self.history.record(round, state.global_params);
+        sg_obs::counter_add("pipeline.steps", 1);
 
         // ---- compute stage -------------------------------------------
         // The scheduler names this step's arrivals; each computes its
         // gradient against the model version it fetched, concurrently on
         // the engine's pool, each into its own arena buffer. Clients own
         // their RNG streams, so scheduling can never perturb the result.
+        let compute_span = sg_obs::span("compute");
         let arrivals = self.scheduler.arrivals(round);
         let arrived = arrivals.len();
+        sg_obs::counter_add("pipeline.arrivals", arrived as u64);
         let mut loss_sum = 0.0f32;
         let mut honest_arrivals = 0usize;
         if arrived > 0 {
@@ -236,8 +243,10 @@ impl RoundPipeline {
             }
         }
         let mean_loss = if honest_arrivals > 0 { loss_sum / honest_arrivals as f32 } else { 0.0 };
+        drop(compute_span);
 
         if !self.scheduler.ready(round, self.buffer.len()) {
+            sg_obs::counter_add("pipeline.idle_steps", 1);
             // Async idle step: the buffer keeps filling, nothing applies.
             return RoundMetrics {
                 round,
@@ -258,6 +267,11 @@ impl RoundPipeline {
         let n = batch.len();
         let m = batch.iter().filter(|u| u.client < self.byz_count).count();
         let staleness: Vec<usize> = batch.iter().map(|u| round - u.meta).collect();
+        if sg_obs::enabled() {
+            for &s in &staleness {
+                sg_obs::histogram_record("pipeline.staleness", s as u64);
+            }
+        }
         let batch_clients: Vec<usize> = batch.iter().map(|u| u.client).collect();
         let mut grads: Vec<Vec<f32>> = batch.into_iter().map(|u| u.gradient).collect();
 
@@ -265,6 +279,7 @@ impl RoundPipeline {
         // The adversary replaces the Byzantine messages in place, seeing
         // every honest message of the batch — and, on async schedules, the
         // arrival view (per-message staleness, Byzantine first).
+        let attack_span = sg_obs::span("attack");
         if m > 0 {
             if let Some(attack) = self.attack.as_mut() {
                 let (byz_honest, benign) = grads.split_at(m);
@@ -281,9 +296,12 @@ impl RoundPipeline {
             }
         }
 
+        drop(attack_span);
+
         // ---- aggregate stage -----------------------------------------
         // Validation-based rules need the current model to score
         // gradients; staleness-aware rules get the arrival metadata.
+        let aggregate_span = sg_obs::span("aggregate");
         self.gar.observe_global(state.global_params);
         let input = if self.async_metadata {
             GradientBatch::with_staleness(&grads, &staleness)
@@ -294,8 +312,10 @@ impl RoundPipeline {
         if let Some(sel) = &out.selected {
             selection.record(sel, m, n);
         }
+        drop(aggregate_span);
 
         // ---- apply stage ---------------------------------------------
+        let apply_span = sg_obs::span("apply");
         for (p, g) in state.global_params.iter_mut().zip(&out.gradient) {
             *p -= state.learning_rate * g;
         }
@@ -306,6 +326,8 @@ impl RoundPipeline {
             self.arena.put(id, g);
         }
         self.scheduler.on_consumed(round, &batch_clients);
+        drop(apply_span);
+        sg_obs::counter_add("pipeline.applied_steps", 1);
 
         let max_staleness = staleness.iter().copied().max().unwrap_or(0);
         let mean_staleness = if n > 0 { staleness.iter().sum::<usize>() as f32 / n as f32 } else { 0.0 };

@@ -213,6 +213,12 @@ impl TaskCache {
         self.cache.misses()
     }
 
+    /// Publishes the tallies as `cache.<name>.*` counters in the `sg-obs`
+    /// registry (see [`ResourceCache::publish`]).
+    pub fn publish(&self, name: &str) {
+        self.cache.publish(name);
+    }
+
     /// `(name, seed, train fingerprint, test fingerprint)` for every
     /// generated task, sorted by key — a stable identity block for
     /// reproducible sweep reports.

@@ -1,0 +1,270 @@
+//! Minimal JSON support for the trace sink: string escaping on the way
+//! out, and a dependency-free syntactic validator for reading traces back
+//! (the CI `trace-smoke` job and the `trace_check` binary use it to prove
+//! a trace parses without pulling a JSON crate into the workspace).
+
+/// Escapes `s` for embedding inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// What [`validate_jsonl`] found in a well-formed trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonlStats {
+    /// Non-empty lines (= JSON events).
+    pub lines: usize,
+    /// Events whose `"ev"` is `"span"`.
+    pub spans: usize,
+    /// Whether the final event is the `"end"` trailer.
+    pub terminated: bool,
+}
+
+/// Validates a JSONL trace: every non-empty line must be a syntactically
+/// well-formed JSON object containing an `"ev"` key. Returns per-event
+/// stats, or the first offending line (1-based) and why.
+pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
+    let mut stats = JsonlStats { lines: 0, spans: 0, terminated: false };
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+        p.skip_ws();
+        if p.peek() != Some(b'{') {
+            return Err(format!("line {}: event is not a JSON object", i + 1));
+        }
+        p.value().map_err(|e| format!("line {}: {e}", i + 1))?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("line {}: trailing bytes after the JSON value", i + 1));
+        }
+        if !line.contains("\"ev\":") {
+            return Err(format!("line {}: event has no \"ev\" field", i + 1));
+        }
+        stats.lines += 1;
+        stats.spans += usize::from(line.contains("\"ev\":\"span\""));
+        stats.terminated = line.contains("\"ev\":\"end\"");
+    }
+    Ok(stats)
+}
+
+/// Recursive-descent syntax checker over one line. Validates structure
+/// only — values are never materialized.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(()),
+                b'\\' => match self.peek() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => self.pos += 1,
+                    Some(b'u') => {
+                        self.pos += 1;
+                        for _ in 0..4 {
+                            if !matches!(self.peek(), Some(b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F')) {
+                                return Err(format!("bad \\u escape at byte {}", self.pos));
+                            }
+                            self.pos += 1;
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {}", self.pos)),
+                },
+                0x00..=0x1f => return Err(format!("raw control byte in string at {}", self.pos - 1)),
+                _ => {}
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_from = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_from {
+            return Err(format!("number with no digits at byte {}", self.pos));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_from {
+                return Err(format!("fraction with no digits at byte {}", self.pos));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_from {
+                return Err(format!("exponent with no digits at byte {}", self.pos));
+            }
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_quotes_backslashes_and_controls() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("n\nl\tt"), "n\\nl\\tt");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn accepts_a_realistic_trace() {
+        let trace = concat!(
+            "{\"ev\":\"start\",\"format\":\"sg-obs/v1\"}\n",
+            "{\"ev\":\"span\",\"path\":\"cell/compute\",\"label\":\"t1/a\\\"b\",\"us\":12,\"tid\":0,\"seq\":1}\n",
+            "{\"ev\":\"hist\",\"name\":\"stale\",\"count\":2,\"sum\":3,\"max\":2,\"buckets\":[[1,1],[2,1]]}\n",
+            "{\"ev\":\"end\",\"spans\":1}\n",
+        );
+        let stats = validate_jsonl(trace).expect("valid");
+        assert_eq!(stats, JsonlStats { lines: 4, spans: 1, terminated: true });
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_position() {
+        for (bad, what) in [
+            ("{\"ev\":\"span\"", "truncated object"),
+            ("{\"ev\":}", "missing value"),
+            ("[1,2,3]", "non-object event"),
+            ("{\"ev\":\"x\"} extra", "trailing bytes"),
+            ("{\"name\":\"no-ev\"}", "missing ev"),
+            ("{\"ev\":\"x\",\"n\":1e}", "exponent with no digits"),
+            ("{\"ev\":\"x\",\"n\":1.}", "fraction with no digits"),
+        ] {
+            let err = validate_jsonl(bad).expect_err(what);
+            assert!(err.starts_with("line 1:"), "{what}: {err}");
+        }
+    }
+
+    #[test]
+    fn empty_lines_and_empty_input_are_fine() {
+        assert_eq!(validate_jsonl("").expect("empty").lines, 0);
+        let stats = validate_jsonl("{\"ev\":\"end\",\"spans\":0}\n\n").expect("trailing blank");
+        assert_eq!(stats.lines, 1);
+        assert!(stats.terminated);
+    }
+}

@@ -1,0 +1,633 @@
+//! Deterministic tracing and metrics for the SignGuard workspace.
+//!
+//! Every layer of the stack — the worker pool, the round pipeline, the
+//! scenario grid, SignGuard's filter cascade — emits spans and metrics
+//! through the single process-wide registry in this crate. The registry is
+//! **off by default** and, when off, every probe collapses to one relaxed
+//! atomic load: no clock reads, no thread-local access, no allocation, so
+//! instrumented hot paths stay bench-gate clean.
+//!
+//! # Sink model
+//!
+//! Two pluggable sinks, both strictly *observers* of the run:
+//!
+//! * **JSONL event stream** ([`init_trace`]) — one self-contained JSON
+//!   object per line, written through a buffered file handle as spans
+//!   close. Aggregates (counters, gauges, histograms) are appended when the
+//!   run [`finish`]es, followed by an `"end"` trailer line. The harness
+//!   exposes this as `--trace PATH`.
+//! * **End-of-run summary** ([`render_summary`]) — an aggregated span tree
+//!   (count / total / mean / max per span path) plus all counters, gauges
+//!   and histograms, rendered as text for stderr. Enabled by [`enable`]
+//!   alone, no file needed.
+//!
+//! # Determinism contract
+//!
+//! Instrumentation must never perturb results. The registry guarantees its
+//! half of that contract structurally: probes only *read* the monotonic
+//! clock and *write* to the registry — they expose no data back to the
+//! instrumented code (no probe returns a value the caller could branch
+//! on), touch no RNG, and never reorder or block the work they observe
+//! beyond the shared registry mutex. Consolidated reports and CSVs are
+//! therefore byte-identical with tracing on or off, at any thread count —
+//! CI proves this by `cmp`-ing traced against untraced sweep output.
+//!
+//! The JSONL stream itself is *not* deterministic (it contains wall-clock
+//! durations, thread ids and completion order); only the run's results
+//! are.
+//!
+//! # Span nesting and shared pools
+//!
+//! Spans nest through a thread-local stack: a span opened while another is
+//! open on the same thread records under the path `parent/child`. Two
+//! escape hatches matter on a help-while-waiting worker pool, where a
+//! thread blocked on an inner batch may execute *unrelated* queued tasks
+//! inline:
+//!
+//! * [`span_root`] ignores the ambient stack and always records under its
+//!   own name — grid cells use it, so a cell executed inline by a worker
+//!   that is mid-way through another cell's batch does not show up nested
+//!   inside that cell's spans.
+//! * Durations are wall-clock: a span covering a pool batch includes any
+//!   helped work the submitting thread ran inline while waiting. Per-cell
+//!   times from a shared pool are honest latencies, not exclusive CPU
+//!   attribution.
+//!
+//! # Env / flag reference
+//!
+//! | control | effect |
+//! |---|---|
+//! | `--trace PATH` (harness flag) | [`init_trace`]: enable + JSONL sink |
+//! | `SG_QUIET=1` | [`quiet`]: suppress progress lines and summaries |
+//! | (none)       | registry disabled; probes are one atomic load |
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+mod json;
+pub use json::{validate_jsonl, JsonlStats};
+
+/// Labeled span entries kept per span name for "most expensive" tables.
+const TOP_K: usize = 64;
+
+/// Exponential histogram: bucket 0 holds zeros, bucket `k` (k ≥ 1) holds
+/// values in `[2^(k-1), 2^k)`.
+pub const HIST_BUCKETS: usize = 65;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<Inner> {
+    static REGISTRY: OnceLock<Mutex<Inner>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Inner::new()))
+}
+
+fn lock() -> MutexGuard<'static, Inner> {
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Small dense ids for threads (std thread ids are opaque).
+fn thread_tag() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TAG: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TAG.with(|t| *t)
+}
+
+thread_local! {
+    /// Paths of the spans currently open on this thread, innermost last.
+    static STACK: std::cell::RefCell<Vec<String>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+#[derive(Clone, Copy)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+struct Hist {
+    count: u64,
+    sum: u64,
+    max: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+struct Inner {
+    sink: Option<BufWriter<File>>,
+    seq: u64,
+    spans: BTreeMap<String, SpanAgg>,
+    /// Per span name: the most expensive labeled instances, descending.
+    tops: BTreeMap<&'static str, Vec<(String, u64)>>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    hists: BTreeMap<&'static str, Hist>,
+}
+
+impl Inner {
+    fn new() -> Self {
+        Self {
+            sink: None,
+            seq: 0,
+            spans: BTreeMap::new(),
+            tops: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+        }
+    }
+
+    fn emit(&mut self, line: &str) {
+        if let Some(sink) = self.sink.as_mut() {
+            // A torn trace is diagnosable; a panicking probe is not. Drop
+            // the sink on write failure instead of unwinding into the run.
+            if writeln!(sink, "{line}").is_err() {
+                self.sink = None;
+            }
+        }
+    }
+}
+
+/// Whether the registry is recording. One relaxed load — this is the whole
+/// cost of every probe in a run without `--trace`.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on with the in-memory aggregates only (summary sink).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns recording on and attaches a JSONL event sink at `path`.
+pub fn init_trace(path: &Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    let mut st = lock();
+    st.sink = Some(BufWriter::new(file));
+    st.emit("{\"ev\":\"start\",\"format\":\"sg-obs/v1\",\"clock\":\"monotonic\"}");
+    drop(st);
+    ENABLED.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Flushes aggregates to the JSONL sink (when one is attached), writes the
+/// `"end"` trailer, then disables recording and clears all state.
+///
+/// Call [`render_summary`] / [`render_top`] *before* this if the text
+/// summary is wanted. Spans still open on other threads when `finish` runs
+/// record into the fresh (disabled-path) state and are dropped — the trace
+/// covers what closed before the run finished.
+pub fn finish() -> std::io::Result<()> {
+    ENABLED.store(false, Ordering::Relaxed);
+    let mut st = lock();
+    let mut out = String::new();
+    for (name, value) in &st.counters {
+        out.push_str(&format!(
+            "{{\"ev\":\"counter\",\"name\":\"{}\",\"value\":{}}}\n",
+            json::escape(name),
+            value
+        ));
+    }
+    for (name, value) in &st.gauges {
+        out.push_str(&format!(
+            "{{\"ev\":\"gauge\",\"name\":\"{}\",\"value\":{}}}\n",
+            json::escape(name),
+            value
+        ));
+    }
+    for (name, h) in &st.hists {
+        let buckets: Vec<String> = h
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| format!("[{i},{c}]"))
+            .collect();
+        out.push_str(&format!(
+            "{{\"ev\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[{}]}}\n",
+            json::escape(name),
+            h.count,
+            h.sum,
+            h.max,
+            buckets.join(",")
+        ));
+    }
+    out.push_str(&format!("{{\"ev\":\"end\",\"spans\":{}}}", st.seq));
+    st.emit(&out);
+    let result = match st.sink.take() {
+        Some(mut sink) => sink.flush(),
+        None => Ok(()),
+    };
+    *st = Inner::new();
+    result
+}
+
+/// An open span; records its duration into the registry when dropped.
+///
+/// Created disabled (by any probe while the registry is off) it is fully
+/// inert: no clock was read, nothing happens on drop.
+pub struct Span {
+    /// `Some` only when the registry was enabled at open time.
+    open: Option<OpenSpan>,
+}
+
+struct OpenSpan {
+    path: String,
+    name: &'static str,
+    label: Option<String>,
+    start: Instant,
+}
+
+fn open_span(name: &'static str, root: bool, label: Option<String>) -> Span {
+    if !enabled() {
+        return Span { open: None };
+    }
+    let path = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) if !root => format!("{parent}/{name}"),
+            _ => name.to_string(),
+        };
+        stack.push(path.clone());
+        path
+    });
+    Span { open: Some(OpenSpan { path, name, label, start: Instant::now() }) }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else { return };
+        let ns = open.start.elapsed().as_nanos() as u64;
+        STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        let mut st = lock();
+        let agg = st.spans.entry(open.path.clone()).or_insert(SpanAgg { count: 0, total_ns: 0, max_ns: 0 });
+        agg.count += 1;
+        agg.total_ns += ns;
+        agg.max_ns = agg.max_ns.max(ns);
+        if let Some(label) = &open.label {
+            let top = st.tops.entry(open.name).or_default();
+            let at = top.partition_point(|&(_, v)| v > ns);
+            if at < TOP_K {
+                top.insert(at, (label.clone(), ns));
+                top.truncate(TOP_K);
+            }
+        }
+        if st.sink.is_some() {
+            st.seq += 1;
+            let label = match &open.label {
+                Some(l) => format!(",\"label\":\"{}\"", json::escape(l)),
+                None => String::new(),
+            };
+            let line = format!(
+                "{{\"ev\":\"span\",\"path\":\"{}\"{},\"us\":{},\"tid\":{},\"seq\":{}}}",
+                json::escape(&open.path),
+                label,
+                ns / 1_000,
+                thread_tag(),
+                st.seq
+            );
+            st.emit(&line);
+        }
+    }
+}
+
+/// Opens a span nested under whatever span this thread already has open.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    open_span(name, false, None)
+}
+
+/// Opens a *root* span: records under `name` alone, ignoring the ambient
+/// stack. Use for units of work (grid cells) that a shared pool may run
+/// inline on a thread that is mid-way through someone else's span.
+#[inline]
+pub fn span_root(name: &'static str) -> Span {
+    open_span(name, true, None)
+}
+
+/// A root span with an instance label (e.g. a grid cell's label); labeled
+/// instances feed the [`render_top`] "most expensive" table.
+#[inline]
+pub fn span_cell(name: &'static str, label: &str) -> Span {
+    if !enabled() {
+        return Span { open: None };
+    }
+    open_span(name, true, Some(label.to_string()))
+}
+
+/// Adds `delta` to a named monotonic counter.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    *lock().counters.entry(name.to_string()).or_insert(0) += delta;
+}
+
+/// Sets a counter to an absolute value (for totals computed elsewhere,
+/// e.g. cache hit/miss tallies routed into the registry at end of run).
+pub fn counter_set(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    lock().counters.insert(name.to_string(), value);
+}
+
+/// Sets a named gauge to its latest value.
+#[inline]
+pub fn gauge_set(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    lock().gauges.insert(name.to_string(), value);
+}
+
+/// Records one observation into an exponential histogram (see
+/// [`bucket_of`] for the bucket layout).
+#[inline]
+pub fn histogram_record(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut st = lock();
+    let h = st.hists.entry(name).or_insert(Hist { count: 0, sum: 0, max: 0, buckets: [0; HIST_BUCKETS] });
+    h.count += 1;
+    h.sum += value;
+    h.max = h.max.max(value);
+    h.buckets[bucket_of(value)] += 1;
+}
+
+/// Histogram bucket for `value`: 0 for zero, else `floor(log2(value)) + 1`
+/// — so bucket `k ≥ 1` spans `[2^(k-1), 2^k)`.
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the aggregated span tree + metrics as a text block (the stderr
+/// summary sink). Read-only; call before [`finish`].
+pub fn render_summary() -> String {
+    let st = lock();
+    let mut out = String::from("── sg-obs summary ──\n");
+    if !st.spans.is_empty() {
+        out.push_str("spans (count · total · mean · max):\n");
+        for (path, agg) in &st.spans {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            out.push_str(&format!(
+                "  {:indent$}{:24} {:>8} · {:>9} · {:>9} · {:>9}\n",
+                "",
+                name,
+                agg.count,
+                fmt_ns(agg.total_ns),
+                fmt_ns(agg.total_ns / agg.count.max(1)),
+                fmt_ns(agg.max_ns),
+                indent = depth * 2,
+            ));
+        }
+    }
+    if !st.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in &st.counters {
+            out.push_str(&format!("  {name:32} {value}\n"));
+        }
+    }
+    if !st.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, value) in &st.gauges {
+            out.push_str(&format!("  {name:32} {value}\n"));
+        }
+    }
+    if !st.hists.is_empty() {
+        out.push_str("histograms (count · mean · max):\n");
+        for (name, h) in &st.hists {
+            let mean = h.sum as f64 / h.count.max(1) as f64;
+            out.push_str(&format!("  {:32} {:>8} · {:>9.2} · {:>9}\n", name, h.count, mean, h.max));
+        }
+    }
+    out
+}
+
+/// Renders the `k` most expensive labeled instances of span `name` (per
+/// [`span_cell`]) as a table, or an empty string when none were recorded.
+pub fn render_top(name: &str, k: usize) -> String {
+    let st = lock();
+    let Some(top) = st.tops.iter().find(|(n, _)| **n == name).map(|(_, v)| v) else {
+        return String::new();
+    };
+    let mut out = format!("top {} most expensive `{}` instances:\n", k.min(top.len()), name);
+    for (i, (label, ns)) in top.iter().take(k).enumerate() {
+        out.push_str(&format!("  {:>2}. {:>9}  {}\n", i + 1, fmt_ns(*ns), label));
+    }
+    out
+}
+
+/// Whether `SG_QUIET` asked for silence (read once per process).
+pub fn quiet() -> bool {
+    static QUIET: OnceLock<bool> = OnceLock::new();
+    *QUIET.get_or_init(|| std::env::var("SG_QUIET").map(|v| v != "0" && !v.is_empty()).unwrap_or(false))
+}
+
+/// Emits one progress line to stderr unless `SG_QUIET` is set. The message
+/// is built lazily so quiet runs pay no formatting.
+pub fn progress(msg: impl FnOnce() -> String) {
+    if !quiet() {
+        eprintln!("{}", msg());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global; tests that record serialize here.
+    fn serial() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_probes_are_inert() {
+        let _g = serial();
+        assert!(!enabled());
+        let s = span("never");
+        assert!(s.open.is_none());
+        drop(s);
+        counter_add("never", 3);
+        histogram_record("never", 9);
+        let st = lock();
+        assert!(st.spans.is_empty() && st.counters.is_empty() && st.hists.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_by_thread_local_stack() {
+        let _g = serial();
+        enable();
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                let _leaf = span("leaf");
+            }
+            let _sibling = span("sibling");
+        }
+        {
+            // Root spans ignore the ambient stack.
+            let _outer = span("outer");
+            let _cell = span_root("outer");
+        }
+        let paths: Vec<String> = lock().spans.keys().cloned().collect();
+        finish().expect("finish");
+        assert_eq!(
+            paths,
+            vec![
+                "outer".to_string(),
+                "outer/inner".to_string(),
+                "outer/inner/leaf".to_string(),
+                "outer/sibling".to_string(),
+            ]
+        );
+        // The stack drains back to empty.
+        STACK.with(|s| assert!(s.borrow().is_empty()));
+    }
+
+    #[test]
+    fn root_span_count_includes_both_opens() {
+        let _g = serial();
+        enable();
+        {
+            let _a = span("cell");
+            let _b = span_root("cell");
+        }
+        let count = lock().spans.get("cell").expect("agg").count;
+        finish().expect("finish");
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(255), 8);
+        assert_eq!(bucket_of(256), 9);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        // Every bucket edge: 2^(k-1) lands in bucket k, (2^k)-1 stays.
+        for k in 1..64usize {
+            assert_eq!(bucket_of(1u64 << (k - 1)), k);
+            assert_eq!(bucket_of((1u64 << k) - 1), k);
+        }
+    }
+
+    #[test]
+    fn counters_gauges_histograms_aggregate() {
+        let _g = serial();
+        enable();
+        counter_add("c.hits", 2);
+        counter_add("c.hits", 3);
+        counter_add("c.hits", 0); // no-op by contract
+        counter_set("c.total", 41);
+        counter_set("c.total", 42);
+        gauge_set("g.depth", 7);
+        gauge_set("g.depth", 5);
+        for v in [0u64, 1, 1, 9] {
+            histogram_record("h.stale", v);
+        }
+        let summary = render_summary();
+        {
+            let st = lock();
+            assert_eq!(st.counters["c.hits"], 5);
+            assert_eq!(st.counters["c.total"], 42);
+            assert_eq!(st.gauges["g.depth"], 5);
+            let h = &st.hists["h.stale"];
+            assert_eq!((h.count, h.sum, h.max), (4, 11, 9));
+            assert_eq!(h.buckets[0], 1);
+            assert_eq!(h.buckets[1], 2);
+            assert_eq!(h.buckets[4], 1);
+        }
+        finish().expect("finish");
+        assert!(summary.contains("c.hits"));
+        assert!(summary.contains("h.stale"));
+    }
+
+    #[test]
+    fn jsonl_sink_frames_every_event_as_valid_json() {
+        let _g = serial();
+        let path = std::env::temp_dir().join(format!("sg-obs-frame-{}.jsonl", std::process::id()));
+        init_trace(&path).expect("trace file");
+        {
+            let _cell = span_cell("cell", "grid/\"quoted\"/label\\x");
+            let _stage = span("compute");
+        }
+        counter_add("pool.tasks", 12);
+        histogram_record("stale", 3);
+        finish().expect("finish");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let stats = validate_jsonl(&text).expect("trace must be valid JSONL");
+        // start + 2 spans + counter + hist + end.
+        assert_eq!(stats.lines, 6);
+        assert_eq!(stats.spans, 2);
+        assert!(text.contains("\"ev\":\"start\""));
+        assert!(text.contains("\"path\":\"cell/compute\""));
+        assert!(text.contains("\\\"quoted\\\""));
+        assert!(text.lines().last().expect("trailer").contains("\"ev\":\"end\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn top_table_ranks_labeled_spans() {
+        let _g = serial();
+        enable();
+        for (label, spin) in [("cheap", 1u64), ("dear", 2_000), ("mid", 400)] {
+            let _s = span_cell("cell", label);
+            // Busy-wait long enough to order the three deterministically.
+            let start = Instant::now();
+            while start.elapsed().as_micros() < spin as u128 {}
+        }
+        let table = render_top("cell", 2);
+        let missing = render_top("nothing", 5);
+        finish().expect("finish");
+        assert!(missing.is_empty());
+        let dear = table.find("dear").expect("most expensive listed");
+        let mid = table.find("mid").expect("runner-up listed");
+        assert!(dear < mid, "descending order:\n{table}");
+        assert!(!table.contains("cheap"), "k=2 truncates:\n{table}");
+    }
+
+    #[test]
+    fn quiet_progress_formats_lazily() {
+        // `quiet()` latches whatever the env says on first read; the lazy
+        // closure contract is testable regardless of which way it latched.
+        let called = std::cell::Cell::new(false);
+        progress(|| {
+            called.set(true);
+            String::new()
+        });
+        assert_eq!(called.get(), !quiet());
+    }
+}

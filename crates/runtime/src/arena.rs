@@ -47,7 +47,9 @@ impl GradientArena {
     ///
     /// Panics if `i` is out of range.
     pub fn take(&mut self, i: usize) -> Vec<f32> {
-        std::mem::take(&mut self.buffers[i])
+        let buffer = std::mem::take(&mut self.buffers[i]);
+        sg_obs::counter_add(if buffer.capacity() > 0 { "arena.reuse" } else { "arena.fresh" }, 1);
+        buffer
     }
 
     /// Returns a buffer to slot `i` for reuse next round.

@@ -110,6 +110,20 @@ impl<K, V> ResourceCache<K, V> {
     pub fn misses(&self) -> usize {
         self.inner.misses.load(Ordering::Relaxed)
     }
+
+    /// Publishes the cache's tallies into the `sg-obs` registry as
+    /// `cache.<name>.{entries,hits,misses}` counters — the single
+    /// telemetry sink for what used to be ad-hoc stderr lines. The
+    /// counters are deterministic (see the module docs), so they are safe
+    /// in reproducible summaries; a no-op while the registry is disabled.
+    pub fn publish(&self, name: &str) {
+        if !sg_obs::enabled() {
+            return;
+        }
+        sg_obs::counter_set(&format!("cache.{name}.entries"), self.len() as u64);
+        sg_obs::counter_set(&format!("cache.{name}.hits"), self.hits() as u64);
+        sg_obs::counter_set(&format!("cache.{name}.misses"), self.misses() as u64);
+    }
 }
 
 impl<K: Eq + Hash + Clone, V> ResourceCache<K, V> {

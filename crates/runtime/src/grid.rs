@@ -302,7 +302,15 @@ impl GridRunner {
                 // that had not started stay unexecuted.
                 return;
             }
-            let output = run(&ctx);
+            // A *root* span: on a help-while-waiting pool this closure may
+            // execute inline on a thread mid-way through another cell's
+            // batch, and must not record nested under that cell's spans.
+            // The span also feeds per-cell wall time into the trace and
+            // the "most expensive cells" table (never the JSON report).
+            let output = {
+                let _cell_span = sg_obs::span_cell("cell", &ctx.label);
+                run(&ctx)
+            };
             let result = CellResult { index: ctx.index, label: ctx.label, seed: ctx.seed, output };
             let mut st = lock_collector(&collector);
             st.slots[pos] = Some(result);

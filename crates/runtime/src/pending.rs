@@ -61,6 +61,7 @@ impl<M> UpdateBuffer<M> {
 
     /// Appends an arrived update (FIFO order).
     pub fn push(&mut self, update: PendingUpdate<M>) {
+        sg_obs::counter_add("pending.arrivals", 1);
         self.updates.push(update);
         self.high_water = self.high_water.max(self.updates.len());
     }
@@ -81,6 +82,10 @@ impl<M> UpdateBuffer<M> {
     /// from an empty vector and regrows — a handful of pointer-sized
     /// elements per applied round, dwarfed by the gradients they point at.
     pub fn drain(&mut self) -> Vec<PendingUpdate<M>> {
+        if !self.updates.is_empty() {
+            sg_obs::counter_add("pending.drains", 1);
+            sg_obs::histogram_record("pending.drain_batch", self.updates.len() as u64);
+        }
         std::mem::take(&mut self.updates)
     }
 

@@ -196,9 +196,14 @@ impl WorkerPool {
     fn run_batch<'env>(&self, tasks: Vec<ScopedTask<'env>>) {
         let core = self.core.as_ref().expect("run_batch on a sequential pool");
         let injector = &core.injector;
+        if sg_obs::enabled() {
+            sg_obs::counter_add("pool.batches", 1);
+            sg_obs::counter_add("pool.tasks", tasks.len() as u64);
+        }
         let batch = Arc::new(Batch { state: Mutex::new((tasks.len(), None)), done: Condvar::new() });
-        {
+        let backlog = {
             let mut st = injector.queue.lock().expect("injector lock");
+            let backlog = st.tasks.len();
             for task in tasks {
                 let batch = Arc::clone(&batch);
                 let wrapped: ScopedTask<'env> = Box::new(move || {
@@ -223,8 +228,12 @@ impl WorkerPool {
                 let wrapped: Task = unsafe { std::mem::transmute::<ScopedTask<'env>, Task>(wrapped) };
                 st.tasks.push_back(wrapped);
             }
-        }
+            backlog
+        };
         injector.ready.notify_all();
+        // Queue occupancy at submission, recorded outside the injector
+        // lock so the registry mutex never stalls a worker pulling tasks.
+        sg_obs::histogram_record("pool.queue_depth", backlog as u64);
 
         // Help while waiting: the submitting thread is one of the
         // `parallelism` executors, so it drains queued tasks (its own

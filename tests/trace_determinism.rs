@@ -1,0 +1,85 @@
+//! Determinism contract of the sg-obs layer: tracing is observation only.
+//!
+//! The consolidated JSON of an `exp_all --smoke`-equivalent sweep must be
+//! **byte-identical** with the trace sink attached vs. the registry left
+//! disabled, at `--jobs 1` and `--jobs 4` alike — spans, counters and
+//! histograms never feed back into cell outputs, row ordering or report
+//! formatting. The emitted JSONL must also parse (`validate_jsonl`),
+//! carry an `"end"` trailer and contain stage-level spans for the cells.
+//!
+//! The whole contract lives in ONE `#[test]` because the sg-obs registry
+//! is process-global: a second test enabling tracing concurrently would
+//! race the first one's sweep inside the same test binary.
+
+use std::path::PathBuf;
+
+use sg_bench::sweep::{consolidated_json, run_sections, JournalCfg, SweepOpts, ALL_EXPERIMENTS};
+
+fn smoke_opts(seed: u64) -> SweepOpts {
+    SweepOpts { smoke: true, ..SweepOpts::new(seed) }
+}
+
+fn all_selected() -> Vec<String> {
+    ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+}
+
+fn tmp_trace(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sg-trace-determinism-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+/// Byte-equality assert with a first-divergence window instead of two
+/// whole reports.
+fn assert_same_bytes(a: &str, b: &str, what: &str) {
+    if a == b {
+        return;
+    }
+    let at = a.bytes().zip(b.bytes()).position(|(x, y)| x != y).unwrap_or(a.len().min(b.len()));
+    let lo = at.saturating_sub(40);
+    panic!(
+        "{what}: reports diverge at byte {at} (lens {} vs {}):\n  a: …{}…\n  b: …{}…",
+        a.len(),
+        b.len(),
+        &a[lo..(at + 40).min(a.len())],
+        &b[lo..(at + 40).min(b.len())]
+    );
+}
+
+#[test]
+fn traced_sweep_report_is_byte_identical_to_untraced() {
+    let selected = all_selected();
+
+    for jobs in [1usize, 4] {
+        // Untraced reference: registry disabled, every probe inert.
+        assert!(!sg_obs::enabled(), "jobs {jobs}: registry must start disabled");
+        let o = smoke_opts(42);
+        let plain = run_sections(&selected, &o, jobs, &JournalCfg::none()).expect("untraced sweep");
+        let plain_json = consolidated_json(&o, &plain.results);
+        assert!(plain.total_cells > 0);
+
+        // Traced run: full JSONL sink attached for the whole sweep.
+        let path = tmp_trace(&format!("jobs{jobs}.jsonl"));
+        std::fs::remove_file(&path).ok();
+        sg_obs::init_trace(&path).expect("attach trace sink");
+        let o = smoke_opts(42);
+        let traced = run_sections(&selected, &o, jobs, &JournalCfg::none()).expect("traced sweep");
+        let traced_json = consolidated_json(&o, &traced.results);
+        sg_obs::finish().expect("flush trace");
+
+        assert_same_bytes(&plain_json, &traced_json, &format!("jobs {jobs}: traced vs untraced"));
+
+        // The trace itself: well-formed JSONL, terminated, and carrying a
+        // span event per grid cell at minimum (stage spans push it higher).
+        let text = std::fs::read_to_string(&path).expect("read trace");
+        let stats = sg_obs::validate_jsonl(&text).expect("trace must be valid JSONL");
+        assert!(stats.terminated, "jobs {jobs}: trace must end with the \"end\" trailer");
+        assert!(
+            stats.spans >= traced.total_cells,
+            "jobs {jobs}: expected at least one span per cell ({} cells), got {} spans",
+            traced.total_cells,
+            stats.spans
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
