@@ -1,0 +1,179 @@
+//! **sg-loadgen**: drives N synthetic federated clients against an
+//! `sg-server` — one thread per client, each running the real
+//! [`sg_net::ClientDriver`] protocol state machine over a
+//! [`sg_net::TcpClient`] — or, with `--loopback`, runs the same fleet
+//! in-process on the deterministic [`sg_net::LoopbackNet`] to produce the
+//! bit-exact reference model.
+//!
+//! ```sh
+//! cargo run --release -p sg-bench --bin sg-loadgen -- \
+//!     [--task NAME] [--seed N] [--clients N] [--byz F] [--batch N] [--epochs N] \
+//!     [--attack NAME] [--rate F] \
+//!     (--addr HOST:PORT | --port-file PATH | --loopback) \
+//!     [--defense NAME] [--latency-seed N] [--max-latency N] [--out MODEL]
+//! ```
+//!
+//! * The scenario flags must match the server's: the fleet is built by
+//!   [`sg_fl::build_participants`] from the same seed schedule, so the
+//!   gradients crossing the socket are bit-identical to the ones an
+//!   in-process run would produce. The honest/Byzantine mix is inherent —
+//!   clients `0..⌊βn⌋` carry any data poisoning the attack specifies, and
+//!   the server's adversary rewrites their submissions at the drain.
+//! * `--rate F` throttles each client to at most `F` submits/sec
+//!   (`0` = unthrottled); backpressure rejects back off exponentially and
+//!   resend the *cached* gradient, so throttling never perturbs the model.
+//! * `--loopback` ignores the address flags and runs the whole protocol
+//!   in-process (virtual clock seeded by `--latency-seed`); with `--out`
+//!   it writes the reference model artifact the `net-smoke` CI job
+//!   compares the socket run against. `--defense` is only meaningful here
+//!   (over TCP the server owns the defense).
+//!
+//! Exit status: `0` when every client finished its run, `4` when any
+//! client errored out.
+
+use std::net::SocketAddr;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use sg_bench::netargs::{self, NetScenario};
+use sg_bench::ExpArgs;
+use sg_fl::{build_participants, PartitionCache};
+use sg_net::wire::{Message, RejectReason};
+use sg_net::{ClientDriver, FlService, LoopbackNet, TcpClient};
+use sg_runtime::Engine;
+
+fn main() {
+    let a = ExpArgs::parse();
+    a.init_obs();
+    let sc = NetScenario::from_args(&a);
+    let task = sc.task();
+    let cfg = sc.fl_config();
+    cfg.validate();
+    let attack = sg_bench::build_attack(&sc.attack_name);
+
+    let participants = build_participants(&task, &cfg, attack.as_deref(), &PartitionCache::new());
+    let drivers: Vec<ClientDriver> = participants
+        .clients
+        .into_iter()
+        .map(|c| ClientDriver::new(c, task.train.clone(), cfg.batch_size))
+        .collect();
+
+    if a.flag("--loopback") {
+        let latency_seed = a.value("--latency-seed").map_or(1, |v| v.parse().expect("--latency-seed N"));
+        let max_latency = a.value("--max-latency").map_or(5, |v| v.parse().expect("--max-latency N"));
+        let defense = a.value("--defense").unwrap_or_else(|| "SignGuard".into());
+        let gar = sg_bench::build_defense(&defense, cfg.num_clients, cfg.byzantine_count());
+        println!("[sg-loadgen] loopback reference · {} · defense {defense}", sc.describe());
+        let mut net = LoopbackNet::new(drivers, latency_seed, max_latency);
+        let service = FlService::new(&task, &cfg, gar, attack, &Engine::sequential());
+        let report = service.run(&mut net);
+        println!(
+            "[sg-loadgen] {} rounds · msgs {}/{} in/out · virtual clock {}",
+            report.rounds,
+            report.messages_in,
+            report.messages_out,
+            net.now()
+        );
+        if let Some(out) = a.out() {
+            netargs::write_model(&out, &report.final_params);
+            println!("[model] {}", out.display());
+        }
+        sg_bench::finish_obs();
+        return;
+    }
+
+    let addr = resolve_addr(&a);
+    let rate: f64 = a.value("--rate").map_or(0.0, |v| v.parse().expect("--rate F"));
+    println!(
+        "[sg-loadgen] {} client(s) -> {addr} · rate {} · {}",
+        cfg.num_clients,
+        if rate > 0.0 { format!("{rate}/s per client") } else { "unthrottled".into() },
+        sc.describe()
+    );
+
+    let start = Instant::now();
+    let handles: Vec<_> = drivers
+        .into_iter()
+        .map(|driver| {
+            let id = driver.id();
+            let handle = std::thread::spawn(move || run_client(addr, driver, rate));
+            (id, handle)
+        })
+        .collect();
+
+    let mut submits = 0u64;
+    let mut retries = 0u64;
+    let mut failures = 0usize;
+    for (id, handle) in handles {
+        match handle.join().expect("client thread panicked") {
+            Ok((s, r)) => {
+                submits += s;
+                retries += r;
+            }
+            Err(e) => {
+                eprintln!("[sg-loadgen] client {id}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    println!(
+        "[sg-loadgen] {} submits ({retries} backpressure retries) in {wall:.2}s — {:.1} updates/s, {failures} failed client(s)",
+        submits,
+        submits as f64 / wall
+    );
+    sg_bench::finish_obs();
+    if failures > 0 {
+        std::process::exit(4);
+    }
+}
+
+/// `--addr HOST:PORT` directly, or `--port-file PATH` published by the
+/// server (waits up to 30s for it to appear).
+fn resolve_addr(a: &ExpArgs) -> SocketAddr {
+    if let Some(addr) = a.value("--addr") {
+        return addr.parse().expect("--addr HOST:PORT");
+    }
+    if let Some(path) = a.value("--port-file") {
+        return netargs::wait_for_port_file(Path::new(&path), Duration::from_secs(30))
+            .expect("resolve server address");
+    }
+    panic!("one of --addr, --port-file or --loopback is required");
+}
+
+/// One client's life: connect, join, then pump the protocol state
+/// machine until the server announces the final round. Returns
+/// `(submits, backpressure retries)`.
+fn run_client(addr: SocketAddr, mut driver: ClientDriver, rate: f64) -> std::io::Result<(u64, u64)> {
+    let mut conn = TcpClient::connect(&addr)?;
+    let min_gap = if rate > 0.0 { Some(Duration::from_secs_f64(1.0 / rate)) } else { None };
+    let mut last_submit: Option<Instant> = None;
+    let mut backoff = 0u32;
+    for msg in driver.on_connect() {
+        conn.send(&msg)?;
+    }
+    while !driver.is_done() {
+        let incoming = conn.recv()?;
+        // Pace retries: the server's submit queue was full, and hammering
+        // it only burns the socket — the cached gradient can wait.
+        if matches!(incoming, Message::SubmitReject { reason: RejectReason::Backpressure, .. }) {
+            backoff = (backoff + 1).min(6);
+            std::thread::sleep(Duration::from_millis(2u64 << backoff));
+        } else {
+            backoff = 0;
+        }
+        for reply in driver.on_message(&incoming) {
+            if matches!(reply, Message::SubmitUpdate { .. }) {
+                if let (Some(gap), Some(at)) = (min_gap, last_submit) {
+                    let since = at.elapsed();
+                    if since < gap {
+                        std::thread::sleep(gap - since);
+                    }
+                }
+                last_submit = Some(Instant::now());
+            }
+            conn.send(&reply)?;
+        }
+    }
+    Ok((driver.submits(), driver.retries()))
+}

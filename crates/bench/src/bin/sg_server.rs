@@ -1,0 +1,104 @@
+//! **sg-server**: the SignGuard parameter server over real sockets — the
+//! [`sg_net::FlService`] round pipeline behind the framed wire protocol
+//! on a [`sg_net::TcpServerTransport`].
+//!
+//! ```sh
+//! cargo run --release -p sg-bench --bin sg-server -- \
+//!     [--task NAME] [--seed N] [--clients N] [--byz F] [--batch N] [--epochs N] \
+//!     [--defense NAME] [--attack NAME] [--jobs N] \
+//!     [--port N] [--port-file PATH] [--max-conns N] [--max-pending N] \
+//!     [--idle-timeout SECS] [--out MODEL] [--metrics ADDR] [--trace PATH]
+//! ```
+//!
+//! * The scenario flags (`--task … --attack`) must match the loadgen's —
+//!   they fix the seed schedule both sides derive their state from.
+//! * `--port 0` (default) binds an ephemeral port; `--port-file PATH`
+//!   publishes the resolved address for `sg-loadgen --port-file`.
+//! * `--max-pending N` bounds the inbound submit queue — submits past it
+//!   are answered with `SubmitReject(Backpressure)` by the connection
+//!   handler and retried by the client.
+//! * `--out MODEL` writes the final parameter vector as a bit-exact
+//!   artifact ([`sg_bench::netargs::write_model`]); the `net-smoke` CI
+//!   job `cmp`s it against a loopback run's to prove the socket path
+//!   preserves the model bit-for-bit.
+//! * `--metrics ADDR` serves the live `sg-obs` summary as plain text over
+//!   HTTP; `--trace PATH` streams the JSONL trace (per-connection spans
+//!   included), like every other harness binary.
+//!
+//! Exit status: `0` when every scheduled round was applied, `3` when the
+//! run ended early (idle timeout with clients missing).
+
+use std::time::Duration;
+
+use sg_bench::netargs::{self, NetScenario};
+use sg_bench::ExpArgs;
+use sg_net::TcpServerTransport;
+use sg_runtime::Engine;
+
+fn main() {
+    let a = ExpArgs::parse();
+    a.init_obs();
+    let sc = NetScenario::from_args(&a);
+    let task = sc.task();
+    let cfg = sc.fl_config();
+    cfg.validate();
+
+    let defense = a.value("--defense").unwrap_or_else(|| "SignGuard".into());
+    let gar = sg_bench::build_defense(&defense, cfg.num_clients, cfg.byzantine_count());
+    let attack = sg_bench::build_attack(&sc.attack_name);
+    let jobs = a.jobs();
+    let engine = if jobs <= 1 { Engine::sequential() } else { Engine::parallel(jobs) };
+
+    let port: u16 = a.value("--port").map_or(0, |v| v.parse().expect("--port N"));
+    let max_conns = a.value("--max-conns").map_or(cfg.num_clients + 2, |v| v.parse().expect("--max-conns N"));
+    let max_pending =
+        a.value("--max-pending").map_or(cfg.num_clients, |v| v.parse().expect("--max-pending N"));
+    let mut transport = TcpServerTransport::bind(&format!("127.0.0.1:{port}"), max_conns, max_pending)
+        .expect("bind server port");
+    if let Some(secs) = a.value("--idle-timeout") {
+        transport.set_idle_timeout(Duration::from_secs(secs.parse().expect("--idle-timeout SECS")));
+    }
+    let addr = transport.local_addr();
+    println!("[sg-server] listening on {addr}");
+    println!("[sg-server] {} · defense {defense}", sc.describe());
+    if let Some(port_file) = a.value("--port-file") {
+        netargs::write_port_file(std::path::Path::new(&port_file), addr);
+    }
+    let metrics = a.value("--metrics").map(|maddr| {
+        let server = netargs::serve_metrics(&maddr).expect("bind metrics endpoint");
+        println!("[sg-server] metrics at http://{}/", server.addr());
+        server
+    });
+
+    let service = sg_net::FlService::new(&task, &cfg, gar, attack, &engine);
+    let total_rounds = service.total_rounds();
+    let report = service.run(&mut transport);
+
+    // Graceful teardown: the transport first (unblocks and joins every
+    // connection handler), then the metrics endpoint.
+    transport.shutdown();
+    if let Some(server) = metrics {
+        server.stop();
+    }
+
+    let complete = report.rounds == total_rounds;
+    println!(
+        "[sg-server] {} — rounds {}/{total_rounds} · msgs {}/{} in/out · {} protocol rejects",
+        if complete { "run complete" } else { "run INCOMPLETE" },
+        report.rounds,
+        report.messages_in,
+        report.messages_out,
+        report.rejects,
+    );
+    if let Some(last) = report.round_losses.last() {
+        println!("[sg-server] final mean honest loss {last:.6}");
+    }
+    if let Some(out) = a.out() {
+        netargs::write_model(&out, &report.final_params);
+        println!("[model] {}", out.display());
+    }
+    sg_bench::finish_obs();
+    if !complete {
+        std::process::exit(3);
+    }
+}

@@ -52,7 +52,6 @@ use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write as _};
 use std::path::Path;
-use std::sync::OnceLock;
 
 /// File magic: identifies a sweep journal, version 1.
 pub const MAGIC: &[u8; 8] = b"SGJRNL1\n";
@@ -68,30 +67,11 @@ const FRAME_SUFFIX: usize = 4;
 
 // ---- CRC-32 (IEEE 802.3) ----------------------------------------------
 
-fn crc32_table() -> &'static [u32; 256] {
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut table = [0u32; 256];
-        for (i, slot) in table.iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
-            }
-            *slot = c;
-        }
-        table
-    })
-}
-
 /// CRC-32 (IEEE) over `bytes` — the per-frame payload checksum.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let table = crc32_table();
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
-}
+///
+/// Shared with the `sg-net` wire protocol; the implementation lives in
+/// [`sg_math::crc`], re-exported here for the journal's callers.
+pub use sg_math::crc32;
 
 // ---- Errors ------------------------------------------------------------
 

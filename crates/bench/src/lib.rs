@@ -54,6 +54,7 @@ use sg_core::SignGuard;
 use sg_fl::{tasks, Task};
 
 pub mod journal;
+pub mod netargs;
 pub mod sweep;
 
 /// Names of all defenses in the paper's Table I row order.

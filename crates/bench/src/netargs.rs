@@ -1,0 +1,289 @@
+//! Shared plumbing for the networked-service binaries (`sg-server` and
+//! `sg-loadgen`): the FL scenario both sides must agree on, the
+//! port-file handshake, the model artifact codec, and the `--metrics`
+//! endpoint.
+//!
+//! The two binaries deliberately parse the *same* scenario flags
+//! (`--task --seed --clients --byz --batch --epochs --attack`): the
+//! server derives the round schedule and the loadgen derives the client
+//! fleet from them, and only matching values make a socket run
+//! comparable — bit-for-bit, on the final model — to the loopback
+//! reference (`sg-loadgen --loopback`).
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sg_fl::{tasks, FlConfig, Task};
+
+use crate::ExpArgs;
+
+/// The scenario shared by `sg-server` and `sg-loadgen`.
+#[derive(Debug, Clone)]
+pub struct NetScenario {
+    /// Task short name (see [`tasks::TASK_NAMES`]).
+    pub task_name: String,
+    /// Master seed: model init, shards, client RNG streams — everything.
+    pub seed: u64,
+    /// Client count `n`.
+    pub clients: usize,
+    /// Byzantine fraction `β`.
+    pub byz_fraction: f32,
+    /// Per-client mini-batch size.
+    pub batch_size: usize,
+    /// Training epochs (sets the round count).
+    pub epochs: usize,
+    /// Attack name from the paper's Table I columns (`"No Attack"` for an
+    /// all-honest run). Both sides need it: the server installs the
+    /// adversary, the loadgen bakes any data poisoning into its shards.
+    pub attack_name: String,
+}
+
+impl NetScenario {
+    /// Parses the scenario flags, with smoke-sized defaults.
+    pub fn from_args(a: &ExpArgs) -> Self {
+        Self {
+            task_name: a.task("mlp"),
+            seed: a.seed(7),
+            clients: a.value("--clients").map_or(10, |v| v.parse().expect("--clients N")),
+            byz_fraction: a.value("--byz").map_or(0.2, |v| v.parse().expect("--byz F")),
+            batch_size: a.value("--batch").map_or(8, |v| v.parse().expect("--batch N")),
+            epochs: a.epochs(1),
+            attack_name: a.value("--attack").unwrap_or_else(|| "Sign-flip".into()),
+        }
+    }
+
+    /// Builds the (deterministic, seed-keyed) task.
+    pub fn task(&self) -> Task {
+        tasks::by_name(&self.task_name, self.seed)
+    }
+
+    /// The [`FlConfig`] this scenario describes.
+    pub fn fl_config(&self) -> FlConfig {
+        FlConfig {
+            num_clients: self.clients,
+            byzantine_fraction: self.byz_fraction,
+            batch_size: self.batch_size,
+            epochs: self.epochs,
+            seed: self.seed,
+            ..FlConfig::default()
+        }
+    }
+
+    /// One-line description for startup banners.
+    pub fn describe(&self) -> String {
+        format!(
+            "task {} seed {} · {} clients (β={}) · batch {} · {} epoch(s) · attack {}",
+            self.task_name,
+            self.seed,
+            self.clients,
+            self.byz_fraction,
+            self.batch_size,
+            self.epochs,
+            self.attack_name
+        )
+    }
+}
+
+/// Magic prefix of the model artifact (version-stamped).
+const MODEL_MAGIC: &[u8; 8] = b"SGMODEL1";
+
+/// Writes a final parameter vector as a comparable binary artifact:
+/// magic, `u32` length, then each `f32` as its raw little-endian bit
+/// pattern. Two runs that agree bit-for-bit produce `cmp`-equal files —
+/// exactly how the `net-smoke` CI job checks the socket run against the
+/// loopback reference.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_model(path: &Path, params: &[f32]) {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("create model dir");
+    }
+    let mut bytes = Vec::with_capacity(MODEL_MAGIC.len() + 4 + params.len() * 4);
+    bytes.extend_from_slice(MODEL_MAGIC);
+    bytes.extend_from_slice(&u32::try_from(params.len()).expect("model fits u32").to_le_bytes());
+    for p in params {
+        bytes.extend_from_slice(&p.to_bits().to_le_bytes());
+    }
+    std::fs::write(path, bytes).unwrap_or_else(|e| panic!("write model {}: {e}", path.display()));
+}
+
+/// Reads a model artifact back (exact inverse of [`write_model`]).
+///
+/// # Panics
+///
+/// Panics on a missing file, a bad magic, or a truncated payload.
+pub fn read_model(path: &Path) -> Vec<f32> {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("read model {}: {e}", path.display()));
+    assert!(bytes.len() >= MODEL_MAGIC.len() + 4, "model artifact too short");
+    assert_eq!(&bytes[..MODEL_MAGIC.len()], MODEL_MAGIC, "bad model magic");
+    let mut off = MODEL_MAGIC.len();
+    let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("len")) as usize;
+    off += 4;
+    assert_eq!(bytes.len() - off, len * 4, "model artifact truncated");
+    (0..len)
+        .map(|i| {
+            let at = off + i * 4;
+            f32::from_bits(u32::from_le_bytes(bytes[at..at + 4].try_into().expect("f32")))
+        })
+        .collect()
+}
+
+/// Publishes the server's bound address for the loadgen: written to a
+/// temp file and renamed into place, so a reader never sees a partial
+/// address.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_port_file(path: &Path, addr: SocketAddr) {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("create port-file dir");
+    }
+    let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+    std::fs::write(&tmp, addr.to_string())
+        .unwrap_or_else(|e| panic!("write port file {}: {e}", tmp.display()));
+    std::fs::rename(&tmp, path).unwrap_or_else(|e| panic!("publish port file {}: {e}", path.display()));
+}
+
+/// Polls for a port file until it appears (the server writes it right
+/// after binding) and parses the address.
+///
+/// # Errors
+///
+/// Fails if the file does not appear within `timeout` or holds a
+/// malformed address.
+pub fn wait_for_port_file(path: &Path, timeout: Duration) -> std::io::Result<SocketAddr> {
+    let start = Instant::now();
+    loop {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                return text.trim().parse().map_err(|e| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("port file {}: {e}", path.display()),
+                    )
+                });
+            }
+            Err(_) if start.elapsed() < timeout => std::thread::sleep(Duration::from_millis(20)),
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    e.kind(),
+                    format!("port file {} never appeared: {e}", path.display()),
+                ))
+            }
+        }
+    }
+}
+
+/// A minimal plain-text metrics endpoint: every HTTP request is answered
+/// with the current [`sg_obs::render_summary`] snapshot. One thread, one
+/// request at a time — an operator peek, not a metrics pipeline.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (resolves an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the endpoint and joins its thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop the same way the transport does.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Serves [`sg_obs::render_summary`] over HTTP on `addr` (use port 0 for
+/// ephemeral). `curl http://ADDR/` mid-run shows live span/counter
+/// aggregates.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve_metrics(addr: &str) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if flag.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(mut stream) = stream else { continue };
+            // Drain (one read of) the request; the path is irrelevant —
+            // every route serves the same snapshot.
+            let mut scratch = [0u8; 1024];
+            let _ = stream.read(&mut scratch);
+            let body = sg_obs::render_summary();
+            let response = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+            let _ = stream.write_all(response.as_bytes());
+        }
+    });
+    Ok(MetricsServer { addr: local, stop, handle: Some(handle) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_artifact_round_trips_bit_for_bit() {
+        let dir = std::env::temp_dir().join("sg-netargs-test");
+        let path = dir.join("model.bin");
+        let params = vec![0.0f32, -1.5, f32::MIN_POSITIVE, 3.25e7, -0.0];
+        write_model(&path, &params);
+        let back = read_model(&path);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&params), bits(&back));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn port_file_handshake() {
+        let dir = std::env::temp_dir().join("sg-netargs-port-test");
+        let path = dir.join("port");
+        let addr: SocketAddr = "127.0.0.1:4455".parse().expect("addr");
+        write_port_file(&path, addr);
+        let read = wait_for_port_file(&path, Duration::from_secs(1)).expect("port file");
+        assert_eq!(read, addr);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_summary() {
+        let server = serve_metrics("127.0.0.1:0").expect("bind metrics");
+        let mut conn = TcpStream::connect(server.addr()).expect("connect");
+        conn.write_all(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n").expect("request");
+        let mut response = String::new();
+        conn.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        server.stop();
+    }
+
+    #[test]
+    fn scenario_defaults_are_smoke_sized() {
+        let sc = NetScenario::from_args(&ExpArgs::from_vec(vec![]));
+        assert_eq!(sc.task_name, "mlp");
+        assert_eq!(sc.clients, 10);
+        sc.fl_config().validate();
+    }
+}

@@ -81,8 +81,8 @@ pub use config::{FlConfig, Partitioning, Schedule};
 pub use eval::evaluate_accuracy;
 pub use metrics::{RoundMetrics, RunResult, SelectionTracker};
 pub use partition_cache::{PartitionCache, PartitionKey};
-pub use rounds::{ModelHistory, RoundPipeline, RoundState};
+pub use rounds::{ApplyState, BatchOutcome, ModelHistory, RoundPipeline, RoundState};
 pub use scheduler::{build_scheduler, Arrival, ClientScheduler};
-pub use simulator::Simulator;
+pub use simulator::{build_participants, global_init, Participants, Simulator};
 pub use tasks::{Task, TaskCache};
 pub use validation::{ValidatingServer, ValidationRule};

@@ -38,7 +38,7 @@ use sg_runtime::{Engine, GradientArena, PendingUpdate, UpdateBuffer};
 
 use crate::client::Client;
 use crate::metrics::{RoundMetrics, SelectionTracker};
-use crate::scheduler::ClientScheduler;
+use crate::scheduler::{ClientScheduler, SyncScheduler};
 
 /// Ring of recent global-parameter snapshots, indexed by server step.
 ///
@@ -99,6 +99,28 @@ impl ModelHistory {
             )
         })
     }
+}
+
+/// The server-side slice of [`RoundState`]: what the aggregate/apply
+/// stages need once the compute stage has happened elsewhere — on a remote
+/// client that shipped its gradient over a transport instead of through
+/// the in-process scheduler.
+pub struct ApplyState<'a> {
+    /// The live global parameter vector (mutated by the apply stage).
+    pub global_params: &'a mut Vec<f32>,
+    /// Global SGD learning rate.
+    pub learning_rate: f32,
+}
+
+/// What [`RoundPipeline::apply_batch`] did with the drained batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchOutcome {
+    /// Number of messages in the aggregated batch.
+    pub batch_size: usize,
+    /// Mean staleness across the batch (server steps).
+    pub mean_staleness: f32,
+    /// Largest staleness in the batch (server steps).
+    pub max_staleness: usize,
 }
 
 /// Everything a round needs from the simulation that owns it.
@@ -189,6 +211,41 @@ impl RoundPipeline {
         self.buffer.high_water()
     }
 
+    /// A pipeline for a **networked service**: arrivals come from a
+    /// transport (each client computes its own gradient and submits it),
+    /// so no [`ClientScheduler`] drives the compute stage. The installed
+    /// schedule is the synchronous one — full participation, staleness 0 —
+    /// which keeps the drain → attack → aggregate → apply path
+    /// float-for-float identical to the in-process `Sync` run: the seam
+    /// the loopback-transport determinism contract stands on.
+    pub fn for_service(
+        gar: Box<dyn Aggregator>,
+        attack: Option<Box<dyn Attack>>,
+        byz_count: usize,
+        num_clients: usize,
+        engine: &Engine,
+    ) -> Self {
+        // Full participation draws nothing from the RNG, so the seed is
+        // immaterial; the scheduler only contributes its (no-op)
+        // `on_consumed` and `max_staleness() == 0`.
+        let scheduler = Box::new(SyncScheduler::new(num_clients, byz_count, 1.0, sg_math::seeded_rng(0)));
+        Self::new(gar, attack, scheduler, byz_count, num_clients, engine)
+    }
+
+    /// Server-mode ingest: a remotely computed update enters the pending
+    /// buffer, tagged with the model step it was computed against. The
+    /// caller owns arrival ordering — for the bit-for-bit contract against
+    /// the in-process `Sync` schedule, ingest a completed round's batch in
+    /// ascending client id (Byzantine ids first by construction).
+    pub fn ingest(&mut self, client: usize, gradient: Vec<f32>, model_step: usize) {
+        self.buffer.push(PendingUpdate { client, gradient, meta: model_step });
+    }
+
+    /// Updates currently buffered and not yet aggregated.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
     /// Executes one server step, returning its metrics.
     pub fn step(
         &mut self,
@@ -259,6 +316,31 @@ impl RoundPipeline {
             };
         }
 
+        let st = ApplyState { global_params: state.global_params, learning_rate: state.learning_rate };
+        let outcome = self.apply_batch(round, st, selection);
+
+        RoundMetrics {
+            round,
+            mean_loss,
+            test_accuracy: None,
+            arrivals: arrived,
+            applied: true,
+            mean_staleness: outcome.mean_staleness,
+            max_staleness: outcome.max_staleness,
+        }
+    }
+
+    /// Drains the pending buffer and runs the server-side half of a step:
+    /// attack → aggregate → apply. This is the whole round on a networked
+    /// deployment (where [`Self::ingest`] replaces the compute stage) and
+    /// the back half of [`Self::step`] in-process — one body of code, so
+    /// the two paths are float-for-float identical by construction.
+    pub fn apply_batch(
+        &mut self,
+        round: usize,
+        st: ApplyState<'_>,
+        selection: &mut SelectionTracker,
+    ) -> BatchOutcome {
         // Drain Byzantine-first (stable within each group), so message
         // index < m means "malicious" for the attack and the selection
         // accounting, exactly as in the synchronous protocol.
@@ -302,7 +384,7 @@ impl RoundPipeline {
         // Validation-based rules need the current model to score
         // gradients; staleness-aware rules get the arrival metadata.
         let aggregate_span = sg_obs::span("aggregate");
-        self.gar.observe_global(state.global_params);
+        self.gar.observe_global(st.global_params);
         let input = if self.async_metadata {
             GradientBatch::with_staleness(&grads, &staleness)
         } else {
@@ -316,8 +398,8 @@ impl RoundPipeline {
 
         // ---- apply stage ---------------------------------------------
         let apply_span = sg_obs::span("apply");
-        for (p, g) in state.global_params.iter_mut().zip(&out.gradient) {
-            *p -= state.learning_rate * g;
+        for (p, g) in st.global_params.iter_mut().zip(&out.gradient) {
+            *p -= st.learning_rate * g;
         }
 
         // Park the batch's buffers (including attack-crafted replacements)
@@ -331,15 +413,7 @@ impl RoundPipeline {
 
         let max_staleness = staleness.iter().copied().max().unwrap_or(0);
         let mean_staleness = if n > 0 { staleness.iter().sum::<usize>() as f32 / n as f32 } else { 0.0 };
-        RoundMetrics {
-            round,
-            mean_loss,
-            test_accuracy: None,
-            arrivals: arrived,
-            applied: true,
-            mean_staleness,
-            max_staleness,
-        }
+        BatchOutcome { batch_size: n, mean_staleness, max_staleness }
     }
 }
 

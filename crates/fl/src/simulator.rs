@@ -16,6 +16,85 @@ use crate::rounds::{RoundPipeline, RoundState};
 use crate::scheduler::build_scheduler;
 use crate::tasks::Task;
 
+/// The seeded actors of a federated run: the global model with its
+/// flattened parameters, the client fleet, and the round RNG — everything
+/// [`Simulator::with_resources`] derives from the experiment seed before
+/// the first step.
+///
+/// Extracted so a networked deployment can build *exactly* the population
+/// an in-process run would: the server calls [`build_participants`] (or
+/// just [`global_init`]) and a load generator builds the same fleet from
+/// the same seed, and the two runs stay bit-for-bit comparable.
+pub struct Participants {
+    /// The freshly initialized global model (also the evaluation replica).
+    pub global_model: Sequential,
+    /// Its flattened parameter vector (the live server state).
+    pub global_params: Vec<f32>,
+    /// All clients, Byzantine ids first (`0..byzantine_count`).
+    pub clients: Vec<Client>,
+    /// The round-level RNG the schedule draws from.
+    pub round_rng: rand::rngs::StdRng,
+}
+
+/// Initializes only the global model from the experiment seed — the first
+/// draw of the seed schedule, bit-identical to the model a full
+/// [`build_participants`] would produce. A server that never trains
+/// clients locally (they arrive over the wire) needs nothing more.
+pub fn global_init(task: &Task, seed: u64) -> Sequential {
+    let mut seeds = SeedStream::new(seed);
+    let mut model_rng = seeds.next_rng();
+    task.build_model(&mut model_rng)
+}
+
+/// Derives the full run population from the experiment seed, in the
+/// canonical seed-schedule order (model → partition → per-client replica
+/// and data RNGs → round RNG). This *is* the seeding used by
+/// [`Simulator::with_resources`]; any driver that builds participants
+/// through here reproduces the in-process run's clients exactly.
+///
+/// # Panics
+///
+/// Panics if the dataset is too small for the client count.
+pub fn build_participants(
+    task: &Task,
+    cfg: &FlConfig,
+    attack: Option<&dyn Attack>,
+    partitions: &PartitionCache,
+) -> Participants {
+    let mut seeds = SeedStream::new(cfg.seed);
+
+    // Global model.
+    let mut model_rng = seeds.next_rng();
+    let global_model = task.build_model(&mut model_rng);
+    let global_params = global_model.param_vector();
+
+    // Partition data (seeded exactly as an inline `seeds.next_rng()`
+    // partitioning would be; the cache key carries this seed).
+    let part_seed = seeds.next_seed();
+    let parts = partitions.get(&task.train, cfg.partitioning, cfg.num_clients, part_seed);
+
+    let byz_count = cfg.byzantine_count();
+    let is_data_poison = attack.is_some_and(|a| a.is_data_poisoning());
+
+    let clients: Vec<Client> = parts
+        .iter()
+        .enumerate()
+        .map(|(id, indices)| {
+            let mut replica_rng = seeds.next_rng();
+            let replica = task.build_model(&mut replica_rng);
+            let mut c =
+                Client::new(id, replica, indices.clone(), cfg.momentum, cfg.weight_decay, seeds.next_rng());
+            if is_data_poison && id < byz_count {
+                c.set_flip_labels(true);
+            }
+            c
+        })
+        .collect();
+
+    let round_rng = seeds.next_rng();
+    Participants { global_model, global_params, clients, round_rng }
+}
+
 /// A federated training simulation (paper Algorithm 1, generalized over
 /// the schedule axis).
 ///
@@ -109,43 +188,10 @@ impl Simulator {
     ) -> Self {
         cfg.validate();
         gar.set_executor(engine.executor());
-        let mut seeds = SeedStream::new(cfg.seed);
-
-        // Global model.
-        let mut model_rng = seeds.next_rng();
-        let global_model = task.build_model(&mut model_rng);
-        let global_params = global_model.param_vector();
-
-        // Partition data (seeded exactly as an inline `seeds.next_rng()`
-        // partitioning would be; the cache key carries this seed).
-        let part_seed = seeds.next_seed();
-        let parts = partitions.get(&task.train, cfg.partitioning, cfg.num_clients, part_seed);
 
         let byz_count = cfg.byzantine_count();
-        let is_data_poison = attack.as_ref().is_some_and(|a| a.is_data_poisoning());
-
-        let clients: Vec<Client> = parts
-            .iter()
-            .enumerate()
-            .map(|(id, indices)| {
-                let mut replica_rng = seeds.next_rng();
-                let replica = task.build_model(&mut replica_rng);
-                let mut c = Client::new(
-                    id,
-                    replica,
-                    indices.clone(),
-                    cfg.momentum,
-                    cfg.weight_decay,
-                    seeds.next_rng(),
-                );
-                if is_data_poison && id < byz_count {
-                    c.set_flip_labels(true);
-                }
-                c
-            })
-            .collect();
-
-        let round_rng = seeds.next_rng();
+        let Participants { global_model, global_params, clients, round_rng } =
+            build_participants(&task, &cfg, attack.as_deref(), partitions);
         let scheduler =
             build_scheduler(cfg.schedule, cfg.num_clients, byz_count, cfg.participation, round_rng);
         let pipeline = RoundPipeline::new(gar, attack, scheduler, byz_count, clients.len(), &engine);

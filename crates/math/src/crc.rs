@@ -1,0 +1,62 @@
+//! CRC-32 (IEEE 802.3): the payload checksum shared by every framed byte
+//! format in the workspace — the sweep journal (`sg_bench::journal`) and
+//! the wire protocol (`sg-net`) both close their frames with it.
+
+use std::sync::OnceLock;
+
+fn crc32_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE) over `bytes` — the per-frame payload checksum.
+///
+/// # Examples
+///
+/// ```
+/// // The classic check value for CRC-32/IEEE.
+/// assert_eq!(sg_math::crc32(b"123456789"), 0xCBF4_3926);
+/// assert_eq!(sg_math::crc32(b""), 0);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_any_single_bit_flip() {
+        let data = b"the quick brown fox";
+        let base = crc32(data);
+        for i in 0..data.len() {
+            for bit in 0..8u8 {
+                let mut flipped = data.to_vec();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

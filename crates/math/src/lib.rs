@@ -14,6 +14,7 @@
 //! assert_eq!(vecops::l2_norm(&g), 5.0);
 //! ```
 
+pub mod crc;
 pub mod exec;
 pub mod normal;
 pub mod pairwise;
@@ -21,6 +22,7 @@ pub mod rng;
 pub mod stats;
 pub mod vecops;
 
+pub use crc::crc32;
 pub use exec::{ParallelExecutor, SeqExecutor, StripedExec};
 pub use normal::{normal_cdf, normal_quantile, NormalSampler};
 pub use pairwise::PairwiseDistances;

@@ -1,0 +1,133 @@
+//! The client-side protocol state machine, shared by the deterministic
+//! loopback transport and the real-socket load generator.
+//!
+//! A [`ClientDriver`] wraps one [`sg_fl::Client`] (its model replica,
+//! momentum state and RNG stream) and answers protocol messages with
+//! protocol messages; the caller owns the I/O. Both transports therefore
+//! run *exactly* the same client logic — the gradient a client submits
+//! depends only on the model bytes it received and its own RNG stream,
+//! never on when or how the bytes arrived.
+//!
+//! The one subtlety is the gradient cache: computing a gradient advances
+//! the client's RNG and momentum state, so it must happen **exactly once
+//! per round**. A re-delivered `Model` or a backpressure retry re-sends
+//! the cached update instead of recomputing — recomputation would
+//! silently fork the RNG stream and break the determinism contract.
+
+use std::sync::Arc;
+
+use sg_data::Dataset;
+use sg_fl::Client;
+
+use crate::wire::{Message, RejectReason};
+
+/// Client-side protocol state machine: joins, fetches the model,
+/// computes exactly one gradient per round (re-deliveries reuse the
+/// cache, so RNG streams never fork), and submits until the final
+/// `RoundAdvance`.
+pub struct ClientDriver {
+    client: Client,
+    train: Arc<Dataset>,
+    batch_size: usize,
+    /// The one gradient computed for the current round: `(round, loss,
+    /// gradient)`. Resubmissions reuse it; a new round replaces it.
+    cached: Option<(u64, f32, Vec<f32>)>,
+    done: bool,
+    submits: u64,
+    retries: u64,
+}
+
+impl std::fmt::Debug for ClientDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientDriver")
+            .field("id", &self.client.id())
+            .field("done", &self.done)
+            .field("submits", &self.submits)
+            .finish()
+    }
+}
+
+impl ClientDriver {
+    /// Wraps a seeded client (from [`sg_fl::build_participants`], so the
+    /// fleet matches the in-process run exactly).
+    pub fn new(client: Client, train: Arc<Dataset>, batch_size: usize) -> Self {
+        Self { client, train, batch_size, cached: None, done: false, submits: 0, retries: 0 }
+    }
+
+    /// The wrapped client's id.
+    pub fn id(&self) -> u64 {
+        self.client.id() as u64
+    }
+
+    /// Whether the driver has seen the final `RoundAdvance` (or a fatal
+    /// error) and will produce no further messages.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Updates submitted (first attempts, not retries).
+    pub fn submits(&self) -> u64 {
+        self.submits
+    }
+
+    /// Resubmissions after backpressure rejects.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The messages to send immediately after the connection opens.
+    pub fn on_connect(&mut self) -> Vec<Message> {
+        vec![Message::Join { client_id: self.id() }]
+    }
+
+    /// Feeds one server message through the state machine, returning the
+    /// replies to send.
+    pub fn on_message(&mut self, msg: &Message) -> Vec<Message> {
+        match msg {
+            Message::Welcome { .. } => vec![Message::FetchModel],
+            Message::Model { round, params } => vec![self.submit_for(*round, params)],
+            Message::SubmitAck { .. } => Vec::new(),
+            Message::SubmitReject { reason: RejectReason::Backpressure, .. } => {
+                // Queue full: resend the cached update. The transport layer
+                // owns pacing (the TCP load generator sleeps before the
+                // retry); the gradient itself must not be recomputed.
+                self.retries += 1;
+                let (round, loss, gradient) =
+                    self.cached.clone().expect("backpressure reject without a cached submit");
+                vec![Message::SubmitUpdate { round, loss, gradient }]
+            }
+            Message::SubmitReject { reason: RejectReason::Duplicate, .. } => {
+                // A retry raced its original: the first copy landed. Wait
+                // for the ack / round advance.
+                Vec::new()
+            }
+            Message::SubmitReject { .. } => {
+                // Wrong round or unknown client: resync from the server.
+                vec![Message::FetchModel]
+            }
+            Message::RoundAdvance { done: false, .. } => vec![Message::FetchModel],
+            Message::RoundAdvance { done: true, .. } => {
+                self.done = true;
+                vec![Message::Bye]
+            }
+            Message::Error { .. } => {
+                self.done = true;
+                Vec::new()
+            }
+            // Client-direction messages arriving at a client: ignore.
+            _ => Vec::new(),
+        }
+    }
+
+    /// The submission for `round`, computing the gradient exactly once.
+    fn submit_for(&mut self, round: u64, params: &[f32]) -> Message {
+        if self.cached.as_ref().is_none_or(|(r, _, _)| *r != round) {
+            let gradient = self.client.local_gradient(params, &self.train, self.batch_size);
+            let loss = self.client.last_loss();
+            self.cached = Some((round, loss, gradient));
+            self.submits += 1;
+        }
+        let (round, loss, gradient) = self.cached.clone().expect("just cached");
+        Message::SubmitUpdate { round, loss, gradient }
+    }
+}

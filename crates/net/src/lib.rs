@@ -1,0 +1,89 @@
+//! Networked FL service: the SignGuard round pipeline behind a framed
+//! wire protocol, over a pluggable [`Transport`].
+//!
+//! The paper's protocol is client/server — clients submit gradients, the
+//! server filters and aggregates — and this crate takes the in-process
+//! reproduction over the wire without giving up its determinism
+//! contract. One server loop ([`FlService`]) speaks the protocol over
+//! either backend:
+//!
+//! * [`LoopbackNet`] — in-process, seeded virtual clock, bit-for-bit
+//!   reproducible; the CI determinism surface.
+//! * [`TcpServerTransport`] — real sockets, one handler per connection on
+//!   a [`sg_runtime::WorkerPool`], bounded submit queue with
+//!   backpressure; the deployment/throughput surface.
+//!
+//! # Wire format
+//!
+//! Every message is one frame (all integers little-endian):
+//!
+//! | bytes | field | meaning |
+//! |---|---|---|
+//! | 4 | `len: u32` | payload length |
+//! | 4 | `len_chk: u32` | `!len` — distinguishes corruption from truncation |
+//! | `len` | payload | kind byte + message fields |
+//! | 4 | `crc: u32` | CRC-32 (IEEE) of the payload |
+//!
+//! The payload is a kind byte followed by the fields of one [`Message`]:
+//!
+//! | kind | message | direction | fields |
+//! |---|---|---|---|
+//! | 1 | `Join` | c→s | `client_id: u64` |
+//! | 2 | `Welcome` | s→c | `client_id, num_clients, round, total_rounds: u64` |
+//! | 3 | `FetchModel` | c→s | — |
+//! | 4 | `Model` | s→c | `round: u64`, `params: [f32]` |
+//! | 5 | `SubmitUpdate` | c→s | `round: u64`, `loss: f32`, `gradient: [f32]` |
+//! | 6 | `SubmitAck` | s→c | `round, pending: u64` |
+//! | 7 | `SubmitReject` | s→c | `round: u64`, `reason: u8` |
+//! | 8 | `RoundAdvance` | s→c | `round: u64`, `done: u8` |
+//! | 9 | `Bye` | c→s | — |
+//! | 10 | `Error` | s→c | `detail: str` (u32 length prefix) |
+//!
+//! `f32` values travel as raw IEEE-754 bit patterns (`[f32]` is a `u32`
+//! count followed by the bits), so parameter vectors and gradients
+//! round-trip **bit-for-bit** — the foundation of every determinism claim
+//! below. `str` is a `u32` byte length followed by UTF-8 bytes.
+//!
+//! # The Transport contract
+//!
+//! A [`Transport`] multiplexes connections into one event stream:
+//! `Opened` precedes any `Msg` for a connection, `Closed` is final,
+//! `poll` returning `None` means "nothing can arrive right now". The
+//! service is written against this trait alone — it never knows which
+//! backend it runs on.
+//!
+//! # Determinism
+//!
+//! * **Loopback ≡ in-process**: a service run over [`LoopbackNet`]
+//!   produces a final model bit-identical to [`sg_fl::Simulator`] on the
+//!   synchronous schedule with the same seeds, at any `SG_THREADS`
+//!   (`tests/net_determinism.rs`). The client fleet comes from the same
+//!   seed schedule ([`sg_fl::build_participants`]), gradients cross the
+//!   codec bit-exactly, the service ingests each completed round in
+//!   ascending client id — the same float order as the in-process Sync
+//!   drain — and the server-side stages are literally the same code
+//!   ([`sg_fl::RoundPipeline::apply_batch`]).
+//! * **Loopback ≡ loopback**: the virtual clock is seeded, so a loopback
+//!   run is a pure function of `(config seed, latency seed)` — and the
+//!   final model is additionally *latency-seed invariant*, because
+//!   arrival order is canonicalized away.
+//! * **TCP**: arrival order is nondeterministic, so traces and reject
+//!   counts vary — but the final model still matches the loopback run
+//!   bit-for-bit (the `net-smoke` CI job proves it on a real socket run).
+//!   Backpressure rejects only ever delay a submission, never drop it:
+//!   clients retry the *cached* gradient, so the floats entering the
+//!   pipeline are unchanged.
+
+mod driver;
+mod loopback;
+mod service;
+mod tcp;
+mod transport;
+pub mod wire;
+
+pub use driver::ClientDriver;
+pub use loopback::LoopbackNet;
+pub use service::{FlService, ServiceReport};
+pub use tcp::{TcpClient, TcpServerTransport};
+pub use transport::{ConnId, Event, Transport, TransportError};
+pub use wire::{FrameBuffer, Message, RejectReason, WireError};

@@ -1,0 +1,215 @@
+//! The deterministic in-process transport: a seeded virtual clock
+//! delivering real encoded frames.
+//!
+//! [`LoopbackNet`] owns the client fleet (as [`ClientDriver`]s) and plays
+//! both ends of every connection. Each `send` draws a latency from a
+//! seeded RNG and schedules the frame on a binary heap keyed by
+//! `(virtual time, sequence)`; `poll` pops the earliest delivery,
+//! advances the clock, and either hands the event to the server or feeds
+//! the frame through the destination driver — whose replies are
+//! scheduled the same way. Time is counted in abstract ticks, never wall
+//! time, so a run is a pure function of its seeds: bit-for-bit
+//! reproducible at any thread count, exactly like the in-process
+//! simulator's virtual-clock schedules.
+//!
+//! Every message crosses the real codec (`wire::encode` → [`FrameBuffer`]
+//! → decode), so the loopback determinism tests exercise the same frame
+//! bytes the TCP backend puts on a socket — the codec is *inside* the
+//! contract, not mocked out of it.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sg_math::seeded_rng;
+
+use crate::driver::ClientDriver;
+use crate::transport::{ConnId, Event, Transport, TransportError};
+use crate::wire::{encode, FrameBuffer, Message};
+
+enum Delivery {
+    /// The connection comes up (the driver then sends its `Join`).
+    Open,
+    /// One encoded frame travelling client → server.
+    ToServer(Vec<u8>),
+    /// One encoded frame travelling server → client.
+    ToClient(Vec<u8>),
+}
+
+struct Scheduled {
+    at: u64,
+    seq: u64,
+    conn: usize,
+    delivery: Delivery,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    /// Reversed: the heap is a max-heap, we want the *earliest* delivery
+    /// first. `seq` breaks ties, so ordering is total and deterministic.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct Slot {
+    driver: ClientDriver,
+    open: bool,
+    /// Reassembly for frames headed to the server on this connection.
+    server_rx: FrameBuffer,
+    /// Reassembly for frames headed to this client.
+    client_rx: FrameBuffer,
+}
+
+/// Deterministic in-process transport: every frame crosses the real
+/// codec on a seeded virtual clock, so a run is a pure function of the
+/// configuration and latency seeds.
+pub struct LoopbackNet {
+    slots: Vec<Slot>,
+    heap: BinaryHeap<Scheduled>,
+    /// Closes requested by the server, surfaced before timed deliveries.
+    pending_closed: VecDeque<ConnId>,
+    now: u64,
+    seq: u64,
+    rng: StdRng,
+    max_latency: u64,
+}
+
+impl LoopbackNet {
+    /// A loopback fleet. `seed` drives the latency draws; `max_latency`
+    /// is the largest per-frame delay in virtual ticks (0 means every
+    /// frame takes exactly one tick — handy for minimal traces).
+    pub fn new(drivers: Vec<ClientDriver>, seed: u64, max_latency: u64) -> Self {
+        let mut net = Self {
+            slots: drivers
+                .into_iter()
+                .map(|driver| Slot {
+                    driver,
+                    open: true,
+                    server_rx: FrameBuffer::new(),
+                    client_rx: FrameBuffer::new(),
+                })
+                .collect(),
+            heap: BinaryHeap::new(),
+            pending_closed: VecDeque::new(),
+            now: 0,
+            seq: 0,
+            rng: seeded_rng(seed),
+            max_latency,
+        };
+        for conn in 0..net.slots.len() {
+            let at = net.now + net.latency();
+            net.schedule(at, conn, Delivery::Open);
+        }
+        net
+    }
+
+    /// Current virtual time in ticks.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn latency(&mut self) -> u64 {
+        if self.max_latency <= 1 {
+            1
+        } else {
+            self.rng.gen_range(1..=self.max_latency)
+        }
+    }
+
+    fn schedule(&mut self, at: u64, conn: usize, delivery: Delivery) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, conn, delivery });
+    }
+
+    /// Encodes and schedules every driver reply as a client → server
+    /// frame.
+    fn schedule_replies(&mut self, conn: usize, replies: Vec<Message>) {
+        for msg in replies {
+            let frame = encode(&msg);
+            let at = self.now + self.latency();
+            self.schedule(at, conn, Delivery::ToServer(frame));
+        }
+    }
+}
+
+impl Transport for LoopbackNet {
+    fn poll(&mut self) -> Option<Event> {
+        if let Some(conn) = self.pending_closed.pop_front() {
+            return Some(Event::Closed(conn));
+        }
+        while let Some(item) = self.heap.pop() {
+            self.now = item.at;
+            let conn = item.conn;
+            if !self.slots[conn].open {
+                continue;
+            }
+            match item.delivery {
+                Delivery::Open => {
+                    let replies = self.slots[conn].driver.on_connect();
+                    self.schedule_replies(conn, replies);
+                    return Some(Event::Opened(conn as ConnId));
+                }
+                Delivery::ToServer(frame) => {
+                    let slot = &mut self.slots[conn];
+                    slot.server_rx.extend(&frame);
+                    let msg = slot
+                        .server_rx
+                        .next_message()
+                        .expect("loopback frames are never corrupt")
+                        .expect("each ToServer delivery is one whole frame");
+                    sg_obs::counter_add("net.loopback.delivered", 1);
+                    return Some(Event::Msg(conn as ConnId, msg));
+                }
+                Delivery::ToClient(frame) => {
+                    let slot = &mut self.slots[conn];
+                    slot.client_rx.extend(&frame);
+                    let msg = slot
+                        .client_rx
+                        .next_message()
+                        .expect("loopback frames are never corrupt")
+                        .expect("each ToClient delivery is one whole frame");
+                    let replies = slot.driver.on_message(&msg);
+                    self.schedule_replies(conn, replies);
+                    // Client-side deliveries never surface to the server
+                    // loop; keep popping until a server event turns up.
+                }
+            }
+        }
+        None
+    }
+
+    fn send(&mut self, conn: ConnId, msg: &Message) -> Result<(), TransportError> {
+        let slot = self.slots.get(conn as usize).filter(|s| s.open).ok_or(TransportError::ConnGone(conn))?;
+        let _ = slot;
+        let frame = encode(msg);
+        let at = self.now + self.latency();
+        self.schedule(at, conn as usize, Delivery::ToClient(frame));
+        Ok(())
+    }
+
+    fn close(&mut self, conn: ConnId) {
+        if let Some(slot) = self.slots.get_mut(conn as usize) {
+            if slot.open {
+                slot.open = false;
+                self.pending_closed.push_back(conn);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "loopback"
+    }
+}

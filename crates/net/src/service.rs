@@ -1,0 +1,314 @@
+//! The server side: an [`FlService`] drives the federated
+//! [`RoundPipeline`] behind the wire protocol, over any [`Transport`].
+//!
+//! # Round protocol
+//!
+//! Clients `Join` (with a provisioned id), `FetchModel`, compute locally,
+//! and `SubmitUpdate`. The service collects exactly one submission per
+//! client per round; when the last one lands it ingests the batch into
+//! the pipeline **in ascending client id order** and runs the shared
+//! attack → aggregate → apply stages ([`RoundPipeline::apply_batch`] —
+//! the same code the in-process simulator runs), then broadcasts
+//! `RoundAdvance`. Ascending-id ingestion makes the aggregate independent
+//! of network arrival order: a TCP run and a loopback run of the same
+//! seeds produce **bit-identical** final models, because the floats
+//! entering the pipeline, and the order they enter in, are identical.
+//!
+//! Byzantine behavior stays server-simulated, exactly as in the paper
+//! harness: clients `0..byzantine_count` submit honest computations (plus
+//! any data poisoning baked into their shards) and the adversary rewrites
+//! their messages at the drain point, seeing every honest message — the
+//! strongest threat model, unchanged by the move over the wire.
+//!
+//! # Rejection taxonomy
+//!
+//! `WrongRound`, `Duplicate` and `UnknownClient` are protocol-level and
+//! deterministic; `Backpressure` is emitted by the socket transport's
+//! bounded inbound queue, never by the service itself (and never on the
+//! loopback, which has no queue bound — so rejects never perturb the
+//! determinism contract).
+
+use std::collections::{BTreeMap, HashMap};
+
+use sg_aggregators::Aggregator;
+use sg_attacks::Attack;
+use sg_fl::{global_init, ApplyState, FlConfig, RoundPipeline, SelectionTracker, Task};
+use sg_runtime::Engine;
+
+use crate::transport::{ConnId, Event, Transport};
+use crate::wire::{Message, RejectReason};
+
+/// What a completed service run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// Rounds applied (equals the configured total on a clean run).
+    pub rounds: usize,
+    /// The final global parameter vector.
+    pub final_params: Vec<f32>,
+    /// Mean honest training loss per applied round (ascending-id float
+    /// order, comparable bit-for-bit with the in-process run).
+    pub round_losses: Vec<f32>,
+    /// Protocol-level rejects sent (wrong round, duplicate, unknown).
+    pub rejects: u64,
+    /// Messages received / sent, for the load report.
+    pub messages_in: u64,
+    pub messages_out: u64,
+}
+
+/// The parameter server behind the wire protocol: collects one
+/// submission per client per round, ingests completed batches in
+/// ascending client id, and runs the shared pipeline stages
+/// ([`RoundPipeline::apply_batch`]).
+pub struct FlService {
+    pipeline: RoundPipeline,
+    global_params: Vec<f32>,
+    learning_rate: f32,
+    num_clients: usize,
+    byz_count: usize,
+    round: usize,
+    total_rounds: usize,
+    /// Live connections that completed a `Join`, both directions.
+    conn_client: HashMap<ConnId, usize>,
+    client_conn: BTreeMap<usize, ConnId>,
+    /// This round's submissions: client id → (loss, gradient). A
+    /// `BTreeMap` so the completed batch drains in ascending client id —
+    /// the canonical order the determinism contract requires.
+    submissions: BTreeMap<usize, (f32, Vec<f32>)>,
+    selection: SelectionTracker,
+    round_losses: Vec<f32>,
+    rejects: u64,
+    messages_in: u64,
+    messages_out: u64,
+    done: bool,
+}
+
+impl FlService {
+    /// Builds the service for one run. The global model comes from the
+    /// first draw of the experiment seed schedule ([`global_init`]), so
+    /// it is bit-identical to the model an in-process [`sg_fl::Simulator`]
+    /// with the same config would initialize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`FlConfig::validate`]).
+    pub fn new(
+        task: &Task,
+        cfg: &FlConfig,
+        mut gar: Box<dyn Aggregator>,
+        attack: Option<Box<dyn Attack>>,
+        engine: &Engine,
+    ) -> Self {
+        cfg.validate();
+        gar.set_executor(engine.executor());
+        let global_model = global_init(task, cfg.seed);
+        let global_params = global_model.param_vector();
+        let byz_count = cfg.byzantine_count();
+        let pipeline = RoundPipeline::for_service(gar, attack, byz_count, cfg.num_clients, engine);
+        Self {
+            pipeline,
+            global_params,
+            learning_rate: cfg.learning_rate,
+            num_clients: cfg.num_clients,
+            byz_count,
+            round: 0,
+            total_rounds: cfg.total_rounds(task.train.len()),
+            conn_client: HashMap::new(),
+            client_conn: BTreeMap::new(),
+            submissions: BTreeMap::new(),
+            selection: SelectionTracker::new(),
+            round_losses: Vec::new(),
+            rejects: 0,
+            messages_in: 0,
+            messages_out: 0,
+            done: false,
+        }
+    }
+
+    /// Total rounds this run will apply.
+    pub fn total_rounds(&self) -> usize {
+        self.total_rounds
+    }
+
+    /// Whether every round has been applied and every client has left.
+    pub fn finished(&self) -> bool {
+        self.done && self.conn_client.is_empty()
+    }
+
+    /// Runs the service to completion over `transport`: polls events
+    /// until every round is applied and all clients are gone, or the
+    /// transport reports that nothing further can arrive.
+    pub fn run(mut self, transport: &mut dyn Transport) -> ServiceReport {
+        let _run = sg_obs::span("service.run");
+        while !self.finished() {
+            match transport.poll() {
+                Some(event) => self.handle(transport, event),
+                None => break,
+            }
+        }
+        sg_obs::counter_add("net.service.rounds", self.round as u64);
+        ServiceReport {
+            rounds: self.round,
+            final_params: self.global_params,
+            round_losses: self.round_losses,
+            rejects: self.rejects,
+            messages_in: self.messages_in,
+            messages_out: self.messages_out,
+        }
+    }
+
+    /// Feeds one transport event through the protocol state machine.
+    pub fn handle(&mut self, transport: &mut dyn Transport, event: Event) {
+        match event {
+            Event::Opened(_) => {
+                sg_obs::counter_add("net.conns.opened", 1);
+            }
+            Event::Closed(conn) => {
+                sg_obs::counter_add("net.conns.closed", 1);
+                if let Some(client) = self.conn_client.remove(&conn) {
+                    self.client_conn.remove(&client);
+                }
+            }
+            Event::Msg(conn, msg) => {
+                self.messages_in += 1;
+                if sg_obs::enabled() {
+                    sg_obs::counter_add("net.msgs_in", 1);
+                }
+                let _span = sg_obs::span(msg.name());
+                self.on_message(transport, conn, msg);
+            }
+        }
+    }
+
+    fn on_message(&mut self, transport: &mut dyn Transport, conn: ConnId, msg: Message) {
+        match msg {
+            Message::Join { client_id } => {
+                let id = client_id as usize;
+                if id >= self.num_clients || self.client_conn.contains_key(&id) {
+                    self.fail(transport, conn, format!("join refused for client {client_id}"));
+                    return;
+                }
+                self.conn_client.insert(conn, id);
+                self.client_conn.insert(id, conn);
+                self.reply(
+                    transport,
+                    conn,
+                    &Message::Welcome {
+                        client_id,
+                        num_clients: self.num_clients as u64,
+                        round: self.round as u64,
+                        total_rounds: self.total_rounds as u64,
+                    },
+                );
+            }
+            Message::FetchModel => {
+                if !self.conn_client.contains_key(&conn) {
+                    self.reject(transport, conn, RejectReason::UnknownClient);
+                    return;
+                }
+                let model = Message::Model { round: self.round as u64, params: self.global_params.clone() };
+                self.reply(transport, conn, &model);
+            }
+            Message::SubmitUpdate { round, loss, gradient } => {
+                self.on_submit(transport, conn, round, loss, gradient);
+            }
+            Message::Bye => transport.close(conn),
+            other => {
+                self.fail(transport, conn, format!("unexpected {} from a client", other.name()));
+            }
+        }
+    }
+
+    fn on_submit(
+        &mut self,
+        transport: &mut dyn Transport,
+        conn: ConnId,
+        round: u64,
+        loss: f32,
+        gradient: Vec<f32>,
+    ) {
+        let Some(&client) = self.conn_client.get(&conn) else {
+            self.reject(transport, conn, RejectReason::UnknownClient);
+            return;
+        };
+        if round != self.round as u64 || self.done {
+            self.reject(transport, conn, RejectReason::WrongRound);
+            return;
+        }
+        if self.submissions.contains_key(&client) {
+            self.reject(transport, conn, RejectReason::Duplicate);
+            return;
+        }
+        if gradient.len() != self.global_params.len() {
+            self.fail(
+                transport,
+                conn,
+                format!("gradient dim {} != model dim {}", gradient.len(), self.global_params.len()),
+            );
+            return;
+        }
+        self.submissions.insert(client, (loss, gradient));
+        let pending = (self.num_clients - self.submissions.len()) as u64;
+        self.reply(transport, conn, &Message::SubmitAck { round, pending });
+        if pending == 0 {
+            self.complete_round(transport);
+        }
+    }
+
+    /// All submissions are in: ingest ascending by client id, run the
+    /// shared attack → aggregate → apply stages, broadcast the advance.
+    fn complete_round(&mut self, transport: &mut dyn Transport) {
+        let _span = sg_obs::span("service.round");
+        let round = self.round;
+        let mut loss_sum = 0.0f32;
+        let mut honest = 0usize;
+        for (client, (loss, gradient)) in std::mem::take(&mut self.submissions) {
+            if client >= self.byz_count {
+                loss_sum += loss;
+                honest += 1;
+            }
+            self.pipeline.ingest(client, gradient, round);
+        }
+        let st = ApplyState { global_params: &mut self.global_params, learning_rate: self.learning_rate };
+        self.pipeline.apply_batch(round, st, &mut self.selection);
+        self.round_losses.push(if honest > 0 { loss_sum / honest as f32 } else { 0.0 });
+
+        self.round += 1;
+        self.done = self.round >= self.total_rounds;
+        let advance = Message::RoundAdvance { round: self.round as u64, done: self.done };
+        // Ascending client id: on the loopback this fixes the latency-draw
+        // order, keeping the virtual-clock schedule seed-reproducible.
+        let conns: Vec<ConnId> = self.client_conn.values().copied().collect();
+        for conn in conns {
+            self.reply(transport, conn, &advance);
+        }
+    }
+
+    fn reply(&mut self, transport: &mut dyn Transport, conn: ConnId, msg: &Message) {
+        self.messages_out += 1;
+        if sg_obs::enabled() {
+            sg_obs::counter_add("net.msgs_out", 1);
+        }
+        if transport.send(conn, msg).is_err() {
+            // A dead connection is cleaned up by its Closed event; the
+            // round simply waits for the client to rejoin or the run to be
+            // aborted by the operator.
+            sg_obs::counter_add("net.send_failures", 1);
+            transport.close(conn);
+        }
+    }
+
+    fn reject(&mut self, transport: &mut dyn Transport, conn: ConnId, reason: RejectReason) {
+        self.rejects += 1;
+        sg_obs::counter_add("net.rejects", 1);
+        let msg = Message::SubmitReject { round: self.round as u64, reason };
+        self.reply(transport, conn, &msg);
+    }
+
+    fn fail(&mut self, transport: &mut dyn Transport, conn: ConnId, detail: String) {
+        sg_obs::counter_add("net.protocol_errors", 1);
+        let msg = Message::Error { detail };
+        self.reply(transport, conn, &msg);
+        transport.close(conn);
+    }
+}

@@ -1,0 +1,360 @@
+//! The real-socket backend: a `TcpListener` acceptor plus one
+//! connection handler per client, all running as detached tasks on a
+//! dedicated [`WorkerPool`].
+//!
+//! # Architecture
+//!
+//! * The **acceptor** loops on `accept`, registers each connection's
+//!   writer half (an `Arc<Mutex<TcpStream>>` from `try_clone`) and spawns
+//!   a **handler** task that owns the reader half.
+//! * Handlers run the incremental frame decoder ([`FrameBuffer`]) over
+//!   raw reads and forward decoded messages into one shared event queue,
+//!   which [`TcpServerTransport::poll`] drains on the service thread —
+//!   the service itself stays single-threaded and transport-agnostic.
+//! * **Backpressure**: the queue counts in-flight `SubmitUpdate`s; when
+//!   `max_pending` are already queued, the handler answers
+//!   `SubmitReject(Backpressure)` directly on the socket (the service
+//!   never sees the message) and the client retries after a pause. Control
+//!   messages are never rejected — they are small and bounded per client.
+//! * **Shutdown**: the shutdown flag is set, a self-connection unblocks
+//!   the acceptor, and every live socket is `shutdown(Both)` so blocked
+//!   handler reads fail fast. Only then may the pool be dropped (dropping
+//!   a [`WorkerPool`] joins its workers; a handler still blocked on a
+//!   socket read would deadlock the join). [`Drop`] does all of this.
+//!
+//! # Determinism caveat
+//!
+//! This backend is **not** deterministic: arrival order depends on the
+//! kernel scheduler. The service canonicalizes round batches by client
+//! id, so the *final model* still matches a loopback run bit-for-bit —
+//! but traces, per-connection interleavings and reject counts will vary
+//! run to run. Determinism claims are tested on the loopback; the socket
+//! backend is held to the weaker (and still exact) final-model contract.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use sg_runtime::WorkerPool;
+
+use crate::transport::{ConnId, Event, Transport, TransportError};
+use crate::wire::{encode, FrameBuffer, Message, RejectReason};
+
+/// State shared between the acceptor, the handlers and the transport.
+struct Shared {
+    writers: Mutex<HashMap<ConnId, Arc<Mutex<TcpStream>>>>,
+    /// `SubmitUpdate`s queued but not yet polled by the service.
+    pending_submits: AtomicUsize,
+    max_pending: usize,
+    shutdown: AtomicBool,
+}
+
+/// TCP server transport: an acceptor plus one connection handler per
+/// client on a dedicated [`WorkerPool`], with a bounded inbound submit
+/// queue (backpressure past `max_pending`).
+pub struct TcpServerTransport {
+    local_addr: SocketAddr,
+    events: Receiver<Event>,
+    shared: Arc<Shared>,
+    /// Dedicated pool for the acceptor + handlers. Dropped last, after
+    /// shutdown has unblocked every worker.
+    pool: Option<WorkerPool>,
+    poll_timeout: Duration,
+    idle_timeout: Duration,
+}
+
+impl TcpServerTransport {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting. `max_conns` bounds concurrent connections (it sizes the
+    /// handler pool); `max_pending` bounds the inbound submit queue —
+    /// submits past it are rejected with `Backpressure`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, max_conns: usize, max_pending: usize) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            writers: Mutex::new(HashMap::new()),
+            pending_submits: AtomicUsize::new(0),
+            max_pending: max_pending.max(1),
+            shutdown: AtomicBool::new(false),
+        });
+        let (tx, rx) = channel();
+        // Workers: the acceptor plus one handler per allowed connection.
+        let pool = WorkerPool::new(max_conns + 2);
+        let accept_pool = pool.clone();
+        let accept_shared = Arc::clone(&shared);
+        pool.submit_detached(move || {
+            accept_loop(listener, accept_shared, tx, accept_pool);
+        });
+        Ok(Self {
+            local_addr,
+            events: rx,
+            shared,
+            pool: Some(pool),
+            poll_timeout: Duration::from_millis(200),
+            idle_timeout: Duration::from_secs(30),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The granularity at which a blocked `poll` re-checks the shutdown
+    /// flag (not the give-up point — that is [`set_idle_timeout`]).
+    ///
+    /// [`set_idle_timeout`]: Self::set_idle_timeout
+    pub fn set_poll_timeout(&mut self, timeout: Duration) {
+        self.poll_timeout = timeout;
+    }
+
+    /// How long `poll` tolerates *no* traffic at all before concluding
+    /// nothing further can arrive and returning `None` (which ends
+    /// [`crate::FlService::run`]). Unlike the loopback — where an empty
+    /// event queue really is final — a quiet socket usually just means
+    /// clients are busy computing, so this defaults to a generous 30s;
+    /// server binaries expose it as `--idle-timeout`.
+    pub fn set_idle_timeout(&mut self, timeout: Duration) {
+        self.idle_timeout = timeout;
+    }
+
+    /// Stops the acceptor, tears down every connection, and joins the
+    /// handler pool. Idempotent; also run by [`Drop`].
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor: it is parked in accept(), and the flag
+        // alone cannot wake it — a throwaway self-connection can.
+        let _ = TcpStream::connect(self.local_addr);
+        // Unblock every handler: a shutdown socket fails its blocked read.
+        let writers = std::mem::take(&mut *self.shared.writers.lock().expect("writers lock"));
+        for (_, writer) in writers {
+            let _ = writer.lock().expect("writer lock").shutdown(Shutdown::Both);
+        }
+        // Now every detached task can finish; joining the pool is safe.
+        self.pool = None;
+    }
+}
+
+impl Drop for TcpServerTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Transport for TcpServerTransport {
+    fn poll(&mut self) -> Option<Event> {
+        // A quiet stretch is not the end of the run: clients spend most of
+        // their time computing gradients (or rate-throttling), so keep
+        // waiting in shutdown-checkable slices until the idle budget is
+        // spent. Only shutdown, a hung-up queue, or true idleness end it.
+        let mut idle = Duration::ZERO;
+        loop {
+            match self.events.recv_timeout(self.poll_timeout) {
+                Ok(event) => {
+                    if matches!(event, Event::Msg(_, Message::SubmitUpdate { .. })) {
+                        self.shared.pending_submits.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    return Some(event);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.shared.shutdown.load(Ordering::SeqCst) {
+                        return None;
+                    }
+                    idle += self.poll_timeout;
+                    if idle >= self.idle_timeout {
+                        sg_obs::counter_add("net.tcp.idle_giveups", 1);
+                        return None;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return None,
+            }
+        }
+    }
+
+    fn send(&mut self, conn: ConnId, msg: &Message) -> Result<(), TransportError> {
+        let writer = self
+            .shared
+            .writers
+            .lock()
+            .expect("writers lock")
+            .get(&conn)
+            .cloned()
+            .ok_or(TransportError::ConnGone(conn))?;
+        let frame = encode(msg);
+        let mut stream = writer.lock().expect("writer lock");
+        stream.write_all(&frame).and_then(|()| stream.flush()).map_err(TransportError::Io)
+    }
+
+    fn close(&mut self, conn: ConnId) {
+        // Shut the socket down; the handler's read fails, and it emits the
+        // Closed event on its way out.
+        if let Some(writer) = self.shared.writers.lock().expect("writers lock").remove(&conn) {
+            let _ = writer.lock().expect("writer lock").shutdown(Shutdown::Both);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, tx: Sender<Event>, pool: WorkerPool) {
+    let next_id = AtomicU64::new(0);
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let conn = next_id.fetch_add(1, Ordering::SeqCst);
+        let writer = match stream.try_clone() {
+            Ok(w) => Arc::new(Mutex::new(w)),
+            Err(_) => continue,
+        };
+        shared.writers.lock().expect("writers lock").insert(conn, Arc::clone(&writer));
+        sg_obs::counter_add("net.tcp.accepted", 1);
+        if tx.send(Event::Opened(conn)).is_err() {
+            return;
+        }
+        let handler_shared = Arc::clone(&shared);
+        let handler_tx = tx.clone();
+        pool.submit_detached(move || {
+            handle_conn(conn, stream, writer, handler_shared, handler_tx);
+        });
+    }
+}
+
+/// One connection's read loop: reassemble frames, forward messages,
+/// reject submits past the queue bound, emit `Closed` on the way out.
+fn handle_conn(
+    conn: ConnId,
+    mut stream: TcpStream,
+    writer: Arc<Mutex<TcpStream>>,
+    shared: Arc<Shared>,
+    tx: Sender<Event>,
+) {
+    let mut fb = FrameBuffer::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    'read: loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break 'read,
+            Ok(n) => n,
+        };
+        fb.extend(&buf[..n]);
+        loop {
+            match fb.next_message() {
+                Ok(None) => break,
+                Ok(Some(msg)) => {
+                    if matches!(msg, Message::SubmitUpdate { .. }) {
+                        let pending = shared.pending_submits.load(Ordering::SeqCst);
+                        if pending >= shared.max_pending {
+                            // Queue full: answer directly, drop the message.
+                            sg_obs::counter_add("net.tcp.backpressure_rejects", 1);
+                            let reject = encode(&Message::SubmitReject {
+                                round: match msg {
+                                    Message::SubmitUpdate { round, .. } => round,
+                                    _ => unreachable!(),
+                                },
+                                reason: RejectReason::Backpressure,
+                            });
+                            let mut w = writer.lock().expect("writer lock");
+                            if w.write_all(&reject).and_then(|()| w.flush()).is_err() {
+                                break 'read;
+                            }
+                            continue;
+                        }
+                        shared.pending_submits.fetch_add(1, Ordering::SeqCst);
+                    }
+                    if tx.send(Event::Msg(conn, msg)).is_err() {
+                        break 'read;
+                    }
+                }
+                Err(err) => {
+                    // Corrupt stream: poison the connection.
+                    sg_obs::counter_add("net.tcp.corrupt_frames", 1);
+                    let error = encode(&Message::Error { detail: err.to_string() });
+                    let mut w = writer.lock().expect("writer lock");
+                    let _ = w.write_all(&error).and_then(|()| w.flush());
+                    break 'read;
+                }
+            }
+        }
+    }
+    shared.writers.lock().expect("writers lock").remove(&conn);
+    let _ = stream.shutdown(Shutdown::Both);
+    let _ = tx.send(Event::Closed(conn));
+}
+
+/// A blocking client-side connection for load generators and tests.
+pub struct TcpClient {
+    stream: TcpStream,
+    fb: FrameBuffer,
+    buf: Vec<u8>,
+}
+
+impl TcpClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: &SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, fb: FrameBuffer::new(), buf: vec![0u8; 64 * 1024] })
+    }
+
+    /// Sends one message.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the stream write failure.
+    pub fn send(&mut self, msg: &Message) -> std::io::Result<()> {
+        let frame = encode(msg);
+        self.stream.write_all(&frame)?;
+        self.stream.flush()
+    }
+
+    /// Blocks until the next complete message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Fails on peer hangup, read errors, or a corrupt frame.
+    pub fn recv(&mut self) -> std::io::Result<Message> {
+        loop {
+            match self.fb.next_message() {
+                Ok(Some(msg)) => return Ok(msg),
+                Ok(None) => {}
+                Err(err) => {
+                    return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, err.to_string()))
+                }
+            }
+            let n = self.stream.read(&mut self.buf)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.fb.extend(&self.buf[..n]);
+        }
+    }
+}

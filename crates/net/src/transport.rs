@@ -1,0 +1,84 @@
+//! The transport seam: how the FL service reaches its clients.
+//!
+//! A [`Transport`] multiplexes any number of client connections into a
+//! single stream of [`Event`]s consumed by one server loop. The contract:
+//!
+//! * `poll` returns the next inbound event, or `None` when no further
+//!   event can arrive right now — the loopback backend is exhausted, or a
+//!   socket backend's wait timed out (the caller decides whether to poll
+//!   again or wind down).
+//! * Every connection id is announced by `Event::Opened` before any
+//!   `Event::Msg` carries it, and `Event::Closed` is final — the id is
+//!   never reused afterwards.
+//! * `send` ships one message to one connection; on a dead connection it
+//!   fails without disturbing the others.
+//! * `close` tears a connection down; the matching `Event::Closed`
+//!   surfaces through `poll`.
+//!
+//! The determinism split: [`crate::LoopbackNet`] delivers events on a
+//! seeded virtual clock, so a service run over it is a pure function of
+//! its seeds. [`crate::TcpServerTransport`] delivers events in real
+//! arrival order — nondeterministic — and the service is responsible for
+//! canonicalizing whatever ordering it needs (see `FlService`, which
+//! aggregates in ascending client-id order precisely so the two backends
+//! converge to bit-identical models).
+
+use crate::wire::Message;
+
+/// Identifies one client connection for the lifetime of a transport.
+pub type ConnId = u64;
+
+/// One inbound transport event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A new connection is live (no message decoded yet).
+    Opened(ConnId),
+    /// A complete, CRC-verified message arrived on a connection.
+    Msg(ConnId, Message),
+    /// The connection is gone (peer hangup, codec corruption, or a
+    /// server-side [`Transport::close`]).
+    Closed(ConnId),
+}
+
+/// Errors surfaced by [`Transport::send`].
+#[derive(Debug)]
+pub enum TransportError {
+    /// The connection id is unknown or already closed.
+    ConnGone(ConnId),
+    /// The underlying stream failed mid-write.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::ConnGone(id) => write!(f, "connection {id} is gone"),
+            TransportError::Io(e) => write!(f, "transport i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A server-side connection multiplexer: `Opened` precedes any `Msg`
+/// for a connection, `Closed` is final, and `poll` returning `None`
+/// means nothing further can arrive right now.
+pub trait Transport {
+    /// The next inbound event, or `None` when nothing further can arrive
+    /// right now.
+    fn poll(&mut self) -> Option<Event>;
+
+    /// Sends one message on one connection.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is gone or the stream write fails; either
+    /// way the other connections are unaffected.
+    fn send(&mut self, conn: ConnId, msg: &Message) -> Result<(), TransportError>;
+
+    /// Closes one connection; its `Event::Closed` arrives via `poll`.
+    fn close(&mut self, conn: ConnId);
+
+    /// Backend name for traces and reports.
+    fn name(&self) -> &'static str;
+}

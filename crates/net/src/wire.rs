@@ -1,0 +1,508 @@
+//! The framed wire codec: every message travels as
+//!
+//! ```text
+//! len: u32 LE | len_chk: u32 LE (= !len) | payload[len] | crc32(payload): u32 LE
+//! ```
+//!
+//! — the same frame shape as the sweep journal (`sg_bench::journal`),
+//! with the same failure taxonomy: a bad length complement or CRC is
+//! *corruption* (the connection is poisoned and must be dropped), a short
+//! read is merely *incomplete* (wait for more bytes). The payload is a
+//! kind byte followed by the message fields; all integers are
+//! little-endian, and `f32`s travel as their raw IEEE-754 bit patterns,
+//! so a parameter vector round-trips **bit-for-bit** — the property the
+//! loopback determinism contract rests on.
+//!
+//! [`FrameBuffer`] is the stream side of the codec: feed it arbitrary
+//! byte chunks (TCP reads tear frames wherever they like) and pull
+//! complete messages out as they become available.
+
+use sg_math::crc32;
+
+/// Frame overhead: `len` + `len_chk` before the payload, CRC after it.
+const FRAME_PREFIX: usize = 8;
+const FRAME_SUFFIX: usize = 4;
+
+/// Refuse to buffer frames beyond this size (a corrupt length that
+/// happens to satisfy the complement check must not allocate gigabytes).
+pub const MAX_FRAME: usize = 64 << 20;
+
+// Payload kind bytes.
+const KIND_JOIN: u8 = 1;
+const KIND_WELCOME: u8 = 2;
+const KIND_FETCH_MODEL: u8 = 3;
+const KIND_MODEL: u8 = 4;
+const KIND_SUBMIT_UPDATE: u8 = 5;
+const KIND_SUBMIT_ACK: u8 = 6;
+const KIND_SUBMIT_REJECT: u8 = 7;
+const KIND_ROUND_ADVANCE: u8 = 8;
+const KIND_BYE: u8 = 9;
+const KIND_ERROR: u8 = 10;
+
+/// Why a [`Message::SubmitReject`] was sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The server's inbound submit queue is full; retry after a pause.
+    Backpressure,
+    /// The submission's round is not the server's current round.
+    WrongRound,
+    /// This client already submitted for the current round.
+    Duplicate,
+    /// The connection never completed a `Join`, or the id is out of range.
+    UnknownClient,
+}
+
+impl RejectReason {
+    fn code(self) -> u8 {
+        match self {
+            RejectReason::Backpressure => 0,
+            RejectReason::WrongRound => 1,
+            RejectReason::Duplicate => 2,
+            RejectReason::UnknownClient => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, WireError> {
+        Ok(match code {
+            0 => RejectReason::Backpressure,
+            1 => RejectReason::WrongRound,
+            2 => RejectReason::Duplicate,
+            3 => RejectReason::UnknownClient,
+            other => return Err(WireError::Malformed(format!("unknown reject reason {other}"))),
+        })
+    }
+}
+
+/// One protocol message. The client → server direction is `Join`,
+/// `FetchModel`, `SubmitUpdate` and `Bye`; everything else flows
+/// server → client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client's hello: the client id it was provisioned with.
+    Join { client_id: u64 },
+    /// Server's acceptance: run shape + the current round.
+    Welcome { client_id: u64, num_clients: u64, round: u64, total_rounds: u64 },
+    /// Client asks for the current global model.
+    FetchModel,
+    /// The global parameters at `round` (raw f32 bits; bit-exact).
+    Model { round: u64, params: Vec<f32> },
+    /// Client's gradient for `round`, with its local training loss.
+    SubmitUpdate { round: u64, loss: f32, gradient: Vec<f32> },
+    /// Submission accepted; `pending` clients still outstanding.
+    SubmitAck { round: u64, pending: u64 },
+    /// Submission refused; see [`RejectReason`].
+    SubmitReject { round: u64, reason: RejectReason },
+    /// The round completed and the server advanced to `round`; when
+    /// `done`, the run is over and the client should say `Bye`.
+    RoundAdvance { round: u64, done: bool },
+    /// Client is leaving; the server closes the connection.
+    Bye,
+    /// Fatal protocol error; the connection is about to be closed.
+    Error { detail: String },
+}
+
+impl Message {
+    /// Short name for counters and traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Message::Join { .. } => "join",
+            Message::Welcome { .. } => "welcome",
+            Message::FetchModel => "fetch_model",
+            Message::Model { .. } => "model",
+            Message::SubmitUpdate { .. } => "submit_update",
+            Message::SubmitAck { .. } => "submit_ack",
+            Message::SubmitReject { .. } => "submit_reject",
+            Message::RoundAdvance { .. } => "round_advance",
+            Message::Bye => "bye",
+            Message::Error { .. } => "error",
+        }
+    }
+}
+
+/// Why a byte stream could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame-level damage: bad length complement or payload CRC. The
+    /// stream has no recoverable resync point; drop the connection.
+    Corrupt(String),
+    /// The frame was intact but its payload did not parse as a message.
+    Malformed(String),
+    /// A frame announced a length beyond [`MAX_FRAME`].
+    Oversized(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Corrupt(why) => write!(f, "corrupt frame: {why}"),
+            WireError::Malformed(why) => write!(f, "malformed payload: {why}"),
+            WireError::Oversized(len) => write!(f, "oversized frame ({len} bytes)"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---- Payload codec -----------------------------------------------------
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        // Raw bit pattern: NaNs, signed zeros and denormals all survive.
+        self.u32(v.to_bits());
+    }
+    fn f32s(&mut self, vs: &[f32]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.f32(v);
+        }
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or_else(|| WireError::Malformed(format!("payload underrun at {}", self.pos)))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+    fn f32s(&mut self) -> Result<Vec<f32>, WireError> {
+        let n = self.u32()? as usize;
+        // The count must be covered by the remaining payload before any
+        // allocation happens (a corrupt count must not reserve 4 GiB).
+        if n.checked_mul(4).is_none_or(|bytes| self.pos + bytes > self.bytes.len()) {
+            return Err(WireError::Malformed(format!("vector count {n} exceeds payload")));
+        }
+        (0..n).map(|_| self.f32()).collect()
+    }
+    fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| WireError::Malformed(format!("invalid utf8 at {}", self.pos)))
+    }
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(format!("{} trailing payload bytes", self.bytes.len() - self.pos)))
+        }
+    }
+}
+
+fn encode_payload(msg: &Message) -> Vec<u8> {
+    let mut e = Enc(Vec::new());
+    match msg {
+        Message::Join { client_id } => {
+            e.u8(KIND_JOIN);
+            e.u64(*client_id);
+        }
+        Message::Welcome { client_id, num_clients, round, total_rounds } => {
+            e.u8(KIND_WELCOME);
+            e.u64(*client_id);
+            e.u64(*num_clients);
+            e.u64(*round);
+            e.u64(*total_rounds);
+        }
+        Message::FetchModel => e.u8(KIND_FETCH_MODEL),
+        Message::Model { round, params } => {
+            e.u8(KIND_MODEL);
+            e.u64(*round);
+            e.f32s(params);
+        }
+        Message::SubmitUpdate { round, loss, gradient } => {
+            e.u8(KIND_SUBMIT_UPDATE);
+            e.u64(*round);
+            e.f32(*loss);
+            e.f32s(gradient);
+        }
+        Message::SubmitAck { round, pending } => {
+            e.u8(KIND_SUBMIT_ACK);
+            e.u64(*round);
+            e.u64(*pending);
+        }
+        Message::SubmitReject { round, reason } => {
+            e.u8(KIND_SUBMIT_REJECT);
+            e.u64(*round);
+            e.u8(reason.code());
+        }
+        Message::RoundAdvance { round, done } => {
+            e.u8(KIND_ROUND_ADVANCE);
+            e.u64(*round);
+            e.u8(u8::from(*done));
+        }
+        Message::Bye => e.u8(KIND_BYE),
+        Message::Error { detail } => {
+            e.u8(KIND_ERROR);
+            e.str(detail);
+        }
+    }
+    e.0
+}
+
+/// Decodes one frame *payload* (the bytes between the length prefix and
+/// the CRC) into a message.
+pub fn decode_payload(payload: &[u8]) -> Result<Message, WireError> {
+    let mut d = Dec { bytes: payload, pos: 0 };
+    let msg = match d.u8()? {
+        KIND_JOIN => Message::Join { client_id: d.u64()? },
+        KIND_WELCOME => Message::Welcome {
+            client_id: d.u64()?,
+            num_clients: d.u64()?,
+            round: d.u64()?,
+            total_rounds: d.u64()?,
+        },
+        KIND_FETCH_MODEL => Message::FetchModel,
+        KIND_MODEL => Message::Model { round: d.u64()?, params: d.f32s()? },
+        KIND_SUBMIT_UPDATE => Message::SubmitUpdate { round: d.u64()?, loss: d.f32()?, gradient: d.f32s()? },
+        KIND_SUBMIT_ACK => Message::SubmitAck { round: d.u64()?, pending: d.u64()? },
+        KIND_SUBMIT_REJECT => {
+            Message::SubmitReject { round: d.u64()?, reason: RejectReason::from_code(d.u8()?)? }
+        }
+        KIND_ROUND_ADVANCE => Message::RoundAdvance { round: d.u64()?, done: d.u8()? != 0 },
+        KIND_BYE => Message::Bye,
+        KIND_ERROR => Message::Error { detail: d.str()? },
+        other => return Err(WireError::Malformed(format!("unknown message kind {other}"))),
+    };
+    d.finish()?;
+    Ok(msg)
+}
+
+/// Encodes a message as one complete frame, ready for the stream.
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let payload = encode_payload(msg);
+    let len = payload.len() as u32;
+    let mut out = Vec::with_capacity(FRAME_PREFIX + payload.len() + FRAME_SUFFIX);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&(!len).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out
+}
+
+// ---- Stream reassembly -------------------------------------------------
+
+/// Incremental frame reassembly for one byte stream.
+///
+/// TCP delivers frame fragments at arbitrary boundaries; `extend` appends
+/// whatever arrived, `next` yields the next complete message (or `None`
+/// until one is whole). Consumed bytes are compacted away lazily, so a
+/// long-lived connection's buffer stays bounded by the largest in-flight
+/// frame.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by returned messages.
+    consumed: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered and not yet consumed.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// The next complete message, `Ok(None)` if the buffered bytes end
+    /// mid-frame, or an error on corruption (after which the stream is
+    /// unusable and should be closed).
+    pub fn next_message(&mut self) -> Result<Option<Message>, WireError> {
+        let rest = &self.buf[self.consumed..];
+        if rest.len() < FRAME_PREFIX {
+            self.compact();
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes"));
+        let len_chk = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        if len_chk != !len {
+            return Err(WireError::Corrupt(format!(
+                "length complement mismatch (len {len:#x}, chk {len_chk:#x})"
+            )));
+        }
+        let len = len as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::Oversized(len));
+        }
+        let total = FRAME_PREFIX + len + FRAME_SUFFIX;
+        if rest.len() < total {
+            self.compact();
+            return Ok(None);
+        }
+        let payload = &rest[FRAME_PREFIX..FRAME_PREFIX + len];
+        let stored = u32::from_le_bytes(rest[FRAME_PREFIX + len..total].try_into().expect("4 bytes"));
+        let actual = crc32(payload);
+        if stored != actual {
+            return Err(WireError::Corrupt(format!(
+                "payload CRC mismatch (stored {stored:08x}, computed {actual:08x})"
+            )));
+        }
+        let msg = decode_payload(payload)?;
+        self.consumed += total;
+        self.compact();
+        Ok(Some(msg))
+    }
+
+    /// Drops consumed bytes once they dominate the buffer, keeping the
+    /// amortized cost of a long stream linear.
+    fn compact(&mut self) {
+        if self.consumed > 4096 && self.consumed * 2 >= self.buf.len() {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Join { client_id: 3 },
+            Message::Welcome { client_id: 3, num_clients: 10, round: 0, total_rounds: 24 },
+            Message::FetchModel,
+            Message::Model { round: 0, params: vec![0.5, -1.25, f32::MIN_POSITIVE, -0.0] },
+            Message::SubmitUpdate { round: 0, loss: 1.5, gradient: vec![1.0, -2.0, 3.5] },
+            Message::SubmitAck { round: 0, pending: 7 },
+            Message::SubmitReject { round: 0, reason: RejectReason::Backpressure },
+            Message::RoundAdvance { round: 1, done: false },
+            Message::RoundAdvance { round: 24, done: true },
+            Message::Bye,
+            Message::Error { detail: "protocol violation: Join after Welcome".into() },
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for msg in sample_messages() {
+            let frame = encode(&msg);
+            let mut fb = FrameBuffer::new();
+            fb.extend(&frame);
+            assert_eq!(fb.next_message().expect("decode"), Some(msg.clone()), "{}", msg.name());
+            assert_eq!(fb.next_message().expect("decode"), None);
+        }
+    }
+
+    #[test]
+    fn f32_bits_survive_exactly() {
+        let params = vec![f32::NAN, -0.0, f32::INFINITY, 1.0e-40, 3.5];
+        let frame = encode(&Message::Model { round: 9, params: params.clone() });
+        let mut fb = FrameBuffer::new();
+        fb.extend(&frame);
+        let Some(Message::Model { params: got, .. }) = fb.next_message().expect("decode") else {
+            panic!("wrong message");
+        };
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&params), bits(&got));
+    }
+
+    #[test]
+    fn byte_at_a_time_reassembly() {
+        let msgs = sample_messages();
+        let stream: Vec<u8> = msgs.iter().flat_map(encode).collect();
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            fb.extend(&[b]);
+            while let Some(m) = fb.next_message().expect("decode") {
+                got.push(m);
+            }
+        }
+        assert_eq!(got, msgs);
+        assert_eq!(fb.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn torn_frame_waits_for_more_bytes() {
+        let frame = encode(&Message::SubmitAck { round: 2, pending: 3 });
+        for cut in 0..frame.len() {
+            let mut fb = FrameBuffer::new();
+            fb.extend(&frame[..cut]);
+            assert_eq!(fb.next_message().expect("torn prefix is not an error"), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn flipped_byte_is_rejected() {
+        let frame = encode(&Message::SubmitUpdate { round: 1, loss: 0.5, gradient: vec![1.0, 2.0] });
+        for pos in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[pos] ^= 0x01;
+            let mut fb = FrameBuffer::new();
+            fb.extend(&bad);
+            // Either the frame is rejected outright, or the flip landed in
+            // the length field making the frame longer — in which case the
+            // decoder must keep waiting, never return a wrong message.
+            match fb.next_message() {
+                Err(_) | Ok(None) => {}
+                Ok(Some(m)) => panic!("flip at {pos} decoded as {m:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_refused_before_allocation() {
+        let mut frame = Vec::new();
+        let len = (MAX_FRAME + 1) as u32;
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&(!len).to_le_bytes());
+        let mut fb = FrameBuffer::new();
+        fb.extend(&frame);
+        assert!(matches!(fb.next_message(), Err(WireError::Oversized(_))));
+    }
+
+    #[test]
+    fn buffer_compacts_consumed_bytes() {
+        let frame = encode(&Message::FetchModel);
+        let mut fb = FrameBuffer::new();
+        for _ in 0..2000 {
+            fb.extend(&frame);
+            assert!(fb.next_message().expect("decode").is_some());
+        }
+        assert_eq!(fb.pending_bytes(), 0);
+        // 2000 frames passed through, but the buffer never grows past the
+        // compaction threshold plus one frame.
+        assert!(fb.buf.len() <= 4096 + 2 * frame.len(), "compaction bounded the buffer: {}", fb.buf.len());
+    }
+}

@@ -260,6 +260,38 @@ impl WorkerPool {
         }
     }
 
+    /// Queues one long-lived, fire-and-forget task (e.g. a connection
+    /// handler that owns its socket) on the injector and returns
+    /// immediately.
+    ///
+    /// Unlike batch tasks, a detached task owns its data (`'static`) and
+    /// nobody waits on it: a panic inside it is caught on the worker and
+    /// counted (`pool.detached_panics`), never re-raised. Because dropping
+    /// the last pool handle joins the workers, the owner of a detached
+    /// task that can block indefinitely (a socket read) must unblock it —
+    /// shut the socket down — before releasing its last pool clone, or the
+    /// drop will wait forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sequential pool: there is no worker to run detached
+    /// work, and running it inline would block the caller for the task's
+    /// whole lifetime.
+    pub fn submit_detached<F>(&self, task: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let core = self.core.as_ref().expect("submit_detached on a sequential pool");
+        sg_obs::counter_add("pool.detached_tasks", 1);
+        let wrapped: Task = Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                sg_obs::counter_add("pool.detached_panics", 1);
+            }
+        });
+        core.injector.queue.lock().expect("injector lock").tasks.push_back(wrapped);
+        core.injector.ready.notify_one();
+    }
+
     /// Applies `f(index, item)` to every item, returning results in item
     /// order.
     ///
@@ -482,6 +514,32 @@ mod tests {
         let mut out = vec![0.0f32; 8];
         pool.run_chunks(&mut out, 2, &|i, chunk| chunk.fill(i as f32));
         assert_eq!(out, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn detached_tasks_run_and_panics_stay_on_the_worker() {
+        let pool = WorkerPool::new(3);
+        let (tx, rx) = std::sync::mpsc::channel::<u32>();
+        let tx2 = tx.clone();
+        pool.submit_detached(move || {
+            tx.send(7).expect("send");
+        });
+        pool.submit_detached(|| panic!("detached panic must not escape"));
+        pool.submit_detached(move || {
+            tx2.send(8).expect("send");
+        });
+        let mut got: Vec<u32> =
+            (0..2).map(|_| rx.recv_timeout(std::time::Duration::from_secs(10)).expect("recv")).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![7, 8]);
+        // The panicking task never poisoned anything: batches still work.
+        assert_eq!(pool.map(vec![1u32, 2], |_, x| x * 2), vec![2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential pool")]
+    fn detached_on_sequential_pool_panics() {
+        WorkerPool::sequential().submit_detached(|| {});
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //! | [`tensor`] | `sg-tensor` | dense tensors, GEMM, im2col convolution |
 //! | [`data`] | `sg-data` | synthetic datasets + IID / non-IID partitioners |
 //! | [`cluster`] | `sg-cluster` | MeanShift / KMeans used by the sign filter |
-//! | [`math`] | `sg-math` | vector ops, statistics, Gaussian sampling |
+//! | [`math`] | `sg-math` | vector ops, statistics, Gaussian sampling, CRC-32 |
+//! | [`net`] | `sg-net` | networked FL service: framed wire protocol, loopback + TCP transports |
 //! | [`obs`] | `sg-obs` | deterministic tracing/metrics: spans, counters, JSONL + summary sinks |
 //!
 //! # Quickstart
@@ -43,6 +44,7 @@ pub use sg_core as core;
 pub use sg_data as data;
 pub use sg_fl as fl;
 pub use sg_math as math;
+pub use sg_net as net;
 pub use sg_nn as nn;
 pub use sg_obs as obs;
 pub use sg_runtime as runtime;

@@ -1,0 +1,208 @@
+//! The loopback-transport determinism contract: a federated run served
+//! over the wire protocol (`sg-net`'s [`LoopbackNet`]) is **bit-for-bit
+//! identical** to the in-process synchronous simulator — final model
+//! bits, per-round honest losses, everything — for the same seeds, at
+//! any thread count.
+//!
+//! Why this holds (and what these tests pin down):
+//!
+//! * the client fleet comes from the same seed schedule
+//!   ([`build_participants`]), so replicas, shards and RNG streams match;
+//! * every parameter vector and gradient crosses the real frame codec as
+//!   raw f32 bits, so no value is perturbed in flight;
+//! * each client computes exactly one gradient per round (re-deliveries
+//!   reuse the cached update), so RNG streams never fork;
+//! * the service ingests each completed round ascending by client id —
+//!   the same float order as the in-process Sync drain — and then runs
+//!   *the same* attack → aggregate → apply code
+//!   ([`RoundPipeline::apply_batch`]).
+//!
+//! Thread counts honor the `SG_THREADS` environment variable exactly as
+//! `runtime_determinism.rs` does (a count or comma-separated list); CI's
+//! `loopback-determinism` job loops over 1 and 4.
+
+use signguard::aggregators::{Aggregator, Mean};
+use signguard::attacks::{Attack, SignFlip};
+use signguard::core::SignGuard;
+use signguard::fl::{build_participants, tasks, FlConfig, PartitionCache, Simulator};
+use signguard::net::{ClientDriver, FlService, LoopbackNet, ServiceReport, Transport};
+use signguard::runtime::Engine;
+
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("SG_THREADS") {
+        Ok(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(|t| t.parse().unwrap_or_else(|_| panic!("SG_THREADS: bad thread count {t:?}")))
+            .collect(),
+        Err(_) => vec![1, 2, 3, 8],
+    }
+}
+
+fn quick_cfg(seed: u64) -> FlConfig {
+    FlConfig {
+        num_clients: 10,
+        byzantine_fraction: 0.2,
+        batch_size: 8,
+        epochs: 2,
+        seed,
+        ..FlConfig::default()
+    }
+}
+
+fn engine_for(threads: usize) -> Engine {
+    if threads <= 1 {
+        Engine::sequential()
+    } else {
+        Engine::parallel(threads)
+    }
+}
+
+/// Runs the service over a loopback fleet built from the same seeds.
+fn loopback_run(
+    seed: u64,
+    gar: Box<dyn Aggregator>,
+    attack: Option<Box<dyn Attack>>,
+    engine: &Engine,
+    latency_seed: u64,
+    max_latency: u64,
+) -> ServiceReport {
+    let task = tasks::mlp_task(seed);
+    let cfg = quick_cfg(seed);
+    let participants = build_participants(&task, &cfg, attack.as_deref(), &PartitionCache::new());
+    let drivers: Vec<ClientDriver> = participants
+        .clients
+        .into_iter()
+        .map(|c| ClientDriver::new(c, task.train.clone(), cfg.batch_size))
+        .collect();
+    let mut net = LoopbackNet::new(drivers, latency_seed, max_latency);
+    let service = FlService::new(&task, &cfg, gar, attack, engine);
+    service.run(&mut net)
+}
+
+/// Runs the in-process simulator with the same seeds and returns
+/// `(final params, per-round honest mean losses)`.
+fn in_process_run(
+    seed: u64,
+    gar: Box<dyn Aggregator>,
+    attack: Option<Box<dyn Attack>>,
+    engine: Engine,
+) -> (Vec<f32>, Vec<f32>) {
+    let mut sim = Simulator::with_engine(tasks::mlp_task(seed), quick_cfg(seed), gar, attack, engine);
+    let result = sim.run();
+    let losses = result.rounds.iter().map(|m| m.mean_loss).collect();
+    (sim.global_params().to_vec(), losses)
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_wire_matches_in_process(
+    seed: u64,
+    make_gar: impl Fn() -> Box<dyn Aggregator>,
+    make_attack: impl Fn() -> Option<Box<dyn Attack>>,
+    what: &str,
+) {
+    // In-process reference on the sequential engine.
+    let (ref_params, ref_losses) = in_process_run(seed, make_gar(), make_attack(), Engine::sequential());
+    for threads in thread_counts() {
+        let engine = engine_for(threads);
+        let report = loopback_run(seed, make_gar(), make_attack(), &engine, 99, 7);
+        assert_eq!(
+            report.rounds,
+            ref_losses.len(),
+            "{what} @ {threads} threads: wire run applied a different round count"
+        );
+        assert_eq!(
+            bits(&report.final_params),
+            bits(&ref_params),
+            "{what} @ {threads} threads: final model diverges over the wire"
+        );
+        assert_eq!(
+            bits(&report.round_losses),
+            bits(&ref_losses),
+            "{what} @ {threads} threads: per-round losses diverge over the wire"
+        );
+        assert_eq!(report.rejects, 0, "{what}: a deterministic loopback run never rejects");
+    }
+}
+
+#[test]
+fn loopback_matches_in_process_sync_mean_no_attack() {
+    assert_wire_matches_in_process(31, || Box::new(Mean::new()), || None, "Mean / no attack");
+}
+
+#[test]
+fn loopback_matches_in_process_sync_signguard_under_signflip() {
+    // SignGuard exercises the executor-sharded filter kernels, so this
+    // also proves the wire path inherits the engine's thread-invariance.
+    assert_wire_matches_in_process(
+        32,
+        || Box::new(SignGuard::plain(4)),
+        || Some(Box::new(SignFlip::new())),
+        "SignGuard / sign-flip",
+    );
+}
+
+#[test]
+fn loopback_final_model_is_latency_seed_invariant() {
+    // Different latency seeds reorder arrivals on the virtual clock; the
+    // service canonicalizes by client id, so the model must not move.
+    let engine = Engine::sequential();
+    let base = loopback_run(33, Box::new(Mean::new()), None, &engine, 1, 5);
+    for (latency_seed, max_latency) in [(2u64, 5u64), (77, 1), (123, 19)] {
+        let other = loopback_run(33, Box::new(Mean::new()), None, &engine, latency_seed, max_latency);
+        assert_eq!(
+            bits(&base.final_params),
+            bits(&other.final_params),
+            "latency seed {latency_seed} / max {max_latency} moved the final model"
+        );
+        assert_eq!(bits(&base.round_losses), bits(&other.round_losses));
+    }
+}
+
+#[test]
+fn loopback_runs_are_reproducible() {
+    // Same seeds end to end ⇒ identical reports (the whole struct, not
+    // just the model — message counts included).
+    let engine = Engine::sequential();
+    let a = loopback_run(34, Box::new(SignGuard::plain(2)), Some(Box::new(SignFlip::new())), &engine, 9, 7);
+    let b = loopback_run(34, Box::new(SignGuard::plain(2)), Some(Box::new(SignFlip::new())), &engine, 9, 7);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn loopback_message_accounting_is_exact() {
+    // 10 clients, R rounds: each client sends Join + per-round
+    // (FetchModel + SubmitUpdate) + Bye; the server answers Welcome +
+    // per-round (Model + SubmitAck) + RoundAdvance broadcasts.
+    let engine = Engine::sequential();
+    let report = loopback_run(35, Box::new(Mean::new()), None, &engine, 5, 3);
+    let n = 10u64;
+    let r = report.rounds as u64;
+    assert_eq!(report.messages_in, n + n * 2 * r + n, "client->server messages");
+    assert_eq!(report.messages_out, n + n * 2 * r + n * r, "server->client messages");
+    assert_eq!(report.rejects, 0);
+}
+
+#[test]
+fn transport_poll_drains_clean_after_run() {
+    let task = tasks::mlp_task(36);
+    let cfg = quick_cfg(36);
+    let participants = build_participants(&task, &cfg, None, &PartitionCache::new());
+    let drivers: Vec<ClientDriver> = participants
+        .clients
+        .into_iter()
+        .map(|c| ClientDriver::new(c, task.train.clone(), cfg.batch_size))
+        .collect();
+    let engine = Engine::sequential();
+    let mut net = LoopbackNet::new(drivers, 11, 3);
+    let service = FlService::new(&task, &cfg, Box::new(Mean::new()), None, &engine);
+    let report = service.run(&mut net);
+    assert!(report.rounds > 0);
+    // After a clean run every connection closed and the clock has no
+    // scheduled deliveries left.
+    assert_eq!(net.poll(), None, "loopback still had undelivered events after the run");
+}

@@ -1,0 +1,113 @@
+//! The socket backend's (weaker, still exact) determinism contract: a
+//! run over real TCP — kernel-scheduled arrival order, backpressure and
+//! all — produces a final model **bit-identical** to the loopback run of
+//! the same seeds, because the service canonicalizes every round batch by
+//! client id before the shared pipeline stages run.
+//!
+//! CI's `net-smoke` job proves the same thing end-to-end through the
+//! `sg-server` / `sg-loadgen` binaries; this test pins it in-process so
+//! plain `cargo test` catches a regression without the binary harness.
+
+use std::net::SocketAddr;
+
+use signguard::aggregators::Aggregator;
+use signguard::attacks::{Attack, SignFlip};
+use signguard::core::SignGuard;
+use signguard::fl::{build_participants, tasks, FlConfig, PartitionCache, Task};
+use signguard::net::{ClientDriver, FlService, LoopbackNet, ServiceReport, TcpClient, TcpServerTransport};
+use signguard::runtime::Engine;
+
+fn small_cfg(seed: u64) -> FlConfig {
+    FlConfig {
+        num_clients: 4,
+        byzantine_fraction: 0.25,
+        batch_size: 8,
+        epochs: 1,
+        seed,
+        ..FlConfig::default()
+    }
+}
+
+fn fleet(task: &Task, cfg: &FlConfig, attack: Option<&dyn Attack>) -> Vec<ClientDriver> {
+    build_participants(task, cfg, attack, &PartitionCache::new())
+        .clients
+        .into_iter()
+        .map(|c| ClientDriver::new(c, task.train.clone(), cfg.batch_size))
+        .collect()
+}
+
+fn loopback_reference(seed: u64) -> ServiceReport {
+    let task = tasks::mlp_task(seed);
+    let cfg = small_cfg(seed);
+    let drivers = fleet(&task, &cfg, Some(&SignFlip::new()));
+    let mut net = LoopbackNet::new(drivers, 3, 5);
+    let service = FlService::new(
+        &task,
+        &cfg,
+        Box::new(SignGuard::plain(1)) as Box<dyn Aggregator>,
+        Some(Box::new(SignFlip::new())),
+        &Engine::sequential(),
+    );
+    service.run(&mut net)
+}
+
+/// Pumps one client's protocol state machine over a real socket until the
+/// server announces the final round.
+fn drive_client(addr: SocketAddr, mut driver: ClientDriver) {
+    let mut conn = TcpClient::connect(&addr).expect("connect");
+    for msg in driver.on_connect() {
+        conn.send(&msg).expect("send");
+    }
+    while !driver.is_done() {
+        let incoming = conn.recv().expect("recv");
+        for reply in driver.on_message(&incoming) {
+            conn.send(&reply).expect("send reply");
+        }
+    }
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn tcp_run_matches_loopback_bit_for_bit() {
+    let seed = 41;
+    let reference = loopback_reference(seed);
+    assert!(reference.rounds > 0, "reference run applied no rounds");
+
+    let task = tasks::mlp_task(seed);
+    let cfg = small_cfg(seed);
+    // A tight submit queue so backpressure actually fires; rejected
+    // clients resend the cached gradient, which must not move the model.
+    let mut transport = TcpServerTransport::bind("127.0.0.1:0", cfg.num_clients + 2, 2).expect("bind");
+    let addr = transport.local_addr();
+    let handles: Vec<_> = fleet(&task, &cfg, Some(&SignFlip::new()))
+        .into_iter()
+        .map(|driver| std::thread::spawn(move || drive_client(addr, driver)))
+        .collect();
+    let service = FlService::new(
+        &task,
+        &cfg,
+        Box::new(SignGuard::plain(1)) as Box<dyn Aggregator>,
+        Some(Box::new(SignFlip::new())),
+        &Engine::sequential(),
+    );
+    let report = service.run(&mut transport);
+    transport.shutdown();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+
+    assert_eq!(report.rounds, reference.rounds, "socket run applied a different round count");
+    assert_eq!(
+        bits(&report.final_params),
+        bits(&reference.final_params),
+        "socket run's final model diverges from the loopback reference"
+    );
+    assert_eq!(
+        bits(&report.round_losses),
+        bits(&reference.round_losses),
+        "per-round honest losses diverge over the socket"
+    );
+}

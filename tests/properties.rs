@@ -318,3 +318,143 @@ fn journal_any_flipped_byte_is_rejected() {
         }
     }
 }
+
+// ---- Wire-protocol codec (sg-net) --------------------------------------
+//
+// The networked service's frames carry the determinism contract over the
+// wire, so the codec gets the same property treatment as the journal:
+// round-trip fidelity over random messages (including adversarial f32 bit
+// patterns — NaNs, infinities, denormals), torn-frame truncation at every
+// offset (a short read must wait, never mis-decode), and strict rejection
+// of any single flipped byte.
+
+use signguard::net::wire::{self, Message, RejectReason};
+use signguard::net::FrameBuffer;
+
+fn wire_f32(rng: &mut impl Rng) -> f32 {
+    // Raw bit pattern: exercises NaN payloads, ±inf, denormals, -0.0.
+    f32::from_bits(rng.gen::<u64>() as u32)
+}
+
+fn wire_vec(rng: &mut impl Rng, max_len: usize) -> Vec<f32> {
+    (0..rng.gen_range(0usize..max_len.max(1))).map(|_| wire_f32(rng)).collect()
+}
+
+fn wire_message(rng: &mut impl Rng) -> Message {
+    match rng.gen_range(0usize..10) {
+        0 => Message::Join { client_id: rng.gen::<u64>() },
+        1 => Message::Welcome {
+            client_id: rng.gen::<u64>(),
+            num_clients: rng.gen::<u64>(),
+            round: rng.gen::<u64>(),
+            total_rounds: rng.gen::<u64>(),
+        },
+        2 => Message::FetchModel,
+        3 => Message::Model { round: rng.gen::<u64>(), params: wire_vec(rng, 64) },
+        4 => Message::SubmitUpdate {
+            round: rng.gen::<u64>(),
+            loss: wire_f32(rng),
+            gradient: wire_vec(rng, 64),
+        },
+        5 => Message::SubmitAck { round: rng.gen::<u64>(), pending: rng.gen::<u64>() },
+        6 => Message::SubmitReject {
+            round: rng.gen::<u64>(),
+            reason: [
+                RejectReason::Backpressure,
+                RejectReason::WrongRound,
+                RejectReason::Duplicate,
+                RejectReason::UnknownClient,
+            ][rng.gen_range(0usize..4)],
+        },
+        7 => Message::RoundAdvance { round: rng.gen::<u64>(), done: rng.gen_bool(0.5) },
+        8 => Message::Bye,
+        _ => Message::Error { detail: journal_string(rng, 40) },
+    }
+}
+
+#[test]
+fn wire_round_trips_over_random_messages() {
+    // Encoding is canonical, so byte-comparing the re-encoded decode is an
+    // exact equality check that is also NaN-safe (PartialEq would not be).
+    for seed in 0..CASES {
+        let mut rng = signguard::math::seeded_rng(seed ^ 0x3A7_0F00D);
+        let msg = wire_message(&mut rng);
+        let frame = wire::encode(&msg);
+        let mut fb = FrameBuffer::new();
+        fb.extend(&frame);
+        let decoded = fb
+            .next_message()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"))
+            .unwrap_or_else(|| panic!("seed {seed}: whole frame did not decode"));
+        assert_eq!(wire::encode(&decoded), frame, "seed {seed}: {} altered in flight", msg.name());
+        assert!(fb.next_message().expect("clean tail").is_none(), "seed {seed}: phantom trailing message");
+    }
+}
+
+#[test]
+fn wire_streams_reassemble_across_random_chunking() {
+    // Many messages, one byte stream, random tear points: every message
+    // must come back exactly once, in order, regardless of chunking.
+    for seed in [1u64, 23, 58] {
+        let mut rng = signguard::math::seeded_rng(seed ^ 0xC0FFEE);
+        let msgs: Vec<Message> = (0..12).map(|_| wire_message(&mut rng)).collect();
+        let stream: Vec<u8> = msgs.iter().flat_map(wire::encode).collect();
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        while pos < stream.len() {
+            let n = rng.gen_range(1usize..19).min(stream.len() - pos);
+            fb.extend(&stream[pos..pos + n]);
+            pos += n;
+            while let Some(m) = fb.next_message().unwrap_or_else(|e| panic!("seed {seed}: {e}")) {
+                got.push(m);
+            }
+        }
+        let got_bytes: Vec<u8> = got.iter().flat_map(wire::encode).collect();
+        assert_eq!(got_bytes, stream, "seed {seed}: reassembly altered the stream");
+        assert_eq!(fb.pending_bytes(), 0, "seed {seed}: leftover bytes after clean stream");
+    }
+}
+
+#[test]
+fn wire_torn_frame_waits_at_every_truncation_offset() {
+    for seed in [7u64, 19] {
+        let mut rng = signguard::math::seeded_rng(seed ^ 0x7012);
+        let frame = wire::encode(&wire_message(&mut rng));
+        for cut in 0..frame.len() {
+            let mut fb = FrameBuffer::new();
+            fb.extend(&frame[..cut]);
+            assert_eq!(
+                fb.next_message()
+                    .unwrap_or_else(|e| panic!("seed {seed} cut {cut}: torn prefix errored: {e}")),
+                None,
+                "seed {seed} cut {cut}: torn frame must wait for more bytes"
+            );
+        }
+    }
+}
+
+#[test]
+fn wire_any_flipped_byte_is_rejected() {
+    for seed in [9u64, 41] {
+        let mut rng = signguard::math::seeded_rng(seed ^ 0xF11B);
+        let frame = wire::encode(&wire_message(&mut rng));
+        for pos in 0..frame.len() {
+            for mask in [0x01u8, 0x80] {
+                let mut bytes = frame.clone();
+                bytes[pos] ^= mask;
+                let mut fb = FrameBuffer::new();
+                fb.extend(&bytes);
+                match fb.next_message() {
+                    // Rejected outright, or the flip grew the announced
+                    // length and the decoder keeps waiting — either way no
+                    // wrong message may surface.
+                    Err(_) | Ok(None) => {}
+                    Ok(Some(m)) => {
+                        panic!("seed {seed}: flip {mask:#04x} at byte {pos} decoded as {}", m.name())
+                    }
+                }
+            }
+        }
+    }
+}
