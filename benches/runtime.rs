@@ -2,9 +2,10 @@
 //! clients, the grid driver fanning out whole scenario cells, the
 //! schedule axis (sync vs. straggler vs. async-buffered pipeline overhead
 //! at 128 clients), the sg-obs instrumentation overhead (registry
-//! disabled vs. enabled on the same pipeline), and the robust-aggregator
+//! disabled vs. enabled on the same pipeline), the robust-aggregator
 //! family (mean / median / krum / bulyan / geomed) sequential vs.
-//! sharded.
+//! sharded, and the `sg_math::kernels` width A/B (scalar vs. wide on the
+//! same reduction inputs).
 //!
 //! ```sh
 //! cargo bench --bench runtime
@@ -20,17 +21,23 @@
 //! rule — sequential vs. an `SG_BENCH_THREADS`-wide pool (default 4) at
 //! 128 clients — plus the scheduler hot path (per-step pipeline time of
 //! the straggler and async-buffered schedules against the synchronous
-//! baseline, as `sched/*` rows) and the sg-obs probe cost (the same sync
+//! baseline, as `sched/*` rows), the sg-obs probe cost (the same sync
 //! pipeline with the registry disabled vs. enabled, as the
-//! `obs/round-overhead` row), and writes the wall times to
-//! `target/BENCH_pr.json`. With
+//! `obs/round-overhead` row), and the SIMD kernel layer (explicit
+//! scalar-width vs. wide-width calls on identical inputs, as `kernel/*`
+//! rows with (scalar, wide) stored in the (seq, par) columns), and
+//! writes the wall times to `target/BENCH_pr.json`. With
 //! `SG_BENCH_GATE=1` (CI's bench-gate job) the process exits non-zero if
-//! any rule is slower parallel than sequential, **or** if a rule's
-//! parallel speedup regressed below `SG_BENCH_REGRESSION` (default 0.5)
-//! times the speedup recorded in the committed `BENCH_base.json`
-//! baseline (override the path with `SG_BENCH_BASELINE`). Speedup ratios
-//! — not absolute times — are compared, so the gate tolerates host-class
-//! differences while still catching structural regressions.
+//! any rule is slower parallel than sequential, if any wide kernel is
+//! slower than its scalar twin, **or** if a row's speedup regressed
+//! below `SG_BENCH_REGRESSION` (default 0.5) times the speedup recorded
+//! in the committed `BENCH_base.json` baseline (override the path with
+//! `SG_BENCH_BASELINE`). Speedup ratios — not absolute times — are
+//! compared, so the gate tolerates host-class differences while still
+//! catching structural regressions. Kernel wins do not depend on the
+//! thread pool, so the `kernel/*` checks run even on hosts with fewer
+//! cores than the gate's thread count (where the parallel rows are
+//! skipped).
 //!
 //! `SG_BENCH_GATE_ONLY=1` skips the Criterion groups and runs just the
 //! gate — used to (re)generate the baseline:
@@ -46,6 +53,7 @@ use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use signguard::aggregators::{Aggregator, Bulyan, CoordinateMedian, GeoMed, Mean, MultiKrum};
 use signguard::core::SignGuard;
 use signguard::fl::{tasks, FlConfig, Schedule, SelectionTracker, Simulator};
+use signguard::math::kernels::{self, Width};
 use signguard::obs;
 use signguard::runtime::{Engine, GridRunner, RunPlan};
 
@@ -231,6 +239,49 @@ fn bench_pairwise_family(c: &mut Criterion) {
     group.finish();
 }
 
+// ---- SIMD kernel layer (scalar vs. wide) -------------------------------
+
+/// The `sg_math::kernels` width A/B on identical inputs: the wide layout
+/// hands LLVM packed `f64` lane groups it autovectorizes (the codegen
+/// test in `sg-math` pins the instructions); the scalar layout keeps the
+/// same fixed lane tree as strided dependent chains. Both produce
+/// bit-identical sums, so this group measures pure instruction-selection
+/// speedup. The perf gate asserts the same comparison as `kernel/*` rows.
+fn bench_kernel_widths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_widths");
+    group.sample_size(10);
+    let long = family_gradients(2, 1 << 18);
+    let pop = family_gradients(64, 4096);
+    for (mode, width) in [("scalar", Width::Scalar), ("wide", Width::Wide)] {
+        group.bench_function(BenchmarkId::new("l2norm", mode), |b| {
+            b.iter(|| black_box(kernels::l2_norm_sq_f64_with(width, black_box(&long[0]))));
+        });
+        group.bench_function(BenchmarkId::new("pairwise", mode), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for i in 0..pop.len() {
+                    for j in (i + 1)..pop.len() {
+                        acc += kernels::l2_distance_sq_f64_with(width, &pop[i], &pop[j]);
+                    }
+                }
+                black_box(acc)
+            });
+        });
+        group.bench_function(BenchmarkId::new("signnorm", mode), |b| {
+            let (mut bits, mut zeros) = (Vec::new(), Vec::new());
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for v in &pop {
+                    kernels::pack_signs_into_with(width, v, &mut bits, &mut zeros);
+                    acc += kernels::l2_norm_sq_f64_with(width, v).sqrt();
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
 // ---- BENCH_pr.json perf gate -------------------------------------------
 
 /// Best-of-N wall time of one `aggregate` call on the given engine.
@@ -270,15 +321,35 @@ fn time_schedule(schedule: Schedule, steps: usize) -> f64 {
     best
 }
 
+/// Best-of-N wall time of one timed closure (first call is an untimed
+/// warm-up; the `f64` result is black-boxed so the work is not elided).
+fn time_kernel(mut f: impl FnMut() -> f64) -> f64 {
+    let reps = 5;
+    let _ = black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
 /// Times the rule family seq vs. par **and** the scheduler hot path (per-
 /// step pipeline time of the async schedules against the synchronous
 /// baseline, as `sched/*` rows) **and** the sg-obs probe cost (the same
 /// sync pipeline with the registry disabled vs. enabled, as the
-/// `obs/round-overhead` row), writes `target/BENCH_pr.json`, and — under
-/// `SG_BENCH_GATE=1` — fails the process if parallel lost anywhere or a
-/// speedup ratio regressed against the baseline. `sched/*` and `obs/*`
-/// rows take part in the baseline-ratio diff only (neither column pair is
-/// a parallel variant, so "par must beat seq" does not apply).
+/// `obs/round-overhead` row) **and** the SIMD kernel layer (explicit
+/// scalar vs. wide width on identical inputs, as `kernel/*` rows), writes
+/// `target/BENCH_pr.json`, and — under `SG_BENCH_GATE=1` — fails the
+/// process if parallel lost anywhere, a wide kernel lost to its scalar
+/// twin, or a speedup ratio regressed against the baseline. `sched/*` and
+/// `obs/*` rows take part in the baseline-ratio diff only (neither column
+/// pair is a parallel variant, so "par must beat seq" does not apply);
+/// `kernel/*` rows get their own wide-beats-scalar check, which — unlike
+/// the pool rows — runs even when the host has fewer cores than the gate
+/// threads, because instruction-selection wins are thread-count
+/// independent.
 fn perf_gate() {
     let threads: usize =
         std::env::var("SG_BENCH_THREADS").ok().and_then(|v| v.parse().ok()).filter(|&t| t > 0).unwrap_or(4);
@@ -343,6 +414,60 @@ fn perf_gate() {
     );
     rows.push(("obs/round-overhead", 0, sync_s, obs_enabled_s));
 
+    // SIMD kernel layer: the same reduction at explicit Width::Scalar vs.
+    // Width::Wide — dispatch_width() is latched once per process, so the
+    // in-process A/B must use the `*_with` variants (the end-to-end
+    // SG_SIMD=scalar comparison is CI's separate simd-smoke job). Stored
+    // as (scalar, wide) in the (seq, par) columns so the baseline diff
+    // gates the vectorization speedup like any other ratio.
+    let long = family_gradients(2, 1 << 18);
+    let pop = family_gradients(64, 4096);
+    let mut kernel_row = |name: &'static str, dim: usize, run: &dyn Fn(Width) -> f64| {
+        let scalar_s = time_kernel(|| run(Width::Scalar));
+        let wide_s = time_kernel(|| run(Width::Wide));
+        println!(
+            "  {name:<20}  scalar {:>9.3} ms  wide {:>9.3} ms  speedup {:>5.2}x",
+            scalar_s * 1e3,
+            wide_s * 1e3,
+            scalar_s / wide_s
+        );
+        rows.push((name, dim, scalar_s, wide_s));
+    };
+    kernel_row("kernel/l2norm", 1 << 18, &|w| {
+        let mut acc = 0.0f64;
+        for _ in 0..16 {
+            acc += kernels::l2_norm_sq_f64_with(w, black_box(&long[0]));
+        }
+        acc
+    });
+    kernel_row("kernel/dot", 1 << 18, &|w| {
+        let mut acc = 0.0f64;
+        for _ in 0..16 {
+            acc += kernels::dot_f64_with(w, black_box(&long[0]), black_box(&long[1]));
+        }
+        acc
+    });
+    kernel_row("kernel/pairwise", 4096, &|w| {
+        let mut acc = 0.0f64;
+        for i in 0..pop.len() {
+            for j in (i + 1)..pop.len() {
+                acc += kernels::l2_distance_sq_f64_with(w, &pop[i], &pop[j]);
+            }
+        }
+        acc
+    });
+    kernel_row("kernel/signnorm", 4096, &|w| {
+        let (mut bits, mut zeros) = (Vec::new(), Vec::new());
+        let mut acc = 0.0f64;
+        for _ in 0..8 {
+            for v in &pop {
+                kernels::pack_signs_into_with(w, v, &mut bits, &mut zeros);
+                acc += kernels::l2_norm_sq_f64_with(w, v).sqrt();
+            }
+        }
+        acc
+    });
+
     let json_rows: Vec<String> = rows
         .iter()
         .map(|(name, dim, seq_s, par_s)| {
@@ -368,17 +493,41 @@ fn perf_gate() {
     println!("[bench json] {}", path.display());
 
     if std::env::var("SG_BENCH_GATE").as_deref() == Ok("1") {
+        // Kernel rows first: a wide kernel losing to its scalar twin is a
+        // codegen regression whatever the host looks like, so this check
+        // never skips.
+        let kernel_losers: Vec<&str> = rows
+            .iter()
+            .filter(|(name, ..)| name.starts_with("kernel/"))
+            .filter(|(_, _, scalar_s, wide_s)| wide_s > scalar_s)
+            .map(|&(name, ..)| name)
+            .collect();
+        if kernel_losers.is_empty() {
+            println!("perf gate PASS: wide beats scalar for every kernel row");
+        } else {
+            eprintln!("perf gate FAIL: wide kernel slower than scalar for {kernel_losers:?}");
+            std::process::exit(1);
+        }
+
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         if cores < threads {
             println!(
-                "perf gate SKIP: host has {cores} core(s) < {threads} gate threads; \
+                "perf gate SKIP (pool rows): host has {cores} core(s) < {threads} gate threads; \
                  an oversubscribed pool cannot be required to beat sequential"
             );
+            // The kernel rows still diff against the baseline: SIMD
+            // speedups do not depend on the pool, so a small host runs
+            // the full kernel gate even while the parallel rows skip.
+            let kernel_rows: Vec<(&str, usize, f64, f64)> =
+                rows.iter().filter(|(name, ..)| name.starts_with("kernel/")).copied().collect();
+            baseline_gate(&kernel_rows);
             return;
         }
         let losers: Vec<&str> = rows
             .iter()
-            .filter(|(name, ..)| !name.starts_with("sched/") && !name.starts_with("obs/"))
+            .filter(|(name, ..)| {
+                !name.starts_with("sched/") && !name.starts_with("obs/") && !name.starts_with("kernel/")
+            })
             .filter(|(_, _, seq_s, par_s)| par_s > seq_s)
             .map(|&(name, ..)| name)
             .collect();
@@ -462,7 +611,8 @@ criterion_group!(
     bench_grid_fanout,
     bench_scheduler_overhead,
     bench_obs_overhead,
-    bench_pairwise_family
+    bench_pairwise_family,
+    bench_kernel_widths
 );
 
 fn main() {

@@ -33,6 +33,7 @@ mod dnc;
 mod geomed;
 mod krum;
 mod mean;
+mod repr;
 mod signmajority;
 mod staleness;
 
@@ -42,8 +43,52 @@ pub use dnc::DnC;
 pub use geomed::GeoMed;
 pub use krum::{pairwise_sq_distances, scores_from_matrix, MultiKrum};
 pub use mean::{CoordinateMedian, Mean, TrimmedMean};
+pub use repr::{GradientRepr, QuantizedVec, SignNormVec};
 pub use signmajority::SignMajority;
 pub use staleness::StalenessDamped;
+
+/// The element representation of a batch: every message in a batch shares
+/// one representation (mixed-representation rounds are densified by the
+/// pipeline before they reach a rule).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchElems<'a> {
+    /// Dense `f32` gradients (the reference representation).
+    Dense(&'a [Vec<f32>]),
+    /// Bit-packed sign + norm gradients, consumed natively by the
+    /// sign-based rules (SignGuard, [`SignMajority`]).
+    SignNorm(&'a [SignNormVec]),
+    /// Per-vector-scaled `i8` gradients, aggregated under the
+    /// dequantize-then-aggregate contract (see [`QuantizedVec`]).
+    Quantized(&'a [QuantizedVec]),
+}
+
+impl BatchElems<'_> {
+    /// Number of messages in the batch.
+    pub fn len(&self) -> usize {
+        match self {
+            BatchElems::Dense(g) => g.len(),
+            BatchElems::SignNorm(s) => s.len(),
+            BatchElems::Quantized(q) => q.len(),
+        }
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes the batch's documented dense form: sign-norm vectors
+    /// reconstruct as their `±norm/√nnz` stand-ins
+    /// ([`SignNormVec::to_dense`]); quantized vectors dequantize exactly
+    /// ([`QuantizedVec::to_dense`]). Dense batches copy.
+    pub fn to_dense(&self) -> Vec<Vec<f32>> {
+        match self {
+            BatchElems::Dense(g) => g.to_vec(),
+            BatchElems::SignNorm(s) => s.iter().map(SignNormVec::to_dense).collect(),
+            BatchElems::Quantized(q) => q.iter().map(QuantizedVec::to_dense).collect(),
+        }
+    }
+}
 
 /// Input to an aggregation rule: the message batch plus optional arrival
 /// metadata from asynchronous schedules.
@@ -53,29 +98,52 @@ pub use staleness::StalenessDamped;
 /// the model each gradient was computed against is — so rules can
 /// down-weight or reject stale contributions (see [`StalenessDamped`])
 /// without the eight batch-only rules having to know staleness exists.
+///
+/// The elements themselves are representation-pluggable ([`BatchElems`]):
+/// sign-native rules consume [`SignNorm`](BatchElems::SignNorm) batches
+/// without densifying; every other rule receives the documented dense
+/// materialization via the default [`Aggregator::aggregate_batch`].
 #[derive(Debug, Clone, Copy)]
 pub struct GradientBatch<'a> {
-    /// Flattened client gradients, one per message.
-    pub gradients: &'a [Vec<f32>],
-    /// Per-message staleness in server steps, aligned with `gradients`
+    /// The client messages, one gradient per message.
+    pub elems: BatchElems<'a>,
+    /// Per-message staleness in server steps, aligned with the elements
     /// (`None` for synchronous rounds, where every message is fresh).
     pub staleness: Option<&'a [usize]>,
 }
 
 impl<'a> GradientBatch<'a> {
-    /// A batch from a synchronous round (no arrival metadata).
+    /// A dense batch from a synchronous round (no arrival metadata).
     pub fn synchronous(gradients: &'a [Vec<f32>]) -> Self {
-        Self { gradients, staleness: None }
+        Self { elems: BatchElems::Dense(gradients), staleness: None }
     }
 
-    /// A batch carrying per-message staleness.
+    /// A dense batch carrying per-message staleness.
     ///
     /// # Panics
     ///
     /// Panics if `staleness` and `gradients` lengths differ.
     pub fn with_staleness(gradients: &'a [Vec<f32>], staleness: &'a [usize]) -> Self {
         assert_eq!(staleness.len(), gradients.len(), "GradientBatch: staleness/gradient count mismatch");
-        Self { gradients, staleness: Some(staleness) }
+        Self { elems: BatchElems::Dense(gradients), staleness: Some(staleness) }
+    }
+
+    /// A synchronous batch of bit-packed sign+norm gradients.
+    pub fn signnorm(packed: &'a [SignNormVec]) -> Self {
+        Self { elems: BatchElems::SignNorm(packed), staleness: None }
+    }
+
+    /// A synchronous batch of `i8`-quantized gradients.
+    pub fn quantized(quantized: &'a [QuantizedVec]) -> Self {
+        Self { elems: BatchElems::Quantized(quantized), staleness: None }
+    }
+
+    /// The dense gradients when this is a dense batch.
+    pub fn dense_gradients(&self) -> Option<&'a [Vec<f32>]> {
+        match self.elems {
+            BatchElems::Dense(g) => Some(g),
+            _ => None,
+        }
     }
 }
 
@@ -116,17 +184,25 @@ pub trait Aggregator {
     /// inconsistent (validated via [`validate_gradients`]).
     fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput;
 
-    /// Aggregates a batch carrying arrival metadata (async schedules).
+    /// Aggregates a batch carrying arrival metadata (async schedules)
+    /// and/or compressed elements.
     ///
     /// The default ignores the metadata and delegates to
-    /// [`Aggregator::aggregate`], so every existing rule works unchanged
-    /// under any schedule; staleness-aware rules override this instead.
+    /// [`Aggregator::aggregate`] — directly for dense batches, on the
+    /// documented dense materialization ([`BatchElems::to_dense`]) for
+    /// compressed ones — so every existing rule works unchanged under any
+    /// schedule and any representation. Staleness-aware rules and
+    /// representation-native rules (SignGuard, [`SignMajority`]) override
+    /// this instead.
     ///
     /// # Panics
     ///
     /// Same contract as [`Aggregator::aggregate`].
     fn aggregate_batch(&mut self, batch: &GradientBatch<'_>) -> AggregationOutput {
-        self.aggregate(batch.gradients)
+        match batch.elems {
+            BatchElems::Dense(gradients) => self.aggregate(gradients),
+            ref elems => self.aggregate(&elems.to_dense()),
+        }
     }
 
     /// Rule name as used in the paper's tables.

@@ -1,0 +1,382 @@
+//! Compressed gradient representations behind the [`GradientBatch`] seam.
+//!
+//! Clients may submit gradients in one of three representations
+//! ([`GradientRepr`]): dense `f32`, bit-packed sign + L2 norm
+//! ([`SignNormVec`] — 1 bit/coordinate, ~1/32nd the bytes on the wire,
+//! consumed *natively* by SignGuard and SignMajority without ever
+//! rematerializing dense vectors), and per-vector-scaled `i8` quantization
+//! ([`QuantizedVec`] — 1/4 the bytes, for the mean-family rules).
+//!
+//! # Aggregation contracts
+//!
+//! - **Dense** is the reference representation; nothing changes.
+//! - **SignNorm** carries exactly the statistics SignGuard's funnel uses
+//!   (per-gradient norm, per-coordinate sign), so the sign-native rules
+//!   operate on it directly. Rules that need magnitudes use the
+//!   *documented dense stand-in* ([`SignNormVec::to_dense`]): every
+//!   nonzero-sign coordinate gets `±norm/√nnz`, preserving both the sign
+//!   pattern and the L2 norm.
+//! - **QuantizedI8** follows a **dequantize-then-aggregate** contract:
+//!   aggregating a quantized batch is *bit-identical* to densely
+//!   aggregating the dequantized vectors ([`QuantizedVec::to_dense`],
+//!   `q_i as f32 * scale`), because that is literally how the default path
+//!   evaluates it — the representation changes what crosses the wire, not
+//!   the aggregation arithmetic.
+//!
+//! [`GradientBatch`]: crate::GradientBatch
+
+use sg_math::kernels;
+
+/// Bit-packed sign + L2 norm representation of a gradient.
+///
+/// Stores one sign bit per coordinate (1 ⇔ strictly positive), a sorted
+/// sparse list of zero-sign coordinates (exact zeros and NaNs — an
+/// undefined coordinate carries no directional information, matching
+/// `sg_math::vecops::sign_counts`), and the L2 norm of the original dense
+/// vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignNormVec {
+    dim: u32,
+    norm: f32,
+    bits: Vec<u64>,
+    zeros: Vec<u32>,
+}
+
+impl SignNormVec {
+    /// Packs a dense gradient (allocating fresh buffers).
+    pub fn pack(v: &[f32]) -> Self {
+        Self::pack_with_buffers(v, Vec::new(), Vec::new())
+    }
+
+    /// Packs a dense gradient into recycled buffers (see `sg-runtime`'s
+    /// arena): both are cleared and refilled, keeping their capacity.
+    pub fn pack_with_buffers(v: &[f32], mut bits: Vec<u64>, mut zeros: Vec<u32>) -> Self {
+        kernels::pack_signs_into(v, &mut bits, &mut zeros);
+        Self { dim: v.len() as u32, norm: sg_math::l2_norm(v), bits, zeros }
+    }
+
+    /// Reassembles a packed vector from its stored parts (the wire
+    /// decoder's entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` does not cover `dim` coordinates, a zero index is
+    /// out of range or unsorted, or a listed zero has its sign bit set.
+    pub fn from_parts(dim: usize, norm: f32, bits: Vec<u64>, zeros: Vec<u32>) -> Self {
+        assert_eq!(bits.len(), kernels::packed_words(dim), "SignNormVec: bit words do not cover dim {dim}");
+        if let Some(tail) = bits.last() {
+            let used = dim - (bits.len() - 1) * 64;
+            assert!(used == 64 || tail >> used == 0, "SignNormVec: sign bits beyond dim {dim}");
+        }
+        for (i, &z) in zeros.iter().enumerate() {
+            assert!((z as usize) < dim, "SignNormVec: zero index {z} out of range");
+            assert!(i == 0 || zeros[i - 1] < z, "SignNormVec: zeros not strictly ascending");
+            assert!(
+                (bits[(z as usize) >> 6] >> (z & 63)) & 1 == 0,
+                "SignNormVec: coordinate {z} is both positive and zero"
+            );
+        }
+        Self { dim: dim as u32, norm, bits, zeros }
+    }
+
+    /// Dimension of the original dense vector.
+    pub fn dim(&self) -> usize {
+        self.dim as usize
+    }
+
+    /// L2 norm of the original dense vector.
+    pub fn norm(&self) -> f32 {
+        self.norm
+    }
+
+    /// The packed sign words (bit `i` of the stream ⇔ coordinate `i` is
+    /// strictly positive).
+    pub fn bits(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// The sorted zero-sign coordinate list.
+    pub fn zeros(&self) -> &[u32] {
+        &self.zeros
+    }
+
+    /// Sign of coordinate `i`: `+1`, `0` or `-1`.
+    pub fn sign_at(&self, i: usize) -> i8 {
+        assert!(i < self.dim(), "SignNormVec: coordinate {i} out of range");
+        kernels::packed_sign_at(&self.bits, &self.zeros, i)
+    }
+
+    /// Counts of (positive, zero, negative) signs — a popcount, identical
+    /// to `sg_math::vecops::sign_counts` on the original dense vector.
+    pub fn sign_counts(&self) -> (usize, usize, usize) {
+        kernels::packed_sign_counts(self.dim(), &self.bits, &self.zeros)
+    }
+
+    /// Sign counts over a sampled coordinate subset (the sign-cluster
+    /// filter's feature statistics).
+    pub fn sign_counts_at(&self, coords: &[usize]) -> (usize, usize, usize) {
+        kernels::packed_sign_counts_at(&self.bits, &self.zeros, coords)
+    }
+
+    /// Number of nonzero-sign coordinates.
+    pub fn nnz(&self) -> usize {
+        self.dim() - self.zeros.len()
+    }
+
+    /// The documented dense stand-in: `±norm/√nnz` at every nonzero-sign
+    /// coordinate, `0` elsewhere — the unique vector with this sign
+    /// pattern, equal per-coordinate magnitude and the stored L2 norm.
+    /// All-zero-sign vectors reconstruct as the zero vector.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim()];
+        let nnz = self.nnz();
+        if nnz == 0 {
+            return out;
+        }
+        let mag = self.norm / (nnz as f32).sqrt();
+        kernels::packed_signs_axpy(&self.bits, &self.zeros, mag, 0, &mut out);
+        out
+    }
+
+    /// Consumes the vector, returning its buffers for recycling.
+    pub fn into_buffers(self) -> (Vec<u64>, Vec<u32>) {
+        (self.bits, self.zeros)
+    }
+
+    /// Heap bytes held by the packed buffers.
+    pub fn resident_bytes(&self) -> usize {
+        self.bits.capacity() * 8 + self.zeros.capacity() * 4
+    }
+}
+
+/// Per-vector-scaled `i8` quantization of a gradient.
+///
+/// `scale = max|v_i| / 127` over finite coordinates; each coordinate
+/// stores `round(v_i / scale)` clamped to `[-127, 127]` (NaN → 0, ±∞ →
+/// ±127). Dequantization is `q_i as f32 * scale`, so for finite inputs
+/// the round-trip error is bounded by `scale / 2` per coordinate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedVec {
+    scale: f32,
+    q: Vec<i8>,
+}
+
+impl QuantizedVec {
+    /// Quantizes a dense gradient (allocating a fresh buffer).
+    pub fn quantize(v: &[f32]) -> Self {
+        Self::quantize_with_buffer(v, Vec::new())
+    }
+
+    /// Quantizes into a recycled buffer (cleared and refilled, keeping
+    /// capacity).
+    pub fn quantize_with_buffer(v: &[f32], mut q: Vec<i8>) -> Self {
+        let mut max_abs = 0.0f32;
+        for &x in v {
+            if x.is_finite() {
+                max_abs = max_abs.max(x.abs());
+            }
+        }
+        let scale = max_abs / 127.0;
+        q.clear();
+        q.reserve(v.len());
+        if scale == 0.0 {
+            // All coordinates are zero or non-finite; NaN → 0, ±∞ → ±127.
+            q.extend(v.iter().map(|&x| {
+                if x == f32::INFINITY {
+                    127i8
+                } else if x == f32::NEG_INFINITY {
+                    -127
+                } else {
+                    0
+                }
+            }));
+        } else {
+            q.extend(v.iter().map(|&x| {
+                let r = (x / scale).round();
+                if r.is_nan() {
+                    0i8
+                } else {
+                    r.clamp(-127.0, 127.0) as i8
+                }
+            }));
+        }
+        Self { scale, q }
+    }
+
+    /// Reassembles a quantized vector from its stored parts (the wire
+    /// decoder's entry point).
+    pub fn from_parts(scale: f32, q: Vec<i8>) -> Self {
+        Self { scale, q }
+    }
+
+    /// Dimension of the original dense vector.
+    pub fn dim(&self) -> usize {
+        self.q.len()
+    }
+
+    /// The per-vector dequantization scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The quantized coordinates.
+    pub fn levels(&self) -> &[i8] {
+        &self.q
+    }
+
+    /// Dequantizes into `out` (resized to fit): `out[i] = q_i as f32 *
+    /// scale` — the exact vectors the dequantize-then-aggregate contract
+    /// aggregates.
+    pub fn dequantize_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend(self.q.iter().map(|&qi| f32::from(qi) * self.scale));
+    }
+
+    /// Dequantizes into a fresh vector.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.dequantize_into(&mut out);
+        out
+    }
+
+    /// Consumes the vector, returning its level buffer for recycling.
+    pub fn into_buffer(self) -> Vec<i8> {
+        self.q
+    }
+
+    /// Heap bytes held by the level buffer.
+    pub fn resident_bytes(&self) -> usize {
+        self.q.capacity()
+    }
+}
+
+/// A gradient in one of the supported representations — the payload type
+/// the pipeline buffers and the wire codec carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GradientRepr {
+    /// Dense `f32` coordinates (the reference representation).
+    Dense(Vec<f32>),
+    /// Bit-packed signs + L2 norm (~1/32nd the bytes).
+    SignNorm(SignNormVec),
+    /// Per-vector-scaled `i8` levels (1/4 the bytes).
+    QuantizedI8(QuantizedVec),
+}
+
+impl GradientRepr {
+    /// Dimension of the represented gradient.
+    pub fn dim(&self) -> usize {
+        match self {
+            GradientRepr::Dense(v) => v.len(),
+            GradientRepr::SignNorm(s) => s.dim(),
+            GradientRepr::QuantizedI8(q) => q.dim(),
+        }
+    }
+
+    /// Short representation name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GradientRepr::Dense(_) => "dense",
+            GradientRepr::SignNorm(_) => "signnorm",
+            GradientRepr::QuantizedI8(_) => "quantized-i8",
+        }
+    }
+
+    /// Materializes the documented dense form: dense vectors pass through
+    /// unchanged (no copy), compressed ones reconstruct per their
+    /// contract ([`SignNormVec::to_dense`], [`QuantizedVec::to_dense`]).
+    pub fn into_dense(self) -> Vec<f32> {
+        match self {
+            GradientRepr::Dense(v) => v,
+            GradientRepr::SignNorm(s) => s.to_dense(),
+            GradientRepr::QuantizedI8(q) => q.to_dense(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signnorm_preserves_signs_including_nan() {
+        // NaN packs as zero-sign (it carries no direction); the stored
+        // norm is then NaN too, which downstream norm filters reject —
+        // exactly as they would the dense original.
+        let v = vec![1.5f32, -0.25, 0.0, 3.0, f32::NAN, -7.0, 0.0, 2.0];
+        let s = SignNormVec::pack(&v);
+        assert_eq!(s.dim(), v.len());
+        assert_eq!(s.sign_counts(), (3, 3, 2));
+        let signs: Vec<i8> = (0..v.len()).map(|i| s.sign_at(i)).collect();
+        assert_eq!(signs, vec![1, -1, 0, 1, 0, -1, 0, 1]);
+        assert!(s.norm().is_nan());
+    }
+
+    #[test]
+    fn signnorm_dense_standin_preserves_norm() {
+        let v = vec![1.5f32, -0.25, 0.0, 3.0, -7.0, 0.0, 2.0];
+        let s = SignNormVec::pack(&v);
+        let d = s.to_dense();
+        assert!((sg_math::l2_norm(&d) - s.norm()).abs() <= 1e-3 * s.norm());
+        for (x, y) in v.iter().zip(&d) {
+            if *x > 0.0 {
+                assert!(*y > 0.0);
+            } else if *x < 0.0 {
+                assert!(*y < 0.0);
+            } else {
+                assert_eq!(*y, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn signnorm_all_zero_is_zero_dense() {
+        let s = SignNormVec::pack(&[0.0f32; 70]);
+        assert_eq!(s.nnz(), 0);
+        assert_eq!(s.to_dense(), vec![0.0f32; 70]);
+    }
+
+    #[test]
+    fn signnorm_parts_round_trip() {
+        let v: Vec<f32> = (0..130).map(|i| ((i * 37) % 13) as f32 - 6.0).collect();
+        let s = SignNormVec::pack(&v);
+        let (dim, norm) = (s.dim(), s.norm());
+        let clone = s.clone();
+        let (bits, zeros) = s.into_buffers();
+        assert_eq!(SignNormVec::from_parts(dim, norm, bits, zeros), clone);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond dim")]
+    fn signnorm_rejects_stray_tail_bits() {
+        let _ = SignNormVec::from_parts(4, 1.0, vec![0x10], vec![]);
+    }
+
+    #[test]
+    fn quantized_error_bound() {
+        let v: Vec<f32> = (0..500).map(|i| ((i as f32) * 0.71).sin() * 42.0).collect();
+        let q = QuantizedVec::quantize(&v);
+        let d = q.to_dense();
+        let bound = q.scale() / 2.0;
+        for (x, y) in v.iter().zip(&d) {
+            assert!((x - y).abs() <= bound, "{x} vs {y} exceeds {bound}");
+        }
+    }
+
+    #[test]
+    fn quantized_handles_non_finite() {
+        let v = vec![1.0f32, f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -1.0];
+        let q = QuantizedVec::quantize(&v);
+        assert_eq!(q.levels(), &[127, 0, 127, -127, -127]);
+        let z = QuantizedVec::quantize(&[f32::NAN, f32::INFINITY]);
+        assert_eq!(z.scale(), 0.0);
+        assert_eq!(z.levels(), &[0, 127]);
+    }
+
+    #[test]
+    fn repr_dense_passes_through() {
+        let v = vec![1.0f32, -2.0];
+        assert_eq!(GradientRepr::Dense(v.clone()).into_dense(), v);
+        assert_eq!(GradientRepr::Dense(v.clone()).dim(), 2);
+        assert_eq!(GradientRepr::SignNorm(SignNormVec::pack(&v)).kind(), "signnorm");
+    }
+}

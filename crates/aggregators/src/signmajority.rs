@@ -1,6 +1,11 @@
 //! signSGD with majority vote (Bernstein et al., ICML'18).
 
-use crate::{validate_gradients, AggregationOutput, Aggregator};
+use std::sync::Arc;
+
+use sg_math::vecops::REDUCE_BLOCK;
+use sg_math::{kernels, ParallelExecutor, SeqExecutor};
+
+use crate::{validate_gradients, AggregationOutput, Aggregator, BatchElems, GradientBatch, SignNormVec};
 
 /// Element-wise sign majority vote, scaled by a configurable magnitude.
 ///
@@ -10,15 +15,26 @@ use crate::{validate_gradients, AggregationOutput, Aggregator};
 /// magnitude-free update (here scaled by `scale`, default the mean of the
 /// input gradient norms divided by `sqrt(d)` so update norms stay
 /// comparable to mean aggregation).
-#[derive(Debug, Clone, Copy)]
+///
+/// The rule is sign-native: a [`SignNorm`](BatchElems::SignNorm) batch is
+/// aggregated directly from the packed bits and stored norms — votes from
+/// popcount-style bit reads, the auto-scale from the norms the clients
+/// already computed — without materializing a single dense vector.
 pub struct SignMajority {
     scale: Option<f32>,
+    exec: Arc<dyn ParallelExecutor>,
+}
+
+impl std::fmt::Debug for SignMajority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SignMajority").field("scale", &self.scale).finish()
+    }
 }
 
 impl SignMajority {
     /// Creates a sign-majority rule with automatic scaling.
     pub fn new() -> Self {
-        Self { scale: None }
+        Self { scale: None, exec: Arc::new(SeqExecutor) }
     }
 
     /// Fixes the per-coordinate magnitude of the output.
@@ -26,6 +42,47 @@ impl SignMajority {
     pub fn with_scale(mut self, scale: f32) -> Self {
         self.scale = Some(scale);
         self
+    }
+
+    /// The output magnitude for a batch with the given mean norm and
+    /// dimension.
+    fn resolve_scale(&self, mean_norm: f32, dim: usize) -> f32 {
+        self.scale.unwrap_or(mean_norm / (dim as f32).sqrt())
+    }
+
+    /// Maps accumulated votes (exact small integers stored in `f32`) to
+    /// the scaled majority sign, in place.
+    fn votes_to_signs(out: &mut [f32], scale: f32) {
+        for o in out.iter_mut() {
+            *o = if *o > 0.0 {
+                scale
+            } else if *o < 0.0 {
+                -scale
+            } else {
+                0.0
+            };
+        }
+    }
+
+    /// Native aggregation of a packed sign+norm batch.
+    fn aggregate_packed(&mut self, packed: &[SignNormVec]) -> AggregationOutput {
+        assert!(!packed.is_empty(), "aggregate: empty gradient batch");
+        let dim = packed[0].dim();
+        assert!(dim > 0, "aggregate: zero-dimensional gradients");
+        for (i, p) in packed.iter().enumerate() {
+            assert_eq!(p.dim(), dim, "aggregate: gradient {i} has dim {} != {dim}", p.dim());
+        }
+        let mean_norm = packed.iter().map(SignNormVec::norm).sum::<f32>() / packed.len() as f32;
+        let scale = self.resolve_scale(mean_norm, dim);
+        let mut out = vec![0.0f32; dim];
+        self.exec.run_chunks(&mut out, REDUCE_BLOCK, &|ci, chunk| {
+            let offset = ci * REDUCE_BLOCK;
+            for p in packed {
+                kernels::packed_signs_axpy(p.bits(), p.zeros(), 1.0, offset, chunk);
+            }
+            Self::votes_to_signs(chunk, scale);
+        });
+        AggregationOutput::blended(out)
     }
 }
 
@@ -41,25 +98,43 @@ impl Aggregator for SignMajority {
         let scale = self.scale.unwrap_or_else(|| {
             let mean_norm: f32 =
                 gradients.iter().map(|g| sg_math::l2_norm(g)).sum::<f32>() / gradients.len() as f32;
-            mean_norm / (dim as f32).sqrt()
+            self.resolve_scale(mean_norm, dim)
         });
+        // Vote accumulation: per coordinate, ±1 per gradient in gradient
+        // order — exact in f32 for any realistic client count, and
+        // chunk-shape independent because coordinates never interact.
         let mut out = vec![0.0f32; dim];
-        for (j, o) in out.iter_mut().enumerate() {
-            let mut vote = 0i64;
+        self.exec.run_chunks(&mut out, REDUCE_BLOCK, &|ci, chunk| {
+            let offset = ci * REDUCE_BLOCK;
             for g in gradients {
-                if g[j] > 0.0 {
-                    vote += 1;
-                } else if g[j] < 0.0 {
-                    vote -= 1;
+                let window = &g[offset..offset + chunk.len()];
+                for (o, &x) in chunk.iter_mut().zip(window) {
+                    if x > 0.0 {
+                        *o += 1.0;
+                    } else if x < 0.0 {
+                        *o -= 1.0;
+                    }
                 }
             }
-            *o = scale * (vote.signum() as f32);
-        }
+            Self::votes_to_signs(chunk, scale);
+        });
         AggregationOutput::blended(out)
+    }
+
+    fn aggregate_batch(&mut self, batch: &GradientBatch<'_>) -> AggregationOutput {
+        match batch.elems {
+            BatchElems::Dense(gradients) => self.aggregate(gradients),
+            BatchElems::SignNorm(packed) => self.aggregate_packed(packed),
+            ref elems => self.aggregate(&elems.to_dense()),
+        }
     }
 
     fn name(&self) -> &'static str {
         "SignSGD"
+    }
+
+    fn set_executor(&mut self, executor: Arc<dyn ParallelExecutor>) {
+        self.exec = executor;
     }
 }
 
@@ -87,5 +162,30 @@ mod tests {
         let out = SignMajority::new().aggregate(&g);
         assert!(out.gradient[0] > 0.0);
         assert_eq!(out.gradient[0], out.gradient[1]);
+    }
+
+    #[test]
+    fn packed_batch_matches_dense_bits() {
+        // Sign information and norms survive packing exactly, so the
+        // packed path must reproduce the dense output bit-for-bit — with
+        // auto scaling, since the mean norm comes from the stored norms.
+        let g: Vec<Vec<f32>> =
+            (0..5).map(|i| (0..300).map(|j| (((i * 300 + j) as f32) * 0.37).sin() - 0.1).collect()).collect();
+        let dense = SignMajority::new().aggregate(&g);
+        let packed: Vec<SignNormVec> = g.iter().map(|v| SignNormVec::pack(v)).collect();
+        let native = SignMajority::new().aggregate_batch(&GradientBatch::signnorm(&packed));
+        for (a, b) in dense.gradient.iter().zip(&native.gradient) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn packed_ties_and_zeros_match_dense() {
+        let g = vec![vec![1.0, -2.0, 0.0, f32::NAN], vec![-1.0, -1.0, 0.0, 1.0]];
+        let dense = SignMajority::new().with_scale(2.0).aggregate(&g);
+        let packed: Vec<SignNormVec> = g.iter().map(|v| SignNormVec::pack(v)).collect();
+        let native = SignMajority::new().with_scale(2.0).aggregate_batch(&GradientBatch::signnorm(&packed));
+        assert_eq!(dense.gradient, native.gradient);
+        assert_eq!(native.gradient, vec![0.0, -2.0, 0.0, 2.0]);
     }
 }

@@ -54,14 +54,28 @@ impl Aggregator for StalenessDamped {
 
     fn aggregate_batch(&mut self, batch: &GradientBatch<'_>) -> AggregationOutput {
         let Some(staleness) = batch.staleness else {
-            return self.inner.aggregate(batch.gradients);
+            // No metadata: pass the batch through untouched so the inner
+            // rule sees the original representation (sign-native rules
+            // stay packed).
+            return self.inner.aggregate_batch(&GradientBatch { elems: batch.elems, staleness: None });
         };
-        assert_eq!(staleness.len(), batch.gradients.len(), "StalenessDamped: metadata length mismatch");
+        assert_eq!(staleness.len(), batch.elems.len(), "StalenessDamped: metadata length mismatch");
         if staleness.iter().all(|&s| s == 0) {
-            return self.inner.aggregate(batch.gradients);
+            return self.inner.aggregate_batch(&GradientBatch { elems: batch.elems, staleness: None });
         }
-        let damped: Vec<Vec<f32>> = batch
-            .gradients
+        // Damping rescales magnitudes, which a compressed representation
+        // cannot carry per-coordinate — so it is defined on the batch's
+        // documented dense form (a no-op materialization for dense
+        // batches).
+        let dense;
+        let gradients: &[Vec<f32>] = match batch.dense_gradients() {
+            Some(g) => g,
+            None => {
+                dense = batch.elems.to_dense();
+                &dense
+            }
+        };
+        let damped: Vec<Vec<f32>> = gradients
             .iter()
             .zip(staleness)
             .map(|(g, &s)| {
@@ -131,6 +145,7 @@ mod tests {
     fn ragged_metadata_rejected() {
         let g = vec![vec![1.0], vec![1.0]];
         let stale = vec![0];
-        let _ = wrapped().aggregate_batch(&GradientBatch { gradients: &g, staleness: Some(&stale) });
+        let _ = wrapped()
+            .aggregate_batch(&GradientBatch { elems: crate::BatchElems::Dense(&g), staleness: Some(&stale) });
     }
 }

@@ -1,7 +1,8 @@
 //! Gradient feature extraction: sign statistics and similarity features.
 
 use rand::Rng;
-use sg_math::vecops;
+use sg_aggregators::SignNormVec;
+use sg_math::{kernels, vecops};
 use sg_math::{ParallelExecutor, SeqExecutor};
 
 /// Sign statistics of one gradient (proportions over a coordinate subset).
@@ -120,17 +121,7 @@ impl FeatureExtractor {
         let mut rows = vec![0.0f32; gradients.len() * width];
         exec.run_chunks(&mut rows, width, &|i, row| {
             let g = &gradients[i];
-            let (mut pos, mut zero, mut neg) = (0usize, 0usize, 0usize);
-            for &c in &coords {
-                let x = g[c];
-                if x > 0.0 {
-                    pos += 1;
-                } else if x < 0.0 {
-                    neg += 1;
-                } else {
-                    zero += 1;
-                }
-            }
+            let (pos, zero, neg) = kernels::sign_counts_at(g, &coords);
             let inv = 1.0 / coords.len() as f32;
             row[0] = pos as f32 * inv;
             row[1] = zero as f32 * inv;
@@ -144,6 +135,75 @@ impl FeatureExtractor {
 
         // Distance features are normalized by their median, which needs all
         // gradients — done after the parallel pass, in index order.
+        if similarity == SimilarityFeature::Euclidean {
+            let dists: Vec<f32> = rows.chunks(width).map(|r| r[3]).collect();
+            let med = sg_math::median(&dists).max(1e-12);
+            for r in rows.chunks_mut(width) {
+                r[3] /= med;
+            }
+        }
+
+        rows.chunks(width)
+            .map(|r| GradientFeatures {
+                positive: r[0],
+                zero: r[1],
+                negative: r[2],
+                similarity: with_sim.then(|| r[3]),
+            })
+            .collect()
+    }
+
+    /// Computes features for a bit-packed sign+norm batch, never
+    /// materializing a dense gradient: sign statistics are popcount-style
+    /// reads over the sampled coordinates, and similarity features use the
+    /// sign-dot identities on the packed words (for a packed vector with
+    /// stand-in magnitude `c = norm/√nnz`: `cos = Σ sᵢrᵢ / (√nnz·‖r‖)`,
+    /// `dist² = norm² − 2c·Σ sᵢrᵢ + ‖r‖²`).
+    ///
+    /// The coordinate subset is drawn exactly as in
+    /// [`FeatureExtractor::extract_with`], and every per-gradient feature
+    /// is a pure function of one packed vector — so the output is
+    /// bit-identical at any parallelism and either `SG_SIMD` width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed` is empty or `coord_fraction` is outside `(0, 1]`.
+    pub fn extract_packed_with<R: Rng + ?Sized>(
+        &self,
+        exec: &dyn ParallelExecutor,
+        rng: &mut R,
+        packed: &[SignNormVec],
+        reference: Option<&[f32]>,
+    ) -> Vec<GradientFeatures> {
+        assert!(!packed.is_empty(), "FeatureExtractor: empty batch");
+        assert!(
+            self.coord_fraction > 0.0 && self.coord_fraction <= 1.0,
+            "FeatureExtractor: coord_fraction {} out of (0,1]",
+            self.coord_fraction
+        );
+        let dim = packed[0].dim();
+        let k = (((dim as f32) * self.coord_fraction).round() as usize).clamp(1, dim);
+        let coords = sg_math::rng::sample_indices(rng, dim, k);
+
+        let with_sim = self.similarity != SimilarityFeature::None;
+        let width = if with_sim { 4 } else { 3 };
+        let reference = if with_sim { Some(self.resolve_reference_packed(packed, reference)) } else { None };
+        let similarity = self.similarity;
+        let mut rows = vec![0.0f32; packed.len() * width];
+        exec.run_chunks(&mut rows, width, &|i, row| {
+            let p = &packed[i];
+            let (pos, zero, neg) = p.sign_counts_at(&coords);
+            let inv = 1.0 / coords.len() as f32;
+            row[0] = pos as f32 * inv;
+            row[1] = zero as f32 * inv;
+            row[2] = neg as f32 * inv;
+            match (similarity, &reference) {
+                (SimilarityFeature::Cosine, Some(r)) => row[3] = packed_cosine(p, r),
+                (SimilarityFeature::Euclidean, Some(r)) => row[3] = packed_distance(p, r),
+                _ => {}
+            }
+        });
+
         if similarity == SimilarityFeature::Euclidean {
             let dists: Vec<f32> = rows.chunks(width).map(|r| r[3]).collect();
             let med = sg_math::median(&dists).max(1e-12);
@@ -183,6 +243,63 @@ impl FeatureExtractor {
         }
         out
     }
+
+    /// Packed-batch reference fallback: per-coordinate *majority sign* of
+    /// the batch (coordinate medians need magnitudes the representation
+    /// does not carry), scaled so the reference norm tracks the median
+    /// client norm. A supplied reference of the right dimension (the
+    /// previous aggregate — dense by construction) is used as-is.
+    fn resolve_reference_packed(&self, packed: &[SignNormVec], reference: Option<&[f32]>) -> Vec<f32> {
+        if let Some(r) = reference {
+            if r.len() == packed[0].dim() {
+                return r.to_vec();
+            }
+        }
+        let dim = packed[0].dim();
+        let mut votes = vec![0.0f32; dim];
+        for p in packed {
+            kernels::packed_signs_axpy(p.bits(), p.zeros(), 1.0, 0, &mut votes);
+        }
+        let norms: Vec<f32> = packed.iter().map(SignNormVec::norm).filter(|n| n.is_finite()).collect();
+        let med = if norms.is_empty() { 1.0 } else { sg_math::median(&norms) };
+        let mag = med / (dim as f32).sqrt();
+        for v in votes.iter_mut() {
+            *v = if *v > 0.0 {
+                mag
+            } else if *v < 0.0 {
+                -mag
+            } else {
+                0.0
+            };
+        }
+        votes
+    }
+}
+
+/// Cosine similarity of a packed vector's dense stand-in to `r`, via the
+/// sign-dot identity (`‖stand-in‖ = c·√nnz` cancels the magnitude `c`):
+/// `cos = Σ sᵢrᵢ / (√nnz · ‖r‖)`. Zero-norm either side gives `0.0`,
+/// matching [`vecops::cosine_similarity`].
+fn packed_cosine(p: &SignNormVec, r: &[f32]) -> f32 {
+    let nnz = p.nnz();
+    let rn = kernels::l2_norm_sq_f64(r).sqrt();
+    if nnz == 0 || p.norm() == 0.0 || rn == 0.0 {
+        return 0.0;
+    }
+    let dot = kernels::packed_signs_dot_f64(p.bits(), p.zeros(), r);
+    ((dot / ((nnz as f64).sqrt() * rn)) as f32).clamp(-1.0, 1.0)
+}
+
+/// Euclidean distance of a packed vector's dense stand-in to `r`, expanded
+/// over the sign dot: `dist² = c²·nnz − 2c·Σ sᵢrᵢ + ‖r‖²` with stand-in
+/// magnitude `c = norm/√nnz`.
+fn packed_distance(p: &SignNormVec, r: &[f32]) -> f32 {
+    let nnz = p.nnz();
+    let c = if nnz == 0 { 0.0f64 } else { f64::from(p.norm()) / (nnz as f64).sqrt() };
+    let g2 = c * c * nnz as f64;
+    let dot = kernels::packed_signs_dot_f64(p.bits(), p.zeros(), r);
+    let r2 = kernels::l2_norm_sq_f64(r);
+    (g2 - 2.0 * c * dot + r2).max(0.0).sqrt() as f32
 }
 
 impl Default for FeatureExtractor {

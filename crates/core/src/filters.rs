@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
+use sg_aggregators::SignNormVec;
 use sg_cluster::{KMeans, MeanShift};
 use sg_math::{ParallelExecutor, SeqExecutor};
 
@@ -53,14 +54,11 @@ impl NormFilter {
     }
 }
 
-impl Default for NormFilter {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Filter for NormFilter {
-    fn filter(&mut self, _gradients: &[Vec<f32>], norms: &[f32]) -> BTreeSet<usize> {
+impl NormFilter {
+    /// The filter decision from norms alone — the filter never looks at
+    /// gradient coordinates, so packed batches (whose norms arrive
+    /// precomputed in the representation) use this directly.
+    pub fn filter_norms(&self, norms: &[f32]) -> BTreeSet<usize> {
         let finite: Vec<f32> = norms.iter().copied().filter(|n| n.is_finite()).collect();
         if finite.is_empty() {
             return BTreeSet::new();
@@ -75,6 +73,18 @@ impl Filter for NormFilter {
             })
             .map(|(i, _)| i)
             .collect()
+    }
+}
+
+impl Default for NormFilter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Filter for NormFilter {
+    fn filter(&mut self, _gradients: &[Vec<f32>], norms: &[f32]) -> BTreeSet<usize> {
+        self.filter_norms(norms)
     }
 
     fn name(&self) -> &'static str {
@@ -129,6 +139,37 @@ impl SignClusterFilter {
     /// Installs a chunk executor for the per-gradient feature pass.
     pub fn set_executor(&mut self, executor: Arc<dyn ParallelExecutor>) {
         self.exec = executor;
+    }
+
+    /// The packed-batch twin of [`Filter::filter`]: clusters sign
+    /// statistics read directly from the bit-packed representation (see
+    /// [`FeatureExtractor::extract_packed_with`]), never materializing a
+    /// dense gradient.
+    pub fn filter_packed(&mut self, packed: &[SignNormVec], norms: &[f32]) -> BTreeSet<usize> {
+        let valid: Vec<usize> = (0..packed.len()).filter(|&i| norms[i].is_finite()).collect();
+        if valid.is_empty() {
+            return BTreeSet::new();
+        }
+        let sub: Vec<SignNormVec>;
+        let batch: &[SignNormVec] = if valid.len() == packed.len() {
+            packed
+        } else {
+            sub = valid.iter().map(|&i| packed[i].clone()).collect();
+            &sub
+        };
+        let feats = self.extractor.extract_packed_with(
+            self.exec.as_ref(),
+            &mut self.rng,
+            batch,
+            self.reference.as_deref(),
+        );
+        let points: Vec<Vec<f32>> = feats.iter().map(|f| f.to_vec()).collect();
+
+        let clustering = match self.backend {
+            ClusteringBackend::MeanShift => MeanShift::new().fit(&points),
+            ClusteringBackend::KMeans(k) => KMeans::new(k).fit(&points),
+        };
+        clustering.largest_cluster().into_iter().map(|i| valid[i]).collect()
     }
 }
 

@@ -3,9 +3,11 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use sg_aggregators::{validate_gradients, AggregationOutput, Aggregator};
+use sg_aggregators::{
+    validate_gradients, AggregationOutput, Aggregator, BatchElems, GradientBatch, SignNormVec,
+};
 use sg_math::vecops::REDUCE_BLOCK;
-use sg_math::{ParallelExecutor, SeqExecutor};
+use sg_math::{kernels, ParallelExecutor, SeqExecutor};
 
 use crate::features::SimilarityFeature;
 use crate::filters::{Filter, NormFilter, SignClusterFilter};
@@ -197,29 +199,17 @@ impl SignGuard {
     pub fn similarity_feature(&self) -> SimilarityFeature {
         self.similarity
     }
-}
 
-impl Aggregator for SignGuard {
-    fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
-        let dim = validate_gradients(gradients);
-        let n = gradients.len();
-        // Per-gradient norms, one executor chunk per gradient. `l2_norm`
-        // follows the fixed reduction tree, so the values are bit-identical
-        // at any parallelism.
-        let mut norms = vec![0.0f32; n];
-        self.exec.run_chunks(&mut norms, 1, &|i, slot| {
-            slot[0] = sg_math::l2_norm(&gradients[i]);
-        });
-
-        let all: BTreeSet<usize> = (0..n).collect();
-        let s1 = if self.use_norm_filter { self.norm_filter.filter(gradients, &norms) } else { all.clone() };
-        let s2 = if self.use_cluster_filter {
-            self.cluster_filter.set_reference(self.prev_aggregate.clone());
-            self.cluster_filter.filter(gradients, &norms)
-        } else {
-            all.clone()
-        };
-
+    /// The shared trust funnel: observation counters, filter
+    /// intersection, and the availability fallback (used identically by
+    /// the dense and packed paths).
+    fn select_trusted(
+        &mut self,
+        s1: BTreeSet<usize>,
+        s2: BTreeSet<usize>,
+        norms: &[f32],
+        n: usize,
+    ) -> Vec<usize> {
         // Per-stage accept/reject tallies (paper Fig. 5/6 diagnostics);
         // observation only — the filter decisions above are already made.
         if sg_obs::enabled() {
@@ -243,6 +233,110 @@ impl Aggregator for SignGuard {
                 (0..n).filter(|&i| norms[i].is_finite()).collect()
             };
         }
+        trusted
+    }
+
+    /// Native aggregation of a bit-packed sign+norm batch: the same
+    /// funnel as the dense path — norm filter, sign-cluster filter,
+    /// median-norm clipping, trusted mean — but with every per-gradient
+    /// quantity read from the packed representation (stored norms,
+    /// popcount sign statistics, sign-bit accumulation at the dense
+    /// stand-in magnitude `±norm/√nnz`). No dense client vector is ever
+    /// materialized.
+    fn aggregate_packed(&mut self, packed: &[SignNormVec]) -> AggregationOutput {
+        assert!(!packed.is_empty(), "aggregate: empty gradient batch");
+        let dim = packed[0].dim();
+        assert!(dim > 0, "aggregate: zero-dimensional gradients");
+        for (i, p) in packed.iter().enumerate() {
+            assert_eq!(p.dim(), dim, "aggregate: gradient {i} has dim {} != {dim}", p.dim());
+        }
+        let n = packed.len();
+        // The clients already computed the norms; the representation
+        // carries them.
+        let norms: Vec<f32> = packed.iter().map(SignNormVec::norm).collect();
+
+        let all: BTreeSet<usize> = (0..n).collect();
+        let s1 = if self.use_norm_filter { self.norm_filter.filter_norms(&norms) } else { all.clone() };
+        let s2 = if self.use_cluster_filter {
+            self.cluster_filter.set_reference(self.prev_aggregate.clone());
+            self.cluster_filter.filter_packed(packed, &norms)
+        } else {
+            all.clone()
+        };
+
+        let trusted = self.select_trusted(s1, s2, &norms, n);
+        if trusted.is_empty() {
+            sg_obs::counter_add("signguard.rejected", n as u64);
+            self.last_selected = Vec::new();
+            return AggregationOutput::selected(vec![0.0; dim], Vec::new());
+        }
+        if sg_obs::enabled() {
+            sg_obs::counter_add("signguard.accepted", trusted.len() as u64);
+            sg_obs::counter_add("signguard.rejected", (n - trusted.len()) as u64);
+        }
+
+        // Clipped trusted mean over the packed signs: gradient `i`
+        // contributes `±alpha_i * norm_i/√nnz_i` per nonzero coordinate.
+        // Accumulation per coordinate runs in trusted order regardless of
+        // chunking, so any `SG_THREADS` produces the same bits.
+        let finite: Vec<f32> = norms.iter().copied().filter(|x| x.is_finite()).collect();
+        let clip = sg_math::median(&finite).max(1e-12);
+        let use_clipping = self.use_norm_clipping;
+        let weights: Vec<f32> = trusted
+            .iter()
+            .map(|&i| {
+                let p = &packed[i];
+                let nnz = p.nnz();
+                if nnz == 0 {
+                    return 0.0;
+                }
+                let alpha = if use_clipping && norms[i] > clip { clip / norms[i] } else { 1.0 };
+                alpha * p.norm() / (nnz as f32).sqrt()
+            })
+            .collect();
+        let inv = 1.0 / trusted.len() as f32;
+        let mut acc = vec![0.0f32; dim];
+        self.exec.run_chunks(&mut acc, REDUCE_BLOCK, &|ci, chunk| {
+            let base = ci * REDUCE_BLOCK;
+            for (&i, &w) in trusted.iter().zip(&weights) {
+                if w != 0.0 {
+                    let p = &packed[i];
+                    kernels::packed_signs_axpy(p.bits(), p.zeros(), w, base, chunk);
+                }
+            }
+            for o in chunk.iter_mut() {
+                *o *= inv;
+            }
+        });
+
+        self.prev_aggregate = Some(acc.clone());
+        self.last_selected = trusted.clone();
+        AggregationOutput::selected(acc, trusted)
+    }
+}
+
+impl Aggregator for SignGuard {
+    fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
+        let dim = validate_gradients(gradients);
+        let n = gradients.len();
+        // Per-gradient norms, one executor chunk per gradient. `l2_norm`
+        // follows the fixed reduction tree, so the values are bit-identical
+        // at any parallelism.
+        let mut norms = vec![0.0f32; n];
+        self.exec.run_chunks(&mut norms, 1, &|i, slot| {
+            slot[0] = sg_math::l2_norm(&gradients[i]);
+        });
+
+        let all: BTreeSet<usize> = (0..n).collect();
+        let s1 = if self.use_norm_filter { self.norm_filter.filter(gradients, &norms) } else { all.clone() };
+        let s2 = if self.use_cluster_filter {
+            self.cluster_filter.set_reference(self.prev_aggregate.clone());
+            self.cluster_filter.filter(gradients, &norms)
+        } else {
+            all.clone()
+        };
+
+        let trusted = self.select_trusted(s1, s2, &norms, n);
         if trusted.is_empty() {
             // Every gradient was non-finite; emit a zero update.
             sg_obs::counter_add("signguard.rejected", n as u64);
@@ -280,6 +374,14 @@ impl Aggregator for SignGuard {
         self.prev_aggregate = Some(acc.clone());
         self.last_selected = trusted.clone();
         AggregationOutput::selected(acc, trusted)
+    }
+
+    fn aggregate_batch(&mut self, batch: &GradientBatch<'_>) -> AggregationOutput {
+        match batch.elems {
+            BatchElems::Dense(gradients) => self.aggregate(gradients),
+            BatchElems::SignNorm(packed) => self.aggregate_packed(packed),
+            ref elems => self.aggregate(&elems.to_dense()),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -419,6 +521,57 @@ mod tests {
         let mut gar = SignGuard::sim(9);
         let out = gar.aggregate(&grads);
         assert_eq!(gar.last_selected(), out.selected.expect("sel").as_slice());
+    }
+
+    #[test]
+    fn packed_batch_filters_sign_flip_without_densifying() {
+        // The native SignNorm path must run the same funnel: flipped signs
+        // land in the minority cluster and are dropped.
+        let mut grads = honest_population(8, 128);
+        for i in 0..2 {
+            let flipped: Vec<f32> = grads[i].iter().map(|x| -x).collect();
+            grads.push(flipped);
+        }
+        let packed: Vec<SignNormVec> = grads.iter().map(|g| SignNormVec::pack(g)).collect();
+        let mut gar = SignGuard::plain(2);
+        let out = gar.aggregate_batch(&GradientBatch::signnorm(&packed));
+        let sel = out.selected.expect("sel");
+        assert!(sel.iter().all(|&i| i < 8), "attacker kept: {sel:?}");
+        // The aggregate points the honest way and carries honest-scale
+        // magnitude (stand-in norms are preserved by the representation).
+        let mean = sg_math::vecops::mean_vector(&grads[..8], 128);
+        assert!(sg_math::cosine_similarity(&out.gradient, &mean) > 0.9);
+    }
+
+    #[test]
+    fn packed_batch_norm_filter_uses_stored_norms() {
+        let mut grads = honest_population(8, 64);
+        grads.push(grads[0].iter().map(|x| x * 100.0).collect());
+        let packed: Vec<SignNormVec> = grads.iter().map(|g| SignNormVec::pack(g)).collect();
+        let mut gar = SignGuard::plain(3);
+        let out = gar.aggregate_batch(&GradientBatch::signnorm(&packed));
+        assert!(out.selected.expect("sel").iter().all(|&i| i < 8));
+    }
+
+    #[test]
+    fn packed_all_nan_batch_yields_zero_gradient() {
+        let packed: Vec<SignNormVec> = (0..4).map(|_| SignNormVec::pack(&[f32::NAN; 8])).collect();
+        let mut gar = SignGuard::plain(6);
+        let out = gar.aggregate_batch(&GradientBatch::signnorm(&packed));
+        assert_eq!(out.gradient, vec![0.0; 8]);
+        assert!(out.selected.expect("sel").is_empty());
+    }
+
+    #[test]
+    fn packed_sim_variant_uses_prev_aggregate_reference() {
+        // Round 1 (dense) establishes prev_aggregate; round 2 (packed)
+        // must consume it as the similarity reference without issue.
+        let grads = honest_population(8, 128);
+        let mut gar = SignGuard::sim(11);
+        let _ = gar.aggregate(&grads);
+        let packed: Vec<SignNormVec> = grads.iter().map(|g| SignNormVec::pack(g)).collect();
+        let out = gar.aggregate_batch(&GradientBatch::signnorm(&packed));
+        assert!(out.selected.expect("sel").len() >= 6);
     }
 
     #[test]

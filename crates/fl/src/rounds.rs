@@ -31,7 +31,7 @@
 
 use std::collections::VecDeque;
 
-use sg_aggregators::{Aggregator, GradientBatch};
+use sg_aggregators::{Aggregator, BatchElems, GradientBatch, GradientRepr, QuantizedVec, SignNormVec};
 use sg_attacks::{Attack, AttackContext};
 use sg_data::Dataset;
 use sg_runtime::{Engine, GradientArena, PendingUpdate, UpdateBuffer};
@@ -148,7 +148,7 @@ pub struct RoundPipeline {
     scheduler: Box<dyn ClientScheduler>,
     byz_count: usize,
     history: ModelHistory,
-    buffer: UpdateBuffer<usize>,
+    buffer: UpdateBuffer<usize, GradientRepr>,
     arena: GradientArena,
     /// Whether batches carry the arrival view (any schedule that can
     /// produce staleness > 0).
@@ -238,6 +238,14 @@ impl RoundPipeline {
     /// the in-process `Sync` schedule, ingest a completed round's batch in
     /// ascending client id (Byzantine ids first by construction).
     pub fn ingest(&mut self, client: usize, gradient: Vec<f32>, model_step: usize) {
+        self.ingest_repr(client, GradientRepr::Dense(gradient), model_step);
+    }
+
+    /// [`Self::ingest`] for any gradient representation: compressed
+    /// submissions enter the pending buffer as-is and are only
+    /// materialized dense if the drained batch needs it (an active
+    /// adversary, or mixed representations — see [`Self::apply_batch`]).
+    pub fn ingest_repr(&mut self, client: usize, gradient: GradientRepr, model_step: usize) {
         self.buffer.push(PendingUpdate { client, gradient, meta: model_step });
     }
 
@@ -296,7 +304,11 @@ impl RoundPipeline {
                     loss_sum += loss;
                     honest_arrivals += 1;
                 }
-                self.buffer.push(PendingUpdate { client: a.client, gradient, meta: a.model_step });
+                self.buffer.push(PendingUpdate {
+                    client: a.client,
+                    gradient: GradientRepr::Dense(gradient),
+                    meta: a.model_step,
+                });
             }
         }
         let mean_loss = if honest_arrivals > 0 { loss_sum / honest_arrivals as f32 } else { 0.0 };
@@ -355,46 +367,124 @@ impl RoundPipeline {
             }
         }
         let batch_clients: Vec<usize> = batch.iter().map(|u| u.client).collect();
-        let mut grads: Vec<Vec<f32>> = batch.into_iter().map(|u| u.gradient).collect();
+        let payloads: Vec<GradientRepr> = batch.into_iter().map(|u| u.gradient).collect();
 
-        // ---- attack stage --------------------------------------------
-        // The adversary replaces the Byzantine messages in place, seeing
-        // every honest message of the batch — and, on async schedules, the
-        // arrival view (per-message staleness, Byzantine first).
-        let attack_span = sg_obs::span("attack");
-        if m > 0 {
-            if let Some(attack) = self.attack.as_mut() {
-                let (byz_honest, benign) = grads.split_at(m);
-                let ctx = if self.async_metadata {
-                    AttackContext::with_staleness(benign, byz_honest, round, &staleness)
-                } else {
-                    AttackContext::new(benign, byz_honest, round)
-                };
-                let malicious = attack.craft(&ctx);
-                assert_eq!(malicious.len(), m, "attack returned wrong gradient count");
-                for (slot, mal) in grads.iter_mut().zip(malicious) {
-                    *slot = mal;
+        // Representation partition. A batch aggregates in its native
+        // representation only when it is *uniform* and no adversary will
+        // rewrite it: the attack seam is dense (adversaries craft `f32`
+        // coordinates from the honest messages), so an active attack — and
+        // any mixed-representation batch — materializes dense gradients
+        // first. Uniform compressed batches with no active attack flow
+        // straight into the rule's native `aggregate_batch` path.
+        let attack_active = m > 0 && self.attack.is_some();
+        let uniform_kind =
+            payloads.first().map(GradientRepr::kind).filter(|k| payloads.iter().all(|p| p.kind() == *k));
+        let stale = if self.async_metadata { Some(staleness.as_slice()) } else { None };
+
+        let out = if !attack_active && uniform_kind == Some("signnorm") {
+            let packed: Vec<SignNormVec> = payloads
+                .into_iter()
+                .map(|p| match p {
+                    GradientRepr::SignNorm(s) => s,
+                    _ => unreachable!("uniform signnorm batch"),
+                })
+                .collect();
+            sg_obs::span("attack");
+            let aggregate_span = sg_obs::span("aggregate");
+            self.gar.observe_global(st.global_params);
+            let out = self
+                .gar
+                .aggregate_batch(&GradientBatch { elems: BatchElems::SignNorm(&packed), staleness: stale });
+            drop(aggregate_span);
+            // Park the packed buffers for reuse, like the dense ones.
+            for (p, &id) in packed.into_iter().zip(&batch_clients) {
+                let (bits, zeros) = p.into_buffers();
+                self.arena.put_packed(id, bits, zeros);
+            }
+            out
+        } else if !attack_active && uniform_kind == Some("quantized") {
+            let quant: Vec<QuantizedVec> = payloads
+                .into_iter()
+                .map(|p| match p {
+                    GradientRepr::QuantizedI8(q) => q,
+                    _ => unreachable!("uniform quantized batch"),
+                })
+                .collect();
+            sg_obs::span("attack");
+            let aggregate_span = sg_obs::span("aggregate");
+            self.gar.observe_global(st.global_params);
+            let out = self
+                .gar
+                .aggregate_batch(&GradientBatch { elems: BatchElems::Quantized(&quant), staleness: stale });
+            drop(aggregate_span);
+            for (q, &id) in quant.into_iter().zip(&batch_clients) {
+                self.arena.put_bytes(id, q.into_buffer());
+            }
+            out
+        } else {
+            // Dense funnel: materialize compressed payloads (recycling
+            // their buffers into the arena on the way), then run the
+            // attack → aggregate path exactly as the all-dense batch does.
+            let mut grads: Vec<Vec<f32>> = Vec::with_capacity(n);
+            for (p, &id) in payloads.into_iter().zip(&batch_clients) {
+                match p {
+                    GradientRepr::Dense(v) => grads.push(v),
+                    GradientRepr::SignNorm(s) => {
+                        grads.push(s.to_dense());
+                        let (bits, zeros) = s.into_buffers();
+                        self.arena.put_packed(id, bits, zeros);
+                    }
+                    GradientRepr::QuantizedI8(q) => {
+                        grads.push(q.to_dense());
+                        self.arena.put_bytes(id, q.into_buffer());
+                    }
                 }
             }
-        }
 
-        drop(attack_span);
+            // ---- attack stage ----------------------------------------
+            // The adversary replaces the Byzantine messages in place,
+            // seeing every honest message of the batch — and, on async
+            // schedules, the arrival view (per-message staleness,
+            // Byzantine first).
+            let attack_span = sg_obs::span("attack");
+            if m > 0 {
+                if let Some(attack) = self.attack.as_mut() {
+                    let (byz_honest, benign) = grads.split_at(m);
+                    let ctx = if self.async_metadata {
+                        AttackContext::with_staleness(benign, byz_honest, round, &staleness)
+                    } else {
+                        AttackContext::new(benign, byz_honest, round)
+                    };
+                    let malicious = attack.craft(&ctx);
+                    assert_eq!(malicious.len(), m, "attack returned wrong gradient count");
+                    for (slot, mal) in grads.iter_mut().zip(malicious) {
+                        *slot = mal;
+                    }
+                }
+            }
 
-        // ---- aggregate stage -----------------------------------------
-        // Validation-based rules need the current model to score
-        // gradients; staleness-aware rules get the arrival metadata.
-        let aggregate_span = sg_obs::span("aggregate");
-        self.gar.observe_global(st.global_params);
-        let input = if self.async_metadata {
-            GradientBatch::with_staleness(&grads, &staleness)
-        } else {
-            GradientBatch::synchronous(&grads)
+            drop(attack_span);
+
+            // ---- aggregate stage -------------------------------------
+            // Validation-based rules need the current model to score
+            // gradients; staleness-aware rules get the arrival metadata.
+            let aggregate_span = sg_obs::span("aggregate");
+            self.gar.observe_global(st.global_params);
+            let input = GradientBatch { elems: BatchElems::Dense(&grads), staleness: stale };
+            let out = self.gar.aggregate_batch(&input);
+            drop(aggregate_span);
+
+            // Park the batch's dense buffers (including attack-crafted
+            // replacements) for reuse.
+            for (g, &id) in grads.into_iter().zip(&batch_clients) {
+                self.arena.put(id, g);
+            }
+            out
         };
-        let out = self.gar.aggregate_batch(&input);
+
         if let Some(sel) = &out.selected {
             selection.record(sel, m, n);
         }
-        drop(aggregate_span);
 
         // ---- apply stage ---------------------------------------------
         let apply_span = sg_obs::span("apply");
@@ -402,11 +492,7 @@ impl RoundPipeline {
             *p -= st.learning_rate * g;
         }
 
-        // Park the batch's buffers (including attack-crafted replacements)
-        // for reuse, and let the consumed clients refetch and restart.
-        for (g, &id) in grads.into_iter().zip(&batch_clients) {
-            self.arena.put(id, g);
-        }
+        // Let the consumed clients refetch and restart.
         self.scheduler.on_consumed(round, &batch_clients);
         drop(apply_span);
         sg_obs::counter_add("pipeline.applied_steps", 1);

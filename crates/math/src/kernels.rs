@@ -1,0 +1,754 @@
+//! SIMD-width kernel layer: lane-chunked reductions with runtime width
+//! dispatch, plus the bit-packed sign kernels behind the compressed
+//! gradient representations.
+//!
+//! # The lane tree
+//!
+//! Every scalar reduction in this crate accumulates in `f64` over fixed
+//! [`REDUCE_BLOCK`]-sized blocks (see [`crate::vecops`]). Within one block
+//! this module refines the accumulation order into a **fixed lane tree**:
+//! [`LANES`] (= 8) independent `f64` accumulators, where block element `i`
+//! feeds lane `i % LANES` in increasing-`i` order, and the lane partials
+//! are combined left-to-right at the end of the block. Block partials are
+//! then summed in block order exactly as before.
+//!
+//! Both kernel widths implement *the same tree*:
+//!
+//! - **wide** walks the block in [`LANES`]-sized groups with an accumulator
+//!   array — the classic shape LLVM's loop vectorizer turns into packed
+//!   `f64` adds (verified by the codegen test in
+//!   `crates/math/tests/codegen.rs` against the `probe_*` entry points);
+//! - **scalar** walks each lane as a strided dependent chain
+//!   (`j, j+8, j+16, …`), which cannot be vectorized without reassociating
+//!   across the very boundaries the tree fixes.
+//!
+//! Each lane therefore sums the *same elements in the same order* under
+//! either width, and the lane/block combine orders are shared — so scalar
+//! and wide are **bit-for-bit identical**, and both remain bit-identical
+//! to any [`crate::exec::ParallelExecutor`]-sharded evaluation at any
+//! `SG_THREADS`, because executor chunks sit on block boundaries the tree
+//! already owns.
+//!
+//! # Width dispatch
+//!
+//! The width is selected **once per process** ([`dispatch_width`], a
+//! `OnceLock`): `wide` by default, overridable with `SG_SIMD=scalar` for
+//! determinism A/B runs (CI's `simd-smoke` job `cmp`s consolidated
+//! experiment reports across the two settings). The `*_with` variants take
+//! an explicit [`Width`] so tests and benches can compare both paths in
+//! one process.
+//!
+//! # Packed sign kernels
+//!
+//! The `packed_*` family operates on the bit-packed sign representation
+//! consumed by SignGuard's filters (`sg-aggregators`' `SignNormVec`): one
+//! bit per coordinate (1 = strictly positive) plus a sorted sparse list of
+//! zero-sign coordinates (exact zeros and NaNs — an undefined coordinate
+//! carries no directional information). Sign counts become popcounts and
+//! the clipped-mean accumulation reads bits directly, so a packed batch is
+//! aggregated without ever rematerializing dense vectors.
+
+use std::sync::OnceLock;
+
+use crate::vecops::REDUCE_BLOCK;
+
+/// Lane count of the fixed lane tree (8 × `f64` = one 64-byte cache line;
+/// wide enough for AVX-512, divides [`REDUCE_BLOCK`] exactly so only a
+/// vector's final ragged block has a lane remainder).
+pub const LANES: usize = 8;
+
+/// Kernel width: which implementation of the (identical) lane tree runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Width {
+    /// Strided per-lane chains — the autovectorization-proof fallback.
+    Scalar,
+    /// Lane-grouped accumulator arrays — the autovectorizable layout.
+    Wide,
+}
+
+/// The process-wide kernel width, selected once at first use: `wide`
+/// unless `SG_SIMD=scalar` is set.
+///
+/// # Panics
+///
+/// Panics if `SG_SIMD` is set to anything other than `scalar` or `wide`.
+pub fn dispatch_width() -> Width {
+    static WIDTH: OnceLock<Width> = OnceLock::new();
+    *WIDTH.get_or_init(|| match std::env::var("SG_SIMD") {
+        Ok(v) if v == "scalar" => Width::Scalar,
+        Ok(v) if v == "wide" => Width::Wide,
+        Ok(v) => panic!("SG_SIMD must be `scalar` or `wide`, got `{v}`"),
+        Err(_) => Width::Wide,
+    })
+}
+
+/// Left-to-right combine of the lane partials (the within-block root of
+/// the tree; shared by both widths).
+#[inline]
+fn combine_lanes(acc: [f64; LANES]) -> f64 {
+    let mut total = 0.0f64;
+    for a in acc {
+        total += a;
+    }
+    total
+}
+
+macro_rules! lane_reduce1 {
+    ($wide:ident, $scalar:ident, |$x:ident| $map:expr) => {
+        #[inline]
+        fn $wide(block: &[f32]) -> [f64; LANES] {
+            let mut acc = [0.0f64; LANES];
+            let mut groups = block.chunks_exact(LANES);
+            for g in groups.by_ref() {
+                for j in 0..LANES {
+                    let $x = f64::from(g[j]);
+                    acc[j] += $map;
+                }
+            }
+            // Ragged tail: element `m*LANES + j` still feeds lane `j`, as
+            // the last element of that lane's sequence.
+            for (j, &v) in groups.remainder().iter().enumerate() {
+                let $x = f64::from(v);
+                acc[j] += $map;
+            }
+            acc
+        }
+
+        #[inline]
+        fn $scalar(block: &[f32]) -> [f64; LANES] {
+            let mut acc = [0.0f64; LANES];
+            for (j, slot) in acc.iter_mut().enumerate() {
+                let mut s = 0.0f64;
+                let mut k = j;
+                while k < block.len() {
+                    let $x = f64::from(block[k]);
+                    s += $map;
+                    k += LANES;
+                }
+                *slot = s;
+            }
+            acc
+        }
+    };
+}
+
+macro_rules! lane_reduce2 {
+    ($wide:ident, $scalar:ident, |$x:ident, $y:ident| $map:expr) => {
+        #[inline]
+        fn $wide(a: &[f32], b: &[f32]) -> [f64; LANES] {
+            debug_assert_eq!(a.len(), b.len());
+            let mut acc = [0.0f64; LANES];
+            let mut ga = a.chunks_exact(LANES);
+            let mut gb = b.chunks_exact(LANES);
+            while let (Some(p), Some(q)) = (ga.next(), gb.next()) {
+                for j in 0..LANES {
+                    let $x = f64::from(p[j]);
+                    let $y = f64::from(q[j]);
+                    acc[j] += $map;
+                }
+            }
+            for (j, (&p, &q)) in ga.remainder().iter().zip(gb.remainder()).enumerate() {
+                let $x = f64::from(p);
+                let $y = f64::from(q);
+                acc[j] += $map;
+            }
+            acc
+        }
+
+        #[inline]
+        fn $scalar(a: &[f32], b: &[f32]) -> [f64; LANES] {
+            debug_assert_eq!(a.len(), b.len());
+            let mut acc = [0.0f64; LANES];
+            for (j, slot) in acc.iter_mut().enumerate() {
+                let mut s = 0.0f64;
+                let mut k = j;
+                while k < a.len() {
+                    let $x = f64::from(a[k]);
+                    let $y = f64::from(b[k]);
+                    s += $map;
+                    k += LANES;
+                }
+                *slot = s;
+            }
+            acc
+        }
+    };
+}
+
+lane_reduce1!(sumsq_lanes_wide, sumsq_lanes_scalar, |x| x * x);
+lane_reduce2!(dot_lanes_wide, dot_lanes_scalar, |x, y| x * y);
+lane_reduce2!(distsq_lanes_wide, distsq_lanes_scalar, |x, y| {
+    let d = x - y;
+    d * d
+});
+
+/// One block's partial sum of squares under the lane tree.
+///
+/// `block` must be at most [`REDUCE_BLOCK`] long (a chunk of a
+/// `chunks(REDUCE_BLOCK)` walk).
+#[inline]
+pub fn sumsq_block(width: Width, block: &[f32]) -> f64 {
+    debug_assert!(block.len() <= REDUCE_BLOCK);
+    match width {
+        Width::Wide => combine_lanes(sumsq_lanes_wide(block)),
+        Width::Scalar => combine_lanes(sumsq_lanes_scalar(block)),
+    }
+}
+
+/// Squared l2 norm of `v` in `f64`, over the full fixed tree (lane tree
+/// within blocks, block partials combined in block order).
+pub fn l2_norm_sq_f64_with(width: Width, v: &[f32]) -> f64 {
+    let mut total = 0.0f64;
+    for block in v.chunks(REDUCE_BLOCK) {
+        total += sumsq_block(width, block);
+    }
+    total
+}
+
+/// [`l2_norm_sq_f64_with`] at the process-wide [`dispatch_width`].
+pub fn l2_norm_sq_f64(v: &[f32]) -> f64 {
+    l2_norm_sq_f64_with(dispatch_width(), v)
+}
+
+/// Dot product of `a` and `b` in `f64`, over the full fixed tree.
+///
+/// Callers validate lengths; mismatched tails are debug-asserted only.
+pub fn dot_f64_with(width: Width, a: &[f32], b: &[f32]) -> f64 {
+    let mut total = 0.0f64;
+    for (ca, cb) in a.chunks(REDUCE_BLOCK).zip(b.chunks(REDUCE_BLOCK)) {
+        total += match width {
+            Width::Wide => combine_lanes(dot_lanes_wide(ca, cb)),
+            Width::Scalar => combine_lanes(dot_lanes_scalar(ca, cb)),
+        };
+    }
+    total
+}
+
+/// [`dot_f64_with`] at the process-wide [`dispatch_width`].
+pub fn dot_f64(a: &[f32], b: &[f32]) -> f64 {
+    dot_f64_with(dispatch_width(), a, b)
+}
+
+/// Squared Euclidean distance of `a` and `b` in `f64`, over the full
+/// fixed tree.
+pub fn l2_distance_sq_f64_with(width: Width, a: &[f32], b: &[f32]) -> f64 {
+    let mut total = 0.0f64;
+    for (ca, cb) in a.chunks(REDUCE_BLOCK).zip(b.chunks(REDUCE_BLOCK)) {
+        total += match width {
+            Width::Wide => combine_lanes(distsq_lanes_wide(ca, cb)),
+            Width::Scalar => combine_lanes(distsq_lanes_scalar(ca, cb)),
+        };
+    }
+    total
+}
+
+/// [`l2_distance_sq_f64_with`] at the process-wide [`dispatch_width`].
+pub fn l2_distance_sq_f64(a: &[f32], b: &[f32]) -> f64 {
+    l2_distance_sq_f64_with(dispatch_width(), a, b)
+}
+
+/// Counts of (positive, zero, negative) entries in `v`; NaN counts as
+/// zero-sign. Integer counts are order-free, so the two widths agree
+/// trivially — the wide layout exists because per-lane boolean counters
+/// vectorize into packed compares while the branchy scalar loop does not.
+pub fn sign_counts_with(width: Width, v: &[f32]) -> (usize, usize, usize) {
+    match width {
+        Width::Wide => {
+            let mut pos = [0u64; LANES];
+            let mut neg = [0u64; LANES];
+            let mut groups = v.chunks_exact(LANES);
+            for g in groups.by_ref() {
+                for j in 0..LANES {
+                    pos[j] += u64::from(g[j] > 0.0);
+                    neg[j] += u64::from(g[j] < 0.0);
+                }
+            }
+            for (j, &x) in groups.remainder().iter().enumerate() {
+                pos[j] += u64::from(x > 0.0);
+                neg[j] += u64::from(x < 0.0);
+            }
+            let p: u64 = pos.iter().sum();
+            let n: u64 = neg.iter().sum();
+            (p as usize, v.len() - p as usize - n as usize, n as usize)
+        }
+        Width::Scalar => {
+            let (mut pos, mut zero, mut neg) = (0usize, 0usize, 0usize);
+            for &x in v {
+                if x > 0.0 {
+                    pos += 1;
+                } else if x < 0.0 {
+                    neg += 1;
+                } else {
+                    zero += 1;
+                }
+            }
+            (pos, zero, neg)
+        }
+    }
+}
+
+/// [`sign_counts_with`] at the process-wide [`dispatch_width`].
+pub fn sign_counts(v: &[f32]) -> (usize, usize, usize) {
+    sign_counts_with(dispatch_width(), v)
+}
+
+/// Counts of (positive, zero, negative) among the gathered coordinates
+/// `v[c]` for `c` in `coords` — the sampled-subset sign statistics of
+/// SignGuard's feature extractor. A gather cannot vectorize usefully, so
+/// there is one implementation at any width.
+pub fn sign_counts_at(v: &[f32], coords: &[usize]) -> (usize, usize, usize) {
+    let (mut pos, mut zero, mut neg) = (0usize, 0usize, 0usize);
+    for &c in coords {
+        let x = v[c];
+        if x > 0.0 {
+            pos += 1;
+        } else if x < 0.0 {
+            neg += 1;
+        } else {
+            zero += 1;
+        }
+    }
+    (pos, zero, neg)
+}
+
+/// In-place `out[k] += src[offset + k]` — the accumulation step of the
+/// coordinate-wise mean. Per output coordinate this is a single add, so
+/// any width (and any chunking) is bit-identical; the wide layout walks
+/// aligned [`LANES`]-groups to hand LLVM a clean packed-add loop.
+#[inline]
+fn add_assign_with(width: Width, out: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(out.len(), src.len());
+    match width {
+        Width::Wide => {
+            let mut go = out.chunks_exact_mut(LANES);
+            let mut gs = src.chunks_exact(LANES);
+            while let (Some(o), Some(s)) = (go.next(), gs.next()) {
+                for j in 0..LANES {
+                    o[j] += s[j];
+                }
+            }
+            for (o, &s) in go.into_remainder().iter_mut().zip(gs.remainder()) {
+                *o += s;
+            }
+        }
+        Width::Scalar => {
+            for j in 0..LANES {
+                let mut k = j;
+                while k < out.len() {
+                    out[k] += src[k];
+                    k += LANES;
+                }
+            }
+        }
+    }
+}
+
+/// Coordinate-wise mean of `vectors` over the window `[offset, offset +
+/// out.len())`, written into `out`. Accumulates across vectors in vector
+/// order for every coordinate — the order [`crate::vecops::mean_vector`]
+/// fixes — so chunked, sharded, scalar and wide evaluations are all
+/// bit-identical.
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty or the window exceeds any vector.
+pub fn mean_chunk_with(width: Width, vectors: &[Vec<f32>], offset: usize, out: &mut [f32]) {
+    assert!(!vectors.is_empty(), "mean_chunk: empty batch");
+    let end = offset + out.len();
+    out.fill(0.0);
+    for v in vectors {
+        assert!(v.len() >= end, "mean_chunk: window {offset}..{end} exceeds dim {}", v.len());
+        add_assign_with(width, out, &v[offset..end]);
+    }
+    let inv = 1.0 / vectors.len() as f32;
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
+}
+
+// ---- Packed sign kernels ------------------------------------------------
+
+/// Number of `u64` words covering `dim` sign bits.
+pub const fn packed_words(dim: usize) -> usize {
+    dim.div_ceil(64)
+}
+
+/// Packs the signs of `v`: bit `i` of `bits` is set iff `v[i] > 0.0`;
+/// coordinates whose sign is zero (exact zero or NaN) are appended to
+/// `zeros` in ascending order and their bit stays clear. Both buffers are
+/// cleared first and keep their capacity, so recycled buffers (see
+/// `sg-runtime`'s arena) make steady-state packing allocation-free.
+// The clippy rewrites are not NaN-equivalent: `x != 0.0` is true for NaN
+// and `x >= 0.0` is false for NaN, but NaN must classify as zero-sign
+// here (matching `f32::signum`-free sign_counts semantics downstream).
+#[allow(clippy::double_comparisons, clippy::neg_cmp_op_on_partial_ord)]
+pub fn pack_signs_into_with(width: Width, v: &[f32], bits: &mut Vec<u64>, zeros: &mut Vec<u32>) {
+    bits.clear();
+    zeros.clear();
+    bits.resize(packed_words(v.len()), 0u64);
+    match width {
+        Width::Wide => {
+            // Two vectorizable compare passes build the positive and
+            // nonzero masks per 64-coordinate word; zero-sign coordinates
+            // are then recovered from the (rare) clear bits of the nonzero
+            // mask, so the hot loop stays branch-free.
+            for (w, (word, group)) in bits.iter_mut().zip(v.chunks(64)).enumerate() {
+                let mut posm = 0u64;
+                let mut nzm = 0u64;
+                for (j, &x) in group.iter().enumerate() {
+                    posm |= u64::from(x > 0.0) << j;
+                    nzm |= u64::from(x > 0.0 || x < 0.0) << j;
+                }
+                *word = posm;
+                let mut zm = !nzm;
+                if group.len() < 64 {
+                    zm &= (1u64 << group.len()) - 1;
+                }
+                while zm != 0 {
+                    let j = zm.trailing_zeros();
+                    zeros.push((w * 64) as u32 + j);
+                    zm &= zm - 1;
+                }
+            }
+        }
+        Width::Scalar => {
+            for (i, &x) in v.iter().enumerate() {
+                if x > 0.0 {
+                    bits[i >> 6] |= 1u64 << (i & 63);
+                } else if !(x < 0.0) {
+                    zeros.push(i as u32);
+                }
+            }
+        }
+    }
+}
+
+/// [`pack_signs_into_with`] at the process-wide [`dispatch_width`].
+pub fn pack_signs_into(v: &[f32], bits: &mut Vec<u64>, zeros: &mut Vec<u32>) {
+    pack_signs_into_with(dispatch_width(), v, bits, zeros);
+}
+
+/// Sign of packed coordinate `i`: `+1`, `0` or `-1`.
+#[inline]
+pub fn packed_sign_at(bits: &[u64], zeros: &[u32], i: usize) -> i8 {
+    if (bits[i >> 6] >> (i & 63)) & 1 == 1 {
+        1
+    } else if zeros.binary_search(&(i as u32)).is_ok() {
+        0
+    } else {
+        -1
+    }
+}
+
+/// Counts of (positive, zero, negative) signs of a packed vector — a
+/// popcount over the bit words, never a coordinate loop.
+pub fn packed_sign_counts(dim: usize, bits: &[u64], zeros: &[u32]) -> (usize, usize, usize) {
+    debug_assert_eq!(bits.len(), packed_words(dim));
+    let pos: usize = bits.iter().map(|w| w.count_ones() as usize).sum();
+    (pos, zeros.len(), dim - pos - zeros.len())
+}
+
+/// Counts of (positive, zero, negative) among the packed coordinates in
+/// `coords` (the sampled-subset statistics of the sign-cluster filter).
+pub fn packed_sign_counts_at(bits: &[u64], zeros: &[u32], coords: &[usize]) -> (usize, usize, usize) {
+    let (mut pos, mut zero, mut neg) = (0usize, 0usize, 0usize);
+    for &c in coords {
+        match packed_sign_at(bits, zeros, c) {
+            1 => pos += 1,
+            0 => zero += 1,
+            _ => neg += 1,
+        }
+    }
+    (pos, zero, neg)
+}
+
+/// In-place `out[k] += w * sign(offset + k)` over a packed sign vector —
+/// the accumulation step of SignGuard's clipped mean on a packed batch.
+/// Zero-sign coordinates contribute nothing; the sorted `zeros` list is
+/// merge-walked alongside the window, so the cost is `O(out.len() + z)`.
+pub fn packed_signs_axpy(bits: &[u64], zeros: &[u32], w: f32, offset: usize, out: &mut [f32]) {
+    let mut zi = zeros.partition_point(|&z| (z as usize) < offset);
+    for (k, o) in out.iter_mut().enumerate() {
+        let i = offset + k;
+        if zi < zeros.len() && zeros[zi] as usize == i {
+            zi += 1;
+            continue;
+        }
+        let bit = (bits[i >> 6] >> (i & 63)) & 1;
+        *o += if bit == 1 { w } else { -w };
+    }
+}
+
+/// `Σ_i sign(i) · r[i]` in `f64` over the fixed block tree (left-to-right
+/// within [`REDUCE_BLOCK`] blocks, block partials in block order) — the
+/// packed half of the cosine/distance similarity identities:
+/// `cos(c·s, r) = (Σ s_i r_i) / (√nnz · ‖r‖)` and
+/// `‖c·s − r‖² = ‖c·s‖² − 2c·Σ s_i r_i + ‖r‖²`.
+pub fn packed_signs_dot_f64(bits: &[u64], zeros: &[u32], r: &[f32]) -> f64 {
+    let mut total = 0.0f64;
+    let mut zi = 0usize;
+    for (bi, block) in r.chunks(REDUCE_BLOCK).enumerate() {
+        let base = bi * REDUCE_BLOCK;
+        let mut acc = 0.0f64;
+        for (k, &x) in block.iter().enumerate() {
+            let i = base + k;
+            if zi < zeros.len() && zeros[zi] as usize == i {
+                zi += 1;
+                continue;
+            }
+            let bit = (bits[i >> 6] >> (i & 63)) & 1;
+            acc += if bit == 1 { f64::from(x) } else { -f64::from(x) };
+        }
+        total += acc;
+    }
+    total
+}
+
+// ---- Codegen probes -----------------------------------------------------
+
+/// Non-inlined entry point for the wide sum-of-squares lane kernel. Exists
+/// only so the codegen test (`crates/math/tests/codegen.rs`) can find its
+/// disassembly and assert the lane loop compiled to packed `f64`
+/// instructions; never called on a hot path.
+#[inline(never)]
+pub fn probe_sumsq_wide(block: &[f32]) -> f64 {
+    combine_lanes(sumsq_lanes_wide(block))
+}
+
+/// Non-inlined entry point for the scalar fallback (see
+/// [`probe_sumsq_wide`]).
+#[inline(never)]
+pub fn probe_sumsq_scalar(block: &[f32]) -> f64 {
+    combine_lanes(sumsq_lanes_scalar(block))
+}
+
+/// Non-inlined entry point for the wide dot lane kernel (see
+/// [`probe_sumsq_wide`]).
+#[inline(never)]
+pub fn probe_dot_wide(a: &[f32], b: &[f32]) -> f64 {
+    combine_lanes(dot_lanes_wide(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Mixed-magnitude values whose sum is sensitive to reassociation, so
+    /// any ordering difference between the widths shows up in the bits.
+    fn messy(len: usize, salt: u32) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let x = ((i as u32).wrapping_mul(2654435761).wrapping_add(salt)) as f32;
+                (x * 1e-9).sin() * (1.0 + (i % 23) as f32 * 731.17)
+            })
+            .collect()
+    }
+
+    /// Lengths that exercise empty, sub-lane, ragged-lane, exact-block and
+    /// multi-block shapes.
+    fn shapes() -> Vec<usize> {
+        vec![
+            0,
+            1,
+            7,
+            8,
+            9,
+            63,
+            64,
+            65,
+            REDUCE_BLOCK - 1,
+            REDUCE_BLOCK,
+            REDUCE_BLOCK + 5,
+            3 * REDUCE_BLOCK + 17,
+        ]
+    }
+
+    #[test]
+    fn widths_bit_identical_for_every_reduction() {
+        for len in shapes() {
+            let a = messy(len, 1);
+            let b = messy(len, 2);
+            assert_eq!(
+                l2_norm_sq_f64_with(Width::Scalar, &a).to_bits(),
+                l2_norm_sq_f64_with(Width::Wide, &a).to_bits(),
+                "sumsq len {len}"
+            );
+            assert_eq!(
+                dot_f64_with(Width::Scalar, &a, &b).to_bits(),
+                dot_f64_with(Width::Wide, &a, &b).to_bits(),
+                "dot len {len}"
+            );
+            assert_eq!(
+                l2_distance_sq_f64_with(Width::Scalar, &a, &b).to_bits(),
+                l2_distance_sq_f64_with(Width::Wide, &a, &b).to_bits(),
+                "distsq len {len}"
+            );
+            assert_eq!(
+                sign_counts_with(Width::Scalar, &a),
+                sign_counts_with(Width::Wide, &a),
+                "sign_counts len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_chunk_widths_and_windows_agree() {
+        let vectors: Vec<Vec<f32>> = (0..5).map(|i| messy(2 * REDUCE_BLOCK + 331, i)).collect();
+        let dim = vectors[0].len();
+        let mut wide = vec![0.0f32; dim];
+        mean_chunk_with(Width::Wide, &vectors, 0, &mut wide);
+        let mut scalar = vec![0.0f32; dim];
+        mean_chunk_with(Width::Scalar, &vectors, 0, &mut scalar);
+        for (a, b) in wide.iter().zip(&scalar) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Unaligned windows reproduce the whole-vector result exactly.
+        let mut windowed = vec![0.0f32; dim];
+        let mut offset = 0;
+        for len in [1usize, 613, REDUCE_BLOCK, dim] {
+            if offset >= dim {
+                break;
+            }
+            let len = len.min(dim - offset);
+            mean_chunk_with(Width::Wide, &vectors, offset, &mut windowed[offset..offset + len]);
+            offset += len;
+        }
+        mean_chunk_with(Width::Wide, &vectors, offset, &mut windowed[offset..]);
+        for (a, b) in wide.iter().zip(&windowed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn sign_counts_treats_nan_as_zero() {
+        let v = [1.0f32, -2.0, 0.0, f32::NAN, 3.0, -0.0];
+        for w in [Width::Scalar, Width::Wide] {
+            assert_eq!(sign_counts_with(w, &v), (2, 3, 1), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn sign_counts_at_matches_gather() {
+        let v = messy(500, 9);
+        let coords: Vec<usize> = (0..v.len()).step_by(3).collect();
+        let gathered: Vec<f32> = coords.iter().map(|&c| v[c]).collect();
+        assert_eq!(sign_counts_at(&v, &coords), sign_counts_with(Width::Scalar, &gathered));
+    }
+
+    #[test]
+    fn pack_widths_agree_and_round_trip() {
+        for len in shapes() {
+            let mut v = messy(len, 3);
+            // Sprinkle zeros and NaNs to exercise the sparse list.
+            for i in (0..len).step_by(11) {
+                v[i] = 0.0;
+            }
+            for i in (0..len).step_by(17) {
+                v[i] = f32::NAN;
+            }
+            let (mut bw, mut zw) = (Vec::new(), Vec::new());
+            let (mut bs, mut zs) = (Vec::new(), Vec::new());
+            pack_signs_into_with(Width::Wide, &v, &mut bw, &mut zw);
+            pack_signs_into_with(Width::Scalar, &v, &mut bs, &mut zs);
+            assert_eq!(bw, bs, "bits len {len}");
+            assert_eq!(zw, zs, "zeros len {len}");
+            for (i, &x) in v.iter().enumerate() {
+                let expect = if x > 0.0 {
+                    1i8
+                } else if x < 0.0 {
+                    -1
+                } else {
+                    0
+                };
+                assert_eq!(packed_sign_at(&bw, &zw, i), expect, "coord {i} of {len}");
+            }
+            let (p, z, n) = packed_sign_counts(len, &bw, &zw);
+            assert_eq!((p, z, n), sign_counts_with(Width::Scalar, &v), "counts len {len}");
+        }
+    }
+
+    #[test]
+    fn packed_axpy_matches_dense_sign_accumulation() {
+        let v = {
+            let mut v = messy(1000, 4);
+            v[3] = 0.0;
+            v[999] = f32::NAN;
+            v
+        };
+        let (mut bits, mut zeros) = (Vec::new(), Vec::new());
+        pack_signs_into(&v, &mut bits, &mut zeros);
+        let w = 0.37f32;
+        for (offset, len) in [(0usize, 1000usize), (13, 700), (990, 10)] {
+            let mut packed = vec![0.5f32; len];
+            packed_signs_axpy(&bits, &zeros, w, offset, &mut packed);
+            let mut dense = vec![0.5f32; len];
+            for (k, o) in dense.iter_mut().enumerate() {
+                let x = v[offset + k];
+                if x > 0.0 {
+                    *o += w;
+                } else if x < 0.0 {
+                    *o -= w;
+                }
+            }
+            for (a, b) in packed.iter().zip(&dense) {
+                assert_eq!(a.to_bits(), b.to_bits(), "window {offset}+{len}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_dot_matches_dense_sign_dot() {
+        let mut v = messy(2 * REDUCE_BLOCK + 77, 5);
+        v[0] = 0.0;
+        v[REDUCE_BLOCK] = f32::NAN;
+        let r = messy(v.len(), 6);
+        let (mut bits, mut zeros) = (Vec::new(), Vec::new());
+        pack_signs_into(&v, &mut bits, &mut zeros);
+        let signs: Vec<f32> = v
+            .iter()
+            .map(|&x| {
+                if x > 0.0 {
+                    1.0
+                } else if x < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        // Same fixed block tree on both sides, with the zero-sign
+        // coordinates skipped rather than multiplied by 0.0 — the skip and
+        // the +0.0 contribution are bit-identical for finite r… except for
+        // sign of zero; compare against a skip-based dense reference.
+        let mut expect = 0.0f64;
+        for (bi, block) in r.chunks(REDUCE_BLOCK).enumerate() {
+            let mut acc = 0.0f64;
+            for (k, &x) in block.iter().enumerate() {
+                let s = signs[bi * REDUCE_BLOCK + k];
+                if s > 0.0 {
+                    acc += f64::from(x);
+                } else if s < 0.0 {
+                    acc -= f64::from(x);
+                }
+            }
+            expect += acc;
+        }
+        assert_eq!(packed_signs_dot_f64(&bits, &zeros, &r).to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn probes_match_dispatch_kernels() {
+        let v = messy(REDUCE_BLOCK, 8);
+        assert_eq!(probe_sumsq_wide(&v).to_bits(), sumsq_block(Width::Wide, &v).to_bits());
+        assert_eq!(probe_sumsq_scalar(&v).to_bits(), sumsq_block(Width::Scalar, &v).to_bits());
+        let b = messy(REDUCE_BLOCK, 9);
+        assert_eq!(probe_dot_wide(&v, &b).to_bits(), combine_lanes(dot_lanes_wide(&v, &b)).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn mean_chunk_rejects_empty() {
+        let mut out = vec![0.0f32; 4];
+        mean_chunk_with(Width::Wide, &[], 0, &mut out);
+    }
+}

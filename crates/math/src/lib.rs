@@ -5,6 +5,30 @@
 //! gradient pipeline (which flattens model gradients into `Vec<f32>`) can use
 //! these functions without conversions.
 //!
+//! # Kernel layer & determinism
+//!
+//! The hot reductions — `l2_norm_sq`, `dot`, `l2_distance`, `sign_counts`,
+//! `mean_chunk`, and the flattened pairwise distance matrix — are served by
+//! [`kernels`]: SIMD-friendly lane-chunked implementations with **runtime
+//! width dispatch**. The width (`wide`, the autovectorizable layout, or
+//! `scalar`, the strided fallback) is selected **once per process** from the
+//! `SG_SIMD` environment variable (`SG_SIMD=scalar|wide`, default `wide`)
+//! and never changes afterwards, so a run's numeric path is a function of
+//! its environment, not of timing.
+//!
+//! SIMD stays **bit-exact** because both widths evaluate the *same fixed
+//! reduction tree*: within every [`vecops::REDUCE_BLOCK`]-sized block,
+//! element `i` feeds lane `i % 8` of eight independent `f64` accumulators
+//! (in increasing `i`), the lanes combine left-to-right, and block partials
+//! sum in block order. The wide path walks the block in 8-element groups
+//! (LLVM vectorizes the accumulator array into packed `f64` adds — asserted
+//! by a disassembly test); the scalar path walks each lane as a strided
+//! dependent chain. Same per-lane sums, same combine order — so
+//! `parallel ≡ sequential ≡ SIMD ≡ scalar`, bit for bit, at any
+//! `SG_THREADS` and either `SG_SIMD` setting. CI's `simd-smoke` job holds
+//! the whole experiment harness to this: consolidated reports under
+//! `SG_SIMD=scalar` and the default must compare equal byte-for-byte.
+//!
 //! # Examples
 //!
 //! ```
@@ -16,6 +40,7 @@
 
 pub mod crc;
 pub mod exec;
+pub mod kernels;
 pub mod normal;
 pub mod pairwise;
 pub mod rng;
@@ -24,6 +49,7 @@ pub mod vecops;
 
 pub use crc::crc32;
 pub use exec::{ParallelExecutor, SeqExecutor, StripedExec};
+pub use kernels::{dispatch_width, Width};
 pub use normal::{normal_cdf, normal_quantile, NormalSampler};
 pub use pairwise::PairwiseDistances;
 pub use rng::{seeded_rng, SeedStream};

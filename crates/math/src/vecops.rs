@@ -7,13 +7,14 @@
 //! # Fixed-tree reductions
 //!
 //! All scalar reductions (`l2_norm`, `dot`, `l2_distance`, …) accumulate in
-//! `f64` over fixed [`REDUCE_BLOCK`]-sized blocks: each block is summed
-//! left-to-right, then the block partials are summed in block order. The
-//! sequential implementations follow exactly this tree, so a sharded
-//! implementation that computes block partials concurrently (see
-//! `sg-runtime`) and combines them in block order produces **bit-identical**
-//! results at any thread count — floating-point addition is only ever
-//! reassociated along boundaries both paths share.
+//! `f64` over fixed [`REDUCE_BLOCK`]-sized blocks: within each block the
+//! elements feed the fixed lane tree of [`crate::kernels`] (8 independent
+//! lane accumulators, combined left-to-right), then the block partials are
+//! summed in block order. Every implementation — sequential, sharded across
+//! threads (see `sg-runtime`), SIMD-wide or the scalar fallback — follows
+//! exactly this tree, so all of them produce **bit-identical** results at
+//! any thread count and any `SG_SIMD` width — floating-point addition is
+//! only ever reassociated along boundaries all paths share.
 
 /// Block length of the fixed reduction tree (16 KiB of `f32`s — sized so a
 /// block's partial sum stays in cache while still amortizing the f64
@@ -26,7 +27,8 @@ pub const fn num_blocks(len: usize) -> usize {
 }
 
 /// Writes the per-block partial sums of squares of `v` into `partials`
-/// (block `k` covers `v[k*REDUCE_BLOCK..]`, summed left-to-right in `f64`).
+/// (block `k` covers `v[k*REDUCE_BLOCK..]`, accumulated in `f64` under the
+/// fixed lane tree of [`crate::kernels`]).
 ///
 /// `combine_block_partials(partials).sqrt()` equals [`l2_norm`] bit-for-bit;
 /// this is the kernel a sharded executor parallelizes.
@@ -36,12 +38,9 @@ pub const fn num_blocks(len: usize) -> usize {
 /// Panics if `partials.len() != num_blocks(v.len())`.
 pub fn sumsq_block_partials(v: &[f32], partials: &mut [f64]) {
     assert_eq!(partials.len(), num_blocks(v.len()), "sumsq_block_partials: partial count mismatch");
+    let width = crate::kernels::dispatch_width();
     for (p, block) in partials.iter_mut().zip(v.chunks(REDUCE_BLOCK)) {
-        let mut acc = 0.0f64;
-        for &x in block {
-            acc += f64::from(x) * f64::from(x);
-        }
-        *p = acc;
+        *p = crate::kernels::sumsq_block(width, block);
     }
 }
 
@@ -51,19 +50,6 @@ pub fn combine_block_partials(partials: &[f64]) -> f64 {
     let mut total = 0.0f64;
     for &p in partials {
         total += p;
-    }
-    total
-}
-
-/// Blocked left-to-right `f64` sum of `f(x, y)` over two zipped slices.
-fn blocked_sum2(a: &[f32], b: &[f32], f: impl Fn(f64, f64) -> f64) -> f64 {
-    let mut total = 0.0f64;
-    for (ca, cb) in a.chunks(REDUCE_BLOCK).zip(b.chunks(REDUCE_BLOCK)) {
-        let mut acc = 0.0f64;
-        for (&x, &y) in ca.iter().zip(cb) {
-            acc += f(f64::from(x), f64::from(y));
-        }
-        total += acc;
     }
     total
 }
@@ -90,15 +76,7 @@ pub fn l2_norm_sq(v: &[f32]) -> f32 {
 }
 
 fn l2_norm_sq_f64(v: &[f32]) -> f64 {
-    let mut total = 0.0f64;
-    for block in v.chunks(REDUCE_BLOCK) {
-        let mut acc = 0.0f64;
-        for &x in block {
-            acc += f64::from(x) * f64::from(x);
-        }
-        total += acc;
-    }
-    total
+    crate::kernels::l2_norm_sq_f64(v)
 }
 
 /// Returns the dot product of `a` and `b`.
@@ -108,7 +86,7 @@ fn l2_norm_sq_f64(v: &[f32]) -> f64 {
 /// Panics if `a` and `b` have different lengths.
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
-    blocked_sum2(a, b, |x, y| x * y) as f32
+    crate::kernels::dot_f64(a, b) as f32
 }
 
 /// Returns the Euclidean distance between `a` and `b`.
@@ -118,11 +96,7 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 /// Panics if `a` and `b` have different lengths.
 pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "l2_distance: length mismatch");
-    blocked_sum2(a, b, |x, y| {
-        let d = x - y;
-        d * d
-    })
-    .sqrt() as f32
+    crate::kernels::l2_distance_sq_f64(a, b).sqrt() as f32
 }
 
 /// Returns the squared Euclidean distance between `a` and `b`.
@@ -132,10 +106,7 @@ pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
 /// Panics if `a` and `b` have different lengths.
 pub fn l2_distance_sq(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "l2_distance_sq: length mismatch");
-    blocked_sum2(a, b, |x, y| {
-        let d = x - y;
-        d * d
-    }) as f32
+    crate::kernels::l2_distance_sq_f64(a, b) as f32
 }
 
 /// Returns the cosine similarity `a·b / (‖a‖‖b‖)`.
@@ -227,19 +198,7 @@ pub fn mean_vector(vectors: &[Vec<f32>], dim: usize) -> Vec<f32> {
 ///
 /// Panics if `vectors` is empty or the window exceeds any vector.
 pub fn mean_chunk(vectors: &[Vec<f32>], offset: usize, out: &mut [f32]) {
-    assert!(!vectors.is_empty(), "mean_chunk: empty batch");
-    let end = offset + out.len();
-    out.fill(0.0);
-    for v in vectors {
-        assert!(v.len() >= end, "mean_chunk: window {offset}..{end} exceeds dim {}", v.len());
-        for (o, &x) in out.iter_mut().zip(&v[offset..end]) {
-            *o += x;
-        }
-    }
-    let inv = 1.0 / vectors.len() as f32;
-    for o in out.iter_mut() {
-        *o *= inv;
-    }
+    crate::kernels::mean_chunk_with(crate::kernels::dispatch_width(), vectors, offset, out);
 }
 
 /// Coordinate-wise trimmed mean over the window `[offset, offset +
@@ -333,19 +292,7 @@ pub fn sign_vector(v: &[f32]) -> Vec<f32> {
 /// NaN entries count as zero-sign: an undefined coordinate carries no
 /// directional information, and the SignGuard filter treats it as neutral.
 pub fn sign_counts(v: &[f32]) -> (usize, usize, usize) {
-    let mut pos = 0;
-    let mut zero = 0;
-    let mut neg = 0;
-    for &x in v {
-        if x > 0.0 {
-            pos += 1;
-        } else if x < 0.0 {
-            neg += 1;
-        } else {
-            zero += 1;
-        }
-    }
-    (pos, zero, neg)
+    crate::kernels::sign_counts(v)
 }
 
 /// Clips `v` in l2 norm to at most `max_norm`, returning the scaled copy.

@@ -16,10 +16,31 @@
 
 use std::sync::Arc;
 
+use sg_aggregators::{GradientRepr, QuantizedVec, SignNormVec};
 use sg_data::Dataset;
 use sg_fl::Client;
 
 use crate::wire::{Message, RejectReason};
+
+/// How a [`ClientDriver`] encodes its gradient for the wire.
+///
+/// `None` (the default) submits dense `f32`s — the bit-exact form the
+/// loopback determinism contract compares against the in-process run.
+/// The compressed modes trade fidelity for bytes: `SignNorm` ships
+/// bit-packed signs plus the L2 norm (~1/32nd the dense frame),
+/// `QuantizedI8` ships one byte per coordinate plus a scale (~1/4th).
+/// The server aggregates them under the representation contracts
+/// documented on [`sg_aggregators::GradientRepr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Compression {
+    /// Dense `f32` coordinates (bit-exact; the default).
+    #[default]
+    None,
+    /// Bit-packed signs + L2 norm.
+    SignNorm,
+    /// Per-vector-scaled 8-bit quantization.
+    QuantizedI8,
+}
 
 /// Client-side protocol state machine: joins, fetches the model,
 /// computes exactly one gradient per round (re-deliveries reuse the
@@ -29,9 +50,11 @@ pub struct ClientDriver {
     client: Client,
     train: Arc<Dataset>,
     batch_size: usize,
-    /// The one gradient computed for the current round: `(round, loss,
-    /// gradient)`. Resubmissions reuse it; a new round replaces it.
-    cached: Option<(u64, f32, Vec<f32>)>,
+    compression: Compression,
+    /// The one update computed for the current round: `(round, loss,
+    /// gradient)`, already in wire representation. Resubmissions reuse
+    /// it; a new round replaces it.
+    cached: Option<(u64, f32, GradientRepr)>,
     done: bool,
     submits: u64,
     retries: u64,
@@ -51,7 +74,23 @@ impl ClientDriver {
     /// Wraps a seeded client (from [`sg_fl::build_participants`], so the
     /// fleet matches the in-process run exactly).
     pub fn new(client: Client, train: Arc<Dataset>, batch_size: usize) -> Self {
-        Self { client, train, batch_size, cached: None, done: false, submits: 0, retries: 0 }
+        Self {
+            client,
+            train,
+            batch_size,
+            compression: Compression::None,
+            cached: None,
+            done: false,
+            submits: 0,
+            retries: 0,
+        }
+    }
+
+    /// Selects the wire representation for this client's submissions.
+    #[must_use]
+    pub fn with_compression(mut self, compression: Compression) -> Self {
+        self.compression = compression;
+        self
     }
 
     /// The wrapped client's id.
@@ -119,12 +158,18 @@ impl ClientDriver {
         }
     }
 
-    /// The submission for `round`, computing the gradient exactly once.
+    /// The submission for `round`, computing (and encoding) the gradient
+    /// exactly once.
     fn submit_for(&mut self, round: u64, params: &[f32]) -> Message {
         if self.cached.as_ref().is_none_or(|(r, _, _)| *r != round) {
             let gradient = self.client.local_gradient(params, &self.train, self.batch_size);
             let loss = self.client.last_loss();
-            self.cached = Some((round, loss, gradient));
+            let repr = match self.compression {
+                Compression::None => GradientRepr::Dense(gradient),
+                Compression::SignNorm => GradientRepr::SignNorm(SignNormVec::pack(&gradient)),
+                Compression::QuantizedI8 => GradientRepr::QuantizedI8(QuantizedVec::quantize(&gradient)),
+            };
+            self.cached = Some((round, loss, repr));
             self.submits += 1;
         }
         let (round, loss, gradient) = self.cached.clone().expect("just cached");

@@ -32,7 +32,7 @@
 //! | 2 | `Welcome` | s→c | `client_id, num_clients, round, total_rounds: u64` |
 //! | 3 | `FetchModel` | c→s | — |
 //! | 4 | `Model` | s→c | `round: u64`, `params: [f32]` |
-//! | 5 | `SubmitUpdate` | c→s | `round: u64`, `loss: f32`, `gradient: [f32]` |
+//! | 5 | `SubmitUpdate` | c→s | `round: u64`, `loss: f32`, `repr: u8`, gradient (see below) |
 //! | 6 | `SubmitAck` | s→c | `round, pending: u64` |
 //! | 7 | `SubmitReject` | s→c | `round: u64`, `reason: u8` |
 //! | 8 | `RoundAdvance` | s→c | `round: u64`, `done: u8` |
@@ -43,6 +43,23 @@
 //! count followed by the bits), so parameter vectors and gradients
 //! round-trip **bit-for-bit** — the foundation of every determinism claim
 //! below. `str` is a `u32` byte length followed by UTF-8 bytes.
+//!
+//! A `SubmitUpdate` gradient is discriminated by the `repr` tag byte
+//! (see [`sg_aggregators::GradientRepr`] for the aggregation contracts):
+//!
+//! | repr | representation | fields after the tag | bytes per coord |
+//! |---|---|---|---|
+//! | 0 | dense `f32` | `gradient: [f32]` | 4 |
+//! | 1 | bit-packed signs + norm | `dim: u32`, `norm: f32`, `zeros: u32` count + indices, `⌈dim/64⌉ × u64` sign words | ~1/8 |
+//! | 2 | 8-bit quantized | `scale: f32`, `len: u32`, `len × i8` levels | 1 |
+//!
+//! The sign-word count is implied by `dim`, so a repr-1 submission
+//! with no zero coordinates costs `dim/8 + 12` payload bytes —
+//! 1/32nd of the dense frame. The decoder validates every structural
+//! invariant (zeros strictly ascending and in range, no sign bit
+//! beyond `dim`, no coordinate both positive and zero) and rejects
+//! violations as `Malformed`, so a hostile frame can never panic the
+//! server.
 //!
 //! # The Transport contract
 //!
@@ -81,7 +98,7 @@ mod tcp;
 mod transport;
 pub mod wire;
 
-pub use driver::ClientDriver;
+pub use driver::{ClientDriver, Compression};
 pub use loopback::LoopbackNet;
 pub use service::{FlService, ServiceReport};
 pub use tcp::{TcpClient, TcpServerTransport};

@@ -30,7 +30,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use sg_aggregators::Aggregator;
+use sg_aggregators::{Aggregator, GradientRepr};
 use sg_attacks::Attack;
 use sg_fl::{global_init, ApplyState, FlConfig, RoundPipeline, SelectionTracker, Task};
 use sg_runtime::Engine;
@@ -70,10 +70,11 @@ pub struct FlService {
     /// Live connections that completed a `Join`, both directions.
     conn_client: HashMap<ConnId, usize>,
     client_conn: BTreeMap<usize, ConnId>,
-    /// This round's submissions: client id → (loss, gradient). A
-    /// `BTreeMap` so the completed batch drains in ascending client id —
-    /// the canonical order the determinism contract requires.
-    submissions: BTreeMap<usize, (f32, Vec<f32>)>,
+    /// This round's submissions: client id → (loss, gradient in its wire
+    /// representation). A `BTreeMap` so the completed batch drains in
+    /// ascending client id — the canonical order the determinism
+    /// contract requires.
+    submissions: BTreeMap<usize, (f32, GradientRepr)>,
     selection: SelectionTracker,
     round_losses: Vec<f32>,
     rejects: u64,
@@ -225,7 +226,7 @@ impl FlService {
         conn: ConnId,
         round: u64,
         loss: f32,
-        gradient: Vec<f32>,
+        gradient: GradientRepr,
     ) {
         let Some(&client) = self.conn_client.get(&conn) else {
             self.reject(transport, conn, RejectReason::UnknownClient);
@@ -239,11 +240,11 @@ impl FlService {
             self.reject(transport, conn, RejectReason::Duplicate);
             return;
         }
-        if gradient.len() != self.global_params.len() {
+        if gradient.dim() != self.global_params.len() {
             self.fail(
                 transport,
                 conn,
-                format!("gradient dim {} != model dim {}", gradient.len(), self.global_params.len()),
+                format!("gradient dim {} != model dim {}", gradient.dim(), self.global_params.len()),
             );
             return;
         }
@@ -267,7 +268,7 @@ impl FlService {
                 loss_sum += loss;
                 honest += 1;
             }
-            self.pipeline.ingest(client, gradient, round);
+            self.pipeline.ingest_repr(client, gradient, round);
         }
         let st = ApplyState { global_params: &mut self.global_params, learning_rate: self.learning_rate };
         self.pipeline.apply_batch(round, st, &mut self.selection);

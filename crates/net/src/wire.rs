@@ -17,6 +17,7 @@
 //! byte chunks (TCP reads tear frames wherever they like) and pull
 //! complete messages out as they become available.
 
+use sg_aggregators::{GradientRepr, QuantizedVec, SignNormVec};
 use sg_math::crc32;
 
 /// Frame overhead: `len` + `len_chk` before the payload, CRC after it.
@@ -38,6 +39,11 @@ const KIND_SUBMIT_REJECT: u8 = 7;
 const KIND_ROUND_ADVANCE: u8 = 8;
 const KIND_BYE: u8 = 9;
 const KIND_ERROR: u8 = 10;
+
+// `SubmitUpdate` representation tag bytes (after `loss`).
+const REPR_DENSE: u8 = 0;
+const REPR_SIGNNORM: u8 = 1;
+const REPR_QUANTIZED: u8 = 2;
 
 /// Why a [`Message::SubmitReject`] was sent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,8 +92,11 @@ pub enum Message {
     FetchModel,
     /// The global parameters at `round` (raw f32 bits; bit-exact).
     Model { round: u64, params: Vec<f32> },
-    /// Client's gradient for `round`, with its local training loss.
-    SubmitUpdate { round: u64, loss: f32, gradient: Vec<f32> },
+    /// Client's gradient for `round`, with its local training loss. The
+    /// gradient travels in whichever representation the client chose —
+    /// dense `f32`s, bit-packed signs + norm (~1/32nd the bytes), or
+    /// 8-bit quantized — discriminated by a repr tag byte on the wire.
+    SubmitUpdate { round: u64, loss: f32, gradient: GradientRepr },
     /// Submission accepted; `pending` clients still outstanding.
     SubmitAck { round: u64, pending: u64 },
     /// Submission refused; see [`RejectReason`].
@@ -222,6 +231,60 @@ impl<'a> Dec<'a> {
     }
 }
 
+/// Decodes the tagged gradient representation of a `SubmitUpdate`.
+///
+/// Every invariant [`SignNormVec::from_parts`] asserts is checked here
+/// first and surfaced as [`WireError::Malformed`]: a hostile or corrupt
+/// frame must fail decoding, never panic the server.
+fn decode_repr(d: &mut Dec<'_>) -> Result<GradientRepr, WireError> {
+    Ok(match d.u8()? {
+        REPR_DENSE => GradientRepr::Dense(d.f32s()?),
+        REPR_SIGNNORM => {
+            let dim = d.u32()? as usize;
+            let norm = d.f32()?;
+            let n_zeros = d.u32()? as usize;
+            let words = dim.div_ceil(64);
+            // Zeros + sign words must both be covered by the remaining
+            // payload before anything allocates.
+            let need = n_zeros.checked_mul(4).and_then(|z| words.checked_mul(8).map(|w| z + w));
+            if n_zeros > dim || need.is_none_or(|b| d.pos + b > d.bytes.len()) {
+                return Err(WireError::Malformed(format!(
+                    "signnorm shape (dim {dim}, {n_zeros} zeros) exceeds payload"
+                )));
+            }
+            let mut zeros = Vec::with_capacity(n_zeros);
+            for i in 0..n_zeros {
+                let z = d.u32()?;
+                if z as usize >= dim || (i > 0 && zeros[i - 1] >= z) {
+                    return Err(WireError::Malformed(format!("signnorm zero index {z} invalid")));
+                }
+                zeros.push(z);
+            }
+            let mut bits = Vec::with_capacity(words);
+            for _ in 0..words {
+                bits.push(d.u64()?);
+            }
+            if let Some(&tail) = bits.last() {
+                let used = dim - (words - 1) * 64;
+                if used < 64 && tail >> used != 0 {
+                    return Err(WireError::Malformed("signnorm sign bits beyond dim".into()));
+                }
+            }
+            if zeros.iter().any(|&z| (bits[(z as usize) >> 6] >> (z & 63)) & 1 != 0) {
+                return Err(WireError::Malformed("signnorm coordinate both positive and zero".into()));
+            }
+            GradientRepr::SignNorm(SignNormVec::from_parts(dim, norm, bits, zeros))
+        }
+        REPR_QUANTIZED => {
+            let scale = d.f32()?;
+            let len = d.u32()? as usize;
+            let raw = d.take(len)?;
+            GradientRepr::QuantizedI8(QuantizedVec::from_parts(scale, raw.iter().map(|&b| b as i8).collect()))
+        }
+        other => return Err(WireError::Malformed(format!("unknown gradient repr tag {other}"))),
+    })
+}
+
 fn encode_payload(msg: &Message) -> Vec<u8> {
     let mut e = Enc(Vec::new());
     match msg {
@@ -246,7 +309,31 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
             e.u8(KIND_SUBMIT_UPDATE);
             e.u64(*round);
             e.f32(*loss);
-            e.f32s(gradient);
+            match gradient {
+                GradientRepr::Dense(v) => {
+                    e.u8(REPR_DENSE);
+                    e.f32s(v);
+                }
+                GradientRepr::SignNorm(s) => {
+                    e.u8(REPR_SIGNNORM);
+                    e.u32(s.dim() as u32);
+                    e.f32(s.norm());
+                    e.u32(s.zeros().len() as u32);
+                    for &z in s.zeros() {
+                        e.u32(z);
+                    }
+                    // Word count is implied by dim, so only the words travel.
+                    for &w in s.bits() {
+                        e.u64(w);
+                    }
+                }
+                GradientRepr::QuantizedI8(q) => {
+                    e.u8(REPR_QUANTIZED);
+                    e.f32(q.scale());
+                    e.u32(q.dim() as u32);
+                    e.0.extend(q.levels().iter().map(|&b| b as u8));
+                }
+            }
         }
         Message::SubmitAck { round, pending } => {
             e.u8(KIND_SUBMIT_ACK);
@@ -286,7 +373,9 @@ pub fn decode_payload(payload: &[u8]) -> Result<Message, WireError> {
         },
         KIND_FETCH_MODEL => Message::FetchModel,
         KIND_MODEL => Message::Model { round: d.u64()?, params: d.f32s()? },
-        KIND_SUBMIT_UPDATE => Message::SubmitUpdate { round: d.u64()?, loss: d.f32()?, gradient: d.f32s()? },
+        KIND_SUBMIT_UPDATE => {
+            Message::SubmitUpdate { round: d.u64()?, loss: d.f32()?, gradient: decode_repr(&mut d)? }
+        }
         KIND_SUBMIT_ACK => Message::SubmitAck { round: d.u64()?, pending: d.u64()? },
         KIND_SUBMIT_REJECT => {
             Message::SubmitReject { round: d.u64()?, reason: RejectReason::from_code(d.u8()?)? }
@@ -403,7 +492,21 @@ mod tests {
             Message::Welcome { client_id: 3, num_clients: 10, round: 0, total_rounds: 24 },
             Message::FetchModel,
             Message::Model { round: 0, params: vec![0.5, -1.25, f32::MIN_POSITIVE, -0.0] },
-            Message::SubmitUpdate { round: 0, loss: 1.5, gradient: vec![1.0, -2.0, 3.5] },
+            Message::SubmitUpdate {
+                round: 0,
+                loss: 1.5,
+                gradient: GradientRepr::Dense(vec![1.0, -2.0, 3.5]),
+            },
+            Message::SubmitUpdate {
+                round: 1,
+                loss: 0.75,
+                gradient: GradientRepr::SignNorm(SignNormVec::pack(&[1.0, -2.0, 0.0, 4.0, -0.5])),
+            },
+            Message::SubmitUpdate {
+                round: 2,
+                loss: 0.25,
+                gradient: GradientRepr::QuantizedI8(QuantizedVec::quantize(&[0.1, -0.9, 1.27, 0.0])),
+            },
             Message::SubmitAck { round: 0, pending: 7 },
             Message::SubmitReject { round: 0, reason: RejectReason::Backpressure },
             Message::RoundAdvance { round: 1, done: false },
@@ -465,7 +568,11 @@ mod tests {
 
     #[test]
     fn flipped_byte_is_rejected() {
-        let frame = encode(&Message::SubmitUpdate { round: 1, loss: 0.5, gradient: vec![1.0, 2.0] });
+        let frame = encode(&Message::SubmitUpdate {
+            round: 1,
+            loss: 0.5,
+            gradient: GradientRepr::Dense(vec![1.0, 2.0]),
+        });
         for pos in 0..frame.len() {
             let mut bad = frame.clone();
             bad[pos] ^= 0x01;
@@ -478,6 +585,86 @@ mod tests {
                 Err(_) | Ok(None) => {}
                 Ok(Some(m)) => panic!("flip at {pos} decoded as {m:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn signnorm_frame_is_a_fraction_of_dense() {
+        let v: Vec<f32> = (0..4096).map(|i| ((i as f32) * 0.7).sin() + 0.01).collect();
+        let dense =
+            encode(&Message::SubmitUpdate { round: 0, loss: 0.0, gradient: GradientRepr::Dense(v.clone()) });
+        let packed = encode(&Message::SubmitUpdate {
+            round: 0,
+            loss: 0.0,
+            gradient: GradientRepr::SignNorm(SignNormVec::pack(&v)),
+        });
+        let quant = encode(&Message::SubmitUpdate {
+            round: 0,
+            loss: 0.0,
+            gradient: GradientRepr::QuantizedI8(QuantizedVec::quantize(&v)),
+        });
+        assert!(packed.len() * 25 < dense.len(), "signnorm {} vs dense {}", packed.len(), dense.len());
+        assert!(quant.len() * 3 < dense.len(), "quantized {} vs dense {}", quant.len(), dense.len());
+    }
+
+    #[test]
+    fn malformed_signnorm_payloads_error_instead_of_panicking() {
+        // Each case: (description, payload after `kind|round|loss|tag=1`).
+        let mut base = Enc(Vec::new());
+        base.u8(KIND_SUBMIT_UPDATE);
+        base.u64(0);
+        base.f32(0.5);
+        base.u8(REPR_SIGNNORM);
+        let cases: Vec<(&str, Vec<u8>)> = vec![
+            ("zero count beyond dim", {
+                let mut e = Enc(base.0.clone());
+                e.u32(3); // dim
+                e.f32(1.0); // norm
+                e.u32(5); // n_zeros > dim
+                e.0
+            }),
+            ("zero index out of range", {
+                let mut e = Enc(base.0.clone());
+                e.u32(3);
+                e.f32(1.0);
+                e.u32(1);
+                e.u32(7); // >= dim
+                e.u64(0);
+                e.0
+            }),
+            ("zeros not ascending", {
+                let mut e = Enc(base.0.clone());
+                e.u32(4);
+                e.f32(1.0);
+                e.u32(2);
+                e.u32(2);
+                e.u32(1); // descends
+                e.u64(0);
+                e.0
+            }),
+            ("sign bits beyond dim", {
+                let mut e = Enc(base.0.clone());
+                e.u32(3);
+                e.f32(1.0);
+                e.u32(0);
+                e.u64(1 << 10); // bit past coordinate 2
+                e.0
+            }),
+            ("coordinate both positive and zero", {
+                let mut e = Enc(base.0.clone());
+                e.u32(3);
+                e.f32(1.0);
+                e.u32(1);
+                e.u32(0); // zero at 0 ...
+                e.u64(1); // ... but sign bit 0 set
+                e.0
+            }),
+        ];
+        for (what, payload) in cases {
+            assert!(
+                matches!(decode_payload(&payload), Err(WireError::Malformed(_))),
+                "{what} must be Malformed"
+            );
         }
     }
 

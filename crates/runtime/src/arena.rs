@@ -7,8 +7,14 @@
 //! buffer per client slot; the simulator takes buffers out at the start of
 //! a round, lets clients write into them in place, hands them to the
 //! attack/aggregation pipeline, and returns them when the round ends.
+//!
+//! Compressed gradient representations recycle the same way: each slot
+//! additionally owns a bit-packed sign buffer (`Vec<u64>` words plus a
+//! `Vec<u32>` zero-coordinate list) and a quantized byte buffer
+//! (`Vec<i8>`), so a pipeline running on `SignNorm` or `QuantizedI8`
+//! payloads allocates exactly as rarely as the dense path.
 
-/// Per-slot reusable gradient buffers.
+/// Per-slot reusable gradient buffers — dense, bit-packed, and quantized.
 ///
 /// # Examples
 ///
@@ -25,12 +31,18 @@
 #[derive(Debug, Clone, Default)]
 pub struct GradientArena {
     buffers: Vec<Vec<f32>>,
+    packed: Vec<(Vec<u64>, Vec<u32>)>,
+    bytes: Vec<Vec<i8>>,
 }
 
 impl GradientArena {
     /// Creates an arena with `slots` empty buffers.
     pub fn new(slots: usize) -> Self {
-        Self { buffers: vec![Vec::new(); slots] }
+        Self {
+            buffers: vec![Vec::new(); slots],
+            packed: vec![(Vec::new(), Vec::new()); slots],
+            bytes: vec![Vec::new(); slots],
+        }
     }
 
     /// Number of slots.
@@ -61,9 +73,57 @@ impl GradientArena {
         self.buffers[i] = buffer;
     }
 
-    /// Total capacity currently parked in the arena, in bytes.
+    /// Takes slot `i`'s bit-packed sign buffers (sign words + zero list)
+    /// out of the arena. Same contract as [`take`](Self::take): capacity
+    /// survives, contents are unspecified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn take_packed(&mut self, i: usize) -> (Vec<u64>, Vec<u32>) {
+        let pair = std::mem::take(&mut self.packed[i]);
+        sg_obs::counter_add(if pair.0.capacity() > 0 { "arena.reuse" } else { "arena.fresh" }, 1);
+        pair
+    }
+
+    /// Returns bit-packed sign buffers to slot `i` for reuse next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn put_packed(&mut self, i: usize, bits: Vec<u64>, zeros: Vec<u32>) {
+        self.packed[i] = (bits, zeros);
+    }
+
+    /// Takes slot `i`'s quantized byte buffer out of the arena. Same
+    /// contract as [`take`](Self::take).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn take_bytes(&mut self, i: usize) -> Vec<i8> {
+        let buffer = std::mem::take(&mut self.bytes[i]);
+        sg_obs::counter_add(if buffer.capacity() > 0 { "arena.reuse" } else { "arena.fresh" }, 1);
+        buffer
+    }
+
+    /// Returns a quantized byte buffer to slot `i` for reuse next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn put_bytes(&mut self, i: usize, buffer: Vec<i8>) {
+        self.bytes[i] = buffer;
+    }
+
+    /// Total capacity currently parked in the arena, in bytes, across the
+    /// dense, bit-packed, and quantized pools.
     pub fn resident_bytes(&self) -> usize {
-        self.buffers.iter().map(|b| b.capacity() * std::mem::size_of::<f32>()).sum()
+        let dense: usize = self.buffers.iter().map(|b| b.capacity() * std::mem::size_of::<f32>()).sum();
+        let packed: usize =
+            self.packed.iter().map(|(bits, zeros)| bits.capacity() * 8 + zeros.capacity() * 4).sum();
+        let bytes: usize = self.bytes.iter().map(Vec::capacity).sum();
+        dense + packed + bytes
     }
 }
 
@@ -97,5 +157,36 @@ mod tests {
     fn out_of_range_slot_panics() {
         let mut arena = GradientArena::new(1);
         let _ = arena.take(5);
+    }
+
+    #[test]
+    fn packed_and_byte_pools_keep_capacity() {
+        let mut arena = GradientArena::new(2);
+        let (mut bits, mut zeros) = arena.take_packed(0);
+        bits.resize(64, 0);
+        zeros.resize(16, 0);
+        let (bp, zp) = (bits.as_ptr(), zeros.as_ptr());
+        arena.put_packed(0, bits, zeros);
+        let (bits2, zeros2) = arena.take_packed(0);
+        assert_eq!((bits2.as_ptr(), zeros2.as_ptr()), (bp, zp), "same allocations reused");
+
+        let mut q = arena.take_bytes(1);
+        q.resize(4096, 0);
+        let qp = q.as_ptr();
+        arena.put_bytes(1, q);
+        let q2 = arena.take_bytes(1);
+        assert_eq!(q2.as_ptr(), qp);
+    }
+
+    #[test]
+    fn resident_bytes_spans_all_pools() {
+        let mut arena = GradientArena::new(1);
+        let (mut bits, zeros) = arena.take_packed(0);
+        bits.reserve_exact(10);
+        arena.put_packed(0, bits, zeros);
+        let mut q = arena.take_bytes(0);
+        q.reserve_exact(100);
+        arena.put_bytes(0, q);
+        assert!(arena.resident_bytes() >= 10 * 8 + 100);
     }
 }

@@ -52,7 +52,7 @@ impl Engine {
     /// independent today; handing it out here keeps the seam in one place
     /// so a future streaming engine can back it with shared storage
     /// without touching the round drivers.
-    pub fn update_buffer<M>(&self) -> crate::pending::UpdateBuffer<M> {
+    pub fn update_buffer<M, P>(&self) -> crate::pending::UpdateBuffer<M, P> {
         crate::pending::UpdateBuffer::new()
     }
 

@@ -20,12 +20,17 @@
 /// `M` is caller-defined arrival metadata — the round pipeline stores the
 /// model version the gradient was computed against, which is what turns
 /// into per-message staleness at drain time.
+///
+/// `P` is the gradient payload type. It defaults to the flattened dense
+/// form (`Vec<f32>`); callers that buffer compressed representations (e.g.
+/// `sg-fl`'s round pipeline holding bit-packed sign+norm updates) plug in
+/// their own payload — the buffer never inspects it.
 #[derive(Debug, Clone, PartialEq)]
-pub struct PendingUpdate<M> {
+pub struct PendingUpdate<M, P = Vec<f32>> {
     /// Originating client id.
     pub client: usize,
-    /// The flattened update (typically an arena-owned buffer).
-    pub gradient: Vec<f32>,
+    /// The update payload (typically an arena-owned buffer).
+    pub gradient: P,
     /// Arrival metadata (e.g. the model step the client trained against).
     pub meta: M,
 }
@@ -48,19 +53,19 @@ pub struct PendingUpdate<M> {
 /// assert_eq!(buf.high_water(), 2);
 /// ```
 #[derive(Debug, Clone, Default)]
-pub struct UpdateBuffer<M> {
-    updates: Vec<PendingUpdate<M>>,
+pub struct UpdateBuffer<M, P = Vec<f32>> {
+    updates: Vec<PendingUpdate<M, P>>,
     high_water: usize,
 }
 
-impl<M> UpdateBuffer<M> {
+impl<M, P> UpdateBuffer<M, P> {
     /// Creates an empty buffer.
     pub fn new() -> Self {
         Self { updates: Vec::new(), high_water: 0 }
     }
 
     /// Appends an arrived update (FIFO order).
-    pub fn push(&mut self, update: PendingUpdate<M>) {
+    pub fn push(&mut self, update: PendingUpdate<M, P>) {
         sg_obs::counter_add("pending.arrivals", 1);
         self.updates.push(update);
         self.high_water = self.high_water.max(self.updates.len());
@@ -81,7 +86,7 @@ impl<M> UpdateBuffer<M> {
     /// caller usually consumes it by value); the buffer itself restarts
     /// from an empty vector and regrows — a handful of pointer-sized
     /// elements per applied round, dwarfed by the gradients they point at.
-    pub fn drain(&mut self) -> Vec<PendingUpdate<M>> {
+    pub fn drain(&mut self) -> Vec<PendingUpdate<M, P>> {
         if !self.updates.is_empty() {
             sg_obs::counter_add("pending.drains", 1);
             sg_obs::histogram_record("pending.drain_batch", self.updates.len() as u64);

@@ -21,11 +21,11 @@
 //! `runtime_determinism.rs` does (a count or comma-separated list); CI's
 //! `loopback-determinism` job loops over 1 and 4.
 
-use signguard::aggregators::{Aggregator, Mean};
+use signguard::aggregators::{Aggregator, Mean, SignMajority};
 use signguard::attacks::{Attack, SignFlip};
 use signguard::core::SignGuard;
 use signguard::fl::{build_participants, tasks, FlConfig, PartitionCache, Simulator};
-use signguard::net::{ClientDriver, FlService, LoopbackNet, ServiceReport, Transport};
+use signguard::net::{ClientDriver, Compression, FlService, LoopbackNet, ServiceReport, Transport};
 use signguard::runtime::Engine;
 
 fn thread_counts() -> Vec<usize> {
@@ -79,6 +79,27 @@ fn loopback_run(
     let mut net = LoopbackNet::new(drivers, latency_seed, max_latency);
     let service = FlService::new(&task, &cfg, gar, attack, engine);
     service.run(&mut net)
+}
+
+/// [`loopback_run`] with every client submitting in the given wire
+/// representation.
+fn loopback_run_compressed(
+    seed: u64,
+    gar: Box<dyn Aggregator>,
+    attack: Option<Box<dyn Attack>>,
+    engine: &Engine,
+    compression: Compression,
+) -> ServiceReport {
+    let task = tasks::mlp_task(seed);
+    let cfg = quick_cfg(seed);
+    let participants = build_participants(&task, &cfg, attack.as_deref(), &PartitionCache::new());
+    let drivers: Vec<ClientDriver> = participants
+        .clients
+        .into_iter()
+        .map(|c| ClientDriver::new(c, task.train.clone(), cfg.batch_size).with_compression(compression))
+        .collect();
+    let mut net = LoopbackNet::new(drivers, 7, 5);
+    FlService::new(&task, &cfg, gar, attack, engine).run(&mut net)
 }
 
 /// Runs the in-process simulator with the same seeds and returns
@@ -185,6 +206,65 @@ fn loopback_message_accounting_is_exact() {
     assert_eq!(report.messages_in, n + n * 2 * r + n, "client->server messages");
     assert_eq!(report.messages_out, n + n * 2 * r + n * r, "server->client messages");
     assert_eq!(report.rejects, 0);
+}
+
+#[test]
+fn signnorm_compression_matches_in_process_signmajority() {
+    // signSGD-with-majority-vote consumes exactly the information the
+    // SignNorm representation preserves — per-coordinate signs and L2
+    // norms — so a fleet submitting bit-packed updates at ~1/32nd the
+    // bytes must produce the *same model bits* as the in-process dense
+    // run: the "documented model" of the representation contract, at any
+    // thread count.
+    let (ref_params, ref_losses) =
+        in_process_run(41, Box::new(SignMajority::new()), None, Engine::sequential());
+    for threads in thread_counts() {
+        let engine = engine_for(threads);
+        let report =
+            loopback_run_compressed(41, Box::new(SignMajority::new()), None, &engine, Compression::SignNorm);
+        assert_eq!(report.rounds, ref_losses.len(), "@{threads} threads: round count");
+        assert_eq!(
+            bits(&report.final_params),
+            bits(&ref_params),
+            "@{threads} threads: packed submissions moved the SignSGD model"
+        );
+        assert_eq!(bits(&report.round_losses), bits(&ref_losses), "@{threads} threads: losses");
+        assert_eq!(report.rejects, 0);
+    }
+}
+
+#[test]
+fn compressed_runs_are_reproducible_under_attack_and_quantization() {
+    // SignGuard's packed filter funnel under sign-norm compression, and
+    // the dequantize-then-aggregate contract under 8-bit quantization:
+    // both must complete every round with zero rejects and reproduce
+    // bit-for-bit for fixed seeds. (With an active adversary the drain
+    // point densifies — the attack seam crafts f32 coordinates — which is
+    // exactly the documented fallback path.)
+    let engine = Engine::sequential();
+    for compression in [Compression::SignNorm, Compression::QuantizedI8] {
+        let run = || {
+            loopback_run_compressed(
+                42,
+                Box::new(SignGuard::plain(4)),
+                Some(Box::new(SignFlip::new())),
+                &engine,
+                compression,
+            )
+        };
+        let a = run();
+        assert!(a.rounds > 0, "{compression:?}: no rounds applied");
+        assert_eq!(a.rejects, 0, "{compression:?}: compressed submits were rejected");
+        assert!(a.final_params.iter().all(|p| p.is_finite()), "{compression:?}: non-finite model");
+        assert_eq!(a, run(), "{compression:?}: compressed run not reproducible");
+    }
+    // And without an adversary the SignNorm batch stays packed end to end
+    // through SignGuard's native funnel (no densification, no rejects).
+    let packed =
+        loopback_run_compressed(43, Box::new(SignGuard::plain(4)), None, &engine, Compression::SignNorm);
+    assert!(packed.rounds > 0);
+    assert_eq!(packed.rejects, 0);
+    assert!(packed.final_params.iter().all(|p| p.is_finite()));
 }
 
 #[test]

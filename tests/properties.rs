@@ -319,6 +319,85 @@ fn journal_any_flipped_byte_is_rejected() {
     }
 }
 
+// ---- Compressed gradient representations (sg-aggregators) --------------
+//
+// The pluggable `GradientBatch` element seam rests on two contracts: a
+// bit-packed `SignNorm` vector preserves every per-coordinate sign
+// (positive / zero / negative, with NaN folding to the zero sign, exactly
+// like the dense `sign_counts` kernels), and an 8-bit quantized vector
+// dequantizes within half a level of the original. Both get the seeded
+// fuzz treatment over adversarial inputs.
+
+use signguard::aggregators::{GradientRepr, QuantizedVec, SignNormVec};
+
+#[test]
+fn signnorm_roundtrip_preserves_every_sign_pattern() {
+    for seed in 0..CASES {
+        let mut rng = signguard::math::seeded_rng(seed ^ 0x516E);
+        let len = rng.gen_range(1usize..300);
+        let v: Vec<f32> = (0..len)
+            .map(|_| match rng.gen_range(0usize..6) {
+                0 => 0.0,
+                1 => -0.0,
+                2 => f32::NAN,
+                3 => -rng.gen_range(1e-30f32..1e3),
+                4 => f32::MIN_POSITIVE / 2.0, // subnormal, still strictly positive
+                _ => rng.gen_range(1e-30f32..1e3),
+            })
+            .collect();
+        let s = SignNormVec::pack(&v);
+        let mut counted = (0usize, 0usize, 0usize);
+        for (i, &x) in v.iter().enumerate() {
+            let expect: i8 = if x > 0.0 {
+                counted.0 += 1;
+                1
+            } else if x < 0.0 {
+                counted.2 += 1;
+                -1
+            } else {
+                counted.1 += 1; // zeros, -0.0 and NaN all carry the zero sign
+                0
+            };
+            assert_eq!(s.sign_at(i), expect, "seed {seed} coord {i} ({x})");
+        }
+        assert_eq!(s.sign_counts(), counted, "seed {seed}");
+        assert_eq!(s.nnz(), counted.0 + counted.2, "seed {seed}");
+        // The dense stand-in reproduces the same sign pattern whenever its
+        // per-coordinate magnitude `norm/√nnz` is a positive finite number
+        // (a NaN norm — NaN input — or an underflowed magnitude cannot
+        // carry sign information, and downstream finite-norm filters
+        // reject those vectors anyway).
+        let c = s.norm() / (s.nnz().max(1) as f32).sqrt();
+        if c.is_finite() && c > 0.0 {
+            for (i, &x) in s.to_dense().iter().enumerate() {
+                assert_eq!(
+                    x.partial_cmp(&0.0).map(|o| o as i8).unwrap_or(0),
+                    s.sign_at(i),
+                    "seed {seed}: stand-in sign at {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn quantized_i8_dequantizes_within_half_a_level() {
+    for seed in 0..CASES {
+        let mut rng = signguard::math::seeded_rng(seed ^ 0x9B17);
+        let len = rng.gen_range(1usize..300);
+        let mag = 10f32.powi(rng.gen_range(-20i32..20));
+        let v: Vec<f32> = (0..len).map(|_| rng.gen_range(-mag..mag)).collect();
+        let q = QuantizedVec::quantize(&v);
+        let back = q.to_dense();
+        // |v_i − q_i·scale| ≤ scale/2 for finite inputs (plus f32 slop in
+        // the divide/round round-trip).
+        let bound = q.scale() * 0.5001 + f32::MIN_POSITIVE;
+        for (i, (&x, &y)) in v.iter().zip(&back).enumerate() {
+            assert!((x - y).abs() <= bound, "seed {seed} coord {i}: {x} vs {y} (scale {})", q.scale());
+        }
+    }
+}
+
 // ---- Wire-protocol codec (sg-net) --------------------------------------
 //
 // The networked service's frames carry the determinism contract over the
@@ -340,6 +419,16 @@ fn wire_vec(rng: &mut impl Rng, max_len: usize) -> Vec<f32> {
     (0..rng.gen_range(0usize..max_len.max(1))).map(|_| wire_f32(rng)).collect()
 }
 
+fn wire_repr(rng: &mut impl Rng) -> GradientRepr {
+    // All three wire representations, over adversarial bit patterns: the
+    // codec must round-trip whatever a client could legitimately pack.
+    match rng.gen_range(0usize..3) {
+        0 => GradientRepr::Dense(wire_vec(rng, 64)),
+        1 => GradientRepr::SignNorm(SignNormVec::pack(&wire_vec(rng, 64))),
+        _ => GradientRepr::QuantizedI8(QuantizedVec::quantize(&wire_vec(rng, 64))),
+    }
+}
+
 fn wire_message(rng: &mut impl Rng) -> Message {
     match rng.gen_range(0usize..10) {
         0 => Message::Join { client_id: rng.gen::<u64>() },
@@ -351,11 +440,7 @@ fn wire_message(rng: &mut impl Rng) -> Message {
         },
         2 => Message::FetchModel,
         3 => Message::Model { round: rng.gen::<u64>(), params: wire_vec(rng, 64) },
-        4 => Message::SubmitUpdate {
-            round: rng.gen::<u64>(),
-            loss: wire_f32(rng),
-            gradient: wire_vec(rng, 64),
-        },
+        4 => Message::SubmitUpdate { round: rng.gen::<u64>(), loss: wire_f32(rng), gradient: wire_repr(rng) },
         5 => Message::SubmitAck { round: rng.gen::<u64>(), pending: rng.gen::<u64>() },
         6 => Message::SubmitReject {
             round: rng.gen::<u64>(),

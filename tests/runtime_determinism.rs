@@ -235,6 +235,80 @@ fn executor_ported_rules_aggregate_bits_match_sequential() {
 }
 
 #[test]
+fn kernel_widths_bit_identical_at_every_thread_count() {
+    // Width (SIMD-wide vs scalar, the `SG_SIMD` axis) and thread count
+    // (`SG_THREADS`) are orthogonal dispatch axes in `sg_math::kernels`;
+    // the determinism contract is bit-identity across BOTH. The explicit
+    // `*_with(Width, …)` variants prove scalar ≡ wide for every ported
+    // kernel; routing the blocked kernels through executors at 1 and 4
+    // threads proves the sharded callers inherit it. (The end-to-end
+    // `SG_SIMD=scalar` vs default comparison runs as CI's `simd-smoke`
+    // job, since the process-wide width is latched once at startup.)
+    use sg_math::kernels::{self, Width};
+    use sg_math::vecops::REDUCE_BLOCK;
+
+    let g = wide_gradients(10, 2 * REDUCE_BLOCK + 193);
+    let dim = g[0].len();
+    let mut signy = g[5].clone();
+    for (j, x) in signy.iter_mut().enumerate() {
+        // Sprinkle zeros and a NaN so the sign kernels see all three signs.
+        if j % 7 == 0 {
+            *x = 0.0;
+        }
+        if j == 100 {
+            *x = f32::NAN;
+        }
+    }
+
+    // Reductions: scalar and wide must agree on every output bit.
+    assert_eq!(
+        kernels::l2_norm_sq_f64_with(Width::Scalar, &g[0]).to_bits(),
+        kernels::l2_norm_sq_f64_with(Width::Wide, &g[0]).to_bits(),
+        "l2_norm_sq width divergence"
+    );
+    assert_eq!(
+        kernels::dot_f64_with(Width::Scalar, &g[1], &g[2]).to_bits(),
+        kernels::dot_f64_with(Width::Wide, &g[1], &g[2]).to_bits(),
+        "dot width divergence"
+    );
+    assert_eq!(
+        kernels::l2_distance_sq_f64_with(Width::Scalar, &g[3], &g[4]).to_bits(),
+        kernels::l2_distance_sq_f64_with(Width::Wide, &g[3], &g[4]).to_bits(),
+        "l2_distance width divergence"
+    );
+    assert_eq!(
+        kernels::sign_counts_with(Width::Scalar, &signy),
+        kernels::sign_counts_with(Width::Wide, &signy),
+        "sign_counts width divergence"
+    );
+    let (mut wb, mut wz) = (Vec::new(), Vec::new());
+    let (mut sb, mut sz) = (Vec::new(), Vec::new());
+    kernels::pack_signs_into_with(Width::Wide, &signy, &mut wb, &mut wz);
+    kernels::pack_signs_into_with(Width::Scalar, &signy, &mut sb, &mut sz);
+    assert_eq!((wb, wz), (sb, sz), "pack_signs width divergence");
+
+    // The blocked mean through the executor seam: both widths, at 1 and 4
+    // threads, all four combinations bit-identical.
+    let mut reference: Option<Vec<u32>> = None;
+    for threads in [1usize, 4] {
+        let exec = Engine::parallel(threads).executor();
+        for width in [Width::Scalar, Width::Wide] {
+            let mut out = vec![0.0f32; dim];
+            exec.run_chunks(&mut out, REDUCE_BLOCK, &|ci, chunk| {
+                kernels::mean_chunk_with(width, &g, ci * REDUCE_BLOCK, chunk);
+            });
+            let bits: Vec<u32> = out.iter().map(|x| x.to_bits()).collect();
+            match &reference {
+                None => reference = Some(bits),
+                Some(r) => {
+                    assert_eq!(&bits, r, "mean_chunk diverges at {threads} threads / {width:?}")
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn engine_parallelism_one_matches_plain_new() {
     // `Simulator::new` (the legacy constructor) and an explicit
     // single-thread engine are the same code path.
