@@ -1,0 +1,216 @@
+//! The shard-composition (`Composable`) seam for hierarchical aggregation.
+//!
+//! A tree topology (see `sg-net`) splits the client population into
+//! contiguous shards; each leaf aggregates its shard and submits one
+//! update upward, and the root composes the shard updates. How a rule
+//! composes is a property of the rule itself, declared via
+//! [`Aggregator::composition`]:
+//!
+//! | Strategy | Shard update | Root step | Fidelity |
+//! |---|---|---|---|
+//! | [`ExactSum`](Composition::ExactSum) | canonical tree **sum** of the shard ([`ShardSum`]) | tree sum of shard sums, scaled once ([`ShardMeanRoot`]) | **bit-identical** to flat for power-of-two shard sizes |
+//! | [`Rerun`](Composition::Rerun) | the rule run on the shard | the rule rerun on the shard aggregates | approximate (median-of-medians-style bounds) |
+//! | [`RerunSignNorm`](Composition::RerunSignNorm) | the rule run on the shard, forwarded as packed sign + norm statistics | the rule rerun natively on the packed shard statistics | approximate, never densifies on the wire |
+//! | [`Densify`](Composition::Densify) | — | — | rule has no shard form; the tree runner falls back to flat aggregation |
+//!
+//! The `ExactSum` identity rests on the canonical pairwise reduction tree
+//! of [`sg_math::vecops::tree_sum_chunk`]: contiguous power-of-two blocks
+//! of the batch are nodes of that tree, so per-shard sums recombined in
+//! shard order reproduce the flat sum bit for bit, and the single `1/n`
+//! scale at the root makes the composed mean equal the flat mean exactly.
+//! `Rerun` rules trade exactness for the funnel: a coordinate of a
+//! median-of-medians stays within the range spanned by the shard medians
+//! (hence within the per-coordinate range of the population), which is the
+//! bound the composition property tests assert.
+
+use std::sync::Arc;
+
+use sg_math::vecops::{self, REDUCE_BLOCK};
+use sg_math::{ParallelExecutor, SeqExecutor};
+
+use crate::{validate_gradients, AggregationOutput, Aggregator};
+
+/// How an aggregation rule composes across the shards of a hierarchical
+/// aggregation tree.
+///
+/// | Strategy | Shard update | Root step | Fidelity |
+/// |---|---|---|---|
+/// | `ExactSum` | canonical tree **sum** of the shard ([`ShardSum`]) | tree sum of shard sums, scaled once ([`ShardMeanRoot`]) | **bit-identical** to flat for power-of-two shard sizes |
+/// | `Rerun` | the rule run on the shard | the rule rerun on the dense shard aggregates | approximate (median-of-medians-style bounds) |
+/// | `RerunSignNorm` | the rule run on the shard, forwarded as packed sign + norm statistics | the rule rerun natively on the packed shard statistics | approximate, never densifies on the wire |
+/// | `Densify` | — | — | no shard form; tree runners fall back to flat aggregation |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Composition {
+    /// The rule is a scaled linear reduction: leaves forward canonical
+    /// tree **sums** and the root recombines and scales once —
+    /// bit-identical to the flat run for power-of-two shard sizes.
+    ExactSum,
+    /// The rule is rerun at the root over dense shard aggregates
+    /// (median-of-medians and friends) — approximate, bounds documented
+    /// per rule.
+    Rerun,
+    /// The rule is rerun at the root over the shards' packed sign + norm
+    /// statistics (`SignNormVec`), so the funnel composes without ever
+    /// densifying a shard aggregate on the wire.
+    RerunSignNorm,
+    /// No shard form: the tree runner must densify — it falls back to
+    /// flat aggregation over the full population.
+    Densify,
+}
+
+/// Leaf-side aggregator for [`Composition::ExactSum`] rules: the canonical
+/// tree **sum** of the shard's gradients, unscaled, so the shard's client
+/// count travels implicitly in the magnitude and the root can scale once.
+///
+/// Coordinate-sharded over the executor seam like [`crate::Mean`]: output
+/// bits are independent of thread count.
+#[derive(Clone)]
+pub struct ShardSum {
+    exec: Arc<dyn ParallelExecutor>,
+}
+
+impl std::fmt::Debug for ShardSum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardSum").field("parallelism", &self.exec.parallelism()).finish()
+    }
+}
+
+impl ShardSum {
+    /// Creates the shard-sum rule (sequential until an executor is
+    /// installed).
+    pub fn new() -> Self {
+        Self { exec: Arc::new(SeqExecutor) }
+    }
+}
+
+impl Default for ShardSum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Aggregator for ShardSum {
+    fn aggregate(&mut self, gradients: &[Vec<f32>]) -> AggregationOutput {
+        let dim = validate_gradients(gradients);
+        let mut out = vec![0.0f32; dim];
+        self.exec.run_chunks(&mut out, REDUCE_BLOCK, &|ci, chunk| {
+            vecops::tree_sum_chunk(gradients, ci * REDUCE_BLOCK, chunk);
+        });
+        AggregationOutput::blended(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "ShardSum"
+    }
+
+    fn composition(&self) -> Composition {
+        Composition::ExactSum
+    }
+
+    fn set_executor(&mut self, executor: Arc<dyn ParallelExecutor>) {
+        self.exec = executor;
+    }
+}
+
+/// Root-side aggregator for [`Composition::ExactSum`] rules: the canonical
+/// tree sum of the shard sums, scaled by `1 / total_clients` exactly once.
+///
+/// With power-of-two shard sizes (ragged last shard allowed) this equals
+/// the flat [`crate::Mean`] over the whole population bit for bit — the
+/// composition theorem on [`sg_math::vecops::tree_sum_chunk`].
+#[derive(Clone)]
+pub struct ShardMeanRoot {
+    total_clients: usize,
+    exec: Arc<dyn ParallelExecutor>,
+}
+
+impl std::fmt::Debug for ShardMeanRoot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardMeanRoot")
+            .field("total_clients", &self.total_clients)
+            .field("parallelism", &self.exec.parallelism())
+            .finish()
+    }
+}
+
+impl ShardMeanRoot {
+    /// Creates the root composition rule for a population of
+    /// `total_clients` participants (the sum of all shard participant
+    /// counts — the one divisor applied to the recombined sum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_clients` is zero.
+    pub fn new(total_clients: usize) -> Self {
+        assert!(total_clients > 0, "ShardMeanRoot: zero clients");
+        Self { total_clients, exec: Arc::new(SeqExecutor) }
+    }
+}
+
+impl Aggregator for ShardMeanRoot {
+    fn aggregate(&mut self, shard_sums: &[Vec<f32>]) -> AggregationOutput {
+        let dim = validate_gradients(shard_sums);
+        let inv = 1.0 / self.total_clients as f32;
+        let mut out = vec![0.0f32; dim];
+        self.exec.run_chunks(&mut out, REDUCE_BLOCK, &|ci, chunk| {
+            vecops::tree_sum_chunk(shard_sums, ci * REDUCE_BLOCK, chunk);
+            for o in chunk.iter_mut() {
+                *o *= inv;
+            }
+        });
+        AggregationOutput::blended(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "ShardMeanRoot"
+    }
+
+    fn set_executor(&mut self, executor: Arc<dyn ParallelExecutor>) {
+        self.exec = executor;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mean;
+
+    fn messy_batch(n: usize, dim: usize, salt: u32) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                (0..dim)
+                    .map(|j| {
+                        (((i * dim + j) as u32).wrapping_mul(2654435761 ^ salt) as f32 * 1e-9).sin() * 7.3
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_sum_then_root_mean_equals_flat_mean_bitwise() {
+        for (n, shard) in [(8usize, 2usize), (10, 4), (13, 4), (16, 8), (5, 1), (7, 8)] {
+            let grads = messy_batch(n, 300, 3);
+            let flat = Mean::new().aggregate(&grads).gradient;
+            let sums: Vec<Vec<f32>> =
+                grads.chunks(shard).map(|c| ShardSum::new().aggregate(c).gradient).collect();
+            let composed = ShardMeanRoot::new(n).aggregate(&sums).gradient;
+            for (j, (a, b)) in composed.iter().zip(&flat).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "n {n} shard {shard} coord {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn composition_declarations() {
+        use crate::{CoordinateMedian, SignMajority, TrimmedMean};
+        assert_eq!(Mean::new().composition(), Composition::ExactSum);
+        assert_eq!(ShardSum::new().composition(), Composition::ExactSum);
+        assert_eq!(CoordinateMedian::new().composition(), Composition::Rerun);
+        assert_eq!(TrimmedMean::new(1).composition(), Composition::Rerun);
+        assert_eq!(SignMajority::new().composition(), Composition::RerunSignNorm);
+        // Rules without a shard form keep the default.
+        assert_eq!(crate::MultiKrum::krum(1).composition(), Composition::Densify);
+        assert_eq!(crate::Bulyan::new(1).composition(), Composition::Densify);
+    }
+}

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use sg_math::vecops::{self, REDUCE_BLOCK};
 use sg_math::{ParallelExecutor, SeqExecutor};
 
-use crate::{validate_gradients, AggregationOutput, Aggregator};
+use crate::{validate_gradients, AggregationOutput, Aggregator, Composition};
 
 /// Geometric median (the point minimizing the sum of Euclidean distances to
 /// all gradients), computed with smoothed Weiszfeld iterations.
@@ -123,6 +123,13 @@ impl Aggregator for GeoMed {
 
     fn name(&self) -> &'static str {
         "GeoMed"
+    }
+
+    fn composition(&self) -> Composition {
+        // Geometric-median-of-geometric-medians: the classical two-level
+        // approximation (each composed point stays within the convex hull
+        // of the shard medians).
+        Composition::Rerun
     }
 
     fn set_executor(&mut self, executor: Arc<dyn ParallelExecutor>) {

@@ -29,6 +29,7 @@
 
 mod bulyan;
 mod centered_clip;
+mod compose;
 mod dnc;
 mod geomed;
 mod krum;
@@ -39,6 +40,7 @@ mod staleness;
 
 pub use bulyan::Bulyan;
 pub use centered_clip::CenteredClip;
+pub use compose::{Composition, ShardMeanRoot, ShardSum};
 pub use dnc::DnC;
 pub use geomed::GeoMed;
 pub use krum::{pairwise_sq_distances, scores_from_matrix, MultiKrum};
@@ -207,6 +209,17 @@ pub trait Aggregator {
 
     /// Rule name as used in the paper's tables.
     fn name(&self) -> &'static str;
+
+    /// How this rule composes across the shards of a hierarchical
+    /// aggregation tree — the `Composable` seam (see [`Composition`] and
+    /// the contract table on [`ShardSum`]/[`ShardMeanRoot`]).
+    ///
+    /// The default is [`Composition::Densify`]: the rule has no shard
+    /// form, and a tree runner must fall back to flat aggregation over
+    /// the whole population. Rules with a shard form override this.
+    fn composition(&self) -> Composition {
+        Composition::Densify
+    }
 
     /// Called by the federated server with the current global parameters
     /// before each [`Aggregator::aggregate`] call. Statistic-based rules

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use sg_math::vecops::{self, REDUCE_BLOCK};
 use sg_math::{ParallelExecutor, SeqExecutor};
 
-use crate::{validate_gradients, AggregationOutput, Aggregator};
+use crate::{validate_gradients, AggregationOutput, Aggregator, Composition};
 
 /// Naive arithmetic mean — the no-defense baseline (FedAvg/FedSGD).
 #[derive(Clone)]
@@ -49,6 +49,12 @@ impl Aggregator for Mean {
 
     fn name(&self) -> &'static str {
         "Mean"
+    }
+
+    fn composition(&self) -> Composition {
+        // A scaled linear reduction: shard tree-sums recombined at the
+        // root and scaled once are bit-identical to the flat mean.
+        Composition::ExactSum
     }
 
     fn set_executor(&mut self, executor: Arc<dyn ParallelExecutor>) {
@@ -99,6 +105,12 @@ impl Aggregator for TrimmedMean {
         "TrMean"
     }
 
+    fn composition(&self) -> Composition {
+        // Trimmed-mean-of-trimmed-means: each composed coordinate stays
+        // within the range spanned by the shard aggregates.
+        Composition::Rerun
+    }
+
     fn set_executor(&mut self, executor: Arc<dyn ParallelExecutor>) {
         self.exec = executor;
     }
@@ -141,6 +153,13 @@ impl Aggregator for CoordinateMedian {
 
     fn name(&self) -> &'static str {
         "Median"
+    }
+
+    fn composition(&self) -> Composition {
+        // Median-of-medians: each composed coordinate lies within the
+        // range of the shard medians, hence within the per-coordinate
+        // range of the population.
+        Composition::Rerun
     }
 
     fn set_executor(&mut self, executor: Arc<dyn ParallelExecutor>) {

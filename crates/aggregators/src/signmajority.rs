@@ -5,7 +5,9 @@ use std::sync::Arc;
 use sg_math::vecops::REDUCE_BLOCK;
 use sg_math::{kernels, ParallelExecutor, SeqExecutor};
 
-use crate::{validate_gradients, AggregationOutput, Aggregator, BatchElems, GradientBatch, SignNormVec};
+use crate::{
+    validate_gradients, AggregationOutput, Aggregator, BatchElems, Composition, GradientBatch, SignNormVec,
+};
 
 /// Element-wise sign majority vote, scaled by a configurable magnitude.
 ///
@@ -131,6 +133,13 @@ impl Aggregator for SignMajority {
 
     fn name(&self) -> &'static str {
         "SignSGD"
+    }
+
+    fn composition(&self) -> Composition {
+        // Majority-of-majorities over packed shard sign votes: the shard
+        // aggregate is itself a sign vector, so the funnel never needs to
+        // densify on the wire.
+        Composition::RerunSignNorm
     }
 
     fn set_executor(&mut self, executor: Arc<dyn ParallelExecutor>) {

@@ -1,0 +1,90 @@
+//! Flat vs two-level hierarchical aggregation (the `tree` section).
+//!
+//! Default mode sweeps the flat/tree comparison grid under the paper's
+//! attacks (see `sg_bench::sweep::plan_tree`) and writes the CSV under
+//! `target/experiments/tree.csv` — byte-identical at any `--jobs`, which
+//! CI's `tree-smoke` job enforces with `cmp`.
+//!
+//! `--tcp-check` instead runs one two-leaf fan-in twice — over the
+//! deterministic loopback and over real sockets — and writes both root
+//! models as bit-exact artifacts (`--out-loopback`, `--out-tcp`; defaults
+//! under `target/experiments/`). The run itself asserts the TCP root model
+//! reproduces the loopback one bit for bit; CI additionally `cmp`s the two
+//! artifact files.
+
+use std::sync::Arc;
+
+use sg_bench::{build_attack, netargs, ExpArgs};
+use sg_core::SignGuard;
+use sg_fl::{FlConfig, VirtualPopulation};
+use sg_net::{run_tree_loopback, run_tree_tcp, TreeTopology};
+use sg_runtime::Engine;
+
+fn main() {
+    let args = ExpArgs::parse();
+    if args.flag("--tcp-check") {
+        tcp_check(&args);
+        return;
+    }
+    sg_bench::sweep::run_standalone("tree");
+}
+
+/// Two-leaf TCP fan-in vs loopback: same seeds, same topology, two
+/// transports, one root model.
+fn tcp_check(args: &ExpArgs) {
+    args.init_obs();
+    let seed = args.seed(42);
+    let task = sg_bench::build_task(&args.task("mlp"), sg_bench::sweep::DATA_SEED);
+    // Two leaves: 8 clients in 4-wide shards, full shard participation.
+    let cfg = FlConfig {
+        num_clients: 8,
+        byzantine_fraction: 0.25,
+        batch_size: 8,
+        learning_rate: 0.05,
+        seed,
+        ..FlConfig::default()
+    };
+    let topo = TreeTopology::new(cfg.num_clients, 4, 4, seed);
+    let rounds = 3;
+    let attack_name = args.value("--attack").unwrap_or_else(|| "Sign-flip".into());
+    let pop = Arc::new(VirtualPopulation::build(
+        &task,
+        &cfg,
+        build_attack(&attack_name).as_deref(),
+        &sg_fl::PartitionCache::new(),
+    ));
+    let engine = Engine::parallel(args.jobs());
+
+    let gf = || Box::new(SignGuard::plain(0)) as Box<dyn sg_aggregators::Aggregator>;
+    let attack_name_ref = &attack_name;
+    let af = move || build_attack(attack_name_ref);
+    let loopback = run_tree_loopback(&task, &cfg, &topo, rounds, &pop, &gf, &af, &engine, 1, 3);
+    let tcp = run_tree_tcp(&task, &cfg, &topo, rounds, &pop, gf, af, &engine, 2);
+
+    let dir = sg_bench::experiments_dir();
+    let out_loop = args
+        .value("--out-loopback")
+        .map_or_else(|| dir.join("tree_loopback.model"), std::path::PathBuf::from);
+    let out_tcp =
+        args.value("--out-tcp").map_or_else(|| dir.join("tree_tcp.model"), std::path::PathBuf::from);
+    netargs::write_model(&out_loop, &loopback.final_params);
+    netargs::write_model(&out_tcp, &tcp.final_params);
+
+    let loop_bits: Vec<u32> = loopback.final_params.iter().map(|p| p.to_bits()).collect();
+    let tcp_bits: Vec<u32> = tcp.final_params.iter().map(|p| p.to_bits()).collect();
+    let losses_match =
+        loopback.round_losses.iter().map(|l| l.to_bits()).eq(tcp.round_losses.iter().map(|l| l.to_bits()));
+    println!(
+        "[exp_tree] tcp-check: {} leaves x {rounds} rounds under {attack_name}; \
+         loopback -> {}, tcp -> {}",
+        topo.num_leaves(),
+        out_loop.display(),
+        out_tcp.display()
+    );
+    sg_bench::finish_obs();
+    if loop_bits != tcp_bits || !losses_match {
+        eprintln!("[exp_tree] FAIL: TCP root model diverged from the loopback run");
+        std::process::exit(3);
+    }
+    println!("[exp_tree] OK: TCP root model reproduces the loopback run bit for bit");
+}

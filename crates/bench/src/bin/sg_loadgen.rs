@@ -157,8 +157,8 @@ fn run_client(addr: SocketAddr, mut driver: ClientDriver, rate: f64) -> std::io:
         // Pace retries: the server's submit queue was full, and hammering
         // it only burns the socket — the cached gradient can wait.
         if matches!(incoming, Message::SubmitReject { reason: RejectReason::Backpressure, .. }) {
-            backoff = (backoff + 1).min(6);
-            std::thread::sleep(Duration::from_millis(2u64 << backoff));
+            backoff = backoff.saturating_add(1);
+            std::thread::sleep(netargs::backpressure_backoff(backoff));
         } else {
             backoff = 0;
         }

@@ -241,9 +241,71 @@ pub fn serve_metrics(addr: &str) -> std::io::Result<MetricsServer> {
     Ok(MetricsServer { addr: local, stop, handle: Some(handle) })
 }
 
+/// First backpressure retry pause, in milliseconds.
+pub const BACKOFF_BASE_MS: u64 = 4;
+/// Ceiling for the backpressure retry pause, in milliseconds. Reached
+/// after [`BACKOFF_SATURATION_ATTEMPT`] consecutive rejects; every later
+/// attempt stays here.
+pub const BACKOFF_MAX_MS: u64 = 128;
+/// The attempt number at which the exponential schedule first hits
+/// [`BACKOFF_MAX_MS`] (`BASE << (6 - 1) = 128`).
+pub const BACKOFF_SATURATION_ATTEMPT: u32 = 6;
+
+/// The pause before backpressure retry number `attempt` (1-based; 0
+/// means "no rejects yet" and returns zero). Exponential from
+/// [`BACKOFF_BASE_MS`], saturating at [`BACKOFF_MAX_MS`] — computed with
+/// overflow-proof arithmetic, so an arbitrarily long reject streak (or a
+/// counter that wrapped) can never shift past the integer width and
+/// come back around as a zero-length busy-loop delay.
+pub fn backpressure_backoff(attempt: u32) -> Duration {
+    if attempt == 0 {
+        return Duration::ZERO;
+    }
+    // Clamp the exponent *before* shifting: `checked_shl` only rejects
+    // shift amounts >= 64, it happily discards bits shifted out of the
+    // value (`4 << 62 == 0`), which is precisely the wrap-to-zero bug
+    // this helper exists to prevent.
+    let shift = attempt.saturating_sub(1).min(BACKOFF_SATURATION_ATTEMPT - 1);
+    Duration::from_millis((BACKOFF_BASE_MS << shift).min(BACKOFF_MAX_MS))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn backoff_doubles_then_saturates() {
+        assert_eq!(backpressure_backoff(0), Duration::ZERO);
+        let mut prev = 0u128;
+        for attempt in 1..=BACKOFF_SATURATION_ATTEMPT {
+            let ms = backpressure_backoff(attempt).as_millis();
+            assert_eq!(ms, (BACKOFF_BASE_MS as u128) << (attempt - 1), "attempt {attempt}");
+            assert!(ms > prev, "attempt {attempt}: schedule must grow until saturation");
+            prev = ms;
+        }
+        assert_eq!(backpressure_backoff(BACKOFF_SATURATION_ATTEMPT).as_millis(), BACKOFF_MAX_MS as u128);
+    }
+
+    #[test]
+    fn backoff_is_clamped_for_any_attempt_count() {
+        // The saturation point and everything beyond it — including the
+        // shift-overflow region (attempt > 63) and the very last u32 —
+        // must pin to the ceiling, never wrap to a zero busy-loop delay.
+        let max = Duration::from_millis(BACKOFF_MAX_MS);
+        for attempt in [
+            BACKOFF_SATURATION_ATTEMPT,
+            BACKOFF_SATURATION_ATTEMPT + 1,
+            10,
+            63,
+            64,
+            65,
+            1_000,
+            1_000_000,
+            u32::MAX,
+        ] {
+            assert_eq!(backpressure_backoff(attempt), max, "attempt {attempt}");
+        }
+    }
 
     #[test]
     fn model_artifact_round_trips_bit_for_bit() {

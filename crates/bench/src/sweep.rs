@@ -775,11 +775,129 @@ pub fn plan_async(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
     )
 }
 
+// ---- Tree (hierarchical aggregation) -----------------------------------
+
+/// The topology the tree section sweeps:
+/// `(num_clients, shard_size, participation, rounds)`.
+pub fn tree_shape(smoke: bool) -> (usize, usize, usize, usize) {
+    if smoke {
+        (16, 4, 4, 3)
+    } else {
+        (128, 16, 8, 10)
+    }
+}
+
+/// Hex fingerprint of a parameter vector's exact bits.
+fn params_fp(params: &[f32]) -> String {
+    let mut fp = Fp::new();
+    for p in params {
+        fp.u64(u64::from(p.to_bits()));
+    }
+    format!("{:016x}", fp.done())
+}
+
+/// Flat vs two-level tree aggregation under the paper's attacks. Every
+/// cell runs **both arms** over the same [`sg_fl::VirtualPopulation`] —
+/// the flat reference ([`sg_net::run_flat_virtual`]: one global adversary,
+/// one flat aggregation) and the two-level loopback funnel
+/// ([`sg_net::run_tree_loopback`]: shard-local adversaries, composed root)
+/// — and reports both final-model fingerprints side by side. `ExactSum`
+/// rules (Mean) must agree bit for bit under `No Attack`; the rerun
+/// strategies show the documented approximation, and the attack columns
+/// show what shard-locality does to each defense.
+pub fn plan_tree(plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Section {
+    use std::sync::Arc;
+
+    let before = plan.len();
+    let tasks = o.tasks_for(&["mlp"]);
+    let defenses = o.pick(&["Mean", "Median", "TrMean", "SignGuard"], &["Mean", "SignGuard"]);
+    let attacks = o.pick(&["No Attack", "Sign-flip", "LIE", "ByzMean"], &["No Attack", "Sign-flip"]);
+    let (n, shard, part, rounds) = tree_shape(o.smoke);
+    let cfg = FlConfig {
+        num_clients: n,
+        byzantine_fraction: 0.25,
+        batch_size: 8,
+        learning_rate: 0.05,
+        seed: o.seed,
+        ..FlConfig::default()
+    };
+    // Leaf-level trim count for TrMean: the per-shard Byzantine budget.
+    let trim = (part / 4).max(1);
+    for task in &tasks {
+        for defense in &defenses {
+            for attack in &attacks {
+                let (task, defense, attack) = (task.clone(), defense.to_string(), attack.to_string());
+                let (cfg, res) = (cfg.clone(), o.res.clone());
+                plan.cell(format!("tree/{task}/{defense}/{attack}"), move |ctx| {
+                    let t = res.tasks.get(&task, DATA_SEED);
+                    let topo = sg_net::TreeTopology::new(cfg.num_clients, shard, part, cfg.seed);
+                    let pop = Arc::new(sg_fl::VirtualPopulation::build(
+                        &t,
+                        &cfg,
+                        build_attack(&attack).as_deref(),
+                        &res.parts,
+                    ));
+                    let gf = || build_defense(&defense, part, trim);
+                    let af = || build_attack(&attack);
+                    let composition = format!("{:?}", gf().composition());
+                    let flat =
+                        sg_net::run_flat_virtual(&t, &cfg, &topo, rounds, &pop, &gf, &af, ctx.engine());
+                    let tree = sg_net::run_tree_loopback(
+                        &t,
+                        &cfg,
+                        &topo,
+                        rounds,
+                        &pop,
+                        &gf,
+                        &af,
+                        ctx.engine(),
+                        1,
+                        3,
+                    );
+                    sg_obs::progress(|| format!("[grid {}] {}", ctx.index + 1, ctx.label));
+                    let flat_fp = params_fp(&flat.final_params);
+                    let tree_fp = params_fp(&tree.final_params);
+                    let compose = if flat_fp == tree_fp { "bitwise" } else { "approx" };
+                    vec![vec![
+                        task,
+                        defense,
+                        attack,
+                        composition,
+                        flat_fp,
+                        tree_fp,
+                        compose.to_string(),
+                        rate(*flat.round_losses.last().expect("flat rounds")),
+                        rate(*tree.round_losses.last().expect("tree rounds")),
+                    ]]
+                });
+            }
+        }
+    }
+    section(
+        before,
+        plan,
+        "tree",
+        "Tree — flat vs two-level hierarchical aggregation",
+        &[
+            "task",
+            "defense",
+            "attack",
+            "composition",
+            "flat_fp",
+            "tree_fp",
+            "compose",
+            "flat_loss",
+            "tree_loss",
+        ],
+        &tasks,
+    )
+}
+
 // ---- Dispatch, rendering, drivers -------------------------------------
 
 /// Every experiment key, in sweep order.
 pub const ALL_EXPERIMENTS: &[&str] =
-    &["table1", "table2", "table3", "fig2", "fig4", "fig5", "fig6", "ablation", "async"];
+    &["table1", "table2", "table3", "fig2", "fig4", "fig5", "fig6", "ablation", "async", "tree"];
 
 /// Plans one experiment by key.
 ///
@@ -797,6 +915,7 @@ pub fn plan_section(exp: &str, plan: &mut RunPlan<Rows>, o: &SweepOpts) -> Secti
         "fig6" => plan_fig6(plan, o),
         "ablation" => plan_ablation(plan, o),
         "async" => plan_async(plan, o),
+        "tree" => plan_tree(plan, o),
         other => panic!("unknown experiment {other:?} (expected one of {ALL_EXPERIMENTS:?})"),
     }
 }

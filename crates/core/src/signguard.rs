@@ -4,7 +4,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use sg_aggregators::{
-    validate_gradients, AggregationOutput, Aggregator, BatchElems, GradientBatch, SignNormVec,
+    validate_gradients, AggregationOutput, Aggregator, BatchElems, Composition, GradientBatch, SignNormVec,
 };
 use sg_math::vecops::REDUCE_BLOCK;
 use sg_math::{kernels, ParallelExecutor, SeqExecutor};
@@ -390,6 +390,14 @@ impl Aggregator for SignGuard {
             SimilarityFeature::Cosine => "SignGuard-Sim",
             SimilarityFeature::Euclidean => "SignGuard-Dist",
         }
+    }
+
+    fn composition(&self) -> Composition {
+        // Sharded SignGuard: each leaf runs the full funnel on its shard
+        // and forwards the aggregate's sign bits + norm (`SignNormVec`);
+        // the root reruns the funnel natively on the packed shard
+        // statistics via `aggregate_packed`, so the tree never densifies.
+        Composition::RerunSignNorm
     }
 
     fn set_executor(&mut self, executor: Arc<dyn ParallelExecutor>) {

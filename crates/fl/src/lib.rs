@@ -75,6 +75,7 @@ pub mod scheduler;
 mod simulator;
 pub mod tasks;
 pub mod validation;
+mod virtual_population;
 
 pub use client::Client;
 pub use config::{FlConfig, Partitioning, Schedule};
@@ -86,3 +87,4 @@ pub use scheduler::{build_scheduler, Arrival, ClientScheduler};
 pub use simulator::{build_participants, global_init, Participants, Simulator};
 pub use tasks::{Task, TaskCache};
 pub use validation::{ValidatingServer, ValidationRule};
+pub use virtual_population::VirtualPopulation;

@@ -1,0 +1,382 @@
+//! Virtual client population for hierarchical (million-client) rounds.
+//!
+//! [`build_participants`](crate::build_participants) materializes every
+//! client up front — a resident fleet whose memory grows with the
+//! population. That is the right model for the paper's 50-client tables,
+//! and the wrong one for a hierarchical round over 10⁵–10⁶ cross-device
+//! clients, where a leaf only ever touches the handful of participants it
+//! samples this round.
+//!
+//! [`VirtualPopulation`] replaces the resident fleet with a **pure
+//! function** from `(client id, round)` to a fully-seeded [`Client`]:
+//!
+//! * data shards come lazily from the shared [`PartitionCache`] (exactly
+//!   the shards the resident scheme derives — same `part_seed` position in
+//!   the seed schedule), or, when the population outnumbers the training
+//!   samples, from deterministic overlapping modular windows (the
+//!   cross-device regime, where disjoint per-client partitions cannot
+//!   exist);
+//! * the per-round mini-batch RNG is derived by SplitMix64 from
+//!   `(client id, round)`, so materialization is **order-independent**:
+//!   any leaf can rebuild any client at any time and obtain bit-identical
+//!   gradients — the property the flat-vs-tree comparison of `exp_tree`
+//!   stands on;
+//! * a materialized client starts every round with an **empty momentum
+//!   buffer** (stateless cross-device workers). This is the one semantic
+//!   difference from the resident scheme, where momentum accumulates
+//!   across rounds; both arms of a flat-vs-tree comparison use the same
+//!   virtual scheme, so the comparison itself is exact.
+//!
+//! Byzantine ids remain the global prefix `0..byzantine_count`, so with
+//! the contiguous shard ranges of a tree topology each leaf sees its
+//! Byzantine clients as a local prefix too.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use sg_attacks::Attack;
+use sg_math::{sample_indices, seeded_rng, splitmix64, SeedStream};
+
+use crate::client::Client;
+use crate::config::FlConfig;
+use crate::partition_cache::PartitionCache;
+use crate::tasks::Task;
+
+/// Overlapping-window length multiplier for oversubscribed populations:
+/// each virtual client's modular window holds `OVERSUBSCRIBED_WINDOW ×
+/// batch_size` samples (capped at the dataset length).
+const OVERSUBSCRIBED_WINDOW: usize = 4;
+
+/// Derives a decorrelated seed from a base seed and two coordinates
+/// (client id and round, or shard start and round) via two chained
+/// SplitMix64 steps.
+fn derive_seed(base: u64, a: u64, b: u64) -> u64 {
+    let mut state = base.wrapping_add(a.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let first = splitmix64(&mut state);
+    let mut state = first.wrapping_add(b.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    splitmix64(&mut state)
+}
+
+/// How the population maps client ids to training samples.
+enum Sharding {
+    /// Disjoint shards from the [`PartitionCache`] (population ≤ dataset):
+    /// bit-identical to the resident scheme's partition.
+    Partitioned(Arc<Vec<Vec<usize>>>),
+    /// Overlapping modular windows (population > dataset): client `i`
+    /// reads `window` samples starting at a SplitMix64-scattered offset.
+    Modular {
+        /// Training-set length.
+        len: usize,
+        /// Samples per virtual client.
+        window: usize,
+    },
+}
+
+/// A lazily-materialized client population: a pure function from
+/// `(client id, round)` to a seeded [`Client`], plus deterministic
+/// per-shard participant sampling.
+///
+/// Construction draws the seed schedule head exactly like
+/// [`build_participants`](crate::build_participants) — model seed, then
+/// partition seed — so the partition (and the root's
+/// [`global_init`](crate::global_init) model) match the resident scheme;
+/// the per-client draws are replaced by the lazy `(id, round)` derivation.
+pub struct VirtualPopulation {
+    task: Task,
+    sharding: Sharding,
+    num_clients: usize,
+    byz_count: usize,
+    momentum: f32,
+    weight_decay: f32,
+    data_poison: bool,
+    client_base: u64,
+    sample_base: u64,
+    replica_seed: u64,
+}
+
+impl std::fmt::Debug for VirtualPopulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualPopulation")
+            .field("task", &self.task.name)
+            .field("num_clients", &self.num_clients)
+            .field("byzantine", &self.byz_count)
+            .field("oversubscribed", &matches!(self.sharding, Sharding::Modular { .. }))
+            .finish()
+    }
+}
+
+impl VirtualPopulation {
+    /// Builds the population scheme for `cfg` over `task`'s training
+    /// split. `attack` only contributes its data-poisoning flag (label
+    /// flips on the Byzantine prefix, as in the resident scheme).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid (see
+    /// [`FlConfig::validate`]).
+    pub fn build(
+        task: &Task,
+        cfg: &FlConfig,
+        attack: Option<&dyn Attack>,
+        partitions: &PartitionCache,
+    ) -> Self {
+        cfg.validate();
+        let mut seeds = SeedStream::new(cfg.seed);
+        // Seed-schedule head parity with `build_participants`: the first
+        // draw is the global model (consumed by the server's
+        // `global_init`), the second is the partition seed.
+        let _model_seed = seeds.next_seed();
+        let part_seed = seeds.next_seed();
+        let client_base = seeds.next_seed();
+        let sample_base = seeds.next_seed();
+        let replica_seed = seeds.next_seed();
+
+        let train_len = task.train.len();
+        let sharding = if cfg.num_clients <= train_len {
+            Sharding::Partitioned(partitions.get(&task.train, cfg.partitioning, cfg.num_clients, part_seed))
+        } else {
+            let window = (cfg.batch_size * OVERSUBSCRIBED_WINDOW).clamp(1, train_len);
+            Sharding::Modular { len: train_len, window }
+        };
+
+        Self {
+            task: task.clone(),
+            sharding,
+            num_clients: cfg.num_clients,
+            byz_count: cfg.byzantine_count(),
+            momentum: cfg.momentum,
+            weight_decay: cfg.weight_decay,
+            data_poison: attack.is_some_and(|a| a.is_data_poisoning()),
+            client_base,
+            sample_base,
+            replica_seed,
+        }
+    }
+
+    /// Total population size.
+    pub fn num_clients(&self) -> usize {
+        self.num_clients
+    }
+
+    /// Size of the global Byzantine prefix (`0..byzantine_count`).
+    pub fn byzantine_count(&self) -> usize {
+        self.byz_count
+    }
+
+    /// Whether clients outnumber training samples (overlapping modular
+    /// windows instead of disjoint partition shards).
+    pub fn is_oversubscribed(&self) -> bool {
+        matches!(self.sharding, Sharding::Modular { .. })
+    }
+
+    /// The task this population trains.
+    pub fn task(&self) -> &Task {
+        &self.task
+    }
+
+    /// The training-sample indices of client `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn shard_indices(&self, id: usize) -> Vec<usize> {
+        assert!(id < self.num_clients, "virtual client {id} out of range (n = {})", self.num_clients);
+        match &self.sharding {
+            Sharding::Partitioned(parts) => parts[id].clone(),
+            Sharding::Modular { len, window } => {
+                // Scatter the window start so neighboring ids don't read
+                // neighboring (correlated) sample runs.
+                let mut state = self.client_base ^ (id as u64);
+                let start = (splitmix64(&mut state) % *len as u64) as usize;
+                (0..*window).map(|j| (start + j) % len).collect()
+            }
+        }
+    }
+
+    /// Materializes client `id` for `round`: data shard, label-flip flag,
+    /// and a round-specific mini-batch RNG, with an empty momentum buffer.
+    /// A pure function of `(id, round)` — any caller, in any order, on any
+    /// thread, obtains a client producing bit-identical gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn materialize(&self, id: usize, round: usize) -> Client {
+        let indices = self.shard_indices(id);
+        // The replica's init weights are immaterial (overwritten from the
+        // global parameters each step); a fixed seed keeps the build
+        // deterministic without per-client bookkeeping.
+        let replica = self.task.build_model(&mut seeded_rng(self.replica_seed));
+        let rng = seeded_rng(derive_seed(self.client_base, id as u64, round as u64));
+        let mut client = Client::new(id, replica, indices, self.momentum, self.weight_decay, rng);
+        if self.data_poison && id < self.byz_count {
+            client.set_flip_labels(true);
+        }
+        sg_obs::counter_add("virtual.materialized", 1);
+        client
+    }
+
+    /// Samples `k` distinct participants from the contiguous shard
+    /// `range` for `round`, returned in **ascending id order** (the
+    /// canonical ingest order). Deterministic in `(range.start, round)`;
+    /// returns the whole shard when `k >= range.len()`.
+    ///
+    /// With contiguous shard ranges, concatenating the per-shard samples
+    /// in shard order yields a globally ascending participant list — the
+    /// flat arm of a flat-vs-tree comparison aggregates exactly that
+    /// list.
+    pub fn sample_shard(&self, range: Range<usize>, k: usize, round: usize) -> Vec<usize> {
+        assert!(range.end <= self.num_clients, "shard {range:?} exceeds population {}", self.num_clients);
+        let mut rng = seeded_rng(derive_seed(self.sample_base, range.start as u64, round as u64));
+        let mut ids = sample_indices(&mut rng, range.len(), k);
+        for id in &mut ids {
+            *id += range.start;
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Computes the round-`round` gradients of `ids` against
+    /// `global_params`, one materialized client per participant, fanned
+    /// out on the engine's worker pool. Returns `(gradient, loss)` per id,
+    /// in input order — bit-identical at any thread count, since each
+    /// client's computation is independent and fully seeded.
+    ///
+    /// Peak resident client state is `ids.len()` — the shard sample size,
+    /// never the population.
+    pub fn compute_round(
+        &self,
+        ids: &[usize],
+        round: usize,
+        global_params: &[f32],
+        batch_size: usize,
+        engine: &sg_runtime::Engine,
+    ) -> Vec<(Vec<f32>, f32)> {
+        let jobs: Vec<usize> = ids.to_vec();
+        let train = &self.task.train;
+        engine.pool().map(jobs, |_, id| {
+            let mut client = self.materialize(id, round);
+            let grad = client.local_gradient(global_params, train, batch_size);
+            (grad, client.last_loss())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks;
+    use sg_runtime::Engine;
+
+    fn small_cfg(n: usize) -> FlConfig {
+        FlConfig { num_clients: n, byzantine_fraction: 0.2, batch_size: 8, ..FlConfig::default() }
+    }
+
+    #[test]
+    fn partition_matches_resident_scheme() {
+        let task = tasks::mlp_task(3);
+        let cfg = small_cfg(10);
+        let cache = PartitionCache::new();
+        let vp = VirtualPopulation::build(&task, &cfg, None, &cache);
+        // The resident scheme's partition seed is the second draw.
+        let mut seeds = SeedStream::new(cfg.seed);
+        let _model = seeds.next_seed();
+        let part_seed = seeds.next_seed();
+        let resident = cache.get(&task.train, cfg.partitioning, cfg.num_clients, part_seed);
+        for id in 0..cfg.num_clients {
+            assert_eq!(vp.shard_indices(id), resident[id], "client {id}");
+        }
+        assert!(!vp.is_oversubscribed());
+    }
+
+    #[test]
+    fn materialization_is_order_independent() {
+        let task = tasks::mlp_task(4);
+        let cfg = small_cfg(10);
+        let vp = VirtualPopulation::build(&task, &cfg, None, &PartitionCache::new());
+        let dim = crate::global_init(&task, cfg.seed).num_params();
+        let global = vec![0.01f32; dim];
+
+        // Same (id, round) from two independent materializations, after
+        // touching other clients in a different order.
+        let g_a = vp.materialize(3, 5).local_gradient(&global, &task.train, 8);
+        let _noise = vp.materialize(7, 5).local_gradient(&global, &task.train, 8);
+        let g_b = vp.materialize(3, 5).local_gradient(&global, &task.train, 8);
+        assert_eq!(g_a.len(), dim);
+        for (a, b) in g_a.iter().zip(&g_b) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Different rounds draw different mini-batches.
+        let g_r6 = vp.materialize(3, 6).local_gradient(&global, &task.train, 8);
+        assert_ne!(g_a, g_r6, "round enters the batch RNG");
+    }
+
+    #[test]
+    fn oversubscribed_population_stays_lazy() {
+        let task = tasks::mlp_task(5);
+        // 100k clients over a 400-sample training split: disjoint
+        // partitioning is impossible; modular windows take over.
+        let cfg = small_cfg(100_000);
+        let vp = VirtualPopulation::build(&task, &cfg, None, &PartitionCache::new());
+        assert!(vp.is_oversubscribed());
+        let len = task.train.len();
+        for id in [0usize, 1, 99_999] {
+            let shard = vp.shard_indices(id);
+            assert!(!shard.is_empty() && shard.len() <= len);
+            assert!(shard.iter().all(|&i| i < len));
+            assert_eq!(shard, vp.shard_indices(id), "lazy shards are deterministic");
+        }
+        let dim = crate::global_init(&task, cfg.seed).num_params();
+        let global = vec![0.01f32; dim];
+        let g = vp.materialize(99_999, 0).local_gradient(&global, &task.train, 8);
+        assert!(g.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn shard_sampling_is_sorted_distinct_deterministic() {
+        let task = tasks::mlp_task(6);
+        let vp = VirtualPopulation::build(&task, &small_cfg(64), None, &PartitionCache::new());
+        let a = vp.sample_shard(16..32, 4, 7);
+        let b = vp.sample_shard(16..32, 4, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "ascending, distinct: {a:?}");
+        assert!(a.iter().all(|&id| (16..32).contains(&id)));
+        assert_ne!(a, vp.sample_shard(16..32, 4, 8), "round enters the sample RNG");
+        // Full participation returns the whole shard.
+        assert_eq!(vp.sample_shard(16..32, 16, 7), (16..32).collect::<Vec<_>>());
+        assert_eq!(vp.sample_shard(16..32, 99, 7), (16..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn data_poison_flips_byzantine_prefix_only() {
+        let task = tasks::mlp_task(7);
+        let cfg = small_cfg(10); // byz_count = 2
+        let attack = sg_attacks::LabelFlip::new();
+        let vp = VirtualPopulation::build(&task, &cfg, Some(&attack), &PartitionCache::new());
+        assert!(vp.materialize(0, 0).flips_labels());
+        assert!(vp.materialize(1, 0).flips_labels());
+        assert!(!vp.materialize(2, 0).flips_labels());
+    }
+
+    #[test]
+    fn compute_round_matches_sequential_materialization() {
+        let task = tasks::mlp_task(8);
+        let cfg = small_cfg(12);
+        let vp = VirtualPopulation::build(&task, &cfg, None, &PartitionCache::new());
+        let dim = crate::global_init(&task, cfg.seed).num_params();
+        let global = vec![0.02f32; dim];
+        let ids = vp.sample_shard(0..12, 8, 3);
+
+        let pooled = vp.compute_round(&ids, 3, &global, 8, &Engine::parallel(4));
+        let seq = vp.compute_round(&ids, 3, &global, 8, &Engine::sequential());
+        assert_eq!(pooled.len(), ids.len());
+        for (i, ((pg, pl), (sg, sl))) in pooled.iter().zip(&seq).enumerate() {
+            assert_eq!(pl.to_bits(), sl.to_bits(), "loss of participant {i}");
+            for (a, b) in pg.iter().zip(sg) {
+                assert_eq!(a.to_bits(), b.to_bits(), "participant {i}");
+            }
+        }
+    }
+}

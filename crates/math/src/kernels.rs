@@ -343,23 +343,68 @@ fn add_assign_with(width: Width, out: &mut [f32], src: &[f32]) {
     }
 }
 
+/// Coordinate-wise **canonical tree sum** of `vectors` over the window
+/// `[offset, offset + out.len())`, written into `out`.
+///
+/// The accumulation order across vectors is a fixed balanced binary tree:
+/// `sum[l, r)` splits at `l + next_power_of_two(r - l) / 2`, recursively
+/// sums both halves, and adds left + right. The tree shape depends only on
+/// the vector count, so chunked, sharded, scalar and wide evaluations are
+/// all bit-identical — and, crucially, the tree **composes across
+/// power-of-two shards**: for any shard size `S = 2^k`, every contiguous
+/// block `[a·S, min((a+1)·S, n))` is a node of this tree, so per-shard
+/// tree sums recombined by another canonical tree sum (in shard order)
+/// reproduce the flat sum bit for bit. This is the identity the
+/// hierarchical mean-of-means aggregation path relies on.
+///
+/// Implemented as a binary-counter pairwise reduction: a stack of partial
+/// sums where the entry at level `k` covers an aligned `2^k` block, equal
+/// levels combine as left + right, and the ragged tail folds right-to-left
+/// — exactly the recursive tree above, with `O(log n)` scratch buffers.
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty or the window exceeds any vector.
+pub fn tree_sum_chunk_with(width: Width, vectors: &[Vec<f32>], offset: usize, out: &mut [f32]) {
+    assert!(!vectors.is_empty(), "tree_sum_chunk: empty batch");
+    let end = offset + out.len();
+    let mut stack: Vec<(u32, Vec<f32>)> = Vec::new();
+    let mut pool: Vec<Vec<f32>> = Vec::new();
+    for v in vectors {
+        assert!(v.len() >= end, "tree_sum_chunk: window {offset}..{end} exceeds dim {}", v.len());
+        let mut buf = pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(&v[offset..end]);
+        let mut level = 0u32;
+        while stack.last().is_some_and(|(l, _)| *l == level) {
+            let (_, mut left) = stack.pop().expect("just peeked");
+            add_assign_with(width, &mut left, &buf);
+            pool.push(std::mem::replace(&mut buf, left));
+            level += 1;
+        }
+        stack.push((level, buf));
+    }
+    let (_, mut acc) = stack.pop().expect("non-empty batch leaves a partial");
+    while let Some((_, mut left)) = stack.pop() {
+        add_assign_with(width, &mut left, &acc);
+        acc = left;
+    }
+    out.copy_from_slice(&acc);
+}
+
 /// Coordinate-wise mean of `vectors` over the window `[offset, offset +
-/// out.len())`, written into `out`. Accumulates across vectors in vector
-/// order for every coordinate — the order [`crate::vecops::mean_vector`]
-/// fixes — so chunked, sharded, scalar and wide evaluations are all
-/// bit-identical.
+/// out.len())`, written into `out`: the canonical tree sum of
+/// [`tree_sum_chunk_with`] scaled by `1 / n` once at the end. Chunked,
+/// sharded, scalar and wide evaluations are all bit-identical, and a
+/// hierarchical mean over power-of-two shards (per-shard tree sums,
+/// recombined by the root, scaled once) reproduces the flat mean exactly.
 ///
 /// # Panics
 ///
 /// Panics if `vectors` is empty or the window exceeds any vector.
 pub fn mean_chunk_with(width: Width, vectors: &[Vec<f32>], offset: usize, out: &mut [f32]) {
     assert!(!vectors.is_empty(), "mean_chunk: empty batch");
-    let end = offset + out.len();
-    out.fill(0.0);
-    for v in vectors {
-        assert!(v.len() >= end, "mean_chunk: window {offset}..{end} exceeds dim {}", v.len());
-        add_assign_with(width, out, &v[offset..end]);
-    }
+    tree_sum_chunk_with(width, vectors, offset, out);
     let inv = 1.0 / vectors.len() as f32;
     for o in out.iter_mut() {
         *o *= inv;
@@ -750,5 +795,77 @@ mod tests {
     fn mean_chunk_rejects_empty() {
         let mut out = vec![0.0f32; 4];
         mean_chunk_with(Width::Wide, &[], 0, &mut out);
+    }
+
+    /// Reference implementation of the canonical tree: recursive split at
+    /// `next_power_of_two(len) / 2`, left + right.
+    fn tree_sum_reference(vectors: &[Vec<f32>], lo: usize, hi: usize) -> Vec<f32> {
+        if hi - lo == 1 {
+            return vectors[lo].clone();
+        }
+        let m = lo + (hi - lo).next_power_of_two() / 2;
+        let left = tree_sum_reference(vectors, lo, m);
+        let right = tree_sum_reference(vectors, m, hi);
+        left.iter().zip(&right).map(|(&a, &b)| a + b).collect()
+    }
+
+    #[test]
+    fn tree_sum_matches_recursive_reference() {
+        // The binary-counter implementation must realize exactly the
+        // recursive split-at-next-power-of-two tree, for every count shape
+        // (powers of two, ragged tails, singletons) and both widths.
+        for n in [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 12, 13, 16, 21, 32, 33] {
+            let vectors: Vec<Vec<f32>> = (0..n).map(|i| messy(97, i as u32)).collect();
+            let expect = tree_sum_reference(&vectors, 0, n);
+            for width in [Width::Scalar, Width::Wide] {
+                let mut out = vec![0.0f32; 97];
+                tree_sum_chunk_with(width, &vectors, 0, &mut out);
+                for (j, (a, b)) in out.iter().zip(&expect).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "n {n} {width:?} coord {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_sum_composes_bit_exact_over_power_of_two_shards() {
+        // The hierarchical-mean identity: chop the batch into contiguous
+        // power-of-two shards (ragged last shard allowed), tree-sum each
+        // shard, tree-sum the shard sums — bit-identical to the flat tree
+        // sum. This is what lets leaf aggregators forward shard sums that
+        // the root recombines without changing a single bit.
+        for n in [1usize, 3, 4, 6, 8, 10, 12, 13, 16, 21, 37] {
+            let vectors: Vec<Vec<f32>> = (0..n).map(|i| messy(64, 100 + i as u32)).collect();
+            let mut flat = vec![0.0f32; 64];
+            tree_sum_chunk_with(Width::Wide, &vectors, 0, &mut flat);
+            for shard in [1usize, 2, 4, 8, 16] {
+                let shard_sums: Vec<Vec<f32>> = vectors
+                    .chunks(shard)
+                    .map(|c| {
+                        let mut s = vec![0.0f32; 64];
+                        tree_sum_chunk_with(Width::Wide, c, 0, &mut s);
+                        s
+                    })
+                    .collect();
+                let mut composed = vec![0.0f32; 64];
+                tree_sum_chunk_with(Width::Wide, &shard_sums, 0, &mut composed);
+                for (j, (a, b)) in composed.iter().zip(&flat).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "n {n} shard {shard} coord {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_sum_widths_agree() {
+        let vectors: Vec<Vec<f32>> = (0..11).map(|i| messy(REDUCE_BLOCK + 39, 40 + i)).collect();
+        let dim = vectors[0].len();
+        let mut wide = vec![0.0f32; dim];
+        let mut scalar = vec![0.0f32; dim];
+        tree_sum_chunk_with(Width::Wide, &vectors, 0, &mut wide);
+        tree_sum_chunk_with(Width::Scalar, &vectors, 0, &mut scalar);
+        for (a, b) in wide.iter().zip(&scalar) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

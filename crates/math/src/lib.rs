@@ -52,6 +52,6 @@ pub use exec::{ParallelExecutor, SeqExecutor, StripedExec};
 pub use kernels::{dispatch_width, Width};
 pub use normal::{normal_cdf, normal_quantile, NormalSampler};
 pub use pairwise::PairwiseDistances;
-pub use rng::{seeded_rng, SeedStream};
+pub use rng::{sample_indices, seeded_rng, shuffle, splitmix64, SeedStream};
 pub use stats::{mean, median, quantile, std_dev, variance};
 pub use vecops::{cosine_similarity, dot, l2_distance, l2_norm};

@@ -189,16 +189,49 @@ pub fn mean_vector(vectors: &[Vec<f32>], dim: usize) -> Vec<f32> {
 /// Coordinate-wise mean of `vectors` restricted to the coordinate window
 /// `[offset, offset + out.len())`, written into `out`.
 ///
-/// Each output coordinate accumulates across vectors in vector order —
-/// exactly the order [`mean_vector`] uses — so computing a vector's mean in
-/// chunks (sequentially or sharded across threads) is bit-identical to
-/// computing it whole.
+/// Each output coordinate accumulates across vectors under the **canonical
+/// pairwise tree** of [`tree_sum_chunk`] (scaled by `1/n` once at the end)
+/// — exactly the tree [`mean_vector`] uses — so computing a vector's mean
+/// in chunks (sequentially or sharded across threads) is bit-identical to
+/// computing it whole, and a hierarchical mean over contiguous
+/// power-of-two shards reproduces the flat mean exactly.
 ///
 /// # Panics
 ///
 /// Panics if `vectors` is empty or the window exceeds any vector.
 pub fn mean_chunk(vectors: &[Vec<f32>], offset: usize, out: &mut [f32]) {
     crate::kernels::mean_chunk_with(crate::kernels::dispatch_width(), vectors, offset, out);
+}
+
+/// Coordinate-wise canonical tree sum of `vectors` over the window
+/// `[offset, offset + out.len())`: the fixed balanced binary reduction
+/// (split at `next_power_of_two(len) / 2`) whose shape depends only on the
+/// vector count. Contiguous power-of-two blocks of the batch are nodes of
+/// this tree, so per-shard tree sums recombined by another tree sum (in
+/// shard order) equal the flat sum bit for bit — the identity behind the
+/// hierarchical mean-of-means composition (see
+/// [`crate::kernels::tree_sum_chunk_with`]).
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty or the window exceeds any vector.
+pub fn tree_sum_chunk(vectors: &[Vec<f32>], offset: usize, out: &mut [f32]) {
+    crate::kernels::tree_sum_chunk_with(crate::kernels::dispatch_width(), vectors, offset, out);
+}
+
+/// Whole-vector [`tree_sum_chunk`]: the canonical tree sum of `vectors`,
+/// each of dimension `dim`. Returns an all-zero vector when `vectors` is
+/// empty.
+pub fn tree_sum_vector(vectors: &[Vec<f32>], dim: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; dim];
+    if vectors.is_empty() {
+        return out;
+    }
+    for (i, v) in vectors.iter().enumerate() {
+        assert_eq!(v.len(), dim, "tree_sum_vector: vector {i} dimension mismatch");
+    }
+    tree_sum_chunk(vectors, 0, &mut out);
+    out
 }
 
 /// Coordinate-wise trimmed mean over the window `[offset, offset +

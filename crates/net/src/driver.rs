@@ -22,6 +22,30 @@ use sg_fl::Client;
 
 use crate::wire::{Message, RejectReason};
 
+/// A client-side protocol peer: anything that can sit on the far end of
+/// a server connection and answer protocol messages with protocol
+/// messages, with the caller owning all I/O.
+///
+/// Two implementations exist: [`ClientDriver`] (a leaf-level federated
+/// client wrapping one [`sg_fl::Client`]) and
+/// [`LeafNode`](crate::LeafNode) (a hierarchical-aggregation leaf that
+/// aggregates a whole client shard and submits the shard update upward).
+/// The loopback transport ([`crate::LoopbackNet`]) and the socket drive
+/// loops are written against this trait, so a *tree of services* runs on
+/// exactly the machinery a flat fleet does.
+pub trait NetPeer {
+    /// The messages to send immediately after the connection opens.
+    fn on_connect(&mut self) -> Vec<Message>;
+
+    /// Feeds one server message through the peer's state machine,
+    /// returning the replies to send.
+    fn on_message(&mut self, msg: &Message) -> Vec<Message>;
+
+    /// Whether the peer has seen the final `RoundAdvance` (or a fatal
+    /// error) and will produce no further messages.
+    fn is_done(&self) -> bool;
+}
+
 /// How a [`ClientDriver`] encodes its gradient for the wire.
 ///
 /// `None` (the default) submits dense `f32`s — the bit-exact form the
@@ -174,5 +198,19 @@ impl ClientDriver {
         }
         let (round, loss, gradient) = self.cached.clone().expect("just cached");
         Message::SubmitUpdate { round, loss, gradient }
+    }
+}
+
+impl NetPeer for ClientDriver {
+    fn on_connect(&mut self) -> Vec<Message> {
+        ClientDriver::on_connect(self)
+    }
+
+    fn on_message(&mut self, msg: &Message) -> Vec<Message> {
+        ClientDriver::on_message(self, msg)
+    }
+
+    fn is_done(&self) -> bool {
+        ClientDriver::is_done(self)
     }
 }

@@ -90,17 +90,48 @@
 //!   Backpressure rejects only ever delay a submission, never drop it:
 //!   clients retry the *cached* gradient, so the floats entering the
 //!   pipeline are unchanged.
+//!
+//! # Hierarchical aggregation: topology and the composition contract
+//!
+//! The [`tree`] module scales the service past resident-fleet rounds: a
+//! [`TreeTopology`] splits the id space into contiguous power-of-two
+//! shards, each shard is served by a [`LeafNode`] that samples and
+//! streams its participants from a lazily-materialized
+//! [`sg_fl::VirtualPopulation`] (peak resident gradients are the shard
+//! sample, never the population), and the root is an ordinary
+//! [`FlService`] whose "clients" are the leaves. Which rules survive the
+//! funnel, and how faithfully, is declared per rule by
+//! [`sg_aggregators::Aggregator::composition`]:
+//!
+//! | strategy | rules | fidelity | shard update on the wire |
+//! |---|---|---|---|
+//! | `ExactSum` | Mean | **bit-identical** to flat (shard blocks are canonical-tree nodes; root scales once) | dense unscaled sum |
+//! | `Rerun` | coordinate median, trimmed mean, GeoMed | approximate (X-of-Xs; composed coordinates stay within the shard-aggregate envelope) | dense shard aggregate |
+//! | `RerunSignNorm` | SignGuard, sign-majority | approximate; the root reruns the rule **natively on packed sign+norm** shard statistics — the funnel never densifies | `SignNorm`, ~1/32nd dense bytes |
+//! | `Densify` | Krum, Bulyan, DnC, … | no shard form — the tree runners refuse; run flat | — |
+//!
+//! The loopback tree run is bit-identical at any `SG_THREADS` and a TCP
+//! tree run reproduces the loopback root model bit-for-bit (CI's
+//! `tree-smoke` job drives both through `exp_tree`); the tree/flat
+//! comparison itself is swept by the `tree` section of `sg-bench`. One
+//! semantic caveat: adversaries act **shard-locally** — each leaf's
+//! attack sees only its own shard (see the [`tree`] module docs).
 
 mod driver;
 mod loopback;
 mod service;
 mod tcp;
 mod transport;
+pub mod tree;
 pub mod wire;
 
-pub use driver::{ClientDriver, Compression};
+pub use driver::{ClientDriver, Compression, NetPeer};
 pub use loopback::LoopbackNet;
 pub use service::{FlService, ServiceReport};
 pub use tcp::{TcpClient, TcpServerTransport};
 pub use transport::{ConnId, Event, Transport, TransportError};
-pub use wire::{FrameBuffer, Message, RejectReason, WireError};
+pub use tree::{
+    build_leaves, drive_peer_tcp, root_aggregator, run_flat_virtual, run_tree_loopback, run_tree_tcp,
+    FlatReport, LeafNode, TreeTopology,
+};
+pub use wire::{DecodeLimits, FrameBuffer, Message, RejectReason, WireError};

@@ -24,7 +24,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use sg_math::seeded_rng;
 
-use crate::driver::ClientDriver;
+use crate::driver::{ClientDriver, NetPeer};
 use crate::transport::{ConnId, Event, Transport, TransportError};
 use crate::wire::{encode, FrameBuffer, Message};
 
@@ -64,7 +64,7 @@ impl Ord for Scheduled {
 }
 
 struct Slot {
-    driver: ClientDriver,
+    driver: Box<dyn NetPeer>,
     open: bool,
     /// Reassembly for frames headed to the server on this connection.
     server_rx: FrameBuffer,
@@ -91,8 +91,21 @@ impl LoopbackNet {
     /// is the largest per-frame delay in virtual ticks (0 means every
     /// frame takes exactly one tick — handy for minimal traces).
     pub fn new(drivers: Vec<ClientDriver>, seed: u64, max_latency: u64) -> Self {
+        Self::from_peers(
+            drivers.into_iter().map(|d| Box::new(d) as Box<dyn NetPeer>).collect(),
+            seed,
+            max_latency,
+        )
+    }
+
+    /// A loopback net over arbitrary protocol peers — the seam a
+    /// hierarchical tree stands on: the peers of a root service's
+    /// loopback are [`LeafNode`](crate::LeafNode)s instead of leaf-level
+    /// [`ClientDriver`]s, and everything else (codec, virtual clock,
+    /// determinism contract) is unchanged.
+    pub fn from_peers(peers: Vec<Box<dyn NetPeer>>, seed: u64, max_latency: u64) -> Self {
         let mut net = Self {
-            slots: drivers
+            slots: peers
                 .into_iter()
                 .map(|driver| Slot {
                     driver,

@@ -126,6 +126,19 @@ impl FlService {
         }
     }
 
+    /// Overrides the number of rounds this run will apply. The default
+    /// comes from [`FlConfig::total_rounds`], which counts rounds from the
+    /// population size — the right number for a flat fleet, and the wrong
+    /// one for a tree root whose "clients" are leaf aggregators: there the
+    /// round count is a property of the experiment, set explicitly so the
+    /// flat and tree arms of a comparison run the same number of steps.
+    #[must_use]
+    pub fn with_total_rounds(mut self, rounds: usize) -> Self {
+        assert!(rounds > 0, "FlService: zero rounds");
+        self.total_rounds = rounds;
+        self
+    }
+
     /// Total rounds this run will apply.
     pub fn total_rounds(&self) -> usize {
         self.total_rounds

@@ -42,7 +42,7 @@ use std::time::Duration;
 use sg_runtime::WorkerPool;
 
 use crate::transport::{ConnId, Event, Transport, TransportError};
-use crate::wire::{encode, FrameBuffer, Message, RejectReason};
+use crate::wire::{encode, DecodeLimits, FrameBuffer, Message, RejectReason};
 
 /// State shared between the acceptor, the handlers and the transport.
 struct Shared {
@@ -50,6 +50,8 @@ struct Shared {
     /// `SubmitUpdate`s queued but not yet polled by the service.
     pending_submits: AtomicUsize,
     max_pending: usize,
+    /// Per-connection decode caps, applied to every handler's decoder.
+    limits: DecodeLimits,
     shutdown: AtomicBool,
 }
 
@@ -77,12 +79,33 @@ impl TcpServerTransport {
     ///
     /// Propagates the bind failure.
     pub fn bind(addr: &str, max_conns: usize, max_pending: usize) -> std::io::Result<Self> {
+        Self::bind_with_limits(addr, max_conns, max_pending, DecodeLimits::default())
+    }
+
+    /// [`bind`](Self::bind) with explicit per-connection [`DecodeLimits`]:
+    /// every handler refuses frames whose *declared* lengths or dims
+    /// exceed the caps, before reserving memory for them. A server that
+    /// knows its model dimension should pass
+    /// [`DecodeLimits::for_dim`], shrinking the worst-case per-connection
+    /// buffer from [`crate::wire::MAX_FRAME`] to the model's own frame
+    /// size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_with_limits(
+        addr: &str,
+        max_conns: usize,
+        max_pending: usize,
+        limits: DecodeLimits,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             writers: Mutex::new(HashMap::new()),
             pending_submits: AtomicUsize::new(0),
             max_pending: max_pending.max(1),
+            limits,
             shutdown: AtomicBool::new(false),
         });
         let (tx, rx) = channel();
@@ -251,7 +274,7 @@ fn handle_conn(
     shared: Arc<Shared>,
     tx: Sender<Event>,
 ) {
-    let mut fb = FrameBuffer::new();
+    let mut fb = FrameBuffer::with_limits(shared.limits);
     let mut buf = vec![0u8; 64 * 1024];
     'read: loop {
         let n = match stream.read(&mut buf) {

@@ -1,0 +1,660 @@
+//! Hierarchical (tree) aggregation: leaf services aggregate client
+//! shards and submit one update upward, the root composes the shard
+//! updates — million-client rounds over the same protocol, transports
+//! and pipeline as the flat service.
+//!
+//! # Topology
+//!
+//! A [`TreeTopology`] splits the id space `0..num_clients` into
+//! contiguous shards of a **power-of-two** size (the last shard may be
+//! ragged) and assigns each shard to one leaf by a seeded permutation.
+//! Each leaf ([`LeafNode`]) samples a power-of-two number of participants
+//! from its shard per round ([`sg_fl::VirtualPopulation::sample_shard`]),
+//! streams their gradients (clients are materialized per round, never
+//! resident — peak resident state is the shard sample, not the
+//! population), applies the shard-local adversary, runs its shard
+//! aggregator, and submits the shard update upward as an ordinary
+//! `SubmitUpdate`. The root is a plain [`FlService`] whose "clients" are
+//! the leaves (join id = shard index, so the root's ascending-id ingest
+//! *is* shard order) with a composition-aware root aggregator.
+//!
+//! Deeper funnels are the same construction stacked: a mid-tier root's
+//! `ServiceReport` feeds the next level as a leaf. This module ships the
+//! two-level funnel, which already turns an `O(population)` fan-in into
+//! `O(shard)` at every node.
+//!
+//! # Composition contract
+//!
+//! How the root composes is declared per rule by
+//! [`Aggregator::composition`] (full table on
+//! [`sg_aggregators::Composition`]):
+//!
+//! * **`ExactSum`** (Mean): leaves run [`ShardSum`] — the canonical
+//!   pairwise tree **sum**, unscaled — and the root runs
+//!   [`ShardMeanRoot`], which tree-sums the shard sums in shard order and
+//!   scales once by `1/total participants`. Because power-of-two shard
+//!   blocks are nodes of the canonical reduction tree
+//!   ([`sg_math::vecops::tree_sum_chunk`]), the composed mean is
+//!   **bit-identical** to the flat mean over the same participants.
+//! * **`Rerun`** (coordinate median, trimmed mean, geometric median): each
+//!   leaf runs the rule on its shard; the root reruns it on the dense
+//!   shard aggregates — the classical median-of-medians approximation,
+//!   with each composed coordinate bounded by the range of the shard
+//!   aggregates.
+//! * **`RerunSignNorm`** (SignGuard, sign-majority): the leaf runs the
+//!   full rule on its shard and forwards only the aggregate's **packed
+//!   sign bits + norm** (`SignNormVec`, ~1/32nd of a dense frame); the
+//!   root reruns the rule natively on the packed shard statistics
+//!   (`aggregate_packed` via the pipeline's uniform-SignNorm fast path) —
+//!   the funnel never densifies on the wire.
+//! * **`Densify`** (Krum, Bulyan, …): the rule has no shard form;
+//!   [`run_tree_loopback`] refuses it and the caller falls back to a flat
+//!   run.
+//!
+//! # Determinism
+//!
+//! Every leaf computation is a pure function of `(client id, round,
+//! model bytes)` (see [`sg_fl::VirtualPopulation`]), shard aggregation
+//! runs the fixed coordinate-sharded kernels, and the root ingests in
+//! shard order — so a loopback tree run is bit-identical at any
+//! `SG_THREADS`, and a TCP tree run reproduces the loopback root model
+//! bit-for-bit (same floats, same canonical order).
+//!
+//! The one *semantic* difference from a flat run: the adversary acts
+//! **shard-locally** — each leaf's attack sees only its own shard's
+//! honest gradients, the natural threat model when no single vantage
+//! point observes the whole round.
+
+use std::net::SocketAddr;
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sg_aggregators::{Aggregator, Composition, GradientRepr, ShardMeanRoot, ShardSum, SignNormVec};
+use sg_attacks::{Attack, AttackContext};
+use sg_fl::{global_init, FlConfig, Task, VirtualPopulation};
+use sg_math::{seeded_rng, shuffle, splitmix64};
+use sg_runtime::Engine;
+
+use crate::driver::NetPeer;
+use crate::loopback::LoopbackNet;
+use crate::service::{FlService, ServiceReport};
+use crate::tcp::TcpClient;
+use crate::wire::{Message, RejectReason};
+
+/// Domain-separation constant for the topology's leaf→shard permutation
+/// draw, decorrelating it from the population's seed schedule.
+const TOPOLOGY_DOMAIN: u64 = 0x7472_6565_746f_706f; // "treetopo"
+
+/// Builds an aggregation rule; the tree runner calls it once per leaf
+/// plus (for the rerun strategies) once for the root, so every node owns
+/// an independent instance.
+pub type GarFactory<'a> = &'a dyn Fn() -> Box<dyn Aggregator>;
+
+/// Builds a per-leaf adversary (`None` = no attack at that leaf).
+pub type AttackFactory<'a> = &'a dyn Fn() -> Option<Box<dyn Attack>>;
+
+/// The shape of a two-level aggregation funnel over the id space
+/// `0..num_clients`: contiguous power-of-two shards, a seeded leaf→shard
+/// permutation, and a power-of-two per-shard participation sample.
+#[derive(Debug, Clone)]
+pub struct TreeTopology {
+    num_clients: usize,
+    shard_size: usize,
+    participation: usize,
+    /// `assignment[leaf] = shard` — which shard each physical leaf
+    /// serves. A seeded permutation; on the wire the leaf always joins
+    /// with its **shard** index, so composition order is unaffected.
+    assignment: Vec<usize>,
+}
+
+impl TreeTopology {
+    /// A topology over `num_clients` ids in shards of `shard_size`, with
+    /// `participation` clients sampled per shard per round, and the
+    /// leaf→shard assignment drawn from `seed`.
+    ///
+    /// `shard_size` and `participation` must be powers of two —
+    /// the alignment that makes `ExactSum` composition bit-identical to
+    /// the flat run (shard blocks are then nodes of the canonical
+    /// reduction tree). `participation > shard_size` means full
+    /// participation; the last shard may be ragged (it is the final,
+    /// unaligned block of the reduction, which the canonical tree also
+    /// permits).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero clients, or a non-power-of-two shard size or
+    /// participation.
+    pub fn new(num_clients: usize, shard_size: usize, participation: usize, seed: u64) -> Self {
+        assert!(num_clients > 0, "TreeTopology: zero clients");
+        assert!(shard_size.is_power_of_two(), "TreeTopology: shard_size {shard_size} not a power of two");
+        assert!(
+            participation.is_power_of_two(),
+            "TreeTopology: participation {participation} not a power of two"
+        );
+        let num_leaves = num_clients.div_ceil(shard_size);
+        let mut assignment: Vec<usize> = (0..num_leaves).collect();
+        let mut state = seed ^ TOPOLOGY_DOMAIN;
+        shuffle(&mut seeded_rng(splitmix64(&mut state)), &mut assignment);
+        Self { num_clients, shard_size, participation, assignment }
+    }
+
+    /// Total population size.
+    pub fn num_clients(&self) -> usize {
+        self.num_clients
+    }
+
+    /// Number of leaves (= number of shards; the root's fan-in).
+    pub fn num_leaves(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Ids per shard (power of two; the last shard may hold fewer).
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// Participants sampled per shard per round (power of two, clamped
+    /// to the shard length).
+    pub fn participation(&self) -> usize {
+        self.participation
+    }
+
+    /// The contiguous id range of `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_range(&self, shard: usize) -> Range<usize> {
+        assert!(shard < self.num_leaves(), "shard {shard} out of range");
+        let start = shard * self.shard_size;
+        start..((start + self.shard_size).min(self.num_clients))
+    }
+
+    /// The shard served by physical leaf `leaf` (the seeded assignment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is out of range.
+    pub fn shard_of_leaf(&self, leaf: usize) -> usize {
+        self.assignment[leaf]
+    }
+
+    /// Participants actually sampled from `shard` per round.
+    pub fn sample_count(&self, shard: usize) -> usize {
+        self.participation.min(self.shard_range(shard).len())
+    }
+
+    /// Participants per round across all shards — the `ExactSum` root's
+    /// one divisor.
+    pub fn total_participants(&self) -> usize {
+        (0..self.num_leaves()).map(|s| self.sample_count(s)).sum()
+    }
+}
+
+/// A hierarchical-aggregation leaf: samples its shard's participants each
+/// round, streams their gradients from the [`VirtualPopulation`], applies
+/// the shard-local adversary, aggregates, and submits the shard update
+/// upward — speaking the ordinary client protocol, so it runs over any
+/// transport a [`crate::ClientDriver`] does.
+pub struct LeafNode {
+    shard: usize,
+    range: Range<usize>,
+    participation: usize,
+    pop: Arc<VirtualPopulation>,
+    gar: Box<dyn Aggregator>,
+    composition: Composition,
+    attack: Option<Box<dyn Attack>>,
+    engine: Engine,
+    batch_size: usize,
+    /// The one shard update computed for the current round; backpressure
+    /// retries and re-deliveries reuse it, like a client's gradient cache.
+    cached: Option<(u64, f32, GradientRepr)>,
+    done: bool,
+}
+
+impl std::fmt::Debug for LeafNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeafNode")
+            .field("shard", &self.shard)
+            .field("range", &self.range)
+            .field("gar", &self.gar.name())
+            .field("composition", &self.composition)
+            .finish()
+    }
+}
+
+impl LeafNode {
+    /// Builds the leaf serving `shard` of `topo`. The rule's declared
+    /// [`Composition`] picks the shard aggregator: `ExactSum` rules run
+    /// [`ShardSum`] (the root owns the single scale), the rerun
+    /// strategies run the rule itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rule declares [`Composition::Densify`] (no shard
+    /// form — the caller must fall back to a flat run).
+    pub fn new(
+        shard: usize,
+        topo: &TreeTopology,
+        pop: Arc<VirtualPopulation>,
+        gar: Box<dyn Aggregator>,
+        attack: Option<Box<dyn Attack>>,
+        engine: Engine,
+        batch_size: usize,
+    ) -> Self {
+        let composition = gar.composition();
+        assert!(
+            composition != Composition::Densify,
+            "LeafNode: {} declares Densify — no shard form; run flat instead",
+            gar.name()
+        );
+        let mut gar: Box<dyn Aggregator> =
+            if composition == Composition::ExactSum { Box::new(ShardSum::new()) } else { gar };
+        gar.set_executor(engine.executor());
+        Self {
+            shard,
+            range: topo.shard_range(shard),
+            participation: topo.participation(),
+            pop,
+            gar,
+            composition,
+            attack,
+            engine,
+            batch_size,
+            cached: None,
+            done: false,
+        }
+    }
+
+    /// The shard (and wire join id) this leaf serves.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// One shard round: sample → stream gradients → shard-local attack →
+    /// aggregate → encode. Returns `(mean honest loss, shard update)`.
+    fn compute_shard(&mut self, round: usize, params: &[f32]) -> (f32, GradientRepr) {
+        let _span = sg_obs::span("tree.leaf_round");
+        let ids = self.pop.sample_shard(self.range.clone(), self.participation, round);
+        let results = self.pop.compute_round(&ids, round, params, self.batch_size, &self.engine);
+        let byz_count = self.pop.byzantine_count();
+        // Sorted ids + global Byzantine prefix → local Byzantine prefix.
+        let m = ids.iter().take_while(|&&id| id < byz_count).count();
+
+        let mut grads: Vec<Vec<f32>> = Vec::with_capacity(results.len());
+        let mut loss_sum = 0.0f32;
+        let mut honest = 0usize;
+        for ((grad, loss), &id) in results.into_iter().zip(&ids) {
+            if id >= byz_count {
+                loss_sum += loss;
+                honest += 1;
+            }
+            grads.push(grad);
+        }
+
+        if m > 0 {
+            if let Some(attack) = self.attack.as_mut() {
+                let (byz_honest, benign) = grads.split_at(m);
+                let ctx = AttackContext::new(benign, byz_honest, round);
+                let malicious = attack.craft(&ctx);
+                assert_eq!(malicious.len(), m, "attack returned wrong gradient count");
+                for (slot, mal) in grads.iter_mut().zip(malicious) {
+                    *slot = mal;
+                }
+            }
+        }
+
+        let out = self.gar.aggregate(&grads);
+        sg_obs::counter_add("tree.leaf_rounds", 1);
+        let loss = if honest > 0 { loss_sum / honest as f32 } else { 0.0 };
+        let update = match self.composition {
+            Composition::RerunSignNorm => GradientRepr::SignNorm(SignNormVec::pack(&out.gradient)),
+            _ => GradientRepr::Dense(out.gradient),
+        };
+        (loss, update)
+    }
+
+    /// The submission for `round`, computing the shard update exactly
+    /// once (re-deliveries and retries reuse the cache).
+    fn submit_for(&mut self, round: u64, params: &[f32]) -> Message {
+        if self.cached.as_ref().is_none_or(|(r, _, _)| *r != round) {
+            let (loss, update) = self.compute_shard(round as usize, params);
+            self.cached = Some((round, loss, update));
+        }
+        let (round, loss, gradient) = self.cached.clone().expect("just cached");
+        Message::SubmitUpdate { round, loss, gradient }
+    }
+}
+
+impl NetPeer for LeafNode {
+    fn on_connect(&mut self) -> Vec<Message> {
+        vec![Message::Join { client_id: self.shard as u64 }]
+    }
+
+    fn on_message(&mut self, msg: &Message) -> Vec<Message> {
+        match msg {
+            Message::Welcome { .. } => vec![Message::FetchModel],
+            Message::Model { round, params } => vec![self.submit_for(*round, params)],
+            Message::SubmitAck { .. } => Vec::new(),
+            Message::SubmitReject { reason: RejectReason::Backpressure, .. } => {
+                let (round, loss, gradient) =
+                    self.cached.clone().expect("backpressure reject without a cached submit");
+                vec![Message::SubmitUpdate { round, loss, gradient }]
+            }
+            Message::SubmitReject { reason: RejectReason::Duplicate, .. } => Vec::new(),
+            Message::SubmitReject { .. } => vec![Message::FetchModel],
+            Message::RoundAdvance { done: false, .. } => vec![Message::FetchModel],
+            Message::RoundAdvance { done: true, .. } => {
+                self.done = true;
+                vec![Message::Bye]
+            }
+            Message::Error { .. } => {
+                self.done = true;
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+/// The root aggregator for a rule with the given composition: the
+/// `ExactSum` root recombines unscaled shard sums ([`ShardMeanRoot`]),
+/// the rerun strategies run a fresh instance of the rule itself.
+///
+/// # Panics
+///
+/// Panics if the rule declares [`Composition::Densify`].
+pub fn root_aggregator(topo: &TreeTopology, gar_factory: GarFactory<'_>) -> Box<dyn Aggregator> {
+    let probe = gar_factory();
+    match probe.composition() {
+        Composition::ExactSum => Box::new(ShardMeanRoot::new(topo.total_participants())),
+        Composition::Rerun | Composition::RerunSignNorm => probe,
+        Composition::Densify => {
+            panic!("root_aggregator: {} declares Densify — no shard form; run flat instead", probe.name())
+        }
+    }
+}
+
+/// Builds the leaf fleet for `topo` (one [`LeafNode`] per leaf, serving
+/// its assigned shard), as loopback peers.
+pub fn build_leaves(
+    topo: &TreeTopology,
+    pop: &Arc<VirtualPopulation>,
+    gar_factory: GarFactory<'_>,
+    attack_factory: AttackFactory<'_>,
+    engine: &Engine,
+    batch_size: usize,
+) -> Vec<Box<dyn NetPeer>> {
+    (0..topo.num_leaves())
+        .map(|leaf| {
+            let shard = topo.shard_of_leaf(leaf);
+            Box::new(LeafNode::new(
+                shard,
+                topo,
+                Arc::clone(pop),
+                gar_factory(),
+                attack_factory(),
+                engine.clone(),
+                batch_size,
+            )) as Box<dyn NetPeer>
+        })
+        .collect()
+}
+
+/// Runs a two-level tree round loop over the deterministic loopback:
+/// leaves stream their shards from the [`VirtualPopulation`], the root
+/// [`FlService`] composes shard updates per the rule's declared strategy.
+/// A pure function of `(cfg.seed, latency_seed)` — bit-identical at any
+/// `SG_THREADS`.
+///
+/// # Panics
+///
+/// Panics if the rule declares [`Composition::Densify`] (fall back to a
+/// flat run), or if `topo` and `cfg` disagree on the population size.
+#[allow(clippy::too_many_arguments)]
+pub fn run_tree_loopback(
+    task: &Task,
+    cfg: &FlConfig,
+    topo: &TreeTopology,
+    rounds: usize,
+    pop: &Arc<VirtualPopulation>,
+    gar_factory: GarFactory<'_>,
+    attack_factory: AttackFactory<'_>,
+    engine: &Engine,
+    latency_seed: u64,
+    max_latency: u64,
+) -> ServiceReport {
+    assert_eq!(topo.num_clients(), cfg.num_clients, "topology/config population mismatch");
+    let _span = sg_obs::span("tree.run");
+    let peers = build_leaves(topo, pop, gar_factory, attack_factory, engine, cfg.batch_size);
+    let mut net = LoopbackNet::from_peers(peers, latency_seed, max_latency);
+    let root_cfg = FlConfig { num_clients: topo.num_leaves(), byzantine_fraction: 0.0, ..cfg.clone() };
+    let service = FlService::new(task, &root_cfg, root_aggregator(topo, gar_factory), None, engine)
+        .with_total_rounds(rounds);
+    service.run(&mut net)
+}
+
+/// What a flat reference run over the same virtual population produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatReport {
+    /// Rounds applied.
+    pub rounds: usize,
+    /// The final global parameter vector.
+    pub final_params: Vec<f32>,
+    /// Mean honest training loss per round (global honest mean — the
+    /// tree's root losses average shard means instead).
+    pub round_losses: Vec<f32>,
+}
+
+/// The flat arm of a flat-vs-tree comparison: the same participants
+/// (the union of every shard's per-round sample, in ascending id order),
+/// the same virtual materialization, one global adversary, one flat
+/// aggregation — no network. For `ExactSum` rules the tree run's final
+/// model equals this one bit for bit; for the rerun strategies it is the
+/// documented approximation.
+#[allow(clippy::too_many_arguments)]
+pub fn run_flat_virtual(
+    task: &Task,
+    cfg: &FlConfig,
+    topo: &TreeTopology,
+    rounds: usize,
+    pop: &Arc<VirtualPopulation>,
+    gar_factory: GarFactory<'_>,
+    attack_factory: AttackFactory<'_>,
+    engine: &Engine,
+) -> FlatReport {
+    assert_eq!(topo.num_clients(), cfg.num_clients, "topology/config population mismatch");
+    let _span = sg_obs::span("tree.flat_reference");
+    let mut gar = gar_factory();
+    gar.set_executor(engine.executor());
+    let mut attack = attack_factory();
+    let mut params = global_init(task, cfg.seed).param_vector();
+    let byz_count = pop.byzantine_count();
+    let mut round_losses = Vec::with_capacity(rounds);
+
+    for round in 0..rounds {
+        // Union of the per-shard samples: shards are contiguous and each
+        // sample is ascending, so the concatenation is globally ascending
+        // — the canonical order, with the Byzantine ids a prefix.
+        let mut ids = Vec::with_capacity(topo.total_participants());
+        for shard in 0..topo.num_leaves() {
+            ids.extend(pop.sample_shard(topo.shard_range(shard), topo.participation(), round));
+        }
+        let results = pop.compute_round(&ids, round, &params, cfg.batch_size, engine);
+        let m = ids.iter().take_while(|&&id| id < byz_count).count();
+
+        let mut grads: Vec<Vec<f32>> = Vec::with_capacity(results.len());
+        let mut loss_sum = 0.0f32;
+        let mut honest = 0usize;
+        for ((grad, loss), &id) in results.into_iter().zip(&ids) {
+            if id >= byz_count {
+                loss_sum += loss;
+                honest += 1;
+            }
+            grads.push(grad);
+        }
+
+        if m > 0 {
+            if let Some(attack) = attack.as_mut() {
+                let (byz_honest, benign) = grads.split_at(m);
+                let ctx = AttackContext::new(benign, byz_honest, round);
+                let malicious = attack.craft(&ctx);
+                assert_eq!(malicious.len(), m, "attack returned wrong gradient count");
+                for (slot, mal) in grads.iter_mut().zip(malicious) {
+                    *slot = mal;
+                }
+            }
+        }
+
+        let out = gar.aggregate(&grads);
+        for (p, g) in params.iter_mut().zip(&out.gradient) {
+            *p -= cfg.learning_rate * g;
+        }
+        round_losses.push(if honest > 0 { loss_sum / honest as f32 } else { 0.0 });
+    }
+
+    FlatReport { rounds, final_params: params, round_losses }
+}
+
+/// Runs the two-level tree over real sockets: the root [`FlService`]
+/// listens on an ephemeral TCP port, one thread per leaf connects,
+/// streams its shard and submits upward until the final `RoundAdvance`.
+/// Arrival order is kernel-scheduled, but the root canonicalizes every
+/// round batch by shard id before the shared pipeline stages run — so
+/// the final model matches [`run_tree_loopback`] of the same seeds
+/// **bit for bit** (traces and reject counts may differ).
+///
+/// The factories are invoked *inside* each leaf's thread (`Aggregator`
+/// and `Attack` objects are not `Send`), so they must be `Sync` —
+/// capture-free closures are.
+///
+/// # Panics
+///
+/// Panics on socket failures, a `Densify` rule, or a topology/config
+/// population mismatch.
+#[allow(clippy::too_many_arguments)]
+pub fn run_tree_tcp<G, A>(
+    task: &Task,
+    cfg: &FlConfig,
+    topo: &TreeTopology,
+    rounds: usize,
+    pop: &Arc<VirtualPopulation>,
+    gar_factory: G,
+    attack_factory: A,
+    engine: &Engine,
+    max_pending: usize,
+) -> ServiceReport
+where
+    G: Fn() -> Box<dyn Aggregator> + Sync,
+    A: Fn() -> Option<Box<dyn Attack>> + Sync,
+{
+    assert_eq!(topo.num_clients(), cfg.num_clients, "topology/config population mismatch");
+    let _span = sg_obs::span("tree.run_tcp");
+    let mut transport =
+        crate::tcp::TcpServerTransport::bind("127.0.0.1:0", topo.num_leaves() + 2, max_pending)
+            .expect("tree root: bind");
+    let addr = transport.local_addr();
+    let root_cfg = FlConfig { num_clients: topo.num_leaves(), byzantine_fraction: 0.0, ..cfg.clone() };
+    let root_gar = root_aggregator(topo, &gar_factory);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..topo.num_leaves())
+            .map(|leaf| {
+                let pop = Arc::clone(pop);
+                let engine = engine.clone();
+                let gar_factory = &gar_factory;
+                let attack_factory = &attack_factory;
+                let topo = &*topo;
+                scope.spawn(move || {
+                    let mut node = LeafNode::new(
+                        topo.shard_of_leaf(leaf),
+                        topo,
+                        pop,
+                        gar_factory(),
+                        attack_factory(),
+                        engine,
+                        cfg.batch_size,
+                    );
+                    drive_peer_tcp(&addr, &mut node).expect("tree leaf: socket failure");
+                })
+            })
+            .collect();
+        let service = FlService::new(task, &root_cfg, root_gar, None, engine).with_total_rounds(rounds);
+        let report = service.run(&mut transport);
+        transport.shutdown();
+        for handle in handles {
+            handle.join().expect("tree leaf thread panicked");
+        }
+        report
+    })
+}
+
+/// Drives one protocol peer over a real socket until it finishes — the
+/// blocking fan-in loop a leaf (or plain client) runs against a TCP root.
+/// Backpressure rejects pause briefly before the peer's cached
+/// resubmission goes out.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures.
+pub fn drive_peer_tcp(addr: &SocketAddr, peer: &mut dyn NetPeer) -> std::io::Result<()> {
+    let mut conn = TcpClient::connect(addr)?;
+    for msg in peer.on_connect() {
+        conn.send(&msg)?;
+    }
+    while !peer.is_done() {
+        let incoming = conn.recv()?;
+        if matches!(incoming, Message::SubmitReject { reason: RejectReason::Backpressure, .. }) {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        for reply in peer.on_message(&incoming) {
+            conn.send(&reply)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_shards_cover_population() {
+        let topo = TreeTopology::new(37, 8, 8, 1);
+        assert_eq!(topo.num_leaves(), 5);
+        let mut covered = [false; 37];
+        for s in 0..topo.num_leaves() {
+            for id in topo.shard_range(s) {
+                assert!(!covered[id], "id {id} double-covered");
+                covered[id] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "every id in exactly one shard");
+        assert_eq!(topo.shard_range(4), 32..37, "ragged last shard");
+        assert_eq!(topo.sample_count(4), 5);
+        assert_eq!(topo.total_participants(), 4 * 8 + 5);
+    }
+
+    #[test]
+    fn topology_assignment_is_seeded_permutation() {
+        let topo_a = TreeTopology::new(64, 8, 4, 7);
+        let topo_b = TreeTopology::new(64, 8, 4, 7);
+        let shards_a: Vec<usize> = (0..topo_a.num_leaves()).map(|l| topo_a.shard_of_leaf(l)).collect();
+        let shards_b: Vec<usize> = (0..topo_b.num_leaves()).map(|l| topo_b.shard_of_leaf(l)).collect();
+        assert_eq!(shards_a, shards_b, "same seed, same assignment");
+        let mut sorted = shards_a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>(), "a permutation of the shards");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn topology_rejects_unaligned_shards() {
+        let _ = TreeTopology::new(100, 10, 4, 0);
+    }
+}

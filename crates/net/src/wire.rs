@@ -28,6 +28,47 @@ const FRAME_SUFFIX: usize = 4;
 /// happens to satisfy the complement check must not allocate gigabytes).
 pub const MAX_FRAME: usize = 64 << 20;
 
+/// Default cap on any declared element count (dense coordinates, packed
+/// dims, quantized levels) — the largest dense vector a [`MAX_FRAME`]
+/// payload could actually carry.
+pub const MAX_DIM: usize = MAX_FRAME / 4;
+
+/// Per-connection decode limits: every length or dimension a frame
+/// *declares* is validated against these **before any memory is
+/// reserved**, so a hostile peer can announce a 4 GiB frame or a
+/// billion-coordinate gradient and cost the server nothing but a
+/// [`WireError::Malformed`].
+///
+/// The defaults admit anything the protocol can legitimately carry; a
+/// server that knows its model dimension should tighten `max_dim` (see
+/// [`DecodeLimits::for_dim`]) so hostile dimensions are refused at the
+/// codec, long before the service's own dim check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeLimits {
+    /// Largest admissible declared frame payload length, in bytes.
+    pub max_frame: usize,
+    /// Largest admissible declared element count (vector lengths, packed
+    /// dims, quantized levels).
+    pub max_dim: usize,
+}
+
+impl Default for DecodeLimits {
+    fn default() -> Self {
+        Self { max_frame: MAX_FRAME, max_dim: MAX_DIM }
+    }
+}
+
+impl DecodeLimits {
+    /// Limits sized for a model of `dim` parameters: vectors may not
+    /// declare more than `dim` elements, and a frame may not declare more
+    /// bytes than a dense `Model` of that dimension needs (plus slack for
+    /// headers and the error channel).
+    pub fn for_dim(dim: usize) -> Self {
+        let max_frame = (dim.saturating_mul(4).saturating_add(1024)).min(MAX_FRAME);
+        Self { max_frame, max_dim: dim }
+    }
+}
+
 // Payload kind bytes.
 const KIND_JOIN: u8 = 1;
 const KIND_WELCOME: u8 = 2;
@@ -134,10 +175,11 @@ pub enum WireError {
     /// Frame-level damage: bad length complement or payload CRC. The
     /// stream has no recoverable resync point; drop the connection.
     Corrupt(String),
-    /// The frame was intact but its payload did not parse as a message.
+    /// The frame declared a length, dimension or element count beyond
+    /// the connection's [`DecodeLimits`] (or beyond its own payload), or
+    /// its payload did not parse as a message. Always raised *before*
+    /// the declared size is allocated.
     Malformed(String),
-    /// A frame announced a length beyond [`MAX_FRAME`].
-    Oversized(usize),
 }
 
 impl std::fmt::Display for WireError {
@@ -145,7 +187,6 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::Corrupt(why) => write!(f, "corrupt frame: {why}"),
             WireError::Malformed(why) => write!(f, "malformed payload: {why}"),
-            WireError::Oversized(len) => write!(f, "oversized frame ({len} bytes)"),
         }
     }
 }
@@ -185,6 +226,7 @@ impl Enc {
 struct Dec<'a> {
     bytes: &'a [u8],
     pos: usize,
+    max_dim: usize,
 }
 
 impl<'a> Dec<'a> {
@@ -209,8 +251,15 @@ impl<'a> Dec<'a> {
     }
     fn f32s(&mut self) -> Result<Vec<f32>, WireError> {
         let n = self.u32()? as usize;
-        // The count must be covered by the remaining payload before any
-        // allocation happens (a corrupt count must not reserve 4 GiB).
+        // The count must fit the connection limit AND be covered by the
+        // remaining payload before any allocation happens (a hostile
+        // count must not reserve 4 GiB).
+        if n > self.max_dim {
+            return Err(WireError::Malformed(format!(
+                "vector count {n} exceeds connection limit {}",
+                self.max_dim
+            )));
+        }
         if n.checked_mul(4).is_none_or(|bytes| self.pos + bytes > self.bytes.len()) {
             return Err(WireError::Malformed(format!("vector count {n} exceeds payload")));
         }
@@ -241,6 +290,12 @@ fn decode_repr(d: &mut Dec<'_>) -> Result<GradientRepr, WireError> {
         REPR_DENSE => GradientRepr::Dense(d.f32s()?),
         REPR_SIGNNORM => {
             let dim = d.u32()? as usize;
+            if dim > d.max_dim {
+                return Err(WireError::Malformed(format!(
+                    "signnorm dim {dim} exceeds connection limit {}",
+                    d.max_dim
+                )));
+            }
             let norm = d.f32()?;
             let n_zeros = d.u32()? as usize;
             let words = dim.div_ceil(64);
@@ -278,6 +333,12 @@ fn decode_repr(d: &mut Dec<'_>) -> Result<GradientRepr, WireError> {
         REPR_QUANTIZED => {
             let scale = d.f32()?;
             let len = d.u32()? as usize;
+            if len > d.max_dim {
+                return Err(WireError::Malformed(format!(
+                    "quantized length {len} exceeds connection limit {}",
+                    d.max_dim
+                )));
+            }
             let raw = d.take(len)?;
             GradientRepr::QuantizedI8(QuantizedVec::from_parts(scale, raw.iter().map(|&b| b as i8).collect()))
         }
@@ -360,9 +421,16 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
 }
 
 /// Decodes one frame *payload* (the bytes between the length prefix and
-/// the CRC) into a message.
+/// the CRC) into a message, under the default [`DecodeLimits`].
 pub fn decode_payload(payload: &[u8]) -> Result<Message, WireError> {
-    let mut d = Dec { bytes: payload, pos: 0 };
+    decode_payload_limited(payload, &DecodeLimits::default())
+}
+
+/// Decodes one frame *payload* under explicit per-connection limits:
+/// every declared length/dim is checked against `limits.max_dim` (and
+/// the remaining payload) before anything is allocated.
+pub fn decode_payload_limited(payload: &[u8], limits: &DecodeLimits) -> Result<Message, WireError> {
+    let mut d = Dec { bytes: payload, pos: 0, max_dim: limits.max_dim };
     let msg = match d.u8()? {
         KIND_JOIN => Message::Join { client_id: d.u64()? },
         KIND_WELCOME => Message::Welcome {
@@ -415,12 +483,24 @@ pub struct FrameBuffer {
     buf: Vec<u8>,
     /// Bytes of `buf` already consumed by returned messages.
     consumed: usize,
+    /// Per-connection caps on declared frame/vector sizes.
+    limits: DecodeLimits,
 }
 
 impl FrameBuffer {
-    /// An empty buffer.
+    /// An empty buffer with the default [`DecodeLimits`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty buffer with explicit per-connection decode limits.
+    pub fn with_limits(limits: DecodeLimits) -> Self {
+        Self { limits, ..Self::default() }
+    }
+
+    /// The decode limits this buffer enforces.
+    pub fn limits(&self) -> DecodeLimits {
+        self.limits
     }
 
     /// Appends raw stream bytes.
@@ -450,8 +530,13 @@ impl FrameBuffer {
             )));
         }
         let len = len as usize;
-        if len > MAX_FRAME {
-            return Err(WireError::Oversized(len));
+        // Refuse the *declared* length before a single payload byte is
+        // buffered toward it: a hostile 4 GiB prefix costs nothing.
+        if len > self.limits.max_frame {
+            return Err(WireError::Malformed(format!(
+                "declared frame length {len} exceeds connection limit {}",
+                self.limits.max_frame
+            )));
         }
         let total = FRAME_PREFIX + len + FRAME_SUFFIX;
         if rest.len() < total {
@@ -466,7 +551,7 @@ impl FrameBuffer {
                 "payload CRC mismatch (stored {stored:08x}, computed {actual:08x})"
             )));
         }
-        let msg = decode_payload(payload)?;
+        let msg = decode_payload_limited(payload, &self.limits)?;
         self.consumed += total;
         self.compact();
         Ok(Some(msg))
@@ -670,13 +755,113 @@ mod tests {
 
     #[test]
     fn oversized_length_is_refused_before_allocation() {
-        let mut frame = Vec::new();
-        let len = (MAX_FRAME + 1) as u32;
-        frame.extend_from_slice(&len.to_le_bytes());
-        frame.extend_from_slice(&(!len).to_le_bytes());
-        let mut fb = FrameBuffer::new();
+        // A hostile ~4 GiB declared length with a valid complement: the
+        // decoder must answer Malformed from the 8 prefix bytes alone,
+        // never reserving the declared size.
+        for declared in [(MAX_FRAME + 1) as u32, u32::MAX] {
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&declared.to_le_bytes());
+            frame.extend_from_slice(&(!declared).to_le_bytes());
+            let mut fb = FrameBuffer::new();
+            fb.extend(&frame);
+            assert!(
+                matches!(fb.next_message(), Err(WireError::Malformed(_))),
+                "declared {declared} must be Malformed"
+            );
+            assert!(fb.buf.capacity() < 4096, "decoder reserved memory for a hostile length");
+        }
+    }
+
+    #[test]
+    fn per_connection_frame_limit_tightens_the_default() {
+        // A frame that is fine under the defaults is refused by a
+        // connection provisioned for a small model.
+        let msg = Message::Model { round: 0, params: vec![1.0; 1024] };
+        let frame = encode(&msg);
+        let mut fb = FrameBuffer::with_limits(DecodeLimits { max_frame: 512, max_dim: MAX_DIM });
         fb.extend(&frame);
-        assert!(matches!(fb.next_message(), Err(WireError::Oversized(_))));
+        assert!(matches!(fb.next_message(), Err(WireError::Malformed(_))));
+        // The same frame decodes under limits sized for the model.
+        let mut fb = FrameBuffer::with_limits(DecodeLimits::for_dim(1024));
+        fb.extend(&frame);
+        assert_eq!(fb.next_message().expect("decode"), Some(msg));
+    }
+
+    #[test]
+    fn declared_dims_beyond_connection_limit_are_malformed() {
+        // Each representation's declared element count is checked against
+        // the connection's max_dim before anything allocates — even when
+        // the payload itself would cover it.
+        let tight = DecodeLimits { max_frame: MAX_FRAME, max_dim: 8 };
+        let dense =
+            Message::SubmitUpdate { round: 0, loss: 0.0, gradient: GradientRepr::Dense(vec![1.0; 16]) };
+        let model = Message::Model { round: 0, params: vec![1.0; 16] };
+        let packed = Message::SubmitUpdate {
+            round: 0,
+            loss: 0.0,
+            gradient: GradientRepr::SignNorm(SignNormVec::pack(&[1.0; 16])),
+        };
+        let quant = Message::SubmitUpdate {
+            round: 0,
+            loss: 0.0,
+            gradient: GradientRepr::QuantizedI8(QuantizedVec::quantize(&[1.0; 16])),
+        };
+        for msg in [dense, model, packed, quant] {
+            let frame = encode(&msg);
+            let mut fb = FrameBuffer::with_limits(tight);
+            fb.extend(&frame);
+            assert!(
+                matches!(fb.next_message(), Err(WireError::Malformed(_))),
+                "{}: dim 16 must be refused at max_dim 8",
+                msg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_billion_coordinate_declarations_are_malformed() {
+        // Payload-level declared counts far beyond the payload (the
+        // "billion-coordinate gradient in a 30-byte frame" shape): every
+        // representation must refuse before reserving.
+        let hostile_counts = [u32::MAX, 1 << 30];
+        for count in hostile_counts {
+            // Dense submit with a hostile vector count.
+            let mut e = Enc(Vec::new());
+            e.u8(KIND_SUBMIT_UPDATE);
+            e.u64(0);
+            e.f32(0.0);
+            e.u8(REPR_DENSE);
+            e.u32(count);
+            assert!(matches!(decode_payload(&e.0), Err(WireError::Malformed(_))), "dense {count}");
+
+            // SignNorm submit with a hostile dim.
+            let mut e = Enc(Vec::new());
+            e.u8(KIND_SUBMIT_UPDATE);
+            e.u64(0);
+            e.f32(0.0);
+            e.u8(REPR_SIGNNORM);
+            e.u32(count);
+            e.f32(1.0);
+            e.u32(0);
+            assert!(matches!(decode_payload(&e.0), Err(WireError::Malformed(_))), "signnorm {count}");
+
+            // Quantized submit with a hostile level count.
+            let mut e = Enc(Vec::new());
+            e.u8(KIND_SUBMIT_UPDATE);
+            e.u64(0);
+            e.f32(0.0);
+            e.u8(REPR_QUANTIZED);
+            e.f32(1.0);
+            e.u32(count);
+            assert!(matches!(decode_payload(&e.0), Err(WireError::Malformed(_))), "quantized {count}");
+
+            // Model broadcast with a hostile parameter count.
+            let mut e = Enc(Vec::new());
+            e.u8(KIND_MODEL);
+            e.u64(0);
+            e.u32(count);
+            assert!(matches!(decode_payload(&e.0), Err(WireError::Malformed(_))), "model {count}");
+        }
     }
 
     #[test]

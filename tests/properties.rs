@@ -543,3 +543,126 @@ fn wire_any_flipped_byte_is_rejected() {
         }
     }
 }
+
+#[test]
+fn wire_hostile_declared_sizes_never_allocate() {
+    // Attacker-controlled preallocation: for every hostile declared
+    // length — a ~4 GiB frame prefix, or an element count far beyond the
+    // payload — the decoder must answer Malformed from the bytes already
+    // in hand, never reserving the declared size. Seeded fuzz over the
+    // hostile count and the limit it is checked against.
+    use signguard::net::DecodeLimits;
+    for seed in 0..CASES {
+        let mut rng = signguard::math::seeded_rng(seed ^ 0x05FE);
+        // Hostile frame-length prefix with a valid complement.
+        let declared = rng.gen_range((wire::MAX_FRAME as u32 + 1)..=u32::MAX);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&declared.to_le_bytes());
+        frame.extend_from_slice(&(!declared).to_le_bytes());
+        let mut fb = FrameBuffer::new();
+        fb.extend(&frame);
+        assert!(
+            matches!(fb.next_message(), Err(wire::WireError::Malformed(_))),
+            "seed {seed}: declared frame length {declared} must be Malformed"
+        );
+
+        // A legitimate frame refused by a connection provisioned for a
+        // smaller model: the declared dim exceeds the connection cap.
+        let dim = rng.gen_range(9usize..64);
+        let msg = Message::SubmitUpdate {
+            round: 0,
+            loss: 0.0,
+            gradient: GradientRepr::Dense((0..dim).map(|_| wire_f32(&mut rng)).collect()),
+        };
+        let mut fb = FrameBuffer::with_limits(DecodeLimits { max_frame: wire::MAX_FRAME, max_dim: 8 });
+        fb.extend(&wire::encode(&msg));
+        assert!(
+            matches!(fb.next_message(), Err(wire::WireError::Malformed(_))),
+            "seed {seed}: dim {dim} must be refused at max_dim 8"
+        );
+    }
+}
+
+/// Splits a batch into random contiguous shards (each of 1..=5 members),
+/// deterministic per seed — the shapes a hierarchical funnel produces.
+fn random_shards(grads: &[Vec<f32>], seed: u64) -> Vec<Vec<Vec<f32>>> {
+    let mut rng = signguard::math::seeded_rng(seed);
+    let mut shards = Vec::new();
+    let mut at = 0;
+    while at < grads.len() {
+        let take = rng.gen_range(1usize..=5).min(grads.len() - at);
+        shards.push(grads[at..at + take].to_vec());
+        at += take;
+    }
+    shards
+}
+
+#[test]
+fn median_of_medians_composes_within_shard_envelope() {
+    // The Rerun composition contract for CoordinateMedian: rerunning the
+    // median over per-shard medians stays, coordinate-wise, inside the
+    // envelope of the shard medians — and hence inside the population's
+    // coordinate range, whatever the shard assignment. This is the
+    // documented deviation bound for the hierarchical funnel.
+    for seed in 0..CASES {
+        let grads = gradient_batch(seed.wrapping_add(0x4D4D));
+        let shards = random_shards(&grads, seed ^ 0x5EED);
+        let shard_aggs: Vec<Vec<f32>> =
+            shards.iter().map(|s| CoordinateMedian::new().aggregate(s).gradient).collect();
+        let composed = CoordinateMedian::new().aggregate(&shard_aggs).gradient;
+        for j in 0..composed.len() {
+            let lo = shard_aggs.iter().map(|g| g[j]).fold(f32::INFINITY, f32::min);
+            let hi = shard_aggs.iter().map(|g| g[j]).fold(f32::NEG_INFINITY, f32::max);
+            assert!(
+                composed[j] >= lo - 1e-5 && composed[j] <= hi + 1e-5,
+                "seed {seed} coord {j}: composed median left the shard-median envelope"
+            );
+            let plo = grads.iter().map(|g| g[j]).fold(f32::INFINITY, f32::min);
+            let phi = grads.iter().map(|g| g[j]).fold(f32::NEG_INFINITY, f32::max);
+            assert!(
+                composed[j] >= plo - 1e-5 && composed[j] <= phi + 1e-5,
+                "seed {seed} coord {j}: composed median left the population range"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_signguard_tracks_the_flat_selection() {
+    // The RerunSignNorm composition contract for SignGuard: leaves run
+    // the full funnel on their shard and forward only packed sign + norm
+    // statistics; the root reruns the funnel natively on those. On an
+    // honest near-consensus batch (the regime where flat SignGuard
+    // provably keeps the majority) the composed aggregate must stay
+    // directionally aligned with the flat aggregate (cosine > 0.5) at a
+    // comparable magnitude — the documented deviation of the funnel,
+    // holding across random shard assignments.
+    use signguard::aggregators::{GradientBatch, SignNormVec};
+    for seed in 0..CASES {
+        let mut rng = signguard::math::seeded_rng(seed ^ 0x51C4);
+        let n = rng.gen_range(8usize..20);
+        let d = rng.gen_range(16usize..48);
+        let base: Vec<f32> =
+            (0..d).map(|_| if rng.gen_range(0.0f32..1.0) < 0.5 { 1.0 } else { -1.0 }).collect();
+        let grads: Vec<Vec<f32>> =
+            (0..n).map(|_| base.iter().map(|b| b + rng.gen_range(-0.2f32..0.2)).collect()).collect();
+
+        let flat = SignGuard::plain(seed).aggregate(&grads).gradient;
+        let packed: Vec<SignNormVec> = random_shards(&grads, seed ^ 0x7A3B)
+            .iter()
+            .map(|s| SignNormVec::pack(&SignGuard::plain(seed).aggregate(s).gradient))
+            .collect();
+        let composed = SignGuard::plain(seed).aggregate_batch(&GradientBatch::signnorm(&packed)).gradient;
+
+        let flat_norm = vecops::l2_norm(&flat);
+        let composed_norm = vecops::l2_norm(&composed);
+        assert!(flat_norm > 0.0 && composed_norm > 0.0, "seed {seed}: degenerate aggregate");
+        let cos = vecops::dot(&flat, &composed) / (flat_norm * composed_norm);
+        assert!(cos > 0.5, "seed {seed}: composed SignGuard diverged from flat (cos {cos})");
+        let ratio = composed_norm / flat_norm;
+        assert!(
+            (0.25..=4.0).contains(&ratio),
+            "seed {seed}: composed norm off-scale vs flat (ratio {ratio})"
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! The hierarchical-aggregation contract (`sg-net`'s tree module): a
+//! two-level loopback tree — leaves streaming their shards from the
+//! virtual population, a root [`FlService`] composing shard updates —
+//! is deterministic at any thread count, invariant to latency seeds,
+//! and for exactly-composable rules (Mean) **bit-identical** to the
+//! flat run over the same participants.
+//!
+//! Thread counts honor `SG_THREADS` exactly as `runtime_determinism.rs`
+//! does; CI's `tree-smoke` job loops over 1 and 4.
+
+use std::sync::Arc;
+
+use signguard::aggregators::{Aggregator, Mean};
+use signguard::attacks::{Attack, SignFlip};
+use signguard::core::SignGuard;
+use signguard::fl::{tasks, FlConfig, PartitionCache, Task, VirtualPopulation};
+use signguard::net::{run_flat_virtual, run_tree_loopback, run_tree_tcp, ServiceReport, TreeTopology};
+use signguard::runtime::Engine;
+
+const ROUNDS: usize = 3;
+
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("SG_THREADS") {
+        Ok(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(|t| t.parse().unwrap_or_else(|_| panic!("SG_THREADS: bad thread count {t:?}")))
+            .collect(),
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
+fn engine_for(threads: usize) -> Engine {
+    if threads <= 1 {
+        Engine::sequential()
+    } else {
+        Engine::parallel(threads)
+    }
+}
+
+fn tree_cfg(seed: u64) -> FlConfig {
+    FlConfig {
+        num_clients: 16,
+        byzantine_fraction: 0.25,
+        batch_size: 8,
+        epochs: 2,
+        seed,
+        ..FlConfig::default()
+    }
+}
+
+/// Task, population and 4-leaf topology (shards of 4, full
+/// participation) shared by both arms of a comparison.
+fn fixture(seed: u64, attack: Option<&dyn Attack>) -> (Task, FlConfig, TreeTopology, Arc<VirtualPopulation>) {
+    let task = tasks::mlp_task(seed);
+    let cfg = tree_cfg(seed);
+    let topo = TreeTopology::new(cfg.num_clients, 4, 4, cfg.seed);
+    let pop = Arc::new(VirtualPopulation::build(&task, &cfg, attack, &PartitionCache::new()));
+    (task, cfg, topo, pop)
+}
+
+fn tree_run(
+    seed: u64,
+    gar_factory: &dyn Fn() -> Box<dyn Aggregator>,
+    attack_factory: &dyn Fn() -> Option<Box<dyn Attack>>,
+    engine: &Engine,
+    latency_seed: u64,
+    max_latency: u64,
+) -> ServiceReport {
+    let probe = attack_factory();
+    let (task, cfg, topo, pop) = fixture(seed, probe.as_deref());
+    run_tree_loopback(
+        &task,
+        &cfg,
+        &topo,
+        ROUNDS,
+        &pop,
+        gar_factory,
+        attack_factory,
+        engine,
+        latency_seed,
+        max_latency,
+    )
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn tree_mean_composes_bit_identical_to_flat() {
+    // The ExactSum contract: leaves forward canonical tree sums, the root
+    // recombines in shard order and scales once — the composed model must
+    // equal the flat mean over the same participants bit for bit. No
+    // adversary: a flat attack sees the whole round, a tree attack only
+    // its shard, so the arms are only comparable with the attack off.
+    let gar_factory = || -> Box<dyn Aggregator> { Box::new(Mean::new()) };
+    let no_attack = || -> Option<Box<dyn Attack>> { None };
+    let (task, cfg, topo, pop) = fixture(51, None);
+    let flat =
+        run_flat_virtual(&task, &cfg, &topo, ROUNDS, &pop, &gar_factory, &no_attack, &Engine::sequential());
+    assert_eq!(flat.rounds, ROUNDS);
+    for threads in thread_counts() {
+        let engine = engine_for(threads);
+        let report = tree_run(51, &gar_factory, &no_attack, &engine, 9, 5);
+        assert_eq!(report.rounds, ROUNDS, "@{threads} threads: tree round count");
+        assert_eq!(
+            bits(&report.final_params),
+            bits(&flat.final_params),
+            "@{threads} threads: composed mean diverges from the flat mean"
+        );
+        assert_eq!(report.rejects, 0, "@{threads} threads: loopback tree run rejected a submit");
+    }
+}
+
+#[test]
+fn tree_run_is_thread_invariant() {
+    // Full-report equality across thread counts — model bits, losses,
+    // message accounting, everything. SignGuard under a shard-local
+    // sign-flip exercises the packed (RerunSignNorm) funnel end to end.
+    let gar_factory = || -> Box<dyn Aggregator> { Box::new(SignGuard::plain(4)) };
+    let attack_factory = || -> Option<Box<dyn Attack>> { Some(Box::new(SignFlip::new())) };
+    let reference = tree_run(52, &gar_factory, &attack_factory, &Engine::sequential(), 13, 7);
+    assert_eq!(reference.rounds, ROUNDS);
+    assert!(reference.final_params.iter().all(|p| p.is_finite()));
+    for threads in thread_counts() {
+        let report = tree_run(52, &gar_factory, &attack_factory, &engine_for(threads), 13, 7);
+        assert_eq!(report, reference, "@{threads} threads: tree run diverged");
+    }
+}
+
+#[test]
+fn tree_final_model_is_latency_seed_invariant() {
+    // The root ingests each completed round ascending by shard id, so the
+    // virtual clock's arrival order must not move the model.
+    let gar_factory = || -> Box<dyn Aggregator> { Box::new(SignGuard::plain(4)) };
+    let attack_factory = || -> Option<Box<dyn Attack>> { Some(Box::new(SignFlip::new())) };
+    let engine = Engine::sequential();
+    let base = tree_run(53, &gar_factory, &attack_factory, &engine, 1, 5);
+    for (latency_seed, max_latency) in [(2u64, 5u64), (77, 1), (123, 19)] {
+        let other = tree_run(53, &gar_factory, &attack_factory, &engine, latency_seed, max_latency);
+        assert_eq!(
+            bits(&base.final_params),
+            bits(&other.final_params),
+            "latency seed {latency_seed} / max {max_latency} moved the tree's final model"
+        );
+        assert_eq!(bits(&base.round_losses), bits(&other.round_losses));
+    }
+}
+
+#[test]
+fn tree_runs_are_reproducible() {
+    let gar_factory = || -> Box<dyn Aggregator> { Box::new(SignGuard::plain(2)) };
+    let attack_factory = || -> Option<Box<dyn Attack>> { Some(Box::new(SignFlip::new())) };
+    let engine = Engine::sequential();
+    let a = tree_run(54, &gar_factory, &attack_factory, &engine, 9, 7);
+    let b = tree_run(54, &gar_factory, &attack_factory, &engine, 9, 7);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn ragged_population_composes_and_converges() {
+    // 13 clients in shards of 4 → three full shards plus a ragged one;
+    // the canonical reduction tree admits the ragged trailing block, so
+    // the ExactSum identity must survive it.
+    let task = tasks::mlp_task(55);
+    let cfg = FlConfig { num_clients: 13, ..tree_cfg(55) };
+    let topo = TreeTopology::new(cfg.num_clients, 4, 4, cfg.seed);
+    assert_eq!(topo.num_leaves(), 4);
+    assert_eq!(topo.total_participants(), 13);
+    let pop = Arc::new(VirtualPopulation::build(&task, &cfg, None, &PartitionCache::new()));
+    let gar_factory = || -> Box<dyn Aggregator> { Box::new(Mean::new()) };
+    let no_attack = || -> Option<Box<dyn Attack>> { None };
+    let engine = Engine::sequential();
+    let flat = run_flat_virtual(&task, &cfg, &topo, ROUNDS, &pop, &gar_factory, &no_attack, &engine);
+    let report = run_tree_loopback(&task, &cfg, &topo, ROUNDS, &pop, &gar_factory, &no_attack, &engine, 3, 4);
+    assert_eq!(bits(&report.final_params), bits(&flat.final_params), "ragged shard broke ExactSum");
+}
+
+#[test]
+fn sampled_participation_composes_bit_identical_to_flat() {
+    // 2 participants sampled per 4-wide shard: the flat arm samples the
+    // same per-shard ids (same RNG draws), so the ExactSum identity must
+    // hold for partial participation too — with the root scaling by the
+    // number of *participants*, not the population.
+    let task = tasks::mlp_task(56);
+    let cfg = tree_cfg(56);
+    let topo = TreeTopology::new(cfg.num_clients, 4, 2, cfg.seed);
+    assert_eq!(topo.total_participants(), 8);
+    let pop = Arc::new(VirtualPopulation::build(&task, &cfg, None, &PartitionCache::new()));
+    let gar_factory = || -> Box<dyn Aggregator> { Box::new(Mean::new()) };
+    let no_attack = || -> Option<Box<dyn Attack>> { None };
+    let engine = Engine::sequential();
+    let flat = run_flat_virtual(&task, &cfg, &topo, ROUNDS, &pop, &gar_factory, &no_attack, &engine);
+    let report =
+        run_tree_loopback(&task, &cfg, &topo, ROUNDS, &pop, &gar_factory, &no_attack, &engine, 21, 6);
+    assert_eq!(bits(&report.final_params), bits(&flat.final_params), "sampled participation broke ExactSum");
+}
+
+#[test]
+fn tcp_tree_fan_in_matches_loopback_bit_for_bit() {
+    // Real sockets, kernel-scheduled leaf arrival order, a tight submit
+    // queue so backpressure fires — the root still canonicalizes by shard
+    // id, so the final model must reproduce the loopback tree run of the
+    // same seeds exactly.
+    let gar_factory = || -> Box<dyn Aggregator> { Box::new(SignGuard::plain(4)) };
+    let attack_factory = || -> Option<Box<dyn Attack>> { Some(Box::new(SignFlip::new())) };
+    let engine = Engine::sequential();
+    let reference = tree_run(57, &gar_factory, &attack_factory, &engine, 3, 5);
+    assert_eq!(reference.rounds, ROUNDS);
+
+    let probe = attack_factory();
+    let (task, cfg, topo, pop) = fixture(57, probe.as_deref());
+    let report = run_tree_tcp(&task, &cfg, &topo, ROUNDS, &pop, gar_factory, attack_factory, &engine, 2);
+    assert_eq!(report.rounds, reference.rounds, "TCP tree applied a different round count");
+    assert_eq!(
+        bits(&report.final_params),
+        bits(&reference.final_params),
+        "TCP tree's final model diverges from the loopback tree"
+    );
+    assert_eq!(
+        bits(&report.round_losses),
+        bits(&reference.round_losses),
+        "per-round shard-mean losses diverge over the socket"
+    );
+}

@@ -1,0 +1,83 @@
+//! Scale contract of the hierarchical funnel: a round over a
+//! 10⁵-virtual-client population must touch only the *sampled*
+//! participants — peak resident client state is bounded by shard sample
+//! size × leaf count, never by the population. Asserted through the
+//! sg-obs counters (`virtual.materialized`, `tree.leaf_rounds`) rather
+//! than allocator introspection, so the bound is part of the observable
+//! contract.
+//!
+//! One `#[test]` only: the sg-obs registry is process-global, and this
+//! file must own it for the duration of the traced run.
+
+use std::sync::Arc;
+
+use signguard::aggregators::{Aggregator, Mean};
+use signguard::attacks::Attack;
+use signguard::fl::{tasks, FlConfig, PartitionCache, VirtualPopulation};
+use signguard::net::{run_tree_loopback, TreeTopology};
+use signguard::runtime::Engine;
+
+/// Extracts `{"ev":"counter","name":"<name>","value":N}` from the trace.
+fn counter_value(trace: &str, name: &str) -> u64 {
+    let needle = format!("\"name\":\"{name}\",\"value\":");
+    let line = trace
+        .lines()
+        .find(|l| l.contains("\"ev\":\"counter\"") && l.contains(&needle))
+        .unwrap_or_else(|| panic!("counter {name} missing from trace"));
+    let at = line.find(&needle).expect("needle just matched") + needle.len();
+    line[at..].chars().take_while(char::is_ascii_digit).collect::<String>().parse().expect("counter value")
+}
+
+#[test]
+fn hundred_thousand_client_round_stays_shard_bounded() {
+    let population = 100_000usize;
+    let shard_size = 1024usize; // power of two
+    let participation = 4usize; // sampled participants per shard
+    let rounds = 1usize;
+
+    let task = tasks::mlp_task(61);
+    let cfg = FlConfig {
+        num_clients: population,
+        byzantine_fraction: 0.0,
+        batch_size: 8,
+        epochs: 1,
+        seed: 61,
+        ..FlConfig::default()
+    };
+    let topo = TreeTopology::new(population, shard_size, participation, cfg.seed);
+    assert_eq!(topo.num_leaves(), population.div_ceil(shard_size));
+    let pop = Arc::new(VirtualPopulation::build(&task, &cfg, None, &PartitionCache::new()));
+    assert!(pop.is_oversubscribed(), "10^5 clients over a ~2k-sample task must share data");
+
+    let dir = std::env::temp_dir().join(format!("sg-tree-scale-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("trace.jsonl");
+    std::fs::remove_file(&path).ok();
+    sg_obs::init_trace(&path).expect("attach trace sink");
+
+    let gar_factory = || -> Box<dyn Aggregator> { Box::new(Mean::new()) };
+    let no_attack = || -> Option<Box<dyn Attack>> { None };
+    let engine = Engine::parallel(4);
+    let report = run_tree_loopback(&task, &cfg, &topo, rounds, &pop, &gar_factory, &no_attack, &engine, 5, 3);
+    sg_obs::finish().expect("flush trace");
+
+    assert_eq!(report.rounds, rounds);
+    assert_eq!(report.rejects, 0);
+    assert!(report.final_params.iter().all(|p| p.is_finite()));
+
+    let trace = std::fs::read_to_string(&path).expect("read trace");
+    std::fs::remove_file(&path).ok();
+
+    // The funnel's memory contract: exactly one materialization per
+    // sampled participant per round — bounded by the topology, more than
+    // two orders of magnitude below the population.
+    let materialized = counter_value(&trace, "virtual.materialized");
+    let budget = (topo.total_participants() * rounds) as u64;
+    assert_eq!(materialized, budget, "leaves materialized clients beyond the sampled participants");
+    assert!(
+        (materialized as usize) < population / 100,
+        "materialization ({materialized}) not shard-bounded vs population ({population})"
+    );
+    let leaf_rounds = counter_value(&trace, "tree.leaf_rounds");
+    assert_eq!(leaf_rounds, (topo.num_leaves() * rounds) as u64, "each leaf aggregates once per round");
+}
